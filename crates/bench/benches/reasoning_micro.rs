@@ -1,0 +1,147 @@
+//! Criterion microbenchmarks for the core GFD operations: subgraph
+//! matching, satisfiability, implication, workload estimation and
+//! single-unit execution. These are the §4 reasoning costs and the
+//! §5–6 per-step costs behind every figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gfd_core::sat::check_satisfiability;
+use gfd_core::validate::detect_violations;
+use gfd_core::{implies, Dependency, Gfd, GfdSet, Literal};
+use gfd_datagen::{mine_gfds, reallife_graph, RealLifeConfig, RealLifeKind, RuleGenConfig};
+use gfd_graph::Vocab;
+use gfd_match::{count_matches, MatchOptions};
+use gfd_parallel::workload::{estimate_workload, plan_rules, WorkloadOptions};
+use gfd_parallel::{rep_val, RepValConfig};
+use gfd_pattern::{Pattern, PatternBuilder, VarId};
+use std::sync::Arc;
+
+fn tri_pattern(vocab: &Arc<Vocab>) -> Pattern {
+    let mut b = PatternBuilder::new(vocab.clone());
+    let x = b.node("x", "tau");
+    let y = b.node("y", "tau");
+    let z = b.node("z", "tau");
+    b.edge(x, y, "l");
+    b.edge(x, z, "l");
+    b.edge(y, z, "l");
+    b.build()
+}
+
+fn quad_pattern(vocab: &Arc<Vocab>) -> Pattern {
+    let mut b = PatternBuilder::new(vocab.clone());
+    let x = b.node("x", "tau");
+    let y = b.node("y", "tau");
+    let z = b.node("z", "tau");
+    let w = b.node("w", "tau");
+    b.edge(x, y, "l");
+    b.edge(x, z, "l");
+    b.edge(y, z, "l");
+    b.edge(y, w, "l");
+    b.edge(z, w, "l");
+    b.build()
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let g = reallife_graph(&RealLifeConfig {
+        scale: 0.1,
+        ..RealLifeConfig::new(RealLifeKind::Yago2)
+    });
+    let sigma = mine_gfds(
+        &g,
+        &RuleGenConfig {
+            count: 4,
+            pattern_nodes: 3,
+            two_component_fraction: 0.0,
+            ..Default::default()
+        },
+    );
+    let mut group = c.benchmark_group("matching");
+    for (i, gfd) in sigma.iter().enumerate().take(2) {
+        group.bench_with_input(BenchmarkId::new("count_matches", i), gfd, |b, gfd| {
+            b.iter(|| count_matches(&gfd.pattern, &g, &MatchOptions::unrestricted()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_reasoning(c: &mut Criterion) {
+    let vocab = Vocab::shared();
+    let a = vocab.intern("A");
+    let phi8 = Gfd::new(
+        "phi8",
+        tri_pattern(&vocab),
+        Dependency::always(vec![Literal::const_eq(VarId(0), a, "c")]),
+    );
+    let phi9 = Gfd::new(
+        "phi9",
+        quad_pattern(&vocab),
+        Dependency::always(vec![Literal::const_eq(VarId(0), a, "d")]),
+    );
+    let sigma = GfdSet::new(vec![phi8.clone(), phi9.clone()]);
+    c.bench_function("satisfiability/example7", |b| {
+        b.iter(|| check_satisfiability(&sigma))
+    });
+
+    let b_at = vocab.intern("B");
+    let c_at = vocab.intern("C");
+    let s1 = Gfd::new(
+        "s1",
+        tri_pattern(&vocab),
+        Dependency::new(
+            vec![Literal::var_eq(VarId(0), a, VarId(1), a)],
+            vec![Literal::var_eq(VarId(0), b_at, VarId(1), b_at)],
+        ),
+    );
+    let s2 = Gfd::new(
+        "s2",
+        quad_pattern(&vocab),
+        Dependency::new(
+            vec![Literal::var_eq(VarId(0), b_at, VarId(1), b_at)],
+            vec![Literal::var_eq(VarId(2), c_at, VarId(3), c_at)],
+        ),
+    );
+    let sigma8 = GfdSet::new(vec![s1, s2]);
+    let phi11 = Gfd::new(
+        "phi11",
+        quad_pattern(&vocab),
+        Dependency::new(
+            vec![Literal::var_eq(VarId(0), a, VarId(1), a)],
+            vec![Literal::var_eq(VarId(2), c_at, VarId(3), c_at)],
+        ),
+    );
+    c.bench_function("implication/example8", |b| {
+        b.iter(|| implies(&sigma8, &phi11))
+    });
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let g = reallife_graph(&RealLifeConfig {
+        scale: 0.08,
+        ..RealLifeConfig::new(RealLifeKind::Yago2)
+    });
+    let sigma = mine_gfds(
+        &g,
+        &RuleGenConfig {
+            count: 8,
+            pattern_nodes: 3,
+            two_component_fraction: 0.25,
+            ..Default::default()
+        },
+    );
+    c.bench_function("detection/detVio", |b| {
+        b.iter(|| detect_violations(&sigma, &g))
+    });
+    c.bench_function("detection/estimate_workload", |b| {
+        b.iter(|| estimate_workload(&sigma, &g, &WorkloadOptions::default()))
+    });
+    c.bench_function("detection/plan_rules", |b| b.iter(|| plan_rules(&sigma)));
+    c.bench_function("detection/repVal_n4", |b| {
+        b.iter(|| rep_val(&sigma, &g, &RepValConfig::val(4)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_matching, bench_reasoning, bench_detection
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Exp-1 headline numbers (§7 Summary): parallel-scalability speedups
+//! from 4 → 20 processors, optimization gains (Val vs nop), and
+//! balancing gains (Val vs ran), per dataset — the numbers quoted in
+//! the paper's summary ("3.7 and 2.4 times faster…", "1.9 and 1.5
+//! times…", "1.4 and 1.3 times…").
+
+use gfd_bench::{banner, dataset, rules, run_all_algorithms, DATASETS, DEFAULT_SCALE};
+
+fn main() {
+    banner("Exp-1 summary", "speedups and optimization/balancing gains");
+    println!("\ndataset\trep speedup(4→20)\tdis speedup(4→20)\trepVal/repnop\tdisVal/disnop\trepVal/repran\tdisVal/disran");
+    let mut agg = [0.0f64; 6];
+    for (name, kind) in DATASETS {
+        let g = dataset(kind, DEFAULT_SCALE);
+        let sigma = rules(&g, 50, 5);
+        let at = |n: usize| {
+            let cells = run_all_algorithms(&sigma, &g, n);
+            let get = |algo: &str| {
+                cells
+                    .iter()
+                    .find(|c| c.algo == algo)
+                    .unwrap()
+                    .report
+                    .total_seconds()
+            };
+            (
+                get("repVal"),
+                get("disVal"),
+                get("repnop"),
+                get("disnop"),
+                get("repran"),
+                get("disran"),
+            )
+        };
+        let (rv4, dv4, _, _, _, _) = at(4);
+        let (rv20, dv20, rn20, dn20, rr20, dr20) = at(20);
+        let row = [
+            rv4 / rv20,
+            dv4 / dv20,
+            rn20 / rv20,
+            dn20 / dv20,
+            rr20 / rv20,
+            dr20 / dv20,
+        ];
+        println!(
+            "{name}\t{:.2}x\t{:.2}x\t{:.2}x\t{:.2}x\t{:.2}x\t{:.2}x",
+            row[0], row[1], row[2], row[3], row[4], row[5]
+        );
+        for (a, r) in agg.iter_mut().zip(row) {
+            *a += r / DATASETS.len() as f64;
+        }
+    }
+    println!(
+        "AVERAGE\t{:.2}x\t{:.2}x\t{:.2}x\t{:.2}x\t{:.2}x\t{:.2}x",
+        agg[0], agg[1], agg[2], agg[3], agg[4], agg[5]
+    );
+    println!("# paper averages: 3.7x, 2.4x, 1.9x, 1.5x, 1.4x, 1.3x");
+}

@@ -1,0 +1,57 @@
+//! Fig. 5(j)(k)(l): communication cost — simulated *communication
+//! time* (parallel data shipment) vs `n` for the `dis*` family on the
+//! three stand-ins (`rep*` ships no graph data and is omitted, as in
+//! the paper). Also reports total bytes shipped and the communication
+//! share of total time (the paper observes 12–24%).
+
+use gfd_bench::{
+    banner, dataset, print_table, rules, run_dis_family, DATASETS, DEFAULT_SCALE, PROCESSOR_COUNTS,
+};
+
+fn main() {
+    banner("Fig. 5(j)(k)(l)", "communication time vs n (dis* family)");
+    for (name, kind) in DATASETS {
+        let g = dataset(kind, DEFAULT_SCALE);
+        let sigma = rules(&g, 50, 5);
+        let mut comm_series: Vec<(&str, Vec<f64>)> = Vec::new();
+        let mut bytes_series: Vec<(&str, Vec<f64>)> = Vec::new();
+        let mut share_series: Vec<(&str, Vec<f64>)> = Vec::new();
+        let mut xs = Vec::new();
+        for &n in &PROCESSOR_COUNTS {
+            xs.push(n.to_string());
+            for cell in run_dis_family(&sigma, &g, n) {
+                let comm = cell.report.comm_seconds;
+                let bytes = cell.report.bytes_shipped as f64 / 1024.0;
+                let share = comm / cell.report.total_seconds().max(1e-12);
+                for (series, v) in [
+                    (&mut comm_series, comm),
+                    (&mut bytes_series, bytes),
+                    (&mut share_series, share),
+                ] {
+                    match series.iter_mut().find(|(a, _)| *a == cell.algo) {
+                        Some((_, vals)) => vals.push(v),
+                        None => series.push((cell.algo, vec![v])),
+                    }
+                }
+            }
+        }
+        print_table(
+            &format!("Fig 5 — Communication time vs n ({name}) [seconds]"),
+            "n",
+            &xs,
+            &comm_series,
+        );
+        print_table(
+            &format!("Fig 5 — Data shipped vs n ({name}) [KiB]"),
+            "n",
+            &xs,
+            &bytes_series,
+        );
+        print_table(
+            &format!("Fig 5 — Communication share of total ({name}) [fraction]"),
+            "n",
+            &xs,
+            &share_series,
+        );
+    }
+}

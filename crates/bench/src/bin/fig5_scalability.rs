@@ -1,0 +1,46 @@
+//! Fig. 5(a)(b)(c): parallel scalability — simulated time vs number of
+//! processors `n ∈ {4..20}` for all six algorithms on the three
+//! real-life stand-ins. Fixed `‖Σ‖ = 50`, `|Q| = 5` as in Exp-1.
+
+use gfd_bench::{
+    banner, dataset, print_table, rules, run_all_algorithms, DATASETS, DEFAULT_SCALE,
+    PROCESSOR_COUNTS,
+};
+
+fn main() {
+    banner("Fig. 5(a)(b)(c)", "time vs n, six algorithms, three graphs");
+    for (name, kind) in DATASETS {
+        let g = dataset(kind, DEFAULT_SCALE);
+        let sigma = rules(&g, 50, 5);
+        eprintln!(
+            "[{name}] |V|={} |E|={} ‖Σ‖={} avg|Q|={:.1}",
+            g.node_count(),
+            g.edge_count(),
+            sigma.len(),
+            sigma.avg_pattern_size()
+        );
+        let mut series: Vec<(&str, Vec<f64>)> = Vec::new();
+        let mut xs = Vec::new();
+        for &n in &PROCESSOR_COUNTS {
+            xs.push(n.to_string());
+            for cell in run_all_algorithms(&sigma, &g, n) {
+                match series.iter_mut().find(|(a, _)| *a == cell.algo) {
+                    Some((_, vals)) => vals.push(cell.report.total_seconds()),
+                    None => series.push((cell.algo, vec![cell.report.total_seconds()])),
+                }
+            }
+        }
+        print_table(&format!("Fig 5 — Varying n ({name})"), "n", &xs, &series);
+        // Headline shape checks mirrored from Exp-1 (printed, not
+        // asserted, so partial runs still emit data).
+        let speedup = |algo: &str| {
+            let vals = &series.iter().find(|(a, _)| *a == algo).unwrap().1;
+            vals[0] / vals[vals.len() - 1]
+        };
+        println!(
+            "# speedup 4→20: repVal {:.2}x, disVal {:.2}x (paper: 3.7x / 2.4x avg)",
+            speedup("repVal"),
+            speedup("disVal")
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Fig. 5(e)(g)(i): impact of pattern size — simulated time vs
+//! `|Q| ∈ {2..6}` at fixed `‖Σ‖ = 50`, `n = 16`, for all six
+//! algorithms on the three stand-ins. Larger patterns mean larger
+//! radii and hence larger work units.
+
+use gfd_bench::{banner, dataset, print_table, rules, run_all_algorithms, DATASETS, DEFAULT_SCALE};
+
+fn main() {
+    banner("Fig. 5(e)(g)(i)", "time vs |Q| at n = 16, ‖Σ‖ = 50");
+    let n = 16;
+    for (name, kind) in DATASETS {
+        let g = dataset(kind, DEFAULT_SCALE);
+        let mut series: Vec<(&str, Vec<f64>)> = Vec::new();
+        let mut xs = Vec::new();
+        for q in [2usize, 3, 4, 5, 6] {
+            let sigma = rules(&g, 50, q);
+            xs.push(q.to_string());
+            for cell in run_all_algorithms(&sigma, &g, n) {
+                match series.iter_mut().find(|(a, _)| *a == cell.algo) {
+                    Some((_, vals)) => vals.push(cell.report.total_seconds()),
+                    None => series.push((cell.algo, vec![cell.report.total_seconds()])),
+                }
+            }
+        }
+        print_table(&format!("Fig 5 — Varying |Q| ({name})"), "q", &xs, &series);
+        let growth = |algo: &str| {
+            let vals = &series.iter().find(|(a, _)| *a == algo).unwrap().1;
+            vals[vals.len() - 1] / vals[0]
+        };
+        println!(
+            "# growth |Q| 2→6: repVal {:.2}x, disVal {:.2}x (expected: up, superlinear)",
+            growth("repVal"),
+            growth("disVal")
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Fig. 5(d)(f)(h): impact of the number of rules — simulated time vs
+//! `‖Σ‖ ∈ {50..100}` at fixed `|Q| = 5`, `n = 16`, for all six
+//! algorithms on the three stand-ins.
+
+use gfd_bench::{banner, dataset, print_table, rules, run_all_algorithms, DATASETS, DEFAULT_SCALE};
+
+fn main() {
+    banner("Fig. 5(d)(f)(h)", "time vs ‖Σ‖ at n = 16, |Q| = 5");
+    let n = 16;
+    for (name, kind) in DATASETS {
+        let g = dataset(kind, DEFAULT_SCALE);
+        let mut series: Vec<(&str, Vec<f64>)> = Vec::new();
+        let mut xs = Vec::new();
+        for count in [50usize, 60, 70, 80, 90, 100] {
+            let sigma = rules(&g, count, 5);
+            xs.push(count.to_string());
+            for cell in run_all_algorithms(&sigma, &g, n) {
+                match series.iter_mut().find(|(a, _)| *a == cell.algo) {
+                    Some((_, vals)) => vals.push(cell.report.total_seconds()),
+                    None => series.push((cell.algo, vec![cell.report.total_seconds()])),
+                }
+            }
+        }
+        print_table(
+            &format!("Fig 5 — Varying ‖Σ‖ ({name})"),
+            "sigma",
+            &xs,
+            &series,
+        );
+        let growth = |algo: &str| {
+            let vals = &series.iter().find(|(a, _)| *a == algo).unwrap().1;
+            vals[vals.len() - 1] / vals[0]
+        };
+        println!(
+            "# growth 50→100 rules: repVal {:.2}x, disVal {:.2}x (expected: roughly linear up)",
+            growth("repVal"),
+            growth("disVal")
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! Relational FDs and CFDs as special cases of GFDs (§3, Example 5).
+//!
+//! A relation instance is represented as a graph in which each tuple
+//! is a node labeled with the relation name and carrying one attribute
+//! per column. Then:
+//!
+//! * an FD `R(X → Y)` becomes `ϕ4 = (Q4[x, y], X' → Y')` over the
+//!   two-node pattern `Q4` (two `R` tuples), with `x.A = y.A` for
+//!   `A ∈ X` and `x.B = y.B` for `B ∈ Y` — variable literals only;
+//! * a CFD with constant conditions becomes the same with added
+//!   constant literals (e.g. `R(country=44, zip → street)`);
+//! * a single-tuple constant CFD (`R(country=44, area_code=131 →
+//!   city=Edi)`) becomes `ϕ''4` over the one-node pattern.
+
+use gfd_graph::{Graph, NodeId, Value, Vocab};
+use gfd_pattern::PatternBuilder;
+use std::sync::Arc;
+
+use crate::gfd::Gfd;
+use crate::literal::{Dependency, Literal};
+
+/// A tiny relation instance for encoding into graphs.
+#[derive(Clone, Debug)]
+pub struct Relation {
+    /// Relation name (becomes the node label).
+    pub name: String,
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Rows; each row must have one value per column.
+    pub tuples: Vec<Vec<Value>>,
+}
+
+impl Relation {
+    /// Builds a relation, checking arity.
+    ///
+    /// # Panics
+    /// Panics if a tuple's arity differs from the column count.
+    pub fn new(name: &str, columns: &[&str], tuples: Vec<Vec<Value>>) -> Self {
+        for t in &tuples {
+            assert_eq!(t.len(), columns.len(), "tuple arity mismatch");
+        }
+        Relation {
+            name: name.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            tuples,
+        }
+    }
+
+    /// Materializes the relation into `g`: one node per tuple, labeled
+    /// with the relation name, one attribute per column. Returns the
+    /// tuple nodes.
+    pub fn to_graph(&self, g: &mut Graph) -> Vec<NodeId> {
+        self.tuples
+            .iter()
+            .map(|row| {
+                let n = g.add_node_labeled(&self.name);
+                for (col, v) in self.columns.iter().zip(row) {
+                    g.set_attr_named(n, col, v.clone());
+                }
+                n
+            })
+            .collect()
+    }
+}
+
+/// Encodes the FD `R(lhs → rhs)` as the GFD `ϕ4` (Example 5 (4)).
+pub fn fd_as_gfd(vocab: &Arc<Vocab>, relation: &str, lhs: &[&str], rhs: &[&str]) -> Gfd {
+    cfd_as_gfd(vocab, relation, &[], lhs, rhs)
+}
+
+/// Encodes a (two-tuple) CFD `R(cond, lhs → rhs)` with constant
+/// conditions applied to both tuples — e.g. `ϕ'4` for
+/// `R(country = 44, zip → street)`.
+pub fn cfd_as_gfd(
+    vocab: &Arc<Vocab>,
+    relation: &str,
+    cond: &[(&str, Value)],
+    lhs: &[&str],
+    rhs: &[&str],
+) -> Gfd {
+    let mut b = PatternBuilder::new(vocab.clone());
+    let x = b.node("x", relation);
+    let y = b.node("y", relation);
+    let q4 = b.build();
+    let mut x_lits = Vec::new();
+    for (col, v) in cond {
+        let a = vocab.intern(col);
+        x_lits.push(Literal::const_eq(x, a, v.clone()));
+        x_lits.push(Literal::const_eq(y, a, v.clone()));
+    }
+    for col in lhs {
+        let a = vocab.intern(col);
+        x_lits.push(Literal::var_eq(x, a, y, a));
+    }
+    let y_lits = rhs
+        .iter()
+        .map(|col| {
+            let a = vocab.intern(col);
+            Literal::var_eq(x, a, y, a)
+        })
+        .collect();
+    Gfd::new(
+        format!("cfd:{relation}({lhs:?}->{rhs:?})"),
+        q4,
+        Dependency::new(x_lits, y_lits),
+    )
+}
+
+/// Encodes a single-tuple constant CFD `R(cond → concl)` as `ϕ''4` —
+/// e.g. `R(country = 44, area_code = 131 → city = Edi)`.
+pub fn constant_cfd_as_gfd(
+    vocab: &Arc<Vocab>,
+    relation: &str,
+    cond: &[(&str, Value)],
+    concl: &[(&str, Value)],
+) -> Gfd {
+    let mut b = PatternBuilder::new(vocab.clone());
+    let x = b.node("x", relation);
+    let q = b.build();
+    let x_lits = cond
+        .iter()
+        .map(|(col, v)| Literal::const_eq(x, vocab.intern(col), v.clone()))
+        .collect();
+    let y_lits = concl
+        .iter()
+        .map(|(col, v)| Literal::const_eq(x, vocab.intern(col), v.clone()))
+        .collect();
+    Gfd::new(
+        format!("ccfd:{relation}"),
+        q,
+        Dependency::new(x_lits, y_lits),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gfd::GfdSet;
+    use crate::validate::{detect_violations, graph_satisfies};
+
+    fn uk_addresses() -> Relation {
+        Relation::new(
+            "R",
+            &["country", "zip", "street", "area_code", "city"],
+            vec![
+                vec![
+                    Value::Int(44),
+                    Value::str("EH8"),
+                    Value::str("Mayfield"),
+                    Value::Int(131),
+                    Value::str("Edi"),
+                ],
+                vec![
+                    Value::Int(44),
+                    Value::str("EH8"),
+                    Value::str("Crichton"), // violates zip → street
+                    Value::Int(131),
+                    Value::str("Edi"),
+                ],
+                vec![
+                    Value::Int(1),
+                    Value::str("EH8"), // different country: condition off
+                    Value::str("Whatever"),
+                    Value::Int(212),
+                    Value::str("NYC"),
+                ],
+            ],
+        )
+    }
+
+    #[test]
+    fn cfd_phi4_prime_catches_zip_street_violation() {
+        // Example 5: R(country = 44, zip → street).
+        let vocab = Vocab::shared();
+        let mut g = Graph::new(vocab.clone());
+        uk_addresses().to_graph(&mut g);
+        let gfd = cfd_as_gfd(
+            &vocab,
+            "R",
+            &[("country", Value::Int(44))],
+            &["zip"],
+            &["street"],
+        );
+        assert!(
+            !gfd.is_constant() && !gfd.is_variable(),
+            "ϕ'4 is neither constant nor variable (Example 5)"
+        );
+        let sigma = GfdSet::new(vec![gfd]);
+        let vio = detect_violations(&sigma, &g);
+        // Tuples 0 and 1 in both orders; tuple 2 is filtered by country.
+        assert_eq!(vio.len(), 2);
+    }
+
+    #[test]
+    fn fd_as_gfd_is_variable_only() {
+        let vocab = Vocab::shared();
+        let gfd = fd_as_gfd(&vocab, "R", &["zip"], &["street"]);
+        assert!(gfd.is_variable(), "ϕ4 uses variable literals only");
+        let mut g = Graph::new(vocab.clone());
+        uk_addresses().to_graph(&mut g);
+        // Without the country guard, tuple 2 shares the zip but not the
+        // street: violations now pair tuple 2 against 0/1 too.
+        let vio = detect_violations(&GfdSet::new(vec![gfd]), &g);
+        assert_eq!(vio.len(), 6); // all ordered pairs of the 3 same-zip tuples
+    }
+
+    #[test]
+    fn constant_cfd_phi4_doubleprime() {
+        // R(country = 44, area_code = 131 → city = Edi).
+        let vocab = Vocab::shared();
+        let gfd = constant_cfd_as_gfd(
+            &vocab,
+            "R",
+            &[("country", Value::Int(44)), ("area_code", Value::Int(131))],
+            &[("city", Value::str("Edi"))],
+        );
+        assert!(gfd.is_constant(), "ϕ''4 is a constant GFD");
+        let mut g = Graph::new(vocab.clone());
+        uk_addresses().to_graph(&mut g);
+        assert!(graph_satisfies(&GfdSet::new(vec![gfd.clone()]), &g));
+
+        // Corrupt a city: caught.
+        let mut bad = uk_addresses();
+        bad.tuples[0][4] = Value::str("Glasgow");
+        let mut g2 = Graph::new(vocab);
+        bad.to_graph(&mut g2);
+        let vio = detect_violations(&GfdSet::new(vec![gfd]), &g2);
+        assert_eq!(vio.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn relation_arity_checked() {
+        Relation::new("R", &["a", "b"], vec![vec![Value::Int(1)]]);
+    }
+}

@@ -1,0 +1,327 @@
+//! The implication problem for GFDs (§4.2; NP-complete, Thm. 5).
+//!
+//! `Σ ⊨ ϕ` iff every graph satisfying `Σ` also satisfies `ϕ`. Lemma 7
+//! characterizes this by *deducibility*: for `ϕ = (Q[x̄], X → Y)` in
+//! normal form, `Σ ⊨ ϕ` iff `Y ∈ closure(Σ_Q, X)` for some set `Σ_Q`
+//! of GFDs embedded in `Q` and derived from `Σ`.
+//!
+//! The paper's NP algorithm guesses the subset `Σ' ⊆ Σ` and the
+//! embeddings; closure is monotone in the embedded set, so the
+//! deterministic version simply enumerates **all** embeddings of all
+//! rules (module [`crate::closure`]) and computes one maximal closure
+//! — complete, with the exponential confined to pattern-to-pattern
+//! matching.
+//!
+//! Conventions following §4.2:
+//! * `Y = ∅` or a tautology `x.A = x.A` ⟹ trivially implied;
+//! * if `closure(Σ_Q, X)` is conflicting, no graph can satisfy `Σ`
+//!   and `X` on a match of `Q` simultaneously, so the implication
+//!   holds vacuously;
+//! * `Σ` is assumed satisfiable ([`implies_checked`] verifies it
+//!   first and follows the paper's extended algorithm).
+
+use crate::closure::{chase, embedded_deps, ground_literal, GroundLiteral};
+use crate::gfd::{Gfd, GfdSet};
+use crate::literal::Literal;
+use crate::sat::{check_satisfiability, SatOutcome};
+
+/// Result of the checked implication analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ImplicationOutcome {
+    /// `Σ ⊨ ϕ`.
+    Implied,
+    /// `Σ ⊭ ϕ` (a counterexample model exists).
+    NotImplied,
+    /// `Σ` itself is unsatisfiable — the paper's algorithm reports the
+    /// input as invalid.
+    SigmaUnsatisfiable,
+}
+
+fn identity_grounding(lit: &Literal) -> GroundLiteral {
+    ground_literal(lit, &|v| v.0)
+}
+
+/// Decides `Σ ⊨ ϕ`, assuming `Σ` is satisfiable (§4.2's standing
+/// assumption). Deterministic and complete via full embedding
+/// enumeration.
+pub fn implies(sigma: &GfdSet, phi: &Gfd) -> bool {
+    // Normal form: each consequent literal separately; ∅ → trivially true.
+    let consequents: Vec<&Literal> = phi.dep.y.iter().collect();
+    if consequents.is_empty() {
+        return true;
+    }
+
+    let deps = embedded_deps(sigma, &phi.pattern);
+    let base: Vec<GroundLiteral> = phi.dep.x.iter().map(identity_grounding).collect();
+    let rel = chase(&deps, &base);
+
+    // Conflicting closure: X cannot hold on any Σ-satisfying match of
+    // Q, so the implication is vacuous.
+    if rel.has_conflict() {
+        return true;
+    }
+
+    consequents.iter().all(|lit| {
+        if lit.is_tautology() {
+            // §4.2 treats tautologies as trivially implied. (Note the
+            // subtlety: under the attribute-existence semantics of §3 a
+            // tautology in Y is not vacuous; the implication analysis
+            // follows the paper's normal-form convention regardless.)
+            return true;
+        }
+        identity_grounding(lit).entailed_by(&rel)
+    })
+}
+
+/// The paper's extended algorithm: first check that `Σ` is satisfiable
+/// and that `X` is satisfiable, then decide.
+pub fn implies_checked(sigma: &GfdSet, phi: &Gfd) -> ImplicationOutcome {
+    if matches!(
+        check_satisfiability(sigma),
+        SatOutcome::Unsatisfiable { .. }
+    ) {
+        return ImplicationOutcome::SigmaUnsatisfiable;
+    }
+    // X unsatisfiable on its own ⇒ ϕ holds trivially.
+    let base: Vec<GroundLiteral> = phi.dep.x.iter().map(identity_grounding).collect();
+    if chase(&[], &base).has_conflict() {
+        return ImplicationOutcome::Implied;
+    }
+    if implies(sigma, phi) {
+        ImplicationOutcome::Implied
+    } else {
+        ImplicationOutcome::NotImplied
+    }
+}
+
+/// Removes rules implied by the rest of the set — the *workload
+/// reduction* optimization of the appendix: if `Σ \ {ϕ} ⊨ ϕ`, then
+/// `ϕ` can be dropped without changing `Vio(Σ, G)`.
+pub fn minimize(sigma: &GfdSet) -> GfdSet {
+    let mut kept: Vec<Gfd> = sigma.iter().cloned().collect();
+    let mut i = 0;
+    while i < kept.len() {
+        let candidate = kept[i].clone();
+        let rest = GfdSet::new(
+            kept.iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, g)| g.clone())
+                .collect(),
+        );
+        if !rest.is_empty() && implies(&rest, &candidate) {
+            kept.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    GfdSet::new(kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::literal::Dependency;
+    use gfd_graph::Vocab;
+    use gfd_pattern::{Pattern, PatternBuilder, VarId};
+    use std::sync::Arc;
+
+    fn q8(vocab: Arc<Vocab>) -> Pattern {
+        let mut b = PatternBuilder::new(vocab);
+        let x = b.node("x", "tau");
+        let y = b.node("y", "tau");
+        let z = b.node("z", "tau");
+        b.edge(x, y, "l");
+        b.edge(x, z, "l");
+        b.edge(y, z, "l");
+        b.build()
+    }
+
+    fn q9(vocab: Arc<Vocab>) -> Pattern {
+        let mut b = PatternBuilder::new(vocab);
+        let x = b.node("x", "tau");
+        let y = b.node("y", "tau");
+        let z = b.node("z", "tau");
+        let w = b.node("w", "tau");
+        b.edge(x, y, "l");
+        b.edge(x, z, "l");
+        b.edge(y, z, "l");
+        b.edge(y, w, "l");
+        b.edge(z, w, "l");
+        b.build()
+    }
+
+    /// Example 8: Σ = { (Q8, x.A=y.A → x.B=y.B), (Q9, x.B=y.B → z.C=w.C) }
+    /// implies ϕ11 = (Q9, x.A=y.A → z.C=w.C).
+    #[test]
+    fn example8_implication_holds() {
+        let vocab = Vocab::shared();
+        let a = vocab.intern("A");
+        let b_at = vocab.intern("B");
+        let c_at = vocab.intern("C");
+        let g8 = Gfd::new(
+            "s1",
+            q8(vocab.clone()),
+            Dependency::new(
+                vec![Literal::var_eq(VarId(0), a, VarId(1), a)],
+                vec![Literal::var_eq(VarId(0), b_at, VarId(1), b_at)],
+            ),
+        );
+        let g9 = Gfd::new(
+            "s2",
+            q9(vocab.clone()),
+            Dependency::new(
+                vec![Literal::var_eq(VarId(0), b_at, VarId(1), b_at)],
+                vec![Literal::var_eq(VarId(2), c_at, VarId(3), c_at)],
+            ),
+        );
+        let sigma = GfdSet::new(vec![g8, g9]);
+        let phi11 = Gfd::new(
+            "phi11",
+            q9(vocab.clone()),
+            Dependency::new(
+                vec![Literal::var_eq(VarId(0), a, VarId(1), a)],
+                vec![Literal::var_eq(VarId(2), c_at, VarId(3), c_at)],
+            ),
+        );
+        assert!(implies(&sigma, &phi11));
+        assert_eq!(implies_checked(&sigma, &phi11), ImplicationOutcome::Implied);
+
+        // The reverse direction does not hold.
+        let phi_rev = Gfd::new(
+            "rev",
+            q9(vocab),
+            Dependency::new(
+                vec![Literal::var_eq(VarId(2), c_at, VarId(3), c_at)],
+                vec![Literal::var_eq(VarId(0), a, VarId(1), a)],
+            ),
+        );
+        assert!(!implies(&sigma, &phi_rev));
+    }
+
+    #[test]
+    fn empty_consequent_trivially_implied() {
+        let vocab = Vocab::shared();
+        let phi = Gfd::new("e", q8(vocab), Dependency::new(vec![], vec![]));
+        assert!(implies(&GfdSet::default(), &phi));
+    }
+
+    #[test]
+    fn tautology_trivially_implied() {
+        let vocab = Vocab::shared();
+        let a = vocab.intern("A");
+        let phi = Gfd::new(
+            "taut",
+            q8(vocab),
+            Dependency::always(vec![Literal::var_eq(VarId(0), a, VarId(0), a)]),
+        );
+        assert!(implies(&GfdSet::default(), &phi));
+    }
+
+    #[test]
+    fn unsatisfiable_x_is_vacuous() {
+        let vocab = Vocab::shared();
+        let a = vocab.intern("A");
+        let b_at = vocab.intern("B");
+        let phi = Gfd::new(
+            "vacuous",
+            q8(vocab),
+            Dependency::new(
+                vec![
+                    Literal::const_eq(VarId(0), a, "c"),
+                    Literal::const_eq(VarId(0), a, "d"),
+                ],
+                vec![Literal::const_eq(VarId(1), b_at, "whatever")],
+            ),
+        );
+        assert_eq!(
+            implies_checked(&GfdSet::default(), &phi),
+            ImplicationOutcome::Implied
+        );
+    }
+
+    #[test]
+    fn unsatisfiable_sigma_reported() {
+        let vocab = Vocab::shared();
+        let a = vocab.intern("A");
+        let mut b = PatternBuilder::new(vocab.clone());
+        b.node("x", "tau");
+        let q = b.build();
+        let c1 = Gfd::new(
+            "c",
+            q.clone(),
+            Dependency::always(vec![Literal::const_eq(VarId(0), a, "c")]),
+        );
+        let d1 = Gfd::new(
+            "d",
+            q.clone(),
+            Dependency::always(vec![Literal::const_eq(VarId(0), a, "d")]),
+        );
+        let sigma = GfdSet::new(vec![c1, d1]);
+        let phi = Gfd::new(
+            "any",
+            q,
+            Dependency::always(vec![Literal::const_eq(VarId(0), a, "e")]),
+        );
+        assert_eq!(
+            implies_checked(&sigma, &phi),
+            ImplicationOutcome::SigmaUnsatisfiable
+        );
+    }
+
+    #[test]
+    fn constant_transitivity_implication() {
+        // Σ: (τ, ∅ → x.A = c). ϕ: (τ→τ edge pattern, ∅ → x.A = y.A):
+        // both endpoints' A are forced to c, hence equal.
+        let vocab = Vocab::shared();
+        let a = vocab.intern("A");
+        let mut b = PatternBuilder::new(vocab.clone());
+        b.node("x", "tau");
+        let single = b.build();
+        let rule = Gfd::new(
+            "all-c",
+            single,
+            Dependency::always(vec![Literal::const_eq(VarId(0), a, "c")]),
+        );
+        let mut b = PatternBuilder::new(vocab);
+        let x = b.node("x", "tau");
+        let y = b.node("y", "tau");
+        b.edge(x, y, "l");
+        let edge_q = b.build();
+        let phi = Gfd::new(
+            "equal",
+            edge_q,
+            Dependency::always(vec![Literal::var_eq(VarId(0), a, VarId(1), a)]),
+        );
+        assert!(implies(&GfdSet::new(vec![rule]), &phi));
+    }
+
+    #[test]
+    fn minimize_drops_implied_rules() {
+        // Same-pattern duplicate: the second copy is implied.
+        let vocab = Vocab::shared();
+        let a = vocab.intern("A");
+        let mk = |name: &str| {
+            Gfd::new(
+                name,
+                q8(vocab.clone()),
+                Dependency::new(
+                    vec![Literal::var_eq(VarId(0), a, VarId(1), a)],
+                    vec![Literal::var_eq(VarId(1), a, VarId(2), a)],
+                ),
+            )
+        };
+        let sigma = GfdSet::new(vec![mk("one"), mk("two")]);
+        let minimized = minimize(&sigma);
+        assert_eq!(minimized.len(), 1);
+
+        // Unrelated rules are kept.
+        let other = Gfd::new(
+            "other",
+            q9(vocab.clone()),
+            Dependency::always(vec![Literal::const_eq(VarId(3), a, "v")]),
+        );
+        let sigma2 = GfdSet::new(vec![mk("one"), other]);
+        assert_eq!(minimize(&sigma2).len(), 2);
+    }
+}

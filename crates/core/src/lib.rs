@@ -1,0 +1,44 @@
+//! # gfd-core — functional dependencies for graphs
+//!
+//! The primary contribution of *Functional Dependencies for Graphs*
+//! (Fan, Wu & Xu, SIGMOD 2016), implemented in full:
+//!
+//! * **Syntax & semantics** (§3): a GFD `ϕ = (Q[x̄], X → Y)` pairs a
+//!   topological constraint (graph pattern `Q`) with an attribute
+//!   dependency between constant literals `x.A = c` and variable
+//!   literals `x.A = y.B`. `G ⊨ ϕ` iff every match `h(x̄)` of `Q` in
+//!   `G` with `h ⊨ X` also has `h ⊨ Y` (modules [`literal`], [`gfd`],
+//!   [`validate`]).
+//! * **Satisfiability** (§4.1, coNP-complete): whether a set `Σ` has a
+//!   model containing a match of every pattern. Implemented via the
+//!   conflict characterization of Lemma 3 as a canonical-model chase
+//!   that also *produces* a model on success (module [`sat`]).
+//! * **Implication** (§4.2, NP-complete): `Σ ⊨ ϕ` via deducibility of
+//!   `Y` from `closure(Σ_Q, X)` over embedded GFDs, Lemma 7 (module
+//!   [`implication`]).
+//! * **Validation / error detection** (§5.1, coNP-complete): the set
+//!   `Vio(Σ, G)` of violating matches, with the sequential reference
+//!   algorithm `detVio` (module [`validate`]; the parallel-scalable
+//!   algorithms live in the `gfd-parallel` crate).
+//! * **Classical dependencies as special cases** (§3): encodings of
+//!   relations, FDs and CFDs into graphs and GFDs (module [`cfd`]).
+//!
+//! The equality-atom reasoning shared by `enforced(Σ_Q)` and
+//! `closure(Σ_Q, X)` is a union–find over attribute terms and
+//! constants (module [`eqrel`]); derivation of embedded GFDs along
+//! pattern embeddings lives in module [`closure`].
+
+pub mod cfd;
+pub mod closure;
+pub mod eqrel;
+pub mod gfd;
+pub mod implication;
+pub mod literal;
+pub mod sat;
+pub mod validate;
+
+pub use gfd::{Gfd, GfdSet};
+pub use implication::implies;
+pub use literal::{Dependency, Literal};
+pub use sat::{check_satisfiability, is_satisfiable, SatOutcome};
+pub use validate::{detect_violations, graph_satisfies, Violation};

@@ -1,0 +1,337 @@
+//! GFD validation and error detection (§5.1).
+//!
+//! A match `h(x̄)` of `Q` in `G` is a *violation* of
+//! `ϕ = (Q[x̄], X → Y)` if `h ⊨ X` but `h ⊭ Y`. `Vio(Σ, G)` collects
+//! the violations of all rules; `G ⊨ Σ` iff it is empty.
+//!
+//! Literal satisfaction follows §3 exactly:
+//! * `h ⊨ x.A = c` iff node `h(x)` **has** attribute `A` and its value
+//!   is `c`; similarly for `x.A = y.B`;
+//! * a missing attribute in `X` makes the GFD hold trivially for that
+//!   match (semi-structured data!), while a missing attribute in `Y`
+//!   is a violation (when `X` held).
+//!
+//! The sequential reference algorithm `detVio` enumerates all matches
+//! per rule and checks the dependency — exponential in the worst case
+//! (validation is coNP-complete, Prop. 9), which is why the parallel
+//! crate exists. A budgeted variant is provided so callers can bound
+//! the effort.
+
+use gfd_graph::{Graph, NodeId};
+use gfd_match::{for_each_match, types::Flow, Match, MatchOptions, SearchBudget};
+
+use crate::gfd::{Gfd, GfdSet};
+use crate::literal::{Dependency, Literal};
+
+/// One violation: which rule, and the violating match.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Index of the violated GFD in `Σ`.
+    pub rule: usize,
+    /// The violating match `h(x̄)`.
+    pub mapping: Match,
+}
+
+/// Does `h ⊨ lit` in `g`? (`m` is indexed by variable id.)
+pub fn literal_holds(lit: &Literal, g: &Graph, m: &[NodeId]) -> bool {
+    match lit {
+        Literal::Const { var, attr, value } => g.attr(m[var.index()], *attr) == Some(value),
+        Literal::Vars { x, a, y, b } => {
+            match (g.attr(m[x.index()], *a), g.attr(m[y.index()], *b)) {
+                (Some(va), Some(vb)) => va == vb,
+                _ => false,
+            }
+        }
+    }
+}
+
+/// Does `h ⊨ X → Y` (i.e. `h ⊨ Y` whenever `h ⊨ X`)?
+pub fn match_satisfies(dep: &Dependency, g: &Graph, m: &[NodeId]) -> bool {
+    let x_holds = dep.x.iter().all(|l| literal_holds(l, g, m));
+    if !x_holds {
+        return true;
+    }
+    dep.y.iter().all(|l| literal_holds(l, g, m))
+}
+
+/// Enumerates the violations of a single GFD, streaming them to `f`;
+/// returns `true` if the enumeration was complete.
+pub fn for_each_violation(
+    gfd: &Gfd,
+    g: &Graph,
+    opts: &MatchOptions,
+    f: &mut dyn FnMut(&[NodeId]) -> Flow,
+) -> bool {
+    let outcome = for_each_match(&gfd.pattern, g, opts, &mut |m| {
+        if match_satisfies(&gfd.dep, g, m) {
+            Flow::Continue
+        } else {
+            f(m)
+        }
+    });
+    matches!(outcome, gfd_match::api::EnumOutcome::Complete)
+}
+
+/// The sequential algorithm `detVio` (§5.1): computes `Vio(Σ, G)` with
+/// a single processor by full match enumeration per rule.
+pub fn detect_violations(sigma: &GfdSet, g: &Graph) -> Vec<Violation> {
+    detect_violations_budgeted(sigma, g, SearchBudget::UNLIMITED).0
+}
+
+/// Budgeted `detVio`; the boolean is `true` when the enumeration was
+/// exhaustive (no budget cut-off).
+pub fn detect_violations_budgeted(
+    sigma: &GfdSet,
+    g: &Graph,
+    budget: SearchBudget,
+) -> (Vec<Violation>, bool) {
+    let mut out = Vec::new();
+    let mut complete = true;
+    for (i, gfd) in sigma.iter().enumerate() {
+        let opts = MatchOptions::unrestricted().with_budget(budget);
+        let c = for_each_violation(gfd, g, &opts, &mut |m| {
+            out.push(Violation {
+                rule: i,
+                mapping: Match(m.to_vec()),
+            });
+            Flow::Continue
+        });
+        complete &= c;
+    }
+    (out, complete)
+}
+
+/// The validation problem: does `G ⊨ Σ`? Early-exits on the first
+/// violation.
+pub fn graph_satisfies(sigma: &GfdSet, g: &Graph) -> bool {
+    for gfd in sigma {
+        let mut violated = false;
+        for_each_violation(gfd, g, &MatchOptions::unrestricted(), &mut |_| {
+            violated = true;
+            Flow::Break
+        });
+        if violated {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gfd::Gfd;
+    use gfd_graph::{Value, Vocab};
+    use gfd_pattern::PatternBuilder;
+    use std::sync::Arc;
+
+    /// Builds G1 of Fig. 1 plus ϕ1 of Example 5 (flights with same id
+    /// must share destination).
+    fn flights_fixture() -> (Graph, GfdSet) {
+        let mut g = Graph::with_fresh_vocab();
+        let mut mk = |id: &str, from: &str, to: &str| {
+            let f = g.add_node_labeled("flight");
+            let idn = g.add_node_labeled("id");
+            let fr = g.add_node_labeled("city");
+            let tn = g.add_node_labeled("city");
+            let dp = g.add_node_labeled("time");
+            let ar = g.add_node_labeled("time");
+            g.add_edge_labeled(f, idn, "number");
+            g.add_edge_labeled(f, fr, "from");
+            g.add_edge_labeled(f, tn, "to");
+            g.add_edge_labeled(f, dp, "depart");
+            g.add_edge_labeled(f, ar, "arrive");
+            for (n, v) in [
+                (idn, id),
+                (fr, from),
+                (tn, to),
+                (dp, "14:50"),
+                (ar, "22:35"),
+            ] {
+                g.set_attr_named(n, "val", Value::str(v));
+            }
+        };
+        mk("DL1", "Paris", "NYC");
+        mk("DL1", "Paris", "Singapore");
+        let sigma = GfdSet::new(vec![phi1(g.vocab().clone())]);
+        (g, sigma)
+    }
+
+    /// ϕ1 = (Q1[x,…,y,…], x1.val = y1.val → x2.val = y2.val ∧ x3.val = y3.val).
+    fn phi1(vocab: Arc<Vocab>) -> Gfd {
+        let mut b = PatternBuilder::new(vocab.clone());
+        let mut sides = Vec::new();
+        for side in ["x", "y"] {
+            let hub = b.node(side, "flight");
+            let mut leaves = Vec::new();
+            for (i, (leaf, edge)) in [
+                ("id", "number"),
+                ("city", "from"),
+                ("city", "to"),
+                ("time", "depart"),
+                ("time", "arrive"),
+            ]
+            .iter()
+            .enumerate()
+            {
+                let v = b.node(&format!("{side}{}", i + 1), leaf);
+                b.edge(hub, v, edge);
+            }
+            let _ = hub;
+            for i in 1..=5 {
+                leaves.push(format!("{side}{i}"));
+            }
+            sides.push(leaves);
+        }
+        let q = b.build();
+        let val = vocab.intern("val");
+        let var = |n: &str| q.var_by_name(n).unwrap();
+        let dep = Dependency::new(
+            vec![Literal::var_eq(var("x1"), val, var("y1"), val)],
+            vec![
+                Literal::var_eq(var("x2"), val, var("y2"), val),
+                Literal::var_eq(var("x3"), val, var("y3"), val),
+            ],
+        );
+        Gfd::new("phi1-flight", q, dep)
+    }
+
+    #[test]
+    fn example6_g1_violates_phi1() {
+        let (g, sigma) = flights_fixture();
+        let vio = detect_violations(&sigma, &g);
+        // Both orderings (x↦flight1,y↦flight2) and the swap violate.
+        assert_eq!(vio.len(), 2);
+        assert!(!graph_satisfies(&sigma, &g));
+    }
+
+    #[test]
+    fn fixing_the_error_clears_violations() {
+        let (mut g, sigma) = flights_fixture();
+        // Make the second flight's destination NYC as well.
+        let val = g.vocab().lookup("val").unwrap();
+        let to_node = g
+            .nodes()
+            .find(|&n| g.attr(n, val) == Some(&Value::str("Singapore")))
+            .unwrap();
+        g.set_attr(to_node, val, Value::str("NYC"));
+        assert!(graph_satisfies(&sigma, &g));
+        assert!(detect_violations(&sigma, &g).is_empty());
+    }
+
+    #[test]
+    fn missing_attribute_in_x_is_trivial_satisfaction() {
+        let (mut g, sigma) = flights_fixture();
+        // Remove the id value from one flight: X no longer holds for
+        // any match, so ϕ1 is trivially satisfied.
+        let val = g.vocab().lookup("val").unwrap();
+        let id_node = g
+            .nodes()
+            .find(|&n| g.attr(n, val) == Some(&Value::str("DL1")))
+            .unwrap();
+        g.remove_attr(id_node, val);
+        assert!(graph_satisfies(&sigma, &g));
+    }
+
+    #[test]
+    fn missing_attribute_in_y_is_a_violation() {
+        // Example 6 logic: Y requires the attribute to exist.
+        let vocab = Vocab::shared();
+        let mut g = Graph::new(vocab.clone());
+        let n = g.add_node_labeled("item");
+        let _ = n;
+        let mut b = PatternBuilder::new(vocab.clone());
+        b.node("x", "item");
+        let q = b.build();
+        let a = vocab.intern("A");
+        // ∅ → x.A = x.A: forces attribute A to exist (§3, type info).
+        let gfd = Gfd::new(
+            "must-have-A",
+            q,
+            Dependency::always(vec![Literal::var_eq(
+                gfd_pattern::VarId(0),
+                a,
+                gfd_pattern::VarId(0),
+                a,
+            )]),
+        );
+        let sigma = GfdSet::new(vec![gfd]);
+        assert!(!graph_satisfies(&sigma, &g));
+        // Give it the attribute: satisfied.
+        let mut g2 = Graph::new(vocab);
+        let n2 = g2.add_node_labeled("item");
+        g2.set_attr_named(n2, "A", Value::Int(1));
+        assert!(graph_satisfies(&sigma, &g2));
+    }
+
+    #[test]
+    fn example6b_no_match_means_satisfied() {
+        // G3 ⊨ ϕ2: the single-capital country has no match of Q2.
+        let vocab = Vocab::shared();
+        let mut g = Graph::new(vocab.clone());
+        let country = g.add_node_labeled("country");
+        let city = g.add_node_labeled("city");
+        g.add_edge_labeled(country, city, "capital");
+        let mut b = PatternBuilder::new(vocab.clone());
+        let x = b.node("x", "country");
+        let y = b.node("y", "city");
+        let z = b.node("z", "city");
+        b.edge(x, y, "capital");
+        b.edge(x, z, "capital");
+        let q2 = b.build();
+        let val = vocab.intern("val");
+        let phi2 = Gfd::new(
+            "capital",
+            q2,
+            Dependency::always(vec![Literal::var_eq(y, val, z, val)]),
+        );
+        assert!(graph_satisfies(&GfdSet::new(vec![phi2]), &g));
+    }
+
+    #[test]
+    fn denial_style_gfd_flags_every_match() {
+        // GFD 1 of Fig. 7: ∅ → x.val = c ∧ y.val = d with c ≠ d chosen
+        // unsatisfiable: every match of the child/parent cycle violates.
+        let vocab = Vocab::shared();
+        let mut g = Graph::new(vocab.clone());
+        let p1 = g.add_node_labeled("person");
+        let p2 = g.add_node_labeled("person");
+        g.add_edge_labeled(p1, p2, "hasChild");
+        g.add_edge_labeled(p2, p1, "hasChild");
+        g.set_attr_named(p1, "val", Value::str("Alice"));
+        g.set_attr_named(p2, "val", Value::str("Bob"));
+
+        let mut b = PatternBuilder::new(vocab.clone());
+        let x = b.node("x", "person");
+        let y = b.node("y", "person");
+        b.edge(x, y, "hasChild");
+        b.edge(y, x, "hasChild");
+        let q10 = b.build();
+        let val = vocab.intern("val");
+        let gfd1 = Gfd::new(
+            "no-child-parent-cycle",
+            q10,
+            Dependency::always(vec![
+                Literal::const_eq(x, val, "__impossible_c"),
+                Literal::const_eq(y, val, "__impossible_d"),
+            ]),
+        );
+        let vio = detect_violations(&GfdSet::new(vec![gfd1]), &g);
+        assert_eq!(vio.len(), 2); // both orientations of the cycle
+    }
+
+    #[test]
+    fn budgeted_detection_reports_incompleteness() {
+        let (g, sigma) = flights_fixture();
+        let (vio, complete) = detect_violations_budgeted(
+            &sigma,
+            &g,
+            SearchBudget {
+                max_matches: Some(1),
+                max_steps: None,
+            },
+        );
+        assert!(vio.len() <= 1);
+        assert!(!complete);
+    }
+}

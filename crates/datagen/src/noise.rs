@@ -1,0 +1,225 @@
+//! Error injection (appendix, "Compared with Other Approaches").
+//!
+//! Following the paper (which follows the DBpedia quality study
+//! [50]), noise is injected into sampled entities with a given
+//! probability, in three kinds:
+//!
+//! * **attribute inconsistency** — change the value of some `x.A`;
+//! * **type inconsistency** — revise the type (label) of `x`;
+//! * **representational inconsistency** — given `x.A = x'.A` with `x`
+//!   and `x'` of the same type, revise one of the two values to a
+//!   different surface form.
+//!
+//! The report records the ground-truth dirty node set `Vio`, from
+//! which the Fig. 9 harness computes precision and recall.
+
+use gfd_graph::{Graph, NodeId, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Noise-injection parameters.
+#[derive(Clone, Debug)]
+pub struct NoiseConfig {
+    /// Per-entity corruption probability (paper: 2%).
+    pub rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig {
+            rate: 0.02,
+            seed: 0xD1127,
+        }
+    }
+}
+
+/// What was corrupted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NoiseKind {
+    /// `x.A` value changed.
+    Attribute,
+    /// Node label changed.
+    Type,
+    /// Surface form of a shared value changed on one of the sharers.
+    Representational,
+}
+
+/// Ground truth produced by [`inject_noise`].
+#[derive(Debug, Default)]
+pub struct NoiseReport {
+    /// Corrupted nodes with the kind of corruption.
+    pub corrupted: Vec<(NodeId, NoiseKind)>,
+}
+
+impl NoiseReport {
+    /// The dirty-entity set `Vio` as a sorted node list.
+    pub fn dirty_nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.corrupted.iter().map(|&(n, _)| n).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Number of injected errors.
+    pub fn len(&self) -> usize {
+        self.corrupted.len()
+    }
+
+    /// True when nothing was corrupted.
+    pub fn is_empty(&self) -> bool {
+        self.corrupted.is_empty()
+    }
+}
+
+/// Injects noise into `g`, returning the ground truth.
+pub fn inject_noise(g: &mut Graph, cfg: &NoiseConfig) -> NoiseReport {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut report = NoiseReport::default();
+    let nodes: Vec<NodeId> = g.nodes().collect();
+    // Collect label alphabet once for type noise.
+    let labels: Vec<_> = {
+        let mut ls: Vec<_> = nodes.iter().map(|&n| g.label(n)).collect();
+        ls.sort_unstable();
+        ls.dedup();
+        ls
+    };
+    // Value index for representational noise: (label, attr, value) pairs.
+    for &n in &nodes {
+        if !rng.gen_bool(cfg.rate) {
+            continue;
+        }
+        let kind = match rng.gen_range(0..3) {
+            0 => NoiseKind::Attribute,
+            1 => NoiseKind::Type,
+            _ => NoiseKind::Representational,
+        };
+        match kind {
+            NoiseKind::Attribute => {
+                let attrs: Vec<_> = g.attrs(n).iter().map(|(a, _)| a).collect();
+                if let Some(&a) = attrs.first() {
+                    let tag = report.corrupted.len();
+                    g.set_attr(n, a, Value::Str(format!("__noise_{tag}").into()));
+                    report.corrupted.push((n, NoiseKind::Attribute));
+                }
+            }
+            NoiseKind::Type => {
+                if labels.len() > 1 {
+                    let current = g.label(n);
+                    let mut pick = labels[rng.gen_range(0..labels.len())];
+                    if pick == current {
+                        pick = labels
+                            [(labels.iter().position(|&l| l == pick).unwrap() + 1) % labels.len()];
+                    }
+                    g.set_label(n, pick);
+                    report.corrupted.push((n, NoiseKind::Type));
+                }
+            }
+            NoiseKind::Representational => {
+                // Find a same-label sharer of some attribute value and
+                // perturb this node's copy (append a variant marker —
+                // same meaning, different surface form).
+                let attrs: Vec<_> = g.attrs(n).iter().map(|(a, v)| (a, v.clone())).collect();
+                let mut done = false;
+                for (a, v) in &attrs {
+                    let sharer = g
+                        .nodes_with_label(g.label(n))
+                        .iter()
+                        .any(|&m| m != n && g.attr(m, *a) == Some(v));
+                    if sharer {
+                        let variant = format!("{v}_repr");
+                        g.set_attr(n, *a, Value::Str(variant.into()));
+                        report.corrupted.push((n, NoiseKind::Representational));
+                        done = true;
+                        break;
+                    }
+                }
+                if !done {
+                    // No sharer: fall back to attribute noise.
+                    if let Some((a, _)) = attrs.first() {
+                        let tag = report.corrupted.len();
+                        g.set_attr(n, *a, Value::Str(format!("__noise_{tag}").into()));
+                        report.corrupted.push((n, NoiseKind::Attribute));
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reallife::{reallife_graph, RealLifeConfig, RealLifeKind};
+
+    fn graph() -> Graph {
+        reallife_graph(&RealLifeConfig {
+            scale: 0.1,
+            ..RealLifeConfig::new(RealLifeKind::Yago2)
+        })
+    }
+
+    #[test]
+    fn rate_controls_volume() {
+        let mut g = graph();
+        let n = g.node_count() as f64;
+        let report = inject_noise(
+            &mut g,
+            &NoiseConfig {
+                rate: 0.05,
+                seed: 1,
+            },
+        );
+        let frac = report.len() as f64 / n;
+        assert!(frac > 0.02 && frac < 0.09, "got fraction {frac}");
+    }
+
+    #[test]
+    fn zero_rate_is_noop() {
+        let mut g = graph();
+        let before = gfd_graph::io::to_text(&g);
+        let report = inject_noise(&mut g, &NoiseConfig { rate: 0.0, seed: 1 });
+        assert!(report.is_empty());
+        assert_eq!(gfd_graph::io::to_text(&g), before);
+    }
+
+    #[test]
+    fn corruption_changes_graph() {
+        let mut g = graph();
+        let before = gfd_graph::io::to_text(&g);
+        let report = inject_noise(
+            &mut g,
+            &NoiseConfig {
+                rate: 0.10,
+                seed: 2,
+            },
+        );
+        assert!(!report.is_empty());
+        assert_ne!(gfd_graph::io::to_text(&g), before);
+    }
+
+    #[test]
+    fn dirty_nodes_deduplicated_and_sorted() {
+        let mut g = graph();
+        let report = inject_noise(&mut g, &NoiseConfig { rate: 0.2, seed: 3 });
+        let dirty = report.dirty_nodes();
+        for w in dirty.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut g1 = graph();
+        let mut g2 = graph();
+        let cfg = NoiseConfig {
+            rate: 0.05,
+            seed: 9,
+        };
+        let r1 = inject_noise(&mut g1, &cfg);
+        let r2 = inject_noise(&mut g2, &cfg);
+        assert_eq!(r1.corrupted, r2.corrupted);
+    }
+}

@@ -1,0 +1,382 @@
+//! The property graph `G = (V, E, L, F_A)` of §2.
+//!
+//! * nodes carry an interned label and an [`AttrMap`];
+//! * edges are directed, labeled, and unique per `(src, dst, label)`
+//!   triple (parallel edges with distinct labels are allowed, as in
+//!   property graphs and RDF);
+//! * adjacency is kept both ways and sorted, so the matcher's hot
+//!   operation `has_edge(u, v, label)` is a binary search;
+//! * a label index maps each node label to its extent — the candidate
+//!   set `C(µ(z))` of workload estimation (§6.1).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::attrs::AttrMap;
+use crate::value::Value;
+use crate::vocab::{Sym, Vocab};
+
+/// Identifier of a node in a [`Graph`] (dense, 0-based).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node id as a vector index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A directed labeled edge `(src, dst, label)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Interned edge label.
+    pub label: Sym,
+}
+
+/// A directed property graph with labeled nodes/edges and node attributes.
+///
+/// ```
+/// use gfd_graph::{Graph, Value, Vocab};
+/// let vocab = Vocab::shared();
+/// let mut g = Graph::new(vocab.clone());
+/// let flight = g.add_node_labeled("flight");
+/// let id = g.add_node_labeled("id");
+/// g.add_edge_labeled(flight, id, "number");
+/// g.set_attr_named(id, "val", Value::str("DL1"));
+/// assert_eq!(g.node_count(), 2);
+/// assert_eq!(g.edge_count(), 1);
+/// ```
+pub struct Graph {
+    vocab: Arc<Vocab>,
+    labels: Vec<Sym>,
+    attrs: Vec<AttrMap>,
+    /// Outgoing adjacency per node, sorted by `(dst, label)`.
+    out: Vec<Vec<(NodeId, Sym)>>,
+    /// Incoming adjacency per node, sorted by `(src, label)`.
+    inn: Vec<Vec<(NodeId, Sym)>>,
+    label_index: HashMap<Sym, Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Creates an empty graph over the given vocabulary.
+    pub fn new(vocab: Arc<Vocab>) -> Self {
+        Graph {
+            vocab,
+            labels: Vec::new(),
+            attrs: Vec::new(),
+            out: Vec::new(),
+            inn: Vec::new(),
+            label_index: HashMap::new(),
+            edge_count: 0,
+        }
+    }
+
+    /// Creates an empty graph with a fresh private vocabulary.
+    pub fn with_fresh_vocab() -> Self {
+        Self::new(Vocab::shared())
+    }
+
+    /// The shared vocabulary of this graph.
+    pub fn vocab(&self) -> &Arc<Vocab> {
+        &self.vocab
+    }
+
+    // ------------------------------------------------------------------
+    // construction
+
+    /// Adds a node with the given (already interned) label.
+    pub fn add_node(&mut self, label: Sym) -> NodeId {
+        let id = NodeId(self.labels.len() as u32);
+        self.labels.push(label);
+        self.attrs.push(AttrMap::new());
+        self.out.push(Vec::new());
+        self.inn.push(Vec::new());
+        self.label_index.entry(label).or_default().push(id);
+        id
+    }
+
+    /// Adds a node, interning `label` first.
+    pub fn add_node_labeled(&mut self, label: &str) -> NodeId {
+        let sym = self.vocab.intern(label);
+        self.add_node(sym)
+    }
+
+    /// Adds the edge `(src, dst, label)`. Returns `false` (and leaves the
+    /// graph unchanged) if the identical edge already exists.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, label: Sym) -> bool {
+        let out = &mut self.out[src.index()];
+        match out.binary_search(&(dst, label)) {
+            Ok(_) => false,
+            Err(pos) => {
+                out.insert(pos, (dst, label));
+                let inn = &mut self.inn[dst.index()];
+                let ipos = inn.binary_search(&(src, label)).unwrap_err();
+                inn.insert(ipos, (src, label));
+                self.edge_count += 1;
+                true
+            }
+        }
+    }
+
+    /// Adds an edge, interning `label` first.
+    pub fn add_edge_labeled(&mut self, src: NodeId, dst: NodeId, label: &str) -> bool {
+        let sym = self.vocab.intern(label);
+        self.add_edge(src, dst, sym)
+    }
+
+    /// Sets attribute `attr = value` on `node`.
+    pub fn set_attr(&mut self, node: NodeId, attr: Sym, value: Value) {
+        self.attrs[node.index()].set(attr, value);
+    }
+
+    /// Sets an attribute, interning its name first.
+    pub fn set_attr_named(&mut self, node: NodeId, attr: &str, value: Value) {
+        let sym = self.vocab.intern(attr);
+        self.set_attr(node, sym, value);
+    }
+
+    /// Removes attribute `attr` from `node`, returning the old value.
+    pub fn remove_attr(&mut self, node: NodeId, attr: Sym) -> Option<Value> {
+        self.attrs[node.index()].remove(attr)
+    }
+
+    /// Relabels `node` (updating the label index) and returns the old
+    /// label. Used by noise injection ("type inconsistency") and graph
+    /// repair experiments.
+    pub fn set_label(&mut self, node: NodeId, label: Sym) -> Sym {
+        let old = self.labels[node.index()];
+        if old == label {
+            return old;
+        }
+        if let Some(extent) = self.label_index.get_mut(&old) {
+            extent.retain(|&n| n != node);
+        }
+        self.labels[node.index()] = label;
+        let extent = self.label_index.entry(label).or_default();
+        let pos = extent.partition_point(|&n| n < node);
+        extent.insert(pos, node);
+        old
+    }
+
+    // ------------------------------------------------------------------
+    // inspection
+
+    /// Number of nodes `|V|`.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of edges `|E|`.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// `|G| = |V| + |E|` — the size measure the paper uses for data
+    /// blocks (Example 11 counts "22 nodes and edges in total").
+    pub fn size(&self) -> usize {
+        self.node_count() + self.edge_count()
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.labels.len() as u32).map(NodeId)
+    }
+
+    /// The label of `node`.
+    pub fn label(&self, node: NodeId) -> Sym {
+        self.labels[node.index()]
+    }
+
+    /// The attribute tuple `F_A(node)`.
+    pub fn attrs(&self, node: NodeId) -> &AttrMap {
+        &self.attrs[node.index()]
+    }
+
+    /// The value of `node.attr`, if present.
+    pub fn attr(&self, node: NodeId, attr: Sym) -> Option<&Value> {
+        self.attrs[node.index()].get(attr)
+    }
+
+    /// Outgoing `(dst, label)` pairs of `node`, sorted.
+    pub fn out(&self, node: NodeId) -> &[(NodeId, Sym)] {
+        &self.out[node.index()]
+    }
+
+    /// Incoming `(src, label)` pairs of `node`, sorted.
+    pub fn inn(&self, node: NodeId) -> &[(NodeId, Sym)] {
+        &self.inn[node.index()]
+    }
+
+    /// Total degree (in + out) of `node`.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.out[node.index()].len() + self.inn[node.index()].len()
+    }
+
+    /// True if the edge `(src, dst, label)` exists.
+    pub fn has_edge(&self, src: NodeId, dst: NodeId, label: Sym) -> bool {
+        self.out[src.index()].binary_search(&(dst, label)).is_ok()
+    }
+
+    /// True if any edge `src → dst` exists, regardless of label.
+    pub fn has_edge_any(&self, src: NodeId, dst: NodeId) -> bool {
+        let out = &self.out[src.index()];
+        let start = out.partition_point(|&(d, _)| d < dst);
+        out.get(start).is_some_and(|&(d, _)| d == dst)
+    }
+
+    /// All edges `src → dst` (any label).
+    pub fn edges_between(&self, src: NodeId, dst: NodeId) -> impl Iterator<Item = Sym> + '_ {
+        let out = &self.out[src.index()];
+        let start = out.partition_point(|&(d, _)| d < dst);
+        out[start..]
+            .iter()
+            .take_while(move |&&(d, _)| d == dst)
+            .map(|&(_, l)| l)
+    }
+
+    /// Nodes carrying `label` — the candidate extent `C(µ(z))`.
+    pub fn nodes_with_label(&self, label: Sym) -> &[NodeId] {
+        self.label_index
+            .get(&label)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// All labels that occur on nodes, with their extents.
+    pub fn label_extents(&self) -> impl Iterator<Item = (Sym, &[NodeId])> + '_ {
+        self.label_index.iter().map(|(l, ns)| (*l, ns.as_slice()))
+    }
+
+    /// Undirected neighbors of `node` (out then in), with edge labels.
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = (NodeId, Sym)> + '_ {
+        self.out(node).iter().chain(self.inn(node).iter()).copied()
+    }
+
+    /// Iterates over all edges.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.out.iter().enumerate().flat_map(|(src, adj)| {
+            adj.iter().map(move |&(dst, label)| Edge {
+                src: NodeId(src as u32),
+                dst,
+                label,
+            })
+        })
+    }
+
+    /// Approximate serialized size of a node (label + attributes + its
+    /// incident edge slots), used by the communication cost model.
+    pub fn node_wire_size(&self, node: NodeId) -> usize {
+        8 + self.attrs[node.index()].wire_size() + 12 * self.out[node.index()].len()
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("nodes", &self.node_count())
+            .field("edges", &self.edge_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g3() -> (Graph, [NodeId; 3]) {
+        // Fig. 1's G3: a country with one capital (plus a stray city).
+        let mut g = Graph::with_fresh_vocab();
+        let country = g.add_node_labeled("country");
+        let canberra = g.add_node_labeled("city");
+        let melbourne = g.add_node_labeled("city");
+        g.add_edge_labeled(country, canberra, "capital");
+        g.set_attr_named(country, "val", Value::str("Australia"));
+        g.set_attr_named(canberra, "val", Value::str("Canberra"));
+        g.set_attr_named(melbourne, "val", Value::str("Melbourne"));
+        (g, [country, canberra, melbourne])
+    }
+
+    #[test]
+    fn basic_construction() {
+        let (g, [country, canberra, _]) = g3();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.size(), 4);
+        let capital = g.vocab().lookup("capital").unwrap();
+        assert!(g.has_edge(country, canberra, capital));
+        assert!(!g.has_edge(canberra, country, capital));
+        assert!(g.has_edge_any(country, canberra));
+    }
+
+    #[test]
+    fn duplicate_edges_rejected() {
+        let mut g = Graph::with_fresh_vocab();
+        let a = g.add_node_labeled("a");
+        let b = g.add_node_labeled("b");
+        assert!(g.add_edge_labeled(a, b, "e"));
+        assert!(!g.add_edge_labeled(a, b, "e"));
+        assert!(g.add_edge_labeled(a, b, "f")); // parallel edge, new label
+        assert_eq!(g.edge_count(), 2);
+        let labels: Vec<_> = g.edges_between(a, b).collect();
+        assert_eq!(labels.len(), 2);
+    }
+
+    #[test]
+    fn label_index_tracks_extents() {
+        let (g, [country, canberra, melbourne]) = g3();
+        let city = g.vocab().lookup("city").unwrap();
+        assert_eq!(g.nodes_with_label(city), &[canberra, melbourne]);
+        let cn = g.vocab().lookup("country").unwrap();
+        assert_eq!(g.nodes_with_label(cn), &[country]);
+        let missing = g.vocab().intern("starship");
+        assert!(g.nodes_with_label(missing).is_empty());
+    }
+
+    #[test]
+    fn adjacency_sorted_and_symmetric() {
+        let mut g = Graph::with_fresh_vocab();
+        let nodes: Vec<NodeId> = (0..5)
+            .map(|i| g.add_node_labeled(&format!("l{i}")))
+            .collect();
+        g.add_edge_labeled(nodes[0], nodes[3], "e");
+        g.add_edge_labeled(nodes[0], nodes[1], "e");
+        g.add_edge_labeled(nodes[0], nodes[2], "e");
+        let dsts: Vec<u32> = g.out(nodes[0]).iter().map(|(d, _)| d.0).collect();
+        assert_eq!(dsts, vec![1, 2, 3]);
+        for &(src, _) in g.inn(nodes[1]) {
+            assert!(g.out(src).iter().any(|&(d, _)| d == nodes[1]));
+        }
+    }
+
+    #[test]
+    fn attributes_read_back() {
+        let (g, [country, ..]) = g3();
+        let val = g.vocab().lookup("val").unwrap();
+        assert_eq!(g.attr(country, val), Some(&Value::str("Australia")));
+        let bogus = g.vocab().intern("bogus");
+        assert_eq!(g.attr(country, bogus), None);
+    }
+
+    #[test]
+    fn edges_iterator_complete() {
+        let (g, _) = g3();
+        let all: Vec<Edge> = g.edges().collect();
+        assert_eq!(all.len(), g.edge_count());
+    }
+}

@@ -1,0 +1,38 @@
+//! # gfd-graph — property-graph substrate for GFDs
+//!
+//! This crate implements the data model of Section 2 of *Functional
+//! Dependencies for Graphs* (Fan, Wu & Xu, SIGMOD 2016): directed graphs
+//! `G = (V, E, L, F_A)` with labeled nodes and edges and an attribute
+//! tuple `F_A(v)` per node, plus every graph-side facility the GFD
+//! algorithms of Sections 5–6 need:
+//!
+//! * interned labels and attribute names ([`Vocab`], [`Sym`]);
+//! * attribute values ([`Value`]) and per-node attribute maps ([`AttrMap`]);
+//! * the graph itself ([`Graph`]) with out/in adjacency and a label index;
+//! * `k`-hop neighborhoods and induced subgraphs — the data blocks
+//!   `G_z̄` of work units (module [`neighborhood`]);
+//! * fragmentations `(F_1, …, F_n)` with in-/out-border nodes for the
+//!   distributed setting of §6.2 (module [`fragment`]);
+//! * statistics used by workload estimation: label frequencies and
+//!   equi-depth histograms (module [`stats`]);
+//! * a plain-text interchange format and serde support (module [`io`]).
+//!
+//! The crate is self-contained (no graph library dependency); everything
+//! the paper's algorithms touch is implemented here from scratch.
+
+pub mod attrs;
+pub mod fragment;
+pub mod graph;
+pub mod io;
+pub mod neighborhood;
+pub mod stats;
+pub mod value;
+pub mod vocab;
+
+pub use attrs::AttrMap;
+pub use fragment::{FragmentId, Fragmentation, PartitionStrategy};
+pub use graph::{Edge, Graph, NodeId};
+pub use neighborhood::NodeSet;
+pub use stats::{EquiDepthHistogram, GraphStats};
+pub use value::Value;
+pub use vocab::{Sym, Vocab};

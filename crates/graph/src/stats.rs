@@ -1,0 +1,224 @@
+//! Graph statistics backing workload estimation (§6.1).
+//!
+//! `bPar` needs, per pivot variable `z`: (a) the frequency distribution
+//! of candidates `C(µ(z))` (nodes sharing `µ(z)`'s label) — served by
+//! [`GraphStats::label_frequency`]; and (b) an *m-balanced partition* of
+//! the candidates into value ranges so candidate enumeration can be
+//! spread over processors — served by [`EquiDepthHistogram`], the
+//! "precomputed equi-depth histogram" the paper cites.
+
+use std::collections::HashMap;
+
+use crate::graph::{Graph, NodeId};
+use crate::vocab::Sym;
+
+/// Precomputed summary statistics of a graph.
+#[derive(Clone, Debug, Default)]
+pub struct GraphStats {
+    label_freq: HashMap<Sym, usize>,
+    max_degree: usize,
+    avg_degree: f64,
+}
+
+impl GraphStats {
+    /// Scans `g` once and records label frequencies and degree stats.
+    pub fn compute(g: &Graph) -> Self {
+        let mut label_freq = HashMap::new();
+        let mut max_degree = 0usize;
+        let mut total_degree = 0usize;
+        for u in g.nodes() {
+            *label_freq.entry(g.label(u)).or_insert(0) += 1;
+            let d = g.degree(u);
+            max_degree = max_degree.max(d);
+            total_degree += d;
+        }
+        let avg_degree = if g.node_count() == 0 {
+            0.0
+        } else {
+            total_degree as f64 / g.node_count() as f64
+        };
+        GraphStats {
+            label_freq,
+            max_degree,
+            avg_degree,
+        }
+    }
+
+    /// Number of nodes labeled `label` — `|C(µ(z))|`.
+    pub fn label_frequency(&self, label: Sym) -> usize {
+        self.label_freq.get(&label).copied().unwrap_or(0)
+    }
+
+    /// Largest total degree in the graph.
+    pub fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+
+    /// Mean total degree.
+    pub fn avg_degree(&self) -> f64 {
+        self.avg_degree
+    }
+
+    /// Skew ratio as defined for Fig. 8: average size of the 10% smallest
+    /// `d`-hop neighborhoods over the 10% largest (smaller ⇒ more skewed).
+    pub fn skew_ratio(g: &Graph, d: usize, sample: usize) -> f64 {
+        let n = g.node_count();
+        if n == 0 {
+            return 1.0;
+        }
+        let step = (n / sample.max(1)).max(1);
+        let mut sizes: Vec<usize> = (0..n)
+            .step_by(step)
+            .map(|i| crate::neighborhood::khop_nodes(g, &[NodeId(i as u32)], d).len())
+            .collect();
+        sizes.sort_unstable();
+        let decile = (sizes.len() / 10).max(1);
+        let small: usize = sizes[..decile].iter().sum();
+        let large: usize = sizes[sizes.len() - decile..].iter().sum();
+        if large == 0 {
+            1.0
+        } else {
+            small as f64 / large as f64
+        }
+    }
+}
+
+/// An equi-depth histogram over `u64` keys: `m` buckets holding
+/// (approximately) the same number of samples each.
+///
+/// Used to derive the *m-balanced partition* `R_{µ(z)} = {r_1, …, r_m}`
+/// of candidate value ranges in workload estimation.
+#[derive(Clone, Debug)]
+pub struct EquiDepthHistogram {
+    /// Inclusive `(lo, hi)` bounds per bucket, ascending and disjoint.
+    buckets: Vec<(u64, u64)>,
+}
+
+impl EquiDepthHistogram {
+    /// Builds a histogram with (at most) `m` equal-count buckets.
+    ///
+    /// Fewer than `m` buckets are returned when there are fewer than `m`
+    /// distinct keys. Panics if `m == 0`.
+    pub fn build(mut keys: Vec<u64>, m: usize) -> Self {
+        assert!(m > 0, "histogram needs at least one bucket");
+        keys.sort_unstable();
+        let mut buckets = Vec::with_capacity(m);
+        if keys.is_empty() {
+            return EquiDepthHistogram { buckets };
+        }
+        let per = keys.len().div_ceil(m);
+        let mut i = 0usize;
+        while i < keys.len() {
+            let mut j = (i + per).min(keys.len());
+            // Extend the bucket so equal keys never straddle a boundary.
+            while j < keys.len() && keys[j] == keys[j - 1] {
+                j += 1;
+            }
+            buckets.push((keys[i], keys[j - 1]));
+            i = j;
+        }
+        EquiDepthHistogram { buckets }
+    }
+
+    /// The bucket ranges, ascending.
+    pub fn ranges(&self) -> &[(u64, u64)] {
+        &self.buckets
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// True when no samples were provided.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// The bucket index containing `key`, if any.
+    pub fn bucket_of(&self, key: u64) -> Option<usize> {
+        self.buckets
+            .iter()
+            .position(|&(lo, hi)| key >= lo && key <= hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    #[test]
+    fn label_frequencies() {
+        let mut g = Graph::with_fresh_vocab();
+        for _ in 0..3 {
+            g.add_node_labeled("flight");
+        }
+        g.add_node_labeled("city");
+        let stats = GraphStats::compute(&g);
+        let flight = g.vocab().lookup("flight").unwrap();
+        let city = g.vocab().lookup("city").unwrap();
+        assert_eq!(stats.label_frequency(flight), 3);
+        assert_eq!(stats.label_frequency(city), 1);
+        assert_eq!(stats.label_frequency(g.vocab().intern("nope")), 0);
+    }
+
+    #[test]
+    fn equi_depth_buckets_balanced() {
+        let keys: Vec<u64> = (0..100).collect();
+        let h = EquiDepthHistogram::build(keys, 4);
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.ranges()[0], (0, 24));
+        assert_eq!(h.ranges()[3], (75, 99));
+    }
+
+    #[test]
+    fn equi_depth_handles_duplicates() {
+        let keys = vec![5u64; 50];
+        let h = EquiDepthHistogram::build(keys, 4);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.ranges()[0], (5, 5));
+    }
+
+    #[test]
+    fn equi_depth_bucket_lookup() {
+        let h = EquiDepthHistogram::build((0..30).collect(), 3);
+        assert_eq!(h.bucket_of(0), Some(0));
+        assert_eq!(h.bucket_of(29), Some(2));
+        assert_eq!(h.bucket_of(999), None);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = EquiDepthHistogram::build(Vec::new(), 3);
+        assert!(h.is_empty());
+        assert_eq!(h.bucket_of(1), None);
+    }
+
+    #[test]
+    fn degree_stats() {
+        let mut g = Graph::with_fresh_vocab();
+        let a = g.add_node_labeled("a");
+        let b = g.add_node_labeled("b");
+        let c = g.add_node_labeled("c");
+        g.add_edge_labeled(a, b, "e");
+        g.add_edge_labeled(a, c, "e");
+        let stats = GraphStats::compute(&g);
+        assert_eq!(stats.max_degree(), 2);
+        assert!((stats.avg_degree() - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skew_ratio_of_uniform_graph_near_one() {
+        let mut g = Graph::with_fresh_vocab();
+        let ns: Vec<_> = (0..40).map(|_| g.add_node_labeled("v")).collect();
+        for i in 0..40 {
+            g.add_edge_labeled(ns[i], ns[(i + 1) % 40], "e");
+        }
+        let ratio = GraphStats::skew_ratio(&g, 2, 40);
+        assert!(
+            ratio > 0.9,
+            "uniform ring should have ratio ≈ 1, got {ratio}"
+        );
+    }
+}

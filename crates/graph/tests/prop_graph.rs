@@ -1,0 +1,111 @@
+//! Property-based tests for the graph substrate.
+
+use std::collections::HashSet;
+
+use gfd_graph::{
+    neighborhood::{induced_subgraph, khop_nodes},
+    EquiDepthHistogram, Fragmentation, Graph, NodeId, PartitionStrategy,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random graph with up to `n` nodes over `l` labels and a
+/// random edge list.
+fn arb_graph(n: usize, l: usize) -> impl Strategy<Value = Graph> {
+    let nodes = 1..=n;
+    nodes.prop_flat_map(move |count| {
+        let edges = proptest::collection::vec((0..count, 0..count, 0..l), 0..count * 3);
+        (Just(count), edges).prop_map(move |(count, edges)| {
+            let mut g = Graph::with_fresh_vocab();
+            let ids: Vec<NodeId> = (0..count)
+                .map(|i| g.add_node_labeled(&format!("l{}", i % l)))
+                .collect();
+            for (s, d, e) in edges {
+                g.add_edge_labeled(ids[s], ids[d], &format!("e{e}"));
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    /// Out- and in-adjacency describe the same edge set.
+    #[test]
+    fn adjacency_is_symmetric(g in arb_graph(24, 4)) {
+        let from_out: HashSet<(u32, u32, u32)> = g
+            .edges()
+            .map(|e| (e.src.0, e.dst.0, e.label.0))
+            .collect();
+        let mut from_in = HashSet::new();
+        for v in g.nodes() {
+            for &(u, l) in g.inn(v) {
+                from_in.insert((u.0, v.0, l.0));
+            }
+        }
+        prop_assert_eq!(from_out.len(), g.edge_count());
+        prop_assert_eq!(from_out, from_in);
+    }
+
+    /// k-hop neighborhoods grow monotonically with k and always contain
+    /// their seed.
+    #[test]
+    fn khop_monotone(g in arb_graph(20, 3), k in 0usize..4) {
+        for u in g.nodes() {
+            let small = khop_nodes(&g, &[u], k);
+            let large = khop_nodes(&g, &[u], k + 1);
+            prop_assert!(small.contains(u));
+            for x in small.iter() {
+                prop_assert!(large.contains(x));
+            }
+        }
+    }
+
+    /// Every fragmentation covers all nodes exactly once and all edges.
+    #[test]
+    fn fragmentation_covers(g in arb_graph(30, 3), n in 1usize..6) {
+        for strategy in [PartitionStrategy::Hash, PartitionStrategy::Contiguous, PartitionStrategy::BfsClustered] {
+            let frag = Fragmentation::partition(&g, n, strategy);
+            let total_nodes: usize = frag.fragments().map(|(_, f)| f.nodes.len()).sum();
+            let total_edges: usize = frag.fragments().map(|(_, f)| f.edge_count).sum();
+            prop_assert_eq!(total_nodes, g.node_count());
+            prop_assert_eq!(total_edges, g.edge_count());
+        }
+    }
+
+    /// Induced subgraphs keep exactly the internal edges.
+    #[test]
+    fn induced_subgraph_edge_count(g in arb_graph(16, 3), k in 0usize..3) {
+        if g.node_count() == 0 { return Ok(()); }
+        let seed = NodeId(0);
+        let set = khop_nodes(&g, &[seed], k);
+        let (sub, _) = induced_subgraph(&g, &set);
+        prop_assert_eq!(sub.node_count(), set.len());
+        prop_assert_eq!(sub.edge_count(), set.internal_edge_count(&g));
+    }
+
+    /// Equi-depth buckets cover every key and are ascending/disjoint.
+    #[test]
+    fn equi_depth_covers(keys in proptest::collection::vec(0u64..1000, 1..200), m in 1usize..10) {
+        let h = EquiDepthHistogram::build(keys.clone(), m);
+        for k in &keys {
+            prop_assert!(h.bucket_of(*k).is_some());
+        }
+        let ranges = h.ranges();
+        for w in ranges.windows(2) {
+            prop_assert!(w[0].1 < w[1].0, "buckets must be disjoint and ascending");
+        }
+    }
+
+    /// Text round trip preserves node/edge counts and labels.
+    #[test]
+    fn text_round_trip(g in arb_graph(12, 3)) {
+        let text = gfd_graph::io::to_text(&g);
+        let g2 = gfd_graph::io::from_text(&text, gfd_graph::Vocab::shared()).unwrap();
+        prop_assert_eq!(g2.node_count(), g.node_count());
+        prop_assert_eq!(g2.edge_count(), g.edge_count());
+        for u in g.nodes() {
+            let l1 = g.vocab().resolve(g.label(u));
+            let l2 = g2.vocab().resolve(g2.label(u));
+            prop_assert_eq!(l1.as_ref(), l2.as_ref());
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Top-level matching API over full (possibly disconnected) patterns.
+
+use gfd_graph::{Graph, NodeId};
+use gfd_pattern::{signature::decompose, Pattern, VarId};
+
+use crate::component::{ComponentSearch, StopReason};
+use crate::join::{join_components, ComponentMatches};
+use crate::types::{Flow, Match, MatchOptions};
+
+/// Outcome of a streaming enumeration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EnumOutcome {
+    /// All matches were visited.
+    Complete,
+    /// Stopped early: by callback, match cap, or step budget.
+    Stopped(StopReason),
+}
+
+/// Enumerates matches of `q` in `g`, calling `f` for each match
+/// `h(x̄)` (node images indexed by variable id). Respects restriction,
+/// pins and budget from `opts`.
+pub fn for_each_match(
+    q: &Pattern,
+    g: &Graph,
+    opts: &MatchOptions,
+    f: &mut dyn FnMut(&[NodeId]) -> Flow,
+) -> EnumOutcome {
+    debug_assert!(
+        std::sync::Arc::ptr_eq(q.vocab(), g.vocab()),
+        "pattern and graph must share a vocabulary"
+    );
+    if q.node_count() == 0 {
+        return EnumOutcome::Complete; // the empty pattern has no matches
+    }
+    let parts = decompose(q);
+    let step_cap = opts.budget.max_steps.unwrap_or(u64::MAX);
+    let mut steps_left = step_cap;
+
+    // Enumerate matches per component (mapping pins into local vars).
+    let mut components = Vec::with_capacity(parts.len());
+    for (cq, orig_vars) in &parts {
+        let mut search = ComponentSearch::new(cq, g).max_steps(steps_left);
+        if let Some(r) = &opts.restriction {
+            search = search.restrict(r);
+        }
+        for &(var, node) in &opts.pins {
+            if let Some(local) = orig_vars.iter().position(|&v| v == var) {
+                search = search.pin(VarId(local as u32), node);
+            }
+        }
+        let mut matches = Vec::new();
+        let reason = search.for_each(&mut |m| {
+            matches.push(m.to_vec());
+            Flow::Continue
+        });
+        steps_left = steps_left.saturating_sub(search.steps());
+        if reason == StopReason::BudgetExhausted {
+            return EnumOutcome::Stopped(StopReason::BudgetExhausted);
+        }
+        if matches.is_empty() {
+            return EnumOutcome::Complete; // no match of this component → none of Q
+        }
+        components.push(ComponentMatches {
+            vars: orig_vars.clone(),
+            matches,
+        });
+    }
+
+    // Join with global injectivity, honoring the match cap.
+    let mut emitted = 0usize;
+    let cap = opts.budget.max_matches.unwrap_or(usize::MAX);
+    let mut capped = false;
+    let complete = join_components(&components, q.node_count(), &mut |assignment| {
+        let flow = f(assignment);
+        emitted += 1;
+        if flow == Flow::Break {
+            return Flow::Break;
+        }
+        if emitted >= cap {
+            capped = true;
+            return Flow::Break;
+        }
+        Flow::Continue
+    });
+    if complete {
+        EnumOutcome::Complete
+    } else if capped {
+        EnumOutcome::Stopped(StopReason::BudgetExhausted)
+    } else {
+        EnumOutcome::Stopped(StopReason::CallbackBreak)
+    }
+}
+
+/// Collects all matches (subject to `opts.budget`).
+pub fn find_matches(q: &Pattern, g: &Graph, opts: &MatchOptions) -> Vec<Match> {
+    let mut out = Vec::new();
+    for_each_match(q, g, opts, &mut |m| {
+        out.push(Match(m.to_vec()));
+        Flow::Continue
+    });
+    out
+}
+
+/// Counts matches (subject to `opts.budget`).
+pub fn count_matches(q: &Pattern, g: &Graph, opts: &MatchOptions) -> usize {
+    let mut n = 0usize;
+    for_each_match(q, g, opts, &mut |_| {
+        n += 1;
+        Flow::Continue
+    });
+    n
+}
+
+/// True if at least one match exists.
+pub fn has_match(q: &Pattern, g: &Graph, opts: &MatchOptions) -> bool {
+    let mut found = false;
+    for_each_match(q, g, opts, &mut |_| {
+        found = true;
+        Flow::Break
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_graph::{Value, Vocab};
+    use gfd_pattern::PatternBuilder;
+
+    /// G1 of Fig. 1: two flight entities with equal ids but different
+    /// destinations.
+    fn flights() -> (Graph, [NodeId; 2]) {
+        let mut g = Graph::with_fresh_vocab();
+        let mut mk = |id: &str, from: &str, to: &str| {
+            let f = g.add_node_labeled("flight");
+            let idn = g.add_node_labeled("id");
+            let fr = g.add_node_labeled("city");
+            let tn = g.add_node_labeled("city");
+            let dp = g.add_node_labeled("time");
+            let ar = g.add_node_labeled("time");
+            g.add_edge_labeled(f, idn, "number");
+            g.add_edge_labeled(f, fr, "from");
+            g.add_edge_labeled(f, tn, "to");
+            g.add_edge_labeled(f, dp, "depart");
+            g.add_edge_labeled(f, ar, "arrive");
+            g.set_attr_named(idn, "val", Value::str(id));
+            g.set_attr_named(fr, "val", Value::str(from));
+            g.set_attr_named(tn, "val", Value::str(to));
+            g.set_attr_named(dp, "val", Value::str("14:50"));
+            g.set_attr_named(ar, "val", Value::str("22:35"));
+            f
+        };
+        let f1 = mk("DL1", "Paris", "NYC");
+        let f2 = mk("DL1", "Paris", "Singapore");
+        (g, [f1, f2])
+    }
+
+    /// Q1 of Fig. 2 (two disconnected flight stars).
+    fn q1(vocab: std::sync::Arc<Vocab>) -> Pattern {
+        let mut b = PatternBuilder::new(vocab);
+        for side in ["x", "y"] {
+            let hub = b.node(side, "flight");
+            for (i, (leaf, edge)) in [
+                ("id", "number"),
+                ("city", "from"),
+                ("city", "to"),
+                ("time", "depart"),
+                ("time", "arrive"),
+            ]
+            .iter()
+            .enumerate()
+            {
+                let v = b.node(&format!("{side}{}", i + 1), leaf);
+                b.edge(hub, v, edge);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn disconnected_pattern_matches_across_entities() {
+        let (g, [f1, f2]) = flights();
+        let q = q1(g.vocab().clone());
+        let x = q.var_by_name("x").unwrap();
+        let y = q.var_by_name("y").unwrap();
+        let ms = find_matches(&q, &g, &MatchOptions::unrestricted());
+        // x and y each range over the two flights, disjointly: 2 matches.
+        assert_eq!(ms.len(), 2);
+        for m in &ms {
+            assert_ne!(m.get(x), m.get(y));
+            assert!([f1, f2].contains(&m.get(x)));
+        }
+    }
+
+    #[test]
+    fn pinned_disconnected_pattern() {
+        let (g, [f1, f2]) = flights();
+        let q = q1(g.vocab().clone());
+        let x = q.var_by_name("x").unwrap();
+        let ms = find_matches(&q, &g, &MatchOptions::unrestricted().pin(x, f1));
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].get(x), f1);
+        assert_eq!(ms[0].get(q.var_by_name("y").unwrap()), f2);
+    }
+
+    #[test]
+    fn count_and_has_match_agree() {
+        let (g, _) = flights();
+        let q = q1(g.vocab().clone());
+        assert_eq!(count_matches(&q, &g, &MatchOptions::unrestricted()), 2);
+        assert!(has_match(&q, &g, &MatchOptions::unrestricted()));
+    }
+
+    #[test]
+    fn no_match_when_pattern_absent() {
+        // Q2 (country with two capitals) has no match in the flights graph.
+        let (g, _) = flights();
+        let mut b = PatternBuilder::new(g.vocab().clone());
+        let x = b.node("x", "country");
+        let y = b.node("y", "city");
+        let z = b.node("z", "city");
+        b.edge(x, y, "capital");
+        b.edge(x, z, "capital");
+        let q2 = b.build();
+        assert!(!has_match(&q2, &g, &MatchOptions::unrestricted()));
+        assert_eq!(count_matches(&q2, &g, &MatchOptions::unrestricted()), 0);
+    }
+
+    #[test]
+    fn match_cap_is_respected() {
+        let (g, _) = flights();
+        let mut b = PatternBuilder::new(g.vocab().clone());
+        b.wildcard_node("x");
+        let q = b.build();
+        let opts = MatchOptions::unrestricted().with_budget(crate::types::SearchBudget::matches(3));
+        let ms = find_matches(&q, &g, &opts);
+        assert_eq!(ms.len(), 3);
+    }
+
+    #[test]
+    fn single_node_pattern_matches_extent() {
+        let (g, _) = flights();
+        let mut b = PatternBuilder::new(g.vocab().clone());
+        b.node("x", "city");
+        let q = b.build();
+        assert_eq!(count_matches(&q, &g, &MatchOptions::unrestricted()), 4);
+    }
+}

@@ -1,0 +1,419 @@
+//! Backtracking search for matches of one *connected* pattern
+//! component in a data graph.
+//!
+//! The search is candidate-driven: after the first variable, every
+//! variable is expanded from the adjacency list of an already-matched
+//! pattern neighbor, so the search never scans the whole graph once it
+//! is anchored — this is what makes pivoted work-unit processing local
+//! (§5.2: matches are enumerated "by only accessing `G_z̄`").
+
+use gfd_graph::{Graph, NodeId, NodeSet};
+use gfd_pattern::{PatLabel, Pattern, VarId};
+
+use crate::types::Flow;
+
+/// True if `g` has an edge `u → v` admitted by the pattern label.
+#[inline]
+pub(crate) fn edge_ok(g: &Graph, u: NodeId, v: NodeId, label: PatLabel) -> bool {
+    match label {
+        PatLabel::Sym(s) => g.has_edge(u, v, s),
+        PatLabel::Wildcard => g.has_edge_any(u, v),
+    }
+}
+
+/// Connectivity-aware static variable order: pinned variables first,
+/// then always the unvisited variable with the most visited neighbors
+/// (ties: higher degree, then lower id).
+pub(crate) fn search_order(q: &Pattern, pinned: &[VarId]) -> Vec<VarId> {
+    let n = q.node_count();
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for &p in pinned {
+        if !visited[p.index()] {
+            visited[p.index()] = true;
+            order.push(p);
+        }
+    }
+    while order.len() < n {
+        let next = q
+            .vars()
+            .filter(|v| !visited[v.index()])
+            .max_by_key(|&v| {
+                let connected = q.neighbors(v).filter(|u| visited[u.index()]).count();
+                (connected, q.degree(v), std::cmp::Reverse(v.0))
+            })
+            .expect("unvisited variable exists");
+        visited[next.index()] = true;
+        order.push(next);
+    }
+    order
+}
+
+/// Single-component matcher.
+pub struct ComponentSearch<'a> {
+    q: &'a Pattern,
+    g: &'a Graph,
+    restriction: Option<&'a NodeSet>,
+    pins: Vec<(VarId, NodeId)>,
+    max_steps: u64,
+    steps: u64,
+}
+
+/// Why an enumeration stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The search space was exhausted: the enumeration is complete.
+    Exhausted,
+    /// The callback asked to stop.
+    CallbackBreak,
+    /// The step budget ran out: results may be incomplete.
+    BudgetExhausted,
+}
+
+impl<'a> ComponentSearch<'a> {
+    /// Creates a search for `q` (which must be connected) in `g`.
+    pub fn new(q: &'a Pattern, g: &'a Graph) -> Self {
+        ComponentSearch {
+            q,
+            g,
+            restriction: None,
+            pins: Vec::new(),
+            max_steps: u64::MAX,
+            steps: 0,
+        }
+    }
+
+    /// Restricts images to a node set (a data block).
+    pub fn restrict(mut self, set: &'a NodeSet) -> Self {
+        self.restriction = Some(set);
+        self
+    }
+
+    /// Pins `h(var) = node`.
+    pub fn pin(mut self, var: VarId, node: NodeId) -> Self {
+        self.pins.push((var, node));
+        self
+    }
+
+    /// Caps backtracking steps.
+    pub fn max_steps(mut self, n: u64) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    #[inline]
+    fn allowed(&self, node: NodeId) -> bool {
+        self.restriction.is_none_or(|r| r.contains(node))
+    }
+
+    /// Is `gv` a viable image for `sv`, given partial `assigned`?
+    fn compatible(&self, assigned: &[NodeId], sv: VarId, gv: NodeId) -> bool {
+        if !self.q.label(sv).admits(self.g.label(gv)) || !self.allowed(gv) {
+            return false;
+        }
+        if self.q.out(sv).len() > self.g.out(gv).len()
+            || self.q.inn(sv).len() > self.g.inn(gv).len()
+        {
+            return false;
+        }
+        // Injectivity within the component.
+        if assigned.contains(&gv) {
+            return false;
+        }
+        for &(t, l) in self.q.out(sv) {
+            if t == sv {
+                if !edge_ok(self.g, gv, gv, l) {
+                    return false;
+                }
+                continue;
+            }
+            let ta = assigned[t.index()];
+            if ta.0 != u32::MAX && !edge_ok(self.g, gv, ta, l) {
+                return false;
+            }
+        }
+        for &(s, l) in self.q.inn(sv) {
+            if s == sv {
+                continue;
+            }
+            let sa = assigned[s.index()];
+            if sa.0 != u32::MAX && !edge_ok(self.g, sa, gv, l) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Candidate pool for `sv`: from an assigned pattern neighbor's
+    /// adjacency when possible, else from the label extent, else from
+    /// the restriction, else all nodes.
+    fn candidates(&self, assigned: &[NodeId], sv: VarId) -> Vec<NodeId> {
+        // Prefer expansion from an assigned neighbor (smallest list).
+        let mut best: Option<Vec<NodeId>> = None;
+        let mut consider = |cands: Vec<NodeId>| {
+            if best.as_ref().is_none_or(|b| cands.len() < b.len()) {
+                best = Some(cands);
+            }
+        };
+        for &(t, l) in self.q.out(sv) {
+            let ta = assigned[t.index()];
+            if t != sv && ta.0 != u32::MAX {
+                let cands = self
+                    .g
+                    .inn(ta)
+                    .iter()
+                    .filter(|&&(_, el)| l.admits(el))
+                    .map(|&(u, _)| u)
+                    .collect();
+                consider(cands);
+            }
+        }
+        for &(s, l) in self.q.inn(sv) {
+            let sa = assigned[s.index()];
+            if s != sv && sa.0 != u32::MAX {
+                let cands = self
+                    .g
+                    .out(sa)
+                    .iter()
+                    .filter(|&&(_, el)| l.admits(el))
+                    .map(|&(u, _)| u)
+                    .collect();
+                consider(cands);
+            }
+        }
+        if let Some(mut cands) = best {
+            cands.sort_unstable();
+            cands.dedup();
+            return cands;
+        }
+        // Component start: label extent / restriction / everything.
+        match self.q.label(sv) {
+            PatLabel::Sym(s) => {
+                let extent = self.g.nodes_with_label(s);
+                match self.restriction {
+                    Some(r) if r.len() < extent.len() => {
+                        r.iter().filter(|&u| self.g.label(u) == s).collect()
+                    }
+                    _ => extent.to_vec(),
+                }
+            }
+            PatLabel::Wildcard => match self.restriction {
+                Some(r) => r.iter().collect(),
+                None => self.g.nodes().collect(),
+            },
+        }
+    }
+
+    fn run(
+        &mut self,
+        order: &[VarId],
+        depth: usize,
+        assigned: &mut Vec<NodeId>,
+        f: &mut dyn FnMut(&[NodeId]) -> Flow,
+    ) -> Result<(), StopReason> {
+        if depth == order.len() {
+            return match f(assigned) {
+                Flow::Continue => Ok(()),
+                Flow::Break => Err(StopReason::CallbackBreak),
+            };
+        }
+        let sv = order[depth];
+        if assigned[sv.index()].0 != u32::MAX {
+            // Pinned: validate in place (pin target must also satisfy
+            // injectivity against other pins, checked by caller).
+            let gv = assigned[sv.index()];
+            let saved = std::mem::replace(&mut assigned[sv.index()], NodeId(u32::MAX));
+            let ok = self.compatible(assigned, sv, gv);
+            assigned[sv.index()] = saved;
+            if ok {
+                return self.run(order, depth + 1, assigned, f);
+            }
+            return Ok(());
+        }
+        for gv in self.candidates(assigned, sv) {
+            self.steps += 1;
+            if self.steps > self.max_steps {
+                return Err(StopReason::BudgetExhausted);
+            }
+            if !self.compatible(assigned, sv, gv) {
+                continue;
+            }
+            assigned[sv.index()] = gv;
+            let r = self.run(order, depth + 1, assigned, f);
+            assigned[sv.index()] = NodeId(u32::MAX);
+            r?;
+        }
+        Ok(())
+    }
+
+    /// Enumerates matches, invoking `f` per match (images indexed by
+    /// this component's variable ids). Returns how the search ended.
+    pub fn for_each(&mut self, f: &mut dyn FnMut(&[NodeId]) -> Flow) -> StopReason {
+        let mut assigned = vec![NodeId(u32::MAX); self.q.node_count()];
+        // Reject pin pairs that collide (injectivity between pins).
+        let pins = self.pins.clone();
+        for (i, &(v1, n1)) in pins.iter().enumerate() {
+            for &(v2, n2) in &pins[i + 1..] {
+                if v1 != v2 && n1 == n2 {
+                    return StopReason::Exhausted;
+                }
+            }
+        }
+        for &(v, n) in &pins {
+            assigned[v.index()] = n;
+        }
+        let pinned: Vec<VarId> = pins.iter().map(|&(v, _)| v).collect();
+        let order = search_order(self.q, &pinned);
+        match self.run(&order, 0, &mut assigned, f) {
+            Ok(()) => StopReason::Exhausted,
+            Err(reason) => reason,
+        }
+    }
+
+    /// Collects all matches (component-local variable indexing).
+    pub fn collect_all(&mut self) -> Vec<Vec<NodeId>> {
+        let mut out = Vec::new();
+        self.for_each(&mut |m| {
+            out.push(m.to_vec());
+            Flow::Continue
+        });
+        out
+    }
+
+    /// Steps consumed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_pattern::PatternBuilder;
+
+    /// G2 of Fig. 1 (the fake-accounts graph), reduced: acct1 posts p5,
+    /// acct2 posts p6, both like p1 p2.
+    fn social() -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::with_fresh_vocab();
+        let a1 = g.add_node_labeled("account");
+        let a2 = g.add_node_labeled("account");
+        let p1 = g.add_node_labeled("blog");
+        let p2 = g.add_node_labeled("blog");
+        let p5 = g.add_node_labeled("blog");
+        let p6 = g.add_node_labeled("blog");
+        for a in [a1, a2] {
+            g.add_edge_labeled(a, p1, "like");
+            g.add_edge_labeled(a, p2, "like");
+        }
+        g.add_edge_labeled(a1, p5, "post");
+        g.add_edge_labeled(a2, p6, "post");
+        (g, vec![a1, a2, p1, p2, p5, p6])
+    }
+
+    #[test]
+    fn single_edge_pattern() {
+        let (g, ns) = social();
+        let mut b = PatternBuilder::new(g.vocab().clone());
+        let x = b.node("x", "account");
+        let y = b.node("y", "blog");
+        b.edge(x, y, "post");
+        let q = b.build();
+        let matches = ComponentSearch::new(&q, &g).collect_all();
+        assert_eq!(matches.len(), 2);
+        assert!(matches.contains(&vec![ns[0], ns[4]]));
+        assert!(matches.contains(&vec![ns[1], ns[5]]));
+    }
+
+    #[test]
+    fn pinned_search_is_local() {
+        let (g, ns) = social();
+        let mut b = PatternBuilder::new(g.vocab().clone());
+        let x = b.node("x", "account");
+        let y = b.node("y", "blog");
+        b.edge(x, y, "post");
+        let q = b.build();
+        let matches = ComponentSearch::new(&q, &g).pin(x, ns[1]).collect_all();
+        assert_eq!(matches, vec![vec![ns[1], ns[5]]]);
+        // Pin to a non-account node: no matches.
+        let matches = ComponentSearch::new(&q, &g).pin(x, ns[2]).collect_all();
+        assert!(matches.is_empty());
+    }
+
+    #[test]
+    fn injectivity_within_component() {
+        // Pattern: account likes two distinct blogs.
+        let (g, _) = social();
+        let mut b = PatternBuilder::new(g.vocab().clone());
+        let x = b.node("x", "account");
+        let y1 = b.node("y1", "blog");
+        let y2 = b.node("y2", "blog");
+        b.edge(x, y1, "like");
+        b.edge(x, y2, "like");
+        let q = b.build();
+        let matches = ComponentSearch::new(&q, &g).collect_all();
+        // Per account: ordered pairs (p1,p2) and (p2,p1) → 2 each.
+        assert_eq!(matches.len(), 4);
+        for m in &matches {
+            assert_ne!(m[1], m[2], "y1 and y2 must be distinct nodes");
+        }
+    }
+
+    #[test]
+    fn restriction_excludes_outside_nodes() {
+        let (g, ns) = social();
+        let mut b = PatternBuilder::new(g.vocab().clone());
+        let x = b.node("x", "account");
+        let y = b.node("y", "blog");
+        b.edge(x, y, "post");
+        let q = b.build();
+        let block = NodeSet::from_vec(vec![ns[0], ns[4]]);
+        let matches = ComponentSearch::new(&q, &g).restrict(&block).collect_all();
+        assert_eq!(matches, vec![vec![ns[0], ns[4]]]);
+    }
+
+    #[test]
+    fn wildcard_pattern_matches_all_edges() {
+        let (g, _) = social();
+        let mut b = PatternBuilder::new(g.vocab().clone());
+        let x = b.wildcard_node("x");
+        let y = b.wildcard_node("y");
+        b.wildcard_edge(x, y);
+        let q = b.build();
+        let matches = ComponentSearch::new(&q, &g).collect_all();
+        assert_eq!(matches.len(), g.edge_count());
+    }
+
+    #[test]
+    fn budget_stops_search() {
+        let (g, _) = social();
+        let mut b = PatternBuilder::new(g.vocab().clone());
+        let x = b.wildcard_node("x");
+        let y = b.wildcard_node("y");
+        b.wildcard_edge(x, y);
+        let q = b.build();
+        let mut search = ComponentSearch::new(&q, &g).max_steps(2);
+        let mut n = 0usize;
+        let reason = search.for_each(&mut |_| {
+            n += 1;
+            Flow::Continue
+        });
+        assert_eq!(reason, StopReason::BudgetExhausted);
+        assert!(n < g.edge_count());
+    }
+
+    #[test]
+    fn callback_break_stops_early() {
+        let (g, _) = social();
+        let mut b = PatternBuilder::new(g.vocab().clone());
+        b.node("x", "account");
+        let q = b.build();
+        let mut search = ComponentSearch::new(&q, &g);
+        let mut n = 0usize;
+        let reason = search.for_each(&mut |_| {
+            n += 1;
+            Flow::Break
+        });
+        assert_eq!(reason, StopReason::CallbackBreak);
+        assert_eq!(n, 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Joining per-component matches of a disconnected pattern.
+//!
+//! A match of `Q` with components `(Q_1, …, Q_k)` is a choice of one
+//! match per component whose images are pairwise node-disjoint (the
+//! paper's `h` is a bijection onto the match's subgraph, hence
+//! injective over all of `x̄`). The join enumerates the disjoint
+//! combinations in a streaming fashion, smallest component match-list
+//! first so dead ends are pruned early.
+
+use gfd_graph::NodeId;
+use gfd_pattern::VarId;
+
+use crate::types::Flow;
+
+/// Per-component enumeration input: the matches of component `i`
+/// (component-local variable order) and the original pattern variable
+/// of each local variable.
+pub struct ComponentMatches {
+    /// `vars[j]` is the original variable of local variable `j`.
+    pub vars: Vec<VarId>,
+    /// Each entry is one match, indexed by local variable.
+    pub matches: Vec<Vec<NodeId>>,
+}
+
+/// Streams every disjoint combination of component matches as a full
+/// assignment (indexed by original variable id, length `total_vars`).
+/// Stops early if `f` returns [`Flow::Break`]; returns `true` if the
+/// enumeration ran to completion.
+pub fn join_components(
+    components: &[ComponentMatches],
+    total_vars: usize,
+    f: &mut dyn FnMut(&[NodeId]) -> Flow,
+) -> bool {
+    if components.iter().any(|c| c.matches.is_empty()) {
+        return true; // no matches at all — trivially complete
+    }
+    // Order components by ascending match count for early pruning.
+    let mut order: Vec<usize> = (0..components.len()).collect();
+    order.sort_by_key(|&i| components[i].matches.len());
+
+    let mut assignment = vec![NodeId(u32::MAX); total_vars];
+    let mut used: Vec<NodeId> = Vec::new();
+    rec(components, &order, 0, &mut assignment, &mut used, f)
+}
+
+fn rec(
+    components: &[ComponentMatches],
+    order: &[usize],
+    depth: usize,
+    assignment: &mut Vec<NodeId>,
+    used: &mut Vec<NodeId>,
+    f: &mut dyn FnMut(&[NodeId]) -> Flow,
+) -> bool {
+    if depth == order.len() {
+        return f(assignment) == Flow::Continue;
+    }
+    let comp = &components[order[depth]];
+    'next_match: for m in &comp.matches {
+        // Disjointness against all previously placed components.
+        for &node in m {
+            if used.contains(&node) {
+                continue 'next_match;
+            }
+        }
+        for (j, &node) in m.iter().enumerate() {
+            assignment[comp.vars[j].index()] = node;
+            used.push(node);
+        }
+        let go_on = rec(components, order, depth + 1, assignment, used, f);
+        for &var in &comp.vars {
+            assignment[var.index()] = NodeId(u32::MAX);
+        }
+        used.truncate(used.len() - m.len());
+        if !go_on {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(components: &[ComponentMatches], total: usize) -> Vec<Vec<NodeId>> {
+        let mut out = Vec::new();
+        join_components(components, total, &mut |a| {
+            out.push(a.to_vec());
+            Flow::Continue
+        });
+        out
+    }
+
+    #[test]
+    fn two_singleton_components_disjoint_pairs() {
+        // Component A: var 0 over {n0, n1}; component B: var 1 over {n0, n1}.
+        let comps = vec![
+            ComponentMatches {
+                vars: vec![VarId(0)],
+                matches: vec![vec![NodeId(0)], vec![NodeId(1)]],
+            },
+            ComponentMatches {
+                vars: vec![VarId(1)],
+                matches: vec![vec![NodeId(0)], vec![NodeId(1)]],
+            },
+        ];
+        let out = collect(&comps, 2);
+        // 2×2 minus the 2 overlapping combinations.
+        assert_eq!(out.len(), 2);
+        for a in &out {
+            assert_ne!(a[0], a[1]);
+        }
+    }
+
+    #[test]
+    fn empty_component_short_circuits() {
+        let comps = vec![
+            ComponentMatches {
+                vars: vec![VarId(0)],
+                matches: vec![vec![NodeId(0)]],
+            },
+            ComponentMatches {
+                vars: vec![VarId(1)],
+                matches: vec![],
+            },
+        ];
+        assert!(collect(&comps, 2).is_empty());
+    }
+
+    #[test]
+    fn break_stops_enumeration() {
+        let comps = vec![ComponentMatches {
+            vars: vec![VarId(0)],
+            matches: vec![vec![NodeId(0)], vec![NodeId(1)], vec![NodeId(2)]],
+        }];
+        let mut n = 0;
+        let complete = join_components(&comps, 1, &mut |_| {
+            n += 1;
+            Flow::Break
+        });
+        assert!(!complete);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn assignment_indexed_by_original_vars() {
+        // Component over original vars (2, 0); another over (1,).
+        let comps = vec![
+            ComponentMatches {
+                vars: vec![VarId(2), VarId(0)],
+                matches: vec![vec![NodeId(10), NodeId(11)]],
+            },
+            ComponentMatches {
+                vars: vec![VarId(1)],
+                matches: vec![vec![NodeId(12)]],
+            },
+        ];
+        let out = collect(&comps, 3);
+        assert_eq!(out, vec![vec![NodeId(11), NodeId(12), NodeId(10)]]);
+    }
+}

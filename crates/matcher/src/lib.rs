@@ -1,0 +1,32 @@
+//! # gfd-match — graph pattern matching via subgraph isomorphism
+//!
+//! The matching machinery of *Functional Dependencies for Graphs*
+//! (Fan, Wu & Xu, SIGMOD 2016). A *match* of pattern `Q[x̄]` in graph
+//! `G` is an injective mapping `h : V_Q → V` such that node labels are
+//! admitted (wildcard matches anything) and every pattern edge maps to
+//! a graph edge with an admitted label — the paper's "subgraph of `G`
+//! isomorphic to `Q`" (§2), since the witnessing subgraph can always be
+//! taken edge-exact.
+//!
+//! Features the GFD algorithms rely on:
+//!
+//! * **disconnected patterns**: components are matched independently
+//!   and joined under global injectivity (`Q1`/`Q4` of Fig. 2 relate
+//!   entities that may be arbitrarily far apart);
+//! * **pivoted local matching**: fix `h(z) = v` for pivot `z` and
+//!   search only inside a data block `G_z̄` (work-unit processing,
+//!   §5.2/§6.1);
+//! * **streaming enumeration** with early termination — validation
+//!   often only needs the first violating match;
+//! * **graph simulation** (module [`simulation`]) — the polynomial
+//!   over-approximation `disVal` uses to estimate partial-match sizes
+//!   before shipping them (§6.2).
+
+pub mod api;
+pub mod component;
+pub mod join;
+pub mod simulation;
+pub mod types;
+
+pub use api::{count_matches, find_matches, for_each_match, has_match};
+pub use types::{Match, MatchOptions, SearchBudget};

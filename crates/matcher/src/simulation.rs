@@ -1,0 +1,230 @@
+//! Graph (dual) simulation.
+//!
+//! `disVal`'s *partial detection* scheme (§6.2) estimates the number of
+//! partial matches "via graph simulation from pattern `Q[x̄]` to `F_i`"
+//! before deciding whether to ship partial matches or data blocks.
+//! Dual simulation is the standard polynomial relaxation of subgraph
+//! isomorphism: a relation `sim ⊆ V_Q × V` such that `(v, u) ∈ sim`
+//! implies every pattern edge at `v` (both directions) can be followed
+//! from `u` to some simulated partner. Every subgraph-isomorphism match
+//! is contained in the simulation, so `|sim(v)|` upper-bounds the
+//! candidates of `v` — which also makes simulation a sound pruning
+//! filter for the exact matcher.
+
+use gfd_graph::{Graph, NodeId, NodeSet};
+use gfd_pattern::{PatLabel, Pattern, VarId};
+
+/// The simulation relation: per pattern variable, the set of data nodes
+/// simulating it (sorted).
+#[derive(Clone, Debug)]
+pub struct Simulation {
+    /// `sets[v] = sim(v)`, indexed by variable id.
+    pub sets: Vec<Vec<NodeId>>,
+}
+
+impl Simulation {
+    /// Candidate set of a variable.
+    pub fn of(&self, v: VarId) -> &[NodeId] {
+        &self.sets[v.index()]
+    }
+
+    /// True if some variable has an empty simulation set — then the
+    /// pattern has no match at all (in the searched scope).
+    pub fn is_empty_anywhere(&self) -> bool {
+        self.sets.iter().any(|s| s.is_empty())
+    }
+
+    /// Total size of the relation (the paper's partial-match size
+    /// estimate).
+    pub fn total_size(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+fn admits_any_edge(
+    g: &Graph,
+    from: NodeId,
+    label: PatLabel,
+    target_ok: impl Fn(NodeId) -> bool,
+) -> bool {
+    g.out(from)
+        .iter()
+        .any(|&(t, el)| label.admits(el) && target_ok(t))
+}
+
+fn admits_any_in_edge(
+    g: &Graph,
+    to: NodeId,
+    label: PatLabel,
+    source_ok: impl Fn(NodeId) -> bool,
+) -> bool {
+    g.inn(to)
+        .iter()
+        .any(|&(s, el)| label.admits(el) && source_ok(s))
+}
+
+/// Computes the maximal dual simulation of `q` in `g`, optionally
+/// restricted to a node set (fragment-local simulation).
+pub fn dual_simulation(q: &Pattern, g: &Graph, scope: Option<&NodeSet>) -> Simulation {
+    let nvars = q.node_count();
+    // membership[v] is a boolean map over data nodes for variable v.
+    let mut membership: Vec<Vec<bool>> = vec![vec![false; g.node_count()]; nvars];
+    for v in q.vars() {
+        match (q.label(v), scope) {
+            (PatLabel::Sym(s), _) => {
+                for &u in g.nodes_with_label(s) {
+                    if scope.is_none_or(|r| r.contains(u)) {
+                        membership[v.index()][u.index()] = true;
+                    }
+                }
+            }
+            (PatLabel::Wildcard, Some(r)) => {
+                for u in r.iter() {
+                    membership[v.index()][u.index()] = true;
+                }
+            }
+            (PatLabel::Wildcard, None) => {
+                membership[v.index()].iter_mut().for_each(|b| *b = true);
+            }
+        }
+    }
+
+    // Refine to fixpoint.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for v in q.vars() {
+            for ui in 0..g.node_count() {
+                if !membership[v.index()][ui] {
+                    continue;
+                }
+                let u = NodeId(ui as u32);
+                let ok = q.out(v).iter().all(|&(t, l)| {
+                    admits_any_edge(g, u, l, |cand| membership[t.index()][cand.index()])
+                }) && q.inn(v).iter().all(|&(s, l)| {
+                    admits_any_in_edge(g, u, l, |cand| membership[s.index()][cand.index()])
+                });
+                if !ok {
+                    membership[v.index()][ui] = false;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    let sets = membership
+        .into_iter()
+        .map(|bits| {
+            bits.iter()
+                .enumerate()
+                .filter(|(_, &b)| b)
+                .map(|(i, _)| NodeId(i as u32))
+                .collect()
+        })
+        .collect();
+    Simulation { sets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_pattern::PatternBuilder;
+
+    fn chain_graph() -> Graph {
+        // a1 -> b1 -> c1 ; a2 -> b2 (no c); c_orphan
+        let mut g = Graph::with_fresh_vocab();
+        let a1 = g.add_node_labeled("a");
+        let b1 = g.add_node_labeled("b");
+        let c1 = g.add_node_labeled("c");
+        let a2 = g.add_node_labeled("a");
+        let b2 = g.add_node_labeled("b");
+        g.add_node_labeled("c");
+        g.add_edge_labeled(a1, b1, "e");
+        g.add_edge_labeled(b1, c1, "e");
+        g.add_edge_labeled(a2, b2, "e");
+        g
+    }
+
+    fn chain_pattern(g: &Graph) -> Pattern {
+        let mut b = PatternBuilder::new(g.vocab().clone());
+        let x = b.node("x", "a");
+        let y = b.node("y", "b");
+        let z = b.node("z", "c");
+        b.edge(x, y, "e");
+        b.edge(y, z, "e");
+        b.build()
+    }
+
+    #[test]
+    fn simulation_prunes_dead_branches() {
+        let g = chain_graph();
+        let q = chain_pattern(&g);
+        let sim = dual_simulation(&q, &g, None);
+        // Only the a1->b1->c1 chain survives: a2/b2 lack the c
+        // continuation, orphan c lacks the incoming b.
+        assert_eq!(sim.of(VarId(0)), &[NodeId(0)]);
+        assert_eq!(sim.of(VarId(1)), &[NodeId(1)]);
+        assert_eq!(sim.of(VarId(2)), &[NodeId(2)]);
+        assert!(!sim.is_empty_anywhere());
+        assert_eq!(sim.total_size(), 3);
+    }
+
+    #[test]
+    fn simulation_superset_of_matches() {
+        let g = chain_graph();
+        let q = chain_pattern(&g);
+        let sim = dual_simulation(&q, &g, None);
+        let ms = crate::api::find_matches(&q, &g, &crate::types::MatchOptions::unrestricted());
+        for m in &ms {
+            for v in q.vars() {
+                assert!(sim.of(v).contains(&m.get(v)));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_simulation_means_no_match() {
+        let mut g = Graph::with_fresh_vocab();
+        g.add_node_labeled("a");
+        let mut b = PatternBuilder::new(g.vocab().clone());
+        let x = b.node("x", "a");
+        let y = b.node("y", "zzz");
+        b.edge(x, y, "e");
+        let q = b.build();
+        let sim = dual_simulation(&q, &g, None);
+        assert!(sim.is_empty_anywhere());
+        assert!(!crate::api::has_match(
+            &q,
+            &g,
+            &crate::types::MatchOptions::unrestricted()
+        ));
+    }
+
+    #[test]
+    fn scoped_simulation_restricts() {
+        let g = chain_graph();
+        let q = chain_pattern(&g);
+        // Scope excluding c1 kills the whole chain.
+        let scope = NodeSet::from_vec(vec![NodeId(0), NodeId(1), NodeId(3), NodeId(4)]);
+        let sim = dual_simulation(&q, &g, Some(&scope));
+        assert!(sim.is_empty_anywhere());
+    }
+
+    #[test]
+    fn wildcard_simulation_covers_everything_cycle() {
+        // A 3-cycle with wildcard pattern edge x->y: every node simulates.
+        let mut g = Graph::with_fresh_vocab();
+        let ns: Vec<_> = (0..3).map(|_| g.add_node_labeled("v")).collect();
+        for i in 0..3 {
+            g.add_edge_labeled(ns[i], ns[(i + 1) % 3], "e");
+        }
+        let mut b = PatternBuilder::new(g.vocab().clone());
+        let x = b.wildcard_node("x");
+        let y = b.wildcard_node("y");
+        b.wildcard_edge(x, y);
+        let q = b.build();
+        let sim = dual_simulation(&q, &g, None);
+        assert_eq!(sim.of(x).len(), 3);
+        assert_eq!(sim.of(y).len(), 3);
+    }
+}

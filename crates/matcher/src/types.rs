@@ -1,0 +1,126 @@
+//! Match representation and search options.
+
+use gfd_graph::{NodeId, NodeSet};
+use gfd_pattern::VarId;
+
+/// A match `h(x̄)`: one data node per pattern variable, indexed by
+/// variable id.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Match(pub Vec<NodeId>);
+
+impl Match {
+    /// The image `h(x)` of a variable.
+    #[inline]
+    pub fn get(&self, var: VarId) -> NodeId {
+        self.0[var.index()]
+    }
+
+    /// The images in variable order (the vector `h(x̄)` of the paper).
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.0
+    }
+}
+
+/// A cap on search effort, so that adversarial inputs cannot hang the
+/// sequential validator (the paper's `detVio` is exponential; Exp-1
+/// reports it failing to terminate).
+#[derive(Clone, Copy, Debug)]
+pub struct SearchBudget {
+    /// Stop after this many matches have been emitted.
+    pub max_matches: Option<usize>,
+    /// Stop after this many backtracking steps.
+    pub max_steps: Option<u64>,
+}
+
+impl SearchBudget {
+    /// No limits.
+    pub const UNLIMITED: SearchBudget = SearchBudget {
+        max_matches: None,
+        max_steps: None,
+    };
+
+    /// Limit on emitted matches only.
+    pub fn matches(n: usize) -> Self {
+        SearchBudget {
+            max_matches: Some(n),
+            max_steps: None,
+        }
+    }
+}
+
+impl Default for SearchBudget {
+    fn default() -> Self {
+        SearchBudget::UNLIMITED
+    }
+}
+
+/// Options steering a match enumeration.
+#[derive(Clone, Debug, Default)]
+pub struct MatchOptions {
+    /// If set, `h` may only use nodes inside this set (data-block /
+    /// fragment-local search).
+    pub restriction: Option<NodeSet>,
+    /// Pre-pinned assignments `h(var) = node` (pivot anchoring).
+    pub pins: Vec<(VarId, NodeId)>,
+    /// Effort cap.
+    pub budget: SearchBudget,
+}
+
+impl MatchOptions {
+    /// Unrestricted, unpinned, unlimited enumeration.
+    pub fn unrestricted() -> Self {
+        Self::default()
+    }
+
+    /// Search restricted to a data block.
+    pub fn within(set: NodeSet) -> Self {
+        MatchOptions {
+            restriction: Some(set),
+            ..Self::default()
+        }
+    }
+
+    /// Adds a pin `h(var) = node`.
+    pub fn pin(mut self, var: VarId, node: NodeId) -> Self {
+        self.pins.push((var, node));
+        self
+    }
+
+    /// Sets the budget.
+    pub fn with_budget(mut self, budget: SearchBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+/// Flow control for streaming enumeration callbacks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Flow {
+    /// Keep enumerating.
+    Continue,
+    /// Stop the whole search.
+    Break,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn match_accessors() {
+        let m = Match(vec![NodeId(5), NodeId(2)]);
+        assert_eq!(m.get(VarId(0)), NodeId(5));
+        assert_eq!(m.get(VarId(1)), NodeId(2));
+        assert_eq!(m.nodes().len(), 2);
+    }
+
+    #[test]
+    fn options_builders() {
+        let opts = MatchOptions::unrestricted()
+            .pin(VarId(0), NodeId(3))
+            .with_budget(SearchBudget::matches(10));
+        assert_eq!(opts.pins, vec![(VarId(0), NodeId(3))]);
+        assert_eq!(opts.budget.max_matches, Some(10));
+        assert!(opts.restriction.is_none());
+    }
+}

@@ -1,0 +1,139 @@
+//! The simulated cluster: virtual workers, virtual clocks, and a
+//! communication cost model.
+//!
+//! See the crate docs for why simulation: the paper's notion of
+//! parallel scalability is about `T(|Σ|, |G|, n) = c·t/n + …` — a
+//! *cost*, which we compute exactly from real measured unit execution
+//! times instead of pretending a 1-core container is a 20-machine
+//! cluster. Messages are charged `latency + bytes/bandwidth`, the
+//! standard α-β model; §6.2's `CC(w) = c_s · |M|` is the β term.
+
+/// Bandwidth/latency model for simulated messages.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Effective bandwidth in bytes per second (default 125 MB/s — a
+    /// 1 Gbps link, matching the paper's EC2-era interconnect).
+    pub bandwidth: f64,
+    /// Per-message latency in seconds (default 50 µs).
+    pub latency: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            bandwidth: 125.0e6,
+            latency: 50.0e-6,
+        }
+    }
+}
+
+impl CostModel {
+    /// Time to ship one message of `bytes` bytes.
+    pub fn message_time(&self, bytes: u64) -> f64 {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+}
+
+/// Per-worker virtual clocks: compute and communication are tracked
+/// separately (Fig. 5(j–l) plots communication time alone).
+#[derive(Clone, Debug)]
+pub struct SimClocks {
+    /// Busy seconds per worker (compute).
+    pub busy: Vec<f64>,
+    /// Communication seconds per worker.
+    pub comm: Vec<f64>,
+    /// Bytes shipped per worker.
+    pub bytes: Vec<u64>,
+    /// Messages per worker.
+    pub messages: Vec<u64>,
+}
+
+impl SimClocks {
+    /// Clocks for `n` workers, all at zero.
+    pub fn new(n: usize) -> Self {
+        SimClocks {
+            busy: vec![0.0; n],
+            comm: vec![0.0; n],
+            bytes: vec![0u64; n],
+            messages: vec![0u64; n],
+        }
+    }
+
+    /// Number of workers.
+    pub fn n(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// Charges `seconds` of compute to `worker`.
+    pub fn charge_compute(&mut self, worker: usize, seconds: f64) {
+        self.busy[worker] += seconds;
+    }
+
+    /// Charges a message of `bytes` to `worker` under `model`.
+    pub fn charge_message(&mut self, worker: usize, bytes: u64, model: &CostModel) {
+        self.comm[worker] += model.message_time(bytes);
+        self.bytes[worker] += bytes;
+        self.messages[worker] += 1;
+    }
+
+    /// The compute makespan `max_i busy_i`.
+    pub fn compute_makespan(&self) -> f64 {
+        self.busy.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The communication makespan (shipments proceed in parallel per
+    /// worker, matching §7's observation that communication time "is
+    /// not very sensitive to n due to parallel shipment").
+    pub fn comm_makespan(&self) -> f64 {
+        self.comm.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Total bytes over all workers.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Total messages over all workers.
+    pub fn total_messages(&self) -> u64 {
+        self.messages.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_model_linear_in_bytes() {
+        let m = CostModel {
+            bandwidth: 1000.0,
+            latency: 0.5,
+        };
+        assert!((m.message_time(0) - 0.5).abs() < 1e-12);
+        assert!((m.message_time(2000) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clocks_track_makespans() {
+        let mut c = SimClocks::new(3);
+        c.charge_compute(0, 1.0);
+        c.charge_compute(1, 2.5);
+        c.charge_compute(1, 0.5);
+        assert!((c.compute_makespan() - 3.0).abs() < 1e-12);
+        let model = CostModel {
+            bandwidth: 100.0,
+            latency: 0.0,
+        };
+        c.charge_message(2, 400, &model);
+        assert!((c.comm_makespan() - 4.0).abs() < 1e-12);
+        assert_eq!(c.total_bytes(), 400);
+        assert_eq!(c.total_messages(), 1);
+    }
+
+    #[test]
+    fn default_model_sane() {
+        let m = CostModel::default();
+        assert!(m.message_time(1_000_000) < 0.01, "1MB under 10ms at 1Gbps");
+        assert!(m.message_time(0) > 0.0, "latency is nonzero");
+    }
+}

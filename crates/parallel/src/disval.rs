@@ -1,0 +1,560 @@
+//! `disVal` — parallel error detection on a fragmented graph
+//! (§6.2, Theorem 11).
+//!
+//! `G` is partitioned into fragments `(F_1, …, F_n)`, one per worker,
+//! with border-node bookkeeping. Error detection becomes a
+//! *bi-criteria* problem: balance the workload **and** minimize the
+//! data shipped to assemble data blocks that straddle fragments.
+//!
+//! Procedure `disPar` estimates partial work units per fragment,
+//! assembles complete units at the coordinator, and assigns them with
+//! a greedy bi-criteria strategy (Prop. 13): process units in
+//! descending cost; among the workers whose projected load stays
+//! within a slack of the best, pick the one that needs the least data
+//! shipped. Procedure `dlocalVio` then evaluates each unit with one of
+//! two schemes, whichever is estimated cheaper (the appendix's
+//! *prefetching* vs *partial detection*):
+//!
+//! * **prefetch** — ship the unit's missing block nodes to the worker
+//!   (each node fetched at most once per worker, then cached);
+//! * **partial** — ship per-component partial matches instead, sized
+//!   by a fragment-local graph-simulation estimate.
+//!
+//! In this reproduction the cluster is simulated (see crate docs):
+//! enumeration always runs on the in-memory graph, while the bytes and
+//! seconds that a real deployment would spend shipping data are
+//! charged to the communication clocks — so violations are exact and
+//! the communication behaviour (Fig. 5(j–l)) is faithfully modeled.
+
+use std::collections::HashSet;
+
+use gfd_core::GfdSet;
+use gfd_graph::{Fragmentation, Graph, NodeId};
+
+use crate::balance::random_assign;
+use crate::cluster::{CostModel, SimClocks};
+use crate::metrics::ParallelReport;
+use crate::opt::{reduce_workload, split_large_units, SplitUnit};
+use crate::unitexec::{execute_unit, sort_violations, MatchCache, MultiQueryIndex};
+use crate::workload::{estimate_workload, plan_rules, PivotedRule, WorkloadOptions};
+use crate::Assignment;
+
+/// Configuration of a `disVal` run.
+#[derive(Clone, Debug)]
+pub struct DisValConfig {
+    /// Number of processors (must equal the fragmentation's `n`).
+    pub n: usize,
+    /// Assignment strategy: bi-criteria greedy, or random (`disran`).
+    pub assignment: Assignment,
+    /// Multi-query optimization.
+    pub multi_query: bool,
+    /// Workload reduction via implication.
+    pub reduce_workload: bool,
+    /// Per-unit evaluation-scheme selection (prefetch vs partial);
+    /// `false` (as in `disnop`) always prefetches.
+    pub scheme_choice: bool,
+    /// Replicate-and-split threshold for skewed blocks.
+    pub split_threshold: Option<u64>,
+    /// Load-balance slack of the bi-criteria greedy (fraction of the
+    /// current best load; 0.1 = 10%).
+    pub balance_slack: f64,
+    /// Message cost model.
+    pub cost_model: CostModel,
+    /// Workload-estimation knobs.
+    pub workload: WorkloadOptions,
+}
+
+impl DisValConfig {
+    /// The full algorithm (`disVal`).
+    pub fn val(n: usize) -> Self {
+        DisValConfig {
+            n,
+            assignment: Assignment::Balanced,
+            multi_query: true,
+            reduce_workload: false,
+            scheme_choice: true,
+            split_threshold: None,
+            balance_slack: 0.15,
+            cost_model: CostModel::default(),
+            workload: WorkloadOptions::default(),
+        }
+    }
+
+    /// `disnop`: optimizations off (no multi-query, no reduction, no
+    /// scheme choice, no splitting); bi-criteria assignment stays.
+    pub fn nop(n: usize) -> Self {
+        DisValConfig {
+            multi_query: false,
+            reduce_workload: false,
+            scheme_choice: false,
+            ..Self::val(n)
+        }
+    }
+
+    /// `disran`: random assignment (optimizations on).
+    pub fn ran(n: usize, seed: u64) -> Self {
+        DisValConfig {
+            assignment: Assignment::Random { seed },
+            ..Self::val(n)
+        }
+    }
+
+    /// Enables skew splitting with threshold `theta`.
+    pub fn with_split(mut self, theta: u64) -> Self {
+        self.split_threshold = Some(theta);
+        self
+    }
+}
+
+const REDUCTION_CAP: usize = 64;
+
+/// Bytes a worker must fetch to own a unit: the wire size of block
+/// nodes it neither owns nor has cached.
+fn prefetch_bytes(
+    g: &Graph,
+    unit_blocks: &[gfd_graph::NodeSet],
+    worker: usize,
+    frag: &Fragmentation,
+    cached: Option<&HashSet<NodeId>>,
+) -> u64 {
+    let mut seen = HashSet::new();
+    let mut bytes = 0u64;
+    for block in unit_blocks {
+        for node in block.iter() {
+            if frag.owner(node).index() == worker {
+                continue;
+            }
+            if cached.is_some_and(|c| c.contains(&node)) {
+                continue;
+            }
+            if seen.insert(node) {
+                bytes += g.node_wire_size(node) as u64;
+            }
+        }
+    }
+    bytes
+}
+
+/// Estimated bytes for shipping partial matches of a unit's
+/// components. The paper estimates partial-match sizes "via graph
+/// simulation"; we use the simulation's initialization stage —
+/// per-variable label-candidate counts within the block — which
+/// upper-bounds the refined simulation at `O(|block| · |vars|)` cost
+/// (running the full refinement per unit would dominate the
+/// coordinator; see `gfd_match::simulation` for the exact relation,
+/// which tests exercise).
+fn partial_match_bytes(g: &Graph, plans: &[PivotedRule], su: &SplitUnit) -> u64 {
+    let rule = &plans[su.unit.rule];
+    let mut bytes = 0u64;
+    for (i, comp) in rule.components.iter().enumerate() {
+        let block = &su.unit.blocks[i.min(su.unit.blocks.len() - 1)];
+        let mut rows = 0u64;
+        for v in comp.pattern.vars() {
+            let label = comp.pattern.label(v);
+            rows += block.iter().filter(|&n| label.admits(g.label(n))).count() as u64;
+        }
+        bytes += rows * 8 * comp.pattern.node_count().max(1) as u64;
+    }
+    bytes
+}
+
+/// Runs `disVal` on a fragmented graph.
+///
+/// # Panics
+/// Panics if `cfg.n != frag.n()`.
+pub fn dis_val(
+    sigma: &GfdSet,
+    g: &Graph,
+    frag: &Fragmentation,
+    cfg: &DisValConfig,
+) -> ParallelReport {
+    assert_eq!(cfg.n, frag.n(), "one fragment per processor");
+    let algo = match (cfg.assignment, cfg.multi_query || cfg.scheme_choice) {
+        (Assignment::Balanced, true) => "disVal",
+        (Assignment::Balanced, false) => "disnop",
+        (Assignment::Random { .. }, _) => "disran",
+    };
+
+    // (0) Optional workload reduction.
+    let (sigma_red, reduce_seconds) = if cfg.reduce_workload {
+        reduce_workload(sigma, REDUCTION_CAP)
+    } else {
+        (sigma.clone(), 0.0)
+    };
+
+    // (1) disPar: per-fragment estimation of partial units, assembled
+    // at the coordinator. The simulator computes the assembled units
+    // directly from the whole graph; the estimation work is charged as
+    // parallel (÷ n), and the partial-unit messages (one per unit and
+    // fragment touched) are charged to communication.
+    let plans = plan_rules(&sigma_red);
+    let wl = estimate_workload(&sigma_red, g, &cfg.workload);
+    let estimation_seconds = wl.estimation_seconds / cfg.n as f64;
+    let split = split_large_units(wl.units, cfg.split_threshold);
+
+    let mut clocks = SimClocks::new(cfg.n);
+    {
+        // Partial-unit descriptors flow from every fragment owning a
+        // pivot to the coordinator — batched into one message per
+        // fragment (M_i of disPar).
+        let mut desc_bytes = vec![0u64; cfg.n];
+        for su in &split {
+            if su.share != 0 {
+                continue;
+            }
+            let mut owners: Vec<usize> = su
+                .unit
+                .pivots
+                .iter()
+                .map(|&p| frag.owner(p).index())
+                .collect();
+            owners.sort_unstable();
+            owners.dedup();
+            for w in owners {
+                desc_bytes[w] += 24 + 8 * su.unit.pivots.len() as u64;
+            }
+        }
+        for (w, bytes) in desc_bytes.into_iter().enumerate() {
+            if bytes > 0 {
+                clocks.charge_message(w, bytes, &cfg.cost_model);
+            }
+        }
+    }
+
+    // (1c) Per-unit, per-fragment block byte sizes `|G^j_z̄|`. In a
+    // real deployment each fragment computes its local share during
+    // estimation and ships it inside the partial unit, so this work is
+    // parallel — charged to estimation (÷ n), not to the coordinator.
+    let t_sizes = std::time::Instant::now();
+    // One breakdown per *original* unit; split shares reuse it (their
+    // blocks are identical).
+    let unit_count = split.iter().map(|s| s.unit_index + 1).max().unwrap_or(0);
+    let mut per_unit_breakdown: Vec<Option<(u64, Vec<u64>)>> = vec![None; unit_count];
+    for su in &split {
+        if per_unit_breakdown[su.unit_index].is_some() {
+            continue;
+        }
+        let mut by_frag = vec![0u64; cfg.n];
+        let mut total = 0u64;
+        let mut seen = HashSet::new();
+        for block in &su.unit.blocks {
+            for node in block.iter() {
+                if !seen.insert(node) {
+                    continue;
+                }
+                let bytes = g.node_wire_size(node) as u64;
+                by_frag[frag.owner(node).index()] += bytes;
+                total += bytes;
+            }
+        }
+        per_unit_breakdown[su.unit_index] = Some((total, by_frag));
+    }
+    let byte_breakdown: Vec<&(u64, Vec<u64>)> = split
+        .iter()
+        .map(|su| {
+            per_unit_breakdown[su.unit_index]
+                .as_ref()
+                .expect("filled above")
+        })
+        .collect();
+    let estimation_seconds = estimation_seconds + t_sizes.elapsed().as_secs_f64() / cfg.n as f64;
+
+    // (2) Bi-criteria assignment (Prop. 13): descending cost; among
+    // load-feasible workers pick minimal shipment — per-worker
+    // shipment is `total − local`, O(1) per worker from the breakdown.
+    let t0 = std::time::Instant::now();
+    let assignment: Vec<usize> = match cfg.assignment {
+        Assignment::Random { seed } => random_assign(split.len(), cfg.n, seed),
+        Assignment::Balanced => {
+            // Units are scheduled in pivot groups when the multi-query
+            // cache is on (sub-pattern scheduling — see repVal), or
+            // individually otherwise; either way: descending cost,
+            // load-feasible workers, minimal shipment.
+            let mut groups: std::collections::HashMap<u64, (u64, Vec<usize>)> =
+                std::collections::HashMap::new();
+            for (i, su) in split.iter().enumerate() {
+                // Same-pivot units co-locate (cache reuse) but shares of
+                // one split unit must spread across workers.
+                let key = if cfg.multi_query {
+                    su.unit.pivots[0].0 as u64 | ((su.share as u64) << 32)
+                } else {
+                    i as u64
+                };
+                let e = groups.entry(key).or_default();
+                e.0 += su.cost();
+                e.1.push(i);
+            }
+            let mut group_list: Vec<(u64, Vec<usize>)> = groups.into_values().collect();
+            group_list.sort_by_key(|(c, members)| (std::cmp::Reverse(*c), members[0]));
+            let mut load = vec![0u64; cfg.n];
+            let mut out = vec![0usize; split.len()];
+            let mut group_by_frag = vec![0u64; cfg.n];
+            for (cost, members) in group_list {
+                // Aggregate the group's per-fragment bytes once, then
+                // per-worker shipment is O(1).
+                let mut group_total = 0u64;
+                group_by_frag.iter_mut().for_each(|b| *b = 0);
+                for &i in &members {
+                    let (total, by_frag) = &byte_breakdown[i];
+                    group_total += total;
+                    for (acc, b) in group_by_frag.iter_mut().zip(by_frag) {
+                        *acc += b;
+                    }
+                }
+                let min_load = *load.iter().min().expect("n > 0");
+                let slack = ((min_load as f64 * cfg.balance_slack) as u64).max(cost);
+                let mut best: Option<(u64, usize)> = None;
+                for w in 0..cfg.n {
+                    if load[w] > min_load + slack {
+                        continue;
+                    }
+                    let ship = group_total - group_by_frag[w];
+                    if best.is_none_or(|(b, bw)| (ship, w) < (b, bw)) {
+                        best = Some((ship, w));
+                    }
+                }
+                let (_, w) = best.expect("at least the min-load worker is feasible");
+                load[w] += cost;
+                for i in members {
+                    out[i] = w;
+                }
+            }
+            out
+        }
+    };
+    let partition_seconds = t0.elapsed().as_secs_f64();
+
+    // (3) dlocalVio at each worker, with per-worker node caches.
+    let mqi = cfg.multi_query.then(|| MultiQueryIndex::build(&plans));
+    let mut violations = Vec::new();
+    let mut cache_hits = 0u64;
+    // Pass 1 — execute primary shares (per-worker loops so both the
+    // multi-query cache and the per-worker node cache behave like real
+    // local caches) and record the measured time per unit.
+    let mut unit_elapsed: Vec<f64> =
+        vec![0.0; split.iter().map(|s| s.unit_index + 1).max().unwrap_or(0)];
+    for worker in 0..cfg.n {
+        let mut node_cache: HashSet<NodeId> = HashSet::new();
+        let mut match_cache = MatchCache::new();
+        // Shipment is batched per worker: prefetches stream from peer
+        // fragments (bulk, nodes deduplicated by the cache), partial
+        // matches are pipelined, violations return to the coordinator
+        // once — so latency is paid per category, bytes per node/row.
+        let mut fetch_bytes = 0u64;
+        let mut partial_bytes = 0u64;
+        let mut violation_bytes = 0u64;
+        for (i, su) in split.iter().enumerate() {
+            if assignment[i] != worker {
+                continue;
+            }
+            if su.of > 1 {
+                // Replicated split shares ship partial matches rather
+                // than data blocks (appendix, replicate-and-split).
+                partial_bytes += su.cost() * 8;
+            } else if cfg.scheme_choice {
+                // Scheme selection: prefetch vs partial-match shipping.
+                let pre = prefetch_bytes(g, &su.unit.blocks, worker, frag, Some(&node_cache));
+                let part = partial_match_bytes(g, &plans, su);
+                if part < pre {
+                    partial_bytes += part;
+                } else {
+                    for block in &su.unit.blocks {
+                        for node in block.iter() {
+                            if frag.owner(node).index() != worker {
+                                node_cache.insert(node);
+                            }
+                        }
+                    }
+                    fetch_bytes += pre;
+                }
+            } else {
+                let pre = prefetch_bytes(g, &su.unit.blocks, worker, frag, Some(&node_cache));
+                for block in &su.unit.blocks {
+                    for node in block.iter() {
+                        if frag.owner(node).index() != worker {
+                            node_cache.insert(node);
+                        }
+                    }
+                }
+                fetch_bytes += pre;
+            }
+            if su.share == 0 {
+                let before = violations.len();
+                let t = std::time::Instant::now();
+                execute_unit(
+                    g,
+                    &sigma_red,
+                    &plans,
+                    &su.unit,
+                    mqi.as_ref(),
+                    &mut match_cache,
+                    &mut violations,
+                );
+                unit_elapsed[su.unit_index] = t.elapsed().as_secs_f64();
+                let found = (violations.len() - before) as u64;
+                violation_bytes += found * 8 * su.unit.pivots.len().max(1) as u64;
+            }
+        }
+        for bytes in [fetch_bytes, partial_bytes, violation_bytes] {
+            if bytes > 0 {
+                clocks.charge_message(worker, bytes, &cfg.cost_model);
+            }
+        }
+        cache_hits += match_cache.hits;
+    }
+    // Pass 2 — every share carries 1/of of its unit's measured time.
+    for (i, su) in split.iter().enumerate() {
+        clocks.charge_compute(assignment[i], unit_elapsed[su.unit_index] / su.of as f64);
+    }
+
+    sort_violations(&mut violations);
+    ParallelReport::from_clocks(
+        algo,
+        cfg.n,
+        violations,
+        &clocks,
+        reduce_seconds,
+        estimation_seconds,
+        partition_seconds,
+        split.len(),
+        cache_hits,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_core::validate::detect_violations;
+    use gfd_core::{Dependency, Gfd, Literal};
+    use gfd_graph::{PartitionStrategy, Value, Vocab};
+    use gfd_pattern::PatternBuilder;
+    use std::sync::Arc;
+
+    fn flights(n: usize, dup: usize) -> Graph {
+        let mut g = Graph::with_fresh_vocab();
+        for i in 0..n {
+            let f = g.add_node_labeled("flight");
+            let id = g.add_node_labeled("id");
+            let to = g.add_node_labeled("city");
+            g.add_edge_labeled(f, id, "number");
+            g.add_edge_labeled(f, to, "to");
+            let idv = if i < dup {
+                "DUP".into()
+            } else {
+                format!("FL{i}")
+            };
+            g.set_attr_named(id, "val", Value::str(&idv));
+            g.set_attr_named(to, "val", Value::str(&format!("City{i}")));
+        }
+        g
+    }
+
+    fn phi(vocab: Arc<Vocab>) -> Gfd {
+        let mut b = PatternBuilder::new(vocab.clone());
+        let x = b.node("x", "flight");
+        let x1 = b.node("x1", "id");
+        let x2 = b.node("x2", "city");
+        b.edge(x, x1, "number");
+        b.edge(x, x2, "to");
+        let y = b.node("y", "flight");
+        let y1 = b.node("y1", "id");
+        let y2 = b.node("y2", "city");
+        b.edge(y, y1, "number");
+        b.edge(y, y2, "to");
+        let q = b.build();
+        let val = vocab.intern("val");
+        Gfd::new(
+            "flight-dest",
+            q,
+            Dependency::new(
+                vec![Literal::var_eq(x1, val, y1, val)],
+                vec![Literal::var_eq(x2, val, y2, val)],
+            ),
+        )
+    }
+
+    #[test]
+    fn disval_matches_sequential_detvio() {
+        let g = flights(9, 3);
+        let sigma = GfdSet::new(vec![phi(g.vocab().clone())]);
+        let mut expected = detect_violations(&sigma, &g);
+        crate::unitexec::sort_violations(&mut expected);
+        for n in [1usize, 3] {
+            let frag = Fragmentation::partition(&g, n, PartitionStrategy::Contiguous);
+            for cfg in [
+                DisValConfig::val(n),
+                DisValConfig::nop(n),
+                DisValConfig::ran(n, 5),
+            ] {
+                let report = dis_val(&sigma, &g, &frag, &cfg);
+                assert_eq!(report.violations, expected, "{} n={n}", report.algo);
+            }
+        }
+    }
+
+    #[test]
+    fn communication_is_tracked() {
+        let g = flights(12, 4);
+        let sigma = GfdSet::new(vec![phi(g.vocab().clone())]);
+        // Hash partitioning maximizes cross-fragment blocks.
+        let frag = Fragmentation::partition(&g, 3, PartitionStrategy::Hash);
+        let report = dis_val(&sigma, &g, &frag, &DisValConfig::val(3));
+        assert!(
+            report.bytes_shipped > 0,
+            "cross-fragment blocks must ship data"
+        );
+        assert!(report.comm_seconds > 0.0);
+    }
+
+    #[test]
+    fn bicriteria_ships_less_than_random() {
+        let g = flights(24, 6);
+        let sigma = GfdSet::new(vec![phi(g.vocab().clone())]);
+        let frag = Fragmentation::partition(&g, 4, PartitionStrategy::BfsClustered);
+        let val = dis_val(&sigma, &g, &frag, &DisValConfig::val(4));
+        let ran = dis_val(&sigma, &g, &frag, &DisValConfig::ran(4, 11));
+        assert_eq!(val.violations, ran.violations);
+        assert!(
+            val.bytes_shipped <= ran.bytes_shipped,
+            "bi-criteria ({}) should not ship more than random ({})",
+            val.bytes_shipped,
+            ran.bytes_shipped
+        );
+    }
+
+    #[test]
+    fn scheme_choice_never_ships_more() {
+        let g = flights(16, 5);
+        let sigma = GfdSet::new(vec![phi(g.vocab().clone())]);
+        let frag = Fragmentation::partition(&g, 4, PartitionStrategy::Hash);
+        let with = dis_val(&sigma, &g, &frag, &DisValConfig::val(4));
+        let without = dis_val(
+            &sigma,
+            &g,
+            &frag,
+            &DisValConfig {
+                scheme_choice: false,
+                ..DisValConfig::val(4)
+            },
+        );
+        assert_eq!(with.violations, without.violations);
+        assert!(with.bytes_shipped <= without.bytes_shipped);
+    }
+
+    #[test]
+    fn single_fragment_ships_nothing_for_blocks() {
+        let g = flights(8, 2);
+        let sigma = GfdSet::new(vec![phi(g.vocab().clone())]);
+        let frag = Fragmentation::partition(&g, 1, PartitionStrategy::Contiguous);
+        let report = dis_val(&sigma, &g, &frag, &DisValConfig::nop(1));
+        // Only descriptor/violation messages, no block fetches: with a
+        // single fragment every node is local. Descriptors are ≤ 64
+        // bytes per unit; violations ≤ 16 bytes each.
+        let overhead = report.units as u64 * 64 + report.violations.len() as u64 * 16;
+        assert!(
+            report.bytes_shipped <= overhead,
+            "{} > {overhead}",
+            report.bytes_shipped
+        );
+    }
+}

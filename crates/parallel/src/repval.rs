@@ -1,0 +1,326 @@
+//! `repVal` — parallel error detection with a replicated graph
+//! (§6.1, Fig. 4, Theorem 10).
+//!
+//! The graph is available at every processor, so the only problem is
+//! **workload balancing**: estimate `W(Σ, G)` (procedure `bPar`),
+//! partition it 2-approximately over the `n` workers, run `localVio`
+//! per worker, and union the local violation sets at the coordinator.
+//!
+//! Communication is limited to shipping work-unit descriptors out and
+//! violations back — which is why `repVal` beats `disVal` on wall
+//! clock at the price of replicating `G` (§7, Exp-1 observation (3)).
+
+use gfd_core::GfdSet;
+use gfd_graph::Graph;
+
+use crate::balance::assign;
+use crate::cluster::{CostModel, SimClocks};
+use crate::metrics::ParallelReport;
+use crate::opt::{reduce_workload, split_large_units};
+use crate::unitexec::{execute_unit, sort_violations, MatchCache, MultiQueryIndex};
+use crate::workload::{estimate_workload, plan_rules, WorkloadOptions};
+use crate::Assignment;
+
+/// Configuration of a `repVal` run.
+#[derive(Clone, Debug)]
+pub struct RepValConfig {
+    /// Number of virtual processors.
+    pub n: usize,
+    /// Unit-assignment strategy (LPT or random).
+    pub assignment: Assignment,
+    /// Multi-query optimization (common sub-pattern caching).
+    pub multi_query: bool,
+    /// Workload reduction via implication. **Semantics note**: dropping
+    /// an implied rule preserves whether inconsistencies are detected
+    /// (`Vio = ∅` is unchanged), but the reported violation set lists
+    /// only the surviving rules — so this is off by default and
+    /// exercised by the ablation benchmarks.
+    pub reduce_workload: bool,
+    /// Replicate-and-split threshold for skewed blocks.
+    pub split_threshold: Option<u64>,
+    /// Message cost model.
+    pub cost_model: CostModel,
+    /// Workload-estimation knobs.
+    pub workload: WorkloadOptions,
+}
+
+impl RepValConfig {
+    /// The full algorithm (`repVal` in the figures).
+    pub fn val(n: usize) -> Self {
+        RepValConfig {
+            n,
+            assignment: Assignment::Balanced,
+            multi_query: true,
+            reduce_workload: false,
+            split_threshold: None,
+            cost_model: CostModel::default(),
+            workload: WorkloadOptions::default(),
+        }
+    }
+
+    /// `repnop`: no optimization strategies (multi-query processing,
+    /// workload reduction, skew splitting) — balancing still on.
+    pub fn nop(n: usize) -> Self {
+        RepValConfig {
+            multi_query: false,
+            reduce_workload: false,
+            ..Self::val(n)
+        }
+    }
+
+    /// `repran`: random work-unit assignment (optimizations on).
+    pub fn ran(n: usize, seed: u64) -> Self {
+        RepValConfig {
+            assignment: Assignment::Random { seed },
+            ..Self::val(n)
+        }
+    }
+
+    /// Enables skew splitting with threshold `theta`.
+    pub fn with_split(mut self, theta: u64) -> Self {
+        self.split_threshold = Some(theta);
+        self
+    }
+}
+
+/// Size cap for the implication-based reduction (reasoning on larger
+/// rule sets would eat into detection time).
+const REDUCTION_CAP: usize = 64;
+
+/// Runs `repVal` and reports violations plus simulated timings.
+pub fn rep_val(sigma: &GfdSet, g: &Graph, cfg: &RepValConfig) -> ParallelReport {
+    assert!(cfg.n > 0, "need at least one processor");
+    let algo = match (cfg.assignment, cfg.multi_query || cfg.reduce_workload) {
+        (Assignment::Balanced, true) => "repVal",
+        (Assignment::Balanced, false) => "repnop",
+        (Assignment::Random { .. }, _) => "repran",
+    };
+
+    // (0) Optional workload reduction at the coordinator.
+    let (sigma_red, reduce_seconds) = if cfg.reduce_workload {
+        reduce_workload(sigma, REDUCTION_CAP)
+    } else {
+        (sigma.clone(), 0.0)
+    };
+
+    // (1) bPar: estimate W(Σ, G) — parallelized, so charge /n.
+    let plans = plan_rules(&sigma_red);
+    let wl = estimate_workload(&sigma_red, g, &cfg.workload);
+    let estimation_seconds = wl.estimation_seconds / cfg.n as f64;
+
+    // (1b) Skew handling.
+    let split = split_large_units(wl.units, cfg.split_threshold);
+
+    // (2) Partition the workload. With multi-query on, the balanced
+    // strategy schedules pivot groups (sub-pattern scheduling) so that
+    // units sharing cached enumerations land on one worker.
+    let t0 = std::time::Instant::now();
+    let costs: Vec<u64> = split.iter().map(|s| s.cost()).collect();
+    let assignment = match (cfg.assignment, cfg.multi_query) {
+        (Assignment::Balanced, true) => {
+            // Group by (pivot, share): same-pivot units co-locate for
+            // cache reuse, but shares of one split unit must spread
+            // across workers — that is the whole point of splitting.
+            let keys: Vec<u64> = split
+                .iter()
+                .map(|s| s.unit.pivots[0].0 as u64 | ((s.share as u64) << 32))
+                .collect();
+            crate::balance::lpt_assign_grouped(&costs, &keys, cfg.n)
+        }
+        _ => assign(cfg.assignment, &costs, cfg.n),
+    };
+    let partition_seconds = t0.elapsed().as_secs_f64();
+
+    // (3) localVio at each worker. Execution order is per worker so the
+    // per-worker multi-query cache behaves like a real local cache.
+    let mut clocks = SimClocks::new(cfg.n);
+    let mqi = cfg.multi_query.then(|| MultiQueryIndex::build(&plans));
+    let mut violations = Vec::new();
+    let mut cache_hits = 0u64;
+    // Pass 1 — execute the primary share of every unit at its owner
+    // (per-worker loop so the multi-query cache behaves like a real
+    // local cache) and record the measured enumeration time per unit.
+    let mut unit_elapsed: Vec<f64> =
+        vec![0.0; split.iter().map(|s| s.unit_index + 1).max().unwrap_or(0)];
+    for worker in 0..cfg.n {
+        let mut cache = MatchCache::new();
+        // Messages are batched per worker: one shipment of unit
+        // descriptors in (W_i(Σ, G), Fig. 4 line 2), one of violations
+        // out (line 4), one of partial matches for split shares.
+        let mut descriptor_bytes = 0u64;
+        let mut violation_bytes = 0u64;
+        let mut partial_bytes = 0u64;
+        for (i, su) in split.iter().enumerate() {
+            if assignment[i] != worker {
+                continue;
+            }
+            descriptor_bytes += 16 + 8 * su.unit.pivots.len() as u64;
+            if su.share == 0 {
+                let before = violations.len();
+                let t = std::time::Instant::now();
+                execute_unit(
+                    g,
+                    &sigma_red,
+                    &plans,
+                    &su.unit,
+                    mqi.as_ref(),
+                    &mut cache,
+                    &mut violations,
+                );
+                unit_elapsed[su.unit_index] = t.elapsed().as_secs_f64();
+                let found = (violations.len() - before) as u64;
+                violation_bytes += found * 8 * su.unit.pivots.len().max(1) as u64;
+            }
+            if su.of > 1 {
+                // Split shares ship partial matches instead of blocks
+                // (appendix, replicate-and-split).
+                partial_bytes += su.cost() * 8;
+            }
+        }
+        if descriptor_bytes > 0 {
+            clocks.charge_message(worker, descriptor_bytes, &cfg.cost_model);
+        }
+        if violation_bytes > 0 {
+            clocks.charge_message(worker, violation_bytes, &cfg.cost_model);
+        }
+        if partial_bytes > 0 {
+            clocks.charge_message(worker, partial_bytes, &cfg.cost_model);
+        }
+        cache_hits += cache.hits;
+    }
+    // Pass 2 — every share (primary included) carries 1/of of the
+    // unit's measured enumeration time: splitting spreads a skewed
+    // unit's work across processors.
+    for (i, su) in split.iter().enumerate() {
+        clocks.charge_compute(assignment[i], unit_elapsed[su.unit_index] / su.of as f64);
+    }
+
+    sort_violations(&mut violations);
+    ParallelReport::from_clocks(
+        algo,
+        cfg.n,
+        violations,
+        &clocks,
+        reduce_seconds,
+        estimation_seconds,
+        partition_seconds,
+        split.len(),
+        cache_hits,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_core::validate::detect_violations;
+    use gfd_core::{Dependency, Gfd, Literal};
+    use gfd_graph::{Value, Vocab};
+    use gfd_pattern::PatternBuilder;
+    use std::sync::Arc;
+
+    fn flights(n: usize, dup: usize) -> Graph {
+        let mut g = Graph::with_fresh_vocab();
+        for i in 0..n {
+            let f = g.add_node_labeled("flight");
+            let id = g.add_node_labeled("id");
+            let to = g.add_node_labeled("city");
+            g.add_edge_labeled(f, id, "number");
+            g.add_edge_labeled(f, to, "to");
+            let idv = if i < dup {
+                "DUP".into()
+            } else {
+                format!("FL{i}")
+            };
+            g.set_attr_named(id, "val", Value::str(&idv));
+            g.set_attr_named(to, "val", Value::str(&format!("City{i}")));
+        }
+        g
+    }
+
+    fn phi(vocab: Arc<Vocab>) -> Gfd {
+        let mut b = PatternBuilder::new(vocab.clone());
+        let x = b.node("x", "flight");
+        let x1 = b.node("x1", "id");
+        let x2 = b.node("x2", "city");
+        b.edge(x, x1, "number");
+        b.edge(x, x2, "to");
+        let y = b.node("y", "flight");
+        let y1 = b.node("y1", "id");
+        let y2 = b.node("y2", "city");
+        b.edge(y, y1, "number");
+        b.edge(y, y2, "to");
+        let q = b.build();
+        let val = vocab.intern("val");
+        Gfd::new(
+            "flight-dest",
+            q,
+            Dependency::new(
+                vec![Literal::var_eq(x1, val, y1, val)],
+                vec![Literal::var_eq(x2, val, y2, val)],
+            ),
+        )
+    }
+
+    #[test]
+    fn repval_matches_sequential_detvio() {
+        let g = flights(8, 3);
+        let sigma = GfdSet::new(vec![phi(g.vocab().clone())]);
+        let mut expected = detect_violations(&sigma, &g);
+        crate::unitexec::sort_violations(&mut expected);
+        for cfg in [
+            RepValConfig::val(4),
+            RepValConfig::nop(4),
+            RepValConfig::ran(4, 7),
+            RepValConfig::val(1),
+        ] {
+            let report = rep_val(&sigma, &g, &cfg);
+            assert_eq!(report.violations, expected, "config {:?}", cfg.assignment);
+        }
+    }
+
+    #[test]
+    fn balanced_beats_random_makespan() {
+        let g = flights(24, 6);
+        let sigma = GfdSet::new(vec![phi(g.vocab().clone())]);
+        let val = rep_val(&sigma, &g, &RepValConfig::val(4));
+        let ran = rep_val(&sigma, &g, &RepValConfig::ran(4, 99));
+        // Same violations either way.
+        assert_eq!(val.violations.len(), ran.violations.len());
+        // LPT's imbalance should not exceed random's by more than noise.
+        assert!(val.imbalance() <= ran.imbalance() * 1.5 + 0.5);
+    }
+
+    #[test]
+    fn multi_query_reports_hits() {
+        let g = flights(10, 2);
+        let sigma = GfdSet::new(vec![phi(g.vocab().clone())]);
+        let with = rep_val(&sigma, &g, &RepValConfig::val(2));
+        let without = rep_val(&sigma, &g, &RepValConfig::nop(2));
+        assert!(with.cache_hits > 0);
+        assert_eq!(without.cache_hits, 0);
+        assert_eq!(with.violations, without.violations);
+    }
+
+    #[test]
+    fn split_preserves_violations() {
+        let g = flights(10, 4);
+        let sigma = GfdSet::new(vec![phi(g.vocab().clone())]);
+        let plain = rep_val(&sigma, &g, &RepValConfig::val(3));
+        let split = rep_val(&sigma, &g, &RepValConfig::val(3).with_split(4));
+        assert_eq!(plain.violations, split.violations);
+        assert!(split.units > plain.units, "splitting adds shares");
+    }
+
+    #[test]
+    fn report_fields_populated() {
+        let g = flights(6, 2);
+        let sigma = GfdSet::new(vec![phi(g.vocab().clone())]);
+        let r = rep_val(&sigma, &g, &RepValConfig::val(2));
+        assert_eq!(r.algo, "repVal");
+        assert_eq!(r.n, 2);
+        assert!(r.units > 0);
+        assert!(r.total_seconds() > 0.0);
+        assert!(r.bytes_shipped > 0, "unit descriptors count as traffic");
+        assert_eq!(r.per_worker_busy.len(), 2);
+    }
+}

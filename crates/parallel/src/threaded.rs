@@ -1,0 +1,118 @@
+//! Real-thread execution of work units.
+//!
+//! The simulated cluster (crate docs) is what the benchmarks report,
+//! but the work-unit machinery is genuinely parallel-safe: this module
+//! runs units across OS threads with rayon, with a per-thread
+//! multi-query cache, and is used by the test suite to verify that
+//! concurrent execution produces exactly the sequential violations.
+
+use gfd_core::{GfdSet, Violation};
+use gfd_graph::Graph;
+use rayon::prelude::*;
+
+use crate::unitexec::{execute_unit, sort_violations, MatchCache, MultiQueryIndex};
+use crate::workload::{PivotedRule, WorkUnit};
+
+/// Executes all units across `threads` OS threads, returning the
+/// canonical (sorted) violation list.
+pub fn run_units_threaded(
+    g: &Graph,
+    sigma: &GfdSet,
+    plans: &[PivotedRule],
+    units: &[WorkUnit],
+    threads: usize,
+) -> Vec<Violation> {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads.max(1))
+        .build()
+        .expect("thread pool");
+    let mqi = MultiQueryIndex::build(plans);
+    let mut violations: Vec<Violation> = pool.install(|| {
+        units
+            .par_iter()
+            .map_init(MatchCache::new, |cache, unit| {
+                let mut out = Vec::new();
+                execute_unit(g, sigma, plans, unit, Some(&mqi), cache, &mut out);
+                out
+            })
+            .flatten()
+            .collect()
+    });
+    sort_violations(&mut violations);
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{estimate_workload, plan_rules, WorkloadOptions};
+    use gfd_core::validate::detect_violations;
+    use gfd_core::{Dependency, Gfd, Literal};
+    use gfd_graph::{Value, Vocab};
+    use gfd_pattern::PatternBuilder;
+    use std::sync::Arc;
+
+    fn social(n: usize) -> Graph {
+        let mut g = Graph::with_fresh_vocab();
+        let blogs: Vec<_> = (0..n)
+            .map(|i| {
+                let b = g.add_node_labeled("blog");
+                g.set_attr_named(
+                    b,
+                    "keyword",
+                    Value::str(if i % 3 == 0 { "spam" } else { "ok" }),
+                );
+                b
+            })
+            .collect();
+        for i in 0..n {
+            let a = g.add_node_labeled("account");
+            g.set_attr_named(a, "is_fake", Value::Bool(i % 4 == 0));
+            g.add_edge_labeled(a, blogs[i], "post");
+            g.add_edge_labeled(a, blogs[(i + 1) % n], "like");
+        }
+        g
+    }
+
+    fn spam_rule(vocab: Arc<Vocab>) -> Gfd {
+        let mut b = PatternBuilder::new(vocab.clone());
+        let x = b.node("x", "account");
+        let y = b.node("y", "blog");
+        b.edge(x, y, "post");
+        let q = b.build();
+        let keyword = vocab.intern("keyword");
+        let is_fake = vocab.intern("is_fake");
+        Gfd::new(
+            "spam-poster-is-fake",
+            q,
+            Dependency::new(
+                vec![Literal::const_eq(y, keyword, "spam")],
+                vec![Literal::const_eq(x, is_fake, true)],
+            ),
+        )
+    }
+
+    #[test]
+    fn threaded_equals_sequential() {
+        let g = social(18);
+        let sigma = GfdSet::new(vec![spam_rule(g.vocab().clone())]);
+        let mut expected = detect_violations(&sigma, &g);
+        sort_violations(&mut expected);
+
+        let plans = plan_rules(&sigma);
+        let wl = estimate_workload(&sigma, &g, &WorkloadOptions::default());
+        for threads in [1usize, 2, 4] {
+            let got = run_units_threaded(&g, &sigma, &plans, &wl.units, threads);
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_units_empty_result() {
+        let g = social(4);
+        let sigma = GfdSet::default();
+        let plans = plan_rules(&sigma);
+        let got = run_units_threaded(&g, &sigma, &plans, &[], 2);
+        assert!(got.is_empty());
+    }
+}

@@ -1,0 +1,358 @@
+//! Executing a work unit: local error detection (`localVio`, §6.1).
+//!
+//! For a unit `⟨v̄_z, G_z̄⟩` of rule `ϕ`, enumerate matches `h(x̄)` of
+//! `ϕ`'s pattern that include `v̄_z` — pinned per component at the
+//! pivot candidate and restricted to the candidate's data block — and
+//! record every match with `h ⊨ X`, `h ⊭ Y`.
+//!
+//! When a unit stems from the symmetric-pair dedup (Example 10), both
+//! pivot orientations are checked here, so the deduplication never
+//! loses violations.
+//!
+//! The *multi-query* optimization (appendix, following [31]) caches
+//! per-(component-isomorphism-class, pivot) match lists: rules mined
+//! from shared frequent features share components, and the cache lets
+//! all of them reuse one enumeration.
+
+use std::collections::HashMap;
+
+use gfd_core::validate::match_satisfies;
+use gfd_core::{GfdSet, Violation};
+use gfd_graph::{Graph, NodeId, NodeSet};
+use gfd_match::component::ComponentSearch;
+use gfd_match::join::{join_components, ComponentMatches};
+use gfd_match::types::Flow;
+use gfd_match::Match;
+use gfd_pattern::{embeddings, signature::pattern_signature, VarId};
+
+use crate::workload::{PivotedRule, WorkUnit};
+
+/// Cross-rule index of isomorphic components for the multi-query
+/// optimization.
+#[derive(Debug)]
+pub struct MultiQueryIndex {
+    /// `class_and_map[rule][comp] = (class id, comp-var → rep-var map)`.
+    class_and_map: Vec<Vec<(usize, Vec<VarId>)>>,
+    /// Representative `(rule, comp)` per class id.
+    reps: Vec<(usize, usize)>,
+}
+
+impl MultiQueryIndex {
+    /// Groups all components of all rules into isomorphism classes.
+    pub fn build(plans: &[PivotedRule]) -> Self {
+        let mut class_and_map: Vec<Vec<(usize, Vec<VarId>)>> = Vec::with_capacity(plans.len());
+        let mut reps: Vec<(usize, usize)> = Vec::new();
+        let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (ri, rule) in plans.iter().enumerate() {
+            let mut per_comp = Vec::with_capacity(rule.components.len());
+            for (ci, comp) in rule.components.iter().enumerate() {
+                let sig = pattern_signature(&comp.pattern);
+                let mut found: Option<(usize, Vec<VarId>)> = None;
+                for &class in buckets.get(&sig).into_iter().flatten() {
+                    let (rr, rc) = reps[class];
+                    let rep = &plans[rr].components[rc].pattern;
+                    if let Some(map) = embeddings(&comp.pattern, rep).into_iter().next() {
+                        if rep.node_count() == comp.pattern.node_count()
+                            && rep.edge_count() == comp.pattern.edge_count()
+                        {
+                            found = Some((class, map));
+                            break;
+                        }
+                    }
+                }
+                let entry = match found {
+                    Some(cm) => cm,
+                    None => {
+                        let class = reps.len();
+                        reps.push((ri, ci));
+                        buckets.entry(sig).or_default().push(class);
+                        // Identity mapping for the representative itself.
+                        (class, comp.pattern.vars().collect())
+                    }
+                };
+                per_comp.push(entry);
+            }
+            class_and_map.push(per_comp);
+        }
+        MultiQueryIndex {
+            class_and_map,
+            reps,
+        }
+    }
+
+    /// Number of isomorphism classes (≤ total components).
+    pub fn class_count(&self) -> usize {
+        self.reps.len()
+    }
+}
+
+/// A cached enumeration: matches in representative variable order.
+type CachedMatches = std::rc::Rc<Vec<Vec<NodeId>>>;
+
+/// Per-worker cache of pinned component enumerations, keyed by
+/// `(class, rep pin var, pivot node)`.
+#[derive(Default)]
+pub struct MatchCache {
+    map: HashMap<(usize, VarId, NodeId), CachedMatches>,
+    /// Cache hits, for optimization-effect reporting.
+    pub hits: u64,
+    /// Cache misses.
+    pub misses: u64,
+}
+
+impl MatchCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Enumerates the matches of one component pinned at `pivot` inside
+/// `block`, via the cache when an index is supplied.
+#[allow(clippy::too_many_arguments)]
+fn component_matches(
+    g: &Graph,
+    plans: &[PivotedRule],
+    rule: usize,
+    comp: usize,
+    pivot: NodeId,
+    block: &NodeSet,
+    mqi: Option<&MultiQueryIndex>,
+    cache: &mut MatchCache,
+) -> std::rc::Rc<Vec<Vec<NodeId>>> {
+    let plan = &plans[rule].components[comp];
+    if let Some(mqi) = mqi {
+        let (class, map) = &mqi.class_and_map[rule][comp];
+        let rep_pin = map[plan.local_pivot.index()];
+        let key = (*class, rep_pin, pivot);
+        if let Some(hit) = cache.map.get(&key) {
+            cache.hits += 1;
+            let rep_matches = hit.clone();
+            return remap(rep_matches, map, plan.pattern.node_count());
+        }
+        cache.misses += 1;
+        let (rr, rc) = mqi.reps[*class];
+        let rep_plan = &plans[rr].components[rc];
+        let mut matches = Vec::new();
+        ComponentSearch::new(&rep_plan.pattern, g)
+            .pin(rep_pin, pivot)
+            .restrict(block)
+            .for_each(&mut |m| {
+                matches.push(m.to_vec());
+                Flow::Continue
+            });
+        let rc_matches = std::rc::Rc::new(matches);
+        cache.map.insert(key, rc_matches.clone());
+        return remap(rc_matches, map, plan.pattern.node_count());
+    }
+    let mut matches = Vec::new();
+    ComponentSearch::new(&plan.pattern, g)
+        .pin(plan.local_pivot, pivot)
+        .restrict(block)
+        .for_each(&mut |m| {
+            matches.push(m.to_vec());
+            Flow::Continue
+        });
+    std::rc::Rc::new(matches)
+}
+
+/// Translates representative-indexed matches into component variable
+/// order (`comp_match[j] = rep_match[map[j]]`).
+fn remap(
+    rep_matches: std::rc::Rc<Vec<Vec<NodeId>>>,
+    map: &[VarId],
+    nvars: usize,
+) -> std::rc::Rc<Vec<Vec<NodeId>>> {
+    // Identity mapping: reuse the cached allocation as-is.
+    if map.iter().enumerate().all(|(i, v)| v.index() == i) {
+        return rep_matches;
+    }
+    std::rc::Rc::new(
+        rep_matches
+            .iter()
+            .map(|rm| (0..nvars).map(|j| rm[map[j].index()]).collect())
+            .collect(),
+    )
+}
+
+/// Executes one work unit, appending violations to `out`.
+pub fn execute_unit(
+    g: &Graph,
+    sigma: &GfdSet,
+    plans: &[PivotedRule],
+    unit: &WorkUnit,
+    mqi: Option<&MultiQueryIndex>,
+    cache: &mut MatchCache,
+    out: &mut Vec<Violation>,
+) {
+    let rule = &plans[unit.rule];
+    let gfd = sigma.get(unit.rule);
+    let k = rule.components.len();
+    let nvars = gfd.pattern.node_count();
+
+    // Pivot orientations to check within this unit.
+    let orientations: Vec<Vec<usize>> = if unit.check_both_orientations && k == 2 {
+        vec![vec![0, 1], vec![1, 0]]
+    } else {
+        vec![(0..k).collect()]
+    };
+
+    for orient in orientations {
+        // Component i is pinned at pivot orient[i] and searched in that
+        // pivot's block.
+        let mut comp_matches = Vec::with_capacity(k);
+        let mut dead = false;
+        for (i, &slot) in orient.iter().enumerate() {
+            let pivot = unit.pivots[slot];
+            let block = &unit.blocks[slot];
+            let matches = component_matches(g, plans, unit.rule, i, pivot, block, mqi, cache);
+            if matches.is_empty() {
+                dead = true;
+                break;
+            }
+            comp_matches.push(ComponentMatches {
+                vars: rule.components[i].orig_vars.clone(),
+                matches: matches.to_vec(),
+            });
+        }
+        if dead {
+            continue;
+        }
+        join_components(&comp_matches, nvars, &mut |assignment| {
+            if !match_satisfies(&gfd.dep, g, assignment) {
+                out.push(Violation {
+                    rule: unit.rule,
+                    mapping: Match(assignment.to_vec()),
+                });
+            }
+            Flow::Continue
+        });
+    }
+}
+
+/// Canonical ordering for violation sets, so different schedules can
+/// be compared for equality.
+pub fn sort_violations(v: &mut [Violation]) {
+    v.sort_by(|a, b| {
+        a.rule
+            .cmp(&b.rule)
+            .then_with(|| a.mapping.nodes().cmp(b.mapping.nodes()))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{estimate_workload, plan_rules, WorkloadOptions};
+    use gfd_core::validate::detect_violations;
+    use gfd_core::{Dependency, Gfd, Literal};
+    use gfd_graph::{Value, Vocab};
+    use gfd_pattern::PatternBuilder;
+    use std::sync::Arc;
+
+    /// Flights with duplicate ids but mismatched destinations.
+    fn flights(n_dup: usize) -> Graph {
+        let mut g = Graph::with_fresh_vocab();
+        for i in 0..6 {
+            let f = g.add_node_labeled("flight");
+            let id = g.add_node_labeled("id");
+            let to = g.add_node_labeled("city");
+            g.add_edge_labeled(f, id, "number");
+            g.add_edge_labeled(f, to, "to");
+            let idv = if i < n_dup {
+                "DUP".to_string()
+            } else {
+                format!("FL{i}")
+            };
+            g.set_attr_named(id, "val", Value::str(&idv));
+            g.set_attr_named(to, "val", Value::str(&format!("City{i}")));
+        }
+        g
+    }
+
+    fn phi_same_id_same_dest(vocab: Arc<Vocab>) -> Gfd {
+        let mut b = PatternBuilder::new(vocab.clone());
+        let x = b.node("x", "flight");
+        let x1 = b.node("x1", "id");
+        let x2 = b.node("x2", "city");
+        b.edge(x, x1, "number");
+        b.edge(x, x2, "to");
+        let y = b.node("y", "flight");
+        let y1 = b.node("y1", "id");
+        let y2 = b.node("y2", "city");
+        b.edge(y, y1, "number");
+        b.edge(y, y2, "to");
+        let q = b.build();
+        let val = vocab.intern("val");
+        Gfd::new(
+            "same-id-same-dest",
+            q,
+            Dependency::new(
+                vec![Literal::var_eq(x1, val, y1, val)],
+                vec![Literal::var_eq(x2, val, y2, val)],
+            ),
+        )
+    }
+
+    fn run_all_units(g: &Graph, sigma: &GfdSet, mq: bool) -> (Vec<Violation>, MatchCache) {
+        let plans = plan_rules(sigma);
+        let wl = estimate_workload(sigma, g, &WorkloadOptions::default());
+        let mqi = mq.then(|| MultiQueryIndex::build(&plans));
+        let mut cache = MatchCache::new();
+        let mut out = Vec::new();
+        for u in &wl.units {
+            execute_unit(g, sigma, &plans, u, mqi.as_ref(), &mut cache, &mut out);
+        }
+        (out, cache)
+    }
+
+    #[test]
+    fn unit_execution_equals_detvio() {
+        let g = flights(3);
+        let sigma = GfdSet::new(vec![phi_same_id_same_dest(g.vocab().clone())]);
+        let mut expected = detect_violations(&sigma, &g);
+        let (mut got, _) = run_all_units(&g, &sigma, false);
+        sort_violations(&mut expected);
+        sort_violations(&mut got);
+        assert_eq!(expected.len(), 6, "3 duplicate flights, ordered pairs");
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn multi_query_cache_gives_same_answers_and_hits() {
+        let g = flights(3);
+        let sigma = GfdSet::new(vec![phi_same_id_same_dest(g.vocab().clone())]);
+        let (mut plain, _) = run_all_units(&g, &sigma, false);
+        let (mut cached, cache) = run_all_units(&g, &sigma, true);
+        sort_violations(&mut plain);
+        sort_violations(&mut cached);
+        assert_eq!(plain, cached);
+        assert!(
+            cache.hits > 0,
+            "isomorphic components must share enumerations"
+        );
+    }
+
+    #[test]
+    fn multi_query_index_collapses_shared_components() {
+        let g = flights(0);
+        let vocab = g.vocab().clone();
+        // Two distinct rules over the same star component.
+        let sigma = GfdSet::new(vec![
+            phi_same_id_same_dest(vocab.clone()),
+            phi_same_id_same_dest(vocab),
+        ]);
+        let plans = plan_rules(&sigma);
+        let mqi = MultiQueryIndex::build(&plans);
+        // 4 components total, all isomorphic → 1 class.
+        assert_eq!(mqi.class_count(), 1);
+    }
+
+    #[test]
+    fn no_false_positives_on_clean_graph() {
+        let g = flights(0);
+        let sigma = GfdSet::new(vec![phi_same_id_same_dest(g.vocab().clone())]);
+        let (got, _) = run_all_units(&g, &sigma, true);
+        assert!(got.is_empty());
+    }
+}

@@ -1,0 +1,407 @@
+//! The workload model of §5.2: pivot vectors, work units, `W(Σ, G)`.
+//!
+//! For each GFD `ϕ` with pivot vector `PV(ϕ) = ((z_1, c¹_Q), …,
+//! (z_k, c^k_Q))`, a *work unit* is `w = ⟨v̄_z, G_z̄⟩`: a pivot
+//! candidate per connected component together with the candidates'
+//! `c^i_Q`-hop data blocks. By the locality of subgraph isomorphism,
+//! validating `ϕ` reduces to enumerating matches inside the data
+//! blocks of its work units (each pivot tuple checked exactly once).
+//!
+//! Following Example 10, symmetric pivot tuples of *isomorphic*
+//! components are deduplicated (the unit then checks both pivot
+//! orientations internally), and units whose pivots cannot locally
+//! match their component are pruned during estimation.
+
+use std::collections::HashMap;
+
+use gfd_core::GfdSet;
+use gfd_graph::{neighborhood, Graph, NodeId, NodeSet};
+use gfd_match::component::ComponentSearch;
+use gfd_pattern::{analysis::pivot_vector, isomorphic, PatLabel, Pattern, VarId};
+
+/// Per-rule pivot metadata, precomputed once from `Σ`.
+#[derive(Clone, Debug)]
+pub struct PivotedRule {
+    /// Index of the rule in `Σ`.
+    pub rule: usize,
+    /// Component patterns (renumbered) with their original variables.
+    pub components: Vec<ComponentPlan>,
+    /// True if the rule has exactly two components and they are
+    /// isomorphic (Example 10's dedup applies).
+    pub symmetric_pair: bool,
+}
+
+/// One connected component of a rule's pattern, ready for matching.
+#[derive(Clone, Debug)]
+pub struct ComponentPlan {
+    /// The component as a standalone pattern.
+    pub pattern: Pattern,
+    /// Original pattern variable of each component variable.
+    pub orig_vars: Vec<VarId>,
+    /// The pivot, as a component-local variable.
+    pub local_pivot: VarId,
+    /// The pivot's label constraint.
+    pub pivot_label: PatLabel,
+    /// The component radius `c^i_Q`.
+    pub radius: usize,
+}
+
+/// A work unit `w = ⟨v̄_z, G_z̄⟩`.
+#[derive(Clone, Debug)]
+pub struct WorkUnit {
+    /// Rule index in `Σ`.
+    pub rule: usize,
+    /// One pivot candidate per component.
+    pub pivots: Vec<NodeId>,
+    /// Per-component data blocks (same order as pivots).
+    pub blocks: Vec<NodeSet>,
+    /// `|G_z̄|` — the sum of block sizes (Example 11), used as the
+    /// unit's load estimate.
+    pub cost: u64,
+    /// Check both pivot orientations (symmetric-pair dedup).
+    pub check_both_orientations: bool,
+}
+
+/// Knobs for workload estimation.
+#[derive(Clone, Debug)]
+pub struct WorkloadOptions {
+    /// Hard cap on generated units (safety valve; `None` = unlimited).
+    pub max_units: Option<usize>,
+    /// Prune pivot candidates whose component has no local match
+    /// anchored at them (cheap emptiness probe).
+    pub prune_empty_pivots: bool,
+}
+
+impl Default for WorkloadOptions {
+    fn default() -> Self {
+        WorkloadOptions {
+            max_units: None,
+            prune_empty_pivots: true,
+        }
+    }
+}
+
+/// The estimated workload `W(Σ, G)` plus estimation bookkeeping.
+#[derive(Debug, Default)]
+pub struct Workload {
+    /// All work units.
+    pub units: Vec<WorkUnit>,
+    /// Wall-clock seconds spent estimating (parallelizable; the
+    /// simulator divides it by `n`).
+    pub estimation_seconds: f64,
+    /// Units pruned by the emptiness probe.
+    pub pruned: usize,
+    /// True if `max_units` truncated the workload.
+    pub truncated: bool,
+}
+
+impl Workload {
+    /// Total load `t(|Σ|, W)` — the sum of unit costs.
+    pub fn total_cost(&self) -> u64 {
+        self.units.iter().map(|u| u.cost).sum()
+    }
+}
+
+/// Precomputes pivots and component plans for every rule of `Σ`
+/// (`PV(ϕ)` is `O(|Q|²)`; §5.2).
+pub fn plan_rules(sigma: &GfdSet) -> Vec<PivotedRule> {
+    sigma
+        .iter()
+        .enumerate()
+        .map(|(rule, gfd)| {
+            let pv = pivot_vector(&gfd.pattern);
+            let components: Vec<ComponentPlan> = pv
+                .components
+                .iter()
+                .map(|c| {
+                    let (pattern, orig_vars) = gfd.pattern.restrict(&c.vars);
+                    let local_pivot = VarId(
+                        orig_vars
+                            .iter()
+                            .position(|&v| v == c.pivot)
+                            .expect("pivot is in its component") as u32,
+                    );
+                    let pivot_label = pattern.label(local_pivot);
+                    ComponentPlan {
+                        pattern,
+                        orig_vars,
+                        local_pivot,
+                        pivot_label,
+                        radius: c.radius,
+                    }
+                })
+                .collect();
+            let symmetric_pair =
+                components.len() == 2 && isomorphic(&components[0].pattern, &components[1].pattern);
+            PivotedRule {
+                rule,
+                components,
+                symmetric_pair,
+            }
+        })
+        .collect()
+}
+
+/// Candidate nodes for a component pivot.
+fn pivot_candidates(g: &Graph, plan: &ComponentPlan) -> Vec<NodeId> {
+    match plan.pivot_label {
+        PatLabel::Sym(s) => g.nodes_with_label(s).to_vec(),
+        PatLabel::Wildcard => g.nodes().collect(),
+    }
+}
+
+/// Cheap emptiness probe: does the component match at all when pinned
+/// at `pivot` within `block`?
+fn pivot_feasible(g: &Graph, plan: &ComponentPlan, pivot: NodeId, block: &NodeSet) -> bool {
+    let mut found = false;
+    ComponentSearch::new(&plan.pattern, g)
+        .pin(plan.local_pivot, pivot)
+        .restrict(block)
+        .for_each(&mut |_| {
+            found = true;
+            gfd_match::types::Flow::Break
+        });
+    found
+}
+
+/// A cache of `c`-hop data blocks keyed by `(node, radius)` — blocks
+/// repeat across rules that share pivots.
+#[derive(Default)]
+pub struct BlockCache {
+    cache: HashMap<(NodeId, usize), NodeSet>,
+}
+
+impl BlockCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The `radius`-hop block around `pivot` (computed once).
+    pub fn block(&mut self, g: &Graph, pivot: NodeId, radius: usize) -> &NodeSet {
+        self.cache
+            .entry((pivot, radius))
+            .or_insert_with(|| neighborhood::data_block(g, pivot, radius))
+    }
+}
+
+/// Estimates `W(Σ, G)` (procedure `bPar`'s estimation phase / the
+/// workload part of `disPar`).
+pub fn estimate_workload(sigma: &GfdSet, g: &Graph, opts: &WorkloadOptions) -> Workload {
+    let start = std::time::Instant::now();
+    let rules = plan_rules(sigma);
+    let mut cache = BlockCache::new();
+    let mut wl = Workload::default();
+
+    'rules: for rule in &rules {
+        // Per-component feasible candidates with their blocks.
+        let mut per_component: Vec<Vec<(NodeId, NodeSet, u64)>> = Vec::new();
+        for plan in &rule.components {
+            let mut feasible = Vec::new();
+            for cand in pivot_candidates(g, plan) {
+                let block = cache.block(g, cand, plan.radius).clone();
+                if opts.prune_empty_pivots && !pivot_feasible(g, plan, cand, &block) {
+                    wl.pruned += 1;
+                    continue;
+                }
+                let size = block.block_size(g) as u64;
+                feasible.push((cand, block, size));
+            }
+            per_component.push(feasible);
+        }
+        // Assemble pivot tuples (k ≤ 2 in practice, §5.2; general k
+        // supported via recursion).
+        let mut tuple = Vec::new();
+        if !assemble(rule, &per_component, 0, &mut tuple, &mut wl, opts.max_units) {
+            wl.truncated = true;
+            break 'rules;
+        }
+    }
+    wl.estimation_seconds = start.elapsed().as_secs_f64();
+    wl
+}
+
+/// Recursively builds pivot tuples; returns `false` when the cap hit.
+fn assemble(
+    rule: &PivotedRule,
+    per_component: &[Vec<(NodeId, NodeSet, u64)>],
+    depth: usize,
+    tuple: &mut Vec<usize>,
+    wl: &mut Workload,
+    cap: Option<usize>,
+) -> bool {
+    if depth == per_component.len() {
+        let pivots: Vec<NodeId> = tuple
+            .iter()
+            .enumerate()
+            .map(|(c, &i)| per_component[c][i].0)
+            .collect();
+        // Injectivity: component pivots must be distinct nodes.
+        for (i, a) in pivots.iter().enumerate() {
+            if pivots[i + 1..].contains(a) {
+                return true;
+            }
+        }
+        let blocks: Vec<NodeSet> = tuple
+            .iter()
+            .enumerate()
+            .map(|(c, &i)| per_component[c][i].1.clone())
+            .collect();
+        let cost: u64 = tuple
+            .iter()
+            .enumerate()
+            .map(|(c, &i)| per_component[c][i].2)
+            .sum();
+        wl.units.push(WorkUnit {
+            rule: rule.rule,
+            pivots,
+            blocks,
+            cost,
+            check_both_orientations: rule.symmetric_pair,
+        });
+        if let Some(cap) = cap {
+            if wl.units.len() >= cap {
+                return false;
+            }
+        }
+        return true;
+    }
+    let start = if rule.symmetric_pair && depth == 1 {
+        // Unordered pairs: second index strictly above the first
+        // (Example 10's duplicate removal).
+        tuple[0] + 1
+    } else {
+        0
+    };
+    for i in start..per_component[depth].len() {
+        tuple.push(i);
+        let go_on = assemble(rule, per_component, depth + 1, tuple, wl, cap);
+        tuple.pop();
+        if !go_on {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_core::{Dependency, Gfd, Literal};
+    use gfd_graph::{Value, Vocab};
+    use gfd_pattern::PatternBuilder;
+    use std::sync::Arc;
+
+    /// Nine flights as in Example 10 (flat star entities).
+    fn nine_flights() -> Graph {
+        let mut g = Graph::with_fresh_vocab();
+        for i in 0..9 {
+            let f = g.add_node_labeled("flight");
+            let id = g.add_node_labeled("id");
+            g.add_edge_labeled(f, id, "number");
+            g.set_attr_named(id, "val", Value::str(&format!("FL{i}")));
+        }
+        g
+    }
+
+    fn flight_pair_gfd(vocab: Arc<Vocab>) -> Gfd {
+        let mut b = PatternBuilder::new(vocab.clone());
+        let x = b.node("x", "flight");
+        let x1 = b.node("x1", "id");
+        b.edge(x, x1, "number");
+        let y = b.node("y", "flight");
+        let y1 = b.node("y1", "id");
+        b.edge(y, y1, "number");
+        let q = b.build();
+        let val = vocab.intern("val");
+        Gfd::new(
+            "pair",
+            q,
+            Dependency::new(vec![Literal::var_eq(VarId(1), val, VarId(3), val)], vec![]),
+        )
+    }
+
+    #[test]
+    fn plan_detects_symmetric_pair() {
+        let g = nine_flights();
+        let sigma = GfdSet::new(vec![flight_pair_gfd(g.vocab().clone())]);
+        let rules = plan_rules(&sigma);
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].components.len(), 2);
+        assert!(rules[0].symmetric_pair);
+        for c in &rules[0].components {
+            assert_eq!(c.radius, 1, "flight star has radius 1 at the hub");
+        }
+    }
+
+    #[test]
+    fn example10_unordered_pairs() {
+        // 9 flights, symmetric 2-component rule → C(9,2) = 36 units.
+        let g = nine_flights();
+        let sigma = GfdSet::new(vec![flight_pair_gfd(g.vocab().clone())]);
+        let wl = estimate_workload(&sigma, &g, &WorkloadOptions::default());
+        assert_eq!(wl.units.len(), 36);
+        assert!(wl.units.iter().all(|u| u.check_both_orientations));
+        // Every unit's cost is the sum of two 1-hop star blocks: each
+        // block = {flight, id} + 1 edge = 3 → cost 6.
+        assert!(wl.units.iter().all(|u| u.cost == 6));
+        assert_eq!(wl.total_cost(), 216);
+    }
+
+    #[test]
+    fn single_component_rule_units() {
+        let g = nine_flights();
+        let vocab = g.vocab().clone();
+        let mut b = PatternBuilder::new(vocab.clone());
+        let x = b.node("x", "flight");
+        let x1 = b.node("x1", "id");
+        b.edge(x, x1, "number");
+        let q = b.build();
+        let val = vocab.intern("val");
+        let gfd = Gfd::new(
+            "single",
+            q,
+            Dependency::always(vec![Literal::var_eq(VarId(1), val, VarId(1), val)]),
+        );
+        let wl = estimate_workload(&GfdSet::new(vec![gfd]), &g, &WorkloadOptions::default());
+        assert_eq!(wl.units.len(), 9);
+        assert!(wl.units.iter().all(|u| !u.check_both_orientations));
+    }
+
+    #[test]
+    fn infeasible_pivots_pruned() {
+        let mut g = nine_flights();
+        // A flight without an id leaf can never match the component.
+        g.add_node_labeled("flight");
+        let sigma = GfdSet::new(vec![flight_pair_gfd(g.vocab().clone())]);
+        let wl = estimate_workload(&sigma, &g, &WorkloadOptions::default());
+        assert_eq!(wl.units.len(), 36, "the id-less flight contributes nothing");
+        assert!(wl.pruned >= 2, "pruned once per component");
+    }
+
+    #[test]
+    fn cap_truncates() {
+        let g = nine_flights();
+        let sigma = GfdSet::new(vec![flight_pair_gfd(g.vocab().clone())]);
+        let wl = estimate_workload(
+            &sigma,
+            &g,
+            &WorkloadOptions {
+                max_units: Some(10),
+                ..Default::default()
+            },
+        );
+        assert_eq!(wl.units.len(), 10);
+        assert!(wl.truncated);
+    }
+
+    #[test]
+    fn block_cache_reuses() {
+        let g = nine_flights();
+        let mut cache = BlockCache::new();
+        let b1 = cache.block(&g, NodeId(0), 1).clone();
+        let b2 = cache.block(&g, NodeId(0), 1).clone();
+        assert_eq!(b1, b2);
+        assert_eq!(cache.cache.len(), 1);
+    }
+}

@@ -1,0 +1,32 @@
+//! # gfd-pattern — graph patterns `Q[x̄]`
+//!
+//! Implements the pattern language of §2 of *Functional Dependencies
+//! for Graphs* (Fan, Wu & Xu, SIGMOD 2016):
+//!
+//! * a pattern is a directed graph whose nodes and edges carry either a
+//!   concrete label or the wildcard `_`;
+//! * `x̄` is a list of variables, one per pattern node (the bijection
+//!   `µ` is the identity on indices here: variable `i` *is* node `i`);
+//! * patterns may be disconnected (`Q1`, `Q4` in Fig. 2) — matches of
+//!   different components may land far apart in the data graph.
+//!
+//! On top of the representation this crate provides the analyses the
+//! GFD algorithms need:
+//!
+//! * connected components, eccentricities and **pivot selection** (the
+//!   minimum-radius node per component, §5.2) — module [`analysis`];
+//! * **pattern-to-pattern embeddings** (`Q'` embeddable in `Q` via an
+//!   isomorphic mapping onto a subgraph, §4) — module [`embed`];
+//! * canonical **signatures** for grouping isomorphic components
+//!   across a rule set (the multi-query optimization of the appendix)
+//!   — module [`signature`].
+
+pub mod analysis;
+pub mod embed;
+pub mod pattern;
+pub mod signature;
+
+pub use analysis::{ComponentInfo, PivotVector};
+pub use embed::{embeddings, embeddings_with, is_embeddable, isomorphic};
+pub use pattern::{PatLabel, Pattern, PatternBuilder, PatternEdge, VarId};
+pub use signature::component_signature;

@@ -1,0 +1,217 @@
+//! Isomorphism-invariant component signatures.
+//!
+//! The multi-query optimization of the appendix ("extracting common
+//! sub-patterns", following [31]) needs to group the connected
+//! components of many GFD patterns into isomorphism classes so that
+//! per-component match enumeration is done once per class. A full
+//! pairwise isomorphism test over `‖Σ‖` patterns is wasteful, so we
+//! compute a cheap *signature* — a hash invariant under isomorphism
+//! built from 1-dimensional Weisfeiler–Leman color refinement — and
+//! only run exact [`crate::embed::isomorphic`] checks within a bucket.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use crate::analysis::connected_components;
+use crate::embed::isomorphic;
+use crate::pattern::{PatLabel, Pattern, VarId};
+
+fn label_code(l: PatLabel) -> u64 {
+    match l {
+        PatLabel::Sym(s) => 2 + s.0 as u64,
+        PatLabel::Wildcard => 1,
+    }
+}
+
+fn hash_one<T: Hash>(t: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    t.hash(&mut h);
+    h.finish()
+}
+
+/// An isomorphism-invariant signature of a whole pattern.
+///
+/// Equal patterns (up to isomorphism) get equal signatures; unequal
+/// patterns get unequal signatures with high probability (collisions
+/// are resolved by the exact check in [`group_isomorphic`]).
+pub fn pattern_signature(q: &Pattern) -> u64 {
+    // WL color refinement for |V_Q| rounds (enough for convergence on
+    // patterns this small).
+    let n = q.node_count();
+    let mut colors: Vec<u64> = q.vars().map(|v| label_code(q.label(v))).collect();
+    for _ in 0..n {
+        let mut next = Vec::with_capacity(n);
+        for v in q.vars() {
+            let mut out_sig: Vec<u64> = q
+                .out(v)
+                .iter()
+                .map(|&(u, l)| hash_one(&(colors[u.index()], label_code(l), 0u8)))
+                .collect();
+            out_sig.sort_unstable();
+            let mut in_sig: Vec<u64> = q
+                .inn(v)
+                .iter()
+                .map(|&(u, l)| hash_one(&(colors[u.index()], label_code(l), 1u8)))
+                .collect();
+            in_sig.sort_unstable();
+            next.push(hash_one(&(colors[v.index()], out_sig, in_sig)));
+        }
+        colors = next;
+    }
+    let mut sorted = colors;
+    sorted.sort_unstable();
+    hash_one(&(q.node_count(), q.edge_count(), sorted))
+}
+
+/// Signature of one connected component (given as its variable list).
+pub fn component_signature(q: &Pattern, vars: &[VarId]) -> u64 {
+    let (sub, _) = q.restrict(vars);
+    pattern_signature(&sub)
+}
+
+/// Groups patterns into isomorphism classes; returns, per input index,
+/// the class representative's index.
+pub fn group_isomorphic(patterns: &[&Pattern]) -> Vec<usize> {
+    let mut class = vec![usize::MAX; patterns.len()];
+    let mut buckets: std::collections::HashMap<u64, Vec<usize>> = std::collections::HashMap::new();
+    for (i, q) in patterns.iter().enumerate() {
+        let sig = pattern_signature(q);
+        let bucket = buckets.entry(sig).or_default();
+        let mut found = None;
+        for &j in bucket.iter() {
+            if isomorphic(patterns[j], q) {
+                found = Some(class[j]);
+                break;
+            }
+        }
+        class[i] = found.unwrap_or(i);
+        bucket.push(i);
+    }
+    class
+}
+
+/// Splits a pattern into its connected components (as standalone
+/// patterns) with, per component, the original variable of each new
+/// variable — the decomposition step shared by the matcher and the
+/// multi-query optimizer.
+pub fn decompose(q: &Pattern) -> Vec<(Pattern, Vec<VarId>)> {
+    connected_components(q)
+        .into_iter()
+        .map(|vars| q.restrict(&vars))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::PatternBuilder;
+    use gfd_graph::Vocab;
+
+    #[test]
+    fn isomorphic_patterns_share_signature() {
+        let vocab = Vocab::shared();
+        let mut b = PatternBuilder::new(vocab.clone());
+        let x = b.node("x", "a");
+        let y = b.node("y", "b");
+        b.edge(x, y, "e");
+        let p1 = b.build();
+
+        let mut b = PatternBuilder::new(vocab);
+        let y = b.node("q", "b");
+        let x = b.node("p", "a");
+        b.edge(x, y, "e");
+        let p2 = b.build();
+
+        assert_eq!(pattern_signature(&p1), pattern_signature(&p2));
+    }
+
+    #[test]
+    fn different_shapes_differ() {
+        let vocab = Vocab::shared();
+        let mut b = PatternBuilder::new(vocab.clone());
+        let x = b.node("x", "a");
+        let y = b.node("y", "a");
+        b.edge(x, y, "e");
+        let path = b.build();
+
+        let mut b = PatternBuilder::new(vocab);
+        let x = b.node("x", "a");
+        let y = b.node("y", "a");
+        b.edge(y, x, "e"); // reversed direction
+        let rev = b.build();
+
+        // Reversed edge on same labels IS isomorphic (rename x↔y), so
+        // signatures must agree…
+        assert_eq!(pattern_signature(&path), pattern_signature(&rev));
+
+        // …but a 2-path differs from a single edge.
+        let vocab = Vocab::shared();
+        let mut b = PatternBuilder::new(vocab);
+        let x = b.node("x", "a");
+        let y = b.node("y", "a");
+        let z = b.node("z", "a");
+        b.edge(x, y, "e");
+        b.edge(y, z, "e");
+        let p2 = b.build();
+        assert_ne!(pattern_signature(&path), pattern_signature(&p2));
+    }
+
+    #[test]
+    fn direction_matters_when_labels_pin_roles() {
+        let vocab = Vocab::shared();
+        let mut b = PatternBuilder::new(vocab.clone());
+        let x = b.node("x", "a");
+        let y = b.node("y", "b");
+        b.edge(x, y, "e");
+        let ab = b.build();
+
+        let mut b = PatternBuilder::new(vocab);
+        let x = b.node("x", "a");
+        let y = b.node("y", "b");
+        b.edge(y, x, "e");
+        let ba = b.build();
+
+        assert_ne!(pattern_signature(&ab), pattern_signature(&ba));
+        assert!(!isomorphic(&ab, &ba));
+    }
+
+    #[test]
+    fn grouping_collapses_duplicates() {
+        let vocab = Vocab::shared();
+        let mk = |names: [&str; 2]| {
+            let mut b = PatternBuilder::new(vocab.clone());
+            let x = b.node(names[0], "acct");
+            let y = b.node(names[1], "blog");
+            b.edge(x, y, "post");
+            b.build()
+        };
+        let p1 = mk(["x", "y"]);
+        let p2 = mk(["u", "v"]);
+        let mut b = PatternBuilder::new(vocab);
+        b.node("solo", "acct");
+        let p3 = b.build();
+        let classes = group_isomorphic(&[&p1, &p2, &p3]);
+        assert_eq!(classes[0], classes[1]);
+        assert_ne!(classes[0], classes[2]);
+    }
+
+    #[test]
+    fn decompose_round_trips_vars() {
+        let vocab = Vocab::shared();
+        let mut b = PatternBuilder::new(vocab);
+        let x = b.node("x", "R");
+        let y = b.node("y", "R");
+        let z = b.node("z", "S");
+        b.edge(x, z, "e");
+        let q = b.build();
+        let parts = decompose(&q);
+        assert_eq!(parts.len(), 2);
+        let all_vars: Vec<VarId> = parts.iter().flat_map(|(_, vs)| vs.clone()).collect();
+        assert_eq!(all_vars.len(), 3);
+        assert!(all_vars.contains(&x) && all_vars.contains(&y) && all_vars.contains(&z));
+        // Component containing x also contains z.
+        let comp_x = parts.iter().find(|(_, vs)| vs.contains(&x)).unwrap();
+        assert!(comp_x.1.contains(&z));
+        assert_eq!(comp_x.0.node_count(), 2);
+    }
+}

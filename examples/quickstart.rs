@@ -1,0 +1,68 @@
+//! Quickstart: define a property graph, write a GFD, detect
+//! violations — the "two capitals" inconsistency of Fig. 1/Example 1.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use gfd::core::validate::detect_violations;
+use gfd::core::{Dependency, Gfd, GfdSet, Literal};
+use gfd::graph::{Graph, Value, Vocab};
+use gfd::pattern::PatternBuilder;
+
+fn main() {
+    // ── 1. A knowledge-graph fragment with an error ────────────────
+    // Both Canberra and Melbourne are recorded as Australia's capital.
+    let vocab = Vocab::shared();
+    let mut g = Graph::new(vocab.clone());
+    let australia = g.add_node_labeled("country");
+    let canberra = g.add_node_labeled("city");
+    let melbourne = g.add_node_labeled("city");
+    g.add_edge_labeled(australia, canberra, "capital");
+    g.add_edge_labeled(australia, melbourne, "capital");
+    g.set_attr_named(australia, "val", Value::str("Australia"));
+    g.set_attr_named(canberra, "val", Value::str("Canberra"));
+    g.set_attr_named(melbourne, "val", Value::str("Melbourne"));
+
+    // ── 2. GFD ϕ2 of Example 5 ─────────────────────────────────────
+    // Pattern Q2: a country x with capital edges to cities y and z.
+    // Dependency: ∅ → y.val = z.val ("a country has one capital").
+    let mut b = PatternBuilder::new(vocab.clone());
+    let x = b.node("x", "country");
+    let y = b.node("y", "city");
+    let z = b.node("z", "city");
+    b.edge(x, y, "capital");
+    b.edge(x, z, "capital");
+    let q2 = b.build();
+    let val = vocab.intern("val");
+    let phi2 = Gfd::new(
+        "unique-capital",
+        q2,
+        Dependency::always(vec![Literal::var_eq(y, val, z, val)]),
+    );
+
+    // ── 3. Detect ──────────────────────────────────────────────────
+    let sigma = GfdSet::new(vec![phi2]);
+    let violations = detect_violations(&sigma, &g);
+    println!("violations found: {}", violations.len());
+    for v in &violations {
+        let gfd = sigma.get(v.rule);
+        let names: Vec<String> = gfd
+            .pattern
+            .vars()
+            .map(|var| {
+                let node = v.mapping.get(var);
+                let value = g
+                    .attr(node, val)
+                    .map(|x| x.to_string())
+                    .unwrap_or_else(|| "?".into());
+                format!("{} ↦ {}", gfd.pattern.var_name(var), value)
+            })
+            .collect();
+        println!("  rule `{}`: {}", gfd.name, names.join(", "));
+    }
+    assert_eq!(violations.len(), 2, "both orderings of the capital pair");
+
+    // ── 4. Fix the data and re-check ───────────────────────────────
+    g.set_attr(melbourne, val, Value::str("Canberra"));
+    assert!(gfd::core::graph_satisfies(&sigma, &g));
+    println!("after repair: graph satisfies Σ");
+}

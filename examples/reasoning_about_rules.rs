@@ -1,0 +1,137 @@
+//! Static analyses of GFD rule sets: satisfiability (are my data
+//! quality rules themselves consistent?) and implication (which rules
+//! are redundant?) — Section 4 of the paper, on its own Examples 7
+//! and 8.
+//!
+//! Run with: `cargo run --example reasoning_about_rules`
+
+use gfd::core::implication::{implies, minimize};
+use gfd::core::sat::{check_satisfiability, SatOutcome};
+use gfd::core::{Dependency, Gfd, GfdSet, Literal};
+use gfd::graph::Vocab;
+use gfd::pattern::{Pattern, PatternBuilder};
+use std::sync::Arc;
+
+fn q8(vocab: &Arc<Vocab>) -> Pattern {
+    let mut b = PatternBuilder::new(vocab.clone());
+    let x = b.node("x", "tau");
+    let y = b.node("y", "tau");
+    let z = b.node("z", "tau");
+    b.edge(x, y, "l");
+    b.edge(x, z, "l");
+    b.edge(y, z, "l");
+    b.build()
+}
+
+fn q9(vocab: &Arc<Vocab>) -> Pattern {
+    let mut b = PatternBuilder::new(vocab.clone());
+    let x = b.node("x", "tau");
+    let y = b.node("y", "tau");
+    let z = b.node("z", "tau");
+    let w = b.node("w", "tau");
+    b.edge(x, y, "l");
+    b.edge(x, z, "l");
+    b.edge(y, z, "l");
+    b.edge(y, w, "l");
+    b.edge(z, w, "l");
+    b.build()
+}
+
+fn main() {
+    let vocab = Vocab::shared();
+    let a = vocab.intern("A");
+    let b_attr = vocab.intern("B");
+    let c_attr = vocab.intern("C");
+
+    // ── Example 7: conflicting rules across different patterns ──────
+    // ϕ8 = (Q8, ∅ → x.A = c); ϕ9 = (Q9, ∅ → x.A = d). Q8 embeds in Q9,
+    // so a Q9 match forces x.A to be both c and d.
+    let x8 = Pattern::var_by_name(&q8(&vocab), "x").unwrap();
+    let phi8 = Gfd::new(
+        "phi8",
+        q8(&vocab),
+        Dependency::always(vec![Literal::const_eq(x8, a, "c")]),
+    );
+    let x9 = q9(&vocab).var_by_name("x").unwrap();
+    let phi9 = Gfd::new(
+        "phi9",
+        q9(&vocab),
+        Dependency::always(vec![Literal::const_eq(x9, a, "d")]),
+    );
+
+    for (label, sigma) in [
+        ("Σ = {ϕ8}", GfdSet::new(vec![phi8.clone()])),
+        ("Σ = {ϕ9}", GfdSet::new(vec![phi9.clone()])),
+        (
+            "Σ = {ϕ8, ϕ9}",
+            GfdSet::new(vec![phi8.clone(), phi9.clone()]),
+        ),
+    ] {
+        match check_satisfiability(&sigma) {
+            SatOutcome::Satisfiable(model) => println!(
+                "{label}: satisfiable (witness model: {} nodes, {} edges)",
+                model.node_count(),
+                model.edge_count()
+            ),
+            SatOutcome::Unsatisfiable { left, right } => {
+                println!("{label}: UNSATISFIABLE — one node's attribute is forced to both `{left}` and `{right}`")
+            }
+            SatOutcome::Unknown => println!("{label}: budget exhausted"),
+        }
+    }
+
+    // ── Example 8: implication across patterns ──────────────────────
+    // Σ = { (Q8, x.A=y.A → x.B=y.B), (Q9, x.B=y.B → z.C=w.C) }
+    // ⊨ ϕ11 = (Q9, x.A=y.A → z.C=w.C).
+    let q8p = q8(&vocab);
+    let (x, y) = (q8p.var_by_name("x").unwrap(), q8p.var_by_name("y").unwrap());
+    let s1 = Gfd::new(
+        "s1",
+        q8p,
+        Dependency::new(
+            vec![Literal::var_eq(x, a, y, a)],
+            vec![Literal::var_eq(x, b_attr, y, b_attr)],
+        ),
+    );
+    let q9p = q9(&vocab);
+    let (x, y, z, w) = (
+        q9p.var_by_name("x").unwrap(),
+        q9p.var_by_name("y").unwrap(),
+        q9p.var_by_name("z").unwrap(),
+        q9p.var_by_name("w").unwrap(),
+    );
+    let s2 = Gfd::new(
+        "s2",
+        q9p.clone(),
+        Dependency::new(
+            vec![Literal::var_eq(x, b_attr, y, b_attr)],
+            vec![Literal::var_eq(z, c_attr, w, c_attr)],
+        ),
+    );
+    let sigma = GfdSet::new(vec![s1, s2]);
+    let phi11 = Gfd::new(
+        "phi11",
+        q9p,
+        Dependency::new(
+            vec![Literal::var_eq(x, a, y, a)],
+            vec![Literal::var_eq(z, c_attr, w, c_attr)],
+        ),
+    );
+    println!(
+        "Example 8: Σ ⊨ ϕ11? {}",
+        if implies(&sigma, &phi11) { "yes" } else { "no" }
+    );
+    assert!(implies(&sigma, &phi11));
+
+    // ── Workload reduction: dropping redundant rules ────────────────
+    let mut with_redundant: Vec<Gfd> = sigma.iter().cloned().collect();
+    with_redundant.push(phi11); // implied by the others
+    let padded = GfdSet::new(with_redundant);
+    let minimized = minimize(&padded);
+    println!(
+        "minimize: {} rules → {} rules (redundant ϕ11 dropped)",
+        padded.len(),
+        minimized.len()
+    );
+    assert_eq!(minimized.len(), 2);
+}

