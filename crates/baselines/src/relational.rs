@@ -136,7 +136,7 @@ impl<'a> RelationalValidator<'a> {
                 continue;
             }
             let extent: Vec<NodeId> = match q.label(v) {
-                PatLabel::Sym(s) => self.g.nodes_with_label(s).to_vec(),
+                PatLabel::Sym(s) => self.g.extent(s).to_vec(),
                 PatLabel::Wildcard => self.g.nodes().collect(),
             };
             let mut next = Vec::with_capacity(partial.len() * extent.len());
@@ -214,22 +214,22 @@ mod tests {
     use gfd_pattern::PatternBuilder;
 
     fn flights(dups: usize) -> Graph {
-        let mut g = Graph::with_fresh_vocab();
+        let mut b = gfd_graph::GraphBuilder::with_fresh_vocab();
         for i in 0..6 {
-            let f = g.add_node_labeled("flight");
-            let id = g.add_node_labeled("id");
-            let to = g.add_node_labeled("city");
-            g.add_edge_labeled(f, id, "number");
-            g.add_edge_labeled(f, to, "to");
+            let f = b.add_node_labeled("flight");
+            let id = b.add_node_labeled("id");
+            let to = b.add_node_labeled("city");
+            b.add_edge_labeled(f, id, "number");
+            b.add_edge_labeled(f, to, "to");
             let idv = if i < dups {
                 "DUP".into()
             } else {
                 format!("F{i}")
             };
-            g.set_attr_named(id, "val", Value::str(&idv));
-            g.set_attr_named(to, "val", Value::str(&format!("C{i}")));
+            b.set_attr_named(id, "val", Value::str(&idv));
+            b.set_attr_named(to, "val", Value::str(&format!("C{i}")));
         }
-        g
+        b.freeze()
     }
 
     fn phi(vocab: std::sync::Arc<Vocab>) -> Gfd {
@@ -272,11 +272,12 @@ mod tests {
 
     #[test]
     fn wildcard_edges_join_all() {
-        let mut g = Graph::with_fresh_vocab();
-        let a = g.add_node_labeled("a");
-        let b_n = g.add_node_labeled("b");
-        g.add_edge_labeled(a, b_n, "e1");
-        g.add_edge_labeled(b_n, a, "e2");
+        let mut gb = gfd_graph::GraphBuilder::with_fresh_vocab();
+        let a = gb.add_node_labeled("a");
+        let b_n = gb.add_node_labeled("b");
+        gb.add_edge_labeled(a, b_n, "e1");
+        gb.add_edge_labeled(b_n, a, "e2");
+        let g = gb.freeze();
         let mut b = PatternBuilder::new(g.vocab().clone());
         let x = b.wildcard_node("x");
         let y = b.wildcard_node("y");

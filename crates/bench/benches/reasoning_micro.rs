@@ -1,19 +1,68 @@
-//! Criterion microbenchmarks for the core GFD operations: subgraph
-//! matching, satisfiability, implication, workload estimation and
-//! single-unit execution. These are the §4 reasoning costs and the
-//! §5–6 per-step costs behind every figure.
+//! Microbenchmarks for the hot operations behind every figure: graph
+//! storage primitives (`has_edge`, per-label neighbor scans, label
+//! extents — the CSR snapshot's reason to exist), subgraph matching,
+//! satisfiability, implication, workload estimation and repVal.
+//!
+//! Runs with `cargo bench -p gfd-bench` (plain `harness = false`
+//! timing loop — the offline toolchain has no criterion). Besides the
+//! human-readable table it writes `BENCH_graph.json` into the current
+//! directory so successive PRs accumulate a perf trajectory.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
 use gfd_core::sat::check_satisfiability;
 use gfd_core::validate::detect_violations;
 use gfd_core::{implies, Dependency, Gfd, GfdSet, Literal};
 use gfd_datagen::{mine_gfds, reallife_graph, RealLifeConfig, RealLifeKind, RuleGenConfig};
-use gfd_graph::Vocab;
+use gfd_graph::{Graph, NodeId, Vocab};
 use gfd_match::{count_matches, MatchOptions};
 use gfd_parallel::workload::{estimate_workload, plan_rules, WorkloadOptions};
 use gfd_parallel::{rep_val, RepValConfig};
 use gfd_pattern::{Pattern, PatternBuilder, VarId};
-use std::sync::Arc;
+use gfd_util::Rng;
+
+/// One measured series: median-of-runs nanoseconds per iteration.
+struct Sample {
+    name: &'static str,
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+/// Times `f` adaptively: calibrates an iteration count that fills at
+/// least 50ms (iters quadruple, so a run lands in 50–200ms), then
+/// reports the best of 3 runs (min is the stablest statistic for
+/// wall-clock microbenches).
+fn bench<R>(name: &'static str, samples: &mut Vec<Sample>, mut f: impl FnMut() -> R) {
+    let mut iters = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = t.elapsed();
+        if elapsed.as_millis() >= 50 || iters >= 1 << 24 {
+            break;
+        }
+        iters *= 4;
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        best = best.min(t.elapsed().as_secs_f64() * 1e9 / iters as f64);
+    }
+    println!("{name:<44} {best:>14.1} ns/iter  (x{iters})");
+    samples.push(Sample {
+        name,
+        ns_per_iter: best,
+        iters,
+    });
+}
 
 fn tri_pattern(vocab: &Arc<Vocab>) -> Pattern {
     let mut b = PatternBuilder::new(vocab.clone());
@@ -40,11 +89,69 @@ fn quad_pattern(vocab: &Arc<Vocab>) -> Pattern {
     b.build()
 }
 
-fn bench_matching(c: &mut Criterion) {
+/// The storage-layer microbench: random probes against the CSR
+/// snapshot, the operations `ComponentSearch` hammers.
+fn bench_graph_primitives(g: &Graph, samples: &mut Vec<Sample>) {
+    let n = g.node_count() as u32;
+    let label = {
+        // The most common edge label, for a representative scan.
+        let mut counts = std::collections::HashMap::new();
+        for e in g.edges() {
+            *counts.entry(e.label).or_insert(0usize) += 1;
+        }
+        counts.into_iter().max_by_key(|&(_, c)| c).unwrap().0
+    };
+    let node_label = g.label(NodeId(0));
+
+    let mut rng = Rng::seed_from_u64(0xBE7C);
+    let probes: Vec<(NodeId, NodeId)> = (0..1024)
+        .map(|_| {
+            (
+                NodeId(rng.gen_range(0..n as usize) as u32),
+                NodeId(rng.gen_range(0..n as usize) as u32),
+            )
+        })
+        .collect();
+
+    let mut i = 0usize;
+    bench("graph/has_edge(random probes)", samples, || {
+        let (u, v) = probes[i & 1023];
+        i += 1;
+        g.has_edge(u, v, label)
+    });
+    let mut j = 0usize;
+    bench("graph/neighbors_labeled(scan+sum)", samples, || {
+        let (u, _) = probes[j & 1023];
+        j += 1;
+        g.neighbors_labeled(u, label)
+            .iter()
+            .map(|a| a.node.0 as u64)
+            .sum::<u64>()
+    });
+    let mut k = 0usize;
+    bench("graph/out_slice(full-run scan)", samples, || {
+        let (u, _) = probes[k & 1023];
+        k += 1;
+        g.out_slice(u).len() + g.in_slice(u).len()
+    });
+    bench("graph/extent(label lookup)", samples, || {
+        g.extent(node_label).len()
+    });
+}
+
+fn main() {
+    let mut samples = Vec::new();
+    println!("== gfd microbenches (best of 3, adaptive iters) ==");
+
+    // Storage layer: the Yago2 stand-in at bench scale.
     let g = reallife_graph(&RealLifeConfig {
         scale: 0.1,
         ..RealLifeConfig::new(RealLifeKind::Yago2)
     });
+    println!("# graph: |V|={} |E|={}", g.node_count(), g.edge_count());
+    bench_graph_primitives(&g, &mut samples);
+
+    // Matching.
     let sigma = mine_gfds(
         &g,
         &RuleGenConfig {
@@ -54,16 +161,13 @@ fn bench_matching(c: &mut Criterion) {
             ..Default::default()
         },
     );
-    let mut group = c.benchmark_group("matching");
-    for (i, gfd) in sigma.iter().enumerate().take(2) {
-        group.bench_with_input(BenchmarkId::new("count_matches", i), gfd, |b, gfd| {
-            b.iter(|| count_matches(&gfd.pattern, &g, &MatchOptions::unrestricted()));
+    if let Some(gfd) = sigma.iter().next() {
+        bench("match/count_matches(mined rule 0)", &mut samples, || {
+            count_matches(&gfd.pattern, &g, &MatchOptions::unrestricted())
         });
     }
-    group.finish();
-}
 
-fn bench_reasoning(c: &mut Criterion) {
+    // Reasoning (Example 7 / Example 8 shapes).
     let vocab = Vocab::shared();
     let a = vocab.intern("A");
     let phi8 = Gfd::new(
@@ -76,9 +180,9 @@ fn bench_reasoning(c: &mut Criterion) {
         quad_pattern(&vocab),
         Dependency::always(vec![Literal::const_eq(VarId(0), a, "d")]),
     );
-    let sigma = GfdSet::new(vec![phi8.clone(), phi9.clone()]);
-    c.bench_function("satisfiability/example7", |b| {
-        b.iter(|| check_satisfiability(&sigma))
+    let sigma7 = GfdSet::new(vec![phi8, phi9]);
+    bench("reason/satisfiability(example7)", &mut samples, || {
+        check_satisfiability(&sigma7)
     });
 
     let b_at = vocab.intern("B");
@@ -108,18 +212,17 @@ fn bench_reasoning(c: &mut Criterion) {
             vec![Literal::var_eq(VarId(2), c_at, VarId(3), c_at)],
         ),
     );
-    c.bench_function("implication/example8", |b| {
-        b.iter(|| implies(&sigma8, &phi11))
+    bench("reason/implication(example8)", &mut samples, || {
+        implies(&sigma8, &phi11)
     });
-}
 
-fn bench_detection(c: &mut Criterion) {
-    let g = reallife_graph(&RealLifeConfig {
+    // Detection end-to-end.
+    let g2 = Arc::new(reallife_graph(&RealLifeConfig {
         scale: 0.08,
         ..RealLifeConfig::new(RealLifeKind::Yago2)
-    });
-    let sigma = mine_gfds(
-        &g,
+    }));
+    let sigma_det = mine_gfds(
+        &g2,
         &RuleGenConfig {
             count: 8,
             pattern_nodes: 3,
@@ -127,21 +230,42 @@ fn bench_detection(c: &mut Criterion) {
             ..Default::default()
         },
     );
-    c.bench_function("detection/detVio", |b| {
-        b.iter(|| detect_violations(&sigma, &g))
+    bench("detect/detVio", &mut samples, || {
+        detect_violations(&sigma_det, &g2)
     });
-    c.bench_function("detection/estimate_workload", |b| {
-        b.iter(|| estimate_workload(&sigma, &g, &WorkloadOptions::default()))
+    bench("detect/estimate_workload", &mut samples, || {
+        estimate_workload(&sigma_det, &g2, &WorkloadOptions::default())
     });
-    c.bench_function("detection/plan_rules", |b| b.iter(|| plan_rules(&sigma)));
-    c.bench_function("detection/repVal_n4", |b| {
-        b.iter(|| rep_val(&sigma, &g, &RepValConfig::val(4)))
+    bench("detect/plan_rules", &mut samples, || plan_rules(&sigma_det));
+    bench("detect/repVal_n4", &mut samples, || {
+        rep_val(&sigma_det, &g2, &RepValConfig::val(4))
     });
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_matching, bench_reasoning, bench_detection
+    // Emit the perf-trajectory artifact (hand-rolled JSON: the
+    // workspace is dependency-free by necessity).
+    let mut json = String::from("{\n  \"bench\": \"reasoning_micro\",\n  \"samples\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {}}}{}",
+            s.name,
+            s.ns_per_iter,
+            s.iters,
+            if i + 1 < samples.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    // Cargo runs benches with CWD = the package dir; anchor the
+    // artifact at the workspace root so the trajectory lives in one
+    // place across PRs.
+    let path = std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| {
+        format!(
+            "{}/../../BENCH_graph.json",
+            std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into())
+        )
+    });
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("# wrote {path}"),
+        Err(e) => eprintln!("# could not write {path}: {e}"),
+    }
 }
-criterion_main!(benches);

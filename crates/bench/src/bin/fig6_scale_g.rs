@@ -29,7 +29,7 @@ fn main() {
         // synthetic edges, composite features are vanishingly
         // selective, and the paper's point here is workload growth
         // with |G|, which frequent features deliver.
-        let g = synthetic_graph(&SynthConfig::sized(nodes, 0xF00D));
+        let g = std::sync::Arc::new(synthetic_graph(&SynthConfig::sized(nodes, 0xF00D)));
         let sigma = mine_gfds(
             &g,
             &RuleGenConfig {

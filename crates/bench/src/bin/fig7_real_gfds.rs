@@ -5,13 +5,13 @@
 use gfd_bench::banner;
 use gfd_core::validate::detect_violations;
 use gfd_core::{Dependency, Gfd, GfdSet, Literal};
-use gfd_graph::{Graph, Value, Vocab};
+use gfd_graph::{GraphBuilder, Value, Vocab};
 use gfd_pattern::PatternBuilder;
 
 fn main() {
     banner("Fig. 7", "three real-life GFDs and their catches");
     let vocab = Vocab::shared();
-    let mut g = Graph::new(vocab.clone());
+    let mut g = GraphBuilder::new(vocab.clone());
 
     // YAGO2-style child/parent cycle.
     let anna = g.add_node_labeled("person");
@@ -97,6 +97,7 @@ fn main() {
         )
     };
 
+    let g = g.freeze();
     let sigma = GfdSet::new(vec![gfd1, gfd2, gfd3]);
     let violations = detect_violations(&sigma, &g);
 

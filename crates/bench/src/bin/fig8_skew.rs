@@ -25,12 +25,12 @@ fn main() {
         vec![("disnop", vec![]), ("disran", vec![]), ("disVal", vec![])];
     let mut xs = Vec::new();
     for skew in [0.6f64, 1.0, 1.4, 1.8, 2.2] {
-        let g = synthetic_graph(&SynthConfig {
+        let g = std::sync::Arc::new(synthetic_graph(&SynthConfig {
             nodes: 50_000,
             edges: 100_000,
             skew,
             ..Default::default()
-        });
+        }));
         let ratio = GraphStats::skew_ratio(&g, 2, 500);
         xs.push(format!("{ratio:.4}"));
         let sigma = mine_gfds(

@@ -25,8 +25,7 @@ use gfd_core::{Dependency, Gfd, GfdSet, Literal, Violation};
 use gfd_datagen::{reallife_graph, RealLifeConfig, RealLifeKind};
 use gfd_graph::{Graph, NodeId, Value};
 use gfd_pattern::PatternBuilder;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use gfd_util::Rng;
 
 /// A sampled entity: hub, leaves and their original values.
 struct Entity {
@@ -44,10 +43,10 @@ fn sample_entities(g: &Graph) -> Vec<Entity> {
     let mut out = Vec::new();
     for hub in g.nodes() {
         let mut leaves = Vec::new();
-        for &(leaf, el) in g.out(hub) {
-            if el == has0 || el == has1 {
-                if let Some(v) = g.attr(leaf, val) {
-                    leaves.push((leaf, v.clone()));
+        for a in g.out_slice(hub) {
+            if a.label == has0 || a.label == has1 {
+                if let Some(v) = g.attr(a.node, val) {
+                    leaves.push((a.node, v.clone()));
                 }
             }
         }
@@ -114,50 +113,52 @@ fn build_sigma(g: &Graph, entities: &[Entity]) -> GfdSet {
     GfdSet::new(rules)
 }
 
-/// Injects noise into the sampled entities only; returns the dirty
-/// entity (hub) set.
+/// Injects noise into the sampled entities only; returns the dirtied
+/// snapshot and the dirty entity (hub) set.
 fn inject_targeted_noise(
-    g: &mut Graph,
+    g: &Graph,
     entities: &[Entity],
     rate: f64,
     seed: u64,
-) -> HashSet<NodeId> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+) -> (Graph, HashSet<NodeId>) {
+    let mut rng = Rng::seed_from_u64(seed);
     let val = g.vocab().lookup("val").unwrap();
     let mut dirty = HashSet::new();
     let labels: Vec<_> = (0..13)
         .map(|i| g.vocab().intern(&format!("yg_type{i}")))
         .collect();
-    for (i, e) in entities.iter().enumerate() {
-        if !rng.gen_bool(rate) {
-            continue;
+    let dirtied = g.edit(|b| {
+        for (i, e) in entities.iter().enumerate() {
+            if !rng.gen_bool(rate) {
+                continue;
+            }
+            // Noise mix 2:1:2 (attribute : type : representational). Type
+            // errors are label rewrites; our stand-ins encode types as
+            // labels rather than reified type nodes, so attribute rules
+            // cannot see them — they are the expected recall loss (the
+            // paper's 0.91 recall likewise reflects uncaught noise).
+            match rng.gen_range(0..5) {
+                0 | 1 => {
+                    // Attribute inconsistency on one leaf.
+                    let (leaf, _) = e.leaves[rng.gen_range(0..e.leaves.len())];
+                    b.set_attr(leaf, val, Value::Str(format!("__noise_{i}").into()));
+                }
+                2 => {
+                    // Type inconsistency: relabel the hub.
+                    let cur = b.label(e.hub);
+                    let pick = labels.iter().copied().find(|&l| l != cur).unwrap();
+                    b.set_label(e.hub, pick);
+                }
+                _ => {
+                    // Representational inconsistency: variant surface form.
+                    let (leaf, orig) = &e.leaves[rng.gen_range(0..e.leaves.len())];
+                    b.set_attr(*leaf, val, Value::Str(format!("{orig}_repr").into()));
+                }
+            }
+            dirty.insert(e.hub);
         }
-        // Noise mix 2:1:2 (attribute : type : representational). Type
-        // errors are label rewrites; our stand-ins encode types as
-        // labels rather than reified type nodes, so attribute rules
-        // cannot see them — they are the expected recall loss (the
-        // paper's 0.91 recall likewise reflects uncaught noise).
-        match rng.gen_range(0..5) {
-            0 | 1 => {
-                // Attribute inconsistency on one leaf.
-                let (leaf, _) = e.leaves[rng.gen_range(0..e.leaves.len())];
-                g.set_attr(leaf, val, Value::Str(format!("__noise_{i}").into()));
-            }
-            2 => {
-                // Type inconsistency: relabel the hub.
-                let cur = g.label(e.hub);
-                let pick = labels.iter().copied().find(|&l| l != cur).unwrap();
-                g.set_label(e.hub, pick);
-            }
-            _ => {
-                // Representational inconsistency: variant surface form.
-                let (leaf, orig) = &e.leaves[rng.gen_range(0..e.leaves.len())];
-                g.set_attr(*leaf, val, Value::Str(format!("{orig}_repr").into()));
-            }
-        }
-        dirty.insert(e.hub);
-    }
-    dirty
+    });
+    (dirtied, dirty)
 }
 
 /// Flagged entities = images of the hub variable in violations.
@@ -190,7 +191,7 @@ fn score(dirty: &HashSet<NodeId>, flagged: &HashSet<NodeId>) -> (f64, f64) {
 
 fn main() {
     banner("Fig. 9", "accuracy & time: GFD vs GCFD vs BigDansing-style");
-    let mut g = reallife_graph(&RealLifeConfig::new(RealLifeKind::Yago2));
+    let g = reallife_graph(&RealLifeConfig::new(RealLifeKind::Yago2));
     let entities: Vec<Entity> = sample_entities(&g).into_iter().take(400).collect();
     eprintln!("sampled {} entities", entities.len());
     let sigma = build_sigma(&g, &entities);
@@ -202,7 +203,7 @@ fn main() {
         dropped
     );
 
-    let dirty = inject_targeted_noise(&mut g, &entities, 0.3, 0x5EED);
+    let (g, dirty) = inject_targeted_noise(&g, &entities, 0.3, 0x5EED);
     eprintln!("injected noise into {} entities", dirty.len());
 
     // Index of rules per entity hub label prunes nothing; run all three

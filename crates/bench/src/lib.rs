@@ -22,6 +22,8 @@
 //! trends, crossovers — are the reproduction target, not absolute
 //! seconds.
 
+use std::sync::Arc;
+
 use gfd_core::GfdSet;
 use gfd_datagen::{mine_gfds, reallife_graph, RealLifeConfig, RealLifeKind, RuleGenConfig};
 use gfd_graph::{Fragmentation, Graph, PartitionStrategy};
@@ -40,13 +42,13 @@ pub const DEFAULT_SCALE: f64 = 0.25;
 /// The paper's processor counts.
 pub const PROCESSOR_COUNTS: [usize; 5] = [4, 8, 12, 16, 20];
 
-/// Builds a stand-in graph.
-pub fn dataset(kind: RealLifeKind, scale: f64) -> Graph {
-    reallife_graph(&RealLifeConfig {
+/// Builds a stand-in graph, frozen and ready to share across workers.
+pub fn dataset(kind: RealLifeKind, scale: f64) -> Arc<Graph> {
+    Arc::new(reallife_graph(&RealLifeConfig {
         kind,
         scale,
         seed: 0xBEEF,
-    })
+    }))
 }
 
 /// Mines a rule set with the §7 knobs (`‖Σ‖`, `|Q|`).
@@ -96,7 +98,7 @@ pub fn measure(mut f: impl FnMut() -> ParallelReport) -> ParallelReport {
 }
 
 /// Runs the three `rep*` algorithms at `n` processors.
-pub fn run_rep_family(sigma: &GfdSet, g: &Graph, n: usize) -> Vec<Cell> {
+pub fn run_rep_family(sigma: &GfdSet, g: &Arc<Graph>, n: usize) -> Vec<Cell> {
     vec![
         Cell {
             algo: "repnop",
@@ -115,7 +117,7 @@ pub fn run_rep_family(sigma: &GfdSet, g: &Graph, n: usize) -> Vec<Cell> {
 
 /// Runs the three `dis*` algorithms at `n` processors on a BFS-
 /// clustered fragmentation (the realistic partitioning).
-pub fn run_dis_family(sigma: &GfdSet, g: &Graph, n: usize) -> Vec<Cell> {
+pub fn run_dis_family(sigma: &GfdSet, g: &Arc<Graph>, n: usize) -> Vec<Cell> {
     let frag = Fragmentation::partition(g, n, PartitionStrategy::BfsClustered);
     vec![
         Cell {
@@ -134,7 +136,7 @@ pub fn run_dis_family(sigma: &GfdSet, g: &Graph, n: usize) -> Vec<Cell> {
 }
 
 /// All six algorithms of Fig. 5.
-pub fn run_all_algorithms(sigma: &GfdSet, g: &Graph, n: usize) -> Vec<Cell> {
+pub fn run_all_algorithms(sigma: &GfdSet, g: &Arc<Graph>, n: usize) -> Vec<Cell> {
     let mut cells = run_rep_family(sigma, g, n);
     cells.extend(run_dis_family(sigma, g, n));
     cells

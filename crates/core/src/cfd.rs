@@ -12,7 +12,7 @@
 //! * a single-tuple constant CFD (`R(country=44, area_code=131 →
 //!   city=Edi)`) becomes `ϕ''4` over the one-node pattern.
 
-use gfd_graph::{Graph, NodeId, Value, Vocab};
+use gfd_graph::{GraphBuilder, NodeId, Value, Vocab};
 use gfd_pattern::PatternBuilder;
 use std::sync::Arc;
 
@@ -49,7 +49,7 @@ impl Relation {
     /// Materializes the relation into `g`: one node per tuple, labeled
     /// with the relation name, one attribute per column. Returns the
     /// tuple nodes.
-    pub fn to_graph(&self, g: &mut Graph) -> Vec<NodeId> {
+    pub fn to_graph(&self, g: &mut GraphBuilder) -> Vec<NodeId> {
         self.tuples
             .iter()
             .map(|row| {
@@ -172,8 +172,9 @@ mod tests {
     fn cfd_phi4_prime_catches_zip_street_violation() {
         // Example 5: R(country = 44, zip → street).
         let vocab = Vocab::shared();
-        let mut g = Graph::new(vocab.clone());
-        uk_addresses().to_graph(&mut g);
+        let mut b = GraphBuilder::new(vocab.clone());
+        uk_addresses().to_graph(&mut b);
+        let g = b.freeze();
         let gfd = cfd_as_gfd(
             &vocab,
             "R",
@@ -196,8 +197,9 @@ mod tests {
         let vocab = Vocab::shared();
         let gfd = fd_as_gfd(&vocab, "R", &["zip"], &["street"]);
         assert!(gfd.is_variable(), "ϕ4 uses variable literals only");
-        let mut g = Graph::new(vocab.clone());
-        uk_addresses().to_graph(&mut g);
+        let mut b = GraphBuilder::new(vocab.clone());
+        uk_addresses().to_graph(&mut b);
+        let g = b.freeze();
         // Without the country guard, tuple 2 shares the zip but not the
         // street: violations now pair tuple 2 against 0/1 too.
         let vio = detect_violations(&GfdSet::new(vec![gfd]), &g);
@@ -215,15 +217,17 @@ mod tests {
             &[("city", Value::str("Edi"))],
         );
         assert!(gfd.is_constant(), "ϕ''4 is a constant GFD");
-        let mut g = Graph::new(vocab.clone());
-        uk_addresses().to_graph(&mut g);
+        let mut b = GraphBuilder::new(vocab.clone());
+        uk_addresses().to_graph(&mut b);
+        let g = b.freeze();
         assert!(graph_satisfies(&GfdSet::new(vec![gfd.clone()]), &g));
 
         // Corrupt a city: caught.
         let mut bad = uk_addresses();
         bad.tuples[0][4] = Value::str("Glasgow");
-        let mut g2 = Graph::new(vocab);
-        bad.to_graph(&mut g2);
+        let mut b2 = GraphBuilder::new(vocab);
+        bad.to_graph(&mut b2);
+        let g2 = b2.freeze();
         let vio = detect_violations(&GfdSet::new(vec![gfd]), &g2);
         assert_eq!(vio.len(), 1);
     }

@@ -29,7 +29,7 @@
 
 use std::collections::HashMap;
 
-use gfd_graph::{Graph, NodeId, Value};
+use gfd_graph::{Graph, GraphBuilder, NodeId, Value};
 use gfd_match::{for_each_match, types::Flow, MatchOptions, SearchBudget};
 use gfd_pattern::{analysis, PatLabel};
 
@@ -88,14 +88,15 @@ pub fn tractable_case(sigma: &GfdSet) -> Option<TractableCase> {
 }
 
 /// Builds the canonical graph `G₀`: one copy of each pattern of `Σ`.
-/// Returns the graph and, per rule, the node of each pattern variable.
+/// Returns the frozen graph and, per rule, the node of each pattern
+/// variable.
 pub fn canonical_graph(sigma: &GfdSet) -> (Graph, Vec<Vec<NodeId>>) {
     let vocab = sigma
         .iter()
         .next()
         .map(|g| g.pattern.vocab().clone())
         .unwrap_or_else(gfd_graph::Vocab::shared);
-    let mut g0 = Graph::new(vocab.clone());
+    let mut g0 = GraphBuilder::new(vocab.clone());
     let mut images = Vec::with_capacity(sigma.len());
     let mut fresh = 0usize;
     for gfd in sigma {
@@ -123,7 +124,7 @@ pub fn canonical_graph(sigma: &GfdSet) -> (Graph, Vec<Vec<NodeId>>) {
         }
         images.push(q.vars().map(|v| map[&v]).collect());
     }
-    (g0, images)
+    (g0.freeze(), images)
 }
 
 /// Collects the ground dependencies of every match of every rule of
@@ -151,9 +152,9 @@ fn ground_deps_of_matches(
 /// Checks satisfiability with an explicit match-enumeration budget.
 pub fn check_satisfiability_budgeted(sigma: &GfdSet, budget: SearchBudget) -> SatOutcome {
     if sigma.is_empty() {
-        return SatOutcome::Satisfiable(Graph::with_fresh_vocab());
+        return SatOutcome::Satisfiable(GraphBuilder::with_fresh_vocab().freeze());
     }
-    let (mut g0, _) = canonical_graph(sigma);
+    let (g0, _) = canonical_graph(sigma);
     let Some(deps) = ground_deps_of_matches(sigma, &g0, budget) else {
         return SatOutcome::Unknown;
     };
@@ -171,14 +172,16 @@ pub fn check_satisfiability_budgeted(sigma: &GfdSet, budget: SearchBudget) -> Sa
     // constant (rule constants with this prefix are rejected upstream
     // only by convention; collisions would merely make the model
     // satisfy more antecedents, which the chase already fired).
-    for (owner, attr, class, constant) in rel.attr_assignments() {
-        let value = match constant {
-            Some(v) => v,
-            None => Value::Str(format!("__fresh_{:?}", class).into()),
-        };
-        g0.set_attr(NodeId(owner), attr, value);
-    }
-    SatOutcome::Satisfiable(g0)
+    let model = g0.edit(|b| {
+        for (owner, attr, class, constant) in rel.attr_assignments() {
+            let value = match constant {
+                Some(v) => v,
+                None => Value::Str(format!("__fresh_{:?}", class).into()),
+            };
+            b.set_attr(NodeId(owner), attr, value);
+        }
+    });
+    SatOutcome::Satisfiable(model)
 }
 
 /// Default budget for reasoning chases: generous, but bounded so

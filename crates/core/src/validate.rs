@@ -128,19 +128,19 @@ mod tests {
     /// Builds G1 of Fig. 1 plus ϕ1 of Example 5 (flights with same id
     /// must share destination).
     fn flights_fixture() -> (Graph, GfdSet) {
-        let mut g = Graph::with_fresh_vocab();
+        let mut b = gfd_graph::GraphBuilder::with_fresh_vocab();
         let mut mk = |id: &str, from: &str, to: &str| {
-            let f = g.add_node_labeled("flight");
-            let idn = g.add_node_labeled("id");
-            let fr = g.add_node_labeled("city");
-            let tn = g.add_node_labeled("city");
-            let dp = g.add_node_labeled("time");
-            let ar = g.add_node_labeled("time");
-            g.add_edge_labeled(f, idn, "number");
-            g.add_edge_labeled(f, fr, "from");
-            g.add_edge_labeled(f, tn, "to");
-            g.add_edge_labeled(f, dp, "depart");
-            g.add_edge_labeled(f, ar, "arrive");
+            let f = b.add_node_labeled("flight");
+            let idn = b.add_node_labeled("id");
+            let fr = b.add_node_labeled("city");
+            let tn = b.add_node_labeled("city");
+            let dp = b.add_node_labeled("time");
+            let ar = b.add_node_labeled("time");
+            b.add_edge_labeled(f, idn, "number");
+            b.add_edge_labeled(f, fr, "from");
+            b.add_edge_labeled(f, tn, "to");
+            b.add_edge_labeled(f, dp, "depart");
+            b.add_edge_labeled(f, ar, "arrive");
             for (n, v) in [
                 (idn, id),
                 (fr, from),
@@ -148,11 +148,12 @@ mod tests {
                 (dp, "14:50"),
                 (ar, "22:35"),
             ] {
-                g.set_attr_named(n, "val", Value::str(v));
+                b.set_attr_named(n, "val", Value::str(v));
             }
         };
         mk("DL1", "Paris", "NYC");
         mk("DL1", "Paris", "Singapore");
+        let g = b.freeze();
         let sigma = GfdSet::new(vec![phi1(g.vocab().clone())]);
         (g, sigma)
     }
@@ -207,21 +208,21 @@ mod tests {
 
     #[test]
     fn fixing_the_error_clears_violations() {
-        let (mut g, sigma) = flights_fixture();
+        let (g, sigma) = flights_fixture();
         // Make the second flight's destination NYC as well.
         let val = g.vocab().lookup("val").unwrap();
         let to_node = g
             .nodes()
             .find(|&n| g.attr(n, val) == Some(&Value::str("Singapore")))
             .unwrap();
-        g.set_attr(to_node, val, Value::str("NYC"));
+        let g = g.edit(|b| b.set_attr(to_node, val, Value::str("NYC")));
         assert!(graph_satisfies(&sigma, &g));
         assert!(detect_violations(&sigma, &g).is_empty());
     }
 
     #[test]
     fn missing_attribute_in_x_is_trivial_satisfaction() {
-        let (mut g, sigma) = flights_fixture();
+        let (g, sigma) = flights_fixture();
         // Remove the id value from one flight: X no longer holds for
         // any match, so ϕ1 is trivially satisfied.
         let val = g.vocab().lookup("val").unwrap();
@@ -229,7 +230,9 @@ mod tests {
             .nodes()
             .find(|&n| g.attr(n, val) == Some(&Value::str("DL1")))
             .unwrap();
-        g.remove_attr(id_node, val);
+        let g = g.edit(|b| {
+            b.remove_attr(id_node, val);
+        });
         assert!(graph_satisfies(&sigma, &g));
     }
 
@@ -237,9 +240,10 @@ mod tests {
     fn missing_attribute_in_y_is_a_violation() {
         // Example 6 logic: Y requires the attribute to exist.
         let vocab = Vocab::shared();
-        let mut g = Graph::new(vocab.clone());
-        let n = g.add_node_labeled("item");
+        let mut gb = gfd_graph::GraphBuilder::new(vocab.clone());
+        let n = gb.add_node_labeled("item");
         let _ = n;
+        let g = gb.freeze();
         let mut b = PatternBuilder::new(vocab.clone());
         b.node("x", "item");
         let q = b.build();
@@ -258,20 +262,21 @@ mod tests {
         let sigma = GfdSet::new(vec![gfd]);
         assert!(!graph_satisfies(&sigma, &g));
         // Give it the attribute: satisfied.
-        let mut g2 = Graph::new(vocab);
-        let n2 = g2.add_node_labeled("item");
-        g2.set_attr_named(n2, "A", Value::Int(1));
-        assert!(graph_satisfies(&sigma, &g2));
+        let mut gb2 = gfd_graph::GraphBuilder::new(vocab);
+        let n2 = gb2.add_node_labeled("item");
+        gb2.set_attr_named(n2, "A", Value::Int(1));
+        assert!(graph_satisfies(&sigma, &gb2.freeze()));
     }
 
     #[test]
     fn example6b_no_match_means_satisfied() {
         // G3 ⊨ ϕ2: the single-capital country has no match of Q2.
         let vocab = Vocab::shared();
-        let mut g = Graph::new(vocab.clone());
-        let country = g.add_node_labeled("country");
-        let city = g.add_node_labeled("city");
-        g.add_edge_labeled(country, city, "capital");
+        let mut gb = gfd_graph::GraphBuilder::new(vocab.clone());
+        let country = gb.add_node_labeled("country");
+        let city = gb.add_node_labeled("city");
+        gb.add_edge_labeled(country, city, "capital");
+        let g = gb.freeze();
         let mut b = PatternBuilder::new(vocab.clone());
         let x = b.node("x", "country");
         let y = b.node("y", "city");
@@ -293,13 +298,14 @@ mod tests {
         // GFD 1 of Fig. 7: ∅ → x.val = c ∧ y.val = d with c ≠ d chosen
         // unsatisfiable: every match of the child/parent cycle violates.
         let vocab = Vocab::shared();
-        let mut g = Graph::new(vocab.clone());
-        let p1 = g.add_node_labeled("person");
-        let p2 = g.add_node_labeled("person");
-        g.add_edge_labeled(p1, p2, "hasChild");
-        g.add_edge_labeled(p2, p1, "hasChild");
-        g.set_attr_named(p1, "val", Value::str("Alice"));
-        g.set_attr_named(p2, "val", Value::str("Bob"));
+        let mut gb = gfd_graph::GraphBuilder::new(vocab.clone());
+        let p1 = gb.add_node_labeled("person");
+        let p2 = gb.add_node_labeled("person");
+        gb.add_edge_labeled(p1, p2, "hasChild");
+        gb.add_edge_labeled(p2, p1, "hasChild");
+        gb.set_attr_named(p1, "val", Value::str("Alice"));
+        gb.set_attr_named(p2, "val", Value::str("Bob"));
+        let g = gb.freeze();
 
         let mut b = PatternBuilder::new(vocab.clone());
         let x = b.node("x", "person");

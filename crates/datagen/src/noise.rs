@@ -13,9 +13,8 @@
 //! The report records the ground-truth dirty node set `Vio`, from
 //! which the Fig. 9 harness computes precision and recall.
 
-use gfd_graph::{Graph, NodeId, Value};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use gfd_graph::{GraphBuilder, NodeId, Value};
+use gfd_util::Rng;
 
 /// Noise-injection parameters.
 #[derive(Clone, Debug)]
@@ -73,9 +72,11 @@ impl NoiseReport {
     }
 }
 
-/// Injects noise into `g`, returning the ground truth.
-pub fn inject_noise(g: &mut Graph, cfg: &NoiseConfig) -> NoiseReport {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+/// Injects noise into a thawed graph, returning the ground truth.
+/// Mutation is a builder-level concern: thaw a frozen snapshot with
+/// [`gfd_graph::Graph::thaw`], corrupt it here, then re-freeze.
+pub fn inject_noise(g: &mut GraphBuilder, cfg: &NoiseConfig) -> NoiseReport {
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut report = NoiseReport::default();
     let nodes: Vec<NodeId> = g.nodes().collect();
     // Collect label alphabet once for type noise.
@@ -153,6 +154,7 @@ pub fn inject_noise(g: &mut Graph, cfg: &NoiseConfig) -> NoiseReport {
 mod tests {
     use super::*;
     use crate::reallife::{reallife_graph, RealLifeConfig, RealLifeKind};
+    use gfd_graph::Graph;
 
     fn graph() -> Graph {
         reallife_graph(&RealLifeConfig {
@@ -163,10 +165,10 @@ mod tests {
 
     #[test]
     fn rate_controls_volume() {
-        let mut g = graph();
-        let n = g.node_count() as f64;
+        let mut b = graph().thaw();
+        let n = b.node_count() as f64;
         let report = inject_noise(
-            &mut g,
+            &mut b,
             &NoiseConfig {
                 rate: 0.05,
                 seed: 1,
@@ -178,32 +180,34 @@ mod tests {
 
     #[test]
     fn zero_rate_is_noop() {
-        let mut g = graph();
+        let g = graph();
         let before = gfd_graph::io::to_text(&g);
-        let report = inject_noise(&mut g, &NoiseConfig { rate: 0.0, seed: 1 });
+        let mut b = g.thaw();
+        let report = inject_noise(&mut b, &NoiseConfig { rate: 0.0, seed: 1 });
         assert!(report.is_empty());
-        assert_eq!(gfd_graph::io::to_text(&g), before);
+        assert_eq!(gfd_graph::io::to_text(&b.freeze()), before);
     }
 
     #[test]
     fn corruption_changes_graph() {
-        let mut g = graph();
+        let g = graph();
         let before = gfd_graph::io::to_text(&g);
+        let mut b = g.thaw();
         let report = inject_noise(
-            &mut g,
+            &mut b,
             &NoiseConfig {
                 rate: 0.10,
                 seed: 2,
             },
         );
         assert!(!report.is_empty());
-        assert_ne!(gfd_graph::io::to_text(&g), before);
+        assert_ne!(gfd_graph::io::to_text(&b.freeze()), before);
     }
 
     #[test]
     fn dirty_nodes_deduplicated_and_sorted() {
-        let mut g = graph();
-        let report = inject_noise(&mut g, &NoiseConfig { rate: 0.2, seed: 3 });
+        let mut b = graph().thaw();
+        let report = inject_noise(&mut b, &NoiseConfig { rate: 0.2, seed: 3 });
         let dirty = report.dirty_nodes();
         for w in dirty.windows(2) {
             assert!(w[0] < w[1]);
@@ -212,14 +216,14 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let mut g1 = graph();
-        let mut g2 = graph();
+        let mut b1 = graph().thaw();
+        let mut b2 = graph().thaw();
         let cfg = NoiseConfig {
             rate: 0.05,
             seed: 9,
         };
-        let r1 = inject_noise(&mut g1, &cfg);
-        let r2 = inject_noise(&mut g2, &cfg);
+        let r1 = inject_noise(&mut b1, &cfg);
+        let r2 = inject_noise(&mut b2, &cfg);
         assert_eq!(r1.corrupted, r2.corrupted);
     }
 }

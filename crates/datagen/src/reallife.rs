@@ -17,9 +17,8 @@
 //! value while agreeing on the rest — the "same id ⇒ same fields"
 //! regularity that FD-style rules rely on.
 
-use gfd_graph::{Graph, NodeId, Value};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use gfd_graph::{Graph, GraphBuilder, NodeId, Value};
+use gfd_util::Rng;
 
 use crate::synth::ZipfSampler;
 
@@ -107,8 +106,8 @@ fn shape(kind: RealLifeKind) -> Shape {
 pub fn reallife_graph(cfg: &RealLifeConfig) -> Graph {
     let s = shape(cfg.kind);
     let entities = ((s.entities as f64 * cfg.scale) as usize).max(16);
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let mut g = Graph::with_fresh_vocab();
+    let mut rng = Rng::seed_from_u64(cfg.seed);
+    let mut g = GraphBuilder::with_fresh_vocab();
     let vocab = g.vocab().clone();
     let prefix = match cfg.kind {
         RealLifeKind::DBpedia => "db",
@@ -200,7 +199,7 @@ pub fn reallife_graph(cfg: &RealLifeConfig) -> Graph {
             added += 1;
         }
     }
-    g
+    g.freeze()
 }
 
 /// Builds the *twin-consistency* rule set for a stand-in graph: for
@@ -235,10 +234,9 @@ pub fn twin_rules(g: &Graph, kind: RealLifeKind) -> gfd_core::GfdSet {
         let hub = e.src;
         let l0 = g.label(e.dst);
         let l1 = has1.and_then(|h1| {
-            g.out(hub)
-                .iter()
-                .find(|&&(_, el)| el == h1)
-                .map(|&(leaf, _)| g.label(leaf))
+            g.neighbors_labeled(hub, h1)
+                .first()
+                .map(|a| g.label(a.node))
         });
         let combo = (g.label(hub), l0, l1);
         if !combos.contains(&combo) {

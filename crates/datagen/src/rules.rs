@@ -21,8 +21,7 @@ use std::collections::HashMap;
 use gfd_core::{Dependency, Gfd, GfdSet, Literal};
 use gfd_graph::{Graph, NodeId, Sym};
 use gfd_pattern::{PatternBuilder, VarId};
-use rand::rngs::SmallRng;
-use rand::{seq::SliceRandom, Rng, SeedableRng};
+use gfd_util::Rng;
 
 /// Rule-generation parameters.
 #[derive(Clone, Debug)]
@@ -78,7 +77,7 @@ fn mine_edge_features(g: &Graph) -> Vec<(EdgeFeature, usize)> {
 
 /// Attribute symbols observed on nodes labeled `label` (first few).
 fn attrs_of_label(g: &Graph, label: Sym) -> Vec<Sym> {
-    for &n in g.nodes_with_label(label).iter().take(16) {
+    for &n in g.extent(label).iter().take(16) {
         let attrs: Vec<Sym> = g.attrs(n).iter().map(|(a, _)| a).collect();
         if !attrs.is_empty() {
             return attrs;
@@ -88,8 +87,8 @@ fn attrs_of_label(g: &Graph, label: Sym) -> Vec<Sym> {
 }
 
 /// A sample value of `label.attr` from the graph, if any.
-fn sample_value(g: &Graph, label: Sym, attr: Sym, rng: &mut SmallRng) -> Option<gfd_graph::Value> {
-    let extent = g.nodes_with_label(label);
+fn sample_value(g: &Graph, label: Sym, attr: Sym, rng: &mut Rng) -> Option<gfd_graph::Value> {
+    let extent = g.extent(label);
     if extent.is_empty() {
         return None;
     }
@@ -116,7 +115,7 @@ fn grow_component(
     features: &[(EdgeFeature, usize)],
     size: usize,
     g: &Graph,
-    rng: &mut SmallRng,
+    rng: &mut Rng,
 ) -> GrownComponent {
     let vocab = g.vocab();
     let hub = b.node(&format!("{prefix}0"), &vocab.resolve(seed.src));
@@ -133,7 +132,7 @@ fn grow_component(
             .filter(|(f, _)| f.src == anchor_label)
             .take(6)
             .collect();
-        let Some((f, _)) = candidates.choose(rng).copied() else {
+        let Some((f, _)) = rng.choose(&candidates).copied() else {
             // Nothing attaches here; try the hub's own features.
             if vars.len() >= 2 {
                 break;
@@ -150,7 +149,7 @@ fn grow_component(
 
 /// Generates `Σ` from a graph following the paper's procedure.
 pub fn mine_gfds(g: &Graph, cfg: &RuleGenConfig) -> GfdSet {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let features = mine_edge_features(g);
     assert!(
         !features.is_empty(),
@@ -162,7 +161,7 @@ pub fn mine_gfds(g: &Graph, cfg: &RuleGenConfig) -> GfdSet {
     let bounded: Vec<EdgeFeature> = features
         .iter()
         .filter(|(f, _)| {
-            let ext = g.nodes_with_label(f.src).len();
+            let ext = g.extent(f.src).len();
             ext >= 2 && ext <= cfg.max_pivot_extent
         })
         .take(10)
@@ -191,7 +190,7 @@ fn build_twin_rule(
     features: &[(EdgeFeature, usize)],
     size: usize,
     idx: usize,
-    rng: &mut SmallRng,
+    rng: &mut Rng,
 ) -> Gfd {
     let mut b = PatternBuilder::new(g.vocab().clone());
     let cx = grow_component(&mut b, &format!("x{idx}_"), seed, features, size, g, rng);
@@ -283,7 +282,7 @@ fn build_single_rule(
     features: &[(EdgeFeature, usize)],
     size: usize,
     idx: usize,
-    rng: &mut SmallRng,
+    rng: &mut Rng,
 ) -> Gfd {
     let mut b = PatternBuilder::new(g.vocab().clone());
     let comp = grow_component(&mut b, &format!("v{idx}_"), seed, features, size, g, rng);
@@ -410,7 +409,7 @@ mod tests {
             for c in &pv.components {
                 if let gfd_pattern::PatLabel::Sym(s) = gfd.pattern.label(c.pivot) {
                     assert!(
-                        g.nodes_with_label(s).len() <= cfg.max_pivot_extent,
+                        g.extent(s).len() <= cfg.max_pivot_extent,
                         "twin pivot extent must be bounded"
                     );
                 }

@@ -9,9 +9,8 @@
 //! concentrate edges on fewer hubs, shrinking the paper's
 //! `|G_dm| / |G_dm'|` ratio.
 
-use gfd_graph::{Graph, NodeId, Value};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use gfd_graph::{Graph, GraphBuilder, NodeId, Value};
+use gfd_util::Rng;
 
 /// Synthetic-graph parameters.
 #[derive(Clone, Debug)]
@@ -78,9 +77,9 @@ impl ZipfSampler {
         ZipfSampler { cdf }
     }
 
-    pub(crate) fn sample(&self, rng: &mut SmallRng) -> usize {
+    pub(crate) fn sample(&self, rng: &mut Rng) -> usize {
         let total = *self.cdf.last().expect("non-empty domain");
-        let x: f64 = rng.gen_range(0.0..total);
+        let x: f64 = rng.gen_f64_range(0.0, total);
         self.cdf.partition_point(|&c| c < x).min(self.cdf.len() - 1)
     }
 }
@@ -88,8 +87,8 @@ impl ZipfSampler {
 /// Generates a synthetic power-law graph.
 pub fn synthetic_graph(cfg: &SynthConfig) -> Graph {
     assert!(cfg.nodes > 0 && cfg.labels > 0 && cfg.edge_labels > 0);
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let mut g = Graph::with_fresh_vocab();
+    let mut rng = Rng::seed_from_u64(cfg.seed);
+    let mut g = GraphBuilder::with_fresh_vocab();
     let vocab = g.vocab().clone();
 
     let labels: Vec<_> = (0..cfg.labels)
@@ -129,7 +128,7 @@ pub fn synthetic_graph(cfg: &SynthConfig) -> Graph {
             added += 1;
         }
     }
-    g
+    g.freeze()
 }
 
 #[cfg(test)]
@@ -211,7 +210,7 @@ mod tests {
 
     #[test]
     fn zipf_sampler_prefers_low_indices() {
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let z = ZipfSampler::new(100, 1.5);
         let mut low = 0;
         for _ in 0..1000 {

@@ -4,13 +4,11 @@
 //! nodes in real graphs carry a handful of attributes, so binary search
 //! over a dense vector beats a hash map in both space and time.
 
-use serde::{Deserialize, Serialize};
-
 use crate::value::Value;
 use crate::vocab::Sym;
 
 /// The attribute tuple of one node, sorted by attribute symbol.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct AttrMap {
     entries: Vec<(Sym, Value)>,
 }

@@ -106,7 +106,8 @@ impl Fragmentation {
         }
         for u in g.nodes() {
             let fu = owner[u.index()];
-            for &(v, _) in g.out(u) {
+            for a in g.out_slice(u) {
+                let v = a.node;
                 fragments[fu.index()].edge_count += 1;
                 let fv = owner[v.index()];
                 if fu != fv {
@@ -185,7 +186,7 @@ fn bfs_clustered(g: &Graph, n: usize) -> Vec<FragmentId> {
                 queue.clear();
                 break;
             }
-            for (v, _) in g.neighbors(u) {
+            for v in g.neighbors(u) {
                 if owner[v.index()].0 == u16::MAX {
                     queue.push_back(v);
                 }
@@ -200,12 +201,12 @@ mod tests {
     use super::*;
 
     fn ring(n: usize) -> Graph {
-        let mut g = Graph::with_fresh_vocab();
-        let ns: Vec<NodeId> = (0..n).map(|_| g.add_node_labeled("v")).collect();
+        let mut b = crate::graph::GraphBuilder::with_fresh_vocab();
+        let ns: Vec<NodeId> = (0..n).map(|_| b.add_node_labeled("v")).collect();
         for i in 0..n {
-            g.add_edge_labeled(ns[i], ns[(i + 1) % n], "e");
+            b.add_edge_labeled(ns[i], ns[(i + 1) % n], "e");
         }
-        g
+        b.freeze()
     }
 
     #[test]

@@ -1,26 +1,48 @@
-//! The property graph `G = (V, E, L, F_A)` of §2.
+//! The property graph `G = (V, E, L, F_A)` of §2, split into a mutable
+//! [`GraphBuilder`] and an immutable CSR snapshot [`Graph`].
 //!
-//! * nodes carry an interned label and an [`AttrMap`];
-//! * edges are directed, labeled, and unique per `(src, dst, label)`
-//!   triple (parallel edges with distinct labels are allowed, as in
-//!   property graphs and RDF);
-//! * adjacency is kept both ways and sorted, so the matcher's hot
-//!   operation `has_edge(u, v, label)` is a binary search;
-//! * a label index maps each node label to its extent — the candidate
-//!   set `C(µ(z))` of workload estimation (§6.1).
+//! ## Why two types
+//!
+//! GFD validation is read-dominated: the matcher calls
+//! `has_edge(u, v, label)` and scans per-label neighbor lists millions
+//! of times per run, while mutation only happens during loading, data
+//! generation and noise injection. Storing adjacency as
+//! `Vec<Vec<(NodeId, Sym)>>` with a `HashMap` label index (the old
+//! layout) is cache-hostile for the hot path and forces every consumer
+//! that wants a stable view to clone. The split makes the common case
+//! cheap:
+//!
+//! * [`GraphBuilder`] — append/update API (`add_node`, `add_edge`,
+//!   `set_attr`, `set_label`, …). Per-node adjacency is kept sorted by
+//!   `(label, dst)` so duplicate-edge rejection stays a binary search.
+//! * [`Graph`] — produced by [`GraphBuilder::freeze`]: flat
+//!   offset/adjacency arrays (CSR) for both directions, each node's
+//!   edge run sorted by `(label, dst)`, plus label extents stored as
+//!   contiguous ranges over a node permutation. `has_edge` is a binary
+//!   search over one contiguous slice; per-label neighbor lists
+//!   ([`Graph::neighbors_labeled`]) and label extents
+//!   ([`Graph::extent`]) are zero-allocation subslices.
+//!
+//! A frozen snapshot is immutable, `Send + Sync`, and shared across
+//! workers behind an `Arc` — no per-worker copies. Repair/noise
+//! workflows go back through [`Graph::thaw`] (or the [`Graph::edit`]
+//! convenience) and re-freeze; node ids are stable across the round
+//! trip.
+//!
+//! Edge semantics are unchanged from §2: edges are directed, labeled,
+//! and unique per `(src, dst, label)` triple (parallel edges with
+//! distinct labels are allowed, as in property graphs and RDF).
 
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
-
-use serde::{Deserialize, Serialize};
 
 use crate::attrs::AttrMap;
 use crate::value::Value;
 use crate::vocab::{Sym, Vocab};
 
 /// Identifier of a node in a [`Graph`] (dense, 0-based).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -38,7 +60,7 @@ impl fmt::Debug for NodeId {
 }
 
 /// A directed labeled edge `(src, dst, label)`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Edge {
     /// Source node.
     pub src: NodeId,
@@ -48,46 +70,67 @@ pub struct Edge {
     pub label: Sym,
 }
 
-/// A directed property graph with labeled nodes/edges and node attributes.
+/// One adjacency entry: the edge label and the neighbor it leads to.
+///
+/// The derived ordering is `(label, node)` — the sort key of every
+/// CSR edge run, which is what makes `has_edge` a binary search and
+/// per-label neighbor lists contiguous.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Adj {
+    /// The edge label.
+    pub label: Sym,
+    /// The neighbor (`dst` in out-adjacency, `src` in in-adjacency).
+    pub node: NodeId,
+}
+
+impl fmt::Debug for Adj {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "-[{:?}]-{:?}", self.label, self.node)
+    }
+}
+
+// ---------------------------------------------------------------------
+// GraphBuilder
+
+/// The mutable construction side of a property graph.
 ///
 /// ```
-/// use gfd_graph::{Graph, Value, Vocab};
+/// use gfd_graph::{GraphBuilder, Value, Vocab};
 /// let vocab = Vocab::shared();
-/// let mut g = Graph::new(vocab.clone());
-/// let flight = g.add_node_labeled("flight");
-/// let id = g.add_node_labeled("id");
-/// g.add_edge_labeled(flight, id, "number");
-/// g.set_attr_named(id, "val", Value::str("DL1"));
+/// let mut b = GraphBuilder::new(vocab.clone());
+/// let flight = b.add_node_labeled("flight");
+/// let id = b.add_node_labeled("id");
+/// b.add_edge_labeled(flight, id, "number");
+/// b.set_attr_named(id, "val", Value::str("DL1"));
+/// let g = b.freeze();
 /// assert_eq!(g.node_count(), 2);
 /// assert_eq!(g.edge_count(), 1);
 /// ```
-pub struct Graph {
+#[derive(Clone)]
+pub struct GraphBuilder {
     vocab: Arc<Vocab>,
     labels: Vec<Sym>,
     attrs: Vec<AttrMap>,
-    /// Outgoing adjacency per node, sorted by `(dst, label)`.
-    out: Vec<Vec<(NodeId, Sym)>>,
-    /// Incoming adjacency per node, sorted by `(src, label)`.
-    inn: Vec<Vec<(NodeId, Sym)>>,
+    /// Outgoing adjacency per node, sorted by `(label, dst)`.
+    out: Vec<Vec<Adj>>,
     label_index: HashMap<Sym, Vec<NodeId>>,
     edge_count: usize,
 }
 
-impl Graph {
-    /// Creates an empty graph over the given vocabulary.
+impl GraphBuilder {
+    /// Creates an empty builder over the given vocabulary.
     pub fn new(vocab: Arc<Vocab>) -> Self {
-        Graph {
+        GraphBuilder {
             vocab,
             labels: Vec::new(),
             attrs: Vec::new(),
             out: Vec::new(),
-            inn: Vec::new(),
             label_index: HashMap::new(),
             edge_count: 0,
         }
     }
 
-    /// Creates an empty graph with a fresh private vocabulary.
+    /// Creates an empty builder with a fresh private vocabulary.
     pub fn with_fresh_vocab() -> Self {
         Self::new(Vocab::shared())
     }
@@ -97,16 +140,12 @@ impl Graph {
         &self.vocab
     }
 
-    // ------------------------------------------------------------------
-    // construction
-
     /// Adds a node with the given (already interned) label.
     pub fn add_node(&mut self, label: Sym) -> NodeId {
         let id = NodeId(self.labels.len() as u32);
         self.labels.push(label);
         self.attrs.push(AttrMap::new());
         self.out.push(Vec::new());
-        self.inn.push(Vec::new());
         self.label_index.entry(label).or_default().push(id);
         id
     }
@@ -117,17 +156,24 @@ impl Graph {
         self.add_node(sym)
     }
 
-    /// Adds the edge `(src, dst, label)`. Returns `false` (and leaves the
-    /// graph unchanged) if the identical edge already exists.
+    /// Adds the edge `(src, dst, label)`. Returns `false` (and leaves
+    /// the graph unchanged) if the identical edge already exists.
+    ///
+    /// # Panics
+    /// Panics if `src` or `dst` is not a node of this builder — here,
+    /// at the insertion site, rather than deep inside [`freeze`].
     pub fn add_edge(&mut self, src: NodeId, dst: NodeId, label: Sym) -> bool {
+        assert!(
+            dst.index() < self.labels.len(),
+            "add_edge: dst {dst:?} is not a node (node_count = {})",
+            self.labels.len()
+        );
+        let entry = Adj { label, node: dst };
         let out = &mut self.out[src.index()];
-        match out.binary_search(&(dst, label)) {
+        match out.binary_search(&entry) {
             Ok(_) => false,
             Err(pos) => {
-                out.insert(pos, (dst, label));
-                let inn = &mut self.inn[dst.index()];
-                let ipos = inn.binary_search(&(src, label)).unwrap_err();
-                inn.insert(ipos, (src, label));
+                out.insert(pos, entry);
                 self.edge_count += 1;
                 true
             }
@@ -174,8 +220,161 @@ impl Graph {
         old
     }
 
-    // ------------------------------------------------------------------
-    // inspection
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.labels.len() as u32).map(NodeId)
+    }
+
+    /// The label of `node`.
+    pub fn label(&self, node: NodeId) -> Sym {
+        self.labels[node.index()]
+    }
+
+    /// The attribute tuple `F_A(node)`.
+    pub fn attrs(&self, node: NodeId) -> &AttrMap {
+        &self.attrs[node.index()]
+    }
+
+    /// The value of `node.attr`, if present.
+    pub fn attr(&self, node: NodeId, attr: Sym) -> Option<&Value> {
+        self.attrs[node.index()].get(attr)
+    }
+
+    /// Nodes currently carrying `label` (ascending ids).
+    pub fn nodes_with_label(&self, label: Sym) -> &[NodeId] {
+        self.label_index
+            .get(&label)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Flattens the builder into an immutable CSR snapshot. Node ids
+    /// are preserved verbatim.
+    pub fn freeze(self) -> Graph {
+        let n = self.labels.len();
+        let m = self.edge_count;
+
+        // Out-CSR: the builder keeps each run sorted by (label, dst).
+        let mut out_offsets = Vec::with_capacity(n + 1);
+        let mut out_adj = Vec::with_capacity(m);
+        out_offsets.push(0u32);
+        for run in &self.out {
+            out_adj.extend_from_slice(run);
+            out_offsets.push(out_adj.len() as u32);
+        }
+
+        // In-CSR: counting sort by destination, then order each run.
+        let mut in_degree = vec![0u32; n];
+        for run in &self.out {
+            for a in run {
+                in_degree[a.node.index()] += 1;
+            }
+        }
+        let mut in_offsets = Vec::with_capacity(n + 1);
+        in_offsets.push(0u32);
+        for d in &in_degree {
+            in_offsets.push(in_offsets.last().unwrap() + d);
+        }
+        let mut in_adj = vec![
+            Adj {
+                label: Sym(0),
+                node: NodeId(0)
+            };
+            m
+        ];
+        let mut cursor: Vec<u32> = in_offsets[..n].to_vec();
+        for (src, run) in self.out.iter().enumerate() {
+            for a in run {
+                let slot = &mut cursor[a.node.index()];
+                in_adj[*slot as usize] = Adj {
+                    label: a.label,
+                    node: NodeId(src as u32),
+                };
+                *slot += 1;
+            }
+        }
+        for u in 0..n {
+            in_adj[in_offsets[u] as usize..in_offsets[u + 1] as usize].sort_unstable();
+        }
+
+        // Label extents: a node permutation sorted by (label, id) with
+        // one contiguous range per label.
+        let mut extent_perm: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+        extent_perm.sort_unstable_by_key(|&u| (self.labels[u.index()], u));
+        let mut extent_ranges: Vec<(Sym, u32, u32)> = Vec::new();
+        for (i, &u) in extent_perm.iter().enumerate() {
+            let label = self.labels[u.index()];
+            match extent_ranges.last_mut() {
+                Some((l, _, hi)) if *l == label => *hi = (i + 1) as u32,
+                _ => extent_ranges.push((label, i as u32, (i + 1) as u32)),
+            }
+        }
+
+        Graph {
+            vocab: self.vocab,
+            labels: self.labels,
+            attrs: self.attrs,
+            out_offsets,
+            out_adj,
+            in_offsets,
+            in_adj,
+            extent_perm,
+            extent_ranges,
+            edge_count: m,
+        }
+    }
+}
+
+impl fmt::Debug for GraphBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GraphBuilder")
+            .field("nodes", &self.node_count())
+            .field("edges", &self.edge_count())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Graph (frozen CSR snapshot)
+
+/// An immutable CSR snapshot of a property graph.
+///
+/// Produced by [`GraphBuilder::freeze`]; see the module docs for the
+/// layout. All read methods are allocation-free; the snapshot is
+/// `Send + Sync` and meant to be shared across workers via `Arc`.
+pub struct Graph {
+    vocab: Arc<Vocab>,
+    labels: Vec<Sym>,
+    attrs: Vec<AttrMap>,
+    /// `out_adj[out_offsets[u]..out_offsets[u+1]]` is `u`'s out-run,
+    /// sorted by `(label, dst)`.
+    out_offsets: Vec<u32>,
+    out_adj: Vec<Adj>,
+    /// Same layout for incoming edges (`node` is the source).
+    in_offsets: Vec<u32>,
+    in_adj: Vec<Adj>,
+    /// All nodes sorted by `(label, id)`; extents are subranges.
+    extent_perm: Vec<NodeId>,
+    /// Per label: `(label, lo, hi)` into `extent_perm`, sorted by label.
+    extent_ranges: Vec<(Sym, u32, u32)>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// The shared vocabulary of this graph.
+    pub fn vocab(&self) -> &Arc<Vocab> {
+        &self.vocab
+    }
 
     /// Number of nodes `|V|`.
     pub fn node_count(&self) -> usize {
@@ -213,68 +412,140 @@ impl Graph {
         self.attrs[node.index()].get(attr)
     }
 
-    /// Outgoing `(dst, label)` pairs of `node`, sorted.
-    pub fn out(&self, node: NodeId) -> &[(NodeId, Sym)] {
-        &self.out[node.index()]
+    /// The outgoing edge run of `node`, sorted by `(label, dst)`.
+    #[inline]
+    pub fn out_slice(&self, node: NodeId) -> &[Adj] {
+        let i = node.index();
+        &self.out_adj[self.out_offsets[i] as usize..self.out_offsets[i + 1] as usize]
     }
 
-    /// Incoming `(src, label)` pairs of `node`, sorted.
-    pub fn inn(&self, node: NodeId) -> &[(NodeId, Sym)] {
-        &self.inn[node.index()]
+    /// The incoming edge run of `node`, sorted by `(label, src)`.
+    #[inline]
+    pub fn in_slice(&self, node: NodeId) -> &[Adj] {
+        let i = node.index();
+        &self.in_adj[self.in_offsets[i] as usize..self.in_offsets[i + 1] as usize]
+    }
+
+    /// Out-degree of `node`.
+    #[inline]
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        let i = node.index();
+        (self.out_offsets[i + 1] - self.out_offsets[i]) as usize
+    }
+
+    /// In-degree of `node`.
+    #[inline]
+    pub fn in_degree(&self, node: NodeId) -> usize {
+        let i = node.index();
+        (self.in_offsets[i + 1] - self.in_offsets[i]) as usize
     }
 
     /// Total degree (in + out) of `node`.
+    #[inline]
     pub fn degree(&self, node: NodeId) -> usize {
-        self.out[node.index()].len() + self.inn[node.index()].len()
+        self.out_degree(node) + self.in_degree(node)
     }
 
-    /// True if the edge `(src, dst, label)` exists.
+    /// The contiguous `label`-subrange of a sorted edge run.
+    #[inline]
+    fn labeled_range(run: &[Adj], label: Sym) -> &[Adj] {
+        let lo = run.partition_point(|a| a.label < label);
+        let hi = lo + run[lo..].partition_point(|a| a.label == label);
+        &run[lo..hi]
+    }
+
+    /// Out-neighbors of `node` along `label`-edges, as a zero-alloc
+    /// subslice of the CSR run (every entry has `.label == label`).
+    #[inline]
+    pub fn neighbors_labeled(&self, node: NodeId, label: Sym) -> &[Adj] {
+        Self::labeled_range(self.out_slice(node), label)
+    }
+
+    /// In-neighbors of `node` along `label`-edges (zero-alloc).
+    #[inline]
+    pub fn in_neighbors_labeled(&self, node: NodeId, label: Sym) -> &[Adj] {
+        Self::labeled_range(self.in_slice(node), label)
+    }
+
+    /// True if the edge `(src, dst, label)` exists — one binary search
+    /// over `src`'s contiguous out-run.
+    #[inline]
     pub fn has_edge(&self, src: NodeId, dst: NodeId, label: Sym) -> bool {
-        self.out[src.index()].binary_search(&(dst, label)).is_ok()
+        self.out_slice(src)
+            .binary_search(&Adj { label, node: dst })
+            .is_ok()
     }
 
     /// True if any edge `src → dst` exists, regardless of label.
+    ///
+    /// The run is sorted by `(label, dst)`, so a single binary search
+    /// can't answer this; instead we skip-scan label segments, binary
+    /// searching `dst` within each — `O(L · log deg)` for `L` distinct
+    /// labels at `src`, with a plain scan for short runs.
     pub fn has_edge_any(&self, src: NodeId, dst: NodeId) -> bool {
-        let out = &self.out[src.index()];
-        let start = out.partition_point(|&(d, _)| d < dst);
-        out.get(start).is_some_and(|&(d, _)| d == dst)
+        let run = self.out_slice(src);
+        if run.len() <= 16 {
+            return run.iter().any(|a| a.node == dst);
+        }
+        let mut i = 0;
+        while i < run.len() {
+            let label = run[i].label;
+            let seg = i + run[i..].partition_point(|a| a.label == label);
+            if run[i..seg].binary_search(&Adj { label, node: dst }).is_ok() {
+                return true;
+            }
+            i = seg;
+        }
+        false
     }
 
-    /// All edges `src → dst` (any label).
+    /// All edge labels `src → dst`.
     pub fn edges_between(&self, src: NodeId, dst: NodeId) -> impl Iterator<Item = Sym> + '_ {
-        let out = &self.out[src.index()];
-        let start = out.partition_point(|&(d, _)| d < dst);
-        out[start..]
+        self.out_slice(src)
             .iter()
-            .take_while(move |&&(d, _)| d == dst)
-            .map(|&(_, l)| l)
+            .filter(move |a| a.node == dst)
+            .map(|a| a.label)
     }
 
-    /// Nodes carrying `label` — the candidate extent `C(µ(z))`.
-    pub fn nodes_with_label(&self, label: Sym) -> &[NodeId] {
-        self.label_index
-            .get(&label)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+    /// Nodes carrying `label` — the candidate extent `C(µ(z))`, as a
+    /// zero-alloc subslice of the label permutation (ascending ids).
+    pub fn extent(&self, label: Sym) -> &[NodeId] {
+        match self
+            .extent_ranges
+            .binary_search_by_key(&label, |&(l, _, _)| l)
+        {
+            Ok(i) => {
+                let (_, lo, hi) = self.extent_ranges[i];
+                &self.extent_perm[lo as usize..hi as usize]
+            }
+            Err(_) => &[],
+        }
     }
 
-    /// All labels that occur on nodes, with their extents.
+    /// All labels that occur on nodes, with their extents (ascending
+    /// label order).
     pub fn label_extents(&self) -> impl Iterator<Item = (Sym, &[NodeId])> + '_ {
-        self.label_index.iter().map(|(l, ns)| (*l, ns.as_slice()))
+        self.extent_ranges
+            .iter()
+            .map(|&(l, lo, hi)| (l, &self.extent_perm[lo as usize..hi as usize]))
     }
 
-    /// Undirected neighbors of `node` (out then in), with edge labels.
-    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = (NodeId, Sym)> + '_ {
-        self.out(node).iter().chain(self.inn(node).iter()).copied()
+    /// Undirected neighbors of `node` (out then in; duplicates possible
+    /// when edges run both ways).
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.out_slice(node)
+            .iter()
+            .chain(self.in_slice(node).iter())
+            .map(|a| a.node)
     }
 
-    /// Iterates over all edges.
+    /// Iterates over all edges (by source node, then `(label, dst)`).
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
-        self.out.iter().enumerate().flat_map(|(src, adj)| {
-            adj.iter().map(move |&(dst, label)| Edge {
-                src: NodeId(src as u32),
-                dst,
-                label,
+        self.nodes().flat_map(move |src| {
+            self.out_slice(src).iter().map(move |a| Edge {
+                src,
+                dst: a.node,
+                label: a.label,
             })
         })
     }
@@ -282,7 +553,32 @@ impl Graph {
     /// Approximate serialized size of a node (label + attributes + its
     /// incident edge slots), used by the communication cost model.
     pub fn node_wire_size(&self, node: NodeId) -> usize {
-        8 + self.attrs[node.index()].wire_size() + 12 * self.out[node.index()].len()
+        8 + self.attrs[node.index()].wire_size() + 12 * self.out_degree(node)
+    }
+
+    /// Reconstructs a [`GraphBuilder`] with identical contents and node
+    /// ids, for repair/noise workflows that need to mutate a snapshot.
+    pub fn thaw(&self) -> GraphBuilder {
+        let mut label_index: HashMap<Sym, Vec<NodeId>> = HashMap::new();
+        for (label, extent) in self.label_extents() {
+            label_index.insert(label, extent.to_vec());
+        }
+        GraphBuilder {
+            vocab: self.vocab.clone(),
+            labels: self.labels.clone(),
+            attrs: self.attrs.clone(),
+            out: self.nodes().map(|u| self.out_slice(u).to_vec()).collect(),
+            label_index,
+            edge_count: self.edge_count,
+        }
+    }
+
+    /// Thaw–mutate–refreeze in one step: returns a new snapshot with
+    /// `edits` applied.
+    pub fn edit(&self, edits: impl FnOnce(&mut GraphBuilder)) -> Graph {
+        let mut b = self.thaw();
+        edits(&mut b);
+        b.freeze()
     }
 }
 
@@ -301,15 +597,15 @@ mod tests {
 
     fn g3() -> (Graph, [NodeId; 3]) {
         // Fig. 1's G3: a country with one capital (plus a stray city).
-        let mut g = Graph::with_fresh_vocab();
-        let country = g.add_node_labeled("country");
-        let canberra = g.add_node_labeled("city");
-        let melbourne = g.add_node_labeled("city");
-        g.add_edge_labeled(country, canberra, "capital");
-        g.set_attr_named(country, "val", Value::str("Australia"));
-        g.set_attr_named(canberra, "val", Value::str("Canberra"));
-        g.set_attr_named(melbourne, "val", Value::str("Melbourne"));
-        (g, [country, canberra, melbourne])
+        let mut b = GraphBuilder::with_fresh_vocab();
+        let country = b.add_node_labeled("country");
+        let canberra = b.add_node_labeled("city");
+        let melbourne = b.add_node_labeled("city");
+        b.add_edge_labeled(country, canberra, "capital");
+        b.set_attr_named(country, "val", Value::str("Australia"));
+        b.set_attr_named(canberra, "val", Value::str("Canberra"));
+        b.set_attr_named(melbourne, "val", Value::str("Melbourne"));
+        (b.freeze(), [country, canberra, melbourne])
     }
 
     #[test]
@@ -326,42 +622,74 @@ mod tests {
 
     #[test]
     fn duplicate_edges_rejected() {
-        let mut g = Graph::with_fresh_vocab();
-        let a = g.add_node_labeled("a");
-        let b = g.add_node_labeled("b");
-        assert!(g.add_edge_labeled(a, b, "e"));
-        assert!(!g.add_edge_labeled(a, b, "e"));
-        assert!(g.add_edge_labeled(a, b, "f")); // parallel edge, new label
+        let mut b = GraphBuilder::with_fresh_vocab();
+        let a = b.add_node_labeled("a");
+        let c = b.add_node_labeled("b");
+        assert!(b.add_edge_labeled(a, c, "e"));
+        assert!(!b.add_edge_labeled(a, c, "e"));
+        assert!(b.add_edge_labeled(a, c, "f")); // parallel edge, new label
+        let g = b.freeze();
         assert_eq!(g.edge_count(), 2);
-        let labels: Vec<_> = g.edges_between(a, b).collect();
+        let labels: Vec<_> = g.edges_between(a, c).collect();
         assert_eq!(labels.len(), 2);
     }
 
     #[test]
-    fn label_index_tracks_extents() {
+    fn extents_track_labels() {
         let (g, [country, canberra, melbourne]) = g3();
         let city = g.vocab().lookup("city").unwrap();
-        assert_eq!(g.nodes_with_label(city), &[canberra, melbourne]);
+        assert_eq!(g.extent(city), &[canberra, melbourne]);
         let cn = g.vocab().lookup("country").unwrap();
-        assert_eq!(g.nodes_with_label(cn), &[country]);
+        assert_eq!(g.extent(cn), &[country]);
         let missing = g.vocab().intern("starship");
-        assert!(g.nodes_with_label(missing).is_empty());
+        assert!(g.extent(missing).is_empty());
+        let total: usize = g.label_extents().map(|(_, e)| e.len()).sum();
+        assert_eq!(total, g.node_count());
     }
 
     #[test]
-    fn adjacency_sorted_and_symmetric() {
-        let mut g = Graph::with_fresh_vocab();
+    fn runs_sorted_by_label_then_dst() {
+        let mut b = GraphBuilder::with_fresh_vocab();
         let nodes: Vec<NodeId> = (0..5)
-            .map(|i| g.add_node_labeled(&format!("l{i}")))
+            .map(|i| b.add_node_labeled(&format!("l{i}")))
             .collect();
-        g.add_edge_labeled(nodes[0], nodes[3], "e");
-        g.add_edge_labeled(nodes[0], nodes[1], "e");
-        g.add_edge_labeled(nodes[0], nodes[2], "e");
-        let dsts: Vec<u32> = g.out(nodes[0]).iter().map(|(d, _)| d.0).collect();
-        assert_eq!(dsts, vec![1, 2, 3]);
-        for &(src, _) in g.inn(nodes[1]) {
-            assert!(g.out(src).iter().any(|&(d, _)| d == nodes[1]));
+        b.add_edge_labeled(nodes[0], nodes[3], "e");
+        b.add_edge_labeled(nodes[0], nodes[1], "f");
+        b.add_edge_labeled(nodes[0], nodes[2], "e");
+        let g = b.freeze();
+        let run = g.out_slice(nodes[0]);
+        assert!(
+            run.windows(2).all(|w| w[0] < w[1]),
+            "sorted by (label, dst)"
+        );
+        let e = g.vocab().lookup("e").unwrap();
+        let e_dsts: Vec<u32> = g
+            .neighbors_labeled(nodes[0], e)
+            .iter()
+            .map(|a| a.node.0)
+            .collect();
+        assert_eq!(e_dsts, vec![2, 3]);
+        for a in g.in_slice(nodes[1]) {
+            assert!(g.out_slice(a.node).iter().any(|o| o.node == nodes[1]));
         }
+    }
+
+    #[test]
+    fn in_adjacency_mirrors_out() {
+        let mut b = GraphBuilder::with_fresh_vocab();
+        let ns: Vec<NodeId> = (0..4).map(|_| b.add_node_labeled("v")).collect();
+        b.add_edge_labeled(ns[0], ns[2], "e");
+        b.add_edge_labeled(ns[1], ns[2], "e");
+        b.add_edge_labeled(ns[3], ns[2], "f");
+        let g = b.freeze();
+        assert_eq!(g.in_degree(ns[2]), 3);
+        let e = g.vocab().lookup("e").unwrap();
+        let srcs: Vec<NodeId> = g
+            .in_neighbors_labeled(ns[2], e)
+            .iter()
+            .map(|a| a.node)
+            .collect();
+        assert_eq!(srcs, vec![ns[0], ns[1]]);
     }
 
     #[test]
@@ -378,5 +706,75 @@ mod tests {
         let (g, _) = g3();
         let all: Vec<Edge> = g.edges().collect();
         assert_eq!(all.len(), g.edge_count());
+    }
+
+    #[test]
+    fn thaw_freeze_round_trip_preserves_everything() {
+        let (g, [country, canberra, _]) = g3();
+        let g2 = g.thaw().freeze();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        let capital = g.vocab().lookup("capital").unwrap();
+        assert!(g2.has_edge(country, canberra, capital));
+        for u in g.nodes() {
+            assert_eq!(g.label(u), g2.label(u));
+            assert_eq!(g.attrs(u), g2.attrs(u));
+            assert_eq!(g.out_slice(u), g2.out_slice(u));
+            assert_eq!(g.in_slice(u), g2.in_slice(u));
+        }
+    }
+
+    #[test]
+    fn edit_applies_mutations() {
+        let (g, [_, canberra, melbourne]) = g3();
+        let val = g.vocab().lookup("val").unwrap();
+        let g2 = g.edit(|b| {
+            b.set_attr(melbourne, val, Value::str("Canberra"));
+            b.remove_attr(canberra, val);
+        });
+        assert_eq!(g2.attr(melbourne, val), Some(&Value::str("Canberra")));
+        assert_eq!(g2.attr(canberra, val), None);
+        // The original snapshot is untouched.
+        assert_eq!(g.attr(melbourne, val), Some(&Value::str("Melbourne")));
+    }
+
+    #[test]
+    #[should_panic(expected = "dst n99 is not a node")]
+    fn add_edge_rejects_unknown_dst() {
+        let mut b = GraphBuilder::with_fresh_vocab();
+        let a = b.add_node_labeled("a");
+        b.add_edge_labeled(a, NodeId(99), "e");
+    }
+
+    #[test]
+    fn has_edge_any_skip_scan_on_long_runs() {
+        // A hub with > 16 out-edges exercises the label-segment
+        // skip-scan rather than the short-run linear path.
+        let mut b = GraphBuilder::with_fresh_vocab();
+        let hub = b.add_node_labeled("hub");
+        let spokes: Vec<NodeId> = (0..24).map(|_| b.add_node_labeled("v")).collect();
+        for (i, &s) in spokes.iter().enumerate() {
+            b.add_edge_labeled(hub, s, &format!("e{}", i % 5));
+        }
+        let g = b.freeze();
+        assert!(g.out_degree(hub) > 16);
+        for &s in &spokes {
+            assert!(g.has_edge_any(hub, s));
+        }
+        assert!(!g.has_edge_any(hub, hub));
+        assert!(!g.has_edge_any(spokes[0], hub));
+    }
+
+    #[test]
+    fn set_label_updates_extents_through_freeze() {
+        let mut b = GraphBuilder::with_fresh_vocab();
+        let a = b.add_node_labeled("x");
+        let _ = b.add_node_labeled("x");
+        let y = b.vocab().intern("y");
+        b.set_label(a, y);
+        let g = b.freeze();
+        let x = g.vocab().lookup("x").unwrap();
+        assert_eq!(g.extent(x).len(), 1);
+        assert_eq!(g.extent(y), &[a]);
     }
 }

@@ -1,4 +1,4 @@
-//! Graph serialization: a serde-friendly intermediate form and a simple
+//! Graph serialization: a self-contained intermediate form and a simple
 //! line-oriented text format for fixtures and interchange.
 //!
 //! Text format (one record per line, `#`-comments allowed):
@@ -15,14 +15,14 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
-use crate::graph::{Graph, NodeId};
+use crate::graph::{Graph, GraphBuilder, NodeId};
 use crate::value::Value;
 use crate::vocab::Vocab;
 
-/// A self-contained, serde-serializable snapshot of a graph.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+/// A self-contained, owner-free snapshot of a graph (no interned
+/// symbols — everything is resolved), suitable for shipping between
+/// vocabularies or hand-rolled (de)serializers.
+#[derive(Clone, Debug)]
 pub struct GraphData {
     /// All interned names, in symbol order.
     pub symbols: Vec<String>,
@@ -51,21 +51,21 @@ impl GraphData {
         }
     }
 
-    /// Reconstructs a graph (with a fresh vocabulary).
+    /// Reconstructs a frozen graph (with a fresh vocabulary).
     pub fn into_graph(self) -> Graph {
         let vocab = Vocab::shared();
         let syms: Vec<_> = self.symbols.iter().map(|s| vocab.intern(s)).collect();
-        let mut g = Graph::new(vocab);
+        let mut b = GraphBuilder::new(vocab);
         for (label, attrs) in &self.nodes {
-            let u = g.add_node(syms[*label as usize]);
+            let u = b.add_node(syms[*label as usize]);
             for (a, v) in attrs {
-                g.set_attr(u, syms[*a as usize], v.clone());
+                b.set_attr(u, syms[*a as usize], v.clone());
             }
         }
         for (s, d, l) in &self.edges {
-            g.add_edge(NodeId(*s), NodeId(*d), syms[*l as usize]);
+            b.add_edge(NodeId(*s), NodeId(*d), syms[*l as usize]);
         }
-        g
+        b.freeze()
     }
 }
 
@@ -126,9 +126,9 @@ fn parse_value(raw: &str) -> Value {
     }
 }
 
-/// Parses the text format produced by [`to_text`].
+/// Parses the text format produced by [`to_text`] into a frozen graph.
 pub fn from_text(text: &str, vocab: Arc<Vocab>) -> Result<Graph, ParseError> {
-    let mut g = Graph::new(vocab);
+    let mut b = GraphBuilder::new(vocab);
     let mut seen: HashMap<u32, NodeId> = HashMap::new();
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim();
@@ -148,20 +148,20 @@ pub fn from_text(text: &str, vocab: Arc<Vocab>) -> Result<Graph, ParseError> {
                     line: lineno + 1,
                     reason: "node needs a label".into(),
                 })?;
-                if id as usize != g.node_count() {
+                if id as usize != b.node_count() {
                     return Err(ParseError::BadNodeId {
                         line: lineno + 1,
                         id,
                     });
                 }
-                let u = g.add_node_labeled(label);
+                let u = b.add_node_labeled(label);
                 seen.insert(id, u);
                 for kv in parts {
                     let (k, v) = kv.split_once('=').ok_or_else(|| ParseError::Malformed {
                         line: lineno + 1,
                         reason: format!("attribute `{kv}` is not key=value"),
                     })?;
-                    g.set_attr_named(u, k, parse_value(v));
+                    b.set_attr_named(u, k, parse_value(v));
                 }
             }
             Some("edge") => {
@@ -183,7 +183,7 @@ pub fn from_text(text: &str, vocab: Arc<Vocab>) -> Result<Graph, ParseError> {
                     line: lineno + 1,
                     reason: "edge needs a label".into(),
                 })?;
-                g.add_edge_labeled(src, dst, label);
+                b.add_edge_labeled(src, dst, label);
             }
             Some(other) => {
                 return Err(ParseError::Malformed {
@@ -194,7 +194,7 @@ pub fn from_text(text: &str, vocab: Arc<Vocab>) -> Result<Graph, ParseError> {
             None => unreachable!("empty lines filtered above"),
         }
     }
-    Ok(g)
+    Ok(b.freeze())
 }
 
 #[cfg(test)]
@@ -202,14 +202,14 @@ mod tests {
     use super::*;
 
     fn sample() -> Graph {
-        let mut g = Graph::with_fresh_vocab();
-        let f1 = g.add_node_labeled("flight");
-        let id1 = g.add_node_labeled("id");
-        g.add_edge_labeled(f1, id1, "number");
-        g.set_attr_named(id1, "val", Value::str("DL1"));
-        g.set_attr_named(f1, "ontime", Value::Bool(true));
-        g.set_attr_named(f1, "stops", Value::Int(0));
-        g
+        let mut b = GraphBuilder::with_fresh_vocab();
+        let f1 = b.add_node_labeled("flight");
+        let id1 = b.add_node_labeled("id");
+        b.add_edge_labeled(f1, id1, "number");
+        b.set_attr_named(id1, "val", Value::str("DL1"));
+        b.set_attr_named(f1, "ontime", Value::Bool(true));
+        b.set_attr_named(f1, "stops", Value::Int(0));
+        b.freeze()
     }
 
     #[test]

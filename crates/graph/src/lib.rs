@@ -8,17 +8,23 @@
 //!
 //! * interned labels and attribute names ([`Vocab`], [`Sym`]);
 //! * attribute values ([`Value`]) and per-node attribute maps ([`AttrMap`]);
-//! * the graph itself ([`Graph`]) with out/in adjacency and a label index;
+//! * the graph itself, split into a mutable [`GraphBuilder`] and an
+//!   immutable CSR snapshot [`Graph`] produced by
+//!   [`GraphBuilder::freeze`] — flat offset/adjacency arrays in both
+//!   directions with edge runs sorted by `(label, dst)`, and label
+//!   extents as contiguous ranges over a node permutation (see
+//!   [`graph`] module docs for the layout rationale);
 //! * `k`-hop neighborhoods and induced subgraphs — the data blocks
 //!   `G_z̄` of work units (module [`neighborhood`]);
 //! * fragmentations `(F_1, …, F_n)` with in-/out-border nodes for the
 //!   distributed setting of §6.2 (module [`fragment`]);
 //! * statistics used by workload estimation: label frequencies and
 //!   equi-depth histograms (module [`stats`]);
-//! * a plain-text interchange format and serde support (module [`io`]).
+//! * a plain-text interchange format (module [`io`]).
 //!
-//! The crate is self-contained (no graph library dependency); everything
-//! the paper's algorithms touch is implemented here from scratch.
+//! The crate is fully self-contained (no external dependencies);
+//! everything the paper's algorithms touch is implemented here from
+//! scratch.
 
 pub mod attrs;
 pub mod fragment;
@@ -31,7 +37,7 @@ pub mod vocab;
 
 pub use attrs::AttrMap;
 pub use fragment::{FragmentId, Fragmentation, PartitionStrategy};
-pub use graph::{Edge, Graph, NodeId};
+pub use graph::{Adj, Edge, Graph, GraphBuilder, NodeId};
 pub use neighborhood::NodeSet;
 pub use stats::{EquiDepthHistogram, GraphStats};
 pub use value::Value;

@@ -15,7 +15,7 @@
 
 use std::collections::HashMap;
 
-use crate::graph::{Graph, NodeId};
+use crate::graph::{Graph, GraphBuilder, NodeId};
 
 /// A sorted set of node ids; the node side of a data block `G_z̄`.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -73,7 +73,12 @@ impl NodeSet {
     /// Number of edges of `g` with both endpoints inside the set.
     pub fn internal_edge_count(&self, g: &Graph) -> usize {
         self.iter()
-            .map(|u| g.out(u).iter().filter(|(v, _)| self.contains(*v)).count())
+            .map(|u| {
+                g.out_slice(u)
+                    .iter()
+                    .filter(|a| self.contains(a.node))
+                    .count()
+            })
             .sum()
     }
 
@@ -102,7 +107,7 @@ pub fn khop_nodes(g: &Graph, seeds: &[NodeId], k: usize) -> NodeSet {
     for depth in 0..k {
         let mut next = Vec::new();
         for &u in &frontier {
-            for (v, _) in g.neighbors(u) {
+            for v in g.neighbors(u) {
                 visited.entry(v).or_insert_with(|| {
                     next.push(v);
                     depth + 1
@@ -128,7 +133,7 @@ pub fn data_block(g: &Graph, pivot: NodeId, radius: usize) -> NodeSet {
 /// in the new graph. Labels/attributes are preserved; the new graph
 /// shares `g`'s vocabulary.
 pub fn induced_subgraph(g: &Graph, nodes: &NodeSet) -> (Graph, HashMap<NodeId, NodeId>) {
-    let mut sub = Graph::new(g.vocab().clone());
+    let mut sub = GraphBuilder::new(g.vocab().clone());
     let mut map = HashMap::with_capacity(nodes.len());
     for u in nodes.iter() {
         let nu = sub.add_node(g.label(u));
@@ -138,13 +143,13 @@ pub fn induced_subgraph(g: &Graph, nodes: &NodeSet) -> (Graph, HashMap<NodeId, N
         map.insert(u, nu);
     }
     for u in nodes.iter() {
-        for &(v, l) in g.out(u) {
-            if let Some(&nv) = map.get(&v) {
-                sub.add_edge(map[&u], nv, l);
+        for a in g.out_slice(u) {
+            if let Some(&nv) = map.get(&a.node) {
+                sub.add_edge(map[&u], nv, a.label);
             }
         }
     }
-    (sub, map)
+    (sub.freeze(), map)
 }
 
 #[cfg(test)]
@@ -153,15 +158,15 @@ mod tests {
 
     /// A directed path a -> b -> c -> d plus an edge e -> c.
     fn path_graph() -> (Graph, Vec<NodeId>) {
-        let mut g = Graph::with_fresh_vocab();
+        let mut b = GraphBuilder::with_fresh_vocab();
         let ns: Vec<NodeId> = (0..5)
-            .map(|i| g.add_node_labeled(&format!("l{i}")))
+            .map(|i| b.add_node_labeled(&format!("l{i}")))
             .collect();
-        g.add_edge_labeled(ns[0], ns[1], "e");
-        g.add_edge_labeled(ns[1], ns[2], "e");
-        g.add_edge_labeled(ns[2], ns[3], "e");
-        g.add_edge_labeled(ns[4], ns[2], "e");
-        (g, ns)
+        b.add_edge_labeled(ns[0], ns[1], "e");
+        b.add_edge_labeled(ns[1], ns[2], "e");
+        b.add_edge_labeled(ns[2], ns[3], "e");
+        b.add_edge_labeled(ns[4], ns[2], "e");
+        (b.freeze(), ns)
     }
 
     #[test]

@@ -146,15 +146,16 @@ impl EquiDepthHistogram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graph::Graph;
+    use crate::graph::GraphBuilder;
 
     #[test]
     fn label_frequencies() {
-        let mut g = Graph::with_fresh_vocab();
+        let mut b = GraphBuilder::with_fresh_vocab();
         for _ in 0..3 {
-            g.add_node_labeled("flight");
+            b.add_node_labeled("flight");
         }
-        g.add_node_labeled("city");
+        b.add_node_labeled("city");
+        let g = b.freeze();
         let stats = GraphStats::compute(&g);
         let flight = g.vocab().lookup("flight").unwrap();
         let city = g.vocab().lookup("city").unwrap();
@@ -197,12 +198,13 @@ mod tests {
 
     #[test]
     fn degree_stats() {
-        let mut g = Graph::with_fresh_vocab();
-        let a = g.add_node_labeled("a");
-        let b = g.add_node_labeled("b");
-        let c = g.add_node_labeled("c");
-        g.add_edge_labeled(a, b, "e");
-        g.add_edge_labeled(a, c, "e");
+        let mut bld = GraphBuilder::with_fresh_vocab();
+        let a = bld.add_node_labeled("a");
+        let b = bld.add_node_labeled("b");
+        let c = bld.add_node_labeled("c");
+        bld.add_edge_labeled(a, b, "e");
+        bld.add_edge_labeled(a, c, "e");
+        let g = bld.freeze();
         let stats = GraphStats::compute(&g);
         assert_eq!(stats.max_degree(), 2);
         assert!((stats.avg_degree() - 4.0 / 3.0).abs() < 1e-9);
@@ -210,11 +212,12 @@ mod tests {
 
     #[test]
     fn skew_ratio_of_uniform_graph_near_one() {
-        let mut g = Graph::with_fresh_vocab();
-        let ns: Vec<_> = (0..40).map(|_| g.add_node_labeled("v")).collect();
+        let mut b = GraphBuilder::with_fresh_vocab();
+        let ns: Vec<_> = (0..40).map(|_| b.add_node_labeled("v")).collect();
         for i in 0..40 {
-            g.add_edge_labeled(ns[i], ns[(i + 1) % 40], "e");
+            b.add_edge_labeled(ns[i], ns[(i + 1) % 40], "e");
         }
+        let g = b.freeze();
         let ratio = GraphStats::skew_ratio(&g, 2, 40);
         assert!(
             ratio > 0.9,

@@ -9,13 +9,11 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, RwLock};
 
-use serde::{Deserialize, Serialize};
-
 /// An interned symbol: a node label, edge label or attribute name.
 ///
 /// `Sym` values are only meaningful relative to the [`Vocab`] that
 /// produced them.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Sym(pub u32);
 
 impl Sym {

@@ -1,111 +1,303 @@
 //! Property-based tests for the graph substrate.
+//!
+//! The centerpiece is the CSR-equivalence suite: a frozen [`Graph`] is
+//! compared against a *naive oracle* — plain hash-map adjacency built
+//! from the same random edge list — for every observable: `has_edge`,
+//! out/in neighbor sets, per-label neighbor ranges, label extents, and
+//! edge iteration. (The offline toolchain has no `proptest`; the
+//! in-repo harness `gfd_util::prop` runs each property over a seed
+//! range and reports the failing seed.)
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use gfd_graph::{
     neighborhood::{induced_subgraph, khop_nodes},
-    EquiDepthHistogram, Fragmentation, Graph, NodeId, PartitionStrategy,
+    EquiDepthHistogram, Fragmentation, Graph, GraphBuilder, NodeId, PartitionStrategy, Sym,
 };
-use proptest::prelude::*;
+use gfd_util::{prop::check, prop_assert, Rng};
 
-/// Strategy: a random graph with up to `n` nodes over `l` labels and a
-/// random edge list.
-fn arb_graph(n: usize, l: usize) -> impl Strategy<Value = Graph> {
-    let nodes = 1..=n;
-    nodes.prop_flat_map(move |count| {
-        let edges = proptest::collection::vec((0..count, 0..count, 0..l), 0..count * 3);
-        (Just(count), edges).prop_map(move |(count, edges)| {
-            let mut g = Graph::with_fresh_vocab();
-            let ids: Vec<NodeId> = (0..count)
-                .map(|i| g.add_node_labeled(&format!("l{}", i % l)))
-                .collect();
-            for (s, d, e) in edges {
-                g.add_edge_labeled(ids[s], ids[d], &format!("e{e}"));
-            }
-            g
-        })
-    })
+/// A random graph with up to `max_nodes` nodes over `labels` node
+/// labels and `elabels` edge labels, together with the raw (possibly
+/// duplicated) edge list it was built from.
+fn random_graph(
+    rng: &mut Rng,
+    max_nodes: usize,
+    labels: usize,
+    elabels: usize,
+) -> (Graph, Vec<(u32, u32, String)>) {
+    let n = rng.gen_range(1..max_nodes + 1);
+    let mut b = GraphBuilder::with_fresh_vocab();
+    let ids: Vec<NodeId> = (0..n)
+        .map(|i| b.add_node_labeled(&format!("l{}", i % labels)))
+        .collect();
+    let m = rng.gen_range(0..3 * n + 1);
+    let mut raw = Vec::with_capacity(m);
+    for _ in 0..m {
+        let s = rng.gen_range(0..n);
+        let d = rng.gen_range(0..n);
+        let e = format!("e{}", rng.gen_range(0..elabels));
+        b.add_edge_labeled(ids[s], ids[d], &e);
+        raw.push((s as u32, d as u32, e));
+    }
+    (b.freeze(), raw)
 }
 
-proptest! {
-    /// Out- and in-adjacency describe the same edge set.
-    #[test]
-    fn adjacency_is_symmetric(g in arb_graph(24, 4)) {
-        let from_out: HashSet<(u32, u32, u32)> = g
-            .edges()
-            .map(|e| (e.src.0, e.dst.0, e.label.0))
+/// The naive adjacency-map oracle the CSR snapshot must agree with.
+struct Oracle {
+    /// Deduplicated edge set `(src, dst, label)`.
+    edges: BTreeSet<(u32, u32, Sym)>,
+    /// Label → sorted node extent.
+    extents: BTreeMap<Sym, Vec<NodeId>>,
+}
+
+impl Oracle {
+    fn build(g: &Graph, raw: &[(u32, u32, String)]) -> Self {
+        let edges = raw
+            .iter()
+            .map(|(s, d, e)| (*s, *d, g.vocab().lookup(e).unwrap()))
             .collect();
-        let mut from_in = HashSet::new();
-        for v in g.nodes() {
-            for &(u, l) in g.inn(v) {
-                from_in.insert((u.0, v.0, l.0));
-            }
-        }
-        prop_assert_eq!(from_out.len(), g.edge_count());
-        prop_assert_eq!(from_out, from_in);
-    }
-
-    /// k-hop neighborhoods grow monotonically with k and always contain
-    /// their seed.
-    #[test]
-    fn khop_monotone(g in arb_graph(20, 3), k in 0usize..4) {
+        let mut extents: BTreeMap<Sym, Vec<NodeId>> = BTreeMap::new();
         for u in g.nodes() {
-            let small = khop_nodes(&g, &[u], k);
-            let large = khop_nodes(&g, &[u], k + 1);
-            prop_assert!(small.contains(u));
-            for x in small.iter() {
-                prop_assert!(large.contains(x));
-            }
+            extents.entry(g.label(u)).or_default().push(u);
         }
+        Oracle { edges, extents }
     }
 
-    /// Every fragmentation covers all nodes exactly once and all edges.
-    #[test]
-    fn fragmentation_covers(g in arb_graph(30, 3), n in 1usize..6) {
-        for strategy in [PartitionStrategy::Hash, PartitionStrategy::Contiguous, PartitionStrategy::BfsClustered] {
+    fn out_set(&self, u: u32) -> BTreeSet<(Sym, u32)> {
+        self.edges
+            .iter()
+            .filter(|(s, _, _)| *s == u)
+            .map(|(_, d, l)| (*l, *d))
+            .collect()
+    }
+
+    fn in_set(&self, u: u32) -> BTreeSet<(Sym, u32)> {
+        self.edges
+            .iter()
+            .filter(|(_, d, _)| *d == u)
+            .map(|(s, _, l)| (*l, *s))
+            .collect()
+    }
+}
+
+#[test]
+fn csr_has_edge_equals_oracle() {
+    check("has_edge ≡ oracle membership", 120, |rng| {
+        let (g, raw) = random_graph(rng, 24, 4, 3);
+        let oracle = Oracle::build(&g, &raw);
+        let all_labels: Vec<Sym> = (0..3).map(|e| g.vocab().intern(&format!("e{e}"))).collect();
+        for s in g.nodes() {
+            for d in g.nodes() {
+                for &l in &all_labels {
+                    let expected = oracle.edges.contains(&(s.0, d.0, l));
+                    prop_assert!(
+                        g.has_edge(s, d, l) == expected,
+                        "has_edge({s:?},{d:?},{l:?}) disagrees with oracle"
+                    );
+                    prop_assert!(
+                        g.neighbors_labeled(s, l).iter().any(|a| a.node == d) == expected,
+                        "neighbors_labeled disagrees with oracle at ({s:?},{d:?},{l:?})"
+                    );
+                }
+                let expected_any = all_labels
+                    .iter()
+                    .any(|&l| oracle.edges.contains(&(s.0, d.0, l)));
+                prop_assert!(
+                    g.has_edge_any(s, d) == expected_any,
+                    "has_edge_any disagrees"
+                );
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn csr_neighbor_sets_equal_oracle() {
+    check("out/in slices ≡ oracle adjacency", 120, |rng| {
+        let (g, raw) = random_graph(rng, 24, 4, 3);
+        let oracle = Oracle::build(&g, &raw);
+        for u in g.nodes() {
+            let got_out: BTreeSet<(Sym, u32)> =
+                g.out_slice(u).iter().map(|a| (a.label, a.node.0)).collect();
+            prop_assert!(got_out == oracle.out_set(u.0), "out set of {u:?} disagrees");
+            prop_assert!(
+                g.out_slice(u).len() == oracle.out_set(u.0).len(),
+                "out run of {u:?} contains duplicates"
+            );
+            let got_in: BTreeSet<(Sym, u32)> =
+                g.in_slice(u).iter().map(|a| (a.label, a.node.0)).collect();
+            prop_assert!(got_in == oracle.in_set(u.0), "in set of {u:?} disagrees");
+            prop_assert!(
+                g.out_slice(u).windows(2).all(|w| w[0] < w[1]),
+                "out run of {u:?} not strictly sorted by (label, dst)"
+            );
+            prop_assert!(
+                g.in_slice(u).windows(2).all(|w| w[0] < w[1]),
+                "in run of {u:?} not strictly sorted by (label, src)"
+            );
+            prop_assert!(
+                g.degree(u) == g.out_degree(u) + g.in_degree(u),
+                "degree arithmetic"
+            );
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn csr_extents_equal_oracle() {
+    check("label extents ≡ oracle label map", 120, |rng| {
+        let (g, raw) = random_graph(rng, 24, 4, 3);
+        let oracle = Oracle::build(&g, &raw);
+        for (label, nodes) in &oracle.extents {
+            prop_assert!(
+                g.extent(*label) == nodes.as_slice(),
+                "extent of {label:?} disagrees"
+            );
+        }
+        let listed: BTreeMap<Sym, Vec<NodeId>> =
+            g.label_extents().map(|(l, e)| (l, e.to_vec())).collect();
+        prop_assert!(listed == oracle.extents, "label_extents() disagrees");
+        let fresh = g.vocab().intern("__never_used");
+        prop_assert!(g.extent(fresh).is_empty(), "unknown label must be empty");
+        Ok(())
+    });
+}
+
+#[test]
+fn csr_edge_iteration_equals_oracle() {
+    check("edges() ≡ oracle edge set", 120, |rng| {
+        let (g, raw) = random_graph(rng, 24, 4, 3);
+        let oracle = Oracle::build(&g, &raw);
+        let got: BTreeSet<(u32, u32, Sym)> =
+            g.edges().map(|e| (e.src.0, e.dst.0, e.label)).collect();
+        let listed: Vec<_> = g.edges().collect();
+        prop_assert!(got == oracle.edges, "edge sets disagree");
+        prop_assert!(
+            listed.len() == oracle.edges.len(),
+            "edges() yields duplicates"
+        );
+        prop_assert!(
+            g.edge_count() == oracle.edges.len(),
+            "edge_count disagrees with dedup'd input"
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn thaw_freeze_round_trip_is_identity() {
+    check("thaw ∘ freeze preserves all observables", 80, |rng| {
+        let (g, _) = random_graph(rng, 20, 3, 3);
+        let g2 = g.thaw().freeze();
+        prop_assert!(g2.node_count() == g.node_count());
+        prop_assert!(g2.edge_count() == g.edge_count());
+        for u in g.nodes() {
+            prop_assert!(g.label(u) == g2.label(u), "label of {u:?} changed");
+            prop_assert!(
+                g.out_slice(u) == g2.out_slice(u),
+                "out run of {u:?} changed"
+            );
+            prop_assert!(g.in_slice(u) == g2.in_slice(u), "in run of {u:?} changed");
+            prop_assert!(g.attrs(u) == g2.attrs(u), "attrs of {u:?} changed");
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn khop_monotone() {
+    check(
+        "k-hop neighborhoods grow with k and contain seeds",
+        60,
+        |rng| {
+            let (g, _) = random_graph(rng, 20, 3, 3);
+            let k = rng.gen_range(0..4);
+            for u in g.nodes() {
+                let small = khop_nodes(&g, &[u], k);
+                let large = khop_nodes(&g, &[u], k + 1);
+                prop_assert!(small.contains(u), "seed {u:?} missing at k={k}");
+                for x in small.iter() {
+                    prop_assert!(large.contains(x), "k-hop not monotone at {x:?}");
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn fragmentation_covers() {
+    check("fragmentations cover all nodes and edges", 60, |rng| {
+        let (g, _) = random_graph(rng, 30, 3, 3);
+        let n = rng.gen_range(1..6);
+        for strategy in [
+            PartitionStrategy::Hash,
+            PartitionStrategy::Contiguous,
+            PartitionStrategy::BfsClustered,
+        ] {
             let frag = Fragmentation::partition(&g, n, strategy);
             let total_nodes: usize = frag.fragments().map(|(_, f)| f.nodes.len()).sum();
             let total_edges: usize = frag.fragments().map(|(_, f)| f.edge_count).sum();
-            prop_assert_eq!(total_nodes, g.node_count());
-            prop_assert_eq!(total_edges, g.edge_count());
+            prop_assert!(total_nodes == g.node_count(), "{strategy:?} loses nodes");
+            prop_assert!(total_edges == g.edge_count(), "{strategy:?} loses edges");
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Induced subgraphs keep exactly the internal edges.
-    #[test]
-    fn induced_subgraph_edge_count(g in arb_graph(16, 3), k in 0usize..3) {
-        if g.node_count() == 0 { return Ok(()); }
-        let seed = NodeId(0);
-        let set = khop_nodes(&g, &[seed], k);
-        let (sub, _) = induced_subgraph(&g, &set);
-        prop_assert_eq!(sub.node_count(), set.len());
-        prop_assert_eq!(sub.edge_count(), set.internal_edge_count(&g));
-    }
+#[test]
+fn induced_subgraph_edge_count() {
+    check(
+        "induced subgraphs keep exactly the internal edges",
+        60,
+        |rng| {
+            let (g, _) = random_graph(rng, 16, 3, 3);
+            let k = rng.gen_range(0..3);
+            let set = khop_nodes(&g, &[NodeId(0)], k);
+            let (sub, _) = induced_subgraph(&g, &set);
+            prop_assert!(sub.node_count() == set.len());
+            prop_assert!(sub.edge_count() == set.internal_edge_count(&g));
+            Ok(())
+        },
+    );
+}
 
-    /// Equi-depth buckets cover every key and are ascending/disjoint.
-    #[test]
-    fn equi_depth_covers(keys in proptest::collection::vec(0u64..1000, 1..200), m in 1usize..10) {
-        let h = EquiDepthHistogram::build(keys.clone(), m);
-        for k in &keys {
-            prop_assert!(h.bucket_of(*k).is_some());
-        }
-        let ranges = h.ranges();
-        for w in ranges.windows(2) {
-            prop_assert!(w[0].1 < w[1].0, "buckets must be disjoint and ascending");
-        }
-    }
+#[test]
+fn equi_depth_covers() {
+    check(
+        "equi-depth buckets cover keys, ascending and disjoint",
+        80,
+        |rng| {
+            let len = rng.gen_range(1..200);
+            let keys: Vec<u64> = (0..len).map(|_| rng.gen_range(0..1000) as u64).collect();
+            let m = rng.gen_range(1..10);
+            let h = EquiDepthHistogram::build(keys.clone(), m);
+            for k in &keys {
+                prop_assert!(h.bucket_of(*k).is_some(), "key {k} not covered");
+            }
+            for w in h.ranges().windows(2) {
+                prop_assert!(w[0].1 < w[1].0, "buckets must be disjoint and ascending");
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Text round trip preserves node/edge counts and labels.
-    #[test]
-    fn text_round_trip(g in arb_graph(12, 3)) {
+#[test]
+fn text_round_trip() {
+    check("text round trip preserves counts and labels", 60, |rng| {
+        let (g, _) = random_graph(rng, 12, 3, 3);
         let text = gfd_graph::io::to_text(&g);
         let g2 = gfd_graph::io::from_text(&text, gfd_graph::Vocab::shared()).unwrap();
-        prop_assert_eq!(g2.node_count(), g.node_count());
-        prop_assert_eq!(g2.edge_count(), g.edge_count());
+        prop_assert!(g2.node_count() == g.node_count());
+        prop_assert!(g2.edge_count() == g.edge_count());
         for u in g.nodes() {
             let l1 = g.vocab().resolve(g.label(u));
             let l2 = g2.vocab().resolve(g2.label(u));
-            prop_assert_eq!(l1.as_ref(), l2.as_ref());
+            prop_assert!(l1.as_ref() == l2.as_ref(), "label of {u:?} changed");
         }
-    }
+        Ok(())
+    });
 }

@@ -130,29 +130,29 @@ mod tests {
     /// G1 of Fig. 1: two flight entities with equal ids but different
     /// destinations.
     fn flights() -> (Graph, [NodeId; 2]) {
-        let mut g = Graph::with_fresh_vocab();
+        let mut b = gfd_graph::GraphBuilder::with_fresh_vocab();
         let mut mk = |id: &str, from: &str, to: &str| {
-            let f = g.add_node_labeled("flight");
-            let idn = g.add_node_labeled("id");
-            let fr = g.add_node_labeled("city");
-            let tn = g.add_node_labeled("city");
-            let dp = g.add_node_labeled("time");
-            let ar = g.add_node_labeled("time");
-            g.add_edge_labeled(f, idn, "number");
-            g.add_edge_labeled(f, fr, "from");
-            g.add_edge_labeled(f, tn, "to");
-            g.add_edge_labeled(f, dp, "depart");
-            g.add_edge_labeled(f, ar, "arrive");
-            g.set_attr_named(idn, "val", Value::str(id));
-            g.set_attr_named(fr, "val", Value::str(from));
-            g.set_attr_named(tn, "val", Value::str(to));
-            g.set_attr_named(dp, "val", Value::str("14:50"));
-            g.set_attr_named(ar, "val", Value::str("22:35"));
+            let f = b.add_node_labeled("flight");
+            let idn = b.add_node_labeled("id");
+            let fr = b.add_node_labeled("city");
+            let tn = b.add_node_labeled("city");
+            let dp = b.add_node_labeled("time");
+            let ar = b.add_node_labeled("time");
+            b.add_edge_labeled(f, idn, "number");
+            b.add_edge_labeled(f, fr, "from");
+            b.add_edge_labeled(f, tn, "to");
+            b.add_edge_labeled(f, dp, "depart");
+            b.add_edge_labeled(f, ar, "arrive");
+            b.set_attr_named(idn, "val", Value::str(id));
+            b.set_attr_named(fr, "val", Value::str(from));
+            b.set_attr_named(tn, "val", Value::str(to));
+            b.set_attr_named(dp, "val", Value::str("14:50"));
+            b.set_attr_named(ar, "val", Value::str("22:35"));
             f
         };
         let f1 = mk("DL1", "Paris", "NYC");
         let f2 = mk("DL1", "Paris", "Singapore");
-        (g, [f1, f2])
+        (b.freeze(), [f1, f2])
     }
 
     /// Q1 of Fig. 2 (two disconnected flight stars).

@@ -111,8 +111,8 @@ impl<'a> ComponentSearch<'a> {
         if !self.q.label(sv).admits(self.g.label(gv)) || !self.allowed(gv) {
             return false;
         }
-        if self.q.out(sv).len() > self.g.out(gv).len()
-            || self.q.inn(sv).len() > self.g.inn(gv).len()
+        if self.q.out(sv).len() > self.g.out_degree(gv)
+            || self.q.inn(sv).len() > self.g.in_degree(gv)
         {
             return false;
         }
@@ -158,26 +158,32 @@ impl<'a> ComponentSearch<'a> {
         for &(t, l) in self.q.out(sv) {
             let ta = assigned[t.index()];
             if t != sv && ta.0 != u32::MAX {
-                let cands = self
-                    .g
-                    .inn(ta)
-                    .iter()
-                    .filter(|&&(_, el)| l.admits(el))
-                    .map(|&(u, _)| u)
-                    .collect();
+                // A labeled pattern edge reads one contiguous CSR
+                // subrange; only wildcards scan the whole run.
+                let cands: Vec<NodeId> = match l {
+                    PatLabel::Sym(el) => self
+                        .g
+                        .in_neighbors_labeled(ta, el)
+                        .iter()
+                        .map(|a| a.node)
+                        .collect(),
+                    PatLabel::Wildcard => self.g.in_slice(ta).iter().map(|a| a.node).collect(),
+                };
                 consider(cands);
             }
         }
         for &(s, l) in self.q.inn(sv) {
             let sa = assigned[s.index()];
             if s != sv && sa.0 != u32::MAX {
-                let cands = self
-                    .g
-                    .out(sa)
-                    .iter()
-                    .filter(|&&(_, el)| l.admits(el))
-                    .map(|&(u, _)| u)
-                    .collect();
+                let cands: Vec<NodeId> = match l {
+                    PatLabel::Sym(el) => self
+                        .g
+                        .neighbors_labeled(sa, el)
+                        .iter()
+                        .map(|a| a.node)
+                        .collect(),
+                    PatLabel::Wildcard => self.g.out_slice(sa).iter().map(|a| a.node).collect(),
+                };
                 consider(cands);
             }
         }
@@ -189,7 +195,7 @@ impl<'a> ComponentSearch<'a> {
         // Component start: label extent / restriction / everything.
         match self.q.label(sv) {
             PatLabel::Sym(s) => {
-                let extent = self.g.nodes_with_label(s);
+                let extent = self.g.extent(s);
                 match self.restriction {
                     Some(r) if r.len() < extent.len() => {
                         r.iter().filter(|&u| self.g.label(u) == s).collect()
@@ -294,20 +300,20 @@ mod tests {
     /// G2 of Fig. 1 (the fake-accounts graph), reduced: acct1 posts p5,
     /// acct2 posts p6, both like p1 p2.
     fn social() -> (Graph, Vec<NodeId>) {
-        let mut g = Graph::with_fresh_vocab();
-        let a1 = g.add_node_labeled("account");
-        let a2 = g.add_node_labeled("account");
-        let p1 = g.add_node_labeled("blog");
-        let p2 = g.add_node_labeled("blog");
-        let p5 = g.add_node_labeled("blog");
-        let p6 = g.add_node_labeled("blog");
+        let mut b = gfd_graph::GraphBuilder::with_fresh_vocab();
+        let a1 = b.add_node_labeled("account");
+        let a2 = b.add_node_labeled("account");
+        let p1 = b.add_node_labeled("blog");
+        let p2 = b.add_node_labeled("blog");
+        let p5 = b.add_node_labeled("blog");
+        let p6 = b.add_node_labeled("blog");
         for a in [a1, a2] {
-            g.add_edge_labeled(a, p1, "like");
-            g.add_edge_labeled(a, p2, "like");
+            b.add_edge_labeled(a, p1, "like");
+            b.add_edge_labeled(a, p2, "like");
         }
-        g.add_edge_labeled(a1, p5, "post");
-        g.add_edge_labeled(a2, p6, "post");
-        (g, vec![a1, a2, p1, p2, p5, p6])
+        b.add_edge_labeled(a1, p5, "post");
+        b.add_edge_labeled(a2, p6, "post");
+        (b.freeze(), vec![a1, a2, p1, p2, p5, p6])
     }
 
     #[test]

@@ -47,9 +47,13 @@ fn admits_any_edge(
     label: PatLabel,
     target_ok: impl Fn(NodeId) -> bool,
 ) -> bool {
-    g.out(from)
-        .iter()
-        .any(|&(t, el)| label.admits(el) && target_ok(t))
+    match label {
+        PatLabel::Sym(s) => g
+            .neighbors_labeled(from, s)
+            .iter()
+            .any(|a| target_ok(a.node)),
+        PatLabel::Wildcard => g.out_slice(from).iter().any(|a| target_ok(a.node)),
+    }
 }
 
 fn admits_any_in_edge(
@@ -58,9 +62,13 @@ fn admits_any_in_edge(
     label: PatLabel,
     source_ok: impl Fn(NodeId) -> bool,
 ) -> bool {
-    g.inn(to)
-        .iter()
-        .any(|&(s, el)| label.admits(el) && source_ok(s))
+    match label {
+        PatLabel::Sym(s) => g
+            .in_neighbors_labeled(to, s)
+            .iter()
+            .any(|a| source_ok(a.node)),
+        PatLabel::Wildcard => g.in_slice(to).iter().any(|a| source_ok(a.node)),
+    }
 }
 
 /// Computes the maximal dual simulation of `q` in `g`, optionally
@@ -72,7 +80,7 @@ pub fn dual_simulation(q: &Pattern, g: &Graph, scope: Option<&NodeSet>) -> Simul
     for v in q.vars() {
         match (q.label(v), scope) {
             (PatLabel::Sym(s), _) => {
-                for &u in g.nodes_with_label(s) {
+                for &u in g.extent(s) {
                     if scope.is_none_or(|r| r.contains(u)) {
                         membership[v.index()][u.index()] = true;
                     }
@@ -132,17 +140,17 @@ mod tests {
 
     fn chain_graph() -> Graph {
         // a1 -> b1 -> c1 ; a2 -> b2 (no c); c_orphan
-        let mut g = Graph::with_fresh_vocab();
-        let a1 = g.add_node_labeled("a");
-        let b1 = g.add_node_labeled("b");
-        let c1 = g.add_node_labeled("c");
-        let a2 = g.add_node_labeled("a");
-        let b2 = g.add_node_labeled("b");
-        g.add_node_labeled("c");
-        g.add_edge_labeled(a1, b1, "e");
-        g.add_edge_labeled(b1, c1, "e");
-        g.add_edge_labeled(a2, b2, "e");
-        g
+        let mut b = gfd_graph::GraphBuilder::with_fresh_vocab();
+        let a1 = b.add_node_labeled("a");
+        let b1 = b.add_node_labeled("b");
+        let c1 = b.add_node_labeled("c");
+        let a2 = b.add_node_labeled("a");
+        let b2 = b.add_node_labeled("b");
+        b.add_node_labeled("c");
+        b.add_edge_labeled(a1, b1, "e");
+        b.add_edge_labeled(b1, c1, "e");
+        b.add_edge_labeled(a2, b2, "e");
+        b.freeze()
     }
 
     fn chain_pattern(g: &Graph) -> Pattern {
@@ -184,8 +192,9 @@ mod tests {
 
     #[test]
     fn empty_simulation_means_no_match() {
-        let mut g = Graph::with_fresh_vocab();
-        g.add_node_labeled("a");
+        let mut gb = gfd_graph::GraphBuilder::with_fresh_vocab();
+        gb.add_node_labeled("a");
+        let g = gb.freeze();
         let mut b = PatternBuilder::new(g.vocab().clone());
         let x = b.node("x", "a");
         let y = b.node("y", "zzz");
@@ -213,11 +222,12 @@ mod tests {
     #[test]
     fn wildcard_simulation_covers_everything_cycle() {
         // A 3-cycle with wildcard pattern edge x->y: every node simulates.
-        let mut g = Graph::with_fresh_vocab();
-        let ns: Vec<_> = (0..3).map(|_| g.add_node_labeled("v")).collect();
+        let mut gb = gfd_graph::GraphBuilder::with_fresh_vocab();
+        let ns: Vec<_> = (0..3).map(|_| gb.add_node_labeled("v")).collect();
         for i in 0..3 {
-            g.add_edge_labeled(ns[i], ns[(i + 1) % 3], "e");
+            gb.add_edge_labeled(ns[i], ns[(i + 1) % 3], "e");
         }
+        let g = gb.freeze();
         let mut b = PatternBuilder::new(g.vocab().clone());
         let x = b.wildcard_node("x");
         let y = b.wildcard_node("y");

@@ -27,6 +27,7 @@
 //! the communication behaviour (Fig. 5(j–l)) is faithfully modeled.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use gfd_core::GfdSet;
 use gfd_graph::{Fragmentation, Graph, NodeId};
@@ -164,10 +165,11 @@ fn partial_match_bytes(g: &Graph, plans: &[PivotedRule], su: &SplitUnit) -> u64 
 /// Panics if `cfg.n != frag.n()`.
 pub fn dis_val(
     sigma: &GfdSet,
-    g: &Graph,
+    g: &Arc<Graph>,
     frag: &Fragmentation,
     cfg: &DisValConfig,
 ) -> ParallelReport {
+    let g: &Graph = g;
     assert_eq!(cfg.n, frag.n(), "one fragment per processor");
     let algo = match (cfg.assignment, cfg.multi_query || cfg.scheme_choice) {
         (Assignment::Balanced, true) => "disVal",
@@ -430,23 +432,23 @@ mod tests {
     use gfd_pattern::PatternBuilder;
     use std::sync::Arc;
 
-    fn flights(n: usize, dup: usize) -> Graph {
-        let mut g = Graph::with_fresh_vocab();
+    fn flights(n: usize, dup: usize) -> Arc<Graph> {
+        let mut b = gfd_graph::GraphBuilder::with_fresh_vocab();
         for i in 0..n {
-            let f = g.add_node_labeled("flight");
-            let id = g.add_node_labeled("id");
-            let to = g.add_node_labeled("city");
-            g.add_edge_labeled(f, id, "number");
-            g.add_edge_labeled(f, to, "to");
+            let f = b.add_node_labeled("flight");
+            let id = b.add_node_labeled("id");
+            let to = b.add_node_labeled("city");
+            b.add_edge_labeled(f, id, "number");
+            b.add_edge_labeled(f, to, "to");
             let idv = if i < dup {
                 "DUP".into()
             } else {
                 format!("FL{i}")
             };
-            g.set_attr_named(id, "val", Value::str(&idv));
-            g.set_attr_named(to, "val", Value::str(&format!("City{i}")));
+            b.set_attr_named(id, "val", Value::str(&idv));
+            b.set_attr_named(to, "val", Value::str(&format!("City{i}")));
         }
-        g
+        Arc::new(b.freeze())
     }
 
     fn phi(vocab: Arc<Vocab>) -> Gfd {

@@ -30,9 +30,10 @@
 //! the quantity the paper's parallel-scalability definition measures —
 //! so speedup-vs-`n` shapes, balanced-vs-random gaps and
 //! repVal-vs-disVal comparisons reproduce faithfully. A real-thread
-//! executor (module [`threaded`], built on crossbeam/rayon) exists to
-//! verify that the work units compute identical violations when
-//! actually run concurrently.
+//! executor (module [`threaded`], std scoped threads over an atomic
+//! work queue) exists to verify that the work units compute identical
+//! violations when actually run concurrently; all workers share one
+//! `Arc<Graph>` CSR snapshot — never per-worker copies.
 
 pub mod balance;
 pub mod cluster;

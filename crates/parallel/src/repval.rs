@@ -10,6 +10,8 @@
 //! violations back — which is why `repVal` beats `disVal` on wall
 //! clock at the price of replicating `G` (§7, Exp-1 observation (3)).
 
+use std::sync::Arc;
+
 use gfd_core::GfdSet;
 use gfd_graph::Graph;
 
@@ -88,8 +90,13 @@ impl RepValConfig {
 const REDUCTION_CAP: usize = 64;
 
 /// Runs `repVal` and reports violations plus simulated timings.
-pub fn rep_val(sigma: &GfdSet, g: &Graph, cfg: &RepValConfig) -> ParallelReport {
+///
+/// The graph is "replicated at every processor" in the paper's model;
+/// here every virtual worker reads the *same* frozen CSR snapshot
+/// through one shared `Arc` — replication without copies.
+pub fn rep_val(sigma: &GfdSet, g: &Arc<Graph>, cfg: &RepValConfig) -> ParallelReport {
     assert!(cfg.n > 0, "need at least one processor");
+    let g: &Graph = g;
     let algo = match (cfg.assignment, cfg.multi_query || cfg.reduce_workload) {
         (Assignment::Balanced, true) => "repVal",
         (Assignment::Balanced, false) => "repnop",
@@ -218,23 +225,23 @@ mod tests {
     use gfd_pattern::PatternBuilder;
     use std::sync::Arc;
 
-    fn flights(n: usize, dup: usize) -> Graph {
-        let mut g = Graph::with_fresh_vocab();
+    fn flights(n: usize, dup: usize) -> Arc<Graph> {
+        let mut b = gfd_graph::GraphBuilder::with_fresh_vocab();
         for i in 0..n {
-            let f = g.add_node_labeled("flight");
-            let id = g.add_node_labeled("id");
-            let to = g.add_node_labeled("city");
-            g.add_edge_labeled(f, id, "number");
-            g.add_edge_labeled(f, to, "to");
+            let f = b.add_node_labeled("flight");
+            let id = b.add_node_labeled("id");
+            let to = b.add_node_labeled("city");
+            b.add_edge_labeled(f, id, "number");
+            b.add_edge_labeled(f, to, "to");
             let idv = if i < dup {
                 "DUP".into()
             } else {
                 format!("FL{i}")
             };
-            g.set_attr_named(id, "val", Value::str(&idv));
-            g.set_attr_named(to, "val", Value::str(&format!("City{i}")));
+            b.set_attr_named(id, "val", Value::str(&idv));
+            b.set_attr_named(to, "val", Value::str(&format!("City{i}")));
         }
-        g
+        Arc::new(b.freeze())
     }
 
     fn phi(vocab: Arc<Vocab>) -> Gfd {

@@ -2,40 +2,56 @@
 //!
 //! The simulated cluster (crate docs) is what the benchmarks report,
 //! but the work-unit machinery is genuinely parallel-safe: this module
-//! runs units across OS threads with rayon, with a per-thread
+//! runs units across OS threads (std scoped threads over an atomic
+//! work queue — no external thread-pool dependency), with a per-thread
 //! multi-query cache, and is used by the test suite to verify that
 //! concurrent execution produces exactly the sequential violations.
+//!
+//! Every worker shares the *same* frozen CSR snapshot through one
+//! `Arc<Graph>` — the whole point of the builder/snapshot split: no
+//! per-worker graph clone, no synchronization on the read path.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use gfd_core::{GfdSet, Violation};
 use gfd_graph::Graph;
-use rayon::prelude::*;
 
 use crate::unitexec::{execute_unit, sort_violations, MatchCache, MultiQueryIndex};
 use crate::workload::{PivotedRule, WorkUnit};
 
-/// Executes all units across `threads` OS threads, returning the
-/// canonical (sorted) violation list.
+/// Executes all units across `threads` OS threads sharing one
+/// `Arc<Graph>`, returning the canonical (sorted) violation list.
 pub fn run_units_threaded(
-    g: &Graph,
+    g: &Arc<Graph>,
     sigma: &GfdSet,
     plans: &[PivotedRule],
     units: &[WorkUnit],
     threads: usize,
 ) -> Vec<Violation> {
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads.max(1))
-        .build()
-        .expect("thread pool");
     let mqi = MultiQueryIndex::build(plans);
-    let mut violations: Vec<Violation> = pool.install(|| {
-        units
-            .par_iter()
-            .map_init(MatchCache::new, |cache, unit| {
-                let mut out = Vec::new();
-                execute_unit(g, sigma, plans, unit, Some(&mqi), cache, &mut out);
-                out
+    let next = AtomicUsize::new(0);
+    let mut violations: Vec<Violation> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads.max(1))
+            .map(|_| {
+                let g = Arc::clone(g);
+                let next = &next;
+                let mqi = &mqi;
+                scope.spawn(move || {
+                    let mut cache = MatchCache::new();
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(unit) = units.get(i) else { break };
+                        execute_unit(&g, sigma, plans, unit, Some(mqi), &mut cache, &mut out);
+                    }
+                    out
+                })
             })
-            .flatten()
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker thread panicked"))
             .collect()
     });
     sort_violations(&mut violations);
@@ -48,12 +64,12 @@ mod tests {
     use crate::workload::{estimate_workload, plan_rules, WorkloadOptions};
     use gfd_core::validate::detect_violations;
     use gfd_core::{Dependency, Gfd, Literal};
-    use gfd_graph::{Value, Vocab};
+    use gfd_graph::{GraphBuilder, Value, Vocab};
     use gfd_pattern::PatternBuilder;
     use std::sync::Arc;
 
     fn social(n: usize) -> Graph {
-        let mut g = Graph::with_fresh_vocab();
+        let mut g = GraphBuilder::with_fresh_vocab();
         let blogs: Vec<_> = (0..n)
             .map(|i| {
                 let b = g.add_node_labeled("blog");
@@ -71,7 +87,7 @@ mod tests {
             g.add_edge_labeled(a, blogs[i], "post");
             g.add_edge_labeled(a, blogs[(i + 1) % n], "like");
         }
-        g
+        g.freeze()
     }
 
     fn spam_rule(vocab: Arc<Vocab>) -> Gfd {
@@ -94,7 +110,7 @@ mod tests {
 
     #[test]
     fn threaded_equals_sequential() {
-        let g = social(18);
+        let g = Arc::new(social(18));
         let sigma = GfdSet::new(vec![spam_rule(g.vocab().clone())]);
         let mut expected = detect_violations(&sigma, &g);
         sort_violations(&mut expected);
@@ -109,7 +125,7 @@ mod tests {
 
     #[test]
     fn empty_units_empty_result() {
-        let g = social(4);
+        let g = Arc::new(social(4));
         let sigma = GfdSet::default();
         let plans = plan_rules(&sigma);
         let got = run_units_threaded(&g, &sigma, &plans, &[], 2);

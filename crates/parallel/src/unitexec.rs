@@ -252,22 +252,22 @@ mod tests {
 
     /// Flights with duplicate ids but mismatched destinations.
     fn flights(n_dup: usize) -> Graph {
-        let mut g = Graph::with_fresh_vocab();
+        let mut b = gfd_graph::GraphBuilder::with_fresh_vocab();
         for i in 0..6 {
-            let f = g.add_node_labeled("flight");
-            let id = g.add_node_labeled("id");
-            let to = g.add_node_labeled("city");
-            g.add_edge_labeled(f, id, "number");
-            g.add_edge_labeled(f, to, "to");
+            let f = b.add_node_labeled("flight");
+            let id = b.add_node_labeled("id");
+            let to = b.add_node_labeled("city");
+            b.add_edge_labeled(f, id, "number");
+            b.add_edge_labeled(f, to, "to");
             let idv = if i < n_dup {
                 "DUP".to_string()
             } else {
                 format!("FL{i}")
             };
-            g.set_attr_named(id, "val", Value::str(&idv));
-            g.set_attr_named(to, "val", Value::str(&format!("City{i}")));
+            b.set_attr_named(id, "val", Value::str(&idv));
+            b.set_attr_named(to, "val", Value::str(&format!("City{i}")));
         }
-        g
+        b.freeze()
     }
 
     fn phi_same_id_same_dest(vocab: Arc<Vocab>) -> Gfd {

@@ -145,7 +145,7 @@ pub fn plan_rules(sigma: &GfdSet) -> Vec<PivotedRule> {
 /// Candidate nodes for a component pivot.
 fn pivot_candidates(g: &Graph, plan: &ComponentPlan) -> Vec<NodeId> {
     match plan.pivot_label {
-        PatLabel::Sym(s) => g.nodes_with_label(s).to_vec(),
+        PatLabel::Sym(s) => g.extent(s).to_vec(),
         PatLabel::Wildcard => g.nodes().collect(),
     }
 }
@@ -294,14 +294,14 @@ mod tests {
 
     /// Nine flights as in Example 10 (flat star entities).
     fn nine_flights() -> Graph {
-        let mut g = Graph::with_fresh_vocab();
+        let mut b = gfd_graph::GraphBuilder::with_fresh_vocab();
         for i in 0..9 {
-            let f = g.add_node_labeled("flight");
-            let id = g.add_node_labeled("id");
-            g.add_edge_labeled(f, id, "number");
-            g.set_attr_named(id, "val", Value::str(&format!("FL{i}")));
+            let f = b.add_node_labeled("flight");
+            let id = b.add_node_labeled("id");
+            b.add_edge_labeled(f, id, "number");
+            b.set_attr_named(id, "val", Value::str(&format!("FL{i}")));
         }
-        g
+        b.freeze()
     }
 
     fn flight_pair_gfd(vocab: Arc<Vocab>) -> Gfd {
@@ -370,9 +370,10 @@ mod tests {
 
     #[test]
     fn infeasible_pivots_pruned() {
-        let mut g = nine_flights();
         // A flight without an id leaf can never match the component.
-        g.add_node_labeled("flight");
+        let g = nine_flights().edit(|b| {
+            b.add_node_labeled("flight");
+        });
         let sigma = GfdSet::new(vec![flight_pair_gfd(g.vocab().clone())]);
         let wl = estimate_workload(&sigma, &g, &WorkloadOptions::default());
         assert_eq!(wl.units.len(), 36, "the id-less flight contributes nothing");

@@ -4,14 +4,13 @@ use std::fmt;
 use std::sync::Arc;
 
 use gfd_graph::{Sym, Vocab};
-use serde::{Deserialize, Serialize};
 
 /// A pattern variable; doubles as the index of its pattern node.
 ///
 /// The paper's bijection `µ : x̄ → V_Q` is the identity on indices in
 /// this representation, so "variable" and "pattern node" are used
 /// interchangeably, exactly as the paper does.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VarId(pub u32);
 
 impl VarId {
@@ -29,7 +28,7 @@ impl fmt::Debug for VarId {
 }
 
 /// A pattern label: a concrete symbol or the wildcard `_`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum PatLabel {
     /// Matches exactly this label.
     Sym(Sym),
@@ -61,7 +60,7 @@ impl PatLabel {
 }
 
 /// A directed pattern edge.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct PatternEdge {
     /// Source variable.
     pub src: VarId,

@@ -1,0 +1,18 @@
+//! # gfd-util — dependency-free workspace utilities
+//!
+//! This workspace builds in environments without a crates.io mirror,
+//! so the usual suspects (`rand`, `proptest`, `criterion`) are
+//! replaced by the minimal in-repo machinery the experiments actually
+//! need:
+//!
+//! * [`rng`] — a seedable SplitMix64 PRNG with the handful of
+//!   distribution helpers the data generators use (uniform ranges,
+//!   Bernoulli draws, slice choice);
+//! * [`prop`] — a tiny property-testing harness: run a property over a
+//!   seed range and report the first failing seed so a failure is
+//!   reproducible with a one-line test.
+
+pub mod prop;
+pub mod rng;
+
+pub use rng::Rng;

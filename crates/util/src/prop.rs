@@ -1,0 +1,74 @@
+//! A tiny property-testing harness (offline stand-in for `proptest`).
+//!
+//! A property is a closure over a seeded [`Rng`]; the harness runs it
+//! for `cases` consecutive seeds and panics with the failing seed on
+//! the first violation, so failures replay deterministically:
+//!
+//! ```
+//! use gfd_util::prop::check;
+//! check("addition commutes", 64, |rng| {
+//!     let a = rng.gen_range(0..1000);
+//!     let b = rng.gen_range(0..1000);
+//!     if a + b != b + a {
+//!         return Err(format!("{a} + {b}"));
+//!     }
+//!     Ok(())
+//! });
+//! ```
+
+use crate::rng::Rng;
+
+/// Runs `property` for seeds `0..cases`; panics on the first failure,
+/// naming the property and the seed that reproduces it.
+pub fn check<F>(name: &str, cases: u64, mut property: F)
+where
+    F: FnMut(&mut Rng) -> Result<(), String>,
+{
+    for seed in 0..cases {
+        let mut rng = Rng::seed_from_u64(seed);
+        if let Err(msg) = property(&mut rng) {
+            panic!("property `{name}` failed at seed {seed}: {msg}");
+        }
+    }
+}
+
+/// `assert!`-style helper producing the `Result` form [`check`] wants.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_is_silent() {
+        check("tautology", 16, |_| Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at seed 0")]
+    fn failing_property_names_seed() {
+        check("contradiction", 4, |_| Err("nope".into()));
+    }
+
+    #[test]
+    fn prop_assert_macro_forms() {
+        check("macro", 4, |rng| {
+            let x = rng.gen_range(0..10);
+            prop_assert!(x < 10);
+            prop_assert!(x < 10, "x was {x}");
+            Ok(())
+        });
+    }
+}

@@ -10,7 +10,7 @@
 
 use gfd::core::validate::detect_violations;
 use gfd::core::{Dependency, Gfd, GfdSet, Literal};
-use gfd::graph::{Graph, Value, Vocab};
+use gfd::graph::{Graph, GraphBuilder, Value, Vocab};
 use gfd::parallel::{rep_val, RepValConfig};
 use gfd::pattern::PatternBuilder;
 use std::sync::Arc;
@@ -52,7 +52,7 @@ fn phi6(vocab: &Arc<Vocab>) -> Gfd {
 /// blogs and both post "free prize" spam — the accomplice is the
 /// account ϕ6 should expose. Honest accounts surround them.
 fn social_graph(vocab: &Arc<Vocab>, rings: usize, honest: usize) -> (Graph, usize) {
-    let mut g = Graph::new(vocab.clone());
+    let mut g = GraphBuilder::new(vocab.clone());
     let mut expected = 0usize;
     for r in 0..rings {
         let confirmed = g.add_node_labeled("account");
@@ -82,7 +82,7 @@ fn social_graph(vocab: &Arc<Vocab>, rings: usize, honest: usize) -> (Graph, usiz
         g.add_edge_labeled(a, blog, "post");
         let _ = h;
     }
-    (g, expected)
+    (g.freeze(), expected)
 }
 
 fn main() {
@@ -109,7 +109,9 @@ fn main() {
     println!("accounts exposed as fake: {}", suspicious.len());
     assert_eq!(suspicious.len(), expected_rings);
 
-    // Parallel repVal on 4 virtual processors gives the same answer.
+    // Parallel repVal on 4 virtual processors gives the same answer;
+    // every virtual worker reads the same Arc-shared CSR snapshot.
+    let g = Arc::new(g);
     let report = rep_val(&sigma, &g, &RepValConfig::val(4));
     let mut par_suspicious: Vec<_> = report.violations.iter().map(|v| v.mapping.get(x)).collect();
     par_suspicious.sort_unstable();

@@ -11,7 +11,7 @@
 
 use gfd::core::validate::detect_violations;
 use gfd::core::{Dependency, Gfd, GfdSet, Literal};
-use gfd::graph::{Graph, Value, Vocab};
+use gfd::graph::{GraphBuilder, Value, Vocab};
 use gfd::pattern::PatternBuilder;
 use std::sync::Arc;
 
@@ -79,7 +79,7 @@ fn gfd3_mayor_party_country(vocab: &Arc<Vocab>) -> Gfd {
 
 fn main() {
     let vocab = Vocab::shared();
-    let mut g = Graph::new(vocab.clone());
+    let mut g = GraphBuilder::new(vocab.clone());
 
     // Error 1 (YAGO2-style): a child/parent cycle.
     let anna = g.add_node_labeled("person");
@@ -123,6 +123,7 @@ fn main() {
     g.add_edge_labeled(edi, uk, "in_country");
     g.add_edge_labeled(party2, uk, "in_country");
 
+    let g = g.freeze();
     let sigma = GfdSet::new(vec![
         gfd1_child_parent(&vocab),
         gfd2_disjoint_types(&vocab),

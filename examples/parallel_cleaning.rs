@@ -12,11 +12,12 @@ use gfd::parallel::unitexec::sort_violations;
 use gfd::parallel::{dis_val, rep_val, DisValConfig, RepValConfig};
 
 fn main() {
-    // A scaled-down YAGO2 stand-in (see DESIGN.md §3).
-    let g = reallife_graph(&RealLifeConfig {
+    // A scaled-down YAGO2 stand-in (see DESIGN.md §3), frozen once and
+    // shared by every engine through one Arc.
+    let g = std::sync::Arc::new(reallife_graph(&RealLifeConfig {
         scale: 0.25,
         ..RealLifeConfig::new(RealLifeKind::Yago2)
-    });
+    }));
     println!("graph: {} nodes, {} edges", g.node_count(), g.edge_count());
 
     // Mine Σ from frequent features (the paper's rule generator).

@@ -5,22 +5,25 @@
 
 use gfd::core::validate::detect_violations;
 use gfd::core::{Dependency, Gfd, GfdSet, Literal};
-use gfd::graph::{Graph, Value, Vocab};
+use gfd::graph::{GraphBuilder, Value, Vocab};
 use gfd::pattern::PatternBuilder;
 
 fn main() {
     // ── 1. A knowledge-graph fragment with an error ────────────────
     // Both Canberra and Melbourne are recorded as Australia's capital.
+    // Graphs are built mutably, then frozen into an immutable CSR
+    // snapshot that the validators read.
     let vocab = Vocab::shared();
-    let mut g = Graph::new(vocab.clone());
-    let australia = g.add_node_labeled("country");
-    let canberra = g.add_node_labeled("city");
-    let melbourne = g.add_node_labeled("city");
-    g.add_edge_labeled(australia, canberra, "capital");
-    g.add_edge_labeled(australia, melbourne, "capital");
-    g.set_attr_named(australia, "val", Value::str("Australia"));
-    g.set_attr_named(canberra, "val", Value::str("Canberra"));
-    g.set_attr_named(melbourne, "val", Value::str("Melbourne"));
+    let mut builder = GraphBuilder::new(vocab.clone());
+    let australia = builder.add_node_labeled("country");
+    let canberra = builder.add_node_labeled("city");
+    let melbourne = builder.add_node_labeled("city");
+    builder.add_edge_labeled(australia, canberra, "capital");
+    builder.add_edge_labeled(australia, melbourne, "capital");
+    builder.set_attr_named(australia, "val", Value::str("Australia"));
+    builder.set_attr_named(canberra, "val", Value::str("Canberra"));
+    builder.set_attr_named(melbourne, "val", Value::str("Melbourne"));
+    let g = builder.freeze();
 
     // ── 2. GFD ϕ2 of Example 5 ─────────────────────────────────────
     // Pattern Q2: a country x with capital edges to cities y and z.
@@ -62,7 +65,8 @@ fn main() {
     assert_eq!(violations.len(), 2, "both orderings of the capital pair");
 
     // ── 4. Fix the data and re-check ───────────────────────────────
-    g.set_attr(melbourne, val, Value::str("Canberra"));
+    // Repair goes back through the builder: thaw, edit, re-freeze.
+    let g = g.edit(|b| b.set_attr(melbourne, val, Value::str("Canberra")));
     assert!(gfd::core::graph_satisfies(&sigma, &g));
     println!("after repair: graph satisfies Σ");
 }

@@ -10,13 +10,25 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
-//! | [`graph`] | `gfd-graph` | property graphs, neighborhoods, fragments, stats |
+//! | [`graph`] | `gfd-graph` | property graphs as a mutable `GraphBuilder` + frozen CSR `Graph` snapshot, neighborhoods, fragments, stats |
 //! | [`pattern`] | `gfd-pattern` | graph patterns `Q[x̄]`, pivots, embeddings |
 //! | [`matcher`] | `gfd-match` | subgraph isomorphism, pivoted matching, simulation |
 //! | [`core`] | `gfd-core` | GFDs, satisfiability, implication, validation |
-//! | [`parallel`] | `gfd-parallel` | workload model, repVal / disVal, cluster runtime |
+//! | [`parallel`] | `gfd-parallel` | workload model, repVal / disVal over one `Arc<Graph>`, cluster runtime |
 //! | [`datagen`] | `gfd-datagen` | synthetic + real-life-shaped graphs, rule mining, noise |
 //! | [`baselines`] | `gfd-baselines` | GCFD and relational-join comparison validators |
+//!
+//! ## Storage model
+//!
+//! Graphs follow a builder/snapshot split: construct with
+//! [`graph::GraphBuilder`] (`add_node`, `add_edge`, `set_attr`, …),
+//! then [`graph::GraphBuilder::freeze`] into an immutable CSR
+//! [`graph::Graph`] that every validator reads. The snapshot stores
+//! flat offset/adjacency arrays sorted by `(label, dst)` — `has_edge`
+//! is one binary search, per-label neighbor lists and label extents
+//! are zero-allocation slices — and is shared across workers behind an
+//! `Arc`, never cloned. Repairs go back through
+//! [`graph::Graph::thaw`] / [`graph::Graph::edit`].
 //!
 //! ## Quickstart
 //!
@@ -24,19 +36,20 @@
 //!
 //! ```
 //! use gfd::core::{Gfd, GfdSet, Dependency, Literal, validate::detect_violations};
-//! use gfd::graph::{Graph, Value, Vocab};
+//! use gfd::graph::{GraphBuilder, Value, Vocab};
 //! use gfd::pattern::PatternBuilder;
 //!
 //! // A graph with one country and two capitals (the Fig. 1 error).
 //! let vocab = Vocab::shared();
-//! let mut g = Graph::new(vocab.clone());
-//! let au = g.add_node_labeled("country");
-//! let canberra = g.add_node_labeled("city");
-//! let melbourne = g.add_node_labeled("city");
-//! g.add_edge_labeled(au, canberra, "capital");
-//! g.add_edge_labeled(au, melbourne, "capital");
-//! g.set_attr_named(canberra, "val", Value::str("Canberra"));
-//! g.set_attr_named(melbourne, "val", Value::str("Melbourne"));
+//! let mut b = GraphBuilder::new(vocab.clone());
+//! let au = b.add_node_labeled("country");
+//! let canberra = b.add_node_labeled("city");
+//! let melbourne = b.add_node_labeled("city");
+//! b.add_edge_labeled(au, canberra, "capital");
+//! b.add_edge_labeled(au, melbourne, "capital");
+//! b.set_attr_named(canberra, "val", Value::str("Canberra"));
+//! b.set_attr_named(melbourne, "val", Value::str("Melbourne"));
+//! let g = b.freeze(); // immutable CSR snapshot
 //!
 //! // GFD ϕ2 of Example 5: a country's two capitals must agree.
 //! let mut b = PatternBuilder::new(vocab.clone());

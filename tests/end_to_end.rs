@@ -21,10 +21,12 @@ fn canonical(mut v: Vec<Violation>) -> Vec<Violation> {
 
 #[test]
 fn all_engines_agree_on_reallife_graph() {
-    let g = reallife_graph(&RealLifeConfig {
+    // One frozen snapshot behind one Arc, shared by every engine —
+    // replicated/threaded execution never clones the graph.
+    let g = std::sync::Arc::new(reallife_graph(&RealLifeConfig {
         scale: 0.08,
         ..RealLifeConfig::new(RealLifeKind::Yago2)
-    });
+    }));
     let sigma = mine_gfds(
         &g,
         &RuleGenConfig {
@@ -66,13 +68,13 @@ fn all_engines_agree_on_reallife_graph() {
 
 #[test]
 fn engines_agree_on_synthetic_graph() {
-    let g = synthetic_graph(&SynthConfig {
+    let g = std::sync::Arc::new(synthetic_graph(&SynthConfig {
         nodes: 800,
         edges: 1600,
         labels: 12,
         seed: 99,
         ..Default::default()
-    });
+    }));
     let sigma = mine_gfds(
         &g,
         &RuleGenConfig {
@@ -93,7 +95,7 @@ fn engines_agree_on_synthetic_graph() {
 
 #[test]
 fn twin_rules_catch_injected_noise() {
-    let mut g = reallife_graph(&RealLifeConfig {
+    let g = reallife_graph(&RealLifeConfig {
         scale: 0.15,
         ..RealLifeConfig::new(RealLifeKind::Yago2)
     });
@@ -104,14 +106,17 @@ fn twin_rules_catch_injected_noise() {
         detect_violations(&sigma, &g).is_empty(),
         "clean stand-in must satisfy its own twin rules"
     );
+    // Noise is a builder-level mutation: thaw, corrupt, re-freeze.
+    let mut b = g.thaw();
     let report = inject_noise(
-        &mut g,
+        &mut b,
         &NoiseConfig {
             rate: 0.08,
             seed: 17,
         },
     );
     assert!(!report.is_empty());
+    let g = b.freeze();
     let dirty = detect_violations(&sigma, &g);
     assert!(
         !dirty.is_empty(),
@@ -122,24 +127,25 @@ fn twin_rules_catch_injected_noise() {
 #[test]
 fn clean_twin_consistency_rule_fires_only_after_corruption() {
     use gfd::core::{Dependency, Gfd, GfdSet, Literal};
-    use gfd::graph::{Graph, Value};
+    use gfd::graph::{GraphBuilder, Value};
     use gfd::pattern::PatternBuilder;
 
     // A tiny curated graph: two twin products sharing an id with equal
     // prices — consistent until we corrupt one price.
-    let mut g = Graph::with_fresh_vocab();
-    let vocab = g.vocab().clone();
+    let mut gb = GraphBuilder::with_fresh_vocab();
+    let vocab = gb.vocab().clone();
     let mut product = |id: &str, price: i64| {
-        let p = g.add_node_labeled("product");
-        let idn = g.add_node_labeled("pid");
-        g.add_edge_labeled(p, idn, "has_id");
-        g.set_attr_named(idn, "val", Value::str(id));
-        g.set_attr_named(p, "price", Value::Int(price));
+        let p = gb.add_node_labeled("product");
+        let idn = gb.add_node_labeled("pid");
+        gb.add_edge_labeled(p, idn, "has_id");
+        gb.set_attr_named(idn, "val", Value::str(id));
+        gb.set_attr_named(p, "price", Value::Int(price));
         p
     };
     let _p1 = product("X1", 100);
     let p2 = product("X1", 100);
     let _p3 = product("Z9", 50);
+    let g = gb.freeze();
 
     let mut b = PatternBuilder::new(vocab.clone());
     let x = b.node("x", "product");
@@ -162,7 +168,7 @@ fn clean_twin_consistency_rule_fires_only_after_corruption() {
     let sigma = GfdSet::new(vec![rule]);
     assert!(gfd::core::graph_satisfies(&sigma, &g));
 
-    g.set_attr(p2, price, Value::Int(999));
+    let g = g.edit(|b| b.set_attr(p2, price, Value::Int(999)));
     let violations = detect_violations(&sigma, &g);
     assert_eq!(violations.len(), 2, "both orientations of the twin pair");
 }

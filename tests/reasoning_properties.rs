@@ -6,92 +6,83 @@
 //! * soundness of implication: whenever `Σ ⊨ ϕ` is claimed, no graph
 //!   in a randomized sample satisfies `Σ` but violates `ϕ`;
 //! * parallel/sequential equivalence on random inputs.
+//!
+//! Randomization uses the in-repo harness (`gfd_util::prop`): each
+//! property runs over a seed range and failures replay by seed.
 
 use gfd::core::sat::{check_satisfiability, SatOutcome};
 use gfd::core::validate::detect_violations;
 use gfd::core::{implies, Dependency, Gfd, GfdSet, Literal};
-use gfd::graph::{Fragmentation, Graph, PartitionStrategy, Value, Vocab};
+use gfd::graph::{Fragmentation, Graph, GraphBuilder, PartitionStrategy, Value, Vocab};
 use gfd::matcher::{has_match, MatchOptions};
 use gfd::parallel::unitexec::sort_violations;
 use gfd::parallel::{dis_val, rep_val, DisValConfig, RepValConfig};
 use gfd::pattern::{Pattern, PatternBuilder, VarId};
-use proptest::prelude::*;
+use gfd_util::{prop::check, prop_assert, Rng};
 use std::sync::Arc;
 
-/// A small random pattern over `labels` node labels and `elabels`
-/// edge labels (connected-ish: each node after the first gets an edge
-/// to a random earlier node).
-fn arb_pattern(vocab: Arc<Vocab>, labels: u32, elabels: u32) -> impl Strategy<Value = Pattern> {
-    (
-        1u32..4,
-        proptest::collection::vec((0u32..8, 0..labels, 0..elabels), 0..4),
-    )
-        .prop_map(move |(n, extra)| {
-            let mut b = PatternBuilder::new(vocab.clone());
-            let mut vars = Vec::new();
-            for i in 0..n {
-                vars.push(b.node(&format!("v{i}"), &format!("t{}", i % labels)));
-            }
-            for i in 1..n as usize {
-                b.edge(vars[i - 1], vars[i], "e0");
-            }
-            for (at, _l, el) in extra {
-                let a = vars[(at as usize) % vars.len()];
-                let z = vars[((at / 2) as usize) % vars.len()];
-                if a != z {
-                    b.edge(a, z, &format!("e{el}"));
-                }
-            }
-            b.build()
-        })
+/// A small random pattern over `labels` node labels and `elabels` edge
+/// labels (connected-ish: each node after the first gets an edge to a
+/// random earlier node).
+fn random_pattern(rng: &mut Rng, vocab: &Arc<Vocab>, labels: u32, elabels: u32) -> Pattern {
+    let n = rng.gen_range(1..4) as u32;
+    let mut b = PatternBuilder::new(vocab.clone());
+    let mut vars = Vec::new();
+    for i in 0..n {
+        vars.push(b.node(&format!("v{i}"), &format!("t{}", i % labels)));
+    }
+    for i in 1..n as usize {
+        b.edge(vars[i - 1], vars[i], "e0");
+    }
+    for _ in 0..rng.gen_range(0..4) {
+        let at = rng.gen_range(0..8);
+        let el = rng.gen_range(0..elabels as usize);
+        let a = vars[at % vars.len()];
+        let z = vars[(at / 2) % vars.len()];
+        if a != z {
+            b.edge(a, z, &format!("e{el}"));
+        }
+    }
+    b.build()
 }
 
 /// A random constant/variable dependency over a pattern's variables.
-fn arb_dep(vocab: Arc<Vocab>, nvars: u32) -> impl Strategy<Value = Dependency> {
-    let lit = (0u32..nvars, 0u32..2, 0u32..3, 0u32..nvars).prop_map(move |(v, kind, a, v2)| {
+fn random_dep(rng: &mut Rng, vocab: &Arc<Vocab>, nvars: u32) -> Dependency {
+    let lit = |rng: &mut Rng| {
+        let v = rng.gen_range(0..nvars as usize) as u32;
+        let a = rng.gen_range(0..3);
         let attr = vocab.intern(&format!("A{a}"));
-        if kind == 0 {
+        if rng.gen_bool(0.5) {
             Literal::const_eq(VarId(v), attr, format!("c{a}"))
         } else {
-            Literal::var_eq(VarId(v), attr, VarId(v2 % nvars), attr)
+            let v2 = rng.gen_range(0..nvars as usize) as u32;
+            Literal::var_eq(VarId(v), attr, VarId(v2), attr)
         }
-    });
-    (
-        proptest::collection::vec(lit.clone(), 0..2),
-        proptest::collection::vec(lit, 0..2),
-    )
-        .prop_map(|(x, y)| Dependency::new(x, y))
+    };
+    let x = (0..rng.gen_range(0..2)).map(|_| lit(rng)).collect();
+    let y = (0..rng.gen_range(0..2)).map(|_| lit(rng)).collect();
+    Dependency::new(x, y)
 }
 
-fn arb_sigma() -> impl Strategy<Value = GfdSet> {
+fn random_sigma(rng: &mut Rng) -> GfdSet {
     let vocab = Vocab::shared();
-    let v2 = vocab.clone();
-    proptest::collection::vec(
-        arb_pattern(vocab.clone(), 2, 2).prop_flat_map(move |p| {
-            let n = p.node_count() as u32;
-            let v3 = v2.clone();
-            arb_dep(v3, n).prop_map(move |d| (p.clone(), d))
-        }),
-        1..4,
-    )
-    .prop_map(|pairs| {
-        GfdSet::new(
-            pairs
-                .into_iter()
-                .enumerate()
-                .map(|(i, (p, d))| Gfd::new(format!("r{i}"), p, d))
-                .collect(),
-        )
-    })
+    let count = rng.gen_range(1..4);
+    let rules = (0..count)
+        .map(|i| {
+            let p = random_pattern(rng, &vocab, 2, 2);
+            let d = random_dep(rng, &vocab, p.node_count() as u32);
+            Gfd::new(format!("r{i}"), p, d)
+        })
+        .collect();
+    GfdSet::new(rules)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// If the chase says satisfiable, the produced model is a model:
-    /// it satisfies Σ and matches every pattern.
-    #[test]
-    fn sat_chase_is_sound(sigma in arb_sigma()) {
+/// If the chase says satisfiable, the produced model is a model: it
+/// satisfies Σ and matches every pattern.
+#[test]
+fn sat_chase_is_sound() {
+    check("satisfiability chase soundness", 24, |rng| {
+        let sigma = random_sigma(rng);
         if let SatOutcome::Satisfiable(model) = check_satisfiability(&sigma) {
             prop_assert!(
                 gfd::core::graph_satisfies(&sigma, &model),
@@ -104,26 +95,30 @@ proptest! {
                 );
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Random graphs satisfying Σ also satisfy anything Σ implies.
-    #[test]
-    fn implication_is_sound(sigma in arb_sigma(), seed in 0u64..1000) {
-        // Pick the first rule's pattern as ϕ's pattern; the dependency
-        // is Σ's first rule's too (so Σ ⊨ ϕ should hold trivially) —
-        // plus a mutated variant that usually fails.
+/// Random graphs satisfying Σ also satisfy anything Σ implies.
+#[test]
+fn implication_is_sound() {
+    check("implication soundness", 24, |rng| {
+        let sigma = random_sigma(rng);
         let phi = sigma.get(0).clone();
         prop_assert!(implies(&sigma, &phi), "Σ must imply its own member");
 
         // Soundness on a random graph: generate a graph from the
         // canonical model plus clutter, check the contrapositive.
-        if let SatOutcome::Satisfiable(mut model) = check_satisfiability(&sigma) {
+        let seed = rng.gen_range(0..1000);
+        if let SatOutcome::Satisfiable(model) = check_satisfiability(&sigma) {
             // Add clutter nodes that cannot affect pattern matches.
             let clutter = model.vocab().intern(&format!("clutter{seed}"));
-            for _ in 0..3 {
-                let c = model.add_node(clutter);
-                model.set_attr_named(c, "A0", Value::str("x"));
-            }
+            let model = model.edit(|b| {
+                for _ in 0..3 {
+                    let c = b.add_node(clutter);
+                    b.set_attr_named(c, "A0", Value::str("x"));
+                }
+            });
             if gfd::core::graph_satisfies(&sigma, &model) {
                 prop_assert!(
                     gfd::core::graph_satisfies(&GfdSet::new(vec![phi]), &model),
@@ -131,39 +126,48 @@ proptest! {
                 );
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// repVal and disVal equal detVio on random graphs and rule sets.
-    #[test]
-    fn parallel_equals_sequential(sigma in arb_sigma(), nodes in 4usize..24, seed in 0u64..100) {
+/// repVal and disVal equal detVio on random graphs and rule sets.
+#[test]
+fn parallel_equals_sequential() {
+    check("repVal/disVal ≡ detVio", 24, |rng| {
+        let sigma = random_sigma(rng);
+        let nodes = rng.gen_range(4..24);
         // A random graph over the same vocabulary/labels as Σ.
         let vocab = sigma.get(0).pattern.vocab().clone();
-        let mut g = Graph::new(vocab.clone());
-        let mut rng = seed;
-        let mut next = move || { rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407); (rng >> 33) as usize };
-        let ids: Vec<_> = (0..nodes).map(|i| {
-            let n = g.add_node_labeled(&format!("t{}", i % 2));
-            for a in 0..3 {
-                if next() % 3 != 0 {
-                    g.set_attr_named(n, &format!("A{a}"), Value::str(&format!("c{}", next() % 3)));
+        let mut b = GraphBuilder::new(vocab.clone());
+        let ids: Vec<_> = (0..nodes)
+            .map(|i| {
+                let n = b.add_node_labeled(&format!("t{}", i % 2));
+                for a in 0..3 {
+                    if rng.gen_bool(2.0 / 3.0) {
+                        let c = rng.gen_range(0..3);
+                        b.set_attr_named(n, &format!("A{a}"), Value::str(&format!("c{c}")));
+                    }
                 }
-            }
-            n
-        }).collect();
+                n
+            })
+            .collect();
         for _ in 0..nodes * 2 {
-            let s = ids[next() % nodes];
-            let d = ids[next() % nodes];
+            let s = ids[rng.gen_range(0..nodes)];
+            let d = ids[rng.gen_range(0..nodes)];
             if s != d {
-                g.add_edge_labeled(s, d, &format!("e{}", next() % 2));
+                let e = rng.gen_range(0..2);
+                b.add_edge_labeled(s, d, &format!("e{e}"));
             }
         }
+        let g: Arc<Graph> = Arc::new(b.freeze());
 
         let mut expected = detect_violations(&sigma, &g);
         sort_violations(&mut expected);
         let rep = rep_val(&sigma, &g, &RepValConfig::val(3));
-        prop_assert_eq!(&rep.violations, &expected);
+        prop_assert!(rep.violations == expected, "repVal disagrees with detVio");
         let frag = Fragmentation::partition(&g, 3, PartitionStrategy::Hash);
         let dis = dis_val(&sigma, &g, &frag, &DisValConfig::val(3));
-        prop_assert_eq!(&dis.violations, &expected);
-    }
+        prop_assert!(dis.violations == expected, "disVal disagrees with detVio");
+        Ok(())
+    });
 }
