@@ -17,9 +17,10 @@ use gfd_core::sat::check_satisfiability;
 use gfd_core::validate::detect_violations;
 use gfd_core::{implies, Dependency, Gfd, GfdSet, Literal};
 use gfd_datagen::{mine_gfds, reallife_graph, RealLifeConfig, RealLifeKind, RuleGenConfig};
+use gfd_graph::intersect::intersect_in_place;
 use gfd_graph::{Graph, NodeId, Vocab};
-use gfd_match::{count_matches, MatchOptions};
-use gfd_parallel::workload::{estimate_workload, plan_rules, WorkloadOptions};
+use gfd_match::{count_matches, dual_simulation, MatchOptions};
+use gfd_parallel::workload::{estimate_workload, feasible_pivots, plan_rules, WorkloadOptions};
 use gfd_parallel::{rep_val, RepValConfig};
 use gfd_pattern::{Pattern, PatternBuilder, VarId};
 use gfd_util::Rng;
@@ -31,11 +32,21 @@ struct Sample {
     iters: u64,
 }
 
+/// `BENCH_SMOKE=1` runs every sample with a tiny iteration budget —
+/// CI uses it to fail fast on perf-harness rot without paying for a
+/// full calibrated run (numbers from smoke runs are meaningless).
+fn smoke() -> bool {
+    static SMOKE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *SMOKE.get_or_init(|| std::env::var_os("BENCH_SMOKE").is_some())
+}
+
 /// Times `f` adaptively: calibrates an iteration count that fills at
 /// least 50ms (iters quadruple, so a run lands in 50–200ms), then
 /// reports the best of 3 runs (min is the stablest statistic for
-/// wall-clock microbenches).
+/// wall-clock microbenches). Smoke mode skips calibration and runs
+/// each sample once.
 fn bench<R>(name: &'static str, samples: &mut Vec<Sample>, mut f: impl FnMut() -> R) {
+    let (floor_ms, runs) = if smoke() { (0, 1) } else { (50, 3) };
     let mut iters = 1u64;
     loop {
         let t = Instant::now();
@@ -43,13 +54,13 @@ fn bench<R>(name: &'static str, samples: &mut Vec<Sample>, mut f: impl FnMut() -
             black_box(f());
         }
         let elapsed = t.elapsed();
-        if elapsed.as_millis() >= 50 || iters >= 1 << 24 {
+        if elapsed.as_millis() >= floor_ms || iters >= 1 << 24 {
             break;
         }
         iters *= 4;
     }
     let mut best = f64::INFINITY;
-    for _ in 0..3 {
+    for _ in 0..runs {
         let t = Instant::now();
         for _ in 0..iters {
             black_box(f());
@@ -165,6 +176,30 @@ fn main() {
         bench("match/count_matches(mined rule 0)", &mut samples, || {
             count_matches(&gfd.pattern, &g, &MatchOptions::unrestricted())
         });
+        bench("sim/dual_simulation(mined rule 0)", &mut samples, || {
+            dual_simulation(&gfd.pattern, &g, None).total_size()
+        });
+    }
+
+    // The intersection kernel behind every candidate pool: the two
+    // largest label extents (comparable sizes → merge path) and a
+    // 32×-skewed pair (galloping path), refreshed per iteration.
+    {
+        let mut extents: Vec<&[NodeId]> = g.label_extents().map(|(_, e)| e).collect();
+        extents.sort_by_key(|e| std::cmp::Reverse(e.len()));
+        let (big, second) = (extents[0], extents[1]);
+        let small: Vec<NodeId> = big.iter().step_by(64).copied().collect();
+        let mut pool: Vec<NodeId> = Vec::with_capacity(big.len());
+        bench("match/candidate_intersection", &mut samples, || {
+            pool.clear();
+            pool.extend_from_slice(big);
+            intersect_in_place(&mut pool, second, |&x| x);
+            let merged = pool.len();
+            pool.clear();
+            pool.extend_from_slice(big);
+            intersect_in_place(&mut pool, &small, |&x| x);
+            merged + pool.len()
+        });
     }
 
     // Reasoning (Example 7 / Example 8 shapes).
@@ -237,6 +272,17 @@ fn main() {
         estimate_workload(&sigma_det, &g2, &WorkloadOptions::default())
     });
     bench("detect/plan_rules", &mut samples, || plan_rules(&sigma_det));
+    // The simulation-based pivot filter in isolation (one dual
+    // simulation per component instead of a backtracking probe per
+    // pivot candidate).
+    let det_plans = plan_rules(&sigma_det);
+    bench("detect/pivot_feasibility", &mut samples, || {
+        det_plans
+            .iter()
+            .flat_map(|r| &r.components)
+            .map(|c| feasible_pivots(&g2, c, true).0.len())
+            .sum::<usize>()
+    });
     bench("detect/repVal_n4", &mut samples, || {
         rep_val(&sigma_det, &g2, &RepValConfig::val(4))
     });

@@ -62,6 +62,10 @@ pub fn for_each_violation(
     opts: &MatchOptions,
     f: &mut dyn FnMut(&[NodeId]) -> Flow,
 ) -> bool {
+    if gfd.dep.y.is_empty() {
+        // `X → ∅` holds for every match — skip the enumeration.
+        return true;
+    }
     let outcome = for_each_match(&gfd.pattern, g, opts, &mut |m| {
         if match_satisfies(&gfd.dep, g, m) {
             Flow::Continue

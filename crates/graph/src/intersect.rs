@@ -1,0 +1,163 @@
+//! Sorted-slice intersection kernels for candidate-pool refinement.
+//!
+//! The matcher's candidate pools are intersections of sorted node
+//! lists: label extents, per-label CSR runs (sorted by `(label, dst)`,
+//! so a single-label subrange is sorted by node), simulation candidate
+//! sets and data blocks. Intersecting them wants two regimes:
+//!
+//! * **merge** — one linear two-pointer pass when the inputs have
+//!   comparable sizes;
+//! * **galloping** — when one side is at least [`GALLOP_RATIO`]×
+//!   smaller, binary-search each element of the small side in the big
+//!   one (`O(small · log big)` beats the linear pass).
+//!
+//! The helpers are generic over the element type via a key extractor,
+//! so both `&[NodeId]` lists and `&[Adj]` CSR runs intersect without
+//! materializing intermediate id vectors, and they work *in place* on
+//! a caller-owned accumulator so refinement chains allocate nothing.
+
+use crate::graph::NodeId;
+
+/// Size ratio at which intersection switches from a linear merge to
+/// galloping binary search on the larger side.
+pub const GALLOP_RATIO: usize = 32;
+
+/// Appends the keys of `src` to `out` (no clearing, no sorting — the
+/// caller picks a `src` whose keys are already ascending).
+#[inline]
+pub fn extend_keys<T>(out: &mut Vec<NodeId>, src: &[T], key: impl Fn(&T) -> NodeId) {
+    out.extend(src.iter().map(key));
+}
+
+/// Intersects the sorted accumulator with a second sorted list in
+/// place: `acc` keeps exactly the ids that also occur as keys of
+/// `other`. Both inputs must be ascending and duplicate-free; the
+/// result then is too. Chooses merge vs galloping by size ratio.
+pub fn intersect_in_place<T>(acc: &mut Vec<NodeId>, other: &[T], key: impl Fn(&T) -> NodeId) {
+    if acc.is_empty() || other.is_empty() {
+        acc.clear();
+        return;
+    }
+    if other.len() / GALLOP_RATIO >= acc.len() {
+        // acc is tiny: gallop into `other`.
+        acc.retain(|&x| other.binary_search_by(|t| key(t).cmp(&x)).is_ok());
+        return;
+    }
+    if acc.len() / GALLOP_RATIO >= other.len() {
+        // `other` is tiny: gallop into acc, writing survivors forward.
+        let mut w = 0;
+        for t in other {
+            let x = key(t);
+            if acc.binary_search(&x).is_ok() {
+                acc[w] = x;
+                w += 1;
+            }
+        }
+        acc.truncate(w);
+        return;
+    }
+    // Comparable sizes: linear two-pointer merge, in place.
+    let mut w = 0;
+    let mut i = 0;
+    let mut j = 0;
+    while i < acc.len() && j < other.len() {
+        let a = acc[i];
+        let b = key(&other[j]);
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                acc[w] = a;
+                w += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    acc.truncate(w);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<NodeId> {
+        v.iter().copied().map(NodeId).collect()
+    }
+
+    #[test]
+    fn merge_path_intersects() {
+        let mut acc = ids(&[1, 3, 5, 7, 9]);
+        let other = ids(&[2, 3, 4, 7, 10]);
+        intersect_in_place(&mut acc, &other, |&x| x);
+        assert_eq!(acc, ids(&[3, 7]));
+    }
+
+    #[test]
+    fn empty_sides_clear() {
+        let mut acc = ids(&[1, 2]);
+        intersect_in_place(&mut acc, &[], |&x: &NodeId| x);
+        assert!(acc.is_empty());
+        let mut acc: Vec<NodeId> = Vec::new();
+        intersect_in_place(&mut acc, &ids(&[1]), |&x| x);
+        assert!(acc.is_empty());
+    }
+
+    #[test]
+    fn gallop_small_acc() {
+        // other is ≥ 32× larger than acc → acc-side galloping.
+        let other: Vec<NodeId> = (0..1000).map(|i| NodeId(2 * i)).collect();
+        let mut acc = ids(&[4, 5, 500, 1998]);
+        intersect_in_place(&mut acc, &other, |&x| x);
+        assert_eq!(acc, ids(&[4, 500, 1998]));
+    }
+
+    #[test]
+    fn gallop_small_other() {
+        let mut acc: Vec<NodeId> = (0..1000).map(|i| NodeId(2 * i)).collect();
+        let other = ids(&[3, 6, 7, 1998]);
+        intersect_in_place(&mut acc, &other, |&x| x);
+        assert_eq!(acc, ids(&[6, 1998]));
+    }
+
+    #[test]
+    fn agrees_with_naive_across_regimes() {
+        // Cross-check all three code paths against a hash-set oracle.
+        for (na, nb, step) in [
+            (10usize, 10usize, 3u32),
+            (4, 400, 7),
+            (400, 4, 5),
+            (64, 64, 2),
+        ] {
+            let a: Vec<NodeId> = (0..na as u32).map(|i| NodeId(i * step)).collect();
+            let b: Vec<NodeId> = (0..nb as u32).map(|i| NodeId(i * 3)).collect();
+            let expect: Vec<NodeId> = a
+                .iter()
+                .copied()
+                .filter(|x| b.binary_search(x).is_ok())
+                .collect();
+            let mut acc = a.clone();
+            intersect_in_place(&mut acc, &b, |&x| x);
+            assert_eq!(acc, expect, "sizes {na}/{nb} step {step}");
+        }
+    }
+
+    #[test]
+    fn keyed_extraction_works() {
+        use crate::graph::Adj;
+        use crate::vocab::Sym;
+        let run: Vec<Adj> = [2u32, 4, 6]
+            .iter()
+            .map(|&n| Adj {
+                label: Sym(1),
+                node: NodeId(n),
+            })
+            .collect();
+        let mut acc = ids(&[1, 2, 3, 4]);
+        intersect_in_place(&mut acc, &run, |a| a.node);
+        assert_eq!(acc, ids(&[2, 4]));
+        let mut out = Vec::new();
+        extend_keys(&mut out, &run, |a| a.node);
+        assert_eq!(out, ids(&[2, 4, 6]));
+    }
+}

@@ -16,6 +16,8 @@
 //!   [`graph`] module docs for the layout rationale);
 //! * `k`-hop neighborhoods and induced subgraphs — the data blocks
 //!   `G_z̄` of work units (module [`neighborhood`]);
+//! * sorted-slice intersection kernels (merge + galloping) used by the
+//!   matcher's candidate-pool refinement (module [`intersect`]);
 //! * fragmentations `(F_1, …, F_n)` with in-/out-border nodes for the
 //!   distributed setting of §6.2 (module [`fragment`]);
 //! * statistics used by workload estimation: label frequencies and
@@ -29,6 +31,7 @@
 pub mod attrs;
 pub mod fragment;
 pub mod graph;
+pub mod intersect;
 pub mod io;
 pub mod neighborhood;
 pub mod stats;

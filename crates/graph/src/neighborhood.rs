@@ -96,30 +96,50 @@ impl FromIterator<NodeId> for NodeSet {
 }
 
 /// All nodes within `k` undirected hops of any seed (including seeds).
+///
+/// Dense-bitmap BFS: one `|V|`-byte visited array beats hash-map
+/// bookkeeping for the small, frequent blocks workload estimation
+/// builds (one per pivot candidate).
 pub fn khop_nodes(g: &Graph, seeds: &[NodeId], k: usize) -> NodeSet {
-    let mut visited: HashMap<NodeId, usize> = HashMap::new();
-    let mut frontier: Vec<NodeId> = Vec::new();
+    let mut visited = vec![false; g.node_count()];
+    khop_nodes_scratch(g, seeds, k, &mut visited)
+}
+
+/// Scratch-reusing variant of [`khop_nodes`] for callers that build
+/// many blocks: `visited` must be all-`false` and is restored to
+/// all-`false` on return (only the entries the BFS touched are reset,
+/// so reuse costs `O(|block|)`, not `O(|V|)`).
+pub fn khop_nodes_scratch(g: &Graph, seeds: &[NodeId], k: usize, visited: &mut [bool]) -> NodeSet {
+    debug_assert!(visited.len() >= g.node_count());
+    debug_assert!(visited.iter().all(|&b| !b), "scratch must start clear");
+    let mut reached: Vec<NodeId> = Vec::with_capacity(seeds.len());
     for &s in seeds {
-        if visited.insert(s, 0).is_none() {
-            frontier.push(s);
+        if !std::mem::replace(&mut visited[s.index()], true) {
+            reached.push(s);
         }
     }
-    for depth in 0..k {
-        let mut next = Vec::new();
-        for &u in &frontier {
-            for v in g.neighbors(u) {
-                visited.entry(v).or_insert_with(|| {
-                    next.push(v);
-                    depth + 1
-                });
-            }
-        }
-        frontier = next;
-        if frontier.is_empty() {
+    // `reached[lo..]` is the current frontier; appending extends the
+    // next one in place.
+    let mut lo = 0;
+    for _ in 0..k {
+        let hi = reached.len();
+        if lo == hi {
             break;
         }
+        for i in lo..hi {
+            let u = reached[i];
+            for v in g.neighbors(u) {
+                if !std::mem::replace(&mut visited[v.index()], true) {
+                    reached.push(v);
+                }
+            }
+        }
+        lo = hi;
     }
-    NodeSet::from_vec(visited.into_keys().collect())
+    for &u in &reached {
+        visited[u.index()] = false;
+    }
+    NodeSet::from_vec(reached)
 }
 
 /// The `c`-neighbor data block of a single pivot candidate.

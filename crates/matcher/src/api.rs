@@ -1,11 +1,20 @@
 //! Top-level matching API over full (possibly disconnected) patterns.
+//!
+//! Enumeration is filter-and-refine: each connected component may
+//! first be *filtered* through [`dual_simulation`] (per the
+//! [`SimFilter`] policy), which either proves the component matchless
+//! or hands the backtracker a pruned [`CandidateSpace`] to *refine*.
+//! Connected patterns stream their matches straight to the callback;
+//! only genuinely disconnected patterns buffer per-component matches
+//! for the disjointness join.
 
 use gfd_graph::{Graph, NodeId};
-use gfd_pattern::{signature::decompose, Pattern, VarId};
+use gfd_pattern::{signature::decompose, PatLabel, Pattern, VarId};
 
 use crate::component::{ComponentSearch, StopReason};
 use crate::join::{join_components, ComponentMatches};
-use crate::types::{Flow, Match, MatchOptions};
+use crate::simulation::{dual_simulation, CandidateSpace};
+use crate::types::{Flow, Match, MatchOptions, SimFilter};
 
 /// Outcome of a streaming enumeration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -14,6 +23,43 @@ pub enum EnumOutcome {
     Complete,
     /// Stopped early: by callback, match cap, or step budget.
     Stopped(StopReason),
+}
+
+/// Smallest seed pool at which [`SimFilter::Auto`] turns simulation
+/// on: below this, a raw backtracking scan is cheaper than computing
+/// the filter.
+const SIM_AUTO_MIN_POOL: usize = 128;
+
+/// The `Auto` heuristic: filter when the component is *cyclic* (edges
+/// ≥ nodes — includes parallel-edge multi-constraints) and its
+/// cheapest entry pool is large enough for the filter to pay for
+/// itself. On trees the refined backtracker already expands only
+/// adjacency intersections, and measured mined-rule workloads run
+/// faster unfiltered; cycles are where simulation prunes what
+/// backtracking discovers late.
+fn auto_simulate(cq: &Pattern, g: &Graph, opts: &MatchOptions) -> bool {
+    if cq.edge_count() < cq.node_count() {
+        return false;
+    }
+    let pool = |v| match cq.label(v) {
+        PatLabel::Sym(s) => g.extent(s).len(),
+        PatLabel::Wildcard => opts
+            .restriction
+            .as_ref()
+            .map_or(g.node_count(), |r| r.len()),
+    };
+    cq.vars().map(pool).min().unwrap_or(0) >= SIM_AUTO_MIN_POOL
+}
+
+/// Computes the component's candidate space per the filter policy;
+/// `None` means "search unfiltered".
+fn filter_component(cq: &Pattern, g: &Graph, opts: &MatchOptions) -> Option<CandidateSpace> {
+    let simulate = match opts.sim {
+        SimFilter::Always => true,
+        SimFilter::Never => false,
+        SimFilter::Auto => auto_simulate(cq, g, opts),
+    };
+    simulate.then(|| dual_simulation(cq, g, opts.restriction.as_ref()))
 }
 
 /// Enumerates matches of `q` in `g`, calling `f` for each match
@@ -35,13 +81,72 @@ pub fn for_each_match(
     let parts = decompose(q);
     let step_cap = opts.budget.max_steps.unwrap_or(u64::MAX);
     let mut steps_left = step_cap;
+    let cap = opts.budget.max_matches.unwrap_or(usize::MAX);
 
-    // Enumerate matches per component (mapping pins into local vars).
-    let mut components = Vec::with_capacity(parts.len());
-    for (cq, orig_vars) in &parts {
+    // A connected pattern streams matches straight from the component
+    // search — no buffering, no join (detVio on connected patterns
+    // used to materialize the full match set for nothing).
+    if let [(cq, orig_vars)] = parts.as_slice() {
+        debug_assert!(
+            orig_vars.iter().enumerate().all(|(i, v)| v.index() == i),
+            "a single component keeps the original variable order"
+        );
+        let cs = filter_component(cq, g, opts);
+        if cs.as_ref().is_some_and(CandidateSpace::is_empty_anywhere) {
+            return EnumOutcome::Complete;
+        }
         let mut search = ComponentSearch::new(cq, g).max_steps(steps_left);
         if let Some(r) = &opts.restriction {
             search = search.restrict(r);
+        }
+        if let Some(cs) = &cs {
+            search = search.candidate_space(cs);
+        }
+        for &(var, node) in &opts.pins {
+            // Out-of-range pins are ignored, matching the component
+            // mapping below that drops them for disconnected patterns.
+            if var.index() < cq.node_count() {
+                search = search.pin(var, node);
+            }
+        }
+        let mut emitted = 0usize;
+        let mut capped = false;
+        let reason = search.for_each(&mut |m| {
+            let flow = f(m);
+            emitted += 1;
+            if flow == Flow::Break {
+                return Flow::Break;
+            }
+            if emitted >= cap {
+                capped = true;
+                return Flow::Break;
+            }
+            Flow::Continue
+        });
+        return match reason {
+            StopReason::Exhausted => EnumOutcome::Complete,
+            StopReason::BudgetExhausted => EnumOutcome::Stopped(StopReason::BudgetExhausted),
+            StopReason::CallbackBreak if capped => {
+                EnumOutcome::Stopped(StopReason::BudgetExhausted)
+            }
+            StopReason::CallbackBreak => EnumOutcome::Stopped(StopReason::CallbackBreak),
+        };
+    }
+
+    // Disconnected: enumerate matches per component (mapping pins into
+    // local vars), then join under global injectivity.
+    let mut components = Vec::with_capacity(parts.len());
+    for (cq, orig_vars) in &parts {
+        let cs = filter_component(cq, g, opts);
+        if cs.as_ref().is_some_and(CandidateSpace::is_empty_anywhere) {
+            return EnumOutcome::Complete; // no match of this component → none of Q
+        }
+        let mut search = ComponentSearch::new(cq, g).max_steps(steps_left);
+        if let Some(r) = &opts.restriction {
+            search = search.restrict(r);
+        }
+        if let Some(cs) = &cs {
+            search = search.candidate_space(cs);
         }
         for &(var, node) in &opts.pins {
             if let Some(local) = orig_vars.iter().position(|&v| v == var) {
@@ -68,7 +173,6 @@ pub fn for_each_match(
 
     // Join with global injectivity, honoring the match cap.
     let mut emitted = 0usize;
-    let cap = opts.budget.max_matches.unwrap_or(usize::MAX);
     let mut capped = false;
     let complete = join_components(&components, q.node_count(), &mut |assignment| {
         let flow = f(assignment);

@@ -2,14 +2,31 @@
 //! component in a data graph.
 //!
 //! The search is candidate-driven: after the first variable, every
-//! variable is expanded from the adjacency list of an already-matched
-//! pattern neighbor, so the search never scans the whole graph once it
-//! is anchored — this is what makes pivoted work-unit processing local
+//! variable is expanded from the adjacency of already-matched pattern
+//! neighbors, so the search never scans the whole graph once it is
+//! anchored — this is what makes pivoted work-unit processing local
 //! (§5.2: matches are enumerated "by only accessing `G_z̄`").
+//!
+//! Refinement happens in two layers:
+//!
+//! * **pools are intersections** — a variable's candidate pool is the
+//!   sorted-slice intersection of the CSR runs of *all* assigned
+//!   pattern neighbors (merge or galloping via
+//!   [`gfd_graph::intersect`]), not just the single smallest list;
+//! * **pools are simulation-pruned** — when a [`CandidateSpace`] from
+//!   [`crate::simulation::dual_simulation`] is attached, pools draw
+//!   from its per-edge candidate adjacency, so every candidate already
+//!   survives dual simulation (filter-and-refine).
+//!
+//! All pools are written into per-depth scratch buffers owned by the
+//! search and reused across the whole enumeration — steady-state
+//! candidate generation performs no heap allocation.
 
-use gfd_graph::{Graph, NodeId, NodeSet};
-use gfd_pattern::{PatLabel, Pattern, VarId};
+use gfd_graph::intersect::intersect_in_place;
+use gfd_graph::{Adj, Graph, NodeId, NodeSet};
+use gfd_pattern::{distinct_neighbors, PatLabel, Pattern, VarId};
 
+use crate::simulation::CandidateSpace;
 use crate::types::Flow;
 
 /// True if `g` has an edge `u → v` admitted by the pattern label.
@@ -23,8 +40,10 @@ pub(crate) fn edge_ok(g: &Graph, u: NodeId, v: NodeId, label: PatLabel) -> bool 
 
 /// Connectivity-aware static variable order: pinned variables first,
 /// then always the unvisited variable with the most visited neighbors
-/// (ties: higher degree, then lower id).
-pub(crate) fn search_order(q: &Pattern, pinned: &[VarId]) -> Vec<VarId> {
+/// (ties: smallest candidate count, then higher degree, then lower
+/// id). `cand_counts` comes from the simulation when available; pass
+/// `usize::MAX` entries to fall back to pure degree ordering.
+pub(crate) fn search_order(q: &Pattern, pinned: &[VarId], cand_counts: &[usize]) -> Vec<VarId> {
     let n = q.node_count();
     let mut visited = vec![false; n];
     let mut order = Vec::with_capacity(n);
@@ -40,7 +59,12 @@ pub(crate) fn search_order(q: &Pattern, pinned: &[VarId]) -> Vec<VarId> {
             .filter(|v| !visited[v.index()])
             .max_by_key(|&v| {
                 let connected = q.neighbors(v).filter(|u| visited[u.index()]).count();
-                (connected, q.degree(v), std::cmp::Reverse(v.0))
+                (
+                    connected,
+                    std::cmp::Reverse(cand_counts[v.index()]),
+                    q.degree(v),
+                    std::cmp::Reverse(v.0),
+                )
             })
             .expect("unvisited variable exists");
         visited[next.index()] = true;
@@ -49,14 +73,47 @@ pub(crate) fn search_order(q: &Pattern, pinned: &[VarId]) -> Vec<VarId> {
     order
 }
 
+/// A sorted, duplicate-free candidate source to intersect.
+enum Source<'a> {
+    /// A plain id list (simulation set, candidate-adjacency run,
+    /// restriction slice).
+    Ids(&'a [NodeId]),
+    /// A single-label CSR run (sorted by node within the label).
+    Run(&'a [Adj]),
+}
+
+impl Source<'_> {
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            Source::Ids(s) => s.len(),
+            Source::Run(r) => r.len(),
+        }
+    }
+}
+
 /// Single-component matcher.
 pub struct ComponentSearch<'a> {
     q: &'a Pattern,
     g: &'a Graph,
     restriction: Option<&'a NodeSet>,
+    cand: Option<&'a CandidateSpace>,
     pins: Vec<(VarId, NodeId)>,
     max_steps: u64,
     steps: u64,
+    /// One reusable pool buffer per search depth (zero steady-state
+    /// allocation across the enumeration).
+    scratch: Vec<Vec<NodeId>>,
+    /// Reusable source-descriptor buffer for pool assembly.
+    sources: Vec<Source<'a>>,
+    /// Per-variable lower bounds on a viable image's out-/in-degree:
+    /// the number of *distinct* out-/in-neighbor variables. Distinct
+    /// neighbor variables map to distinct nodes (injectivity), so each
+    /// needs its own graph edge — but several pattern edges to the
+    /// *same* neighbor (e.g. a labeled and a wildcard edge) can share
+    /// one graph edge, so counting edges would over-prune.
+    min_out: Vec<usize>,
+    min_in: Vec<usize>,
 }
 
 /// Why an enumeration stopped.
@@ -77,15 +134,28 @@ impl<'a> ComponentSearch<'a> {
             q,
             g,
             restriction: None,
+            cand: None,
             pins: Vec::new(),
             max_steps: u64::MAX,
             steps: 0,
+            scratch: Vec::new(),
+            sources: Vec::new(),
+            min_out: q.vars().map(|v| distinct_neighbors(q.out(v))).collect(),
+            min_in: q.vars().map(|v| distinct_neighbors(q.inn(v))).collect(),
         }
     }
 
     /// Restricts images to a node set (a data block).
     pub fn restrict(mut self, set: &'a NodeSet) -> Self {
         self.restriction = Some(set);
+        self
+    }
+
+    /// Attaches a precomputed simulation candidate space: pools then
+    /// draw from its pruned per-edge adjacency, and any pin outside its
+    /// sets short-circuits to an empty enumeration.
+    pub fn candidate_space(mut self, cs: &'a CandidateSpace) -> Self {
+        self.cand = Some(cs);
         self
     }
 
@@ -111,8 +181,8 @@ impl<'a> ComponentSearch<'a> {
         if !self.q.label(sv).admits(self.g.label(gv)) || !self.allowed(gv) {
             return false;
         }
-        if self.q.out(sv).len() > self.g.out_degree(gv)
-            || self.q.inn(sv).len() > self.g.in_degree(gv)
+        if self.min_out[sv.index()] > self.g.out_degree(gv)
+            || self.min_in[sv.index()] > self.g.in_degree(gv)
         {
             return false;
         }
@@ -144,70 +214,133 @@ impl<'a> ComponentSearch<'a> {
         true
     }
 
-    /// Candidate pool for `sv`: from an assigned pattern neighbor's
-    /// adjacency when possible, else from the label extent, else from
-    /// the restriction, else all nodes.
-    fn candidates(&self, assigned: &[NodeId], sv: VarId) -> Vec<NodeId> {
-        // Prefer expansion from an assigned neighbor (smallest list).
-        let mut best: Option<Vec<NodeId>> = None;
-        let mut consider = |cands: Vec<NodeId>| {
-            if best.as_ref().is_none_or(|b| cands.len() < b.len()) {
-                best = Some(cands);
-            }
-        };
-        for &(t, l) in self.q.out(sv) {
-            let ta = assigned[t.index()];
-            if t != sv && ta.0 != u32::MAX {
-                // A labeled pattern edge reads one contiguous CSR
-                // subrange; only wildcards scan the whole run.
-                let cands: Vec<NodeId> = match l {
-                    PatLabel::Sym(el) => self
-                        .g
-                        .in_neighbors_labeled(ta, el)
-                        .iter()
-                        .map(|a| a.node)
-                        .collect(),
-                    PatLabel::Wildcard => self.g.in_slice(ta).iter().map(|a| a.node).collect(),
-                };
-                consider(cands);
-            }
-        }
-        for &(s, l) in self.q.inn(sv) {
-            let sa = assigned[s.index()];
-            if s != sv && sa.0 != u32::MAX {
-                let cands: Vec<NodeId> = match l {
-                    PatLabel::Sym(el) => self
-                        .g
-                        .neighbors_labeled(sa, el)
-                        .iter()
-                        .map(|a| a.node)
-                        .collect(),
-                    PatLabel::Wildcard => self.g.out_slice(sa).iter().map(|a| a.node).collect(),
-                };
-                consider(cands);
-            }
-        }
-        if let Some(mut cands) = best {
-            cands.sort_unstable();
-            cands.dedup();
-            return cands;
-        }
-        // Component start: label extent / restriction / everything.
-        match self.q.label(sv) {
-            PatLabel::Sym(s) => {
-                let extent = self.g.extent(s);
-                match self.restriction {
-                    Some(r) if r.len() < extent.len() => {
-                        r.iter().filter(|&u| self.g.label(u) == s).collect()
+    /// Fills `pool` with the candidate pool for `sv`: the intersection
+    /// of every assigned pattern neighbor's sorted adjacency (plus the
+    /// simulation set when attached), falling back to label extent /
+    /// restriction / all nodes at a component start. `pool` comes out
+    /// sorted and duplicate-free.
+    fn fill_candidates(&mut self, assigned: &[NodeId], sv: VarId, pool: &mut Vec<NodeId>) {
+        pool.clear();
+        let g = self.g;
+        let mut sources = std::mem::take(&mut self.sources);
+        sources.clear();
+
+        if let Some(cs) = self.cand {
+            // Pools come from the simulation's per-edge candidate
+            // adjacency: every entry already survives dual simulation.
+            for (ei, e) in self.q.edges().iter().enumerate() {
+                if e.src == sv && e.dst != sv {
+                    let ta = assigned[e.dst.index()];
+                    if ta.0 != u32::MAX {
+                        match cs.sets[e.dst.index()].binary_search(&ta) {
+                            Ok(i) => sources.push(Source::Ids(cs.reverse[ei].run(i))),
+                            Err(_) => {
+                                // Assigned image outside the simulation
+                                // set: nothing can extend it.
+                                self.sources = sources;
+                                return;
+                            }
+                        }
                     }
-                    _ => extent.to_vec(),
+                }
+                if e.dst == sv && e.src != sv {
+                    let sa = assigned[e.src.index()];
+                    if sa.0 != u32::MAX {
+                        match cs.sets[e.src.index()].binary_search(&sa) {
+                            Ok(i) => sources.push(Source::Ids(cs.forward[ei].run(i))),
+                            Err(_) => {
+                                self.sources = sources;
+                                return;
+                            }
+                        }
+                    }
                 }
             }
-            PatLabel::Wildcard => match self.restriction {
-                Some(r) => r.iter().collect(),
-                None => self.g.nodes().collect(),
-            },
+            if sources.is_empty() {
+                // Component start: the simulation set, narrowed by the
+                // restriction when one is present.
+                sources.push(Source::Ids(cs.of(sv)));
+                if let Some(r) = self.restriction {
+                    sources.push(Source::Ids(r.as_slice()));
+                }
+            }
+        } else {
+            // No simulation attached: intersect the labeled CSR runs of
+            // all assigned neighbors. Wildcard-edge runs span labels
+            // (unsorted by node), so they only serve as a last-resort
+            // pool; `compatible` enforces those edges regardless.
+            let mut wildcard: Option<&[Adj]> = None;
+            let consider_wildcard = |run: &'a [Adj], cur: &mut Option<&'a [Adj]>| {
+                if cur.is_none_or(|c| run.len() < c.len()) {
+                    *cur = Some(run);
+                }
+            };
+            for &(t, l) in self.q.out(sv) {
+                let ta = assigned[t.index()];
+                if t != sv && ta.0 != u32::MAX {
+                    match l {
+                        PatLabel::Sym(el) => {
+                            sources.push(Source::Run(g.in_neighbors_labeled(ta, el)))
+                        }
+                        PatLabel::Wildcard => consider_wildcard(g.in_slice(ta), &mut wildcard),
+                    }
+                }
+            }
+            for &(s, l) in self.q.inn(sv) {
+                let sa = assigned[s.index()];
+                if s != sv && sa.0 != u32::MAX {
+                    match l {
+                        PatLabel::Sym(el) => sources.push(Source::Run(g.neighbors_labeled(sa, el))),
+                        PatLabel::Wildcard => consider_wildcard(g.out_slice(sa), &mut wildcard),
+                    }
+                }
+            }
+            if sources.is_empty() {
+                if let Some(run) = wildcard {
+                    pool.extend(run.iter().map(|a| a.node));
+                    pool.sort_unstable();
+                    pool.dedup();
+                    self.sources = sources;
+                    return;
+                }
+                // Component start: label extent / restriction / all.
+                match self.q.label(sv) {
+                    PatLabel::Sym(s) => {
+                        let extent = g.extent(s);
+                        match self.restriction {
+                            Some(r) if r.len() < extent.len() => {
+                                pool.extend(r.iter().filter(|&u| g.label(u) == s));
+                            }
+                            _ => pool.extend_from_slice(extent),
+                        }
+                    }
+                    PatLabel::Wildcard => match self.restriction {
+                        Some(r) => pool.extend(r.iter()),
+                        None => pool.extend(g.nodes()),
+                    },
+                }
+                self.sources = sources;
+                return;
+            }
         }
+
+        // Intersect ascending by size: seed from the smallest source,
+        // then refine in place (merge or gallop per size ratio).
+        sources.sort_by_key(Source::len);
+        match sources[0] {
+            Source::Ids(s) => pool.extend_from_slice(s),
+            Source::Run(r) => pool.extend(r.iter().map(|a| a.node)),
+        }
+        for s in &sources[1..] {
+            if pool.is_empty() {
+                break;
+            }
+            match *s {
+                Source::Ids(ids) => intersect_in_place(pool, ids, |&x| x),
+                Source::Run(run) => intersect_in_place(pool, run, |a| a.node),
+            }
+        }
+        self.sources = sources;
     }
 
     fn run(
@@ -236,10 +369,14 @@ impl<'a> ComponentSearch<'a> {
             }
             return Ok(());
         }
-        for gv in self.candidates(assigned, sv) {
+        let mut pool = std::mem::take(&mut self.scratch[depth]);
+        self.fill_candidates(assigned, sv, &mut pool);
+        let mut result = Ok(());
+        for &gv in &pool {
             self.steps += 1;
             if self.steps > self.max_steps {
-                return Err(StopReason::BudgetExhausted);
+                result = Err(StopReason::BudgetExhausted);
+                break;
             }
             if !self.compatible(assigned, sv, gv) {
                 continue;
@@ -247,15 +384,22 @@ impl<'a> ComponentSearch<'a> {
             assigned[sv.index()] = gv;
             let r = self.run(order, depth + 1, assigned, f);
             assigned[sv.index()] = NodeId(u32::MAX);
-            r?;
+            if r.is_err() {
+                result = r;
+                break;
+            }
         }
-        Ok(())
+        // Hand the buffer (and its capacity) back for the next visit
+        // of this depth.
+        self.scratch[depth] = pool;
+        result
     }
 
     /// Enumerates matches, invoking `f` per match (images indexed by
     /// this component's variable ids). Returns how the search ended.
     pub fn for_each(&mut self, f: &mut dyn FnMut(&[NodeId]) -> Flow) -> StopReason {
-        let mut assigned = vec![NodeId(u32::MAX); self.q.node_count()];
+        let n = self.q.node_count();
+        let mut assigned = vec![NodeId(u32::MAX); n];
         // Reject pin pairs that collide (injectivity between pins).
         let pins = self.pins.clone();
         for (i, &(v1, n1)) in pins.iter().enumerate() {
@@ -265,11 +409,27 @@ impl<'a> ComponentSearch<'a> {
                 }
             }
         }
-        for &(v, n) in &pins {
-            assigned[v.index()] = n;
+        if let Some(cs) = self.cand {
+            // A pin outside the simulation relation cannot anchor any
+            // match (sim contains every match).
+            for &(v, node) in &pins {
+                if cs.sets[v.index()].binary_search(&node).is_err() {
+                    return StopReason::Exhausted;
+                }
+            }
+        }
+        for &(v, node) in &pins {
+            assigned[v.index()] = node;
         }
         let pinned: Vec<VarId> = pins.iter().map(|&(v, _)| v).collect();
-        let order = search_order(self.q, &pinned);
+        let counts: Vec<usize> = match self.cand {
+            Some(cs) => cs.sets.iter().map(Vec::len).collect(),
+            None => vec![usize::MAX; n],
+        };
+        let order = search_order(self.q, &pinned, &counts);
+        if self.scratch.len() < n {
+            self.scratch.resize_with(n, Vec::new);
+        }
         match self.run(&order, 0, &mut assigned, f) {
             Ok(()) => StopReason::Exhausted,
             Err(reason) => reason,
@@ -295,6 +455,7 @@ impl<'a> ComponentSearch<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::simulation::dual_simulation;
     use gfd_pattern::PatternBuilder;
 
     /// G2 of Fig. 1 (the fake-accounts graph), reduced: acct1 posts p5,
@@ -421,5 +582,45 @@ mod tests {
         });
         assert_eq!(reason, StopReason::CallbackBreak);
         assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn candidate_space_preserves_matches() {
+        // The same enumeration with and without the simulation filter.
+        let (g, _) = social();
+        let mut b = PatternBuilder::new(g.vocab().clone());
+        let x = b.node("x", "account");
+        let y1 = b.node("y1", "blog");
+        let y2 = b.node("y2", "blog");
+        b.edge(x, y1, "like");
+        b.edge(x, y2, "post");
+        let q = b.build();
+        let plain = ComponentSearch::new(&q, &g).collect_all();
+        let cs = dual_simulation(&q, &g, None);
+        let mut filtered = ComponentSearch::new(&q, &g)
+            .candidate_space(&cs)
+            .collect_all();
+        let mut plain = plain;
+        plain.sort();
+        filtered.sort();
+        assert_eq!(plain, filtered);
+        assert!(!plain.is_empty());
+    }
+
+    #[test]
+    fn pin_outside_candidate_space_is_empty() {
+        let (g, ns) = social();
+        let mut b = PatternBuilder::new(g.vocab().clone());
+        let x = b.node("x", "account");
+        let y = b.node("y", "blog");
+        b.edge(x, y, "post");
+        let q = b.build();
+        let cs = dual_simulation(&q, &g, None);
+        // ns[2] is a blog that nobody posts: not in sim(x).
+        let matches = ComponentSearch::new(&q, &g)
+            .candidate_space(&cs)
+            .pin(x, ns[2])
+            .collect_all();
+        assert!(matches.is_empty());
     }
 }

@@ -20,7 +20,10 @@
 //!   often only needs the first violating match;
 //! * **graph simulation** (module [`simulation`]) — the polynomial
 //!   over-approximation `disVal` uses to estimate partial-match sizes
-//!   before shipping them (§6.2).
+//!   before shipping them (§6.2), computed as a worklist fixpoint and
+//!   reused as the *filter* stage of filter-and-refine enumeration:
+//!   the resulting [`simulation::CandidateSpace`] prunes the exact
+//!   backtracker's candidate pools.
 
 pub mod api;
 pub mod component;
@@ -29,4 +32,5 @@ pub mod simulation;
 pub mod types;
 
 pub use api::{count_matches, find_matches, for_each_match, has_match};
-pub use types::{Match, MatchOptions, SearchBudget};
+pub use simulation::{dual_simulation, CandidateSpace};
+pub use types::{Match, MatchOptions, SearchBudget, SimFilter};

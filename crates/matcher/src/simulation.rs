@@ -1,4 +1,5 @@
-//! Graph (dual) simulation.
+//! Graph (dual) simulation as a worklist fixpoint, producing the
+//! [`CandidateSpace`] that drives the exact matcher.
 //!
 //! `disVal`'s *partial detection* scheme (§6.2) estimates the number of
 //! partial matches "via graph simulation from pattern `Q[x̄]` to `F_i`"
@@ -9,20 +10,64 @@
 //! from `u` to some simulated partner. Every subgraph-isomorphism match
 //! is contained in the simulation, so `|sim(v)|` upper-bounds the
 //! candidates of `v` — which also makes simulation a sound pruning
-//! filter for the exact matcher.
+//! filter for the exact matcher (the *filter* half of filter-and-refine).
+//!
+//! ## Algorithm
+//!
+//! Instead of re-scanning the dense `vars × nodes` membership matrix to
+//! fixpoint, the computation is edge-local: per directed pattern edge
+//! `e = (a, b, l)` it keeps, for every candidate `u` of `a`, the count
+//! of admitted graph edges `u → w` with `w` still simulating `b` (and
+//! the mirror count for candidates of `b`). Seeding reads only label
+//! extents; when a counter hits zero its node is removed and pushed on
+//! a worklist, and each removal only touches the removed node's own
+//! adjacency — `O(affected)` per removal, `O(Σ_e Σ_{u∈cand} deg_l(u))`
+//! in total rather than `rounds × vars × |V|`.
+
+use std::collections::VecDeque;
 
 use gfd_graph::{Graph, NodeId, NodeSet};
 use gfd_pattern::{PatLabel, Pattern, VarId};
 
-/// The simulation relation: per pattern variable, the set of data nodes
-/// simulating it (sorted).
-#[derive(Clone, Debug)]
-pub struct Simulation {
-    /// `sets[v] = sim(v)`, indexed by variable id.
-    pub sets: Vec<Vec<NodeId>>,
+/// Per-pattern-edge candidate adjacency: for every candidate of the
+/// edge's source variable (by its index in the source candidate set),
+/// the admitted neighbors that survive in the target candidate set.
+#[derive(Clone, Debug, Default)]
+pub struct EdgeCandidates {
+    /// `targets[offsets[i]..offsets[i+1]]` is the run of candidate
+    /// `i` of the source variable; runs are ascending by node id.
+    pub offsets: Vec<u32>,
+    /// Flattened runs of admitted, simulation-surviving neighbors.
+    pub targets: Vec<NodeId>,
 }
 
-impl Simulation {
+impl EdgeCandidates {
+    /// The admitted target run of source-candidate index `i`.
+    #[inline]
+    pub fn run(&self, i: usize) -> &[NodeId] {
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
+/// The simulation relation, packaged for reuse: per pattern variable
+/// the sorted set of data nodes simulating it, plus per pattern edge
+/// the candidate-to-candidate adjacency (both directions).
+///
+/// This is the pruned search space the exact matcher refines: root
+/// pools come from [`CandidateSpace::of`], expansion pools from
+/// intersecting [`EdgeCandidates`] runs.
+#[derive(Clone, Debug)]
+pub struct CandidateSpace {
+    /// `sets[v] = sim(v)`, sorted ascending, indexed by variable id.
+    pub sets: Vec<Vec<NodeId>>,
+    /// Forward adjacency per pattern edge `(src → dst)`, indexed like
+    /// `Pattern::edges()`.
+    pub forward: Vec<EdgeCandidates>,
+    /// Reverse adjacency per pattern edge (`dst → src`).
+    pub reverse: Vec<EdgeCandidates>,
+}
+
+impl CandidateSpace {
     /// Candidate set of a variable.
     pub fn of(&self, v: VarId) -> &[NodeId] {
         &self.sets[v.index()]
@@ -41,96 +86,236 @@ impl Simulation {
     }
 }
 
-fn admits_any_edge(
-    g: &Graph,
-    from: NodeId,
-    label: PatLabel,
-    target_ok: impl Fn(NodeId) -> bool,
-) -> bool {
-    match label {
-        PatLabel::Sym(s) => g
-            .neighbors_labeled(from, s)
-            .iter()
-            .any(|a| target_ok(a.node)),
-        PatLabel::Wildcard => g.out_slice(from).iter().any(|a| target_ok(a.node)),
+/// Dense per-variable membership bitmaps plus per-edge support
+/// counters — the worklist state.
+struct SimState {
+    /// `member[v][u]` — is node `u` currently simulating variable `v`?
+    member: Vec<Vec<bool>>,
+    /// `fwd[e][u]` — admitted out-edges of `u` into `sim(dst(e))`,
+    /// maintained for `u ∈ sim(src(e))`.
+    fwd: Vec<Vec<u32>>,
+    /// `bwd[e][w]` — admitted in-edges of `w` from `sim(src(e))`,
+    /// maintained for `w ∈ sim(dst(e))`.
+    bwd: Vec<Vec<u32>>,
+    queue: VecDeque<(VarId, NodeId)>,
+}
+
+impl SimState {
+    /// Flags `(v, u)` as removed and schedules the propagation; no-op
+    /// if already removed.
+    fn remove(&mut self, v: VarId, u: NodeId) {
+        let m = &mut self.member[v.index()][u.index()];
+        if *m {
+            *m = false;
+            self.queue.push_back((v, u));
+        }
     }
 }
 
-fn admits_any_in_edge(
-    g: &Graph,
-    to: NodeId,
-    label: PatLabel,
-    source_ok: impl Fn(NodeId) -> bool,
-) -> bool {
+/// Iterates the admitted out-adjacency of `u` for a pattern label.
+#[inline]
+fn admitted_out(g: &Graph, u: NodeId, label: PatLabel) -> &[gfd_graph::Adj] {
     match label {
-        PatLabel::Sym(s) => g
-            .in_neighbors_labeled(to, s)
-            .iter()
-            .any(|a| source_ok(a.node)),
-        PatLabel::Wildcard => g.in_slice(to).iter().any(|a| source_ok(a.node)),
+        PatLabel::Sym(s) => g.neighbors_labeled(u, s),
+        PatLabel::Wildcard => g.out_slice(u),
+    }
+}
+
+/// Iterates the admitted in-adjacency of `w` for a pattern label.
+#[inline]
+fn admitted_in(g: &Graph, w: NodeId, label: PatLabel) -> &[gfd_graph::Adj] {
+    match label {
+        PatLabel::Sym(s) => g.in_neighbors_labeled(w, s),
+        PatLabel::Wildcard => g.in_slice(w),
     }
 }
 
 /// Computes the maximal dual simulation of `q` in `g`, optionally
-/// restricted to a node set (fragment-local simulation).
-pub fn dual_simulation(q: &Pattern, g: &Graph, scope: Option<&NodeSet>) -> Simulation {
+/// restricted to a node set (fragment-/block-local simulation), and
+/// packages it as a [`CandidateSpace`].
+pub fn dual_simulation(q: &Pattern, g: &Graph, scope: Option<&NodeSet>) -> CandidateSpace {
     let nvars = q.node_count();
-    // membership[v] is a boolean map over data nodes for variable v.
-    let mut membership: Vec<Vec<bool>> = vec![vec![false; g.node_count()]; nvars];
+    let nnodes = g.node_count();
+    let nedges = q.edge_count();
+
+    // Seed candidate lists (ascending: extents and scopes both are)
+    // and membership bitmaps from label extents.
+    let mut cands: Vec<Vec<NodeId>> = Vec::with_capacity(nvars);
+    let mut member: Vec<Vec<bool>> = vec![vec![false; nnodes]; nvars];
     for v in q.vars() {
-        match (q.label(v), scope) {
-            (PatLabel::Sym(s), _) => {
-                for &u in g.extent(s) {
-                    if scope.is_none_or(|r| r.contains(u)) {
-                        membership[v.index()][u.index()] = true;
+        let seed: Vec<NodeId> = match (q.label(v), scope) {
+            (PatLabel::Sym(s), None) => g.extent(s).to_vec(),
+            (PatLabel::Sym(s), Some(r)) => {
+                let extent = g.extent(s);
+                if r.len() < extent.len() {
+                    r.iter().filter(|&u| g.label(u) == s).collect()
+                } else {
+                    extent.iter().copied().filter(|&u| r.contains(u)).collect()
+                }
+            }
+            (PatLabel::Wildcard, Some(r)) => r.iter().collect(),
+            (PatLabel::Wildcard, None) => g.nodes().collect(),
+        };
+        for &u in &seed {
+            member[v.index()][u.index()] = true;
+        }
+        cands.push(seed);
+    }
+
+    let mut state = SimState {
+        member,
+        fwd: vec![Vec::new(); nedges],
+        bwd: vec![Vec::new(); nedges],
+        queue: VecDeque::new(),
+    };
+
+    // Phase 1: counters against the full seed membership. Removals are
+    // only *scheduled* here so every later decrement is exact.
+    for (ei, e) in q.edges().iter().enumerate() {
+        let mut fwd = vec![0u32; nnodes];
+        let mut bwd = vec![0u32; nnodes];
+        for &u in &cands[e.src.index()] {
+            fwd[u.index()] = admitted_out(g, u, e.label)
+                .iter()
+                .filter(|a| state.member[e.dst.index()][a.node.index()])
+                .count() as u32;
+        }
+        for &w in &cands[e.dst.index()] {
+            bwd[w.index()] = admitted_in(g, w, e.label)
+                .iter()
+                .filter(|a| state.member[e.src.index()][a.node.index()])
+                .count() as u32;
+        }
+        state.fwd[ei] = fwd;
+        state.bwd[ei] = bwd;
+    }
+    for (ei, e) in q.edges().iter().enumerate() {
+        for &u in &cands[e.src.index()] {
+            if state.fwd[ei][u.index()] == 0 {
+                state.remove(e.src, u);
+            }
+        }
+        for &w in &cands[e.dst.index()] {
+            if state.bwd[ei][w.index()] == 0 {
+                state.remove(e.dst, w);
+            }
+        }
+    }
+
+    // Phase 2: propagate removals; each pops touches only the removed
+    // node's own admitted adjacency per incident pattern edge.
+    while let Some((v, u)) = state.queue.pop_front() {
+        for (ei, e) in q.edges().iter().enumerate() {
+            if e.src == v {
+                // u left sim(src): admitted edges u → w lose one unit
+                // of `bwd` support at w.
+                for a in admitted_out(g, u, e.label) {
+                    let w = a.node;
+                    if state.member[e.dst.index()][w.index()] {
+                        let c = &mut state.bwd[ei][w.index()];
+                        *c -= 1;
+                        if *c == 0 {
+                            state.remove(e.dst, w);
+                        }
                     }
                 }
             }
-            (PatLabel::Wildcard, Some(r)) => {
-                for u in r.iter() {
-                    membership[v.index()][u.index()] = true;
-                }
-            }
-            (PatLabel::Wildcard, None) => {
-                membership[v.index()].iter_mut().for_each(|b| *b = true);
-            }
-        }
-    }
-
-    // Refine to fixpoint.
-    let mut changed = true;
-    while changed {
-        changed = false;
-        for v in q.vars() {
-            for ui in 0..g.node_count() {
-                if !membership[v.index()][ui] {
-                    continue;
-                }
-                let u = NodeId(ui as u32);
-                let ok = q.out(v).iter().all(|&(t, l)| {
-                    admits_any_edge(g, u, l, |cand| membership[t.index()][cand.index()])
-                }) && q.inn(v).iter().all(|&(s, l)| {
-                    admits_any_in_edge(g, u, l, |cand| membership[s.index()][cand.index()])
-                });
-                if !ok {
-                    membership[v.index()][ui] = false;
-                    changed = true;
+            if e.dst == v {
+                // u left sim(dst): admitted edges t → u lose one unit
+                // of `fwd` support at t.
+                for a in admitted_in(g, u, e.label) {
+                    let t = a.node;
+                    if state.member[e.src.index()][t.index()] {
+                        let c = &mut state.fwd[ei][t.index()];
+                        *c -= 1;
+                        if *c == 0 {
+                            state.remove(e.src, t);
+                        }
+                    }
                 }
             }
         }
     }
 
-    let sets = membership
-        .into_iter()
-        .map(|bits| {
-            bits.iter()
-                .enumerate()
-                .filter(|(_, &b)| b)
-                .map(|(i, _)| NodeId(i as u32))
-                .collect()
-        })
+    // Harvest the surviving sets (seeds were ascending, so sets are).
+    let sets: Vec<Vec<NodeId>> = cands
+        .iter()
+        .zip(&state.member)
+        .map(|(seed, m)| seed.iter().copied().filter(|u| m[u.index()]).collect())
         .collect();
-    Simulation { sets }
+
+    // Per-edge candidate adjacency over the final sets.
+    let mut forward = Vec::with_capacity(nedges);
+    let mut reverse = Vec::with_capacity(nedges);
+    for e in q.edges() {
+        forward.push(edge_adjacency(
+            g,
+            &sets[e.src.index()],
+            &state.member[e.dst.index()],
+            e.label,
+            Direction::Out,
+        ));
+        reverse.push(edge_adjacency(
+            g,
+            &sets[e.dst.index()],
+            &state.member[e.src.index()],
+            e.label,
+            Direction::In,
+        ));
+    }
+
+    CandidateSpace {
+        sets,
+        forward,
+        reverse,
+    }
+}
+
+enum Direction {
+    Out,
+    In,
+}
+
+/// Builds one CSR of admitted, surviving neighbors per source
+/// candidate. Labeled runs arrive sorted by node; wildcard runs span
+/// labels and are re-sorted per run.
+fn edge_adjacency(
+    g: &Graph,
+    sources: &[NodeId],
+    target_member: &[bool],
+    label: PatLabel,
+    dir: Direction,
+) -> EdgeCandidates {
+    let mut offsets = Vec::with_capacity(sources.len() + 1);
+    let mut targets = Vec::new();
+    offsets.push(0u32);
+    for &u in sources {
+        let run = match dir {
+            Direction::Out => admitted_out(g, u, label),
+            Direction::In => admitted_in(g, u, label),
+        };
+        let start = targets.len();
+        targets.extend(
+            run.iter()
+                .map(|a| a.node)
+                .filter(|w| target_member[w.index()]),
+        );
+        if matches!(label, PatLabel::Wildcard) && targets.len() > start + 1 {
+            // Wildcard runs span labels: re-sort by node and drop the
+            // repeats that parallel edges under distinct labels leave.
+            targets[start..].sort_unstable();
+            let mut w = start + 1;
+            for i in start + 1..targets.len() {
+                if targets[i] != targets[w - 1] {
+                    targets[w] = targets[i];
+                    w += 1;
+                }
+            }
+            targets.truncate(w);
+        }
+        offsets.push(targets.len() as u32);
+    }
+    EdgeCandidates { offsets, targets }
 }
 
 #[cfg(test)]
@@ -175,6 +360,17 @@ mod tests {
         assert_eq!(sim.of(VarId(2)), &[NodeId(2)]);
         assert!(!sim.is_empty_anywhere());
         assert_eq!(sim.total_size(), 3);
+    }
+
+    #[test]
+    fn edge_candidate_runs_follow_the_relation() {
+        let g = chain_graph();
+        let q = chain_pattern(&g);
+        let sim = dual_simulation(&q, &g, None);
+        // Edge 0 is x -> y: candidate a1 reaches exactly b1.
+        assert_eq!(sim.forward[0].run(0), &[NodeId(1)]);
+        // Reverse of edge 1 (y -> z): candidate c1 is reached from b1.
+        assert_eq!(sim.reverse[1].run(0), &[NodeId(1)]);
     }
 
     #[test]
@@ -236,5 +432,22 @@ mod tests {
         let sim = dual_simulation(&q, &g, None);
         assert_eq!(sim.of(x).len(), 3);
         assert_eq!(sim.of(y).len(), 3);
+    }
+
+    #[test]
+    fn self_loop_pattern_edge() {
+        // x -[e]-> x matches only nodes with a self-loop.
+        let mut gb = gfd_graph::GraphBuilder::with_fresh_vocab();
+        let a = gb.add_node_labeled("v");
+        let b2 = gb.add_node_labeled("v");
+        gb.add_edge_labeled(a, a, "e");
+        gb.add_edge_labeled(a, b2, "e");
+        let g = gb.freeze();
+        let mut b = PatternBuilder::new(g.vocab().clone());
+        let x = b.node("x", "v");
+        b.edge(x, x, "e");
+        let q = b.build();
+        let sim = dual_simulation(&q, &g, None);
+        assert_eq!(sim.of(x), &[a]);
     }
 }

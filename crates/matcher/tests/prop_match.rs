@@ -1,0 +1,273 @@
+//! Property-based tests for the filter-and-refine matcher.
+//!
+//! Two oracles guard the engine:
+//!
+//! * a **brute-force matcher** — every injective variable assignment
+//!   over a random graph, checked edge by edge — must produce exactly
+//!   the match set of [`find_matches`], with simulation filtering
+//!   forced on, forced off, and on auto;
+//! * a **naive fixpoint dual simulation** — the dense
+//!   `rounds × vars × nodes` re-scan the worklist algorithm replaced —
+//!   must compute exactly the same relation.
+//!
+//! (The offline toolchain has no `proptest`; the in-repo harness
+//! `gfd_util::prop` runs each property over a seed range and reports
+//! the failing seed.)
+
+use gfd_graph::{Graph, GraphBuilder, NodeId};
+use gfd_match::simulation::dual_simulation;
+use gfd_match::{find_matches, MatchOptions, SimFilter};
+use gfd_pattern::{PatLabel, Pattern, PatternBuilder, VarId};
+use gfd_util::{prop::check, prop_assert, Rng};
+
+const NODE_LABELS: usize = 3;
+const EDGE_LABELS: usize = 2;
+
+/// A random graph over a fixed small label vocabulary.
+fn random_graph(rng: &mut Rng, max_nodes: usize) -> Graph {
+    let n = rng.gen_range(1..max_nodes + 1);
+    let mut b = GraphBuilder::with_fresh_vocab();
+    let ids: Vec<NodeId> = (0..n)
+        .map(|i| b.add_node_labeled(&format!("l{}", i % NODE_LABELS)))
+        .collect();
+    let m = rng.gen_range(0..3 * n + 1);
+    for _ in 0..m {
+        let s = rng.gen_range(0..n);
+        let d = rng.gen_range(0..n);
+        let e = format!("e{}", rng.gen_range(0..EDGE_LABELS));
+        b.add_edge_labeled(ids[s], ids[d], &e);
+    }
+    b.freeze()
+}
+
+/// A random (possibly disconnected, possibly wildcard) pattern over
+/// the graph's vocabulary.
+fn random_pattern(rng: &mut Rng, g: &Graph) -> Pattern {
+    let k = rng.gen_range(1..5);
+    let mut b = PatternBuilder::new(g.vocab().clone());
+    let vars: Vec<VarId> = (0..k)
+        .map(|i| {
+            let name = format!("v{i}");
+            if rng.gen_range(0..10) < 3 {
+                b.wildcard_node(&name)
+            } else {
+                b.node(&name, &format!("l{}", rng.gen_range(0..NODE_LABELS)))
+            }
+        })
+        .collect();
+    let edges = rng.gen_range(0..5);
+    for _ in 0..edges {
+        let s = vars[rng.gen_range(0..k)];
+        let d = vars[rng.gen_range(0..k)];
+        if rng.gen_range(0..10) < 2 {
+            b.wildcard_edge(s, d);
+        } else {
+            b.edge(s, d, &format!("e{}", rng.gen_range(0..EDGE_LABELS)));
+        }
+    }
+    b.build()
+}
+
+/// Does `g` admit the pattern edge `(src → dst, label)` between the
+/// two image nodes?
+fn oracle_edge_ok(g: &Graph, u: NodeId, v: NodeId, label: PatLabel) -> bool {
+    match label {
+        PatLabel::Sym(s) => g.has_edge(u, v, s),
+        PatLabel::Wildcard => g.has_edge_any(u, v),
+    }
+}
+
+/// Brute force: every injective assignment, filtered by labels and
+/// pattern edges. Returns sorted match vectors.
+fn oracle_matches(q: &Pattern, g: &Graph) -> Vec<Vec<NodeId>> {
+    let k = q.node_count();
+    let mut out = Vec::new();
+    let mut assign = vec![NodeId(u32::MAX); k];
+    fn rec(
+        q: &Pattern,
+        g: &Graph,
+        depth: usize,
+        assign: &mut Vec<NodeId>,
+        out: &mut Vec<Vec<NodeId>>,
+    ) {
+        if depth == q.node_count() {
+            for e in q.edges() {
+                if !oracle_edge_ok(g, assign[e.src.index()], assign[e.dst.index()], e.label) {
+                    return;
+                }
+            }
+            out.push(assign.clone());
+            return;
+        }
+        let v = VarId(depth as u32);
+        for u in g.nodes() {
+            if !q.label(v).admits(g.label(u)) || assign[..depth].contains(&u) {
+                continue;
+            }
+            assign[depth] = u;
+            rec(q, g, depth + 1, assign, out);
+            assign[depth] = NodeId(u32::MAX);
+        }
+    }
+    rec(q, g, 0, &mut assign, &mut out);
+    out.sort();
+    out
+}
+
+/// The dense fixpoint algorithm the worklist version replaced, kept
+/// here as the simulation oracle.
+fn oracle_dual_simulation(q: &Pattern, g: &Graph) -> Vec<Vec<NodeId>> {
+    let nvars = q.node_count();
+    let mut member: Vec<Vec<bool>> = vec![vec![false; g.node_count()]; nvars];
+    for v in q.vars() {
+        for u in g.nodes() {
+            if q.label(v).admits(g.label(u)) {
+                member[v.index()][u.index()] = true;
+            }
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for v in q.vars() {
+            for ui in 0..g.node_count() {
+                if !member[v.index()][ui] {
+                    continue;
+                }
+                let u = NodeId(ui as u32);
+                let ok = q.out(v).iter().all(|&(t, l)| match l {
+                    PatLabel::Sym(s) => g
+                        .neighbors_labeled(u, s)
+                        .iter()
+                        .any(|a| member[t.index()][a.node.index()]),
+                    PatLabel::Wildcard => g
+                        .out_slice(u)
+                        .iter()
+                        .any(|a| member[t.index()][a.node.index()]),
+                }) && q.inn(v).iter().all(|&(s, l)| match l {
+                    PatLabel::Sym(sym) => g
+                        .in_neighbors_labeled(u, sym)
+                        .iter()
+                        .any(|a| member[s.index()][a.node.index()]),
+                    PatLabel::Wildcard => g
+                        .in_slice(u)
+                        .iter()
+                        .any(|a| member[s.index()][a.node.index()]),
+                });
+                if !ok {
+                    member[v.index()][ui] = false;
+                    changed = true;
+                }
+            }
+        }
+    }
+    member
+        .into_iter()
+        .map(|bits| {
+            bits.iter()
+                .enumerate()
+                .filter(|(_, &b)| b)
+                .map(|(i, _)| NodeId(i as u32))
+                .collect()
+        })
+        .collect()
+}
+
+fn engine_matches(q: &Pattern, g: &Graph, sim: SimFilter) -> Vec<Vec<NodeId>> {
+    let opts = MatchOptions::unrestricted().with_sim_filter(sim);
+    let mut ms: Vec<Vec<NodeId>> = find_matches(q, g, &opts).into_iter().map(|m| m.0).collect();
+    ms.sort();
+    ms
+}
+
+#[test]
+fn matcher_equals_brute_force_oracle() {
+    check("filter-and-refine ≡ brute force", 150, |rng| {
+        let g = random_graph(rng, 10);
+        let q = random_pattern(rng, &g);
+        let expected = oracle_matches(&q, &g);
+        for sim in [SimFilter::Never, SimFilter::Always, SimFilter::Auto] {
+            let got = engine_matches(&q, &g, sim);
+            prop_assert!(
+                got == expected,
+                "{sim:?}: got {} matches, oracle {} for {q:?}",
+                got.len(),
+                expected.len()
+            );
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn worklist_simulation_equals_fixpoint_oracle() {
+    check("worklist sim ≡ dense fixpoint", 200, |rng| {
+        let g = random_graph(rng, 12);
+        let q = random_pattern(rng, &g);
+        let cs = dual_simulation(&q, &g, None);
+        let expected = oracle_dual_simulation(&q, &g);
+        for v in q.vars() {
+            prop_assert!(
+                cs.of(v) == expected[v.index()].as_slice(),
+                "sim({v:?}) mismatch for {q:?}: {:?} vs {:?}",
+                cs.of(v),
+                expected[v.index()]
+            );
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn simulation_contains_every_match() {
+    check("sim ⊇ matches", 120, |rng| {
+        let g = random_graph(rng, 10);
+        let q = random_pattern(rng, &g);
+        let cs = dual_simulation(&q, &g, None);
+        for m in engine_matches(&q, &g, SimFilter::Never) {
+            for v in q.vars() {
+                prop_assert!(
+                    cs.of(v).binary_search(&m[v.index()]).is_ok(),
+                    "match image {:?} of {v:?} missing from simulation",
+                    m[v.index()]
+                );
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn restricted_and_pinned_enumeration_agree_with_oracle() {
+    check("restriction/pin ≡ filtered oracle", 100, |rng| {
+        let g = random_graph(rng, 10);
+        let q = random_pattern(rng, &g);
+        // A random restriction of about half the nodes.
+        let scope: Vec<NodeId> = g.nodes().filter(|_| rng.gen_range(0..2) == 0).collect();
+        let scope = gfd_graph::NodeSet::from_vec(scope);
+        let pin_var = VarId(rng.gen_range(0..q.node_count()) as u32);
+        let pin_node = NodeId(rng.gen_range(0..g.node_count()) as u32);
+        let expected: Vec<Vec<NodeId>> = oracle_matches(&q, &g)
+            .into_iter()
+            .filter(|m| m.iter().all(|&u| scope.contains(u)))
+            .filter(|m| m[pin_var.index()] == pin_node)
+            .collect();
+        for sim in [SimFilter::Never, SimFilter::Always] {
+            let opts = MatchOptions::within(scope.clone())
+                .pin(pin_var, pin_node)
+                .with_sim_filter(sim);
+            let mut got: Vec<Vec<NodeId>> = find_matches(&q, &g, &opts)
+                .into_iter()
+                .map(|m| m.0)
+                .collect();
+            got.sort();
+            prop_assert!(
+                got == expected,
+                "{sim:?}: {} vs oracle {} for {q:?}",
+                got.len(),
+                expected.len()
+            );
+        }
+        Ok(())
+    });
+}

@@ -113,15 +113,15 @@ const REDUCTION_CAP: usize = 64;
 /// nodes it neither owns nor has cached.
 fn prefetch_bytes(
     g: &Graph,
-    unit_blocks: &[gfd_graph::NodeSet],
+    slots: &[crate::workload::UnitSlot],
     worker: usize,
     frag: &Fragmentation,
     cached: Option<&HashSet<NodeId>>,
 ) -> u64 {
     let mut seen = HashSet::new();
     let mut bytes = 0u64;
-    for block in unit_blocks {
-        for node in block.iter() {
+    for slot in slots {
+        for node in slot.block.iter() {
             if frag.owner(node).index() == worker {
                 continue;
             }
@@ -148,7 +148,7 @@ fn partial_match_bytes(g: &Graph, plans: &[PivotedRule], su: &SplitUnit) -> u64 
     let rule = &plans[su.unit.rule];
     let mut bytes = 0u64;
     for (i, comp) in rule.components.iter().enumerate() {
-        let block = &su.unit.blocks[i.min(su.unit.blocks.len() - 1)];
+        let block = &su.unit.slots[i.min(su.unit.slots.len() - 1)].block;
         let mut rows = 0u64;
         for v in comp.pattern.vars() {
             let label = comp.pattern.label(v);
@@ -204,16 +204,11 @@ pub fn dis_val(
             if su.share != 0 {
                 continue;
             }
-            let mut owners: Vec<usize> = su
-                .unit
-                .pivots
-                .iter()
-                .map(|&p| frag.owner(p).index())
-                .collect();
+            let mut owners: Vec<usize> = su.unit.pivots().map(|p| frag.owner(p).index()).collect();
             owners.sort_unstable();
             owners.dedup();
             for w in owners {
-                desc_bytes[w] += 24 + 8 * su.unit.pivots.len() as u64;
+                desc_bytes[w] += 24 + 8 * su.unit.k() as u64;
             }
         }
         for (w, bytes) in desc_bytes.into_iter().enumerate() {
@@ -239,8 +234,8 @@ pub fn dis_val(
         let mut by_frag = vec![0u64; cfg.n];
         let mut total = 0u64;
         let mut seen = HashSet::new();
-        for block in &su.unit.blocks {
-            for node in block.iter() {
+        for slot in &su.unit.slots {
+            for node in slot.block.iter() {
                 if !seen.insert(node) {
                     continue;
                 }
@@ -278,7 +273,7 @@ pub fn dis_val(
                 // Same-pivot units co-locate (cache reuse) but shares of
                 // one split unit must spread across workers.
                 let key = if cfg.multi_query {
-                    su.unit.pivots[0].0 as u64 | ((su.share as u64) << 32)
+                    su.unit.slots[0].pivot.0 as u64 | ((su.share as u64) << 32)
                 } else {
                     i as u64
                 };
@@ -355,13 +350,13 @@ pub fn dis_val(
                 partial_bytes += su.cost() * 8;
             } else if cfg.scheme_choice {
                 // Scheme selection: prefetch vs partial-match shipping.
-                let pre = prefetch_bytes(g, &su.unit.blocks, worker, frag, Some(&node_cache));
+                let pre = prefetch_bytes(g, &su.unit.slots, worker, frag, Some(&node_cache));
                 let part = partial_match_bytes(g, &plans, su);
                 if part < pre {
                     partial_bytes += part;
                 } else {
-                    for block in &su.unit.blocks {
-                        for node in block.iter() {
+                    for slot in &su.unit.slots {
+                        for node in slot.block.iter() {
                             if frag.owner(node).index() != worker {
                                 node_cache.insert(node);
                             }
@@ -370,9 +365,9 @@ pub fn dis_val(
                     fetch_bytes += pre;
                 }
             } else {
-                let pre = prefetch_bytes(g, &su.unit.blocks, worker, frag, Some(&node_cache));
-                for block in &su.unit.blocks {
-                    for node in block.iter() {
+                let pre = prefetch_bytes(g, &su.unit.slots, worker, frag, Some(&node_cache));
+                for slot in &su.unit.slots {
+                    for node in slot.block.iter() {
                         if frag.owner(node).index() != worker {
                             node_cache.insert(node);
                         }
@@ -394,7 +389,7 @@ pub fn dis_val(
                 );
                 unit_elapsed[su.unit_index] = t.elapsed().as_secs_f64();
                 let found = (violations.len() - before) as u64;
-                violation_bytes += found * 8 * su.unit.pivots.len().max(1) as u64;
+                violation_bytes += found * 8 * su.unit.k().max(1) as u64;
             }
         }
         for bytes in [fetch_bytes, partial_bytes, violation_bytes] {

@@ -61,7 +61,9 @@ pub fn split_large_units(units: Vec<WorkUnit>, threshold: Option<u64>) -> Vec<Sp
             Some(theta) if theta > 0 && unit.cost > theta => unit.cost.div_ceil(theta) as usize,
             _ => 1,
         };
-        for share in 0..parts {
+        // Clone for all but the last share, which takes ownership — the
+        // common unsplit case moves the unit without touching the heap.
+        for share in 0..parts - 1 {
             out.push(SplitUnit {
                 unit: unit.clone(),
                 unit_index,
@@ -69,6 +71,12 @@ pub fn split_large_units(units: Vec<WorkUnit>, threshold: Option<u64>) -> Vec<Sp
                 of: parts,
             });
         }
+        out.push(SplitUnit {
+            unit,
+            unit_index,
+            share: parts - 1,
+            of: parts,
+        });
     }
     out
 }
@@ -77,12 +85,15 @@ pub fn split_large_units(units: Vec<WorkUnit>, threshold: Option<u64>) -> Vec<Sp
 mod tests {
     use super::*;
     use gfd_graph::{NodeId, NodeSet};
+    use std::sync::Arc;
 
     fn unit(cost: u64) -> WorkUnit {
         WorkUnit {
             rule: 0,
-            pivots: vec![NodeId(0)],
-            blocks: vec![NodeSet::from_vec(vec![NodeId(0)])],
+            slots: vec![crate::workload::UnitSlot {
+                pivot: NodeId(0),
+                block: Arc::new(NodeSet::from_vec(vec![NodeId(0)])),
+            }],
             cost,
             check_both_orientations: false,
         }

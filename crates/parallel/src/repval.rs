@@ -130,7 +130,7 @@ pub fn rep_val(sigma: &GfdSet, g: &Arc<Graph>, cfg: &RepValConfig) -> ParallelRe
             // across workers — that is the whole point of splitting.
             let keys: Vec<u64> = split
                 .iter()
-                .map(|s| s.unit.pivots[0].0 as u64 | ((s.share as u64) << 32))
+                .map(|s| s.unit.slots[0].pivot.0 as u64 | ((s.share as u64) << 32))
                 .collect();
             crate::balance::lpt_assign_grouped(&costs, &keys, cfg.n)
         }
@@ -161,7 +161,7 @@ pub fn rep_val(sigma: &GfdSet, g: &Arc<Graph>, cfg: &RepValConfig) -> ParallelRe
             if assignment[i] != worker {
                 continue;
             }
-            descriptor_bytes += 16 + 8 * su.unit.pivots.len() as u64;
+            descriptor_bytes += 16 + 8 * su.unit.k() as u64;
             if su.share == 0 {
                 let before = violations.len();
                 let t = std::time::Instant::now();
@@ -176,7 +176,7 @@ pub fn rep_val(sigma: &GfdSet, g: &Arc<Graph>, cfg: &RepValConfig) -> ParallelRe
                 );
                 unit_elapsed[su.unit_index] = t.elapsed().as_secs_f64();
                 let found = (violations.len() - before) as u64;
-                violation_bytes += found * 8 * su.unit.pivots.len().max(1) as u64;
+                violation_bytes += found * 8 * su.unit.k().max(1) as u64;
             }
             if su.of > 1 {
                 // Split shares ship partial matches instead of blocks

@@ -188,6 +188,7 @@ pub fn execute_unit(
     let rule = &plans[unit.rule];
     let gfd = sigma.get(unit.rule);
     let k = rule.components.len();
+    debug_assert_eq!(k, unit.k(), "one slot per component");
     let nvars = gfd.pattern.node_count();
 
     // Pivot orientations to check within this unit.
@@ -203,8 +204,8 @@ pub fn execute_unit(
         let mut comp_matches = Vec::with_capacity(k);
         let mut dead = false;
         for (i, &slot) in orient.iter().enumerate() {
-            let pivot = unit.pivots[slot];
-            let block = &unit.blocks[slot];
+            let pivot = unit.slots[slot].pivot;
+            let block = &unit.slots[slot].block;
             let matches = component_matches(g, plans, unit.rule, i, pivot, block, mqi, cache);
             if matches.is_empty() {
                 dead = true;

@@ -13,10 +13,11 @@
 //! match their component are pruned during estimation.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use gfd_core::GfdSet;
 use gfd_graph::{neighborhood, Graph, NodeId, NodeSet};
-use gfd_match::component::ComponentSearch;
+use gfd_match::simulation::dual_simulation;
 use gfd_pattern::{analysis::pivot_vector, isomorphic, PatLabel, Pattern, VarId};
 
 /// Per-rule pivot metadata, precomputed once from `Σ`.
@@ -46,15 +47,26 @@ pub struct ComponentPlan {
     pub radius: usize,
 }
 
+/// One component's share of a work unit: the pivot candidate and its
+/// data block.
+#[derive(Clone, Debug)]
+pub struct UnitSlot {
+    /// The pivot candidate `v_z` of this component.
+    pub pivot: NodeId,
+    /// Its `c^i_Q`-hop data block, shared with the [`BlockCache`] —
+    /// cloning a unit never deep-copies a block.
+    pub block: Arc<NodeSet>,
+}
+
 /// A work unit `w = ⟨v̄_z, G_z̄⟩`.
 #[derive(Clone, Debug)]
 pub struct WorkUnit {
-    /// Rule index in `Σ`.
+    /// Index of the rule in `Σ`.
     pub rule: usize,
-    /// One pivot candidate per component.
-    pub pivots: Vec<NodeId>,
-    /// Per-component data blocks (same order as pivots).
-    pub blocks: Vec<NodeSet>,
+    /// One slot per component (pivot + block), in component order.
+    /// A single allocation per unit: workload estimation materializes
+    /// units by the thousand, so per-unit overhead is a hot path.
+    pub slots: Vec<UnitSlot>,
     /// `|G_z̄|` — the sum of block sizes (Example 11), used as the
     /// unit's load estimate.
     pub cost: u64,
@@ -62,13 +74,26 @@ pub struct WorkUnit {
     pub check_both_orientations: bool,
 }
 
+impl WorkUnit {
+    /// Number of components `k` of the unit's rule.
+    pub fn k(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The pivot vector `v̄_z` in component order.
+    pub fn pivots(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.slots.iter().map(|s| s.pivot)
+    }
+}
+
 /// Knobs for workload estimation.
 #[derive(Clone, Debug)]
 pub struct WorkloadOptions {
     /// Hard cap on generated units (safety valve; `None` = unlimited).
     pub max_units: Option<usize>,
-    /// Prune pivot candidates whose component has no local match
-    /// anchored at them (cheap emptiness probe).
+    /// Prune pivot candidates outside the component's dual-simulation
+    /// relation (one worklist simulation per component instead of a
+    /// backtracking probe per candidate).
     pub prune_empty_pivots: bool,
 }
 
@@ -142,33 +167,52 @@ pub fn plan_rules(sigma: &GfdSet) -> Vec<PivotedRule> {
         .collect()
 }
 
-/// Candidate nodes for a component pivot.
-fn pivot_candidates(g: &Graph, plan: &ComponentPlan) -> Vec<NodeId> {
+/// Number of pivot candidates the component's label constraint admits
+/// before any pruning.
+fn pivot_universe(g: &Graph, plan: &ComponentPlan) -> usize {
     match plan.pivot_label {
-        PatLabel::Sym(s) => g.extent(s).to_vec(),
-        PatLabel::Wildcard => g.nodes().collect(),
+        PatLabel::Sym(s) => g.extent(s).len(),
+        PatLabel::Wildcard => g.node_count(),
     }
 }
 
-/// Cheap emptiness probe: does the component match at all when pinned
-/// at `pivot` within `block`?
-fn pivot_feasible(g: &Graph, plan: &ComponentPlan, pivot: NodeId, block: &NodeSet) -> bool {
-    let mut found = false;
-    ComponentSearch::new(&plan.pattern, g)
-        .pin(plan.local_pivot, pivot)
-        .restrict(block)
-        .for_each(&mut |_| {
-            found = true;
-            gfd_match::types::Flow::Break
-        });
-    found
+/// Pivot candidates for a component, optionally pruned by one dual
+/// simulation of the component pattern over the whole graph. Returns
+/// the sorted candidate list and how many raw candidates were pruned.
+///
+/// Replaces the per-candidate backtracking probe: a pivot candidate
+/// outside `sim(z)` cannot anchor any match (the simulation contains
+/// every match), and by the locality of subgraph isomorphism a match
+/// pinned at the pivot lies inside the pivot's `c^i_Q`-hop block, so
+/// the unscoped check is valid for the block-restricted search the
+/// unit will actually run.
+pub fn feasible_pivots(g: &Graph, plan: &ComponentPlan, prune: bool) -> (Vec<NodeId>, usize) {
+    let universe = pivot_universe(g, plan);
+    if !prune {
+        let all = match plan.pivot_label {
+            PatLabel::Sym(s) => g.extent(s).to_vec(),
+            PatLabel::Wildcard => g.nodes().collect(),
+        };
+        return (all, 0);
+    }
+    let cs = dual_simulation(&plan.pattern, g, None);
+    if cs.is_empty_anywhere() {
+        return (Vec::new(), universe);
+    }
+    let cands = cs.of(plan.local_pivot).to_vec();
+    let pruned = universe - cands.len();
+    (cands, pruned)
 }
 
 /// A cache of `c`-hop data blocks keyed by `(node, radius)` — blocks
-/// repeat across rules that share pivots.
+/// repeat across rules that share pivots. Blocks are handed out as
+/// [`Arc`]s (with their `|G_z̄|` size computed once), so work units
+/// share them instead of deep-cloning per candidate.
 #[derive(Default)]
 pub struct BlockCache {
-    cache: HashMap<(NodeId, usize), NodeSet>,
+    cache: HashMap<(NodeId, usize), (Arc<NodeSet>, u64)>,
+    /// Reusable BFS visited bitmap (cleared after every block).
+    scratch: Vec<bool>,
 }
 
 impl BlockCache {
@@ -178,10 +222,28 @@ impl BlockCache {
     }
 
     /// The `radius`-hop block around `pivot` (computed once).
-    pub fn block(&mut self, g: &Graph, pivot: NodeId, radius: usize) -> &NodeSet {
-        self.cache
-            .entry((pivot, radius))
-            .or_insert_with(|| neighborhood::data_block(g, pivot, radius))
+    pub fn block(&mut self, g: &Graph, pivot: NodeId, radius: usize) -> Arc<NodeSet> {
+        self.block_and_size(g, pivot, radius).0
+    }
+
+    /// The block together with its `|G_z̄|` size measure (Example 11),
+    /// both computed once per `(pivot, radius)`.
+    pub fn block_and_size(
+        &mut self,
+        g: &Graph,
+        pivot: NodeId,
+        radius: usize,
+    ) -> (Arc<NodeSet>, u64) {
+        let scratch = &mut self.scratch;
+        let (block, size) = self.cache.entry((pivot, radius)).or_insert_with(|| {
+            if scratch.len() < g.node_count() {
+                scratch.resize(g.node_count(), false);
+            }
+            let block = neighborhood::khop_nodes_scratch(g, &[pivot], radius, scratch);
+            let size = block.block_size(g) as u64;
+            (Arc::new(block), size)
+        });
+        (block.clone(), *size)
     }
 }
 
@@ -194,23 +256,33 @@ pub fn estimate_workload(sigma: &GfdSet, g: &Graph, opts: &WorkloadOptions) -> W
     let mut wl = Workload::default();
 
     'rules: for rule in &rules {
-        // Per-component feasible candidates with their blocks.
-        let mut per_component: Vec<Vec<(NodeId, NodeSet, u64)>> = Vec::new();
+        // Per-component feasible candidates with their blocks. One
+        // simulation per component prunes infeasible pivots up front;
+        // blocks are shared `Arc`s sized once in the cache.
+        let mut per_component: Vec<Vec<(NodeId, Arc<NodeSet>, u64)>> = Vec::new();
         for plan in &rule.components {
-            let mut feasible = Vec::new();
-            for cand in pivot_candidates(g, plan) {
-                let block = cache.block(g, cand, plan.radius).clone();
-                if opts.prune_empty_pivots && !pivot_feasible(g, plan, cand, &block) {
-                    wl.pruned += 1;
-                    continue;
-                }
-                let size = block.block_size(g) as u64;
+            let (cands, pruned) = feasible_pivots(g, plan, opts.prune_empty_pivots);
+            wl.pruned += pruned;
+            let mut feasible = Vec::with_capacity(cands.len());
+            for cand in cands {
+                let (block, size) = cache.block_and_size(g, cand, plan.radius);
                 feasible.push((cand, block, size));
             }
             per_component.push(feasible);
         }
         // Assemble pivot tuples (k ≤ 2 in practice, §5.2; general k
-        // supported via recursion).
+        // supported via recursion). Reserving the tuple-count upper
+        // bound up front keeps the units vector from re-growing while
+        // thousands of units stream in.
+        let upper: usize = per_component
+            .iter()
+            .map(Vec::len)
+            .try_fold(1usize, |a, b| a.checked_mul(b))
+            .unwrap_or(usize::MAX);
+        let cap_left = opts
+            .max_units
+            .map_or(upper, |c| c.saturating_sub(wl.units.len()));
+        wl.units.reserve(upper.min(cap_left).min(1 << 20));
         let mut tuple = Vec::new();
         if !assemble(rule, &per_component, 0, &mut tuple, &mut wl, opts.max_units) {
             wl.truncated = true;
@@ -224,38 +296,41 @@ pub fn estimate_workload(sigma: &GfdSet, g: &Graph, opts: &WorkloadOptions) -> W
 /// Recursively builds pivot tuples; returns `false` when the cap hit.
 fn assemble(
     rule: &PivotedRule,
-    per_component: &[Vec<(NodeId, NodeSet, u64)>],
+    per_component: &[Vec<(NodeId, Arc<NodeSet>, u64)>],
     depth: usize,
     tuple: &mut Vec<usize>,
     wl: &mut Workload,
     cap: Option<usize>,
 ) -> bool {
     if depth == per_component.len() {
-        let pivots: Vec<NodeId> = tuple
-            .iter()
-            .enumerate()
-            .map(|(c, &i)| per_component[c][i].0)
-            .collect();
-        // Injectivity: component pivots must be distinct nodes.
-        for (i, a) in pivots.iter().enumerate() {
-            if pivots[i + 1..].contains(a) {
+        // Injectivity first (component pivots must be distinct nodes)
+        // so rejected tuples never allocate.
+        for (c, &i) in tuple.iter().enumerate() {
+            let a = per_component[c][i].0;
+            if tuple[..c]
+                .iter()
+                .enumerate()
+                .any(|(c2, &i2)| per_component[c2][i2].0 == a)
+            {
                 return true;
             }
         }
-        let blocks: Vec<NodeSet> = tuple
+        let mut cost = 0u64;
+        let slots: Vec<UnitSlot> = tuple
             .iter()
             .enumerate()
-            .map(|(c, &i)| per_component[c][i].1.clone())
+            .map(|(c, &i)| {
+                let (pivot, ref block, size) = per_component[c][i];
+                cost += size;
+                UnitSlot {
+                    pivot,
+                    block: block.clone(),
+                }
+            })
             .collect();
-        let cost: u64 = tuple
-            .iter()
-            .enumerate()
-            .map(|(c, &i)| per_component[c][i].2)
-            .sum();
         wl.units.push(WorkUnit {
             rule: rule.rule,
-            pivots,
-            blocks,
+            slots,
             cost,
             check_both_orientations: rule.symmetric_pair,
         });

@@ -13,7 +13,7 @@
 //! a wildcard `Q'` node may map anywhere. The same applies to edges.
 //! This is exactly [`PatLabel::refines`].
 
-use crate::pattern::{PatLabel, Pattern, VarId};
+use crate::pattern::{distinct_neighbors, PatLabel, Pattern, VarId};
 
 /// An embedding, represented as `map[sub_var] = sup_var`.
 pub type Embedding = Vec<VarId>;
@@ -21,6 +21,10 @@ pub type Embedding = Vec<VarId>;
 struct Search<'a> {
     sub: &'a Pattern,
     sup: &'a Pattern,
+    /// Per-sub-var distinct out-/in-neighbor counts (degree pruning
+    /// bounds, precomputed once — `compatible` is the hot path).
+    min_out: Vec<usize>,
+    min_in: Vec<usize>,
     /// Assignment `sub var → sup var` (u32::MAX = unassigned).
     assigned: Vec<VarId>,
     /// Which sup vars are already used (injectivity).
@@ -36,10 +40,12 @@ impl<'a> Search<'a> {
         if !self.sub.label(sv).refines(self.sup.label(gv)) {
             return false;
         }
-        // Degree pruning: every incident sub edge needs a distinct-ish
-        // sup edge, so the sup node must have at least the degrees.
-        if self.sub.out(sv).len() > self.sup.out(gv).len()
-            || self.sub.inn(sv).len() > self.sup.inn(gv).len()
+        // Degree pruning: distinct sub neighbor vars map to distinct
+        // sup nodes (injectivity), so each needs its own sup edge. Raw
+        // edge counts would over-prune — parallel sub edges to one
+        // neighbor (labeled + wildcard) can share a single sup edge.
+        if self.min_out[sv.index()] > self.sup.out(gv).len()
+            || self.min_in[sv.index()] > self.sup.inn(gv).len()
         {
             return false;
         }
@@ -179,6 +185,8 @@ fn search(
     let mut s = Search {
         sub,
         sup,
+        min_out: sub.vars().map(|v| distinct_neighbors(sub.out(v))).collect(),
+        min_in: sub.vars().map(|v| distinct_neighbors(sub.inn(v))).collect(),
         assigned,
         used,
         order: search_order(sub, &pinned),

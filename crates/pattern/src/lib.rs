@@ -28,5 +28,5 @@ pub mod signature;
 
 pub use analysis::{ComponentInfo, PivotVector};
 pub use embed::{embeddings, embeddings_with, is_embeddable, isomorphic};
-pub use pattern::{PatLabel, Pattern, PatternBuilder, PatternEdge, VarId};
+pub use pattern::{distinct_neighbors, PatLabel, Pattern, PatternBuilder, PatternEdge, VarId};
 pub use signature::component_signature;

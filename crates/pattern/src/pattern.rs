@@ -70,6 +70,22 @@ pub struct PatternEdge {
     pub label: PatLabel,
 }
 
+/// Number of distinct variables in a pattern adjacency list — the
+/// *sound* degree-pruning bound for matchers and embedders: distinct
+/// neighbor variables map to distinct images (injectivity), so each
+/// needs its own edge, but parallel pattern edges to one neighbor
+/// (e.g. a labeled and a wildcard edge) can share a single image edge,
+/// so counting edges would over-prune.
+pub fn distinct_neighbors(adj: &[(VarId, PatLabel)]) -> usize {
+    let mut seen: Vec<VarId> = Vec::with_capacity(adj.len());
+    for &(v, _) in adj {
+        if !seen.contains(&v) {
+            seen.push(v);
+        }
+    }
+    seen.len()
+}
+
 /// A graph pattern `Q[x̄]`.
 #[derive(Clone)]
 pub struct Pattern {
