@@ -19,7 +19,7 @@ use gfd_core::{implies, Dependency, Gfd, GfdSet, Literal};
 use gfd_datagen::{mine_gfds, reallife_graph, RealLifeConfig, RealLifeKind, RuleGenConfig};
 use gfd_graph::intersect::intersect_in_place;
 use gfd_graph::{Graph, NodeId, Vocab};
-use gfd_match::{count_matches, dual_simulation, MatchOptions};
+use gfd_match::{count_matches, dual_simulation, IncrementalSpace, MatchOptions};
 use gfd_parallel::workload::{estimate_workload, feasible_pivots, plan_rules, WorkloadOptions};
 use gfd_parallel::{rep_val, RepValConfig};
 use gfd_pattern::{Pattern, PatternBuilder, VarId};
@@ -179,6 +179,35 @@ fn main() {
         bench("sim/dual_simulation(mined rule 0)", &mut samples, || {
             dual_simulation(&gfd.pattern, &g, None).total_size()
         });
+
+        // Incremental candidate-space maintenance vs recompute on a
+        // small delta: one rule-relevant edge removed and re-inserted
+        // per iteration (the repair path must win for the maintenance
+        // subsystem to be worth its state).
+        let q = &gfd.pattern;
+        let pattern_label = q.edges().iter().find_map(|e| match e.label {
+            gfd_pattern::PatLabel::Sym(s) => Some(s),
+            gfd_pattern::PatLabel::Wildcard => None,
+        });
+        let probe = pattern_label.and_then(|l| g.edges().find(|e| e.label == l));
+        if let Some(edge) = probe {
+            let (g_minus, d_rm) = g.edit_with_delta(|b| {
+                b.remove_edge(edge.src, edge.dst, edge.label);
+            });
+            let (_, d_add) = g_minus.edit_with_delta(|b| {
+                b.add_edge(edge.src, edge.dst, edge.label);
+            });
+            let mut inc = IncrementalSpace::new(q, &g, None);
+            bench("sim/incremental_vs_scratch(repair)", &mut samples, || {
+                inc.apply(&g_minus, &d_rm);
+                inc.apply(&g, &d_add);
+                inc.space().total_size()
+            });
+            bench("sim/incremental_vs_scratch(scratch)", &mut samples, || {
+                dual_simulation(q, &g_minus, None).total_size()
+                    + dual_simulation(q, &g, None).total_size()
+            });
+        }
     }
 
     // The intersection kernel behind every candidate pool: the two

@@ -1,0 +1,123 @@
+//! Measurement harness for the `SimFilter::Auto` gate (cyclic
+//! component + smallest seed pool ≥ `SIM_AUTO_MIN_POOL`).
+//!
+//! Ignored by default — run it when re-tuning the threshold:
+//!
+//! ```text
+//! cargo test -p gfd-bench --release --test gate_measure -- --ignored --nocapture
+//! ```
+//!
+//! It times `count_matches` with the filter forced on vs off for
+//! (a) cyclic triangle patterns over graphs whose candidate pools
+//! sweep the gate boundary, and (b) the mined-rule corpus the Auto
+//! heuristic actually serves. The gate is correct when `Always` beats
+//! `Never` above the threshold and loses below it, and when `Auto`
+//! tracks the winner on the corpus.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use gfd_datagen::{mine_gfds, reallife_graph, RealLifeConfig, RealLifeKind, RuleGenConfig};
+use gfd_graph::{Graph, GraphBuilder};
+use gfd_match::{count_matches, MatchOptions, SimFilter};
+use gfd_pattern::PatternBuilder;
+use gfd_util::Rng;
+
+/// A random one-label graph with `n` nodes and `edges_per_node * n`
+/// `e`-edges — every pool of the triangle pattern then has size
+/// exactly `n`. Dense settings leave the simulation nothing to prune
+/// (worst case for the filter); sparse settings make most candidates
+/// dead ends (best case).
+fn pool_graph(n: usize, edges_per_node: f64, seed: u64) -> Graph {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_fresh_vocab();
+    let ids: Vec<_> = (0..n).map(|_| b.add_node_labeled("v")).collect();
+    for _ in 0..(edges_per_node * n as f64) as usize {
+        let s = ids[rng.gen_range(0..n)];
+        let d = ids[rng.gen_range(0..n)];
+        b.add_edge_labeled(s, d, "e");
+    }
+    b.freeze()
+}
+
+fn time_matches(q: &gfd_pattern::Pattern, g: &Graph, sim: SimFilter, reps: usize) -> f64 {
+    let opts = MatchOptions::unrestricted().with_sim_filter(sim);
+    let t = Instant::now();
+    let mut total = 0usize;
+    for _ in 0..reps {
+        total += count_matches(q, g, &opts);
+    }
+    std::hint::black_box(total);
+    t.elapsed().as_secs_f64() * 1e6 / reps as f64
+}
+
+#[test]
+#[ignore = "measurement harness; run with --ignored --nocapture to re-tune the gate"]
+fn measure_auto_gate() {
+    for (regime, epn) in [("dense (3·n edges)", 3.0), ("sparse (1.2·n edges)", 1.2)] {
+        println!("== cyclic triangle, {regime}, pool-size sweep (µs/enumeration) ==");
+        println!(
+            "{:>6} {:>12} {:>12} {:>8}",
+            "pool", "never", "always", "win"
+        );
+        for n in [16, 32, 64, 128, 256, 512, 1024] {
+            let g = pool_graph(n, epn, 0xC0FFEE ^ n as u64);
+            let mut b = PatternBuilder::new(g.vocab().clone());
+            let x = b.node("x", "v");
+            let y = b.node("y", "v");
+            let z = b.node("z", "v");
+            b.edge(x, y, "e");
+            b.edge(y, z, "e");
+            b.edge(z, x, "e");
+            let q = b.build();
+            let reps = (20_000 / n).max(3);
+            let never = time_matches(&q, &g, SimFilter::Never, reps);
+            let always = time_matches(&q, &g, SimFilter::Always, reps);
+            println!(
+                "{n:>6} {never:>12.1} {always:>12.1} {:>8}",
+                if always < never { "always" } else { "never" }
+            );
+        }
+    }
+
+    println!("== mined-rule corpus (µs, whole corpus) ==");
+    let g = Arc::new(reallife_graph(&RealLifeConfig {
+        scale: 0.1,
+        ..RealLifeConfig::new(RealLifeKind::Yago2)
+    }));
+    for (label, cfg) in [
+        (
+            "3-node rules",
+            RuleGenConfig {
+                count: 8,
+                pattern_nodes: 3,
+                two_component_fraction: 0.25,
+                ..Default::default()
+            },
+        ),
+        (
+            "4-node rules",
+            RuleGenConfig {
+                count: 8,
+                pattern_nodes: 4,
+                two_component_fraction: 0.25,
+                ..Default::default()
+            },
+        ),
+    ] {
+        let sigma = mine_gfds(&g, &cfg);
+        for sim in [SimFilter::Never, SimFilter::Always, SimFilter::Auto] {
+            let t = Instant::now();
+            let mut total = 0usize;
+            for gfd in sigma.iter() {
+                total += count_matches(
+                    &gfd.pattern,
+                    &g,
+                    &MatchOptions::unrestricted().with_sim_filter(sim),
+                );
+            }
+            std::hint::black_box(total);
+            println!("{label}: {sim:?} {:>12.1}", t.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Incremental violation detection: maintaining `Vio(Σ, G)` across
+//! graph edits.
+//!
+//! The sequential `detVio` (module [`crate::validate`]) re-enumerates
+//! every match of every rule per run. When the graph evolves by small
+//! deltas (noise injection, repair loops, live updates), almost all of
+//! that work re-derives unchanged facts. [`IncrementalDetector`] keeps
+//! per-rule state across edits:
+//!
+//! * one [`IncrementalSpace`] per rule — the dual-simulation candidate
+//!   space, repaired (not recomputed) against each [`GraphDelta`];
+//! * the current violating matches of each rule.
+//!
+//! On a delta, a rule is re-examined only around the *affected nodes*
+//! (delta edge endpoints, relabeled/attribute-touched nodes, added
+//! nodes):
+//!
+//! * stored violations that touch no affected node are still matches
+//!   and still violating (their edges, labels and attribute values
+//!   are untouched) and survive without re-enumeration;
+//! * stored violations touching affected nodes are re-checked
+//!   directly (edges + labels + dependency), in `O(|Q|)` each;
+//! * new violations must contain an affected node (a match that
+//!   gained violation status either changed structurally or had an
+//!   attribute change on one of its images), so the detector
+//!   enumerates only matches *pinned* at affected candidate nodes —
+//!   using the repaired candidate space as the search filter — and
+//!   re-checks those.
+
+use std::collections::HashSet;
+
+use gfd_graph::{Graph, GraphDelta, NodeId};
+use gfd_match::types::Flow;
+use gfd_match::{for_each_match, for_each_match_in_space, IncrementalSpace, Match, MatchOptions};
+use gfd_pattern::signature::decompose;
+
+use crate::gfd::GfdSet;
+use crate::validate::{detect_violations, match_satisfies, Violation};
+
+/// Per-rule incremental state.
+struct RuleState {
+    /// Repaired-in-place candidate space over the rule's full pattern.
+    space: IncrementalSpace,
+    /// True if the rule's pattern is connected (the space then drives
+    /// enumeration directly).
+    connected: bool,
+    /// Current violating matches.
+    violations: HashSet<Match>,
+}
+
+/// Maintains `Vio(Σ, G)` across graph edits; see the module docs.
+///
+/// The maintained set is always identical to what
+/// [`detect_violations`] computes from scratch on the current
+/// snapshot (asserted by the oracle test below and the end-to-end
+/// inject→detect→fix loop in `gfd-datagen`).
+pub struct IncrementalDetector {
+    sigma: GfdSet,
+    rules: Vec<RuleState>,
+}
+
+impl IncrementalDetector {
+    /// Full detection pass over `g`, retaining all per-rule state for
+    /// later [`apply`](IncrementalDetector::apply) calls.
+    pub fn new(sigma: &GfdSet, g: &Graph) -> Self {
+        let rules = sigma
+            .iter()
+            .map(|gfd| {
+                let space = IncrementalSpace::new(&gfd.pattern, g, None);
+                let connected = decompose(&gfd.pattern).len() == 1;
+                let mut violations = HashSet::new();
+                if !gfd.dep.y.is_empty() && !space.space().is_empty_anywhere() {
+                    let opts = MatchOptions::unrestricted();
+                    for_each_match_in_space(&gfd.pattern, g, &opts, space.space(), &mut |m| {
+                        if !match_satisfies(&gfd.dep, g, m) {
+                            violations.insert(Match(m.to_vec()));
+                        }
+                        Flow::Continue
+                    });
+                }
+                RuleState {
+                    space,
+                    connected,
+                    violations,
+                }
+            })
+            .collect();
+        IncrementalDetector {
+            sigma: sigma.clone(),
+            rules,
+        }
+    }
+
+    /// The current violation set, in rule order (match order within a
+    /// rule is unspecified).
+    pub fn violations(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for (rule, state) in self.rules.iter().enumerate() {
+            for m in &state.violations {
+                out.push(Violation {
+                    rule,
+                    mapping: m.clone(),
+                });
+            }
+        }
+        out
+    }
+
+    /// The incremental validation answer: does the current snapshot
+    /// satisfy `Σ`?
+    pub fn satisfied(&self) -> bool {
+        self.rules.iter().all(|s| s.violations.is_empty())
+    }
+
+    /// Total number of current violations.
+    pub fn violation_count(&self) -> usize {
+        self.rules.iter().map(|s| s.violations.len()).sum()
+    }
+
+    /// Repairs the detector against one edit step: `g` is the edited
+    /// snapshot, `delta` the recorded difference from the snapshot the
+    /// detector was last synchronized with.
+    pub fn apply(&mut self, g: &Graph, delta: &GraphDelta) {
+        let d = delta.clone().normalize();
+        if d.is_empty() {
+            return;
+        }
+        let affected = d.touched_nodes();
+        let is_affected = |u: NodeId| affected.binary_search(&u).is_ok();
+
+        for (rule, state) in self.rules.iter_mut().enumerate() {
+            let gfd = self.sigma.get(rule);
+            // Repair the candidate space first — pinned re-enumeration
+            // draws pools from it (`d` is already normalized).
+            state.space.apply_normalized(g, &d);
+            if gfd.dep.y.is_empty() {
+                continue; // X → ∅ can never be violated
+            }
+
+            // 1. Re-check stored violations that touch the delta; the
+            //    rest are untouched matches with untouched attribute
+            //    values and survive as-is.
+            state.violations.retain(|m| {
+                if !m.nodes().iter().copied().any(is_affected) {
+                    return true;
+                }
+                still_violates(gfd, g, m)
+            });
+
+            // 2. New violations contain an affected node: enumerate
+            //    matches pinned there (per variable whose candidate
+            //    set admits the node), via the repaired space.
+            if state.space.space().is_empty_anywhere() {
+                debug_assert!(state.violations.is_empty());
+                continue;
+            }
+            for &u in &affected {
+                for v in gfd.pattern.vars() {
+                    if !state.space.contains(v, u) {
+                        continue;
+                    }
+                    let opts = MatchOptions::unrestricted().pin(v, u);
+                    let enumerate = &mut |m: &[NodeId]| {
+                        if !match_satisfies(&gfd.dep, g, m) {
+                            state.violations.insert(Match(m.to_vec()));
+                        }
+                        Flow::Continue
+                    };
+                    if state.connected {
+                        for_each_match_in_space(
+                            &gfd.pattern,
+                            g,
+                            &opts,
+                            state.space.space(),
+                            enumerate,
+                        );
+                    } else {
+                        for_each_match(&gfd.pattern, g, &opts, enumerate);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Direct `O(|Q|)` re-check of a previously stored violating match:
+/// still a structural match, and still violating?
+fn still_violates(gfd: &crate::gfd::Gfd, g: &Graph, m: &Match) -> bool {
+    let q = &gfd.pattern;
+    let images = m.nodes();
+    if images.iter().any(|u| u.index() >= g.node_count()) {
+        return false;
+    }
+    for v in q.vars() {
+        if !q.label(v).admits(g.label(images[v.index()])) {
+            return false;
+        }
+    }
+    for e in q.edges() {
+        let (s, t) = (images[e.src.index()], images[e.dst.index()]);
+        let ok = match e.label {
+            gfd_pattern::PatLabel::Sym(l) => g.has_edge(s, t, l),
+            gfd_pattern::PatLabel::Wildcard => g.has_edge_any(s, t),
+        };
+        if !ok {
+            return false;
+        }
+    }
+    !match_satisfies(&gfd.dep, g, images)
+}
+
+/// Convenience oracle used by tests and callers that want to
+/// cross-check: the from-scratch violation set as a comparable form.
+pub fn violation_set(sigma: &GfdSet, g: &Graph) -> HashSet<(usize, Match)> {
+    detect_violations(sigma, g)
+        .into_iter()
+        .map(|v| (v.rule, v.mapping))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gfd::Gfd;
+    use crate::literal::{Dependency, Literal};
+    use gfd_graph::{GraphBuilder, Value};
+    use gfd_pattern::PatternBuilder;
+    use gfd_util::{prop::check, Rng};
+
+    fn detector_set(det: &IncrementalDetector) -> HashSet<(usize, Match)> {
+        det.violations()
+            .into_iter()
+            .map(|v| (v.rule, v.mapping))
+            .collect()
+    }
+
+    /// A small random property-graph world with attribute values and a
+    /// same-label/same-val ⇒ same-peer rule that noise can break.
+    fn random_world(rng: &mut Rng) -> (Graph, GfdSet) {
+        let mut b = GraphBuilder::with_fresh_vocab();
+        let n = rng.gen_range(4..10);
+        let hubs: Vec<_> = (0..n).map(|_| b.add_node_labeled("hub")).collect();
+        for &h in &hubs {
+            let leaf = b.add_node_labeled("leaf");
+            b.add_edge_labeled(h, leaf, "owns");
+            b.set_attr_named(leaf, "val", Value::Int(rng.gen_range(0..3) as i64));
+            b.set_attr_named(h, "val", Value::Int(rng.gen_range(0..2) as i64));
+        }
+        let g = b.freeze();
+        let vocab = g.vocab().clone();
+        let val = vocab.intern("val");
+
+        // Connected rule: hub → leaf, hub.val determines leaf.val.
+        let mut pb = PatternBuilder::new(vocab.clone());
+        let x = pb.node("x", "hub");
+        let y = pb.node("y", "leaf");
+        pb.edge(x, y, "owns");
+        let q1 = pb.build();
+        let phi1 = Gfd::new(
+            "hub-leaf",
+            q1,
+            Dependency::new(
+                vec![Literal::const_eq(x, val, Value::Int(0))],
+                vec![Literal::const_eq(y, val, Value::Int(0))],
+            ),
+        );
+
+        // Disconnected rule: two hubs with equal val must carry val 0
+        // (Example 5 shape — two independent pivots far apart).
+        let mut pb = PatternBuilder::new(vocab.clone());
+        let a = pb.node("a", "hub");
+        let c = pb.node("c", "hub");
+        let q2 = pb.build();
+        let phi2 = Gfd::new(
+            "hub-pair",
+            q2,
+            Dependency::new(
+                vec![Literal::var_eq(a, val, c, val)],
+                vec![Literal::const_eq(a, val, Value::Int(0))],
+            ),
+        );
+        (g, GfdSet::new(vec![phi1, phi2]))
+    }
+
+    #[test]
+    fn initial_state_matches_scratch() {
+        check("IncrementalDetector::new ≡ detVio", 40, |rng| {
+            let (g, sigma) = random_world(rng);
+            let det = IncrementalDetector::new(&sigma, &g);
+            let scratch = violation_set(&sigma, &g);
+            if detector_set(&det) != scratch {
+                return Err(format!(
+                    "initial sets diverge: {} vs {}",
+                    det.violation_count(),
+                    scratch.len()
+                ));
+            }
+            if det.satisfied() != scratch.is_empty() {
+                return Err("satisfied() disagrees".into());
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn repaired_detector_equals_scratch_over_edit_scripts() {
+        check(
+            "IncrementalDetector ≡ detVio over edit scripts",
+            25,
+            |rng| {
+                let (mut g, sigma) = random_world(rng);
+                let mut det = IncrementalDetector::new(&sigma, &g);
+                for step in 0..12 {
+                    let kind = rng.gen_range(0..5);
+                    let r1 = rng.gen_range(0..g.node_count());
+                    let r2 = rng.gen_range(0..g.node_count());
+                    let r3 = rng.gen_range(0..4);
+                    let (g2, delta) = g.edit_with_delta(|b| match kind {
+                        0 => {
+                            b.add_edge_labeled(NodeId(r1 as u32), NodeId(r2 as u32), "owns");
+                        }
+                        1 => {
+                            b.remove_edge_labeled(NodeId(r1 as u32), NodeId(r2 as u32), "owns");
+                        }
+                        2 => {
+                            let a = b.vocab().intern("val");
+                            b.set_attr(NodeId(r1 as u32), a, Value::Int(r3 as i64));
+                        }
+                        3 => {
+                            let a = b.vocab().intern("val");
+                            b.remove_attr(NodeId(r1 as u32), a);
+                        }
+                        _ => {
+                            let h = b.add_node_labeled("hub");
+                            let a = b.vocab().intern("val");
+                            b.set_attr(h, a, Value::Int(r3 as i64));
+                            b.add_edge_labeled(h, NodeId(r2 as u32), "owns");
+                        }
+                    });
+                    det.apply(&g2, &delta);
+                    let scratch = violation_set(&sigma, &g2);
+                    if detector_set(&det) != scratch {
+                        return Err(format!(
+                            "step {step} (kind {kind}): {} maintained vs {} scratch",
+                            det.violation_count(),
+                            scratch.len()
+                        ));
+                    }
+                    g = g2;
+                }
+                Ok(())
+            },
+        );
+    }
+}

@@ -33,12 +33,14 @@ pub mod closure;
 pub mod eqrel;
 pub mod gfd;
 pub mod implication;
+pub mod incremental;
 pub mod literal;
 pub mod sat;
 pub mod validate;
 
 pub use gfd::{Gfd, GfdSet};
 pub use implication::implies;
+pub use incremental::IncrementalDetector;
 pub use literal::{Dependency, Literal};
 pub use sat::{check_satisfiability, is_satisfiable, SatOutcome};
 pub use validate::{detect_violations, graph_satisfies, Violation};

@@ -13,7 +13,7 @@
 //! The report records the ground-truth dirty node set `Vio`, from
 //! which the Fig. 9 harness computes precision and recall.
 
-use gfd_graph::{GraphBuilder, NodeId, Value};
+use gfd_graph::{Graph, GraphBuilder, GraphDelta, NodeId, Value};
 use gfd_util::Rng;
 
 /// Noise-injection parameters.
@@ -108,11 +108,15 @@ pub fn inject_noise(g: &mut GraphBuilder, cfg: &NoiseConfig) -> NoiseReport {
             NoiseKind::Type => {
                 if labels.len() > 1 {
                     let current = g.label(n);
-                    let mut pick = labels[rng.gen_range(0..labels.len())];
-                    if pick == current {
-                        pick = labels
-                            [(labels.iter().position(|&l| l == pick).unwrap() + 1) % labels.len()];
-                    }
+                    let i = rng.gen_range(0..labels.len());
+                    // `labels` is deduplicated, so stepping one slot
+                    // past a collision always lands on a different
+                    // label.
+                    let pick = if labels[i] == current {
+                        labels[(i + 1) % labels.len()]
+                    } else {
+                        labels[i]
+                    };
                     g.set_label(n, pick);
                     report.corrupted.push((n, NoiseKind::Type));
                 }
@@ -150,11 +154,27 @@ pub fn inject_noise(g: &mut GraphBuilder, cfg: &NoiseConfig) -> NoiseReport {
     report
 }
 
+/// Injects noise into a frozen snapshot through a recorded edit
+/// session, returning the corrupted snapshot, the ground truth, *and*
+/// the [`GraphDelta`] describing exactly what changed — the triple the
+/// incremental repair loop (inject → detect → fix) consumes: the
+/// delta feeds `IncrementalDetector::apply`/`IncrementalSpace::apply`
+/// so detection after each injection touches only the corrupted
+/// neighborhood.
+pub fn inject_noise_with_delta(g: &Graph, cfg: &NoiseConfig) -> (Graph, NoiseReport, GraphDelta) {
+    let mut b = g.thaw();
+    let report = inject_noise(&mut b, cfg);
+    let delta = b
+        .take_delta()
+        .expect("thawed builders record deltas")
+        .normalize();
+    (g.apply_delta(&delta), report, delta)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::reallife::{reallife_graph, RealLifeConfig, RealLifeKind};
-    use gfd_graph::Graph;
 
     fn graph() -> Graph {
         reallife_graph(&RealLifeConfig {
@@ -212,6 +232,110 @@ mod tests {
         for w in dirty.windows(2) {
             assert!(w[0] < w[1]);
         }
+    }
+
+    #[test]
+    fn delta_injection_equals_builder_injection() {
+        let g = graph();
+        let cfg = NoiseConfig {
+            rate: 0.08,
+            seed: 11,
+        };
+        let (noisy, report, delta) = inject_noise_with_delta(&g, &cfg);
+        assert!(!report.is_empty());
+        assert!(!delta.is_empty());
+        // Same seed through the plain builder path must give the same
+        // corrupted snapshot.
+        let mut b = g.thaw();
+        let report2 = inject_noise(&mut b, &cfg);
+        assert_eq!(report.corrupted, report2.corrupted);
+        assert_eq!(
+            gfd_graph::io::to_text(&noisy),
+            gfd_graph::io::to_text(&b.freeze())
+        );
+        // Every corrupted node is visible in the delta's neighborhood.
+        let touched = delta.touched_nodes();
+        for n in report.dirty_nodes() {
+            assert!(touched.binary_search(&n).is_ok(), "{n:?} not in delta");
+        }
+    }
+
+    /// The end-to-end repair loop the delta subsystem exists for:
+    /// inject noise (emitting a delta), detect incrementally, fix the
+    /// corrupted nodes (emitting another delta), detect again — at
+    /// every step the maintained violation set must equal a
+    /// from-scratch `detVio`, and the fix must restore the pre-noise
+    /// violation set.
+    #[test]
+    fn inject_detect_fix_loop_is_incremental() {
+        use gfd_core::incremental::{violation_set, IncrementalDetector};
+
+        let g0 = graph();
+        let sigma = crate::rules::mine_gfds(
+            &g0,
+            &crate::rules::RuleGenConfig {
+                count: 4,
+                pattern_nodes: 3,
+                two_component_fraction: 0.25,
+                ..Default::default()
+            },
+        );
+        let mut det = IncrementalDetector::new(&sigma, &g0);
+        let baseline = violation_set(&sigma, &g0);
+        assert_eq!(
+            det.violations()
+                .into_iter()
+                .map(|v| (v.rule, v.mapping))
+                .collect::<std::collections::HashSet<_>>(),
+            baseline
+        );
+
+        // Inject: the detector repairs itself from the noise delta.
+        let (noisy, report, delta) = inject_noise_with_delta(
+            &g0,
+            &NoiseConfig {
+                rate: 0.05,
+                seed: 23,
+            },
+        );
+        assert!(!report.is_empty(), "need actual corruption to exercise");
+        det.apply(&noisy, &delta);
+        assert_eq!(
+            det.violations()
+                .into_iter()
+                .map(|v| (v.rule, v.mapping))
+                .collect::<std::collections::HashSet<_>>(),
+            violation_set(&sigma, &noisy),
+            "incremental detection diverged after injection"
+        );
+
+        // Fix: restore every corrupted node from the clean snapshot.
+        let (fixed, fix_delta) = noisy.edit_with_delta(|b| {
+            for n in report.dirty_nodes() {
+                b.set_label(n, g0.label(n));
+                let dirty_attrs: Vec<_> = b.attrs(n).iter().map(|(a, _)| a).collect();
+                for a in dirty_attrs {
+                    if g0.attr(n, a).is_none() {
+                        b.remove_attr(n, a);
+                    }
+                }
+                for (a, v) in g0.attrs(n).iter() {
+                    b.set_attr(n, a, v.clone());
+                }
+            }
+        });
+        det.apply(&fixed, &fix_delta);
+        let after_fix = det
+            .violations()
+            .into_iter()
+            .map(|v| (v.rule, v.mapping))
+            .collect::<std::collections::HashSet<_>>();
+        assert_eq!(
+            after_fix,
+            violation_set(&sigma, &fixed),
+            "incremental detection diverged after repair"
+        );
+        assert_eq!(after_fix, baseline, "repair must restore the baseline");
     }
 
     #[test]

@@ -1,0 +1,300 @@
+//! Edit deltas: the difference between two snapshots of a graph.
+//!
+//! Every `thaw`/`edit` session on a frozen [`Graph`](crate::Graph)
+//! records the mutations it performs — node additions, edge
+//! insertions/deletions, label changes, attribute writes — as a
+//! [`GraphDelta`]. Node ids are stable across the thaw→mutate→refreeze
+//! round trip, so a delta is directly addressable against both the old
+//! and the new snapshot: consumers (incremental dual simulation in
+//! `gfd-match`, incremental violation detection in `gfd-core`,
+//! workload refresh in `gfd-parallel`) repair their derived state by
+//! touching only the recorded neighborhood instead of recomputing —
+//! the update-time discipline of Berkholz et al.'s query maintenance
+//! under updates.
+//!
+//! A delta records *successful* mutations only (re-adding an existing
+//! edge or removing an absent one is a no-op and leaves no record), so
+//! after [`GraphDelta::normalize`]:
+//!
+//! * every `added_edges` entry is absent from the base snapshot and
+//!   present in the result;
+//! * every `removed_edges` entry is present in the base and absent
+//!   from the result;
+//! * label changes carry the base label and the final label, and nodes
+//!   added during the session fold their final label into
+//!   `added_nodes` instead;
+//! * attribute ops keep only the last write per `(node, attribute)`.
+
+use crate::graph::{Edge, NodeId};
+use crate::value::Value;
+use crate::vocab::Sym;
+
+/// One node relabeling `old → new` (type noise, repair).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LabelChange {
+    /// The relabeled node.
+    pub node: NodeId,
+    /// Its label in the base snapshot.
+    pub old: Sym,
+    /// Its label in the edited snapshot.
+    pub new: Sym,
+}
+
+/// One attribute write: `Some(value)` sets, `None` removes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttrOp {
+    /// The node whose tuple changed.
+    pub node: NodeId,
+    /// The attribute name.
+    pub attr: Sym,
+    /// The new value, or `None` for removal.
+    pub value: Option<Value>,
+}
+
+/// The recorded difference between a base snapshot and its edited
+/// successor. Produced by [`GraphBuilder::take_delta`]
+/// (automatically recorded by [`Graph::thaw`]/[`Graph::edit_with_delta`])
+/// and consumed by [`Graph::apply_delta`] and the incremental
+/// maintenance subsystems.
+///
+/// [`GraphBuilder::take_delta`]: crate::GraphBuilder::take_delta
+/// [`Graph::thaw`]: crate::Graph::thaw
+/// [`Graph::edit_with_delta`]: crate::Graph::edit_with_delta
+/// [`Graph::apply_delta`]: crate::Graph::apply_delta
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GraphDelta {
+    /// Node count of the base snapshot; added nodes have ids
+    /// `base_nodes..base_nodes + added_nodes.len()`.
+    pub base_nodes: usize,
+    /// Nodes added during the session, with their (final) labels, in
+    /// id order.
+    pub added_nodes: Vec<(NodeId, Sym)>,
+    /// Edges inserted (net of cancellations after [`normalize`]).
+    ///
+    /// [`normalize`]: GraphDelta::normalize
+    pub added_edges: Vec<Edge>,
+    /// Edges deleted (net of cancellations after `normalize`).
+    pub removed_edges: Vec<Edge>,
+    /// Relabelings of *base* nodes (added nodes fold into
+    /// `added_nodes`).
+    pub label_changes: Vec<LabelChange>,
+    /// Attribute writes in application order (one per `(node, attr)`
+    /// after `normalize`, last write wins).
+    pub attr_ops: Vec<AttrOp>,
+}
+
+impl GraphDelta {
+    /// An empty delta over a base of `base_nodes` nodes.
+    pub fn new(base_nodes: usize) -> Self {
+        GraphDelta {
+            base_nodes,
+            ..Default::default()
+        }
+    }
+
+    /// True if the session performed no recorded mutation.
+    pub fn is_empty(&self) -> bool {
+        self.added_nodes.is_empty()
+            && self.added_edges.is_empty()
+            && self.removed_edges.is_empty()
+            && self.label_changes.is_empty()
+            && self.attr_ops.is_empty()
+    }
+
+    /// True if the delta changes the edge set or the node set — the
+    /// part CSR adjacency and simulation candidates depend on.
+    pub fn touches_topology(&self) -> bool {
+        !(self.added_nodes.is_empty()
+            && self.added_edges.is_empty()
+            && self.removed_edges.is_empty()
+            && self.label_changes.is_empty())
+    }
+
+    /// Every node the delta mentions (edge endpoints, relabeled and
+    /// attribute-touched nodes, added nodes), sorted and deduplicated.
+    /// This is the "affected neighborhood" seed consumers re-check.
+    pub fn touched_nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = Vec::new();
+        v.extend(self.added_nodes.iter().map(|&(n, _)| n));
+        for e in self.added_edges.iter().chain(&self.removed_edges) {
+            v.push(e.src);
+            v.push(e.dst);
+        }
+        v.extend(self.label_changes.iter().map(|c| c.node));
+        v.extend(self.attr_ops.iter().map(|o| o.node));
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Cancels add/remove pairs, coalesces label changes (base label →
+    /// final label, dropping identities and folding relabelings of
+    /// freshly added nodes into `added_nodes`), and keeps only the last
+    /// write per `(node, attribute)`. Edge lists come out sorted by
+    /// `(src, label, dst)`.
+    ///
+    /// Recording only captures successful mutations, so per edge key
+    /// the net effect is `-1`, `0` or `+1`; `normalize` reduces the
+    /// recorded history to that net effect.
+    pub fn normalize(mut self) -> Self {
+        // Edges: per (src, dst, label) key the ops alternate
+        // (add/remove of an already-present/absent edge is rejected at
+        // the builder), so net = adds - removes ∈ {-1, 0, +1}.
+        if !self.added_edges.is_empty() || !self.removed_edges.is_empty() {
+            let key = |e: &Edge| (e.src, e.label, e.dst);
+            let mut net: std::collections::HashMap<(NodeId, Sym, NodeId), i32> =
+                std::collections::HashMap::new();
+            for e in &self.added_edges {
+                *net.entry(key(e)).or_insert(0) += 1;
+            }
+            for e in &self.removed_edges {
+                *net.entry(key(e)).or_insert(0) -= 1;
+            }
+            self.added_edges.retain(|e| net[&key(e)] > 0);
+            self.added_edges.sort_unstable_by_key(key);
+            self.added_edges.dedup();
+            self.removed_edges.retain(|e| net[&key(e)] < 0);
+            self.removed_edges.sort_unstable_by_key(key);
+            self.removed_edges.dedup();
+        }
+
+        // Label changes: first old, last new per node; relabelings of
+        // session-added nodes update the added_nodes record instead.
+        if !self.label_changes.is_empty() {
+            let mut coalesced: Vec<LabelChange> = Vec::with_capacity(self.label_changes.len());
+            for c in self.label_changes.drain(..) {
+                if c.node.index() >= self.base_nodes {
+                    let slot = c.node.index() - self.base_nodes;
+                    self.added_nodes[slot].1 = c.new;
+                    continue;
+                }
+                match coalesced.iter_mut().find(|p| p.node == c.node) {
+                    Some(prev) => prev.new = c.new,
+                    None => coalesced.push(c),
+                }
+            }
+            coalesced.retain(|c| c.old != c.new);
+            coalesced.sort_unstable_by_key(|c| c.node);
+            self.label_changes = coalesced;
+        }
+
+        // Attributes: last write per (node, attr) wins, kept in first-
+        // occurrence order (application order is then irrelevant).
+        if !self.attr_ops.is_empty() {
+            let mut kept: Vec<AttrOp> = Vec::with_capacity(self.attr_ops.len());
+            for op in self.attr_ops.drain(..) {
+                match kept
+                    .iter_mut()
+                    .find(|p| p.node == op.node && p.attr == op.attr)
+                {
+                    Some(prev) => prev.value = op.value,
+                    None => kept.push(op),
+                }
+            }
+            self.attr_ops = kept;
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(s: u32, d: u32, l: u32) -> Edge {
+        Edge {
+            src: NodeId(s),
+            dst: NodeId(d),
+            label: Sym(l),
+        }
+    }
+
+    #[test]
+    fn normalize_cancels_edge_flip_flops() {
+        let mut d = GraphDelta::new(4);
+        // Fresh edge added then removed: cancels.
+        d.added_edges.push(e(0, 1, 7));
+        d.removed_edges.push(e(0, 1, 7));
+        // Base edge removed then re-added: cancels.
+        d.removed_edges.push(e(1, 2, 7));
+        d.added_edges.push(e(1, 2, 7));
+        // Fresh edge added, removed, re-added: survives as one add.
+        d.added_edges.push(e(2, 3, 7));
+        d.removed_edges.push(e(2, 3, 7));
+        d.added_edges.push(e(2, 3, 7));
+        let d = d.normalize();
+        assert_eq!(d.added_edges, vec![e(2, 3, 7)]);
+        assert!(d.removed_edges.is_empty());
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn normalize_coalesces_label_chains() {
+        let mut d = GraphDelta::new(2);
+        d.added_nodes.push((NodeId(2), Sym(0)));
+        // Base node relabeled twice: keeps first old / last new.
+        for (old, new) in [(Sym(1), Sym(2)), (Sym(2), Sym(3))] {
+            d.label_changes.push(LabelChange {
+                node: NodeId(0),
+                old,
+                new,
+            });
+        }
+        // Back-and-forth on another base node: drops out entirely.
+        for (old, new) in [(Sym(5), Sym(6)), (Sym(6), Sym(5))] {
+            d.label_changes.push(LabelChange {
+                node: NodeId(1),
+                old,
+                new,
+            });
+        }
+        // Added node relabeled: folds into added_nodes.
+        d.label_changes.push(LabelChange {
+            node: NodeId(2),
+            old: Sym(0),
+            new: Sym(9),
+        });
+        let d = d.normalize();
+        assert_eq!(
+            d.label_changes,
+            vec![LabelChange {
+                node: NodeId(0),
+                old: Sym(1),
+                new: Sym(3)
+            }]
+        );
+        assert_eq!(d.added_nodes, vec![(NodeId(2), Sym(9))]);
+    }
+
+    #[test]
+    fn normalize_keeps_last_attr_write() {
+        let mut d = GraphDelta::new(1);
+        d.attr_ops.push(AttrOp {
+            node: NodeId(0),
+            attr: Sym(4),
+            value: Some(Value::Int(1)),
+        });
+        d.attr_ops.push(AttrOp {
+            node: NodeId(0),
+            attr: Sym(4),
+            value: None,
+        });
+        let d = d.normalize();
+        assert_eq!(d.attr_ops.len(), 1);
+        assert_eq!(d.attr_ops[0].value, None);
+    }
+
+    #[test]
+    fn touched_nodes_sorted_dedup() {
+        let mut d = GraphDelta::new(5);
+        d.added_edges.push(e(3, 1, 0));
+        d.removed_edges.push(e(1, 4, 0));
+        d.attr_ops.push(AttrOp {
+            node: NodeId(3),
+            attr: Sym(0),
+            value: None,
+        });
+        let touched = d.touched_nodes();
+        assert_eq!(touched, vec![NodeId(1), NodeId(3), NodeId(4)]);
+    }
+}

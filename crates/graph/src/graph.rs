@@ -38,6 +38,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use crate::attrs::AttrMap;
+use crate::delta::{AttrOp, GraphDelta, LabelChange};
 use crate::value::Value;
 use crate::vocab::{Sym, Vocab};
 
@@ -115,6 +116,10 @@ pub struct GraphBuilder {
     out: Vec<Vec<Adj>>,
     label_index: HashMap<Sym, Vec<NodeId>>,
     edge_count: usize,
+    /// When present, every successful mutation is appended here (see
+    /// [`GraphDelta`]); enabled by [`Graph::thaw`] so edit sessions
+    /// come with their delta for free.
+    rec: Option<GraphDelta>,
 }
 
 impl GraphBuilder {
@@ -127,6 +132,7 @@ impl GraphBuilder {
             out: Vec::new(),
             label_index: HashMap::new(),
             edge_count: 0,
+            rec: None,
         }
     }
 
@@ -140,6 +146,23 @@ impl GraphBuilder {
         &self.vocab
     }
 
+    /// Starts delta recording (no-op if already recording). Builders
+    /// produced by [`Graph::thaw`] record automatically.
+    pub fn record_deltas(&mut self) {
+        if self.rec.is_none() {
+            self.rec = Some(GraphDelta::new(self.labels.len()));
+        }
+    }
+
+    /// Takes the recorded delta (raw, in mutation order — callers
+    /// usually want [`GraphDelta::normalize`]), leaving recording
+    /// active with a fresh base at the current node count. Returns
+    /// `None` if recording was never enabled.
+    pub fn take_delta(&mut self) -> Option<GraphDelta> {
+        let next = GraphDelta::new(self.labels.len());
+        self.rec.replace(next)
+    }
+
     /// Adds a node with the given (already interned) label.
     pub fn add_node(&mut self, label: Sym) -> NodeId {
         let id = NodeId(self.labels.len() as u32);
@@ -147,6 +170,9 @@ impl GraphBuilder {
         self.attrs.push(AttrMap::new());
         self.out.push(Vec::new());
         self.label_index.entry(label).or_default().push(id);
+        if let Some(rec) = &mut self.rec {
+            rec.added_nodes.push((id, label));
+        }
         id
     }
 
@@ -164,6 +190,11 @@ impl GraphBuilder {
     /// at the insertion site, rather than deep inside [`freeze`].
     pub fn add_edge(&mut self, src: NodeId, dst: NodeId, label: Sym) -> bool {
         assert!(
+            src.index() < self.labels.len(),
+            "add_edge: src {src:?} is not a node (node_count = {})",
+            self.labels.len()
+        );
+        assert!(
             dst.index() < self.labels.len(),
             "add_edge: dst {dst:?} is not a node (node_count = {})",
             self.labels.len()
@@ -175,6 +206,9 @@ impl GraphBuilder {
             Err(pos) => {
                 out.insert(pos, entry);
                 self.edge_count += 1;
+                if let Some(rec) = &mut self.rec {
+                    rec.added_edges.push(Edge { src, dst, label });
+                }
                 true
             }
         }
@@ -186,8 +220,46 @@ impl GraphBuilder {
         self.add_edge(src, dst, sym)
     }
 
+    /// Removes the edge `(src, dst, label)`. Returns `false` (and
+    /// leaves the graph unchanged) if no such edge exists — including
+    /// when `src` or `dst` is not a node of this builder.
+    pub fn remove_edge(&mut self, src: NodeId, dst: NodeId, label: Sym) -> bool {
+        if src.index() >= self.labels.len() || dst.index() >= self.labels.len() {
+            return false;
+        }
+        let entry = Adj { label, node: dst };
+        let out = &mut self.out[src.index()];
+        match out.binary_search(&entry) {
+            Ok(pos) => {
+                out.remove(pos);
+                self.edge_count -= 1;
+                if let Some(rec) = &mut self.rec {
+                    rec.removed_edges.push(Edge { src, dst, label });
+                }
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Removes an edge by label name (`false` if the label was never
+    /// interned, i.e. no such edge can exist).
+    pub fn remove_edge_labeled(&mut self, src: NodeId, dst: NodeId, label: &str) -> bool {
+        match self.vocab.lookup(label) {
+            Some(sym) => self.remove_edge(src, dst, sym),
+            None => false,
+        }
+    }
+
     /// Sets attribute `attr = value` on `node`.
     pub fn set_attr(&mut self, node: NodeId, attr: Sym, value: Value) {
+        if let Some(rec) = &mut self.rec {
+            rec.attr_ops.push(AttrOp {
+                node,
+                attr,
+                value: Some(value.clone()),
+            });
+        }
         self.attrs[node.index()].set(attr, value);
     }
 
@@ -199,7 +271,17 @@ impl GraphBuilder {
 
     /// Removes attribute `attr` from `node`, returning the old value.
     pub fn remove_attr(&mut self, node: NodeId, attr: Sym) -> Option<Value> {
-        self.attrs[node.index()].remove(attr)
+        let old = self.attrs[node.index()].remove(attr);
+        if old.is_some() {
+            if let Some(rec) = &mut self.rec {
+                rec.attr_ops.push(AttrOp {
+                    node,
+                    attr,
+                    value: None,
+                });
+            }
+        }
+        old
     }
 
     /// Relabels `node` (updating the label index) and returns the old
@@ -217,6 +299,13 @@ impl GraphBuilder {
         let extent = self.label_index.entry(label).or_default();
         let pos = extent.partition_point(|&n| n < node);
         extent.insert(pos, node);
+        if let Some(rec) = &mut self.rec {
+            rec.label_changes.push(LabelChange {
+                node,
+                old,
+                new: label,
+            });
+        }
         old
     }
 
@@ -467,11 +556,24 @@ impl Graph {
         Self::labeled_range(self.in_slice(node), label)
     }
 
+    /// `src`'s out-run, or the empty slice when `src` is not a node —
+    /// for entry points that accept externally supplied ids.
+    #[inline]
+    fn out_run_or_empty(&self, src: NodeId) -> &[Adj] {
+        if src.index() >= self.labels.len() {
+            return &[];
+        }
+        self.out_slice(src)
+    }
+
     /// True if the edge `(src, dst, label)` exists — one binary search
-    /// over `src`'s contiguous out-run.
+    /// over `src`'s contiguous out-run. Out-of-range ids (which can
+    /// arrive from user input: parsed patterns, stale pins) are simply
+    /// not edge endpoints, so the answer is `false` rather than a
+    /// panic.
     #[inline]
     pub fn has_edge(&self, src: NodeId, dst: NodeId, label: Sym) -> bool {
-        self.out_slice(src)
+        self.out_run_or_empty(src)
             .binary_search(&Adj { label, node: dst })
             .is_ok()
     }
@@ -483,7 +585,7 @@ impl Graph {
     /// searching `dst` within each — `O(L · log deg)` for `L` distinct
     /// labels at `src`, with a plain scan for short runs.
     pub fn has_edge_any(&self, src: NodeId, dst: NodeId) -> bool {
-        let run = self.out_slice(src);
+        let run = self.out_run_or_empty(src);
         if run.len() <= 16 {
             return run.iter().any(|a| a.node == dst);
         }
@@ -499,9 +601,9 @@ impl Graph {
         false
     }
 
-    /// All edge labels `src → dst`.
+    /// All edge labels `src → dst` (empty for out-of-range ids).
     pub fn edges_between(&self, src: NodeId, dst: NodeId) -> impl Iterator<Item = Sym> + '_ {
-        self.out_slice(src)
+        self.out_run_or_empty(src)
             .iter()
             .filter(move |a| a.node == dst)
             .map(|a| a.label)
@@ -558,6 +660,10 @@ impl Graph {
 
     /// Reconstructs a [`GraphBuilder`] with identical contents and node
     /// ids, for repair/noise workflows that need to mutate a snapshot.
+    /// The builder records its mutations as a [`GraphDelta`]
+    /// ([`GraphBuilder::take_delta`]), so the eventual refreeze can be
+    /// a delta patch ([`Graph::apply_delta`]) instead of a full
+    /// [`GraphBuilder::freeze`].
     pub fn thaw(&self) -> GraphBuilder {
         let mut label_index: HashMap<Sym, Vec<NodeId>> = HashMap::new();
         for (label, extent) in self.label_extents() {
@@ -570,16 +676,209 @@ impl Graph {
             out: self.nodes().map(|u| self.out_slice(u).to_vec()).collect(),
             label_index,
             edge_count: self.edge_count,
+            rec: Some(GraphDelta::new(self.node_count())),
         }
     }
 
     /// Thaw–mutate–refreeze in one step: returns a new snapshot with
-    /// `edits` applied.
+    /// `edits` applied. The refreeze is a delta patch over this
+    /// snapshot (see [`Graph::apply_delta`]), not a full rebuild.
     pub fn edit(&self, edits: impl FnOnce(&mut GraphBuilder)) -> Graph {
+        self.edit_with_delta(edits).0
+    }
+
+    /// Like [`Graph::edit`], but also returns the normalized
+    /// [`GraphDelta`] describing exactly what changed — the input the
+    /// incremental maintenance subsystems (candidate-space repair,
+    /// incremental detection, workload refresh) consume.
+    pub fn edit_with_delta(&self, edits: impl FnOnce(&mut GraphBuilder)) -> (Graph, GraphDelta) {
         let mut b = self.thaw();
         edits(&mut b);
-        b.freeze()
+        let delta = b
+            .take_delta()
+            .expect("thawed builders record deltas")
+            .normalize();
+        (self.apply_delta(&delta), delta)
     }
+
+    /// Builds the successor snapshot by patching this one with a
+    /// *normalized* delta — a handful of merge passes over the flat
+    /// CSR arrays instead of `freeze`'s per-node runs, counting sort
+    /// and extent re-sort. Unchanged sections (adjacency when the
+    /// delta has no edge ops, extents when it has no label ops) are
+    /// plain memcpys of this snapshot's arrays.
+    ///
+    /// The delta must be consistent with this snapshot: based at its
+    /// node count, added edges absent, removed edges present (the
+    /// invariants [`GraphDelta::normalize`] documents). Deltas
+    /// recorded by [`Graph::thaw`]/[`Graph::edit_with_delta`] satisfy
+    /// this by construction.
+    pub fn apply_delta(&self, delta: &GraphDelta) -> Graph {
+        let old_n = self.node_count();
+        assert_eq!(
+            delta.base_nodes, old_n,
+            "apply_delta: delta based on a different snapshot"
+        );
+        let new_n = old_n + delta.added_nodes.len();
+
+        let mut labels = self.labels.clone();
+        labels.reserve(delta.added_nodes.len());
+        for &(id, label) in &delta.added_nodes {
+            debug_assert_eq!(id.index(), labels.len(), "added node ids are dense");
+            labels.push(label);
+        }
+        for c in &delta.label_changes {
+            debug_assert_eq!(labels[c.node.index()], c.old, "stale label change");
+            labels[c.node.index()] = c.new;
+        }
+
+        let mut attrs = self.attrs.clone();
+        attrs.resize(new_n, AttrMap::new());
+        for op in &delta.attr_ops {
+            match &op.value {
+                Some(v) => attrs[op.node.index()].set(op.attr, v.clone()),
+                None => {
+                    attrs[op.node.index()].remove(op.attr);
+                }
+            }
+        }
+
+        let (out_offsets, out_adj, in_offsets, in_adj) =
+            if delta.added_edges.is_empty() && delta.removed_edges.is_empty() {
+                let mut out_offsets = self.out_offsets.clone();
+                let mut in_offsets = self.in_offsets.clone();
+                out_offsets.resize(new_n + 1, *out_offsets.last().unwrap());
+                in_offsets.resize(new_n + 1, *in_offsets.last().unwrap());
+                (
+                    out_offsets,
+                    self.out_adj.clone(),
+                    in_offsets,
+                    self.in_adj.clone(),
+                )
+            } else {
+                let key_out = |e: &Edge| {
+                    (
+                        e.src,
+                        Adj {
+                            label: e.label,
+                            node: e.dst,
+                        },
+                    )
+                };
+                let key_in = |e: &Edge| {
+                    (
+                        e.dst,
+                        Adj {
+                            label: e.label,
+                            node: e.src,
+                        },
+                    )
+                };
+                let (oo, oa) = patch_csr(
+                    new_n,
+                    &self.out_offsets,
+                    &self.out_adj,
+                    delta.added_edges.iter().map(key_out).collect(),
+                    delta.removed_edges.iter().map(key_out).collect(),
+                );
+                let (io, ia) = patch_csr(
+                    new_n,
+                    &self.in_offsets,
+                    &self.in_adj,
+                    delta.added_edges.iter().map(key_in).collect(),
+                    delta.removed_edges.iter().map(key_in).collect(),
+                );
+                (oo, oa, io, ia)
+            };
+
+        let (extent_perm, extent_ranges) =
+            if delta.added_nodes.is_empty() && delta.label_changes.is_empty() {
+                (self.extent_perm.clone(), self.extent_ranges.clone())
+            } else {
+                let mut perm: Vec<NodeId> = (0..new_n as u32).map(NodeId).collect();
+                perm.sort_unstable_by_key(|&u| (labels[u.index()], u));
+                let mut ranges: Vec<(Sym, u32, u32)> = Vec::new();
+                for (i, &u) in perm.iter().enumerate() {
+                    let label = labels[u.index()];
+                    match ranges.last_mut() {
+                        Some((l, _, hi)) if *l == label => *hi = (i + 1) as u32,
+                        _ => ranges.push((label, i as u32, (i + 1) as u32)),
+                    }
+                }
+                (perm, ranges)
+            };
+
+        Graph {
+            vocab: self.vocab.clone(),
+            labels,
+            attrs,
+            out_offsets,
+            out_adj,
+            in_offsets,
+            in_adj,
+            extent_perm,
+            extent_ranges,
+            edge_count: self.edge_count + delta.added_edges.len() - delta.removed_edges.len(),
+        }
+    }
+}
+
+/// One merge pass producing a patched CSR: per node, the old run with
+/// `removes` dropped and `adds` spliced in at their sort position.
+/// Runs of nodes beyond the old snapshot start empty. `O(V + E + d)`
+/// after sorting the `d` patch entries.
+fn patch_csr(
+    new_n: usize,
+    old_offsets: &[u32],
+    old_adj: &[Adj],
+    mut adds: Vec<(NodeId, Adj)>,
+    mut removes: Vec<(NodeId, Adj)>,
+) -> (Vec<u32>, Vec<Adj>) {
+    adds.sort_unstable();
+    removes.sort_unstable();
+    let old_n = old_offsets.len() - 1;
+    let mut offsets = Vec::with_capacity(new_n + 1);
+    let mut adj = Vec::with_capacity(old_adj.len() + adds.len() - removes.len());
+    offsets.push(0u32);
+    let (mut ap, mut rp) = (0usize, 0usize);
+    for u in 0..new_n {
+        let node = NodeId(u as u32);
+        let run: &[Adj] = if u < old_n {
+            &old_adj[old_offsets[u] as usize..old_offsets[u + 1] as usize]
+        } else {
+            &[]
+        };
+        let a_lo = ap;
+        while ap < adds.len() && adds[ap].0 == node {
+            ap += 1;
+        }
+        let a_run = &adds[a_lo..ap];
+        let r_lo = rp;
+        while rp < removes.len() && removes[rp].0 == node {
+            rp += 1;
+        }
+        let r_run = &removes[r_lo..rp];
+
+        let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
+        while i < run.len() || j < a_run.len() {
+            if j < a_run.len() && (i >= run.len() || a_run[j].1 < run[i]) {
+                adj.push(a_run[j].1);
+                j += 1;
+            } else {
+                let e = run[i];
+                i += 1;
+                if k < r_run.len() && r_run[k].1 == e {
+                    k += 1;
+                    continue;
+                }
+                adj.push(e);
+            }
+        }
+        debug_assert_eq!(k, r_run.len(), "removed edge missing from {node:?}'s run");
+        offsets.push(adj.len() as u32);
+    }
+    debug_assert_eq!(ap, adds.len(), "added edge with out-of-range endpoint");
+    (offsets, adj)
 }
 
 impl fmt::Debug for Graph {
@@ -736,6 +1035,91 @@ mod tests {
         assert_eq!(g2.attr(canberra, val), None);
         // The original snapshot is untouched.
         assert_eq!(g.attr(melbourne, val), Some(&Value::str("Melbourne")));
+    }
+
+    #[test]
+    fn remove_edge_round_trip() {
+        let (g, [country, canberra, _]) = g3();
+        let capital = g.vocab().lookup("capital").unwrap();
+        let mut b = g.thaw();
+        assert!(b.remove_edge(country, canberra, capital));
+        assert!(!b.remove_edge(country, canberra, capital), "already gone");
+        assert!(
+            !b.remove_edge(NodeId(99), canberra, capital),
+            "out-of-range src is not an edge endpoint"
+        );
+        assert_eq!(b.edge_count(), 0);
+        let g2 = b.freeze();
+        assert!(!g2.has_edge(country, canberra, capital));
+        assert_eq!(g2.edge_count(), 0);
+    }
+
+    #[test]
+    fn out_of_range_reads_are_graceful() {
+        let (g, [country, ..]) = g3();
+        let capital = g.vocab().lookup("capital").unwrap();
+        let ghost = NodeId(1000);
+        assert!(!g.has_edge(ghost, country, capital));
+        assert!(!g.has_edge_any(ghost, country));
+        assert_eq!(g.edges_between(ghost, country).count(), 0);
+        // In-range src against an absent dst id stays false, too.
+        assert!(!g.has_edge(country, ghost, capital));
+    }
+
+    #[test]
+    fn edit_with_delta_records_and_patches() {
+        let (g, [country, canberra, melbourne]) = g3();
+        let val = g.vocab().lookup("val").unwrap();
+        let capital = g.vocab().lookup("capital").unwrap();
+        let (g2, delta) = g.edit_with_delta(|b| {
+            b.remove_edge(country, canberra, capital);
+            b.add_edge(country, melbourne, capital);
+            let sydney = b.add_node_labeled("city");
+            b.add_edge(country, sydney, capital);
+            b.set_attr(sydney, val, Value::str("Sydney"));
+            b.remove_attr(canberra, val);
+        });
+        assert_eq!(delta.base_nodes, 3);
+        assert_eq!(delta.added_nodes.len(), 1);
+        assert_eq!(delta.added_edges.len(), 2);
+        assert_eq!(delta.removed_edges.len(), 1);
+        assert_eq!(delta.attr_ops.len(), 2);
+        let sydney = delta.added_nodes[0].0;
+        assert_eq!(g2.node_count(), 4);
+        assert_eq!(g2.edge_count(), 2);
+        assert!(!g2.has_edge(country, canberra, capital));
+        assert!(g2.has_edge(country, melbourne, capital));
+        assert!(g2.has_edge(country, sydney, capital));
+        assert_eq!(g2.attr(sydney, val), Some(&Value::str("Sydney")));
+        assert_eq!(g2.attr(canberra, val), None);
+        let city = g.vocab().lookup("city").unwrap();
+        assert_eq!(g2.extent(city), &[canberra, melbourne, sydney]);
+        // The original snapshot is untouched.
+        assert!(g.has_edge(country, canberra, capital));
+        assert_eq!(g.node_count(), 3);
+    }
+
+    #[test]
+    fn apply_delta_equals_freeze() {
+        // The patch path and the full rebuild must agree observably.
+        let (g, [country, canberra, melbourne]) = g3();
+        let capital = g.vocab().lookup("capital").unwrap();
+        let mut b = g.thaw();
+        b.remove_edge(country, canberra, capital);
+        b.add_edge(country, melbourne, capital);
+        let extra = b.add_node_labeled("province");
+        b.add_edge_labeled(extra, country, "part_of");
+        let delta = b.take_delta().unwrap().normalize();
+        let patched = g.apply_delta(&delta);
+        let frozen = b.freeze();
+        assert_eq!(patched.node_count(), frozen.node_count());
+        assert_eq!(patched.edge_count(), frozen.edge_count());
+        for u in frozen.nodes() {
+            assert_eq!(patched.label(u), frozen.label(u));
+            assert_eq!(patched.attrs(u), frozen.attrs(u));
+            assert_eq!(patched.out_slice(u), frozen.out_slice(u));
+            assert_eq!(patched.in_slice(u), frozen.in_slice(u));
+        }
     }
 
     #[test]

@@ -29,11 +29,39 @@ pub fn extend_keys<T>(out: &mut Vec<NodeId>, src: &[T], key: impl Fn(&T) -> Node
     out.extend(src.iter().map(key));
 }
 
+/// Debug-build check of the kernels' precondition: keys strictly
+/// ascending, hence duplicate-free. The trap this guards against is
+/// real in this codebase: a *multi-label* CSR out-run is sorted by
+/// `(label, dst)` and may repeat a dst across labels — such a run
+/// passed as `other` silently drops or keeps the wrong survivors in
+/// the galloping paths (binary search over non-sorted keys). Callers
+/// must pass single-label subranges (`neighbors_labeled`) or
+/// pre-deduplicated id lists; wildcard runs are sorted/deduped before
+/// they reach a kernel (see `ComponentSearch::fill_candidates`).
+#[inline]
+fn debug_assert_ascending<T>(side: &str, items: &[T], key: &impl Fn(&T) -> NodeId) {
+    if cfg!(debug_assertions) {
+        for w in items.windows(2) {
+            debug_assert!(
+                key(&w[0]) < key(&w[1]),
+                "intersect_in_place: `{side}` keys must be strictly ascending \
+                 (got {:?} before {:?} — a multi-label CSR run?)",
+                key(&w[0]),
+                key(&w[1]),
+            );
+        }
+    }
+}
+
 /// Intersects the sorted accumulator with a second sorted list in
 /// place: `acc` keeps exactly the ids that also occur as keys of
-/// `other`. Both inputs must be ascending and duplicate-free; the
-/// result then is too. Chooses merge vs galloping by size ratio.
+/// `other`. Both inputs must be ascending and duplicate-free (checked
+/// by a debug assertion; see the module docs for why multi-label CSR
+/// runs violate this); the result then is too. Chooses merge vs
+/// galloping by size ratio.
 pub fn intersect_in_place<T>(acc: &mut Vec<NodeId>, other: &[T], key: impl Fn(&T) -> NodeId) {
+    debug_assert_ascending("acc", acc, &|&x: &NodeId| x);
+    debug_assert_ascending("other", other, &key);
     if acc.is_empty() || other.is_empty() {
         acc.clear();
         return;
@@ -140,6 +168,29 @@ mod tests {
             intersect_in_place(&mut acc, &b, |&x| x);
             assert_eq!(acc, expect, "sizes {na}/{nb} step {step}");
         }
+    }
+
+    /// Regression guard for the undocumented precondition: a
+    /// duplicate-key `Adj` run — exactly what a multi-label CSR
+    /// out-run looks like when one dst repeats under two labels — must
+    /// trip the debug assertion instead of silently mis-intersecting.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "strictly ascending")]
+    fn duplicate_key_adj_run_is_rejected() {
+        use crate::graph::Adj;
+        use crate::vocab::Sym;
+        // dst 4 repeats under labels 1 and 2: sorted by (label, dst),
+        // but its node keys are NOT ascending (4, 6, 4).
+        let run: Vec<Adj> = [(1u32, 4u32), (1, 6), (2, 4)]
+            .iter()
+            .map(|&(l, n)| Adj {
+                label: Sym(l),
+                node: NodeId(n),
+            })
+            .collect();
+        let mut acc = ids(&[4, 5, 6]);
+        intersect_in_place(&mut acc, &run, |a| a.node);
     }
 
     #[test]

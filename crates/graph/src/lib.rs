@@ -14,6 +14,11 @@
 //!   directions with edge runs sorted by `(label, dst)`, and label
 //!   extents as contiguous ranges over a node permutation (see
 //!   [`graph`] module docs for the layout rationale);
+//! * recorded edit deltas ([`GraphDelta`], module [`delta`]): every
+//!   thaw/edit session captures its mutations, refreezing patches the
+//!   CSR ([`graph::Graph::apply_delta`]) instead of rebuilding, and
+//!   the delta feeds the incremental maintenance subsystems in
+//!   `gfd-match`/`gfd-core`/`gfd-parallel`;
 //! * `k`-hop neighborhoods and induced subgraphs — the data blocks
 //!   `G_z̄` of work units (module [`neighborhood`]);
 //! * sorted-slice intersection kernels (merge + galloping) used by the
@@ -29,6 +34,7 @@
 //! scratch.
 
 pub mod attrs;
+pub mod delta;
 pub mod fragment;
 pub mod graph;
 pub mod intersect;
@@ -39,6 +45,7 @@ pub mod value;
 pub mod vocab;
 
 pub use attrs::AttrMap;
+pub use delta::{AttrOp, GraphDelta, LabelChange};
 pub use fragment::{FragmentId, Fragmentation, PartitionStrategy};
 pub use graph::{Adj, Edge, Graph, GraphBuilder, NodeId};
 pub use neighborhood::NodeSet;

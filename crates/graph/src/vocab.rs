@@ -64,10 +64,19 @@ impl Vocab {
 
     /// Interns `name`, returning its symbol. Idempotent.
     pub fn intern(&self, name: &str) -> Sym {
-        if let Some(&sym) = self.inner.read().unwrap().index.get(name) {
+        if let Some(&sym) = self
+            .inner
+            .read()
+            .expect("vocab lock poisoned: a holder panicked")
+            .index
+            .get(name)
+        {
             return sym;
         }
-        let mut inner = self.inner.write().unwrap();
+        let mut inner = self
+            .inner
+            .write()
+            .expect("vocab lock poisoned: a holder panicked");
         if let Some(&sym) = inner.index.get(name) {
             return sym; // raced with another writer
         }
@@ -80,7 +89,12 @@ impl Vocab {
 
     /// Looks up a symbol without interning.
     pub fn lookup(&self, name: &str) -> Option<Sym> {
-        self.inner.read().unwrap().index.get(name).copied()
+        self.inner
+            .read()
+            .expect("vocab lock poisoned: a holder panicked")
+            .index
+            .get(name)
+            .copied()
     }
 
     /// Returns the string for `sym`.
@@ -89,12 +103,20 @@ impl Vocab {
     /// Panics if `sym` was produced by a different vocabulary and is out
     /// of range here.
     pub fn resolve(&self, sym: Sym) -> Arc<str> {
-        self.inner.read().unwrap().names[sym.index()].clone()
+        self.inner
+            .read()
+            .expect("vocab lock poisoned: a holder panicked")
+            .names[sym.index()]
+        .clone()
     }
 
     /// Number of interned symbols.
     pub fn len(&self) -> usize {
-        self.inner.read().unwrap().names.len()
+        self.inner
+            .read()
+            .expect("vocab lock poisoned: a holder panicked")
+            .names
+            .len()
     }
 
     /// True if nothing has been interned yet.
@@ -104,7 +126,11 @@ impl Vocab {
 
     /// All interned names in symbol order (for serialization).
     pub fn snapshot(&self) -> Vec<Arc<str>> {
-        self.inner.read().unwrap().names.clone()
+        self.inner
+            .read()
+            .expect("vocab lock poisoned: a holder panicked")
+            .names
+            .clone()
     }
 }
 

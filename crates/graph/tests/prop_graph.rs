@@ -206,6 +206,130 @@ fn thaw_freeze_round_trip_is_identity() {
     });
 }
 
+/// Applies one random mutation to a thawed builder. Returns a
+/// description for failure messages.
+fn random_mutation(rng: &mut Rng, b: &mut GraphBuilder) -> String {
+    let n = b.node_count();
+    let pick = |rng: &mut Rng, n: usize| NodeId(rng.gen_range(0..n) as u32);
+    match rng.gen_range(0..6) {
+        0 => {
+            let l = format!("l{}", rng.gen_range(0..4));
+            let id = b.add_node_labeled(&l);
+            format!("add_node {id:?} {l}")
+        }
+        1 => {
+            let (s, d) = (pick(rng, n), pick(rng, n));
+            let e = format!("e{}", rng.gen_range(0..3));
+            let ok = b.add_edge_labeled(s, d, &e);
+            format!("add_edge {s:?}->{d:?} {e} ({ok})")
+        }
+        2 => {
+            let (s, d) = (pick(rng, n), pick(rng, n));
+            let e = format!("e{}", rng.gen_range(0..3));
+            let ok = b.remove_edge_labeled(s, d, &e);
+            format!("remove_edge {s:?}->{d:?} {e} ({ok})")
+        }
+        3 => {
+            let u = pick(rng, n);
+            let l = b.vocab().intern(&format!("l{}", rng.gen_range(0..4)));
+            b.set_label(u, l);
+            format!("set_label {u:?}")
+        }
+        4 => {
+            let u = pick(rng, n);
+            let a = b.vocab().intern(&format!("a{}", rng.gen_range(0..2)));
+            let v = gfd_graph::Value::Int(rng.gen_range(0..5) as i64);
+            b.set_attr(u, a, v);
+            format!("set_attr {u:?}")
+        }
+        _ => {
+            let u = pick(rng, n);
+            let a = b.vocab().intern(&format!("a{}", rng.gen_range(0..2)));
+            let had = b.remove_attr(u, a).is_some();
+            format!("remove_attr {u:?} ({had})")
+        }
+    }
+}
+
+/// Structural equality of two snapshots over every observable.
+fn graphs_equal(a: &Graph, b: &Graph) -> Result<(), String> {
+    if a.node_count() != b.node_count() {
+        return Err(format!(
+            "node counts {} vs {}",
+            a.node_count(),
+            b.node_count()
+        ));
+    }
+    if a.edge_count() != b.edge_count() {
+        return Err(format!(
+            "edge counts {} vs {}",
+            a.edge_count(),
+            b.edge_count()
+        ));
+    }
+    for u in a.nodes() {
+        if a.label(u) != b.label(u) {
+            return Err(format!("label of {u:?}"));
+        }
+        if a.attrs(u) != b.attrs(u) {
+            return Err(format!("attrs of {u:?}"));
+        }
+        if a.out_slice(u) != b.out_slice(u) {
+            return Err(format!("out run of {u:?}"));
+        }
+        if a.in_slice(u) != b.in_slice(u) {
+            return Err(format!("in run of {u:?}"));
+        }
+    }
+    let ea: Vec<_> = a.label_extents().map(|(l, e)| (l, e.to_vec())).collect();
+    let eb: Vec<_> = b.label_extents().map(|(l, e)| (l, e.to_vec())).collect();
+    if ea != eb {
+        return Err("label extents".into());
+    }
+    Ok(())
+}
+
+#[test]
+fn edit_delta_round_trip_equals_freeze() {
+    // thaw → mutate → refreeze, both ways: the delta-patched snapshot
+    // (what `edit` does now) must equal the full `freeze` rebuild, and
+    // node ids, attrs, and (src,dst,label) dedup must survive.
+    check("apply_delta ∘ record ≡ freeze", 120, |rng| {
+        let (g, _) = random_graph(rng, 16, 4, 3);
+        let mut b = g.thaw();
+        let mut script = Vec::new();
+        for _ in 0..rng.gen_range(1..20) {
+            script.push(random_mutation(rng, &mut b));
+        }
+        let delta = b.take_delta().expect("thaw records").normalize();
+        let patched = g.apply_delta(&delta);
+        let frozen = b.freeze();
+        if let Err(msg) = graphs_equal(&patched, &frozen) {
+            return Err(format!("{msg}; script: {script:?}"));
+        }
+        // Dedup survives the round trip: re-adding any existing edge
+        // must be rejected by a fresh thaw of the patched snapshot.
+        let mut b2 = patched.thaw();
+        for e in patched.edges().collect::<Vec<_>>() {
+            prop_assert!(
+                !b2.add_edge(e.src, e.dst, e.label),
+                "duplicate edge {e:?} accepted after round trip"
+            );
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn empty_delta_patch_is_identity() {
+    check("apply_delta(∅) ≡ id", 40, |rng| {
+        let (g, _) = random_graph(rng, 16, 3, 3);
+        let (g2, delta) = g.edit_with_delta(|_| {});
+        prop_assert!(delta.is_empty(), "empty session recorded {delta:?}");
+        graphs_equal(&g, &g2)
+    });
+}
+
 #[test]
 fn khop_monotone() {
     check(

@@ -28,6 +28,15 @@ pub enum EnumOutcome {
 /// Smallest seed pool at which [`SimFilter::Auto`] turns simulation
 /// on: below this, a raw backtracking scan is cheaper than computing
 /// the filter.
+///
+/// Re-measured after pools moved to `CandidateSpace` (see
+/// `crates/bench/tests/gate_measure.rs`, runnable with `--ignored`):
+/// on the mined-rule corpus the filter's payoff is proving components
+/// *matchless* before enumeration — on matchable cyclic components it
+/// is overhead at every pool size, so the corpus-level winner is flat
+/// for thresholds 128–1024 (Auto ≈ Never within noise, Auto ahead
+/// when empty components occur) and distinctly worse at 32 (~25%
+/// slower on 3-node rules). 128 is the start of that plateau; keep it.
 const SIM_AUTO_MIN_POOL: usize = 128;
 
 /// The `Auto` heuristic: filter when the component is *cyclic* (edges
@@ -92,45 +101,7 @@ pub fn for_each_match(
             "a single component keeps the original variable order"
         );
         let cs = filter_component(cq, g, opts);
-        if cs.as_ref().is_some_and(CandidateSpace::is_empty_anywhere) {
-            return EnumOutcome::Complete;
-        }
-        let mut search = ComponentSearch::new(cq, g).max_steps(steps_left);
-        if let Some(r) = &opts.restriction {
-            search = search.restrict(r);
-        }
-        if let Some(cs) = &cs {
-            search = search.candidate_space(cs);
-        }
-        for &(var, node) in &opts.pins {
-            // Out-of-range pins are ignored, matching the component
-            // mapping below that drops them for disconnected patterns.
-            if var.index() < cq.node_count() {
-                search = search.pin(var, node);
-            }
-        }
-        let mut emitted = 0usize;
-        let mut capped = false;
-        let reason = search.for_each(&mut |m| {
-            let flow = f(m);
-            emitted += 1;
-            if flow == Flow::Break {
-                return Flow::Break;
-            }
-            if emitted >= cap {
-                capped = true;
-                return Flow::Break;
-            }
-            Flow::Continue
-        });
-        return match reason {
-            StopReason::Exhausted => EnumOutcome::Complete,
-            StopReason::BudgetExhausted => EnumOutcome::Stopped(StopReason::BudgetExhausted),
-            StopReason::CallbackBreak if capped => {
-                EnumOutcome::Stopped(StopReason::BudgetExhausted)
-            }
-            StopReason::CallbackBreak => EnumOutcome::Stopped(StopReason::CallbackBreak),
-        };
+        return stream_single_component(cq, g, opts, cs.as_ref(), f);
     }
 
     // Disconnected: enumerate matches per component (mapping pins into
@@ -192,6 +163,81 @@ pub fn for_each_match(
         EnumOutcome::Stopped(StopReason::BudgetExhausted)
     } else {
         EnumOutcome::Stopped(StopReason::CallbackBreak)
+    }
+}
+
+/// Enumerates matches of a *connected* `q` drawing pools from a
+/// caller-provided [`CandidateSpace`] instead of computing the filter
+/// per call — the entry point for incremental consumers that maintain
+/// a space across graph edits (see
+/// [`crate::incremental::IncrementalSpace`]). Disconnected patterns
+/// fall back to [`for_each_match`] (the space indexes full-pattern
+/// variables, which the per-component searches cannot consume).
+pub fn for_each_match_in_space(
+    q: &Pattern,
+    g: &Graph,
+    opts: &MatchOptions,
+    cs: &CandidateSpace,
+    f: &mut dyn FnMut(&[NodeId]) -> Flow,
+) -> EnumOutcome {
+    if q.node_count() == 0 {
+        return EnumOutcome::Complete;
+    }
+    if decompose(q).len() != 1 {
+        return for_each_match(q, g, opts, f);
+    }
+    stream_single_component(q, g, opts, Some(cs), f)
+}
+
+/// Streams the matches of one connected component straight to the
+/// callback, honoring restriction, pins and budget — the shared
+/// backend of [`for_each_match`]'s connected path (per-call filter)
+/// and [`for_each_match_in_space`] (caller-maintained filter).
+fn stream_single_component(
+    cq: &Pattern,
+    g: &Graph,
+    opts: &MatchOptions,
+    cs: Option<&CandidateSpace>,
+    f: &mut dyn FnMut(&[NodeId]) -> Flow,
+) -> EnumOutcome {
+    if cs.is_some_and(CandidateSpace::is_empty_anywhere) {
+        return EnumOutcome::Complete;
+    }
+    let step_cap = opts.budget.max_steps.unwrap_or(u64::MAX);
+    let cap = opts.budget.max_matches.unwrap_or(usize::MAX);
+    let mut search = ComponentSearch::new(cq, g).max_steps(step_cap);
+    if let Some(r) = &opts.restriction {
+        search = search.restrict(r);
+    }
+    if let Some(cs) = cs {
+        search = search.candidate_space(cs);
+    }
+    for &(var, node) in &opts.pins {
+        // Out-of-range pins are ignored, matching the component
+        // mapping that drops them for disconnected patterns.
+        if var.index() < cq.node_count() {
+            search = search.pin(var, node);
+        }
+    }
+    let mut emitted = 0usize;
+    let mut capped = false;
+    let reason = search.for_each(&mut |m| {
+        let flow = f(m);
+        emitted += 1;
+        if flow == Flow::Break {
+            return Flow::Break;
+        }
+        if emitted >= cap {
+            capped = true;
+            return Flow::Break;
+        }
+        Flow::Continue
+    });
+    match reason {
+        StopReason::Exhausted => EnumOutcome::Complete,
+        StopReason::BudgetExhausted => EnumOutcome::Stopped(StopReason::BudgetExhausted),
+        StopReason::CallbackBreak if capped => EnumOutcome::Stopped(StopReason::BudgetExhausted),
+        StopReason::CallbackBreak => EnumOutcome::Stopped(StopReason::CallbackBreak),
     }
 }
 
@@ -279,6 +325,59 @@ mod tests {
             }
         }
         b.build()
+    }
+
+    /// The Auto gate, on both sides of each half of its conjunction
+    /// (cyclic component ∧ smallest pool ≥ `SIM_AUTO_MIN_POOL`).
+    #[test]
+    fn auto_gate_boundary() {
+        // A graph with exactly SIM_AUTO_MIN_POOL "big" nodes and one
+        // "small" node, all wired into e-cycles.
+        let mut b = gfd_graph::GraphBuilder::with_fresh_vocab();
+        let big: Vec<NodeId> = (0..SIM_AUTO_MIN_POOL)
+            .map(|_| b.add_node_labeled("big"))
+            .collect();
+        for w in big.windows(2) {
+            b.add_edge_labeled(w[0], w[1], "e");
+        }
+        b.add_edge_labeled(*big.last().unwrap(), big[0], "e");
+        let small = b.add_node_labeled("small");
+        b.add_edge_labeled(small, big[0], "e");
+        let g = b.freeze();
+        let opts = MatchOptions::unrestricted();
+
+        let cyclic = |labels: [&str; 2]| {
+            let mut pb = PatternBuilder::new(g.vocab().clone());
+            let x = pb.node("x", labels[0]);
+            let y = pb.node("y", labels[1]);
+            pb.edge(x, y, "e");
+            pb.edge(y, x, "e");
+            pb.build()
+        };
+        // Cyclic + every pool at the threshold: filter on.
+        assert!(auto_simulate(&cyclic(["big", "big"]), &g, &opts));
+        // Cyclic, but the cheapest pool (1 < threshold): filter off.
+        assert!(!auto_simulate(&cyclic(["big", "small"]), &g, &opts));
+
+        // Acyclic (tree) with huge pools: filter off.
+        let mut pb = PatternBuilder::new(g.vocab().clone());
+        let x = pb.node("x", "big");
+        let y = pb.node("y", "big");
+        pb.edge(x, y, "e");
+        let tree = pb.build();
+        assert!(!auto_simulate(&tree, &g, &opts));
+
+        // A restriction shrinks wildcard pools below the threshold.
+        let mut pb = PatternBuilder::new(g.vocab().clone());
+        let x = pb.wildcard_node("x");
+        let y = pb.wildcard_node("y");
+        pb.wildcard_edge(x, y);
+        pb.wildcard_edge(y, x);
+        let wild = pb.build();
+        assert!(auto_simulate(&wild, &g, &opts));
+        let restricted =
+            MatchOptions::within(gfd_graph::NodeSet::from_vec(vec![big[0], big[1], small]));
+        assert!(!auto_simulate(&wild, &g, &restricted));
     }
 
     #[test]

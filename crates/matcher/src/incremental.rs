@@ -1,0 +1,624 @@
+//! Incremental maintenance of a [`CandidateSpace`] under graph edits.
+//!
+//! `Graph::thaw`/`edit` used to invalidate every simulation result:
+//! each edit recomputed dual simulation from scratch even when it
+//! touched one edge. The worklist fixpoint's per-edge support counters
+//! (see [`crate::simulation::SimCore`]) are exactly the bookkeeping an
+//! incremental algorithm needs, so [`IncrementalSpace`] keeps them
+//! alive across edits and *repairs* the relation against a recorded
+//! [`GraphDelta`] instead:
+//!
+//! * **deletions** drive the existing worklist — each removed graph
+//!   edge decrements the support counters of its (pattern-edge,
+//!   endpoint) pairs, and a counter hitting zero cascades through
+//!   [`SimCore::drain`] in `O(affected)`, exactly like a from-scratch
+//!   removal;
+//! * **insertions** (and relabelings/new nodes) can only *grow* the
+//!   relation — dual simulation is monotone in the edge set. Every
+//!   pair that can newly enter the relation is product-reachable from
+//!   a delta site, so the repair re-admits an optimistic *frontier*
+//!   (a BFS over seed-admissible non-members starting at the touched
+//!   label extents), recomputes support only for the frontier, and
+//!   lets the same worklist prune the over-approximation back to the
+//!   maximal fixpoint.
+//!
+//! The repaired relation is *identical* to `dual_simulation` on the
+//! edited graph (the oracle property test in
+//! `crates/matcher/tests/prop_incremental.rs` replays random 50-step
+//! edit scripts against the from-scratch result), but the work done is
+//! proportional to the affected neighborhood — the update-time
+//! discipline of Berkholz et al.'s FO-query maintenance under updates,
+//! made addressable here by CSR label extents and the counters.
+
+use std::collections::{HashSet, VecDeque};
+
+use gfd_graph::{Graph, GraphDelta, NodeId, NodeSet};
+use gfd_pattern::{Pattern, VarId};
+
+use crate::simulation::{
+    admitted_in, admitted_out, edge_adjacency, harvest_space, simulate_core, CandidateSpace,
+    Direction, SimCore,
+};
+
+/// What one [`IncrementalSpace::apply`] changed in the relation.
+#[derive(Clone, Debug, Default)]
+pub struct RepairReport {
+    /// Pairs `(var, node)` that entered the relation.
+    pub added: Vec<(VarId, NodeId)>,
+    /// Pairs `(var, node)` that left the relation.
+    pub removed: Vec<(VarId, NodeId)>,
+}
+
+impl RepairReport {
+    /// True if the repair left every candidate set unchanged.
+    pub fn is_unchanged(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// A [`CandidateSpace`] that stays valid across graph edits: the
+/// worklist state survives between calls, and [`apply`] repairs it
+/// against a [`GraphDelta`] in time proportional to the affected
+/// neighborhood.
+///
+/// ```
+/// use gfd_graph::GraphBuilder;
+/// use gfd_match::{dual_simulation, IncrementalSpace};
+/// use gfd_pattern::PatternBuilder;
+///
+/// let mut b = GraphBuilder::with_fresh_vocab();
+/// let a = b.add_node_labeled("a");
+/// let c = b.add_node_labeled("b");
+/// b.add_edge_labeled(a, c, "e");
+/// let g = b.freeze();
+/// let mut p = PatternBuilder::new(g.vocab().clone());
+/// let x = p.node("x", "a");
+/// let y = p.node("y", "b");
+/// p.edge(x, y, "e");
+/// let q = p.build();
+///
+/// let mut inc = IncrementalSpace::new(&q, &g, None);
+/// let (g2, delta) = g.edit_with_delta(|b| {
+///     b.remove_edge_labeled(a, c, "e");
+/// });
+/// inc.apply(&g2, &delta);
+/// assert_eq!(inc.space().sets, dual_simulation(&q, &g2, None).sets);
+/// ```
+///
+/// [`apply`]: IncrementalSpace::apply
+pub struct IncrementalSpace {
+    q: Pattern,
+    scope: Option<NodeSet>,
+    core: SimCore,
+    space: CandidateSpace,
+}
+
+/// Admits `(v, u)` into the tentative frontier if it is a
+/// seed-admissible non-member not yet enqueued.
+#[allow(clippy::too_many_arguments)]
+fn consider(
+    q: &Pattern,
+    g: &Graph,
+    scope: Option<&NodeSet>,
+    member: &[Vec<bool>],
+    tent: &mut HashSet<(u32, u32)>,
+    tqueue: &mut VecDeque<(VarId, NodeId)>,
+    v: VarId,
+    u: NodeId,
+) {
+    if member[v.index()][u.index()]
+        || !q.label(v).admits(g.label(u))
+        || scope.is_some_and(|r| !r.contains(u))
+    {
+        return;
+    }
+    if tent.insert((v.0, u.0)) {
+        tqueue.push_back((v, u));
+    }
+}
+
+impl IncrementalSpace {
+    /// Runs the from-scratch fixpoint once, retaining the worklist
+    /// state for later repairs. `scope` (block-/fragment-local
+    /// simulation) is fixed for the lifetime of the space.
+    pub fn new(q: &Pattern, g: &Graph, scope: Option<&NodeSet>) -> Self {
+        let (core, sets) = simulate_core(q, g, scope);
+        let space = harvest_space(q, g, &core, sets);
+        IncrementalSpace {
+            q: q.clone(),
+            scope: scope.cloned(),
+            core,
+            space,
+        }
+    }
+
+    /// The pattern this space simulates.
+    pub fn pattern(&self) -> &Pattern {
+        &self.q
+    }
+
+    /// The current (repaired) candidate space.
+    pub fn space(&self) -> &CandidateSpace {
+        &self.space
+    }
+
+    /// True if `u` currently simulates `v`.
+    pub fn contains(&self, v: VarId, u: NodeId) -> bool {
+        self.space.sets[v.index()].binary_search(&u).is_ok()
+    }
+
+    /// Repairs the relation against `delta`, where `g` is the edited
+    /// snapshot and `delta` the recorded difference from the snapshot
+    /// this space was last synchronized with. Normalizes the delta
+    /// first; callers that already hold a normalized delta (anything
+    /// produced by
+    /// [`Graph::edit_with_delta`](gfd_graph::Graph::edit_with_delta)
+    /// or [`GraphDelta::normalize`]) should use
+    /// [`apply_normalized`](IncrementalSpace::apply_normalized) and
+    /// skip the re-normalization clone. Returns which pairs
+    /// entered/left the relation.
+    pub fn apply(&mut self, g: &Graph, delta: &GraphDelta) -> RepairReport {
+        self.apply_normalized(g, &delta.clone().normalize())
+    }
+
+    /// [`apply`](IncrementalSpace::apply) for a delta that is already
+    /// in normalized form — the counter arithmetic relies on the
+    /// normalization invariants (net edge ops, coalesced label
+    /// changes), so passing a raw mutation log here corrupts the
+    /// relation.
+    pub fn apply_normalized(&mut self, g: &Graph, d: &GraphDelta) -> RepairReport {
+        let Self {
+            ref q,
+            ref scope,
+            ref mut core,
+            ref mut space,
+        } = *self;
+        let scope = scope.as_ref();
+        let nnodes = g.node_count();
+        let nvars = q.node_count();
+
+        // Phase 0 — make room for nodes added at the end of the id
+        // space (ids are stable across refreeze).
+        for row in &mut core.member {
+            row.resize(nnodes, false);
+        }
+        for row in core.fwd.iter_mut().chain(core.bwd.iter_mut()) {
+            row.resize(nnodes, 0);
+        }
+
+        // Phase 1 — optimistic re-admission frontier: every pair that
+        // can newly enter the (monotone-growing) relation is product-
+        // reachable from an insertion site, so BFS from those sites
+        // over seed-admissible non-members.
+        let mut tent: HashSet<(u32, u32)> = HashSet::new();
+        let mut tqueue: VecDeque<(VarId, NodeId)> = VecDeque::new();
+        let mut forced: Vec<(VarId, NodeId)> = Vec::new();
+        for &(u, _) in &d.added_nodes {
+            for v in q.vars() {
+                consider(q, g, scope, &core.member, &mut tent, &mut tqueue, v, u);
+            }
+        }
+        for c in &d.label_changes {
+            for v in q.vars() {
+                if core.member[v.index()][c.node.index()] {
+                    if !q.label(v).admits(c.new) {
+                        // The relabeled node no longer seeds v.
+                        forced.push((v, c.node));
+                    }
+                } else {
+                    consider(q, g, scope, &core.member, &mut tent, &mut tqueue, v, c.node);
+                }
+            }
+        }
+        for e in &d.added_edges {
+            for pe in q.edges() {
+                if pe.label.admits(e.label) {
+                    consider(
+                        q,
+                        g,
+                        scope,
+                        &core.member,
+                        &mut tent,
+                        &mut tqueue,
+                        pe.src,
+                        e.src,
+                    );
+                    consider(
+                        q,
+                        g,
+                        scope,
+                        &core.member,
+                        &mut tent,
+                        &mut tqueue,
+                        pe.dst,
+                        e.dst,
+                    );
+                }
+            }
+        }
+        let mut tentative: Vec<(VarId, NodeId)> = Vec::new();
+        while let Some((v, u)) = tqueue.pop_front() {
+            tentative.push((v, u));
+            for pe in q.edges() {
+                if pe.dst == v {
+                    for a in admitted_in(g, u, pe.label) {
+                        consider(
+                            q,
+                            g,
+                            scope,
+                            &core.member,
+                            &mut tent,
+                            &mut tqueue,
+                            pe.src,
+                            a.node,
+                        );
+                    }
+                }
+                if pe.src == v {
+                    for a in admitted_out(g, u, pe.label) {
+                        consider(
+                            q,
+                            g,
+                            scope,
+                            &core.member,
+                            &mut tent,
+                            &mut tqueue,
+                            pe.dst,
+                            a.node,
+                        );
+                    }
+                }
+            }
+        }
+
+        // Phase 2 — deletions: decrement support of the (still
+        // pre-commit) members on both sides of each removed edge.
+        // Removals are only *collected* here; flags flip after every
+        // counter is settled, so later drain decrements stay exact.
+        let mut pending: Vec<(VarId, NodeId)> = Vec::new();
+        for e in &d.removed_edges {
+            for (ei, pe) in q.edges().iter().enumerate() {
+                if pe.label.admits(e.label)
+                    && core.member[pe.src.index()][e.src.index()]
+                    && core.member[pe.dst.index()][e.dst.index()]
+                {
+                    let c = &mut core.fwd[ei][e.src.index()];
+                    debug_assert!(*c > 0, "deleted edge was not counted (fwd)");
+                    *c -= 1;
+                    if *c == 0 {
+                        pending.push((pe.src, e.src));
+                    }
+                    let c = &mut core.bwd[ei][e.dst.index()];
+                    debug_assert!(*c > 0, "deleted edge was not counted (bwd)");
+                    *c -= 1;
+                    if *c == 0 {
+                        pending.push((pe.dst, e.dst));
+                    }
+                }
+            }
+        }
+
+        // Phase 3 — commit the frontier, then restore the counter
+        // invariant for the enlarged membership: frontier pairs get
+        // fresh counts over the edited graph; surviving old members
+        // adjacent to the frontier (or to an inserted edge) gain the
+        // new support units.
+        for &(v, u) in &tentative {
+            core.member[v.index()][u.index()] = true;
+        }
+        for &(v, u) in &tentative {
+            for (ei, pe) in q.edges().iter().enumerate() {
+                if pe.src == v {
+                    core.fwd[ei][u.index()] = admitted_out(g, u, pe.label)
+                        .iter()
+                        .filter(|a| core.member[pe.dst.index()][a.node.index()])
+                        .count() as u32;
+                }
+                if pe.dst == v {
+                    core.bwd[ei][u.index()] = admitted_in(g, u, pe.label)
+                        .iter()
+                        .filter(|a| core.member[pe.src.index()][a.node.index()])
+                        .count() as u32;
+                }
+            }
+        }
+        let is_tent = |v: VarId, u: NodeId| tent.contains(&(v.0, u.0));
+        for e in &d.added_edges {
+            for (ei, pe) in q.edges().iter().enumerate() {
+                if pe.label.admits(e.label)
+                    && core.member[pe.src.index()][e.src.index()]
+                    && !is_tent(pe.src, e.src)
+                    && core.member[pe.dst.index()][e.dst.index()]
+                    && !is_tent(pe.dst, e.dst)
+                {
+                    core.fwd[ei][e.src.index()] += 1;
+                    core.bwd[ei][e.dst.index()] += 1;
+                }
+            }
+        }
+        for &(v, u) in &tentative {
+            for (ei, pe) in q.edges().iter().enumerate() {
+                if pe.dst == v {
+                    for a in admitted_in(g, u, pe.label) {
+                        let t = a.node;
+                        if core.member[pe.src.index()][t.index()] && !is_tent(pe.src, t) {
+                            core.fwd[ei][t.index()] += 1;
+                        }
+                    }
+                }
+                if pe.src == v {
+                    for a in admitted_out(g, u, pe.label) {
+                        let w = a.node;
+                        if core.member[pe.dst.index()][w.index()] && !is_tent(pe.dst, w) {
+                            core.bwd[ei][w.index()] += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase 4 — schedule every removal (flags flip here, after all
+        // counters are consistent) and drain the worklist to fixpoint.
+        for (v, u) in forced {
+            core.remove(v, u);
+        }
+        // Pending pairs zeroed by a deletion may have been *restored*
+        // by a same-delta insertion in phase 3 (the rewire shape:
+        // remove a node's only support edge, add a replacement), so
+        // they — like the frontier — are removed only if some incident
+        // edge still has no support against the settled counters.
+        for (v, u) in pending.into_iter().chain(tentative.iter().copied()) {
+            for (ei, pe) in q.edges().iter().enumerate() {
+                if (pe.src == v && core.fwd[ei][u.index()] == 0)
+                    || (pe.dst == v && core.bwd[ei][u.index()] == 0)
+                {
+                    core.remove(v, u);
+                    break;
+                }
+            }
+        }
+        let mut removed_pairs = Vec::new();
+        core.drain(q, g, Some(&mut removed_pairs));
+
+        // Phase 5 — repair the sorted candidate sets and rebuild the
+        // per-edge candidate adjacency of affected pattern edges only.
+        let mut added_by_var: Vec<Vec<NodeId>> = vec![Vec::new(); nvars];
+        let mut report = RepairReport::default();
+        for &(v, u) in &tentative {
+            if core.member[v.index()][u.index()] {
+                added_by_var[v.index()].push(u);
+                report.added.push((v, u));
+            }
+        }
+        let mut dirty = vec![false; nvars];
+        for &(v, u) in &removed_pairs {
+            dirty[v.index()] = true;
+            if !is_tent(v, u) {
+                // Frontier pairs that failed the fixpoint were never
+                // visible; only old members count as removed.
+                report.removed.push((v, u));
+            }
+        }
+        for (v, adds) in added_by_var.iter_mut().enumerate() {
+            if !adds.is_empty() {
+                dirty[v] = true;
+                adds.sort_unstable();
+            }
+        }
+        for v in 0..nvars {
+            if !dirty[v] {
+                continue;
+            }
+            let old = &space.sets[v];
+            let adds = &added_by_var[v];
+            let mut merged = Vec::with_capacity(old.len() + adds.len());
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < old.len() || j < adds.len() {
+                let take_add = j < adds.len() && (i >= old.len() || adds[j] < old[i]);
+                if take_add {
+                    merged.push(adds[j]);
+                    j += 1;
+                } else {
+                    let u = old[i];
+                    i += 1;
+                    if core.member[v][u.index()] {
+                        merged.push(u);
+                    }
+                }
+            }
+            space.sets[v] = merged;
+        }
+        for (ei, pe) in q.edges().iter().enumerate() {
+            let affected = dirty[pe.src.index()]
+                || dirty[pe.dst.index()]
+                || d.added_edges.iter().chain(&d.removed_edges).any(|e| {
+                    pe.label.admits(e.label)
+                        && core.member[pe.src.index()][e.src.index()]
+                        && core.member[pe.dst.index()][e.dst.index()]
+                });
+            if !affected {
+                continue;
+            }
+            space.forward[ei] = edge_adjacency(
+                g,
+                &space.sets[pe.src.index()],
+                &core.member[pe.dst.index()],
+                pe.label,
+                Direction::Out,
+            );
+            space.reverse[ei] = edge_adjacency(
+                g,
+                &space.sets[pe.dst.index()],
+                &core.member[pe.src.index()],
+                pe.label,
+                Direction::In,
+            );
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulation::dual_simulation;
+    use gfd_graph::GraphBuilder;
+    use gfd_pattern::PatternBuilder;
+
+    fn chain() -> (Graph, [NodeId; 6]) {
+        // a1 -> b1 -> c1 ; a2 -> b2 (no c); orphan c2
+        let mut b = GraphBuilder::with_fresh_vocab();
+        let a1 = b.add_node_labeled("a");
+        let b1 = b.add_node_labeled("b");
+        let c1 = b.add_node_labeled("c");
+        let a2 = b.add_node_labeled("a");
+        let b2 = b.add_node_labeled("b");
+        let c2 = b.add_node_labeled("c");
+        b.add_edge_labeled(a1, b1, "e");
+        b.add_edge_labeled(b1, c1, "e");
+        b.add_edge_labeled(a2, b2, "e");
+        (b.freeze(), [a1, b1, c1, a2, b2, c2])
+    }
+
+    fn chain_pattern(g: &Graph) -> Pattern {
+        let mut b = PatternBuilder::new(g.vocab().clone());
+        let x = b.node("x", "a");
+        let y = b.node("y", "b");
+        let z = b.node("z", "c");
+        b.edge(x, y, "e");
+        b.edge(y, z, "e");
+        b.build()
+    }
+
+    fn assert_matches_scratch(inc: &IncrementalSpace, g: &Graph) {
+        let scratch = dual_simulation(inc.pattern(), g, None);
+        assert_eq!(inc.space().sets, scratch.sets, "candidate sets diverged");
+        for ei in 0..inc.pattern().edge_count() {
+            assert_eq!(
+                inc.space().forward[ei].offsets,
+                scratch.forward[ei].offsets,
+                "forward offsets of edge {ei}"
+            );
+            assert_eq!(
+                inc.space().forward[ei].targets,
+                scratch.forward[ei].targets,
+                "forward targets of edge {ei}"
+            );
+            assert_eq!(
+                inc.space().reverse[ei].offsets,
+                scratch.reverse[ei].offsets,
+                "reverse offsets of edge {ei}"
+            );
+            assert_eq!(
+                inc.space().reverse[ei].targets,
+                scratch.reverse[ei].targets,
+                "reverse targets of edge {ei}"
+            );
+        }
+    }
+
+    #[test]
+    fn deletion_cascades_removals() {
+        let (g, [a1, b1, c1, ..]) = chain();
+        let q = chain_pattern(&g);
+        let mut inc = IncrementalSpace::new(&q, &g, None);
+        assert_eq!(inc.space().sets, vec![vec![a1], vec![b1], vec![c1]]);
+        let (g2, delta) = g.edit_with_delta(|b| {
+            b.remove_edge_labeled(b1, c1, "e");
+        });
+        let report = inc.apply(&g2, &delta);
+        // Killing the b1→c1 edge empties the whole relation.
+        assert_eq!(report.removed.len(), 3);
+        assert!(report.added.is_empty());
+        assert!(inc.space().is_empty_anywhere());
+        assert_matches_scratch(&inc, &g2);
+    }
+
+    #[test]
+    fn insertion_readmits_candidates() {
+        let (g, [_, _, _, a2, b2, c2]) = chain();
+        let q = chain_pattern(&g);
+        let mut inc = IncrementalSpace::new(&q, &g, None);
+        // Completing the a2 chain re-admits a2, b2 and the orphan c2.
+        let (g2, delta) = g.edit_with_delta(|b| {
+            b.add_edge_labeled(b2, c2, "e");
+        });
+        let report = inc.apply(&g2, &delta);
+        assert!(report.removed.is_empty());
+        assert!(report.added.contains(&(VarId(0), a2)));
+        assert!(report.added.contains(&(VarId(1), b2)));
+        assert!(report.added.contains(&(VarId(2), c2)));
+        assert_matches_scratch(&inc, &g2);
+    }
+
+    #[test]
+    fn relabel_and_new_nodes_repair() {
+        let (g, [_, b1, _, _, _, c2]) = chain();
+        let q = chain_pattern(&g);
+        let mut inc = IncrementalSpace::new(&q, &g, None);
+        let (g2, delta) = g.edit_with_delta(|b| {
+            // c1 stops being a c: the original chain dies…
+            let c_label = b.vocab().intern("x");
+            b.set_label(NodeId(2), c_label);
+            // …but a fresh chain appears: a1 -> b1 -> c2 via new edge.
+            b.add_edge_labeled(b1, c2, "e");
+        });
+        let report = inc.apply(&g2, &delta);
+        assert!(!report.is_unchanged());
+        assert_matches_scratch(&inc, &g2);
+    }
+
+    /// Regression (found by an external API drive): one delta that
+    /// removes a node's only support edge AND inserts a replacement.
+    /// The deletion zeroes the support counter — but the insertion
+    /// restores it, so the node must survive the repair.
+    #[test]
+    fn rewire_within_one_delta_keeps_support() {
+        let (g, [a1, b1, _, _, _, c2]) = chain();
+        let q = chain_pattern(&g);
+        let mut inc = IncrementalSpace::new(&q, &g, None);
+        let (g2, delta) = g.edit_with_delta(|b| {
+            // b1 loses its c-support edge but gains one to c2, and a1's
+            // edge to b1 is rewired through a fresh b node to c2 too.
+            b.remove_edge_labeled(b1, NodeId(2), "e");
+            b.add_edge_labeled(b1, c2, "e");
+            let b3 = b.add_node_labeled("b");
+            b.add_edge_labeled(a1, b3, "e");
+            b.add_edge_labeled(b3, c2, "e");
+        });
+        let report = inc.apply(&g2, &delta);
+        assert!(inc.contains(VarId(0), a1), "a1 must keep its support");
+        assert!(inc.contains(VarId(1), b1), "b1 was rewired, not orphaned");
+        assert!(report.added.contains(&(VarId(2), c2)));
+        assert_matches_scratch(&inc, &g2);
+    }
+
+    #[test]
+    fn noop_delta_reports_unchanged() {
+        let (g, _) = chain();
+        let q = chain_pattern(&g);
+        let mut inc = IncrementalSpace::new(&q, &g, None);
+        let (g2, delta) = g.edit_with_delta(|_| {});
+        let report = inc.apply(&g2, &delta);
+        assert!(report.is_unchanged());
+        assert_matches_scratch(&inc, &g2);
+    }
+
+    #[test]
+    fn scoped_space_ignores_outside_growth() {
+        let (g, [a1, b1, c1, _, b2, c2]) = chain();
+        let q = chain_pattern(&g);
+        let scope = NodeSet::from_vec(vec![a1, b1, c1]);
+        let mut inc = IncrementalSpace::new(&q, &g, Some(&scope));
+        let (g2, delta) = g.edit_with_delta(|b| {
+            b.add_edge_labeled(b2, c2, "e");
+        });
+        let report = inc.apply(&g2, &delta);
+        assert!(
+            report.is_unchanged(),
+            "growth outside the scope is invisible"
+        );
+        let scratch = dual_simulation(&q, &g2, Some(&scope));
+        assert_eq!(inc.space().sets, scratch.sets);
+    }
+}

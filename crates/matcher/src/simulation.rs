@@ -87,34 +87,91 @@ impl CandidateSpace {
 }
 
 /// Dense per-variable membership bitmaps plus per-edge support
-/// counters — the worklist state.
-struct SimState {
+/// counters — the worklist state. Shared between the from-scratch
+/// driver [`dual_simulation`] and the delta-repair driver
+/// [`crate::incremental::IncrementalSpace`], which keeps a `SimCore`
+/// alive across graph edits: the support counters are exactly the
+/// bookkeeping an incremental algorithm needs to propagate removals in
+/// `O(affected)`.
+pub(crate) struct SimCore {
     /// `member[v][u]` — is node `u` currently simulating variable `v`?
-    member: Vec<Vec<bool>>,
+    pub(crate) member: Vec<Vec<bool>>,
     /// `fwd[e][u]` — admitted out-edges of `u` into `sim(dst(e))`,
     /// maintained for `u ∈ sim(src(e))`.
-    fwd: Vec<Vec<u32>>,
+    pub(crate) fwd: Vec<Vec<u32>>,
     /// `bwd[e][w]` — admitted in-edges of `w` from `sim(src(e))`,
     /// maintained for `w ∈ sim(dst(e))`.
-    bwd: Vec<Vec<u32>>,
-    queue: VecDeque<(VarId, NodeId)>,
+    pub(crate) bwd: Vec<Vec<u32>>,
+    pub(crate) queue: VecDeque<(VarId, NodeId)>,
 }
 
-impl SimState {
+impl SimCore {
     /// Flags `(v, u)` as removed and schedules the propagation; no-op
     /// if already removed.
-    fn remove(&mut self, v: VarId, u: NodeId) {
+    pub(crate) fn remove(&mut self, v: VarId, u: NodeId) {
         let m = &mut self.member[v.index()][u.index()];
         if *m {
             *m = false;
             self.queue.push_back((v, u));
         }
     }
+
+    /// Drains the removal worklist to fixpoint: each pop touches only
+    /// the removed node's own admitted adjacency per incident pattern
+    /// edge, decrementing the support counters of surviving neighbors
+    /// and cascading when one hits zero. When `removed` is given,
+    /// every removed pair is appended to it (callers repairing sorted
+    /// candidate sets need the list; from-scratch harvesting passes
+    /// `None` and pays nothing for the log).
+    pub(crate) fn drain(
+        &mut self,
+        q: &Pattern,
+        g: &Graph,
+        mut removed: Option<&mut Vec<(VarId, NodeId)>>,
+    ) {
+        while let Some((v, u)) = self.queue.pop_front() {
+            if let Some(log) = removed.as_deref_mut() {
+                log.push((v, u));
+            }
+            for (ei, e) in q.edges().iter().enumerate() {
+                if e.src == v {
+                    // u left sim(src): admitted edges u → w lose one
+                    // unit of `bwd` support at w.
+                    for a in admitted_out(g, u, e.label) {
+                        let w = a.node;
+                        if self.member[e.dst.index()][w.index()] {
+                            let c = &mut self.bwd[ei][w.index()];
+                            debug_assert!(*c > 0, "bwd support underflow at {w:?}");
+                            *c -= 1;
+                            if *c == 0 {
+                                self.remove(e.dst, w);
+                            }
+                        }
+                    }
+                }
+                if e.dst == v {
+                    // u left sim(dst): admitted edges t → u lose one
+                    // unit of `fwd` support at t.
+                    for a in admitted_in(g, u, e.label) {
+                        let t = a.node;
+                        if self.member[e.src.index()][t.index()] {
+                            let c = &mut self.fwd[ei][t.index()];
+                            debug_assert!(*c > 0, "fwd support underflow at {t:?}");
+                            *c -= 1;
+                            if *c == 0 {
+                                self.remove(e.src, t);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Iterates the admitted out-adjacency of `u` for a pattern label.
 #[inline]
-fn admitted_out(g: &Graph, u: NodeId, label: PatLabel) -> &[gfd_graph::Adj] {
+pub(crate) fn admitted_out(g: &Graph, u: NodeId, label: PatLabel) -> &[gfd_graph::Adj] {
     match label {
         PatLabel::Sym(s) => g.neighbors_labeled(u, s),
         PatLabel::Wildcard => g.out_slice(u),
@@ -123,46 +180,59 @@ fn admitted_out(g: &Graph, u: NodeId, label: PatLabel) -> &[gfd_graph::Adj] {
 
 /// Iterates the admitted in-adjacency of `w` for a pattern label.
 #[inline]
-fn admitted_in(g: &Graph, w: NodeId, label: PatLabel) -> &[gfd_graph::Adj] {
+pub(crate) fn admitted_in(g: &Graph, w: NodeId, label: PatLabel) -> &[gfd_graph::Adj] {
     match label {
         PatLabel::Sym(s) => g.in_neighbors_labeled(w, s),
         PatLabel::Wildcard => g.in_slice(w),
     }
 }
 
-/// Computes the maximal dual simulation of `q` in `g`, optionally
-/// restricted to a node set (fragment-/block-local simulation), and
-/// packages it as a [`CandidateSpace`].
-pub fn dual_simulation(q: &Pattern, g: &Graph, scope: Option<&NodeSet>) -> CandidateSpace {
+/// The seed candidate list of one variable: its label extent narrowed
+/// by the optional scope (ascending — extents and scopes both are).
+pub(crate) fn seed_candidates(
+    q: &Pattern,
+    g: &Graph,
+    scope: Option<&NodeSet>,
+    v: VarId,
+) -> Vec<NodeId> {
+    match (q.label(v), scope) {
+        (PatLabel::Sym(s), None) => g.extent(s).to_vec(),
+        (PatLabel::Sym(s), Some(r)) => {
+            let extent = g.extent(s);
+            if r.len() < extent.len() {
+                r.iter().filter(|&u| g.label(u) == s).collect()
+            } else {
+                extent.iter().copied().filter(|&u| r.contains(u)).collect()
+            }
+        }
+        (PatLabel::Wildcard, Some(r)) => r.iter().collect(),
+        (PatLabel::Wildcard, None) => g.nodes().collect(),
+    }
+}
+
+/// Runs the worklist fixpoint from the seed sets, returning the final
+/// core state and the (ascending) surviving candidate sets.
+pub(crate) fn simulate_core(
+    q: &Pattern,
+    g: &Graph,
+    scope: Option<&NodeSet>,
+) -> (SimCore, Vec<Vec<NodeId>>) {
     let nvars = q.node_count();
     let nnodes = g.node_count();
     let nedges = q.edge_count();
 
-    // Seed candidate lists (ascending: extents and scopes both are)
-    // and membership bitmaps from label extents.
+    // Seed candidate lists and membership bitmaps from label extents.
     let mut cands: Vec<Vec<NodeId>> = Vec::with_capacity(nvars);
     let mut member: Vec<Vec<bool>> = vec![vec![false; nnodes]; nvars];
     for v in q.vars() {
-        let seed: Vec<NodeId> = match (q.label(v), scope) {
-            (PatLabel::Sym(s), None) => g.extent(s).to_vec(),
-            (PatLabel::Sym(s), Some(r)) => {
-                let extent = g.extent(s);
-                if r.len() < extent.len() {
-                    r.iter().filter(|&u| g.label(u) == s).collect()
-                } else {
-                    extent.iter().copied().filter(|&u| r.contains(u)).collect()
-                }
-            }
-            (PatLabel::Wildcard, Some(r)) => r.iter().collect(),
-            (PatLabel::Wildcard, None) => g.nodes().collect(),
-        };
+        let seed = seed_candidates(q, g, scope, v);
         for &u in &seed {
             member[v.index()][u.index()] = true;
         }
         cands.push(seed);
     }
 
-    let mut state = SimState {
+    let mut core = SimCore {
         member,
         fwd: vec![Vec::new(); nedges],
         bwd: vec![Vec::new(); nedges],
@@ -177,93 +247,70 @@ pub fn dual_simulation(q: &Pattern, g: &Graph, scope: Option<&NodeSet>) -> Candi
         for &u in &cands[e.src.index()] {
             fwd[u.index()] = admitted_out(g, u, e.label)
                 .iter()
-                .filter(|a| state.member[e.dst.index()][a.node.index()])
+                .filter(|a| core.member[e.dst.index()][a.node.index()])
                 .count() as u32;
         }
         for &w in &cands[e.dst.index()] {
             bwd[w.index()] = admitted_in(g, w, e.label)
                 .iter()
-                .filter(|a| state.member[e.src.index()][a.node.index()])
+                .filter(|a| core.member[e.src.index()][a.node.index()])
                 .count() as u32;
         }
-        state.fwd[ei] = fwd;
-        state.bwd[ei] = bwd;
+        core.fwd[ei] = fwd;
+        core.bwd[ei] = bwd;
     }
     for (ei, e) in q.edges().iter().enumerate() {
         for &u in &cands[e.src.index()] {
-            if state.fwd[ei][u.index()] == 0 {
-                state.remove(e.src, u);
+            if core.fwd[ei][u.index()] == 0 {
+                core.remove(e.src, u);
             }
         }
         for &w in &cands[e.dst.index()] {
-            if state.bwd[ei][w.index()] == 0 {
-                state.remove(e.dst, w);
+            if core.bwd[ei][w.index()] == 0 {
+                core.remove(e.dst, w);
             }
         }
     }
 
-    // Phase 2: propagate removals; each pops touches only the removed
-    // node's own admitted adjacency per incident pattern edge.
-    while let Some((v, u)) = state.queue.pop_front() {
-        for (ei, e) in q.edges().iter().enumerate() {
-            if e.src == v {
-                // u left sim(src): admitted edges u → w lose one unit
-                // of `bwd` support at w.
-                for a in admitted_out(g, u, e.label) {
-                    let w = a.node;
-                    if state.member[e.dst.index()][w.index()] {
-                        let c = &mut state.bwd[ei][w.index()];
-                        *c -= 1;
-                        if *c == 0 {
-                            state.remove(e.dst, w);
-                        }
-                    }
-                }
-            }
-            if e.dst == v {
-                // u left sim(dst): admitted edges t → u lose one unit
-                // of `fwd` support at t.
-                for a in admitted_in(g, u, e.label) {
-                    let t = a.node;
-                    if state.member[e.src.index()][t.index()] {
-                        let c = &mut state.fwd[ei][t.index()];
-                        *c -= 1;
-                        if *c == 0 {
-                            state.remove(e.src, t);
-                        }
-                    }
-                }
-            }
-        }
-    }
+    // Phase 2: propagate removals to fixpoint.
+    core.drain(q, g, None);
 
     // Harvest the surviving sets (seeds were ascending, so sets are).
     let sets: Vec<Vec<NodeId>> = cands
         .iter()
-        .zip(&state.member)
+        .zip(&core.member)
         .map(|(seed, m)| seed.iter().copied().filter(|u| m[u.index()]).collect())
         .collect();
+    (core, sets)
+}
 
-    // Per-edge candidate adjacency over the final sets.
+/// Builds the per-edge candidate adjacency (both directions) over the
+/// final sets and packages the [`CandidateSpace`].
+pub(crate) fn harvest_space(
+    q: &Pattern,
+    g: &Graph,
+    core: &SimCore,
+    sets: Vec<Vec<NodeId>>,
+) -> CandidateSpace {
+    let nedges = q.edge_count();
     let mut forward = Vec::with_capacity(nedges);
     let mut reverse = Vec::with_capacity(nedges);
     for e in q.edges() {
         forward.push(edge_adjacency(
             g,
             &sets[e.src.index()],
-            &state.member[e.dst.index()],
+            &core.member[e.dst.index()],
             e.label,
             Direction::Out,
         ));
         reverse.push(edge_adjacency(
             g,
             &sets[e.dst.index()],
-            &state.member[e.src.index()],
+            &core.member[e.src.index()],
             e.label,
             Direction::In,
         ));
     }
-
     CandidateSpace {
         sets,
         forward,
@@ -271,7 +318,15 @@ pub fn dual_simulation(q: &Pattern, g: &Graph, scope: Option<&NodeSet>) -> Candi
     }
 }
 
-enum Direction {
+/// Computes the maximal dual simulation of `q` in `g`, optionally
+/// restricted to a node set (fragment-/block-local simulation), and
+/// packages it as a [`CandidateSpace`].
+pub fn dual_simulation(q: &Pattern, g: &Graph, scope: Option<&NodeSet>) -> CandidateSpace {
+    let (core, sets) = simulate_core(q, g, scope);
+    harvest_space(q, g, &core, sets)
+}
+
+pub(crate) enum Direction {
     Out,
     In,
 }
@@ -279,7 +334,7 @@ enum Direction {
 /// Builds one CSR of admitted, surviving neighbors per source
 /// candidate. Labeled runs arrive sorted by node; wildcard runs span
 /// labels and are re-sorted per run.
-fn edge_adjacency(
+pub(crate) fn edge_adjacency(
     g: &Graph,
     sources: &[NodeId],
     target_member: &[bool],

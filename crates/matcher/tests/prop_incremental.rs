@@ -1,0 +1,230 @@
+//! The incremental-vs-scratch oracle: an [`IncrementalSpace`]
+//! repaired across a random 50-step edit script must be *identical* —
+//! candidate sets and per-edge candidate adjacency — to a from-scratch
+//! `dual_simulation` of the edited snapshot at every step.
+//!
+//! Edit steps cover every delta kind the storage layer records: edge
+//! insertion/deletion, node addition, relabeling, and attribute writes
+//! (which must be invisible to simulation). CI runs this under
+//! `BENCH_SMOKE=1` with a reduced case budget as a fast PR gate; the
+//! full budget runs in the regular test job.
+
+use gfd_graph::{Graph, GraphBuilder, NodeId, NodeSet};
+use gfd_match::simulation::dual_simulation;
+use gfd_match::IncrementalSpace;
+use gfd_pattern::{Pattern, PatternBuilder, VarId};
+use gfd_util::{prop::check, prop_assert, Rng};
+
+const NODE_LABELS: usize = 3;
+const EDGE_LABELS: usize = 2;
+const SCRIPT_STEPS: usize = 50;
+
+fn case_budget(full: u64) -> u64 {
+    if std::env::var_os("BENCH_SMOKE").is_some() {
+        (full / 8).max(2)
+    } else {
+        full
+    }
+}
+
+fn random_graph(rng: &mut Rng, max_nodes: usize) -> Graph {
+    let n = rng.gen_range(2..max_nodes + 1);
+    let mut b = GraphBuilder::with_fresh_vocab();
+    let ids: Vec<NodeId> = (0..n)
+        .map(|i| b.add_node_labeled(&format!("l{}", i % NODE_LABELS)))
+        .collect();
+    let m = rng.gen_range(0..3 * n + 1);
+    for _ in 0..m {
+        let s = rng.gen_range(0..n);
+        let d = rng.gen_range(0..n);
+        let e = format!("e{}", rng.gen_range(0..EDGE_LABELS));
+        b.add_edge_labeled(ids[s], ids[d], &e);
+    }
+    b.freeze()
+}
+
+fn random_pattern(rng: &mut Rng, g: &Graph) -> Pattern {
+    let k = rng.gen_range(1..5);
+    let mut b = PatternBuilder::new(g.vocab().clone());
+    let vars: Vec<VarId> = (0..k)
+        .map(|i| {
+            let name = format!("v{i}");
+            if rng.gen_range(0..10) < 3 {
+                b.wildcard_node(&name)
+            } else {
+                b.node(&name, &format!("l{}", rng.gen_range(0..NODE_LABELS)))
+            }
+        })
+        .collect();
+    for _ in 0..rng.gen_range(0..5) {
+        let s = vars[rng.gen_range(0..k)];
+        let d = vars[rng.gen_range(0..k)];
+        if rng.gen_range(0..10) < 2 {
+            b.wildcard_edge(s, d);
+        } else {
+            b.edge(s, d, &format!("e{}", rng.gen_range(0..EDGE_LABELS)));
+        }
+    }
+    b.build()
+}
+
+/// One edit step: a batch of 1–3 random mutations applied through
+/// `edit_with_delta`, so the recorded delta is exactly what production
+/// callers (noise injection, repair loops) hand the repairer.
+fn random_edit(rng: &mut Rng, g: &Graph) -> (Graph, gfd_graph::GraphDelta) {
+    let ops = rng.gen_range(1..4);
+    // Pre-draw the random choices so the closure stays `FnOnce`-clean.
+    let mut plan: Vec<(usize, usize, usize, usize)> = Vec::with_capacity(ops);
+    for _ in 0..ops {
+        plan.push((
+            rng.gen_range(0..6),
+            rng.gen_range(0..usize::MAX),
+            rng.gen_range(0..usize::MAX),
+            rng.gen_range(0..usize::MAX),
+        ));
+    }
+    g.edit_with_delta(move |b| {
+        for (kind, r1, r2, r3) in plan {
+            let n = b.node_count();
+            match kind {
+                0 => {
+                    // Insert an edge (may be a duplicate no-op).
+                    let s = NodeId((r1 % n) as u32);
+                    let d = NodeId((r2 % n) as u32);
+                    b.add_edge_labeled(s, d, &format!("e{}", r3 % EDGE_LABELS));
+                }
+                1 => {
+                    // Rewire: remove an edge and insert a replacement
+                    // sharing an endpoint, in ONE delta — the shape
+                    // where a deletion-zeroed support counter must be
+                    // restored by the accompanying insertion.
+                    let s = NodeId((r1 % n) as u32);
+                    let d = NodeId((r2 % n) as u32);
+                    let d2 = NodeId(((r2 + 1) % n) as u32);
+                    let e = format!("e{}", r3 % EDGE_LABELS);
+                    b.remove_edge_labeled(s, d, &e);
+                    b.add_edge_labeled(s, d2, &e);
+                }
+                2 => {
+                    // Delete an edge (no-op when absent).
+                    let s = NodeId((r1 % n) as u32);
+                    let d = NodeId((r2 % n) as u32);
+                    b.remove_edge_labeled(s, d, &format!("e{}", r3 % EDGE_LABELS));
+                }
+                3 => {
+                    let u = b.add_node_labeled(&format!("l{}", r1 % NODE_LABELS));
+                    // Sometimes wire the new node in immediately.
+                    if r2 % 2 == 0 {
+                        let d = NodeId((r3 % n) as u32);
+                        b.add_edge_labeled(u, d, &format!("e{}", r3 % EDGE_LABELS));
+                    }
+                }
+                4 => {
+                    let u = NodeId((r1 % n) as u32);
+                    let l = b.vocab().intern(&format!("l{}", r2 % NODE_LABELS));
+                    b.set_label(u, l);
+                }
+                _ => {
+                    // Attribute churn: must not perturb the relation.
+                    let u = NodeId((r1 % n) as u32);
+                    let a = b.vocab().intern("val");
+                    if r2 % 3 == 0 {
+                        b.remove_attr(u, a);
+                    } else {
+                        b.set_attr(u, a, gfd_graph::Value::Int((r3 % 100) as i64));
+                    }
+                }
+            }
+        }
+    })
+}
+
+fn spaces_equal(
+    inc: &IncrementalSpace,
+    scratch: &gfd_match::CandidateSpace,
+    step: usize,
+) -> Result<(), String> {
+    if inc.space().sets != scratch.sets {
+        return Err(format!(
+            "sets diverged at step {step}: {:?} vs {:?}",
+            inc.space().sets,
+            scratch.sets
+        ));
+    }
+    for ei in 0..inc.pattern().edge_count() {
+        let (f1, f2) = (&inc.space().forward[ei], &scratch.forward[ei]);
+        if f1.offsets != f2.offsets || f1.targets != f2.targets {
+            return Err(format!("forward adjacency of edge {ei} diverged at {step}"));
+        }
+        let (r1, r2) = (&inc.space().reverse[ei], &scratch.reverse[ei]);
+        if r1.offsets != r2.offsets || r1.targets != r2.targets {
+            return Err(format!("reverse adjacency of edge {ei} diverged at {step}"));
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn incremental_repair_equals_scratch_over_edit_scripts() {
+    check(
+        "IncrementalSpace ≡ dual_simulation over 50-step scripts",
+        case_budget(40),
+        |rng| {
+            let mut g = random_graph(rng, 12);
+            let q = random_pattern(rng, &g);
+            let mut inc = IncrementalSpace::new(&q, &g, None);
+            for step in 0..SCRIPT_STEPS {
+                let (g2, delta) = random_edit(rng, &g);
+                let report = inc.apply(&g2, &delta);
+                let scratch = dual_simulation(&q, &g2, None);
+                spaces_equal(&inc, &scratch, step)
+                    .map_err(|m| format!("{m}; delta {delta:?}; pattern {q:?}"))?;
+                // The report must describe exactly the set difference.
+                for &(v, u) in &report.added {
+                    prop_assert!(
+                        scratch.sets[v.index()].binary_search(&u).is_ok(),
+                        "reported add ({v:?},{u:?}) not in scratch result"
+                    );
+                }
+                for &(v, u) in &report.removed {
+                    prop_assert!(
+                        scratch.sets[v.index()].binary_search(&u).is_err(),
+                        "reported removal ({v:?},{u:?}) still in scratch result"
+                    );
+                }
+                g = g2;
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn scoped_incremental_repair_equals_scratch() {
+    check(
+        "scoped IncrementalSpace ≡ scoped dual_simulation",
+        case_budget(24),
+        |rng| {
+            let mut g = random_graph(rng, 12);
+            let q = random_pattern(rng, &g);
+            // A fixed scope of about half the initial nodes; nodes
+            // added later fall outside it, as block-local consumers
+            // expect.
+            let scope = NodeSet::from_vec(
+                g.nodes()
+                    .filter(|_| rng.gen_range(0..2) == 0)
+                    .collect::<Vec<_>>(),
+            );
+            let mut inc = IncrementalSpace::new(&q, &g, Some(&scope));
+            for step in 0..SCRIPT_STEPS / 2 {
+                let (g2, delta) = random_edit(rng, &g);
+                inc.apply(&g2, &delta);
+                let scratch = dual_simulation(&q, &g2, Some(&scope));
+                spaces_equal(&inc, &scratch, step)
+                    .map_err(|m| format!("scoped: {m}; delta {delta:?}; pattern {q:?}"))?;
+                g = g2;
+            }
+            Ok(())
+        },
+    );
+}

@@ -1,0 +1,395 @@
+//! Incremental workload maintenance: keeping `W(Σ, G)` fresh across
+//! graph edits instead of re-running [`estimate_workload`] per edit.
+//!
+//! Workload estimation is dominated by two products of the graph:
+//! the per-component *feasible pivot* sets (one dual simulation per
+//! component) and the `c`-hop *data blocks* of the [`BlockCache`].
+//! Both are repairable from a [`GraphDelta`]:
+//!
+//! * pivot sets live in per-component [`IncrementalSpace`]s, repaired
+//!   in `O(affected)` by the matcher's maintenance subsystem;
+//! * a cached block is stale only when a delta edge has an endpoint
+//!   inside it ([`BlockCache::invalidate_touching`]) — all other
+//!   blocks survive as shared `Arc`s;
+//! * a rule's *units* are re-assembled only when one of its pivot sets
+//!   changed or one of its blocks went stale; unaffected rules keep
+//!   their units (and their `Arc` blocks) verbatim.
+//!
+//! The maintained unit set equals a from-scratch
+//! [`estimate_workload`] on the edited snapshot (oracle-tested below).
+//! `max_units` truncation is an estimation-side safety valve and is
+//! not maintained incrementally — a maintainer is only worth its state
+//! when it tracks the *full* workload.
+
+use std::sync::Arc;
+
+use gfd_core::GfdSet;
+use gfd_graph::{Graph, GraphDelta, NodeId, NodeSet};
+use gfd_match::IncrementalSpace;
+use gfd_pattern::PatLabel;
+
+use crate::workload::{
+    assemble, feasible_pivots, plan_rules, BlockCache, PivotedRule, WorkUnit, Workload,
+    WorkloadOptions,
+};
+
+/// Maintains the workload `W(Σ, G)` across graph edits; see the
+/// module docs.
+pub struct IncrementalWorkload {
+    plans: Vec<PivotedRule>,
+    /// Per rule, per component: the repairable pivot filter (empty
+    /// when pruning is disabled — pivots then come from label extents).
+    spaces: Vec<Vec<IncrementalSpace>>,
+    cache: BlockCache,
+    units_by_rule: Vec<Vec<WorkUnit>>,
+    /// Pivot candidates pruned per rule (kept per rule so refreshes
+    /// can re-total without re-deriving untouched rules).
+    pruned_by_rule: Vec<usize>,
+    prune: bool,
+}
+
+impl IncrementalWorkload {
+    /// Estimates the initial workload, retaining every repairable
+    /// intermediate (`opts.max_units` is ignored; see module docs).
+    pub fn new(sigma: &GfdSet, g: &Graph, opts: &WorkloadOptions) -> Self {
+        let plans = plan_rules(sigma);
+        let prune = opts.prune_empty_pivots;
+        let spaces: Vec<Vec<IncrementalSpace>> = plans
+            .iter()
+            .map(|rule| {
+                if !prune {
+                    return Vec::new();
+                }
+                rule.components
+                    .iter()
+                    .map(|plan| IncrementalSpace::new(&plan.pattern, g, None))
+                    .collect()
+            })
+            .collect();
+        let mut this = IncrementalWorkload {
+            units_by_rule: vec![Vec::new(); plans.len()],
+            pruned_by_rule: vec![0; plans.len()],
+            plans,
+            spaces,
+            cache: BlockCache::new(),
+            prune,
+        };
+        for r in 0..this.plans.len() {
+            this.rebuild_rule(r, g);
+        }
+        this
+    }
+
+    /// The pivot candidate list of one component (ascending), plus how
+    /// many raw candidates the filter pruned.
+    fn pivots_of(&self, rule: usize, comp: usize, g: &Graph) -> (Vec<NodeId>, usize) {
+        let plan = &self.plans[rule].components[comp];
+        if !self.prune {
+            return feasible_pivots(g, plan, false);
+        }
+        let space = &self.spaces[rule][comp];
+        let universe = match plan.pivot_label {
+            PatLabel::Sym(s) => g.extent(s).len(),
+            PatLabel::Wildcard => g.node_count(),
+        };
+        if space.space().is_empty_anywhere() {
+            return (Vec::new(), universe);
+        }
+        let cands = space.space().of(plan.local_pivot).to_vec();
+        let pruned = universe - cands.len();
+        (cands, pruned)
+    }
+
+    /// Re-derives one rule's units from its (current) pivot sets and
+    /// the block cache.
+    fn rebuild_rule(&mut self, r: usize, g: &Graph) {
+        let ncomp = self.plans[r].components.len();
+        let mut per_component: Vec<Vec<(NodeId, Arc<NodeSet>, u64)>> = Vec::with_capacity(ncomp);
+        let mut pruned = 0usize;
+        for c in 0..ncomp {
+            let (cands, p) = self.pivots_of(r, c, g);
+            pruned += p;
+            let radius = self.plans[r].components[c].radius;
+            let mut feasible = Vec::with_capacity(cands.len());
+            for cand in cands {
+                let (block, size) = self.cache.block_and_size(g, cand, radius);
+                feasible.push((cand, block, size));
+            }
+            per_component.push(feasible);
+        }
+        self.pruned_by_rule[r] = pruned;
+        let mut scratch = Workload::default();
+        let mut tuple = Vec::new();
+        assemble(
+            &self.plans[r],
+            &per_component,
+            0,
+            &mut tuple,
+            &mut scratch,
+            None,
+        );
+        self.units_by_rule[r] = scratch.units;
+    }
+
+    /// Repairs the workload against one edit step (`g` is the edited
+    /// snapshot, `delta` the recorded difference from the last
+    /// synchronized snapshot). Returns the indices of the rules whose
+    /// units were re-assembled.
+    pub fn apply(&mut self, g: &Graph, delta: &GraphDelta) -> Vec<usize> {
+        let d = delta.clone().normalize();
+        if d.is_empty() {
+            return Vec::new();
+        }
+        // Blocks are stale exactly when a delta *edge* endpoint sits
+        // inside them; relabelings and attributes do not move BFS
+        // frontiers.
+        let mut edge_touched: Vec<NodeId> = Vec::new();
+        for e in d.added_edges.iter().chain(&d.removed_edges) {
+            edge_touched.push(e.src);
+            edge_touched.push(e.dst);
+        }
+        edge_touched.sort_unstable();
+        edge_touched.dedup();
+        self.cache.invalidate_touching(&edge_touched);
+
+        let mut rebuilt = Vec::new();
+        for r in 0..self.plans.len() {
+            let mut stale = false;
+            // (a) a pivot set changed — repair every component space
+            // first (they must track the graph even when the rule's
+            // units end up unchanged).
+            if self.prune {
+                for space in &mut self.spaces[r] {
+                    // `d` is already normalized once for all rules.
+                    let report = space.apply_normalized(g, &d);
+                    stale |= !report.is_unchanged();
+                }
+            } else {
+                // Unpruned pivots are label universes: stale when the
+                // delta adds nodes or relabels anything (wildcards
+                // additionally see every new node).
+                stale |= !d.added_nodes.is_empty() || !d.label_changes.is_empty();
+            }
+            // (b) a block of this rule is stale: some unit's slot
+            // contains a delta edge endpoint.
+            if !stale && !edge_touched.is_empty() {
+                stale = self.units_by_rule[r].iter().any(|u| {
+                    u.slots
+                        .iter()
+                        .any(|s| edge_touched.iter().any(|&t| s.block.contains(t)))
+                });
+            }
+            if stale {
+                self.rebuild_rule(r, g);
+                rebuilt.push(r);
+            } else if self.prune {
+                // Units are untouched, but the pruning tally tracks the
+                // label *universe*, which can grow without changing any
+                // pivot set (e.g. a new, infeasible candidate).
+                self.pruned_by_rule[r] = (0..self.plans[r].components.len())
+                    .map(|c| self.pivots_of(r, c, g).1)
+                    .sum();
+            }
+        }
+        rebuilt
+    }
+
+    /// Flattens the maintained per-rule unit lists into a [`Workload`]
+    /// (units carry shared `Arc` blocks — no deep copies).
+    pub fn workload(&self) -> Workload {
+        Workload {
+            units: self.units_by_rule.iter().flatten().cloned().collect(),
+            estimation_seconds: 0.0,
+            pruned: self.pruned_by_rule.iter().sum(),
+            truncated: false,
+        }
+    }
+
+    /// Iterates the maintained units in rule order.
+    pub fn units(&self) -> impl Iterator<Item = &WorkUnit> + '_ {
+        self.units_by_rule.iter().flatten()
+    }
+
+    /// Total maintained load `t(|Σ|, W)`.
+    pub fn total_cost(&self) -> u64 {
+        self.units().map(|u| u.cost).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::estimate_workload;
+    use gfd_core::{Dependency, Gfd, Literal};
+    use gfd_graph::{GraphBuilder, Value};
+    use gfd_pattern::{PatternBuilder, VarId};
+    use gfd_util::{prop::check, Rng};
+
+    /// A comparable form of a workload: sorted (rule, pivot vector,
+    /// cost, orientation) tuples.
+    fn canon(units: &[WorkUnit]) -> Vec<(usize, Vec<NodeId>, u64, bool)> {
+        let mut v: Vec<_> = units
+            .iter()
+            .map(|u| {
+                (
+                    u.rule,
+                    u.pivots().collect::<Vec<_>>(),
+                    u.cost,
+                    u.check_both_orientations,
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    fn random_flights(rng: &mut Rng) -> gfd_graph::Graph {
+        let mut b = GraphBuilder::with_fresh_vocab();
+        let n = rng.gen_range(3..8);
+        for i in 0..n {
+            let f = b.add_node_labeled("flight");
+            let id = b.add_node_labeled("id");
+            b.add_edge_labeled(f, id, "number");
+            b.set_attr_named(id, "val", Value::str(&format!("FL{i}")));
+        }
+        b.freeze()
+    }
+
+    fn rules(vocab: std::sync::Arc<gfd_graph::Vocab>) -> GfdSet {
+        let val = vocab.intern("val");
+        // Symmetric two-component rule (Example 10 dedup applies).
+        let mut b = PatternBuilder::new(vocab.clone());
+        let x = b.node("x", "flight");
+        let x1 = b.node("x1", "id");
+        b.edge(x, x1, "number");
+        let y = b.node("y", "flight");
+        let y1 = b.node("y1", "id");
+        b.edge(y, y1, "number");
+        let pair = Gfd::new(
+            "pair",
+            b.build(),
+            Dependency::new(vec![Literal::var_eq(VarId(1), val, VarId(3), val)], vec![]),
+        );
+        // Single-component rule.
+        let mut b = PatternBuilder::new(vocab.clone());
+        let x = b.node("x", "flight");
+        let x1 = b.node("x1", "id");
+        b.edge(x, x1, "number");
+        let single = Gfd::new(
+            "single",
+            b.build(),
+            Dependency::always(vec![Literal::var_eq(VarId(1), val, VarId(1), val)]),
+        );
+        GfdSet::new(vec![pair, single])
+    }
+
+    #[test]
+    fn maintained_workload_equals_scratch_over_edit_scripts() {
+        check("IncrementalWorkload ≡ estimate_workload", 20, |rng| {
+            let mut g = random_flights(rng);
+            let sigma = rules(g.vocab().clone());
+            let opts = WorkloadOptions::default();
+            let mut inc = IncrementalWorkload::new(&sigma, &g, &opts);
+            for step in 0..8 {
+                let kind = rng.gen_range(0..4);
+                let r1 = rng.gen_range(0..g.node_count());
+                let r2 = rng.gen_range(0..g.node_count());
+                let (g2, delta) = g.edit_with_delta(|b| match kind {
+                    0 => {
+                        // Cross-wire a flight to another id.
+                        b.add_edge_labeled(NodeId(r1 as u32), NodeId(r2 as u32), "number");
+                    }
+                    1 => {
+                        b.remove_edge_labeled(NodeId(r1 as u32), NodeId(r2 as u32), "number");
+                    }
+                    2 => {
+                        // A new id-less flight (prunable pivot).
+                        b.add_node_labeled("flight");
+                    }
+                    _ => {
+                        let f = b.add_node_labeled("flight");
+                        let id = b.add_node_labeled("id");
+                        b.add_edge_labeled(f, id, "number");
+                    }
+                });
+                inc.apply(&g2, &delta);
+                let scratch = estimate_workload(&sigma, &g2, &opts);
+                let (got, want) = (canon(&inc.workload().units), canon(&scratch.units));
+                if got != want {
+                    return Err(format!(
+                        "step {step} (kind {kind}): {} maintained vs {} scratch units",
+                        got.len(),
+                        want.len()
+                    ));
+                }
+                if inc.workload().pruned != scratch.pruned {
+                    return Err(format!(
+                        "step {step}: pruned {} vs {}",
+                        inc.workload().pruned,
+                        scratch.pruned
+                    ));
+                }
+                g = g2;
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn untouched_rules_keep_their_units() {
+        let mut b = GraphBuilder::with_fresh_vocab();
+        let f1 = b.add_node_labeled("flight");
+        let id1 = b.add_node_labeled("id");
+        b.add_edge_labeled(f1, id1, "number");
+        let f2 = b.add_node_labeled("flight");
+        let id2 = b.add_node_labeled("id");
+        b.add_edge_labeled(f2, id2, "number");
+        // A far-away island the rules never touch.
+        let far1 = b.add_node_labeled("island");
+        let far2 = b.add_node_labeled("island");
+        b.add_edge_labeled(far1, far2, "bridge");
+        let g = b.freeze();
+        let sigma = rules(g.vocab().clone());
+        let mut inc = IncrementalWorkload::new(&sigma, &g, &WorkloadOptions::default());
+        let before = canon(&inc.workload().units);
+        // Editing only the island leaves every rule's units untouched.
+        let (g2, delta) = g.edit_with_delta(|b| {
+            b.remove_edge_labeled(far1, far2, "bridge");
+            b.add_edge_labeled(far2, far1, "bridge");
+        });
+        let rebuilt = inc.apply(&g2, &delta);
+        assert!(rebuilt.is_empty(), "island edit rebuilt rules {rebuilt:?}");
+        assert_eq!(canon(&inc.workload().units), before);
+        // And the maintained state still matches scratch.
+        let scratch = estimate_workload(&sigma, &g2, &WorkloadOptions::default());
+        assert_eq!(canon(&inc.workload().units), canon(&scratch.units));
+    }
+
+    #[test]
+    fn unpruned_mode_tracks_universe_changes() {
+        let mut g = {
+            let mut b = GraphBuilder::with_fresh_vocab();
+            let f = b.add_node_labeled("flight");
+            let id = b.add_node_labeled("id");
+            b.add_edge_labeled(f, id, "number");
+            b.freeze()
+        };
+        let sigma = rules(g.vocab().clone());
+        let opts = WorkloadOptions {
+            prune_empty_pivots: false,
+            ..Default::default()
+        };
+        let mut inc = IncrementalWorkload::new(&sigma, &g, &opts);
+        for _ in 0..3 {
+            let (g2, delta) = g.edit_with_delta(|b| {
+                let f = b.add_node_labeled("flight");
+                let id = b.add_node_labeled("id");
+                b.add_edge_labeled(f, id, "number");
+            });
+            inc.apply(&g2, &delta);
+            let scratch = estimate_workload(&sigma, &g2, &opts);
+            assert_eq!(canon(&inc.workload().units), canon(&scratch.units));
+            g = g2;
+        }
+    }
+}

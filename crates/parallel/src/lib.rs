@@ -38,6 +38,7 @@
 pub mod balance;
 pub mod cluster;
 pub mod disval;
+pub mod incremental;
 pub mod metrics;
 pub mod opt;
 pub mod repval;
@@ -47,6 +48,7 @@ pub mod workload;
 
 pub use cluster::CostModel;
 pub use disval::{dis_val, DisValConfig};
+pub use incremental::IncrementalWorkload;
 pub use metrics::ParallelReport;
 pub use repval::{rep_val, RepValConfig};
 pub use workload::{estimate_workload, WorkUnit, Workload, WorkloadOptions};

@@ -226,6 +226,19 @@ impl BlockCache {
         self.block_and_size(g, pivot, radius).0
     }
 
+    /// Drops every cached block that contains one of `touched` (sorted
+    /// node ids). A `c`-hop block can only change when an inserted or
+    /// deleted edge has an endpoint *inside* it (BFS from the pivot
+    /// never crosses an edge whose endpoints are both outside), so
+    /// after invalidating these, the surviving entries are exact for
+    /// the edited graph. Returns how many entries were dropped.
+    pub fn invalidate_touching(&mut self, touched: &[NodeId]) -> usize {
+        let before = self.cache.len();
+        self.cache
+            .retain(|_, (block, _)| !touched.iter().any(|&u| block.contains(u)));
+        before - self.cache.len()
+    }
+
     /// The block together with its `|G_z̄|` size measure (Example 11),
     /// both computed once per `(pivot, radius)`.
     pub fn block_and_size(
@@ -294,7 +307,7 @@ pub fn estimate_workload(sigma: &GfdSet, g: &Graph, opts: &WorkloadOptions) -> W
 }
 
 /// Recursively builds pivot tuples; returns `false` when the cap hit.
-fn assemble(
+pub(crate) fn assemble(
     rule: &PivotedRule,
     per_component: &[Vec<(NodeId, Arc<NodeSet>, u64)>],
     depth: usize,
