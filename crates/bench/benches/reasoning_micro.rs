@@ -16,10 +16,12 @@ use std::time::Instant;
 use gfd_core::sat::check_satisfiability;
 use gfd_core::validate::detect_violations;
 use gfd_core::{implies, Dependency, Gfd, GfdSet, Literal};
-use gfd_datagen::{mine_gfds, reallife_graph, RealLifeConfig, RealLifeKind, RuleGenConfig};
+use gfd_datagen::{
+    isomorphic_twin, mine_gfds, reallife_graph, RealLifeConfig, RealLifeKind, RuleGenConfig,
+};
 use gfd_graph::intersect::intersect_in_place;
 use gfd_graph::{Graph, NodeId, Vocab};
-use gfd_match::{count_matches, dual_simulation, IncrementalSpace, MatchOptions};
+use gfd_match::{count_matches, dual_simulation, IncrementalSpace, MatchOptions, SpaceRegistry};
 use gfd_parallel::workload::{estimate_workload, feasible_pivots, plan_rules, WorkloadOptions};
 use gfd_parallel::{rep_val, RepValConfig};
 use gfd_pattern::{Pattern, PatternBuilder, VarId};
@@ -208,6 +210,27 @@ fn main() {
                     + dual_simulation(q, &g, None).total_size()
             });
         }
+
+        // Shared-space reuse across one isomorphism class of k = 8
+        // members (Example 10 at rule-set scale): the registry runs
+        // one worklist fixpoint and transports the other 7 spaces,
+        // versus one simulation per component.
+        let members: Vec<Pattern> = std::iter::once(q.clone())
+            .chain((0..7).map(|t| isomorphic_twin(q, t)))
+            .collect();
+        bench("sim/shared_space_reuse(registry k8)", &mut samples, || {
+            let mut reg = SpaceRegistry::new();
+            let handles: Vec<_> = members.iter().map(|m| reg.register(m)).collect();
+            let total: usize = handles.iter().map(|&h| reg.space(h, &g).total_size()).sum();
+            assert_eq!(reg.simulations(), 1);
+            total
+        });
+        bench("sim/shared_space_reuse(percomp k8)", &mut samples, || {
+            members
+                .iter()
+                .map(|m| dual_simulation(m, &g, None).total_size())
+                .sum::<usize>()
+        });
     }
 
     // The intersection kernel behind every candidate pool: the two
@@ -299,6 +322,20 @@ fn main() {
     });
     bench("detect/estimate_workload", &mut samples, || {
         estimate_workload(&sigma_det, &g2, &WorkloadOptions::default())
+    });
+    // A multi-rule Σ (16 mined rules) where the registry's per-class
+    // sharing pays across the whole set.
+    let sigma16 = mine_gfds(
+        &g2,
+        &RuleGenConfig {
+            count: 16,
+            pattern_nodes: 3,
+            two_component_fraction: 0.25,
+            ..Default::default()
+        },
+    );
+    bench("workload/estimate_sigma16", &mut samples, || {
+        estimate_workload(&sigma16, &g2, &WorkloadOptions::default())
     });
     bench("detect/plan_rules", &mut samples, || plan_rules(&sigma_det));
     // The simulation-based pivot filter in isolation (one dual

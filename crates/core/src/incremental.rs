@@ -7,8 +7,11 @@
 //! that work re-derives unchanged facts. [`IncrementalDetector`] keeps
 //! per-rule state across edits:
 //!
-//! * one [`IncrementalSpace`] per rule — the dual-simulation candidate
-//!   space, repaired (not recomputed) against each [`GraphDelta`];
+//! * one shared [`SpaceRegistry`] across the whole Σ — rule patterns
+//!   register by isomorphism class, each class's dual-simulation
+//!   candidate space is computed once and *repaired* (not recomputed)
+//!   against each [`GraphDelta`] at its representative, and the twin
+//!   rules read transported copies;
 //! * the current violating matches of each rule.
 //!
 //! On a delta, a rule is re-examined only around the *affected nodes*
@@ -31,7 +34,9 @@ use std::collections::HashSet;
 
 use gfd_graph::{Graph, GraphDelta, NodeId};
 use gfd_match::types::Flow;
-use gfd_match::{for_each_match, for_each_match_in_space, IncrementalSpace, Match, MatchOptions};
+use gfd_match::{
+    for_each_match, for_each_match_in_space, Match, MatchOptions, SpaceHandle, SpaceRegistry,
+};
 use gfd_pattern::signature::decompose;
 
 use crate::gfd::GfdSet;
@@ -39,8 +44,8 @@ use crate::validate::{detect_violations, match_satisfies, Violation};
 
 /// Per-rule incremental state.
 struct RuleState {
-    /// Repaired-in-place candidate space over the rule's full pattern.
-    space: IncrementalSpace,
+    /// Handle of the rule's full pattern in the shared registry.
+    handle: SpaceHandle,
     /// True if the rule's pattern is connected (the space then drives
     /// enumeration directly).
     connected: bool,
@@ -56,6 +61,10 @@ struct RuleState {
 /// inject→detect→fix loop in `gfd-datagen`).
 pub struct IncrementalDetector {
     sigma: GfdSet,
+    /// Candidate spaces for all rules, keyed by isomorphism class —
+    /// one simulation and one per-delta repair per class, however many
+    /// isomorphic rules Σ holds.
+    registry: SpaceRegistry,
     rules: Vec<RuleState>,
 }
 
@@ -63,23 +72,27 @@ impl IncrementalDetector {
     /// Full detection pass over `g`, retaining all per-rule state for
     /// later [`apply`](IncrementalDetector::apply) calls.
     pub fn new(sigma: &GfdSet, g: &Graph) -> Self {
+        let mut registry = SpaceRegistry::new();
         let rules = sigma
             .iter()
             .map(|gfd| {
-                let space = IncrementalSpace::new(&gfd.pattern, g, None);
+                let handle = registry.register(&gfd.pattern);
                 let connected = decompose(&gfd.pattern).len() == 1;
                 let mut violations = HashSet::new();
-                if !gfd.dep.y.is_empty() && !space.space().is_empty_anywhere() {
-                    let opts = MatchOptions::unrestricted();
-                    for_each_match_in_space(&gfd.pattern, g, &opts, space.space(), &mut |m| {
-                        if !match_satisfies(&gfd.dep, g, m) {
-                            violations.insert(Match(m.to_vec()));
-                        }
-                        Flow::Continue
-                    });
+                if !gfd.dep.y.is_empty() {
+                    let cs = registry.space(handle, g);
+                    if !cs.is_empty_anywhere() {
+                        let opts = MatchOptions::unrestricted();
+                        for_each_match_in_space(&gfd.pattern, g, &opts, cs, &mut |m| {
+                            if !match_satisfies(&gfd.dep, g, m) {
+                                violations.insert(Match(m.to_vec()));
+                            }
+                            Flow::Continue
+                        });
+                    }
                 }
                 RuleState {
-                    space,
+                    handle,
                     connected,
                     violations,
                 }
@@ -87,6 +100,7 @@ impl IncrementalDetector {
             .collect();
         IncrementalDetector {
             sigma: sigma.clone(),
+            registry,
             rules,
         }
     }
@@ -128,11 +142,18 @@ impl IncrementalDetector {
         let affected = d.touched_nodes();
         let is_affected = |u: NodeId| affected.binary_search(&u).is_ok();
 
-        for (rule, state) in self.rules.iter_mut().enumerate() {
-            let gfd = self.sigma.get(rule);
-            // Repair the candidate space first — pinned re-enumeration
-            // draws pools from it (`d` is already normalized).
-            state.space.apply_normalized(g, &d);
+        // Repair the candidate spaces first — one repair per
+        // isomorphism class, shared by every rule of the class; pinned
+        // re-enumeration below draws pools from the repaired spaces.
+        let Self {
+            ref sigma,
+            ref mut registry,
+            ref mut rules,
+        } = *self;
+        registry.apply_normalized(g, &d);
+
+        for (rule, state) in rules.iter_mut().enumerate() {
+            let gfd = sigma.get(rule);
             if gfd.dep.y.is_empty() {
                 continue; // X → ∅ can never be violated
             }
@@ -149,14 +170,15 @@ impl IncrementalDetector {
 
             // 2. New violations contain an affected node: enumerate
             //    matches pinned there (per variable whose candidate
-            //    set admits the node), via the repaired space.
-            if state.space.space().is_empty_anywhere() {
+            //    set admits the node), via the repaired class space.
+            let cs = registry.space(state.handle, g);
+            if cs.is_empty_anywhere() {
                 debug_assert!(state.violations.is_empty());
                 continue;
             }
             for &u in &affected {
                 for v in gfd.pattern.vars() {
-                    if !state.space.contains(v, u) {
+                    if cs.sets[v.index()].binary_search(&u).is_err() {
                         continue;
                     }
                     let opts = MatchOptions::unrestricted().pin(v, u);
@@ -167,13 +189,7 @@ impl IncrementalDetector {
                         Flow::Continue
                     };
                     if state.connected {
-                        for_each_match_in_space(
-                            &gfd.pattern,
-                            g,
-                            &opts,
-                            state.space.space(),
-                            enumerate,
-                        );
+                        for_each_match_in_space(&gfd.pattern, g, &opts, cs, enumerate);
                     } else {
                         for_each_match(&gfd.pattern, g, &opts, enumerate);
                     }

@@ -18,7 +18,11 @@
 //! the effort.
 
 use gfd_graph::{Graph, NodeId};
-use gfd_match::{for_each_match, types::Flow, Match, MatchOptions, SearchBudget};
+use gfd_match::{
+    for_each_match, for_each_match_in_space, types::Flow, Match, MatchOptions, SearchBudget,
+    SpaceRegistry,
+};
+use gfd_pattern::analysis::connected_components;
 
 use crate::gfd::{Gfd, GfdSet};
 use crate::literal::{Dependency, Literal};
@@ -77,9 +81,67 @@ pub fn for_each_violation(
 }
 
 /// The sequential algorithm `detVio` (§5.1): computes `Vio(Σ, G)` with
-/// a single processor by full match enumeration per rule.
+/// a single processor by full match enumeration per rule, sharing
+/// simulation work across isomorphic rule patterns through a
+/// call-local [`SpaceRegistry`].
 pub fn detect_violations(sigma: &GfdSet, g: &Graph) -> Vec<Violation> {
-    detect_violations_budgeted(sigma, g, SearchBudget::UNLIMITED).0
+    detect_violations_shared(sigma, g, &mut SpaceRegistry::new())
+}
+
+/// `detVio` borrowing a caller-owned [`SpaceRegistry`] shared across
+/// the whole Σ (and, if the caller wishes, with workload estimation):
+/// every rule pattern registers into it, and a **connected** rule
+/// whose isomorphism class is shared by ≥ 2 rules *of this Σ* (class
+/// occurrences are counted over this call's own registrations, so a
+/// warm registry carried across calls never distorts the gate)
+/// enumerates through the class's candidate space — simulated once,
+/// transported to the twins — instead of re-deriving its own filter.
+/// Singleton classes and disconnected patterns keep the per-call
+/// [`for_each_match`] path (with its size-gated filter policy), so
+/// sharing costs at most one simulation per multi-member class,
+/// amortized over that class's rules; unqueried classes cost only
+/// their canonical form.
+pub fn detect_violations_shared(
+    sigma: &GfdSet,
+    g: &Graph,
+    registry: &mut SpaceRegistry,
+) -> Vec<Violation> {
+    let handles: Vec<_> = sigma
+        .iter()
+        .map(|gfd| registry.register(&gfd.pattern))
+        .collect();
+    // How many rules of THIS Σ land in each class (identical patterns
+    // share a handle, so count rule registrations, not handles).
+    let mut rules_in_class: std::collections::HashMap<usize, usize> =
+        std::collections::HashMap::new();
+    for &h in &handles {
+        *rules_in_class.entry(registry.class_of(h)).or_insert(0) += 1;
+    }
+    let mut out = Vec::new();
+    for (i, gfd) in sigma.iter().enumerate() {
+        if gfd.dep.y.is_empty() {
+            continue; // `X → ∅` holds for every match
+        }
+        let opts = MatchOptions::unrestricted();
+        let shared = connected_components(&gfd.pattern).len() == 1
+            && rules_in_class[&registry.class_of(handles[i])] >= 2;
+        let mut visit = |m: &[NodeId]| {
+            if !match_satisfies(&gfd.dep, g, m) {
+                out.push(Violation {
+                    rule: i,
+                    mapping: Match(m.to_vec()),
+                });
+            }
+            Flow::Continue
+        };
+        if shared {
+            let cs = registry.space(handles[i], g);
+            for_each_match_in_space(&gfd.pattern, g, &opts, cs, &mut visit);
+        } else {
+            for_each_match(&gfd.pattern, g, &opts, &mut visit);
+        }
+    }
+    out
 }
 
 /// Budgeted `detVio`; the boolean is `true` when the enumeration was

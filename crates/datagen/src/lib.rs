@@ -27,5 +27,5 @@ pub mod synth;
 
 pub use noise::{inject_noise, NoiseConfig, NoiseReport};
 pub use reallife::{reallife_graph, twin_rules, RealLifeConfig, RealLifeKind};
-pub use rules::{mine_gfds, RuleGenConfig};
+pub use rules::{isomorphic_twin, mine_gfds, RuleGenConfig};
 pub use synth::{synthetic_graph, SynthConfig};

@@ -147,6 +147,37 @@ fn grow_component(
     GrownComponent { vars }
 }
 
+/// Rebuilds a pattern with its variables declared in reverse order
+/// under fresh `t{tag}_`-prefixed names — an exact-label isomorphic
+/// twin, the shape mined rule sets are full of (Example 10). Used by
+/// tests and benchmarks to grow a Σ with guaranteed shared
+/// isomorphism classes.
+pub fn isomorphic_twin(q: &gfd_pattern::Pattern, tag: usize) -> gfd_pattern::Pattern {
+    use gfd_pattern::PatLabel;
+    let vocab = q.vocab().clone();
+    let mut b = PatternBuilder::new(vocab.clone());
+    let mut new_of = vec![VarId(u32::MAX); q.node_count()];
+    for v in q.vars().collect::<Vec<_>>().into_iter().rev() {
+        let name = format!("t{tag}_{}", v.index());
+        new_of[v.index()] = match q.label(v) {
+            PatLabel::Sym(s) => b.node(&name, &vocab.resolve(s)),
+            PatLabel::Wildcard => b.wildcard_node(&name),
+        };
+    }
+    for e in q.edges() {
+        let (s, d) = (new_of[e.src.index()], new_of[e.dst.index()]);
+        match e.label {
+            PatLabel::Sym(l) => {
+                b.edge(s, d, &vocab.resolve(l));
+            }
+            PatLabel::Wildcard => {
+                b.wildcard_edge(s, d);
+            }
+        }
+    }
+    b.build()
+}
+
 /// Generates `Σ` from a graph following the paper's procedure.
 pub fn mine_gfds(g: &Graph, cfg: &RuleGenConfig) -> GfdSet {
     let mut rng = Rng::seed_from_u64(cfg.seed);

@@ -47,6 +47,14 @@ pub struct RepairReport {
     pub added: Vec<(VarId, NodeId)>,
     /// Pairs `(var, node)` that left the relation.
     pub removed: Vec<(VarId, NodeId)>,
+    /// True when some per-pattern-edge candidate adjacency was rebuilt
+    /// — its runs may differ even when no pair entered or left the
+    /// relation (e.g. a new graph edge between two surviving
+    /// candidates). Consumers that mirror the *full* space (the
+    /// transported caches of `gfd_match::SpaceRegistry`) must refresh
+    /// on this; consumers that only read candidate sets (pivot
+    /// feasibility) can key off [`is_unchanged`](Self::is_unchanged).
+    pub adjacency_changed: bool,
 }
 
 impl RepairReport {
@@ -439,6 +447,7 @@ impl IncrementalSpace {
             if !affected {
                 continue;
             }
+            report.adjacency_changed = true;
             space.forward[ei] = edge_adjacency(
                 g,
                 &space.sets[pe.src.index()],

@@ -29,10 +29,12 @@ pub mod api;
 pub mod component;
 pub mod incremental;
 pub mod join;
+pub mod registry;
 pub mod simulation;
 pub mod types;
 
 pub use api::{count_matches, find_matches, for_each_match, for_each_match_in_space, has_match};
 pub use incremental::{IncrementalSpace, RepairReport};
+pub use registry::{SpaceHandle, SpaceRegistry};
 pub use simulation::{dual_simulation, CandidateSpace};
 pub use types::{Match, MatchOptions, SearchBudget, SimFilter};

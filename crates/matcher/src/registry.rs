@@ -1,0 +1,395 @@
+//! The isomorphism-class-keyed candidate-space registry: simulate
+//! once per class, transport everywhere.
+//!
+//! Rule sets mined from real graphs are full of isomorphic pattern
+//! components (the paper's Example 10), yet every consumer of
+//! [`dual_simulation`](crate::simulation::dual_simulation) used to run
+//! one worklist fixpoint *per component per rule* — `k` identical
+//! simulations for a class with `k` members. [`SpaceRegistry`] keys
+//! [`CandidateSpace`]s by **canonical isomorphism class**
+//! ([`gfd_pattern::canonical_form`], complete — no hash-collision
+//! exposure) and computes each class once:
+//!
+//! * the first registered member of a class becomes the
+//!   *representative*; its space is computed by the worklist fixpoint
+//!   (lazily — classes that are never queried cost nothing beyond the
+//!   canonical form);
+//! * every further member stores only the [`IsoWitness`] onto the
+//!   representative, and its space is
+//!   [`CandidateSpace::transport`]ed — a permutation of the computed
+//!   relation, no graph access;
+//! * under graph edits, [`SpaceRegistry::apply`] repairs **one
+//!   representative per class** through
+//!   [`IncrementalSpace::apply_normalized`] and invalidates the
+//!   members' transported caches, so the per-edit cost is also paid
+//!   once per class.
+//!
+//! One registry is shared across a whole rule set Σ — workload
+//! estimation (`gfd-parallel`), violation detection (`gfd-core`) and
+//! their incremental maintainers all borrow the same instance, in the
+//! spirit of factorised / shared evaluation engines (FDB, FAQ): compute
+//! a shared representation once, reuse it across structurally
+//! identical subqueries.
+//!
+//! Registry spaces are whole-graph (unscoped); block- and
+//! fragment-local simulations stay per-call.
+
+use std::collections::HashMap;
+
+use gfd_graph::{Graph, GraphDelta, NodeId};
+use gfd_pattern::{canonical_form, CanonicalForm, IsoWitness, Pattern, VarId};
+
+use crate::incremental::IncrementalSpace;
+use crate::simulation::CandidateSpace;
+
+/// Handle to a pattern registered in a [`SpaceRegistry`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SpaceHandle(usize);
+
+/// One isomorphism class: the representative pattern and its (lazily
+/// computed, incrementally repaired) simulation state.
+struct ClassState {
+    rep: Pattern,
+    form: CanonicalForm,
+    /// `None` until some member's space is first queried; repaired in
+    /// place by [`SpaceRegistry::apply`] afterwards.
+    inc: Option<IncrementalSpace>,
+    members: usize,
+}
+
+/// One registered pattern: its class and the witness onto the class
+/// representative.
+struct MemberState {
+    q: Pattern,
+    class: usize,
+    witness: IsoWitness,
+    /// Identity witnesses alias the representative's space directly.
+    identity: bool,
+    /// Transported space, dropped whenever the representative changes.
+    cached: Option<CandidateSpace>,
+}
+
+/// A cache of [`CandidateSpace`]s keyed by canonical isomorphism
+/// class; see the module docs.
+#[derive(Default)]
+pub struct SpaceRegistry {
+    classes: Vec<ClassState>,
+    members: Vec<MemberState>,
+    by_code: HashMap<Vec<u64>, usize>,
+    /// Dedup of member registrations: a witness determines the member
+    /// pattern up to variable names (member = rep relabeled along the
+    /// inverse), so `(class, witness)` identifies a transported space
+    /// — re-registering returns the existing handle instead of growing
+    /// state, which keeps long-lived shared registries bounded across
+    /// repeated `estimate_workload_in`/`detect_violations_shared`
+    /// calls over one Σ.
+    member_by_witness: HashMap<(usize, Vec<VarId>), usize>,
+    simulations: usize,
+}
+
+impl SpaceRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a pattern, resolving its isomorphism class (new
+    /// classes make the pattern the representative; structurally
+    /// identical re-registrations return the existing handle). Cheap —
+    /// the simulation itself is deferred until [`space`](Self::space)
+    /// is first called for the class.
+    pub fn register(&mut self, q: &Pattern) -> SpaceHandle {
+        let form = canonical_form(q);
+        let (class, witness) = match self.by_code.get(form.code()) {
+            Some(&c) => (c, form.witness_onto(&self.classes[c].form)),
+            None => {
+                let c = self.classes.len();
+                self.by_code.insert(form.code().to_vec(), c);
+                let witness = IsoWitness::identity(q.node_count());
+                self.classes.push(ClassState {
+                    rep: q.clone(),
+                    form,
+                    inc: None,
+                    members: 0,
+                });
+                (c, witness)
+            }
+        };
+        debug_assert!(
+            std::sync::Arc::ptr_eq(q.vocab(), self.classes[class].rep.vocab()),
+            "patterns in one registry must share a vocabulary"
+        );
+        let key = (class, witness.as_slice().to_vec());
+        if let Some(&existing) = self.member_by_witness.get(&key) {
+            return SpaceHandle(existing);
+        }
+        self.classes[class].members += 1;
+        let identity = witness.is_identity();
+        self.members.push(MemberState {
+            q: q.clone(),
+            class,
+            witness,
+            identity,
+            cached: None,
+        });
+        self.member_by_witness.insert(key, self.members.len() - 1);
+        SpaceHandle(self.members.len() - 1)
+    }
+
+    /// The member's candidate space over `g`: simulated once per class
+    /// (on first query), transported — and cached — for every further
+    /// member. `g` must be the snapshot the registry is synchronized
+    /// with (the one passed to the last [`apply`](Self::apply), or the
+    /// initial graph).
+    pub fn space(&mut self, h: SpaceHandle, g: &Graph) -> &CandidateSpace {
+        let class = self.members[h.0].class;
+        if self.classes[class].inc.is_none() {
+            let inc = IncrementalSpace::new(&self.classes[class].rep, g, None);
+            self.classes[class].inc = Some(inc);
+            self.simulations += 1;
+        }
+        if self.members[h.0].identity {
+            return self.classes[class]
+                .inc
+                .as_ref()
+                .expect("simulated above")
+                .space();
+        }
+        if self.members[h.0].cached.is_none() {
+            let cls = &self.classes[class];
+            let rep_space = cls.inc.as_ref().expect("simulated above").space();
+            let m = &self.members[h.0];
+            let transported = rep_space.transport(&cls.rep, &m.q, &m.witness);
+            self.members[h.0].cached = Some(transported);
+        }
+        self.members[h.0].cached.as_ref().expect("filled above")
+    }
+
+    /// True if `u` currently simulates `v` in the member's space.
+    pub fn contains(&mut self, h: SpaceHandle, g: &Graph, v: VarId, u: NodeId) -> bool {
+        self.space(h, g).sets[v.index()].binary_search(&u).is_ok()
+    }
+
+    /// Repairs the registry against one edit step: **one**
+    /// [`IncrementalSpace`] repair per simulated class (classes never
+    /// queried are skipped — a later first query simulates against the
+    /// then-current snapshot), then invalidates the transported caches
+    /// of every class whose space contents changed. Returns per-class
+    /// flags that are true when the class's *candidate sets* changed —
+    /// the signal workload maintenance keys on (members inherit their
+    /// representative's flag exactly: transport is a bijection of
+    /// contents).
+    pub fn apply(&mut self, g: &Graph, delta: &GraphDelta) -> Vec<bool> {
+        self.apply_normalized(g, &delta.clone().normalize())
+    }
+
+    /// [`apply`](Self::apply) for an already-normalized delta.
+    pub fn apply_normalized(&mut self, g: &Graph, d: &GraphDelta) -> Vec<bool> {
+        let mut sets_changed = vec![false; self.classes.len()];
+        if d.is_empty() {
+            return sets_changed;
+        }
+        // Caches must also refresh on adjacency-only changes (a new
+        // graph edge between surviving candidates moves the per-edge
+        // runs without moving any set).
+        let mut refresh = vec![false; self.classes.len()];
+        for (c, cls) in self.classes.iter_mut().enumerate() {
+            if let Some(inc) = cls.inc.as_mut() {
+                let report = inc.apply_normalized(g, d);
+                sets_changed[c] = !report.is_unchanged();
+                refresh[c] = sets_changed[c] || report.adjacency_changed;
+            }
+        }
+        for m in &mut self.members {
+            if refresh[m.class] {
+                m.cached = None;
+            }
+        }
+        sets_changed
+    }
+
+    /// The class a registered pattern belongs to.
+    pub fn class_of(&self, h: SpaceHandle) -> usize {
+        self.members[h.0].class
+    }
+
+    /// Number of structurally distinct members registered into a class
+    /// (identical re-registrations collapse onto one handle, so this
+    /// is *not* a per-rule count — callers gating on "how many rules
+    /// of my Σ share this class" should count class occurrences over
+    /// the handles of their own registration pass instead).
+    pub fn class_members(&self, class: usize) -> usize {
+        self.classes[class].members
+    }
+
+    /// Number of distinct isomorphism classes registered.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Structurally distinct registered patterns.
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// From-scratch worklist simulations run so far — the probe that
+    /// asserts "one simulation per isomorphism class" in tests and
+    /// benchmarks.
+    pub fn simulations(&self) -> usize {
+        self.simulations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulation::dual_simulation;
+    use gfd_graph::GraphBuilder;
+    use gfd_pattern::PatternBuilder;
+
+    fn chain_graph() -> Graph {
+        let mut b = GraphBuilder::with_fresh_vocab();
+        let a1 = b.add_node_labeled("a");
+        let b1 = b.add_node_labeled("b");
+        let c1 = b.add_node_labeled("c");
+        let a2 = b.add_node_labeled("a");
+        let b2 = b.add_node_labeled("b");
+        b.add_node_labeled("c");
+        b.add_edge_labeled(a1, b1, "e");
+        b.add_edge_labeled(b1, c1, "e");
+        b.add_edge_labeled(a2, b2, "e");
+        b.freeze()
+    }
+
+    /// The chain pattern with its variables declared in `order`.
+    fn chain_pattern(g: &Graph, order: [usize; 3]) -> Pattern {
+        let labels = ["a", "b", "c"];
+        let names = ["x", "y", "z"];
+        let mut b = PatternBuilder::new(g.vocab().clone());
+        let mut vars = [VarId(0); 3];
+        for &i in &order {
+            vars[i] = b.node(names[i], labels[i]);
+        }
+        b.edge(vars[0], vars[1], "e");
+        b.edge(vars[1], vars[2], "e");
+        b.build()
+    }
+
+    #[test]
+    fn one_simulation_serves_the_whole_class() {
+        let g = chain_graph();
+        let members = [
+            chain_pattern(&g, [0, 1, 2]),
+            chain_pattern(&g, [2, 0, 1]),
+            chain_pattern(&g, [1, 2, 0]),
+        ];
+        let mut reg = SpaceRegistry::new();
+        let handles: Vec<SpaceHandle> = members.iter().map(|q| reg.register(q)).collect();
+        assert_eq!(reg.class_count(), 1);
+        assert_eq!(reg.member_count(), 3);
+        assert_eq!(reg.simulations(), 0, "registration alone never simulates");
+        for (q, &h) in members.iter().zip(&handles) {
+            let got = reg.space(h, &g).clone();
+            let want = dual_simulation(q, &g, None);
+            assert_eq!(got.sets, want.sets);
+            for ei in 0..q.edge_count() {
+                assert_eq!(got.forward[ei].offsets, want.forward[ei].offsets);
+                assert_eq!(got.forward[ei].targets, want.forward[ei].targets);
+                assert_eq!(got.reverse[ei].offsets, want.reverse[ei].offsets);
+                assert_eq!(got.reverse[ei].targets, want.reverse[ei].targets);
+            }
+        }
+        assert_eq!(reg.simulations(), 1, "one fixpoint for three members");
+    }
+
+    #[test]
+    fn distinct_shapes_get_distinct_classes() {
+        let g = chain_graph();
+        let mut reg = SpaceRegistry::new();
+        let h1 = reg.register(&chain_pattern(&g, [0, 1, 2]));
+        let mut b = PatternBuilder::new(g.vocab().clone());
+        b.node("solo", "a");
+        let h2 = reg.register(&b.build());
+        assert_ne!(reg.class_of(h1), reg.class_of(h2));
+        assert_eq!(reg.class_count(), 2);
+        assert_eq!(reg.class_members(reg.class_of(h1)), 1);
+    }
+
+    #[test]
+    fn repair_is_per_class_and_members_follow() {
+        let g = chain_graph();
+        let members = [chain_pattern(&g, [0, 1, 2]), chain_pattern(&g, [2, 1, 0])];
+        let mut reg = SpaceRegistry::new();
+        let handles: Vec<SpaceHandle> = members.iter().map(|q| reg.register(q)).collect();
+        for &h in &handles {
+            reg.space(h, &g);
+        }
+        assert_eq!(reg.simulations(), 1);
+
+        // Killing the b1→c1 edge empties the relation for the class.
+        let (g2, delta) = g.edit_with_delta(|b| {
+            b.remove_edge_labeled(NodeId(1), NodeId(2), "e");
+        });
+        let changed = reg.apply(&g2, &delta);
+        assert_eq!(changed, vec![true]);
+        for (q, &h) in members.iter().zip(&handles) {
+            let want = dual_simulation(q, &g2, None);
+            assert_eq!(reg.space(h, &g2).sets, want.sets);
+        }
+        assert_eq!(reg.simulations(), 1, "repair must not re-simulate");
+    }
+
+    /// Re-registering a pattern (or its structural twin under other
+    /// names) must return the existing handle — a registry shared
+    /// across repeated estimation/detection calls stays bounded.
+    #[test]
+    fn reregistration_is_deduplicated() {
+        let g = chain_graph();
+        let q = chain_pattern(&g, [0, 1, 2]);
+        let mut reg = SpaceRegistry::new();
+        let h1 = reg.register(&q);
+        let h2 = reg.register(&q);
+        assert_eq!(h1, h2);
+        // Same structure, different variable names: same handle too.
+        let renamed = {
+            let mut b = PatternBuilder::new(g.vocab().clone());
+            let x = b.node("p", "a");
+            let y = b.node("q", "b");
+            let z = b.node("r", "c");
+            b.edge(x, y, "e");
+            b.edge(y, z, "e");
+            b.build()
+        };
+        assert_eq!(reg.register(&renamed), h1);
+        // A different declaration order is a different member…
+        let h3 = reg.register(&chain_pattern(&g, [2, 0, 1]));
+        assert_ne!(h3, h1);
+        assert_eq!(reg.member_count(), 2);
+        assert_eq!(reg.class_members(reg.class_of(h1)), 2);
+        // …and ten rounds of re-registration grow nothing.
+        for _ in 0..10 {
+            reg.register(&q);
+            reg.register(&chain_pattern(&g, [2, 0, 1]));
+        }
+        assert_eq!(reg.member_count(), 2);
+        assert_eq!(reg.simulations(), 0);
+    }
+
+    #[test]
+    fn lazy_class_simulates_against_current_snapshot() {
+        let g = chain_graph();
+        let q = chain_pattern(&g, [0, 1, 2]);
+        let mut reg = SpaceRegistry::new();
+        let h = reg.register(&q);
+        // Edit before ever querying: apply skips the unsimulated class…
+        let (g2, delta) = g.edit_with_delta(|b| {
+            b.remove_edge_labeled(NodeId(1), NodeId(2), "e");
+        });
+        let changed = reg.apply(&g2, &delta);
+        assert_eq!(changed, vec![false]);
+        assert_eq!(reg.simulations(), 0);
+        // …and the first query simulates against the edited snapshot.
+        assert_eq!(reg.space(h, &g2).sets, dual_simulation(&q, &g2, None).sets);
+        assert_eq!(reg.simulations(), 1);
+    }
+}

@@ -1,0 +1,244 @@
+//! The transport oracle: for random patterns and random variable
+//! relabelings, a [`SpaceRegistry`]-transported space must be
+//! *identical* — candidate sets and per-edge candidate adjacency — to
+//! a from-scratch `dual_simulation` of the member pattern, including
+//! after random 50-step edit scripts repaired through the class
+//! representative's `IncrementalSpace`.
+
+use gfd_graph::{Graph, GraphBuilder, NodeId};
+use gfd_match::simulation::dual_simulation;
+use gfd_match::{CandidateSpace, SpaceHandle, SpaceRegistry};
+use gfd_pattern::{PatLabel, Pattern, PatternBuilder, VarId};
+use gfd_util::{prop::check, Rng};
+
+const NODE_LABELS: usize = 3;
+const EDGE_LABELS: usize = 2;
+const SCRIPT_STEPS: usize = 50;
+
+fn case_budget(full: u64) -> u64 {
+    if std::env::var_os("BENCH_SMOKE").is_some() {
+        (full / 8).max(2)
+    } else {
+        full
+    }
+}
+
+fn random_graph(rng: &mut Rng, max_nodes: usize) -> Graph {
+    let n = rng.gen_range(2..max_nodes + 1);
+    let mut b = GraphBuilder::with_fresh_vocab();
+    let ids: Vec<NodeId> = (0..n)
+        .map(|i| b.add_node_labeled(&format!("l{}", i % NODE_LABELS)))
+        .collect();
+    let m = rng.gen_range(0..3 * n + 1);
+    for _ in 0..m {
+        let s = rng.gen_range(0..n);
+        let d = rng.gen_range(0..n);
+        let e = format!("e{}", rng.gen_range(0..EDGE_LABELS));
+        b.add_edge_labeled(ids[s], ids[d], &e);
+    }
+    b.freeze()
+}
+
+fn random_pattern(rng: &mut Rng, g: &Graph) -> Pattern {
+    let k = rng.gen_range(1..5);
+    let mut b = PatternBuilder::new(g.vocab().clone());
+    let vars: Vec<VarId> = (0..k)
+        .map(|i| {
+            let name = format!("v{i}");
+            if rng.gen_range(0..10) < 3 {
+                b.wildcard_node(&name)
+            } else {
+                b.node(&name, &format!("l{}", rng.gen_range(0..NODE_LABELS)))
+            }
+        })
+        .collect();
+    for _ in 0..rng.gen_range(0..5) {
+        let s = vars[rng.gen_range(0..k)];
+        let d = vars[rng.gen_range(0..k)];
+        if rng.gen_range(0..10) < 2 {
+            b.wildcard_edge(s, d);
+        } else {
+            b.edge(s, d, &format!("e{}", rng.gen_range(0..EDGE_LABELS)));
+        }
+    }
+    b.build()
+}
+
+/// Rebuilds `q` with its variables declared in a random order under
+/// fresh names — an exact-label isomorphic twin the registry must map
+/// into `q`'s class.
+fn relabel(rng: &mut Rng, q: &Pattern, tag: usize) -> Pattern {
+    let n = q.node_count();
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..i + 1);
+        perm.swap(i, j);
+    }
+    let vocab = q.vocab().clone();
+    let mut b = PatternBuilder::new(vocab.clone());
+    let mut new_of_old = vec![VarId(u32::MAX); n];
+    for (p, &old) in perm.iter().enumerate() {
+        let v = VarId(old as u32);
+        let name = format!("m{tag}_{p}");
+        new_of_old[old] = match q.label(v) {
+            PatLabel::Sym(s) => b.node(&name, &vocab.resolve(s)),
+            PatLabel::Wildcard => b.wildcard_node(&name),
+        };
+    }
+    for e in q.edges() {
+        let (s, d) = (new_of_old[e.src.index()], new_of_old[e.dst.index()]);
+        match e.label {
+            PatLabel::Sym(l) => {
+                b.edge(s, d, &vocab.resolve(l));
+            }
+            PatLabel::Wildcard => {
+                b.wildcard_edge(s, d);
+            }
+        }
+    }
+    b.build()
+}
+
+fn spaces_equal(got: &CandidateSpace, want: &CandidateSpace, what: &str) -> Result<(), String> {
+    if got.sets != want.sets {
+        return Err(format!(
+            "{what}: sets diverged: {:?} vs {:?}",
+            got.sets, want.sets
+        ));
+    }
+    for ei in 0..got.forward.len() {
+        if got.forward[ei].offsets != want.forward[ei].offsets
+            || got.forward[ei].targets != want.forward[ei].targets
+        {
+            return Err(format!("{what}: forward adjacency of edge {ei} diverged"));
+        }
+        if got.reverse[ei].offsets != want.reverse[ei].offsets
+            || got.reverse[ei].targets != want.reverse[ei].targets
+        {
+            return Err(format!("{what}: reverse adjacency of edge {ei} diverged"));
+        }
+    }
+    Ok(())
+}
+
+/// One edit step, mirroring `prop_incremental.rs`: a batch of 1–3
+/// random mutations recorded through `edit_with_delta`.
+fn random_edit(rng: &mut Rng, g: &Graph) -> (Graph, gfd_graph::GraphDelta) {
+    let ops = rng.gen_range(1..4);
+    let mut plan: Vec<(usize, usize, usize, usize)> = Vec::with_capacity(ops);
+    for _ in 0..ops {
+        plan.push((
+            rng.gen_range(0..5),
+            rng.gen_range(0..usize::MAX),
+            rng.gen_range(0..usize::MAX),
+            rng.gen_range(0..usize::MAX),
+        ));
+    }
+    g.edit_with_delta(move |b| {
+        for (kind, r1, r2, r3) in plan {
+            let n = b.node_count();
+            match kind {
+                0 => {
+                    let s = NodeId((r1 % n) as u32);
+                    let d = NodeId((r2 % n) as u32);
+                    b.add_edge_labeled(s, d, &format!("e{}", r3 % EDGE_LABELS));
+                }
+                1 => {
+                    let s = NodeId((r1 % n) as u32);
+                    let d = NodeId((r2 % n) as u32);
+                    b.remove_edge_labeled(s, d, &format!("e{}", r3 % EDGE_LABELS));
+                }
+                2 => {
+                    let u = b.add_node_labeled(&format!("l{}", r1 % NODE_LABELS));
+                    if r2 % 2 == 0 {
+                        let d = NodeId((r3 % n) as u32);
+                        b.add_edge_labeled(u, d, &format!("e{}", r3 % EDGE_LABELS));
+                    }
+                }
+                3 => {
+                    let u = NodeId((r1 % n) as u32);
+                    let l = b.vocab().intern(&format!("l{}", r2 % NODE_LABELS));
+                    b.set_label(u, l);
+                }
+                _ => {
+                    // Rewire in one delta: deletion + replacing insertion.
+                    let s = NodeId((r1 % n) as u32);
+                    let d = NodeId((r2 % n) as u32);
+                    let d2 = NodeId(((r2 + 1) % n) as u32);
+                    let e = format!("e{}", r3 % EDGE_LABELS);
+                    b.remove_edge_labeled(s, d, &e);
+                    b.add_edge_labeled(s, d2, &e);
+                }
+            }
+        }
+    })
+}
+
+#[test]
+fn transported_spaces_equal_scratch_simulation() {
+    check(
+        "SpaceRegistry transport ≡ dual_simulation",
+        case_budget(40),
+        |rng| {
+            let g = random_graph(rng, 12);
+            let base = random_pattern(rng, &g);
+            let members: Vec<Pattern> = std::iter::once(base.clone())
+                .chain((0..rng.gen_range(1..4)).map(|t| relabel(rng, &base, t)))
+                .collect();
+            let mut reg = SpaceRegistry::new();
+            let handles: Vec<SpaceHandle> = members.iter().map(|q| reg.register(q)).collect();
+            for (m, (q, &h)) in members.iter().zip(&handles).enumerate() {
+                let want = dual_simulation(q, &g, None);
+                let got = reg.space(h, &g).clone();
+                spaces_equal(&got, &want, &format!("member {m}"))
+                    .map_err(|e| format!("{e}; base {base:?}; member {q:?}"))?;
+            }
+            if reg.simulations() != 1 {
+                return Err(format!(
+                    "{} simulations for one class of {} members",
+                    reg.simulations(),
+                    members.len()
+                ));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn repaired_representative_retransports_over_edit_scripts() {
+    check(
+        "SpaceRegistry repair+transport ≡ dual_simulation over 50-step scripts",
+        case_budget(16),
+        |rng| {
+            let mut g = random_graph(rng, 10);
+            let base = random_pattern(rng, &g);
+            let members: Vec<Pattern> = std::iter::once(base.clone())
+                .chain((0..2).map(|t| relabel(rng, &base, t)))
+                .collect();
+            let mut reg = SpaceRegistry::new();
+            let handles: Vec<SpaceHandle> = members.iter().map(|q| reg.register(q)).collect();
+            for &h in &handles {
+                reg.space(h, &g);
+            }
+            for step in 0..SCRIPT_STEPS {
+                let (g2, delta) = random_edit(rng, &g);
+                reg.apply(&g2, &delta);
+                for (m, (q, &h)) in members.iter().zip(&handles).enumerate() {
+                    let want = dual_simulation(q, &g2, None);
+                    let got = reg.space(h, &g2).clone();
+                    spaces_equal(&got, &want, &format!("step {step}, member {m}"))
+                        .map_err(|e| format!("{e}; delta {delta:?}; member {q:?}"))?;
+                }
+                g = g2;
+            }
+            if reg.simulations() != 1 {
+                return Err(format!(
+                    "repairs re-simulated: {} fixpoints",
+                    reg.simulations()
+                ));
+            }
+            Ok(())
+        },
+    );
+}

@@ -31,6 +31,7 @@ use std::sync::Arc;
 
 use gfd_core::GfdSet;
 use gfd_graph::{Fragmentation, Graph, NodeId};
+use gfd_match::dual_simulation;
 
 use crate::balance::random_assign;
 use crate::cluster::{CostModel, SimClocks};
@@ -136,24 +137,40 @@ fn prefetch_bytes(
     bytes
 }
 
+/// Block size (in nodes) below which [`partial_match_bytes`] runs the
+/// full block-scoped worklist simulation and sizes partial matches
+/// from the *refined* relation. Above it, the seeding stage — per-
+/// variable label-candidate counts, `O(|block| · |vars|)` — keeps the
+/// per-unit cost bounded: the fixpoint's cost grows with the block's
+/// edge volume while its accuracy gain matters most exactly where
+/// blocks are small and label counts over-estimate badly (a block
+/// admits many candidates by label that one missing edge disqualifies).
+pub(crate) const PARTIAL_REFINE_MAX_BLOCK: usize = 256;
+
 /// Estimated bytes for shipping partial matches of a unit's
 /// components. The paper estimates partial-match sizes "via graph
-/// simulation"; we use the simulation's initialization stage —
-/// per-variable label-candidate counts within the block — which
-/// upper-bounds the refined simulation at `O(|block| · |vars|)` cost
-/// (running the full refinement per unit would dominate the
-/// coordinator; see `gfd_match::simulation` for the exact relation,
-/// which tests exercise).
+/// simulation from pattern `Q[x̄]` to `F_i`": for small blocks that is
+/// taken literally — a block-scoped dual simulation whose surviving
+/// candidate counts size the rows (the worklist fixpoint is cheap at
+/// block scale) — while blocks above
+/// [`PARTIAL_REFINE_MAX_BLOCK`] fall back to the simulation's seeding
+/// stage (label counts per block), an upper bound of the refined
+/// relation.
 fn partial_match_bytes(g: &Graph, plans: &[PivotedRule], su: &SplitUnit) -> u64 {
     let rule = &plans[su.unit.rule];
     let mut bytes = 0u64;
     for (i, comp) in rule.components.iter().enumerate() {
         let block = &su.unit.slots[i.min(su.unit.slots.len() - 1)].block;
-        let mut rows = 0u64;
-        for v in comp.pattern.vars() {
-            let label = comp.pattern.label(v);
-            rows += block.iter().filter(|&n| label.admits(g.label(n))).count() as u64;
-        }
+        let rows = if block.len() <= PARTIAL_REFINE_MAX_BLOCK {
+            dual_simulation(&comp.pattern, g, Some(block)).total_size() as u64
+        } else {
+            let mut rows = 0u64;
+            for v in comp.pattern.vars() {
+                let label = comp.pattern.label(v);
+                rows += block.iter().filter(|&n| label.admits(g.label(n))).count() as u64;
+            }
+            rows
+        };
         bytes += rows * 8 * comp.pattern.node_count().max(1) as u64;
     }
     bytes
@@ -536,6 +553,114 @@ mod tests {
         );
         assert_eq!(with.violations, without.violations);
         assert!(with.bytes_shipped <= without.bytes_shipped);
+    }
+
+    /// The partial-match estimate crossover: small blocks are sized
+    /// from the *refined* block-scoped simulation (strictly tighter
+    /// when the block admits label-compatible nodes that refinement
+    /// disqualifies), large blocks keep the seeding-stage label counts.
+    #[test]
+    fn partial_match_estimate_crossover() {
+        use crate::opt::SplitUnit;
+        use crate::workload::{BlockCache, UnitSlot, WorkUnit};
+
+        let mut b = gfd_graph::GraphBuilder::with_fresh_vocab();
+        // A complete flight star f → id, f → city…
+        let f = b.add_node_labeled("flight");
+        let id = b.add_node_labeled("id");
+        let c = b.add_node_labeled("city");
+        b.add_edge_labeled(f, id, "number");
+        b.add_edge_labeled(f, c, "to");
+        // …plus a second flight inside f's block that lacks both star
+        // edges: label-admitted for the pivot variable, refined away.
+        let f2 = b.add_node_labeled("flight");
+        b.add_edge_labeled(f, f2, "alias");
+        let g = b.freeze();
+        let sigma = GfdSet::new(vec![{
+            let mut pb = PatternBuilder::new(g.vocab().clone());
+            let x = pb.node("x", "flight");
+            let x1 = pb.node("x1", "id");
+            let x2 = pb.node("x2", "city");
+            pb.edge(x, x1, "number");
+            pb.edge(x, x2, "to");
+            let val = g.vocab().intern("val");
+            gfd_core::Gfd::new(
+                "star",
+                pb.build(),
+                gfd_core::Dependency::always(vec![gfd_core::Literal::var_eq(x1, val, x1, val)]),
+            )
+        }]);
+        let plans = plan_rules(&sigma);
+        let mut cache = BlockCache::new();
+        let mk_unit = |block: Arc<gfd_graph::NodeSet>, pivot| SplitUnit {
+            unit: WorkUnit {
+                rule: 0,
+                slots: vec![UnitSlot { pivot, block }],
+                cost: 0,
+                check_both_orientations: false,
+            },
+            unit_index: 0,
+            share: 0,
+            of: 1,
+        };
+
+        // Small block (4 nodes ≤ threshold): the refined path. Label
+        // seeding would count both flights (rows 2+1+1 = 4); the
+        // refined relation drops f2 (rows 1+1+1 = 3).
+        let block = cache.block(&g, f, 1);
+        assert!(block.len() <= PARTIAL_REFINE_MAX_BLOCK);
+        let su = mk_unit(block.clone(), f);
+        let nvars = 3u64;
+        let refined = gfd_match::dual_simulation(&plans[0].components[0].pattern, &g, Some(&block))
+            .total_size() as u64;
+        assert_eq!(refined, 3);
+        assert_eq!(partial_match_bytes(&g, &plans, &su), refined * 8 * nvars);
+        assert!(partial_match_bytes(&g, &plans, &su) < 4 * 8 * nvars);
+
+        // Large block (> threshold): the seeding path counts every
+        // label-admitted node, including ids refinement would drop
+        // (they hang off the hub by a non-star edge).
+        let mut b = gfd_graph::GraphBuilder::with_fresh_vocab();
+        let hub = b.add_node_labeled("flight");
+        for _ in 0..260 {
+            let leaf = b.add_node_labeled("id");
+            b.add_edge_labeled(hub, leaf, "number");
+        }
+        for _ in 0..50 {
+            let orphan = b.add_node_labeled("id");
+            b.add_edge_labeled(hub, orphan, "alias");
+        }
+        let city = b.add_node_labeled("city");
+        b.add_edge_labeled(hub, city, "to");
+        let g2 = b.freeze();
+        let sigma2 = GfdSet::new(vec![{
+            let mut pb = PatternBuilder::new(g2.vocab().clone());
+            let x = pb.node("x", "flight");
+            let x1 = pb.node("x1", "id");
+            let x2 = pb.node("x2", "city");
+            pb.edge(x, x1, "number");
+            pb.edge(x, x2, "to");
+            let val = g2.vocab().intern("val");
+            gfd_core::Gfd::new(
+                "star2",
+                pb.build(),
+                gfd_core::Dependency::always(vec![gfd_core::Literal::var_eq(x1, val, x1, val)]),
+            )
+        }]);
+        let plans2 = plan_rules(&sigma2);
+        let mut cache2 = BlockCache::new();
+        let big = cache2.block(&g2, hub, 1);
+        assert!(big.len() > PARTIAL_REFINE_MAX_BLOCK);
+        let su2 = mk_unit(big.clone(), hub);
+        let seeded_rows = (1 + 310 + 1) as u64; // flights + ids + cities by label
+        assert_eq!(partial_match_bytes(&g2, &plans2, &su2), seeded_rows * 8 * 3);
+        let refined_rows =
+            gfd_match::dual_simulation(&plans2[0].components[0].pattern, &g2, Some(&big))
+                .total_size() as u64;
+        assert!(
+            refined_rows < seeded_rows,
+            "premise: refinement would have been tighter ({refined_rows} vs {seeded_rows})"
+        );
     }
 
     #[test]

@@ -3,17 +3,21 @@
 //!
 //! Workload estimation is dominated by two products of the graph:
 //! the per-component *feasible pivot* sets (one dual simulation per
-//! component) and the `c`-hop *data blocks* of the [`BlockCache`].
-//! Both are repairable from a [`GraphDelta`]:
+//! component isomorphism class, via the shared [`SpaceRegistry`]) and
+//! the `c`-hop *data blocks* of the [`BlockCache`]. Both are
+//! repairable from a [`GraphDelta`]:
 //!
-//! * pivot sets live in per-component [`IncrementalSpace`]s, repaired
-//!   in `O(affected)` by the matcher's maintenance subsystem;
+//! * pivot sets are read from one [`SpaceRegistry`] shared across the
+//!   whole Σ — [`SpaceRegistry::apply`] repairs **one class
+//!   representative** per delta in `O(affected)` and re-transports the
+//!   members, so `k` isomorphic components pay one repair together;
 //! * a cached block is stale only when a delta edge has an endpoint
 //!   inside it ([`BlockCache::invalidate_touching`]) — all other
 //!   blocks survive as shared `Arc`s;
-//! * a rule's *units* are re-assembled only when one of its pivot sets
-//!   changed or one of its blocks went stale; unaffected rules keep
-//!   their units (and their `Arc` blocks) verbatim.
+//! * a rule's *units* are re-assembled only when one of its component
+//!   classes' candidate sets changed or one of its blocks went stale;
+//!   unaffected rules keep their units (and their `Arc` blocks)
+//!   verbatim.
 //!
 //! The maintained unit set equals a from-scratch
 //! [`estimate_workload`] on the edited snapshot (oracle-tested below).
@@ -25,21 +29,25 @@ use std::sync::Arc;
 
 use gfd_core::GfdSet;
 use gfd_graph::{Graph, GraphDelta, NodeId, NodeSet};
-use gfd_match::IncrementalSpace;
-use gfd_pattern::PatLabel;
+use gfd_match::{SpaceHandle, SpaceRegistry};
 
 use crate::workload::{
-    assemble, feasible_pivots, plan_rules, BlockCache, PivotedRule, WorkUnit, Workload,
-    WorkloadOptions,
+    assemble, feasible_pivots, pivots_from_space, plan_rules, BlockCache, PivotedRule, WorkUnit,
+    Workload, WorkloadOptions,
 };
 
 /// Maintains the workload `W(Σ, G)` across graph edits; see the
 /// module docs.
 pub struct IncrementalWorkload {
     plans: Vec<PivotedRule>,
-    /// Per rule, per component: the repairable pivot filter (empty
-    /// when pruning is disabled — pivots then come from label extents).
-    spaces: Vec<Vec<IncrementalSpace>>,
+    /// The candidate-space registry shared across all rules of Σ: one
+    /// simulation (and one per-edit repair) per component isomorphism
+    /// class.
+    registry: SpaceRegistry,
+    /// Per rule, per component: the registry handle of the component's
+    /// pattern (empty when pruning is disabled — pivots then come from
+    /// label extents).
+    handles: Vec<Vec<SpaceHandle>>,
     cache: BlockCache,
     units_by_rule: Vec<Vec<WorkUnit>>,
     /// Pivot candidates pruned per rule (kept per rule so refreshes
@@ -54,7 +62,8 @@ impl IncrementalWorkload {
     pub fn new(sigma: &GfdSet, g: &Graph, opts: &WorkloadOptions) -> Self {
         let plans = plan_rules(sigma);
         let prune = opts.prune_empty_pivots;
-        let spaces: Vec<Vec<IncrementalSpace>> = plans
+        let mut registry = SpaceRegistry::new();
+        let handles: Vec<Vec<SpaceHandle>> = plans
             .iter()
             .map(|rule| {
                 if !prune {
@@ -62,7 +71,7 @@ impl IncrementalWorkload {
                 }
                 rule.components
                     .iter()
-                    .map(|plan| IncrementalSpace::new(&plan.pattern, g, None))
+                    .map(|plan| registry.register(&plan.pattern))
                     .collect()
             })
             .collect();
@@ -70,7 +79,8 @@ impl IncrementalWorkload {
             units_by_rule: vec![Vec::new(); plans.len()],
             pruned_by_rule: vec![0; plans.len()],
             plans,
-            spaces,
+            registry,
+            handles,
             cache: BlockCache::new(),
             prune,
         };
@@ -80,24 +90,26 @@ impl IncrementalWorkload {
         this
     }
 
+    /// Simulations the registry has run — one per *queried* component
+    /// isomorphism class (test probe).
+    pub fn simulations(&self) -> usize {
+        self.registry.simulations()
+    }
+
     /// The pivot candidate list of one component (ascending), plus how
     /// many raw candidates the filter pruned.
-    fn pivots_of(&self, rule: usize, comp: usize, g: &Graph) -> (Vec<NodeId>, usize) {
-        let plan = &self.plans[rule].components[comp];
+    fn pivots_of(&mut self, rule: usize, comp: usize, g: &Graph) -> (Vec<NodeId>, usize) {
+        let Self {
+            ref plans,
+            ref mut registry,
+            ref handles,
+            ..
+        } = *self;
+        let plan = &plans[rule].components[comp];
         if !self.prune {
             return feasible_pivots(g, plan, false);
         }
-        let space = &self.spaces[rule][comp];
-        let universe = match plan.pivot_label {
-            PatLabel::Sym(s) => g.extent(s).len(),
-            PatLabel::Wildcard => g.node_count(),
-        };
-        if space.space().is_empty_anywhere() {
-            return (Vec::new(), universe);
-        }
-        let cands = space.space().of(plan.local_pivot).to_vec();
-        let pruned = universe - cands.len();
-        (cands, pruned)
+        pivots_from_space(g, plan, registry.space(handles[rule][comp], g))
     }
 
     /// Re-derives one rule's units from its (current) pivot sets and
@@ -152,18 +164,25 @@ impl IncrementalWorkload {
         edge_touched.dedup();
         self.cache.invalidate_touching(&edge_touched);
 
+        // One repair per component isomorphism class: the registry
+        // fixes each class representative and re-transports members
+        // lazily; `changed[class]` says whether the class's candidate
+        // sets moved.
+        let changed = if self.prune {
+            self.registry.apply_normalized(g, &d)
+        } else {
+            Vec::new()
+        };
+
         let mut rebuilt = Vec::new();
         for r in 0..self.plans.len() {
             let mut stale = false;
-            // (a) a pivot set changed — repair every component space
-            // first (they must track the graph even when the rule's
-            // units end up unchanged).
+            // (a) a pivot set changed — some component's class was
+            // flagged by the registry repair.
             if self.prune {
-                for space in &mut self.spaces[r] {
-                    // `d` is already normalized once for all rules.
-                    let report = space.apply_normalized(g, &d);
-                    stale |= !report.is_unchanged();
-                }
+                stale |= self.handles[r]
+                    .iter()
+                    .any(|&h| changed[self.registry.class_of(h)]);
             } else {
                 // Unpruned pivots are label universes: stale when the
                 // delta adds nodes or relabels anything (wildcards
@@ -195,13 +214,17 @@ impl IncrementalWorkload {
     }
 
     /// Flattens the maintained per-rule unit lists into a [`Workload`]
-    /// (units carry shared `Arc` blocks — no deep copies).
+    /// (units carry shared `Arc` blocks — no deep copies). The
+    /// `simulations` field carries the maintainer's lifetime registry
+    /// count: one fixpoint per isomorphism class ever queried, however
+    /// many edits have been applied since.
     pub fn workload(&self) -> Workload {
         Workload {
             units: self.units_by_rule.iter().flatten().cloned().collect(),
             estimation_seconds: 0.0,
             pruned: self.pruned_by_rule.iter().sum(),
             truncated: false,
+            simulations: self.registry.simulations(),
         }
     }
 

@@ -51,7 +51,7 @@ pub use disval::{dis_val, DisValConfig};
 pub use incremental::IncrementalWorkload;
 pub use metrics::ParallelReport;
 pub use repval::{rep_val, RepValConfig};
-pub use workload::{estimate_workload, WorkUnit, Workload, WorkloadOptions};
+pub use workload::{estimate_workload, estimate_workload_in, WorkUnit, Workload, WorkloadOptions};
 
 /// Assignment strategy for distributing work units over processors.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

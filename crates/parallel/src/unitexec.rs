@@ -23,7 +23,7 @@ use gfd_match::component::ComponentSearch;
 use gfd_match::join::{join_components, ComponentMatches};
 use gfd_match::types::Flow;
 use gfd_match::Match;
-use gfd_pattern::{embeddings, signature::pattern_signature, VarId};
+use gfd_pattern::{canonical_form, VarId};
 
 use crate::workload::{PivotedRule, WorkUnit};
 
@@ -38,34 +38,30 @@ pub struct MultiQueryIndex {
 }
 
 impl MultiQueryIndex {
-    /// Groups all components of all rules into isomorphism classes.
+    /// Groups all components of all rules into exact-label isomorphism
+    /// classes, keyed by complete canonical codes — no 64-bit
+    /// signature-collision exposure, and the canonical orders compose
+    /// into the comp-var → rep-var witness the match cache remaps
+    /// cached enumerations along. (The earlier embedding-based check
+    /// could pair a wildcard variable with a labeled one, whose match
+    /// sets differ — exact labels make cache reuse sound by
+    /// construction.)
     pub fn build(plans: &[PivotedRule]) -> Self {
         let mut class_and_map: Vec<Vec<(usize, Vec<VarId>)>> = Vec::with_capacity(plans.len());
         let mut reps: Vec<(usize, usize)> = Vec::new();
-        let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut by_code: HashMap<Vec<u64>, usize> = HashMap::new();
+        let mut rep_forms: Vec<gfd_pattern::CanonicalForm> = Vec::new();
         for (ri, rule) in plans.iter().enumerate() {
             let mut per_comp = Vec::with_capacity(rule.components.len());
             for (ci, comp) in rule.components.iter().enumerate() {
-                let sig = pattern_signature(&comp.pattern);
-                let mut found: Option<(usize, Vec<VarId>)> = None;
-                for &class in buckets.get(&sig).into_iter().flatten() {
-                    let (rr, rc) = reps[class];
-                    let rep = &plans[rr].components[rc].pattern;
-                    if let Some(map) = embeddings(&comp.pattern, rep).into_iter().next() {
-                        if rep.node_count() == comp.pattern.node_count()
-                            && rep.edge_count() == comp.pattern.edge_count()
-                        {
-                            found = Some((class, map));
-                            break;
-                        }
-                    }
-                }
-                let entry = match found {
-                    Some(cm) => cm,
+                let form = canonical_form(&comp.pattern);
+                let entry = match by_code.get(form.code()) {
+                    Some(&class) => (class, form.witness_onto(&rep_forms[class]).into_map()),
                     None => {
                         let class = reps.len();
                         reps.push((ri, ci));
-                        buckets.entry(sig).or_default().push(class);
+                        by_code.insert(form.code().to_vec(), class);
+                        rep_forms.push(form);
                         // Identity mapping for the representative itself.
                         (class, comp.pattern.vars().collect())
                     }

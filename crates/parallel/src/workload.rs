@@ -17,7 +17,8 @@ use std::sync::Arc;
 
 use gfd_core::GfdSet;
 use gfd_graph::{neighborhood, Graph, NodeId, NodeSet};
-use gfd_match::simulation::dual_simulation;
+use gfd_match::simulation::{dual_simulation, CandidateSpace};
+use gfd_match::SpaceRegistry;
 use gfd_pattern::{analysis::pivot_vector, isomorphic, PatLabel, Pattern, VarId};
 
 /// Per-rule pivot metadata, precomputed once from `Σ`.
@@ -118,6 +119,16 @@ pub struct Workload {
     pub pruned: usize,
     /// True if `max_units` truncated the workload.
     pub truncated: bool,
+    /// Worklist simulations attributable to this workload — for
+    /// [`estimate_workload`] the count run *during the call* (with the
+    /// shared [`SpaceRegistry`], at most one per component isomorphism
+    /// class of Σ; 0 when pruning is off or the borrowed registry
+    /// already held the classes warm), and for
+    /// [`IncrementalWorkload::workload`](crate::IncrementalWorkload::workload)
+    /// the maintainer's registry total (one per class simulated over
+    /// its lifetime). The probe behind the "simulate once per class"
+    /// guarantee.
+    pub simulations: usize,
 }
 
 impl Workload {
@@ -176,6 +187,25 @@ fn pivot_universe(g: &Graph, plan: &ComponentPlan) -> usize {
     }
 }
 
+/// Extracts a component's feasible pivot candidates from an
+/// already-computed (whole-graph) candidate space: the pivot variable's
+/// simulation set, or nothing when the component is provably matchless.
+/// Returns the sorted candidate list and how many raw candidates the
+/// filter pruned.
+pub fn pivots_from_space(
+    g: &Graph,
+    plan: &ComponentPlan,
+    cs: &CandidateSpace,
+) -> (Vec<NodeId>, usize) {
+    let universe = pivot_universe(g, plan);
+    if cs.is_empty_anywhere() {
+        return (Vec::new(), universe);
+    }
+    let cands = cs.of(plan.local_pivot).to_vec();
+    let pruned = universe - cands.len();
+    (cands, pruned)
+}
+
 /// Pivot candidates for a component, optionally pruned by one dual
 /// simulation of the component pattern over the whole graph. Returns
 /// the sorted candidate list and how many raw candidates were pruned.
@@ -186,8 +216,12 @@ fn pivot_universe(g: &Graph, plan: &ComponentPlan) -> usize {
 /// pinned at the pivot lies inside the pivot's `c^i_Q`-hop block, so
 /// the unscoped check is valid for the block-restricted search the
 /// unit will actually run.
+///
+/// This is the standalone (one component, own simulation) entry point;
+/// [`estimate_workload`] draws the same information from a
+/// [`SpaceRegistry`] shared across the whole Σ instead, so isomorphic
+/// components pay for one simulation together.
 pub fn feasible_pivots(g: &Graph, plan: &ComponentPlan, prune: bool) -> (Vec<NodeId>, usize) {
-    let universe = pivot_universe(g, plan);
     if !prune {
         let all = match plan.pivot_label {
             PatLabel::Sym(s) => g.extent(s).to_vec(),
@@ -195,13 +229,7 @@ pub fn feasible_pivots(g: &Graph, plan: &ComponentPlan, prune: bool) -> (Vec<Nod
         };
         return (all, 0);
     }
-    let cs = dual_simulation(&plan.pattern, g, None);
-    if cs.is_empty_anywhere() {
-        return (Vec::new(), universe);
-    }
-    let cands = cs.of(plan.local_pivot).to_vec();
-    let pruned = universe - cands.len();
-    (cands, pruned)
+    pivots_from_space(g, plan, &dual_simulation(&plan.pattern, g, None))
 }
 
 /// A cache of `c`-hop data blocks keyed by `(node, radius)` — blocks
@@ -261,20 +289,42 @@ impl BlockCache {
 }
 
 /// Estimates `W(Σ, G)` (procedure `bPar`'s estimation phase / the
-/// workload part of `disPar`).
+/// workload part of `disPar`) with a registry local to the call.
 pub fn estimate_workload(sigma: &GfdSet, g: &Graph, opts: &WorkloadOptions) -> Workload {
+    estimate_workload_in(sigma, g, opts, &mut SpaceRegistry::new())
+}
+
+/// [`estimate_workload`] borrowing a caller-owned [`SpaceRegistry`]:
+/// every component of every rule registers into it and pivot
+/// feasibility reads the **per-isomorphism-class** candidate spaces —
+/// one simulation per class instead of one per component (Example 10's
+/// transport, applied to the whole Σ). Callers that validate
+/// repeatedly (or also run detection) pass the same registry so the
+/// classes stay warm across calls.
+pub fn estimate_workload_in(
+    sigma: &GfdSet,
+    g: &Graph,
+    opts: &WorkloadOptions,
+    registry: &mut SpaceRegistry,
+) -> Workload {
     let start = std::time::Instant::now();
+    let sims_before = registry.simulations();
     let rules = plan_rules(sigma);
     let mut cache = BlockCache::new();
     let mut wl = Workload::default();
 
     'rules: for rule in &rules {
         // Per-component feasible candidates with their blocks. One
-        // simulation per component prunes infeasible pivots up front;
-        // blocks are shared `Arc`s sized once in the cache.
+        // simulation per component *class* prunes infeasible pivots up
+        // front; blocks are shared `Arc`s sized once in the cache.
         let mut per_component: Vec<Vec<(NodeId, Arc<NodeSet>, u64)>> = Vec::new();
         for plan in &rule.components {
-            let (cands, pruned) = feasible_pivots(g, plan, opts.prune_empty_pivots);
+            let (cands, pruned) = if opts.prune_empty_pivots {
+                let h = registry.register(&plan.pattern);
+                pivots_from_space(g, plan, registry.space(h, g))
+            } else {
+                feasible_pivots(g, plan, false)
+            };
             wl.pruned += pruned;
             let mut feasible = Vec::with_capacity(cands.len());
             for cand in cands {
@@ -303,6 +353,7 @@ pub fn estimate_workload(sigma: &GfdSet, g: &Graph, opts: &WorkloadOptions) -> W
         }
     }
     wl.estimation_seconds = start.elapsed().as_secs_f64();
+    wl.simulations = registry.simulations() - sims_before;
     wl
 }
 
@@ -482,6 +533,68 @@ mod tests {
         );
         assert_eq!(wl.units.len(), 10);
         assert!(wl.truncated);
+    }
+
+    /// The PR's acceptance probe: on a mined Σ whose rules share
+    /// isomorphic component classes, `estimate_workload` runs exactly
+    /// one worklist simulation per class — never one per component.
+    #[test]
+    fn estimate_simulates_once_per_isomorphism_class() {
+        use gfd_datagen::{reallife_graph, RealLifeConfig, RealLifeKind};
+        use gfd_pattern::canonical_form;
+
+        let g = reallife_graph(&RealLifeConfig {
+            scale: 0.02,
+            ..RealLifeConfig::new(RealLifeKind::Yago2)
+        });
+        // Mine 8 rules, then pair each with an isomorphic twin whose
+        // variables are declared in reverse order under fresh names —
+        // the Example 10 shape at Σ scale: 16 rules, ≤ 8 + shared
+        // classes among the mined half already.
+        let mined = gfd_datagen::mine_gfds(
+            &g,
+            &gfd_datagen::RuleGenConfig {
+                count: 8,
+                pattern_nodes: 3,
+                two_component_fraction: 0.25,
+                ..Default::default()
+            },
+        );
+        let mut rules: Vec<Gfd> = mined.iter().cloned().collect();
+        for (i, gfd) in mined.iter().enumerate() {
+            let twin = gfd_datagen::isomorphic_twin(&gfd.pattern, i);
+            rules.push(Gfd::new(format!("twin-{i}"), twin, gfd.dep.clone()));
+        }
+        let sigma = GfdSet::new(rules);
+        assert!(sigma.len() >= 16, "Σ must hold at least 16 rules");
+
+        // Independently count the component isomorphism classes.
+        let plans = plan_rules(&sigma);
+        let components: Vec<&Pattern> = plans
+            .iter()
+            .flat_map(|r| r.components.iter().map(|c| &c.pattern))
+            .collect();
+        let mut codes: Vec<Vec<u64>> = components
+            .iter()
+            .map(|q| canonical_form(q).code().to_vec())
+            .collect();
+        codes.sort();
+        codes.dedup();
+        let classes = codes.len();
+        assert!(
+            classes < components.len(),
+            "premise: the mined Σ must share component classes \
+             ({classes} classes over {} components)",
+            components.len()
+        );
+
+        let wl = estimate_workload(&sigma, &g, &WorkloadOptions::default());
+        assert_eq!(
+            wl.simulations,
+            classes,
+            "one simulation per isomorphism class, not per component ({} components)",
+            components.len()
+        );
     }
 
     #[test]

@@ -19,14 +19,19 @@
 //!   isomorphic mapping onto a subgraph, §4) — module [`embed`];
 //! * canonical **signatures** for grouping isomorphic components
 //!   across a rule set (the multi-query optimization of the appendix)
-//!   — module [`signature`].
+//!   — module [`signature`];
+//! * complete **canonical forms** with explicit [`IsoWitness`]
+//!   bijections — the exact-isomorphism layer the candidate-space
+//!   registry keys on and transports along — module [`canon`].
 
 pub mod analysis;
+pub mod canon;
 pub mod embed;
 pub mod pattern;
 pub mod signature;
 
 pub use analysis::{ComponentInfo, PivotVector};
+pub use canon::{canonical_form, iso_witness, CanonicalForm, IsoWitness};
 pub use embed::{embeddings, embeddings_with, is_embeddable, isomorphic};
 pub use pattern::{distinct_neighbors, PatLabel, Pattern, PatternBuilder, PatternEdge, VarId};
 pub use signature::component_signature;

@@ -13,10 +13,12 @@ use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
 use crate::analysis::connected_components;
-use crate::embed::isomorphic;
+use crate::canon::iso_witness;
 use crate::pattern::{PatLabel, Pattern, VarId};
 
-fn label_code(l: PatLabel) -> u64 {
+/// A small, collision-free code per pattern label (shared with the
+/// canonical-form encoder in [`crate::canon`]).
+pub(crate) fn label_code(l: PatLabel) -> u64 {
     match l {
         PatLabel::Sym(s) => 2 + s.0 as u64,
         PatLabel::Wildcard => 1,
@@ -29,17 +31,27 @@ fn hash_one<T: Hash>(t: &T) -> u64 {
     h.finish()
 }
 
-/// An isomorphism-invariant signature of a whole pattern.
-///
-/// Equal patterns (up to isomorphism) get equal signatures; unequal
-/// patterns get unequal signatures with high probability (collisions
-/// are resolved by the exact check in [`group_isomorphic`]).
-pub fn pattern_signature(q: &Pattern) -> u64 {
-    // WL color refinement for |V_Q| rounds (enough for convergence on
-    // patterns this small).
+/// The final 1-WL color of every variable: up to `|V_Q|` rounds of
+/// color refinement over labeled directed adjacency (enough for
+/// convergence on patterns this small), stopping one round after the
+/// partition turns discrete — with all colors distinct a node's color
+/// identifies it, so the following round already encodes its exact
+/// labeled neighborhood and further rounds cannot distinguish more.
+/// The stopping round is determined by an isomorphism-invariant
+/// property of the color multiset, so corresponding variables of
+/// isomorphic patterns still get equal colors; that makes the colors
+/// both a signature ingredient and the cell partition the canonical
+/// form's permutation search respects.
+pub(crate) fn wl_colors(q: &Pattern) -> Vec<u64> {
     let n = q.node_count();
     let mut colors: Vec<u64> = q.vars().map(|v| label_code(q.label(v))).collect();
+    let discrete = |cs: &[u64]| {
+        let mut sorted = cs.to_vec();
+        sorted.sort_unstable();
+        sorted.windows(2).all(|w| w[0] != w[1])
+    };
     for _ in 0..n {
+        let was_discrete = discrete(&colors);
         let mut next = Vec::with_capacity(n);
         for v in q.vars() {
             let mut out_sig: Vec<u64> = q
@@ -57,8 +69,20 @@ pub fn pattern_signature(q: &Pattern) -> u64 {
             next.push(hash_one(&(colors[v.index()], out_sig, in_sig)));
         }
         colors = next;
+        if was_discrete {
+            break;
+        }
     }
-    let mut sorted = colors;
+    colors
+}
+
+/// An isomorphism-invariant signature of a whole pattern.
+///
+/// Equal patterns (up to isomorphism) get equal signatures; unequal
+/// patterns get unequal signatures with high probability (collisions
+/// are resolved by the exact witness check in [`group_isomorphic`]).
+pub fn pattern_signature(q: &Pattern) -> u64 {
+    let mut sorted = wl_colors(q);
     sorted.sort_unstable();
     hash_one(&(q.node_count(), q.edge_count(), sorted))
 }
@@ -71,6 +95,12 @@ pub fn component_signature(q: &Pattern, vars: &[VarId]) -> u64 {
 
 /// Groups patterns into isomorphism classes; returns, per input index,
 /// the class representative's index.
+///
+/// The signature is only a bucketing accelerator: membership within a
+/// bucket is verified by the structural [`iso_witness`] search, so
+/// 64-bit signature collisions — hash accidents as well as the
+/// structural pairs 1-WL refinement cannot separate — never merge
+/// distinct classes.
 pub fn group_isomorphic(patterns: &[&Pattern]) -> Vec<usize> {
     let mut class = vec![usize::MAX; patterns.len()];
     let mut buckets: std::collections::HashMap<u64, Vec<usize>> = std::collections::HashMap::new();
@@ -79,7 +109,7 @@ pub fn group_isomorphic(patterns: &[&Pattern]) -> Vec<usize> {
         let bucket = buckets.entry(sig).or_default();
         let mut found = None;
         for &j in bucket.iter() {
-            if isomorphic(patterns[j], q) {
+            if iso_witness(patterns[j], q).is_some() {
                 found = Some(class[j]);
                 break;
             }
@@ -104,6 +134,7 @@ pub fn decompose(q: &Pattern) -> Vec<(Pattern, Vec<VarId>)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::embed::isomorphic;
     use crate::pattern::PatternBuilder;
     use gfd_graph::Vocab;
 
@@ -193,6 +224,39 @@ mod tests {
         let classes = group_isomorphic(&[&p1, &p2, &p3]);
         assert_eq!(classes[0], classes[1]);
         assert_ne!(classes[0], classes[2]);
+    }
+
+    /// Regression: two non-isomorphic patterns engineered to collide
+    /// on the 64-bit signature (uniform labels, every node with in-
+    /// and out-degree 1 — 1-WL refinement never splits the colors, so
+    /// two disjoint directed triangles hash exactly like one directed
+    /// 6-cycle). The structural witness check must keep the classes
+    /// apart anyway.
+    #[test]
+    fn signature_collision_does_not_merge_classes() {
+        let vocab = Vocab::shared();
+        let mut b = PatternBuilder::new(vocab.clone());
+        let vs: Vec<VarId> = (0..6).map(|i| b.node(&format!("v{i}"), "n")).collect();
+        for c in 0..2 {
+            for i in 0..3 {
+                b.edge(vs[3 * c + i], vs[3 * c + (i + 1) % 3], "e");
+            }
+        }
+        let two_triangles = b.build();
+        let mut b = PatternBuilder::new(vocab);
+        let vs: Vec<VarId> = (0..6).map(|i| b.node(&format!("v{i}"), "n")).collect();
+        for i in 0..6 {
+            b.edge(vs[i], vs[(i + 1) % 6], "e");
+        }
+        let hexagon = b.build();
+
+        assert_eq!(
+            pattern_signature(&two_triangles),
+            pattern_signature(&hexagon),
+            "premise: the pair collides on the signature"
+        );
+        let classes = group_isomorphic(&[&two_triangles, &hexagon]);
+        assert_ne!(classes[0], classes[1], "collision merged distinct classes");
     }
 
     #[test]
