@@ -20,18 +20,30 @@ use gfd_datagen::{
     isomorphic_twin, mine_gfds, reallife_graph, RealLifeConfig, RealLifeKind, RuleGenConfig,
 };
 use gfd_graph::intersect::intersect_in_place;
-use gfd_graph::{Graph, NodeId, Vocab};
+use gfd_graph::{Graph, NodeId, Value, Vocab};
 use gfd_match::{count_matches, dual_simulation, IncrementalSpace, MatchOptions, SpaceRegistry};
+use gfd_parallel::unitexec::{execute_unit, MatchCache, MultiQueryIndex, UnitScratch};
 use gfd_parallel::workload::{estimate_workload, feasible_pivots, plan_rules, WorkloadOptions};
 use gfd_parallel::{rep_val, RepValConfig};
 use gfd_pattern::{Pattern, PatternBuilder, VarId};
+use gfd_util::alloc::{allocation_count, CountingAlloc};
 use gfd_util::Rng;
 
-/// One measured series: median-of-runs nanoseconds per iteration.
+/// Count every allocation the measured closures make: each sample also
+/// reports `allocs_per_iter`, so BENCH_graph.json carries an
+/// allocation trajectory next to the time one (and the
+/// `alloc/unit_exec_steady_state` sample asserts the detection hot
+/// path stays at zero).
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// One measured series: best-of-runs nanoseconds (and allocator calls)
+/// per iteration.
 struct Sample {
     name: &'static str,
     ns_per_iter: f64,
     iters: u64,
+    allocs_per_iter: f64,
 }
 
 /// `BENCH_SMOKE=1` runs every sample with a tiny iteration budget —
@@ -62,18 +74,24 @@ fn bench<R>(name: &'static str, samples: &mut Vec<Sample>, mut f: impl FnMut() -
         iters *= 4;
     }
     let mut best = f64::INFINITY;
+    let mut best_allocs = u64::MAX;
     for _ in 0..runs {
+        let a0 = allocation_count();
         let t = Instant::now();
         for _ in 0..iters {
             black_box(f());
         }
         best = best.min(t.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        // Min over runs: robust against one-off warm-up allocations.
+        best_allocs = best_allocs.min(allocation_count() - a0);
     }
-    println!("{name:<44} {best:>14.1} ns/iter  (x{iters})");
+    let allocs_per_iter = best_allocs as f64 / iters as f64;
+    println!("{name:<44} {best:>14.1} ns/iter  {allocs_per_iter:>10.1} allocs  (x{iters})");
     samples.push(Sample {
         name,
         ns_per_iter: best,
         iters,
+        allocs_per_iter,
     });
 }
 
@@ -353,16 +371,94 @@ fn main() {
         rep_val(&sigma_det, &g2, &RepValConfig::val(4))
     });
 
+    // The allocation-free hot-path probe: a clean symmetric-pair
+    // workload (no violations to record), executed once to warm the
+    // match cache and scratch, then measured per warm unit execution —
+    // allocs_per_iter must be 0 (also asserted by tests/alloc_probe.rs
+    // under BENCH_SMOKE in CI).
+    {
+        let mut b = gfd_graph::GraphBuilder::with_fresh_vocab();
+        for i in 0..32 {
+            let f = b.add_node_labeled("flight");
+            let id = b.add_node_labeled("id");
+            let to = b.add_node_labeled("city");
+            b.add_edge_labeled(f, id, "number");
+            b.add_edge_labeled(f, to, "to");
+            b.set_attr_named(id, "val", Value::str(&format!("FL{i}")));
+            b.set_attr_named(to, "val", Value::str(&format!("City{i}")));
+        }
+        let g = b.freeze();
+        let vocab = g.vocab().clone();
+        let mut pb = PatternBuilder::new(vocab.clone());
+        let x = pb.node("x", "flight");
+        let x1 = pb.node("x1", "id");
+        let x2 = pb.node("x2", "city");
+        pb.edge(x, x1, "number");
+        pb.edge(x, x2, "to");
+        let y = pb.node("y", "flight");
+        let y1 = pb.node("y1", "id");
+        let y2 = pb.node("y2", "city");
+        pb.edge(y, y1, "number");
+        pb.edge(y, y2, "to");
+        let val = vocab.intern("val");
+        let sigma = GfdSet::new(vec![Gfd::new(
+            "same-id-same-dest",
+            pb.build(),
+            Dependency::new(
+                vec![Literal::var_eq(x1, val, y1, val)],
+                vec![Literal::var_eq(x2, val, y2, val)],
+            ),
+        )]);
+        let plans = plan_rules(&sigma);
+        let wl = estimate_workload(&sigma, &g, &WorkloadOptions::default());
+        let mqi = MultiQueryIndex::build(&plans);
+        let mut cache = MatchCache::new();
+        let mut scratch = UnitScratch::new();
+        let mut out = Vec::new();
+        for u in &wl.units {
+            execute_unit(
+                &g,
+                &sigma,
+                &plans,
+                &wl.slots,
+                u,
+                Some(&mqi),
+                &mut cache,
+                &mut scratch,
+                &mut out,
+            );
+        }
+        assert!(out.is_empty(), "the probe fleet must be violation-free");
+        let mut i = 0usize;
+        bench("alloc/unit_exec_steady_state", &mut samples, || {
+            let u = &wl.units[i % wl.units.len()];
+            i += 1;
+            execute_unit(
+                &g,
+                &sigma,
+                &plans,
+                &wl.slots,
+                u,
+                Some(&mqi),
+                &mut cache,
+                &mut scratch,
+                &mut out,
+            );
+            out.len()
+        });
+    }
+
     // Emit the perf-trajectory artifact (hand-rolled JSON: the
     // workspace is dependency-free by necessity).
     let mut json = String::from("{\n  \"bench\": \"reasoning_micro\",\n  \"samples\": [\n");
     for (i, s) in samples.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"name\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {}}}{}",
+            "    {{\"name\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {}, \"allocs_per_iter\": {:.2}}}{}",
             s.name,
             s.ns_per_iter,
             s.iters,
+            s.allocs_per_iter,
             if i + 1 < samples.len() { "," } else { "" }
         );
     }

@@ -1,0 +1,117 @@
+//! The allocation-free hot-path guarantee, asserted: after warm-up,
+//! [`execute_unit`] performs **zero heap allocations** per call — the
+//! cached flat match tables are reused through `Arc` views, the join
+//! backtracks inside [`UnitScratch`], and nothing in the per-unit loop
+//! grows a buffer. Runs in CI under `BENCH_SMOKE` so a regression that
+//! re-introduces per-unit allocation fails the build.
+
+use std::sync::Arc;
+
+use gfd_core::{Dependency, Gfd, GfdSet, Literal};
+use gfd_graph::{Graph, Value, Vocab};
+use gfd_parallel::unitexec::{execute_unit, MatchCache, MultiQueryIndex, UnitScratch};
+use gfd_parallel::workload::{estimate_workload, plan_rules, WorkloadOptions};
+use gfd_pattern::PatternBuilder;
+use gfd_util::alloc::{allocation_count, min_allocation_delta, CountingAlloc};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// A clean flight fleet (distinct ids → no violations): the
+/// steady-state detection shape, where units stream through the warm
+/// cache and find nothing.
+fn clean_flights(n: usize) -> Graph {
+    let mut b = gfd_graph::GraphBuilder::with_fresh_vocab();
+    for i in 0..n {
+        let f = b.add_node_labeled("flight");
+        let id = b.add_node_labeled("id");
+        let to = b.add_node_labeled("city");
+        b.add_edge_labeled(f, id, "number");
+        b.add_edge_labeled(f, to, "to");
+        b.set_attr_named(id, "val", Value::str(&format!("FL{i}")));
+        b.set_attr_named(to, "val", Value::str(&format!("City{i}")));
+    }
+    b.freeze()
+}
+
+/// The symmetric two-component rule (Example 10 shape): exercises the
+/// both-orientations path, the multi-query cache, and the disjoint
+/// join — the full unit-execution machinery.
+fn same_id_same_dest(vocab: Arc<Vocab>) -> Gfd {
+    let mut b = PatternBuilder::new(vocab.clone());
+    let x = b.node("x", "flight");
+    let x1 = b.node("x1", "id");
+    let x2 = b.node("x2", "city");
+    b.edge(x, x1, "number");
+    b.edge(x, x2, "to");
+    let y = b.node("y", "flight");
+    let y1 = b.node("y1", "id");
+    let y2 = b.node("y2", "city");
+    b.edge(y, y1, "number");
+    b.edge(y, y2, "to");
+    let q = b.build();
+    let val = vocab.intern("val");
+    Gfd::new(
+        "same-id-same-dest",
+        q,
+        Dependency::new(
+            vec![Literal::var_eq(x1, val, y1, val)],
+            vec![Literal::var_eq(x2, val, y2, val)],
+        ),
+    )
+}
+
+#[test]
+fn warm_execute_unit_allocates_nothing() {
+    let g = clean_flights(8);
+    let sigma = GfdSet::new(vec![same_id_same_dest(g.vocab().clone())]);
+    let plans = plan_rules(&sigma);
+    let wl = estimate_workload(&sigma, &g, &WorkloadOptions::default());
+    assert!(wl.units.len() >= 20, "premise: a non-trivial workload");
+    let mqi = MultiQueryIndex::build(&plans);
+    let mut cache = MatchCache::new();
+    let mut scratch = UnitScratch::new();
+    let mut out = Vec::new();
+
+    let run_all = |cache: &mut MatchCache, scratch: &mut UnitScratch, out: &mut Vec<_>| {
+        for u in &wl.units {
+            execute_unit(
+                &g,
+                &sigma,
+                &plans,
+                &wl.slots,
+                u,
+                Some(&mqi),
+                cache,
+                scratch,
+                out,
+            );
+        }
+    };
+
+    // Warm-up: fills the match cache (misses allocate) and sizes every
+    // scratch buffer.
+    run_all(&mut cache, &mut scratch, &mut out);
+    assert!(out.is_empty(), "premise: the clean fleet has no violations");
+    assert!(cache.misses > 0 && allocation_count() > 0);
+
+    // Steady state: every enumeration is a cache hit served as a
+    // shared table view; the loop over ALL units must not allocate.
+    // Minimum over rounds guards against unrelated harness threads.
+    let misses_before = cache.misses;
+    let delta = min_allocation_delta(5, || run_all(&mut cache, &mut scratch, &mut out));
+    assert_eq!(
+        delta,
+        0,
+        "warm execute_unit must perform zero heap allocations \
+         ({delta} allocations across {} units)",
+        wl.units.len()
+    );
+    assert!(out.is_empty());
+    assert_eq!(
+        cache.misses, misses_before,
+        "steady state must be all hits — a miss means the warm cache \
+         stopped covering the workload"
+    );
+    assert!(cache.hits > 0);
+}

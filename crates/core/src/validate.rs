@@ -18,11 +18,16 @@
 //! the effort.
 
 use gfd_graph::{Graph, NodeId};
+use gfd_match::component::ComponentSearch;
+use gfd_match::table::MatchTable;
 use gfd_match::{
     for_each_match, for_each_match_in_space, types::Flow, Match, MatchOptions, SearchBudget,
     SpaceRegistry,
 };
 use gfd_pattern::analysis::connected_components;
+use gfd_pattern::signature::decompose;
+use gfd_pattern::VarId;
+use gfd_util::FxHashMap;
 
 use crate::gfd::{Gfd, GfdSet};
 use crate::literal::{Dependency, Literal};
@@ -123,8 +128,15 @@ pub fn detect_violations_shared(
             continue; // `X → ∅` holds for every match
         }
         let opts = MatchOptions::unrestricted();
-        let shared = connected_components(&gfd.pattern).len() == 1
-            && rules_in_class[&registry.class_of(handles[i])] >= 2;
+        let ncomp = connected_components(&gfd.pattern).len();
+        let shared = ncomp == 1 && rules_in_class[&registry.class_of(handles[i])] >= 2;
+        // Disconnected rule with a cross-component X literal: joined on
+        // the literal's attribute values instead of enumerating every
+        // disjoint pair. (Gated on the component count computed above,
+        // so connected rules never pay for a decompose.)
+        if ncomp == 2 && detect_disconnected_indexed(gfd, g, i, &mut out) {
+            continue;
+        }
         let mut visit = |m: &[NodeId]| {
             if !match_satisfies(&gfd.dep, g, m) {
                 out.push(Violation {
@@ -142,6 +154,116 @@ pub fn detect_violations_shared(
         }
     }
     out
+}
+
+/// Value-indexed join fast path for `detVio` on **disconnected**
+/// two-component rules: when `X` carries a cross-component literal
+/// `x.A = y.B`, a match can only violate `ϕ` if `X` holds — so instead
+/// of forming every disjoint pair of component matches (quadratic) and
+/// filtering, the two flat match tables are joined *on that literal*:
+/// the smaller side is indexed by attribute value, the larger side
+/// probes, and rows whose attribute is missing are skipped outright
+/// (`X` fails ⇒ no violation). This is the factorized-evaluation move
+/// of the FDB/FAQ line of work applied to `Vio(Σ, G)`: cost is
+/// output-proportional in value-agreeing pairs rather than in all
+/// pairs. Returns `false` (and emits nothing) when the rule lacks the
+/// shape, leaving the generic path to handle it.
+fn detect_disconnected_indexed(
+    gfd: &Gfd,
+    g: &Graph,
+    rule: usize,
+    out: &mut Vec<Violation>,
+) -> bool {
+    let parts = decompose(&gfd.pattern);
+    if parts.len() != 2 {
+        return false;
+    }
+    // A cross-component equality literal in X to join on.
+    let comp_of = |v: VarId| parts[0].1.contains(&v);
+    let Some((jx, ja, jy, jb)) = gfd.dep.x.iter().find_map(|l| match *l {
+        Literal::Vars { x, a, y, b } if comp_of(x) != comp_of(y) => Some((x, a, y, b)),
+        _ => None,
+    }) else {
+        return false;
+    };
+    // Orient so that (vx, va) lives in component 0.
+    let ((vx, va), (vy, vb)) = if comp_of(jx) {
+        ((jx, ja), (jy, jb))
+    } else {
+        ((jy, jb), (jx, ja))
+    };
+
+    // Enumerate both components into flat tables.
+    let mut tables = Vec::with_capacity(2);
+    for (cq, _) in &parts {
+        let mut t = MatchTable::new(cq.node_count());
+        ComponentSearch::new(cq, g).collect_into(&mut t);
+        if t.is_empty() {
+            return true; // no match of this component → none of Q
+        }
+        tables.push(t);
+    }
+    let local = |part: usize, v: VarId| {
+        parts[part]
+            .1
+            .iter()
+            .position(|&ov| ov == v)
+            .expect("literal var is in its component")
+    };
+    let (c0, c1) = (local(0, vx), local(1, vy));
+
+    // Index the smaller side by its join-attribute value; probe with
+    // the larger. Rows missing the attribute never satisfy X.
+    let (build, probe, bcol, pcol, battr, pattr, build_is_0) = if tables[0].len() <= tables[1].len()
+    {
+        (&tables[0], &tables[1], c0, c1, va, vb, true)
+    } else {
+        (&tables[1], &tables[0], c1, c0, vb, va, false)
+    };
+    let mut index: FxHashMap<&gfd_graph::Value, Vec<u32>> = FxHashMap::default();
+    for (r, row) in build.iter().enumerate() {
+        if let Some(v) = g.attr(row[bcol], battr) {
+            index.entry(v).or_default().push(r as u32);
+        }
+    }
+    let vars0 = &parts[0].1;
+    let vars1 = &parts[1].1;
+    let mut assignment = vec![NodeId(u32::MAX); gfd.pattern.node_count()];
+    for prow in probe.iter() {
+        let Some(v) = g.attr(prow[pcol], pattr) else {
+            continue;
+        };
+        let Some(partners) = index.get(v) else {
+            continue;
+        };
+        'pair: for &br in partners {
+            let brow = build.row(br as usize);
+            let (row0, row1) = if build_is_0 {
+                (brow, prow)
+            } else {
+                (prow, brow)
+            };
+            // Disjointness (h is injective across components).
+            for &n in row0 {
+                if row1.contains(&n) {
+                    continue 'pair;
+                }
+            }
+            for (j, &n) in row0.iter().enumerate() {
+                assignment[vars0[j].index()] = n;
+            }
+            for (j, &n) in row1.iter().enumerate() {
+                assignment[vars1[j].index()] = n;
+            }
+            if !match_satisfies(&gfd.dep, g, &assignment) {
+                out.push(Violation {
+                    rule,
+                    mapping: Match(assignment.clone()),
+                });
+            }
+        }
+    }
+    true
 }
 
 /// Budgeted `detVio`; the boolean is `true` when the enumeration was
@@ -390,6 +512,70 @@ mod tests {
         );
         let vio = detect_violations(&GfdSet::new(vec![gfd1]), &g);
         assert_eq!(vio.len(), 2); // both orientations of the cycle
+    }
+
+    /// The value-indexed disconnected join must equal the generic
+    /// pair-enumeration path on random attribute worlds — including
+    /// rows with missing attributes (X fails ⇒ skipped) and equal
+    /// values spread across many nodes.
+    #[test]
+    fn indexed_disconnected_join_equals_generic_enumeration() {
+        use gfd_util::{prop::check, Rng};
+        check("indexed join ≡ generic detVio", 60, |rng: &mut Rng| {
+            let vocab = Vocab::shared();
+            let mut b = gfd_graph::GraphBuilder::new(vocab.clone());
+            let n = rng.gen_range(4..10);
+            for _ in 0..n {
+                let h = b.add_node_labeled("hub");
+                let l = b.add_node_labeled("leaf");
+                b.add_edge_labeled(h, l, "owns");
+                // Sparse attributes: some nodes miss them entirely.
+                if rng.gen_bool(0.8) {
+                    b.set_attr_named(h, "val", Value::Int(rng.gen_range(0..3) as i64));
+                }
+                if rng.gen_bool(0.8) {
+                    b.set_attr_named(l, "val", Value::Int(rng.gen_range(0..3) as i64));
+                }
+            }
+            let g = b.freeze();
+            let val = vocab.intern("val");
+            // Two disconnected hub→leaf stars; X joins the leaves'
+            // values across components, Y constrains the hubs.
+            let mut pb = PatternBuilder::new(vocab.clone());
+            let x = pb.node("x", "hub");
+            let xl = pb.node("xl", "leaf");
+            pb.edge(x, xl, "owns");
+            let y = pb.node("y", "hub");
+            let yl = pb.node("yl", "leaf");
+            pb.edge(y, yl, "owns");
+            let gfd = Gfd::new(
+                "pair",
+                pb.build(),
+                Dependency::new(
+                    vec![Literal::var_eq(xl, val, yl, val)],
+                    vec![Literal::var_eq(x, val, y, val)],
+                ),
+            );
+            let sigma = GfdSet::new(vec![gfd.clone()]);
+
+            let mut fast = detect_violations(&sigma, &g);
+            // Generic oracle: unbudgeted full pair enumeration.
+            let mut slow = Vec::new();
+            for_each_violation(&gfd, &g, &MatchOptions::unrestricted(), &mut |m| {
+                slow.push(Violation {
+                    rule: 0,
+                    mapping: Match(m.to_vec()),
+                });
+                Flow::Continue
+            });
+            let key = |v: &Violation| (v.rule, v.mapping.nodes().to_vec());
+            fast.sort_by_key(key);
+            slow.sort_by_key(key);
+            if fast != slow {
+                return Err(format!("{} indexed vs {} generic", fast.len(), slow.len()));
+            }
+            Ok(())
+        });
     }
 
     #[test]

@@ -12,8 +12,9 @@ use gfd_graph::{Graph, NodeId};
 use gfd_pattern::{signature::decompose, PatLabel, Pattern, VarId};
 
 use crate::component::{ComponentSearch, StopReason};
-use crate::join::{join_components, ComponentMatches};
+use crate::join::{join_tables, ComponentTable, JoinScratch};
 use crate::simulation::{dual_simulation, CandidateSpace};
+use crate::table::MatchTable;
 use crate::types::{Flow, Match, MatchOptions, SimFilter};
 
 /// Outcome of a streaming enumeration.
@@ -105,8 +106,9 @@ pub fn for_each_match(
     }
 
     // Disconnected: enumerate matches per component (mapping pins into
-    // local vars), then join under global injectivity.
-    let mut components = Vec::with_capacity(parts.len());
+    // local vars) into flat tables, then join under global injectivity
+    // — the buffer is one arena per component, not one `Vec` per match.
+    let mut components: Vec<(&[VarId], MatchTable)> = Vec::with_capacity(parts.len());
     for (cq, orig_vars) in &parts {
         let cs = filter_component(cq, g, opts);
         if cs.as_ref().is_some_and(CandidateSpace::is_empty_anywhere) {
@@ -124,11 +126,8 @@ pub fn for_each_match(
                 search = search.pin(VarId(local as u32), node);
             }
         }
-        let mut matches = Vec::new();
-        let reason = search.for_each(&mut |m| {
-            matches.push(m.to_vec());
-            Flow::Continue
-        });
+        let mut matches = MatchTable::new(cq.node_count());
+        let reason = search.collect_into(&mut matches);
         steps_left = steps_left.saturating_sub(search.steps());
         if reason == StopReason::BudgetExhausted {
             return EnumOutcome::Stopped(StopReason::BudgetExhausted);
@@ -136,27 +135,38 @@ pub fn for_each_match(
         if matches.is_empty() {
             return EnumOutcome::Complete; // no match of this component → none of Q
         }
-        components.push(ComponentMatches {
-            vars: orig_vars.clone(),
-            matches,
-        });
+        components.push((orig_vars.as_slice(), matches));
     }
 
     // Join with global injectivity, honoring the match cap.
+    let inputs: Vec<ComponentTable> = components
+        .iter()
+        .map(|(vars, table)| ComponentTable {
+            vars,
+            table,
+            perm: None,
+        })
+        .collect();
+    let mut scratch = JoinScratch::new();
     let mut emitted = 0usize;
     let mut capped = false;
-    let complete = join_components(&components, q.node_count(), &mut |assignment| {
-        let flow = f(assignment);
-        emitted += 1;
-        if flow == Flow::Break {
-            return Flow::Break;
-        }
-        if emitted >= cap {
-            capped = true;
-            return Flow::Break;
-        }
-        Flow::Continue
-    });
+    let complete = join_tables(
+        inputs.as_slice(),
+        q.node_count(),
+        &mut scratch,
+        &mut |assignment| {
+            let flow = f(assignment);
+            emitted += 1;
+            if flow == Flow::Break {
+                return Flow::Break;
+            }
+            if emitted >= cap {
+                capped = true;
+                return Flow::Break;
+            }
+            Flow::Continue
+        },
+    );
     if complete {
         EnumOutcome::Complete
     } else if capped {

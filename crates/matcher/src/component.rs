@@ -27,6 +27,7 @@ use gfd_graph::{Adj, Graph, NodeId, NodeSet};
 use gfd_pattern::{distinct_neighbors, PatLabel, Pattern, VarId};
 
 use crate::simulation::CandidateSpace;
+use crate::table::MatchTable;
 use crate::types::Flow;
 
 /// True if `g` has an edge `u → v` admitted by the pattern label.
@@ -444,6 +445,22 @@ impl<'a> ComponentSearch<'a> {
             Flow::Continue
         });
         out
+    }
+
+    /// Streams every match into a flat [`MatchTable`] row — the
+    /// allocation-free bulk-collection fast path (one arena instead of
+    /// one `Vec` per match). The table's stride must equal the
+    /// pattern's variable count. Returns how the search ended.
+    pub fn collect_into(&mut self, table: &mut MatchTable) -> StopReason {
+        debug_assert_eq!(
+            table.arity(),
+            self.q.node_count(),
+            "table stride must equal the component arity"
+        );
+        self.for_each(&mut |m| {
+            table.push_row(m);
+            Flow::Continue
+        })
     }
 
     /// Steps consumed so far.

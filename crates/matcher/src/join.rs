@@ -6,45 +6,120 @@
 //! injective over all of `x̄`). The join enumerates the disjoint
 //! combinations in a streaming fashion, smallest component match-list
 //! first so dead ends are pruned early.
+//!
+//! Component match sets arrive as flat [`MatchTable`]s read through
+//! optional column permutations (the [`crate::table`] view contract):
+//! the join streams directly over table rows — no per-match `Vec`s are
+//! ever materialized, and a cached table reused across isomorphic
+//! components is joined in place through its permutation. All
+//! backtracking state lives in a caller-owned [`JoinScratch`], so a
+//! warm caller joins with zero heap allocation.
 
 use gfd_graph::NodeId;
 use gfd_pattern::VarId;
 
+use crate::table::MatchTable;
 use crate::types::Flow;
 
-/// Per-component enumeration input: the matches of component `i`
-/// (component-local variable order) and the original pattern variable
-/// of each local variable.
-pub struct ComponentMatches {
-    /// `vars[j]` is the original variable of local variable `j`.
-    pub vars: Vec<VarId>,
-    /// Each entry is one match, indexed by local variable.
-    pub matches: Vec<Vec<NodeId>>,
+/// The join's view of its inputs: `count` components, each a flat
+/// table of matches plus the original pattern variable of every
+/// logical column. Implemented by slices of [`ComponentTable`] and by
+/// the unit executor's zero-allocation adapter in `gfd-parallel`.
+pub trait JoinInputs {
+    /// Number of components.
+    fn count(&self) -> usize;
+    /// `vars(i)[j]` is the original variable of component `i`'s
+    /// logical column `j`.
+    fn vars(&self, i: usize) -> &[VarId];
+    /// Component `i`'s match table (physical column order).
+    fn table(&self, i: usize) -> &MatchTable;
+    /// Component `i`'s column permutation (logical `j` reads physical
+    /// `perm[j]`); `None` = identity. Must be a bijection — see the
+    /// [`crate::table`] contract.
+    fn perm(&self, _i: usize) -> Option<&[u32]> {
+        None
+    }
+}
+
+/// One component's join input borrowing a table directly — the
+/// convenient concrete form for callers that own their tables.
+#[derive(Clone, Copy)]
+pub struct ComponentTable<'a> {
+    /// Original pattern variable of each logical column.
+    pub vars: &'a [VarId],
+    /// The match table.
+    pub table: &'a MatchTable,
+    /// Optional column permutation (see [`crate::table`]).
+    pub perm: Option<&'a [u32]>,
+}
+
+impl JoinInputs for [ComponentTable<'_>] {
+    fn count(&self) -> usize {
+        self.len()
+    }
+    fn vars(&self, i: usize) -> &[VarId] {
+        self[i].vars
+    }
+    fn table(&self, i: usize) -> &MatchTable {
+        self[i].table
+    }
+    fn perm(&self, i: usize) -> Option<&[u32]> {
+        self[i].perm
+    }
+}
+
+/// Reusable backtracking state for [`join_tables`]: component order,
+/// the assignment under construction, and the disjointness set. A
+/// caller that keeps one scratch across joins performs no steady-state
+/// allocation.
+#[derive(Debug, Default)]
+pub struct JoinScratch {
+    order: Vec<usize>,
+    assignment: Vec<NodeId>,
+    used: Vec<NodeId>,
+}
+
+impl JoinScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// Streams every disjoint combination of component matches as a full
 /// assignment (indexed by original variable id, length `total_vars`).
 /// Stops early if `f` returns [`Flow::Break`]; returns `true` if the
 /// enumeration ran to completion.
-pub fn join_components(
-    components: &[ComponentMatches],
+pub fn join_tables<I: JoinInputs + ?Sized>(
+    inputs: &I,
     total_vars: usize,
+    scratch: &mut JoinScratch,
     f: &mut dyn FnMut(&[NodeId]) -> Flow,
 ) -> bool {
-    if components.iter().any(|c| c.matches.is_empty()) {
-        return true; // no matches at all — trivially complete
+    let k = inputs.count();
+    for i in 0..k {
+        if inputs.table(i).is_empty() {
+            return true; // no matches at all — trivially complete
+        }
     }
+    let JoinScratch {
+        order,
+        assignment,
+        used,
+    } = scratch;
     // Order components by ascending match count for early pruning.
-    let mut order: Vec<usize> = (0..components.len()).collect();
-    order.sort_by_key(|&i| components[i].matches.len());
+    order.clear();
+    order.extend(0..k);
+    order.sort_unstable_by_key(|&i| inputs.table(i).len());
 
-    let mut assignment = vec![NodeId(u32::MAX); total_vars];
-    let mut used: Vec<NodeId> = Vec::new();
-    rec(components, &order, 0, &mut assignment, &mut used, f)
+    assignment.clear();
+    assignment.resize(total_vars, NodeId(u32::MAX));
+    used.clear();
+    rec(inputs, order, 0, assignment, used, f)
 }
 
-fn rec(
-    components: &[ComponentMatches],
+fn rec<I: JoinInputs + ?Sized>(
+    inputs: &I,
     order: &[usize],
     depth: usize,
     assignment: &mut Vec<NodeId>,
@@ -54,23 +129,38 @@ fn rec(
     if depth == order.len() {
         return f(assignment) == Flow::Continue;
     }
-    let comp = &components[order[depth]];
-    'next_match: for m in &comp.matches {
-        // Disjointness against all previously placed components.
-        for &node in m {
+    let ci = order[depth];
+    let table = inputs.table(ci);
+    let vars = inputs.vars(ci);
+    let perm = inputs.perm(ci);
+    'next_match: for r in 0..table.len() {
+        let row = table.row(r);
+        // Disjointness against all previously placed components. The
+        // permutation is a bijection, so the physical row holds the
+        // same node set as the logical one — scan it directly.
+        for &node in row {
             if used.contains(&node) {
                 continue 'next_match;
             }
         }
-        for (j, &node) in m.iter().enumerate() {
-            assignment[comp.vars[j].index()] = node;
-            used.push(node);
+        match perm {
+            None => {
+                for (j, &node) in row.iter().enumerate() {
+                    assignment[vars[j].index()] = node;
+                }
+            }
+            Some(p) => {
+                for (j, &phys) in p.iter().enumerate() {
+                    assignment[vars[j].index()] = row[phys as usize];
+                }
+            }
         }
-        let go_on = rec(components, order, depth + 1, assignment, used, f);
-        for &var in &comp.vars {
+        used.extend_from_slice(row);
+        let go_on = rec(inputs, order, depth + 1, assignment, used, f);
+        for &var in vars {
             assignment[var.index()] = NodeId(u32::MAX);
         }
-        used.truncate(used.len() - m.len());
+        used.truncate(used.len() - row.len());
         if !go_on {
             return false;
         }
@@ -82,9 +172,18 @@ fn rec(
 mod tests {
     use super::*;
 
-    fn collect(components: &[ComponentMatches], total: usize) -> Vec<Vec<NodeId>> {
+    fn table(arity: usize, rows: &[&[NodeId]]) -> MatchTable {
+        let mut t = MatchTable::new(arity);
+        for r in rows {
+            t.push_row(r);
+        }
+        t
+    }
+
+    fn collect(components: &[ComponentTable], total: usize) -> Vec<Vec<NodeId>> {
         let mut out = Vec::new();
-        join_components(components, total, &mut |a| {
+        let mut scratch = JoinScratch::new();
+        join_tables(components, total, &mut scratch, &mut |a| {
             out.push(a.to_vec());
             Flow::Continue
         });
@@ -94,14 +193,18 @@ mod tests {
     #[test]
     fn two_singleton_components_disjoint_pairs() {
         // Component A: var 0 over {n0, n1}; component B: var 1 over {n0, n1}.
-        let comps = vec![
-            ComponentMatches {
-                vars: vec![VarId(0)],
-                matches: vec![vec![NodeId(0)], vec![NodeId(1)]],
+        let ta = table(1, &[&[NodeId(0)], &[NodeId(1)]]);
+        let tb = table(1, &[&[NodeId(0)], &[NodeId(1)]]);
+        let comps = [
+            ComponentTable {
+                vars: &[VarId(0)],
+                table: &ta,
+                perm: None,
             },
-            ComponentMatches {
-                vars: vec![VarId(1)],
-                matches: vec![vec![NodeId(0)], vec![NodeId(1)]],
+            ComponentTable {
+                vars: &[VarId(1)],
+                table: &tb,
+                perm: None,
             },
         ];
         let out = collect(&comps, 2);
@@ -114,14 +217,18 @@ mod tests {
 
     #[test]
     fn empty_component_short_circuits() {
-        let comps = vec![
-            ComponentMatches {
-                vars: vec![VarId(0)],
-                matches: vec![vec![NodeId(0)]],
+        let ta = table(1, &[&[NodeId(0)]]);
+        let tb = table(1, &[]);
+        let comps = [
+            ComponentTable {
+                vars: &[VarId(0)],
+                table: &ta,
+                perm: None,
             },
-            ComponentMatches {
-                vars: vec![VarId(1)],
-                matches: vec![],
+            ComponentTable {
+                vars: &[VarId(1)],
+                table: &tb,
+                perm: None,
             },
         ];
         assert!(collect(&comps, 2).is_empty());
@@ -129,12 +236,15 @@ mod tests {
 
     #[test]
     fn break_stops_enumeration() {
-        let comps = vec![ComponentMatches {
-            vars: vec![VarId(0)],
-            matches: vec![vec![NodeId(0)], vec![NodeId(1)], vec![NodeId(2)]],
+        let t = table(1, &[&[NodeId(0)], &[NodeId(1)], &[NodeId(2)]]);
+        let comps = [ComponentTable {
+            vars: &[VarId(0)],
+            table: &t,
+            perm: None,
         }];
         let mut n = 0;
-        let complete = join_components(&comps, 1, &mut |_| {
+        let mut scratch = JoinScratch::new();
+        let complete = join_tables(comps.as_slice(), 1, &mut scratch, &mut |_| {
             n += 1;
             Flow::Break
         });
@@ -145,17 +255,58 @@ mod tests {
     #[test]
     fn assignment_indexed_by_original_vars() {
         // Component over original vars (2, 0); another over (1,).
-        let comps = vec![
-            ComponentMatches {
-                vars: vec![VarId(2), VarId(0)],
-                matches: vec![vec![NodeId(10), NodeId(11)]],
+        let ta = table(2, &[&[NodeId(10), NodeId(11)]]);
+        let tb = table(1, &[&[NodeId(12)]]);
+        let comps = [
+            ComponentTable {
+                vars: &[VarId(2), VarId(0)],
+                table: &ta,
+                perm: None,
             },
-            ComponentMatches {
-                vars: vec![VarId(1)],
-                matches: vec![vec![NodeId(12)]],
+            ComponentTable {
+                vars: &[VarId(1)],
+                table: &tb,
+                perm: None,
             },
         ];
         let out = collect(&comps, 3);
         assert_eq!(out, vec![vec![NodeId(11), NodeId(12), NodeId(10)]]);
+    }
+
+    #[test]
+    fn permuted_view_joins_like_materialized_rows() {
+        // Physical rows in representative order (rep0, rep1); the twin
+        // component's logical columns read (rep1, rep0).
+        let t = table(2, &[&[NodeId(1), NodeId(2)], &[NodeId(3), NodeId(4)]]);
+        let perm = [1u32, 0];
+        let comps = [ComponentTable {
+            vars: &[VarId(0), VarId(1)],
+            table: &t,
+            perm: Some(&perm),
+        }];
+        let out = collect(&comps, 2);
+        assert_eq!(
+            out,
+            vec![vec![NodeId(2), NodeId(1)], vec![NodeId(4), NodeId(3)],]
+        );
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_joins() {
+        let t = table(1, &[&[NodeId(0)], &[NodeId(1)]]);
+        let comps = [ComponentTable {
+            vars: &[VarId(0)],
+            table: &t,
+            perm: None,
+        }];
+        let mut scratch = JoinScratch::new();
+        for _ in 0..3 {
+            let mut n = 0;
+            join_tables(comps.as_slice(), 1, &mut scratch, &mut |_| {
+                n += 1;
+                Flow::Continue
+            });
+            assert_eq!(n, 2);
+        }
     }
 }

@@ -31,10 +31,12 @@ pub mod incremental;
 pub mod join;
 pub mod registry;
 pub mod simulation;
+pub mod table;
 pub mod types;
 
 pub use api::{count_matches, find_matches, for_each_match, for_each_match_in_space, has_match};
 pub use incremental::{IncrementalSpace, RepairReport};
 pub use registry::{SpaceHandle, SpaceRegistry};
 pub use simulation::{dual_simulation, CandidateSpace};
+pub use table::{MatchTable, TableView};
 pub use types::{Match, MatchOptions, SearchBudget, SimFilter};

@@ -58,8 +58,7 @@ pub fn assign(strategy: Assignment, costs: &[u64], n: usize) -> Vec<usize> {
 pub fn lpt_assign_grouped(costs: &[u64], group_keys: &[u64], n: usize) -> Vec<usize> {
     assert_eq!(costs.len(), group_keys.len());
     assert!(n > 0);
-    let mut groups: std::collections::HashMap<u64, (u64, Vec<usize>)> =
-        std::collections::HashMap::new();
+    let mut groups: gfd_util::FxHashMap<u64, (u64, Vec<usize>)> = gfd_util::FxHashMap::default();
     for (i, (&c, &k)) in costs.iter().zip(group_keys).enumerate() {
         let entry = groups.entry(k).or_default();
         entry.0 += c;

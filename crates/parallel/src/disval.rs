@@ -26,8 +26,9 @@
 //! charged to the communication clocks — so violations are exact and
 //! the communication behaviour (Fig. 5(j–l)) is faithfully modeled.
 
-use std::collections::HashSet;
 use std::sync::Arc;
+
+use gfd_util::{FxHashMap, FxHashSet};
 
 use gfd_core::GfdSet;
 use gfd_graph::{Fragmentation, Graph, NodeId};
@@ -37,8 +38,10 @@ use crate::balance::random_assign;
 use crate::cluster::{CostModel, SimClocks};
 use crate::metrics::ParallelReport;
 use crate::opt::{reduce_workload, split_large_units, SplitUnit};
-use crate::unitexec::{execute_unit, sort_violations, MatchCache, MultiQueryIndex};
-use crate::workload::{estimate_workload, plan_rules, PivotedRule, WorkloadOptions};
+use crate::unitexec::{
+    execute_unit, sort_violations, CacheStats, MatchCache, MultiQueryIndex, UnitScratch,
+};
+use crate::workload::{estimate_workload, plan_rules, PivotedRule, UnitSlot, WorkloadOptions};
 use crate::Assignment;
 
 /// Configuration of a `disVal` run.
@@ -114,12 +117,12 @@ const REDUCTION_CAP: usize = 64;
 /// nodes it neither owns nor has cached.
 fn prefetch_bytes(
     g: &Graph,
-    slots: &[crate::workload::UnitSlot],
+    slots: &[UnitSlot],
     worker: usize,
     frag: &Fragmentation,
-    cached: Option<&HashSet<NodeId>>,
+    cached: Option<&FxHashSet<NodeId>>,
 ) -> u64 {
-    let mut seen = HashSet::new();
+    let mut seen = FxHashSet::default();
     let mut bytes = 0u64;
     for slot in slots {
         for node in slot.block.iter() {
@@ -156,11 +159,17 @@ pub(crate) const PARTIAL_REFINE_MAX_BLOCK: usize = 256;
 /// [`PARTIAL_REFINE_MAX_BLOCK`] fall back to the simulation's seeding
 /// stage (label counts per block), an upper bound of the refined
 /// relation.
-fn partial_match_bytes(g: &Graph, plans: &[PivotedRule], su: &SplitUnit) -> u64 {
-    let rule = &plans[su.unit.rule];
+fn partial_match_bytes(
+    g: &Graph,
+    plans: &[PivotedRule],
+    slots: &[UnitSlot],
+    su: &SplitUnit,
+) -> u64 {
+    let rule = &plans[su.unit.rule()];
+    let unit_slots = su.unit.slots(slots);
     let mut bytes = 0u64;
     for (i, comp) in rule.components.iter().enumerate() {
-        let block = &su.unit.slots[i.min(su.unit.slots.len() - 1)].block;
+        let block = &unit_slots[i.min(unit_slots.len() - 1)].block;
         let rows = if block.len() <= PARTIAL_REFINE_MAX_BLOCK {
             dual_simulation(&comp.pattern, g, Some(block)).total_size() as u64
         } else {
@@ -209,7 +218,8 @@ pub fn dis_val(
     let plans = plan_rules(&sigma_red);
     let wl = estimate_workload(&sigma_red, g, &cfg.workload);
     let estimation_seconds = wl.estimation_seconds / cfg.n as f64;
-    let split = split_large_units(wl.units, cfg.split_threshold);
+    let split = split_large_units(&wl.units, cfg.split_threshold);
+    let slots = &wl.slots;
 
     let mut clocks = SimClocks::new(cfg.n);
     {
@@ -221,7 +231,11 @@ pub fn dis_val(
             if su.share != 0 {
                 continue;
             }
-            let mut owners: Vec<usize> = su.unit.pivots().map(|p| frag.owner(p).index()).collect();
+            let mut owners: Vec<usize> = su
+                .unit
+                .pivots(slots)
+                .map(|p| frag.owner(p).index())
+                .collect();
             owners.sort_unstable();
             owners.dedup();
             for w in owners {
@@ -250,8 +264,8 @@ pub fn dis_val(
         }
         let mut by_frag = vec![0u64; cfg.n];
         let mut total = 0u64;
-        let mut seen = HashSet::new();
-        for slot in &su.unit.slots {
+        let mut seen = FxHashSet::default();
+        for slot in su.unit.slots(slots) {
             for node in slot.block.iter() {
                 if !seen.insert(node) {
                     continue;
@@ -284,13 +298,12 @@ pub fn dis_val(
             // cache is on (sub-pattern scheduling — see repVal), or
             // individually otherwise; either way: descending cost,
             // load-feasible workers, minimal shipment.
-            let mut groups: std::collections::HashMap<u64, (u64, Vec<usize>)> =
-                std::collections::HashMap::new();
+            let mut groups: FxHashMap<u64, (u64, Vec<usize>)> = FxHashMap::default();
             for (i, su) in split.iter().enumerate() {
                 // Same-pivot units co-locate (cache reuse) but shares of
                 // one split unit must spread across workers.
                 let key = if cfg.multi_query {
-                    su.unit.slots[0].pivot.0 as u64 | ((su.share as u64) << 32)
+                    su.unit.slots(slots)[0].pivot.0 as u64 | ((su.share as u64) << 32)
                 } else {
                     i as u64
                 };
@@ -341,14 +354,15 @@ pub fn dis_val(
     // (3) dlocalVio at each worker, with per-worker node caches.
     let mqi = cfg.multi_query.then(|| MultiQueryIndex::build(&plans));
     let mut violations = Vec::new();
-    let mut cache_hits = 0u64;
+    let mut cache_stats = CacheStats::default();
+    let mut scratch = UnitScratch::new();
     // Pass 1 — execute primary shares (per-worker loops so both the
     // multi-query cache and the per-worker node cache behave like real
     // local caches) and record the measured time per unit.
     let mut unit_elapsed: Vec<f64> =
         vec![0.0; split.iter().map(|s| s.unit_index + 1).max().unwrap_or(0)];
     for worker in 0..cfg.n {
-        let mut node_cache: HashSet<NodeId> = HashSet::new();
+        let mut node_cache: FxHashSet<NodeId> = FxHashSet::default();
         let mut match_cache = MatchCache::new();
         // Shipment is batched per worker: prefetches stream from peer
         // fragments (bulk, nodes deduplicated by the cache), partial
@@ -367,12 +381,12 @@ pub fn dis_val(
                 partial_bytes += su.cost() * 8;
             } else if cfg.scheme_choice {
                 // Scheme selection: prefetch vs partial-match shipping.
-                let pre = prefetch_bytes(g, &su.unit.slots, worker, frag, Some(&node_cache));
-                let part = partial_match_bytes(g, &plans, su);
+                let pre = prefetch_bytes(g, su.unit.slots(slots), worker, frag, Some(&node_cache));
+                let part = partial_match_bytes(g, &plans, slots, su);
                 if part < pre {
                     partial_bytes += part;
                 } else {
-                    for slot in &su.unit.slots {
+                    for slot in su.unit.slots(slots) {
                         for node in slot.block.iter() {
                             if frag.owner(node).index() != worker {
                                 node_cache.insert(node);
@@ -382,8 +396,8 @@ pub fn dis_val(
                     fetch_bytes += pre;
                 }
             } else {
-                let pre = prefetch_bytes(g, &su.unit.slots, worker, frag, Some(&node_cache));
-                for slot in &su.unit.slots {
+                let pre = prefetch_bytes(g, su.unit.slots(slots), worker, frag, Some(&node_cache));
+                for slot in su.unit.slots(slots) {
                     for node in slot.block.iter() {
                         if frag.owner(node).index() != worker {
                             node_cache.insert(node);
@@ -394,17 +408,19 @@ pub fn dis_val(
             }
             if su.share == 0 {
                 let before = violations.len();
-                let t = std::time::Instant::now();
+                let start = std::time::Instant::now();
                 execute_unit(
                     g,
                     &sigma_red,
                     &plans,
+                    slots,
                     &su.unit,
                     mqi.as_ref(),
                     &mut match_cache,
+                    &mut scratch,
                     &mut violations,
                 );
-                unit_elapsed[su.unit_index] = t.elapsed().as_secs_f64();
+                unit_elapsed[su.unit_index] = start.elapsed().as_secs_f64();
                 let found = (violations.len() - before) as u64;
                 violation_bytes += found * 8 * su.unit.k().max(1) as u64;
             }
@@ -414,7 +430,7 @@ pub fn dis_val(
                 clocks.charge_message(worker, bytes, &cfg.cost_model);
             }
         }
-        cache_hits += match_cache.hits;
+        cache_stats += match_cache.stats();
     }
     // Pass 2 — every share carries 1/of of its unit's measured time.
     for (i, su) in split.iter().enumerate() {
@@ -431,7 +447,7 @@ pub fn dis_val(
         estimation_seconds,
         partition_seconds,
         split.len(),
-        cache_hits,
+        cache_stats,
     )
 }
 
@@ -592,30 +608,39 @@ mod tests {
         }]);
         let plans = plan_rules(&sigma);
         let mut cache = BlockCache::new();
-        let mk_unit = |block: Arc<gfd_graph::NodeSet>, pivot| SplitUnit {
-            unit: WorkUnit {
-                rule: 0,
-                slots: vec![UnitSlot { pivot, block }],
-                cost: 0,
-                check_both_orientations: false,
-            },
-            unit_index: 0,
-            share: 0,
-            of: 1,
+        let mk_unit = |slots: &mut Vec<UnitSlot>, block: Arc<gfd_graph::NodeSet>, pivot| {
+            let offset = slots.len() as u32;
+            slots.push(UnitSlot { pivot, block });
+            SplitUnit {
+                unit: WorkUnit {
+                    rule: 0,
+                    slot_offset: offset,
+                    slot_len: 1,
+                    check_both_orientations: false,
+                    cost: 0,
+                },
+                unit_index: 0,
+                share: 0,
+                of: 1,
+            }
         };
 
         // Small block (4 nodes ≤ threshold): the refined path. Label
         // seeding would count both flights (rows 2+1+1 = 4); the
         // refined relation drops f2 (rows 1+1+1 = 3).
+        let mut slots: Vec<UnitSlot> = Vec::new();
         let block = cache.block(&g, f, 1);
         assert!(block.len() <= PARTIAL_REFINE_MAX_BLOCK);
-        let su = mk_unit(block.clone(), f);
+        let su = mk_unit(&mut slots, block.clone(), f);
         let nvars = 3u64;
         let refined = gfd_match::dual_simulation(&plans[0].components[0].pattern, &g, Some(&block))
             .total_size() as u64;
         assert_eq!(refined, 3);
-        assert_eq!(partial_match_bytes(&g, &plans, &su), refined * 8 * nvars);
-        assert!(partial_match_bytes(&g, &plans, &su) < 4 * 8 * nvars);
+        assert_eq!(
+            partial_match_bytes(&g, &plans, &slots, &su),
+            refined * 8 * nvars
+        );
+        assert!(partial_match_bytes(&g, &plans, &slots, &su) < 4 * 8 * nvars);
 
         // Large block (> threshold): the seeding path counts every
         // label-admitted node, including ids refinement would drop
@@ -651,9 +676,13 @@ mod tests {
         let mut cache2 = BlockCache::new();
         let big = cache2.block(&g2, hub, 1);
         assert!(big.len() > PARTIAL_REFINE_MAX_BLOCK);
-        let su2 = mk_unit(big.clone(), hub);
+        let mut slots2: Vec<UnitSlot> = Vec::new();
+        let su2 = mk_unit(&mut slots2, big.clone(), hub);
         let seeded_rows = (1 + 310 + 1) as u64; // flights + ids + cities by label
-        assert_eq!(partial_match_bytes(&g2, &plans2, &su2), seeded_rows * 8 * 3);
+        assert_eq!(
+            partial_match_bytes(&g2, &plans2, &slots2, &su2),
+            seeded_rows * 8 * 3
+        );
         let refined_rows =
             gfd_match::dual_simulation(&plans2[0].components[0].pattern, &g2, Some(&big))
                 .total_size() as u64;

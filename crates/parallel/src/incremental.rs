@@ -32,8 +32,8 @@ use gfd_graph::{Graph, GraphDelta, NodeId, NodeSet};
 use gfd_match::{SpaceHandle, SpaceRegistry};
 
 use crate::workload::{
-    assemble, feasible_pivots, pivots_from_space, plan_rules, BlockCache, PivotedRule, WorkUnit,
-    Workload, WorkloadOptions,
+    assemble, feasible_pivots, pivots_from_space, plan_rules, BlockCache, PivotedRule, UnitSlot,
+    WorkUnit, Workload, WorkloadOptions,
 };
 
 /// Maintains the workload `W(Σ, G)` across graph edits; see the
@@ -49,7 +49,12 @@ pub struct IncrementalWorkload {
     /// label extents).
     handles: Vec<Vec<SpaceHandle>>,
     cache: BlockCache,
+    /// Per-rule unit descriptors, with slot offsets into the *rule's
+    /// own* arena in `slots_by_rule` — the same flat layout the
+    /// one-shot estimator produces, kept per rule so a repair swaps
+    /// exactly one rule's `(units, slots)` pair.
     units_by_rule: Vec<Vec<WorkUnit>>,
+    slots_by_rule: Vec<Vec<UnitSlot>>,
     /// Pivot candidates pruned per rule (kept per rule so refreshes
     /// can re-total without re-deriving untouched rules).
     pruned_by_rule: Vec<usize>,
@@ -77,6 +82,7 @@ impl IncrementalWorkload {
             .collect();
         let mut this = IncrementalWorkload {
             units_by_rule: vec![Vec::new(); plans.len()],
+            slots_by_rule: vec![Vec::new(); plans.len()],
             pruned_by_rule: vec![0; plans.len()],
             plans,
             registry,
@@ -141,6 +147,7 @@ impl IncrementalWorkload {
             None,
         );
         self.units_by_rule[r] = scratch.units;
+        self.slots_by_rule[r] = scratch.slots;
     }
 
     /// Repairs the workload against one edit step (`g` is the edited
@@ -192,11 +199,9 @@ impl IncrementalWorkload {
             // (b) a block of this rule is stale: some unit's slot
             // contains a delta edge endpoint.
             if !stale && !edge_touched.is_empty() {
-                stale = self.units_by_rule[r].iter().any(|u| {
-                    u.slots
-                        .iter()
-                        .any(|s| edge_touched.iter().any(|&t| s.block.contains(t)))
-                });
+                stale = self.slots_by_rule[r]
+                    .iter()
+                    .any(|s| edge_touched.iter().any(|&t| s.block.contains(t)));
             }
             if stale {
                 self.rebuild_rule(r, g);
@@ -213,14 +218,27 @@ impl IncrementalWorkload {
         rebuilt
     }
 
-    /// Flattens the maintained per-rule unit lists into a [`Workload`]
-    /// (units carry shared `Arc` blocks — no deep copies). The
-    /// `simulations` field carries the maintainer's lifetime registry
-    /// count: one fixpoint per isomorphism class ever queried, however
-    /// many edits have been applied since.
+    /// Reassembles the maintained per-rule `(units, slots)` pairs into
+    /// one flat [`Workload`]: the per-rule arenas are concatenated and
+    /// each unit descriptor is rebased by its rule's arena offset —
+    /// slots carry shared `Arc` blocks, so no block is ever deep
+    /// copied. The `simulations` field carries the maintainer's
+    /// lifetime registry count: one fixpoint per isomorphism class
+    /// ever queried, however many edits have been applied since.
     pub fn workload(&self) -> Workload {
+        let mut slots = Vec::with_capacity(self.slots_by_rule.iter().map(Vec::len).sum());
+        let mut units = Vec::with_capacity(self.units_by_rule.iter().map(Vec::len).sum());
+        for (rule_units, rule_slots) in self.units_by_rule.iter().zip(&self.slots_by_rule) {
+            let base = slots.len() as u32;
+            slots.extend_from_slice(rule_slots);
+            units.extend(rule_units.iter().map(|u| WorkUnit {
+                slot_offset: u.slot_offset + base,
+                ..*u
+            }));
+        }
         Workload {
-            units: self.units_by_rule.iter().flatten().cloned().collect(),
+            units,
+            slots,
             estimation_seconds: 0.0,
             pruned: self.pruned_by_rule.iter().sum(),
             truncated: false,
@@ -228,9 +246,16 @@ impl IncrementalWorkload {
         }
     }
 
-    /// Iterates the maintained units in rule order.
+    /// Iterates the maintained units in rule order (slot offsets are
+    /// relative to [`IncrementalWorkload::rule_slots`] of the unit's
+    /// rule).
     pub fn units(&self) -> impl Iterator<Item = &WorkUnit> + '_ {
         self.units_by_rule.iter().flatten()
+    }
+
+    /// One rule's slot arena (what its units' offsets index).
+    pub fn rule_slots(&self, rule: usize) -> &[UnitSlot] {
+        &self.slots_by_rule[rule]
     }
 
     /// Total maintained load `t(|Σ|, W)`.
@@ -250,13 +275,14 @@ mod tests {
 
     /// A comparable form of a workload: sorted (rule, pivot vector,
     /// cost, orientation) tuples.
-    fn canon(units: &[WorkUnit]) -> Vec<(usize, Vec<NodeId>, u64, bool)> {
-        let mut v: Vec<_> = units
+    fn canon(wl: &Workload) -> Vec<(usize, Vec<NodeId>, u64, bool)> {
+        let mut v: Vec<_> = wl
+            .units
             .iter()
             .map(|u| {
                 (
-                    u.rule,
-                    u.pivots().collect::<Vec<_>>(),
+                    u.rule(),
+                    u.pivots(&wl.slots).collect::<Vec<_>>(),
                     u.cost,
                     u.check_both_orientations,
                 )
@@ -337,7 +363,7 @@ mod tests {
                 });
                 inc.apply(&g2, &delta);
                 let scratch = estimate_workload(&sigma, &g2, &opts);
-                let (got, want) = (canon(&inc.workload().units), canon(&scratch.units));
+                let (got, want) = (canon(&inc.workload()), canon(&scratch));
                 if got != want {
                     return Err(format!(
                         "step {step} (kind {kind}): {} maintained vs {} scratch units",
@@ -374,7 +400,7 @@ mod tests {
         let g = b.freeze();
         let sigma = rules(g.vocab().clone());
         let mut inc = IncrementalWorkload::new(&sigma, &g, &WorkloadOptions::default());
-        let before = canon(&inc.workload().units);
+        let before = canon(&inc.workload());
         // Editing only the island leaves every rule's units untouched.
         let (g2, delta) = g.edit_with_delta(|b| {
             b.remove_edge_labeled(far1, far2, "bridge");
@@ -382,10 +408,10 @@ mod tests {
         });
         let rebuilt = inc.apply(&g2, &delta);
         assert!(rebuilt.is_empty(), "island edit rebuilt rules {rebuilt:?}");
-        assert_eq!(canon(&inc.workload().units), before);
+        assert_eq!(canon(&inc.workload()), before);
         // And the maintained state still matches scratch.
         let scratch = estimate_workload(&sigma, &g2, &WorkloadOptions::default());
-        assert_eq!(canon(&inc.workload().units), canon(&scratch.units));
+        assert_eq!(canon(&inc.workload()), canon(&scratch));
     }
 
     #[test]
@@ -411,7 +437,7 @@ mod tests {
             });
             inc.apply(&g2, &delta);
             let scratch = estimate_workload(&sigma, &g2, &opts);
-            assert_eq!(canon(&inc.workload().units), canon(&scratch.units));
+            assert_eq!(canon(&inc.workload()), canon(&scratch));
             g = g2;
         }
     }

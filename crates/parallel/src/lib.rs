@@ -51,7 +51,10 @@ pub use disval::{dis_val, DisValConfig};
 pub use incremental::IncrementalWorkload;
 pub use metrics::ParallelReport;
 pub use repval::{rep_val, RepValConfig};
-pub use workload::{estimate_workload, estimate_workload_in, WorkUnit, Workload, WorkloadOptions};
+pub use unitexec::{CacheStats, MatchCache, UnitScratch};
+pub use workload::{
+    estimate_workload, estimate_workload_in, UnitSlot, WorkUnit, Workload, WorkloadOptions,
+};
 
 /// Assignment strategy for distributing work units over processors.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -3,6 +3,7 @@
 use gfd_core::Violation;
 
 use crate::cluster::SimClocks;
+use crate::unitexec::CacheStats;
 
 /// Everything a `repVal`/`disVal` run reports: the violations plus the
 /// simulated-time breakdown the figures plot.
@@ -36,6 +37,10 @@ pub struct ParallelReport {
     pub per_worker_busy: Vec<f64>,
     /// Multi-query cache hits (0 when the optimization is off).
     pub cache_hits: u64,
+    /// Multi-query cache misses (enumerations actually run).
+    pub cache_misses: u64,
+    /// Match tables evicted by the per-worker cache byte cap.
+    pub cache_evictions: u64,
 }
 
 impl ParallelReport {
@@ -50,7 +55,7 @@ impl ParallelReport {
         estimation_seconds: f64,
         partition_seconds: f64,
         units: usize,
-        cache_hits: u64,
+        cache: CacheStats,
     ) -> Self {
         ParallelReport {
             algo: algo.into(),
@@ -65,7 +70,9 @@ impl ParallelReport {
             messages: clocks.total_messages(),
             units,
             per_worker_busy: clocks.busy.clone(),
-            cache_hits,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
         }
     }
 
@@ -109,7 +116,17 @@ mod tests {
                 latency: 0.0,
             },
         );
-        let r = ParallelReport::from_clocks("test", 2, vec![], &clocks, 0.5, 0.25, 0.25, 7, 0);
+        let r = ParallelReport::from_clocks(
+            "test",
+            2,
+            vec![],
+            &clocks,
+            0.5,
+            0.25,
+            0.25,
+            7,
+            CacheStats::default(),
+        );
         assert!((r.compute_seconds - 3.0).abs() < 1e-9);
         assert!((r.comm_seconds - 1.0).abs() < 1e-9);
         assert!((r.total_seconds() - 5.0).abs() < 1e-9);
@@ -122,7 +139,17 @@ mod tests {
         for w in 0..4 {
             clocks.charge_compute(w, 2.0);
         }
-        let r = ParallelReport::from_clocks("t", 4, vec![], &clocks, 0.0, 0.0, 0.0, 0, 0);
+        let r = ParallelReport::from_clocks(
+            "t",
+            4,
+            vec![],
+            &clocks,
+            0.0,
+            0.0,
+            0.0,
+            0,
+            CacheStats::default(),
+        );
         assert!((r.imbalance() - 1.0).abs() < 1e-9);
     }
 }

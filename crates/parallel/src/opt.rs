@@ -29,9 +29,10 @@ pub fn reduce_workload(sigma: &GfdSet, cap: usize) -> (GfdSet, f64) {
 
 /// A unit after skew splitting: `share`/`of` describe which slice of
 /// the replicated unit this entry carries.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct SplitUnit {
-    /// The underlying unit (same pivots/blocks for all shares).
+    /// The underlying unit (same pivots/blocks for all shares — the
+    /// descriptor points into the workload's shared slot arena).
     pub unit: WorkUnit,
     /// Index of the original unit in the pre-split workload (shares of
     /// one unit agree), used to spread the measured enumeration time
@@ -53,30 +54,24 @@ impl SplitUnit {
 /// Splits units whose block size exceeds `threshold` into
 /// `ceil(cost/threshold)` shares ("replicate `w` with the same `z̄`,
 /// but split `G_z̄`"). With `threshold = None`, every unit gets a
-/// single share.
-pub fn split_large_units(units: Vec<WorkUnit>, threshold: Option<u64>) -> Vec<SplitUnit> {
+/// single share. Units are arena descriptors, so every share is a
+/// plain copy — splitting never touches the heap beyond the output
+/// vector itself.
+pub fn split_large_units(units: &[WorkUnit], threshold: Option<u64>) -> Vec<SplitUnit> {
     let mut out = Vec::with_capacity(units.len());
-    for (unit_index, unit) in units.into_iter().enumerate() {
+    for (unit_index, &unit) in units.iter().enumerate() {
         let parts = match threshold {
             Some(theta) if theta > 0 && unit.cost > theta => unit.cost.div_ceil(theta) as usize,
             _ => 1,
         };
-        // Clone for all but the last share, which takes ownership — the
-        // common unsplit case moves the unit without touching the heap.
-        for share in 0..parts - 1 {
+        for share in 0..parts {
             out.push(SplitUnit {
-                unit: unit.clone(),
+                unit,
                 unit_index,
                 share,
                 of: parts,
             });
         }
-        out.push(SplitUnit {
-            unit,
-            unit_index,
-            share: parts - 1,
-            of: parts,
-        });
     }
     out
 }
@@ -84,24 +79,20 @@ pub fn split_large_units(units: Vec<WorkUnit>, threshold: Option<u64>) -> Vec<Sp
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gfd_graph::{NodeId, NodeSet};
-    use std::sync::Arc;
 
     fn unit(cost: u64) -> WorkUnit {
         WorkUnit {
             rule: 0,
-            slots: vec![crate::workload::UnitSlot {
-                pivot: NodeId(0),
-                block: Arc::new(NodeSet::from_vec(vec![NodeId(0)])),
-            }],
-            cost,
+            slot_offset: 0,
+            slot_len: 1,
             check_both_orientations: false,
+            cost,
         }
     }
 
     #[test]
     fn small_units_untouched() {
-        let split = split_large_units(vec![unit(10), unit(20)], Some(50));
+        let split = split_large_units(&[unit(10), unit(20)], Some(50));
         assert_eq!(split.len(), 2);
         assert!(split.iter().all(|s| s.of == 1));
         assert_eq!(split[0].cost(), 10);
@@ -109,7 +100,7 @@ mod tests {
 
     #[test]
     fn large_units_split_proportionally() {
-        let split = split_large_units(vec![unit(100)], Some(30));
+        let split = split_large_units(&[unit(100)], Some(30));
         assert_eq!(split.len(), 4); // ceil(100/30)
         assert!(split.iter().all(|s| s.of == 4));
         assert_eq!(split[0].cost(), 25);
@@ -119,7 +110,7 @@ mod tests {
 
     #[test]
     fn no_threshold_means_no_split() {
-        let split = split_large_units(vec![unit(1_000_000)], None);
+        let split = split_large_units(&[unit(1_000_000)], None);
         assert_eq!(split.len(), 1);
         assert_eq!(split[0].of, 1);
     }

@@ -19,7 +19,9 @@ use crate::balance::assign;
 use crate::cluster::{CostModel, SimClocks};
 use crate::metrics::ParallelReport;
 use crate::opt::{reduce_workload, split_large_units};
-use crate::unitexec::{execute_unit, sort_violations, MatchCache, MultiQueryIndex};
+use crate::unitexec::{
+    execute_unit, sort_violations, CacheStats, MatchCache, MultiQueryIndex, UnitScratch,
+};
 use crate::workload::{estimate_workload, plan_rules, WorkloadOptions};
 use crate::Assignment;
 
@@ -115,8 +117,10 @@ pub fn rep_val(sigma: &GfdSet, g: &Arc<Graph>, cfg: &RepValConfig) -> ParallelRe
     let wl = estimate_workload(&sigma_red, g, &cfg.workload);
     let estimation_seconds = wl.estimation_seconds / cfg.n as f64;
 
-    // (1b) Skew handling.
-    let split = split_large_units(wl.units, cfg.split_threshold);
+    // (1b) Skew handling. Units are arena descriptors, so splitting
+    // copies 24-byte records; the slot arena stays where it is.
+    let split = split_large_units(&wl.units, cfg.split_threshold);
+    let slots = &wl.slots;
 
     // (2) Partition the workload. With multi-query on, the balanced
     // strategy schedules pivot groups (sub-pattern scheduling) so that
@@ -130,7 +134,7 @@ pub fn rep_val(sigma: &GfdSet, g: &Arc<Graph>, cfg: &RepValConfig) -> ParallelRe
             // across workers — that is the whole point of splitting.
             let keys: Vec<u64> = split
                 .iter()
-                .map(|s| s.unit.slots[0].pivot.0 as u64 | ((s.share as u64) << 32))
+                .map(|s| s.unit.slots(slots)[0].pivot.0 as u64 | ((s.share as u64) << 32))
                 .collect();
             crate::balance::lpt_assign_grouped(&costs, &keys, cfg.n)
         }
@@ -143,7 +147,10 @@ pub fn rep_val(sigma: &GfdSet, g: &Arc<Graph>, cfg: &RepValConfig) -> ParallelRe
     let mut clocks = SimClocks::new(cfg.n);
     let mqi = cfg.multi_query.then(|| MultiQueryIndex::build(&plans));
     let mut violations = Vec::new();
-    let mut cache_hits = 0u64;
+    let mut cache_stats = CacheStats::default();
+    // Reused across workers: per-unit execution scratch (each worker
+    // would own one in a real deployment).
+    let mut scratch = UnitScratch::new();
     // Pass 1 — execute the primary share of every unit at its owner
     // (per-worker loop so the multi-query cache behaves like a real
     // local cache) and record the measured enumeration time per unit.
@@ -157,6 +164,11 @@ pub fn rep_val(sigma: &GfdSet, g: &Arc<Graph>, cfg: &RepValConfig) -> ParallelRe
         let mut descriptor_bytes = 0u64;
         let mut violation_bytes = 0u64;
         let mut partial_bytes = 0u64;
+        // One clock read per executed unit: each unit's elapsed time is
+        // the span since the previous unit finished (the inter-unit
+        // bookkeeping it absorbs is nanoseconds; reading the clock
+        // twice per unit was a measurable share of the loop).
+        let mut mark = std::time::Instant::now();
         for (i, su) in split.iter().enumerate() {
             if assignment[i] != worker {
                 continue;
@@ -164,19 +176,24 @@ pub fn rep_val(sigma: &GfdSet, g: &Arc<Graph>, cfg: &RepValConfig) -> ParallelRe
             descriptor_bytes += 16 + 8 * su.unit.k() as u64;
             if su.share == 0 {
                 let before = violations.len();
-                let t = std::time::Instant::now();
                 execute_unit(
                     g,
                     &sigma_red,
                     &plans,
+                    slots,
                     &su.unit,
                     mqi.as_ref(),
                     &mut cache,
+                    &mut scratch,
                     &mut violations,
                 );
-                unit_elapsed[su.unit_index] = t.elapsed().as_secs_f64();
+                let now = std::time::Instant::now();
+                unit_elapsed[su.unit_index] = (now - mark).as_secs_f64();
+                mark = now;
                 let found = (violations.len() - before) as u64;
                 violation_bytes += found * 8 * su.unit.k().max(1) as u64;
+            } else {
+                mark = std::time::Instant::now();
             }
             if su.of > 1 {
                 // Split shares ship partial matches instead of blocks
@@ -193,7 +210,7 @@ pub fn rep_val(sigma: &GfdSet, g: &Arc<Graph>, cfg: &RepValConfig) -> ParallelRe
         if partial_bytes > 0 {
             clocks.charge_message(worker, partial_bytes, &cfg.cost_model);
         }
-        cache_hits += cache.hits;
+        cache_stats += cache.stats();
     }
     // Pass 2 — every share (primary included) carries 1/of of the
     // unit's measured enumeration time: splitting spreads a skewed
@@ -212,7 +229,7 @@ pub fn rep_val(sigma: &GfdSet, g: &Arc<Graph>, cfg: &RepValConfig) -> ParallelRe
         estimation_seconds,
         partition_seconds,
         split.len(),
-        cache_hits,
+        cache_stats,
     )
 }
 

@@ -17,21 +17,23 @@ use std::sync::Arc;
 use gfd_core::{GfdSet, Violation};
 use gfd_graph::Graph;
 
-use crate::unitexec::{execute_unit, sort_violations, MatchCache, MultiQueryIndex};
-use crate::workload::{PivotedRule, WorkUnit};
+use crate::unitexec::{execute_unit, sort_violations, MatchCache, MultiQueryIndex, UnitScratch};
+use crate::workload::{PivotedRule, UnitSlot, WorkUnit};
 
-/// Executes all units across `threads` OS threads sharing one
-/// `Arc<Graph>`, returning the canonical (sorted) violation list.
+/// Executes all units (descriptors over the `slots` arena) across
+/// `threads` OS threads sharing one `Arc<Graph>`, returning the
+/// canonical (sorted) violation list.
 pub fn run_units_threaded(
     g: &Arc<Graph>,
     sigma: &GfdSet,
     plans: &[PivotedRule],
     units: &[WorkUnit],
+    slots: &[UnitSlot],
     threads: usize,
 ) -> Vec<Violation> {
     let mqi = MultiQueryIndex::build(plans);
     let next = AtomicUsize::new(0);
-    let mut violations: Vec<Violation> = std::thread::scope(|scope| {
+    let per_worker: Vec<Vec<Violation>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads.max(1))
             .map(|_| {
                 let g = Arc::clone(g);
@@ -39,11 +41,22 @@ pub fn run_units_threaded(
                 let mqi = &mqi;
                 scope.spawn(move || {
                     let mut cache = MatchCache::new();
+                    let mut scratch = UnitScratch::new();
                     let mut out = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(unit) = units.get(i) else { break };
-                        execute_unit(&g, sigma, plans, unit, Some(mqi), &mut cache, &mut out);
+                        execute_unit(
+                            &g,
+                            sigma,
+                            plans,
+                            slots,
+                            unit,
+                            Some(mqi),
+                            &mut cache,
+                            &mut scratch,
+                            &mut out,
+                        );
                     }
                     out
                 })
@@ -51,9 +64,17 @@ pub fn run_units_threaded(
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("worker thread panicked"))
+            .map(|h| h.join().expect("worker thread panicked"))
             .collect()
     });
+    // Merge with an exact capacity reservation (the flat_map-collect it
+    // replaces re-grew the vector share by share), then establish the
+    // canonical order in one unstable sort over the concatenation.
+    let total = per_worker.iter().map(Vec::len).sum();
+    let mut violations = Vec::with_capacity(total);
+    for mut part in per_worker {
+        violations.append(&mut part);
+    }
     sort_violations(&mut violations);
     violations
 }
@@ -118,7 +139,7 @@ mod tests {
         let plans = plan_rules(&sigma);
         let wl = estimate_workload(&sigma, &g, &WorkloadOptions::default());
         for threads in [1usize, 2, 4] {
-            let got = run_units_threaded(&g, &sigma, &plans, &wl.units, threads);
+            let got = run_units_threaded(&g, &sigma, &plans, &wl.units, &wl.slots, threads);
             assert_eq!(got, expected, "threads={threads}");
         }
     }
@@ -128,7 +149,7 @@ mod tests {
         let g = Arc::new(social(4));
         let sigma = GfdSet::default();
         let plans = plan_rules(&sigma);
-        let got = run_units_threaded(&g, &sigma, &plans, &[], 2);
+        let got = run_units_threaded(&g, &sigma, &plans, &[], &[], 2);
         assert!(got.is_empty());
     }
 }

@@ -10,70 +10,105 @@
 //! loses violations.
 //!
 //! The *multi-query* optimization (appendix, following [31]) caches
-//! per-(component-isomorphism-class, pivot) match lists: rules mined
-//! from shared frequent features share components, and the cache lets
-//! all of them reuse one enumeration.
+//! per-(component-isomorphism-class, pivot) match **tables**: rules
+//! mined from shared frequent features share components, and the cache
+//! lets all of them reuse one enumeration. Cached enumerations are
+//! flat [`MatchTable`]s shared behind `Arc`; an isomorphic twin reads
+//! a hit through a precomputed column-permutation [`TableView`] — an
+//! `O(arity)` header rewrite, never a row copy — and the disjointness
+//! join streams straight over the shared rows. Together with the
+//! per-worker [`UnitScratch`], a warm [`execute_unit`] call performs
+//! **zero heap allocations** (asserted by the `alloc_probe` test and
+//! the `alloc/unit_exec_steady_state` bench sample).
 
-use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
 
 use gfd_core::validate::match_satisfies;
 use gfd_core::{GfdSet, Violation};
 use gfd_graph::{Graph, NodeId, NodeSet};
 use gfd_match::component::ComponentSearch;
-use gfd_match::join::{join_components, ComponentMatches};
+use gfd_match::join::{join_tables, JoinInputs, JoinScratch};
+use gfd_match::table::{MatchTable, TableView};
 use gfd_match::types::Flow;
 use gfd_match::Match;
 use gfd_pattern::{canonical_form, VarId};
+use gfd_util::FxHashMap;
 
-use crate::workload::{PivotedRule, WorkUnit};
+use crate::workload::{ComponentPlan, PivotedRule, UnitSlot, WorkUnit};
 
 /// Cross-rule index of isomorphic components for the multi-query
 /// optimization.
 #[derive(Debug)]
 pub struct MultiQueryIndex {
-    /// `class_and_map[rule][comp] = (class id, comp-var → rep-var map)`.
-    class_and_map: Vec<Vec<(usize, Vec<VarId>)>>,
+    /// One entry per `(rule, component)`.
+    entries: Vec<Vec<MqiEntry>>,
     /// Representative `(rule, comp)` per class id.
     reps: Vec<(usize, usize)>,
+}
+
+/// One component's multi-query metadata: its isomorphism class, the
+/// pivot translated into representative order (the cache-key
+/// variable), and the column permutation onto the representative
+/// (`None` = identity).
+#[derive(Debug)]
+struct MqiEntry {
+    class: usize,
+    rep_pin: VarId,
+    perm: Option<Arc<[u32]>>,
 }
 
 impl MultiQueryIndex {
     /// Groups all components of all rules into exact-label isomorphism
     /// classes, keyed by complete canonical codes — no 64-bit
     /// signature-collision exposure, and the canonical orders compose
-    /// into the comp-var → rep-var witness the match cache remaps
-    /// cached enumerations along. (The earlier embedding-based check
-    /// could pair a wildcard variable with a labeled one, whose match
-    /// sets differ — exact labels make cache reuse sound by
-    /// construction.)
+    /// into the comp-var → rep-var witness that becomes each member's
+    /// cached **column permutation**: built once here, a cache hit
+    /// reuses it as a shared view header with no per-hit work. (The
+    /// earlier embedding-based check could pair a wildcard variable
+    /// with a labeled one, whose match sets differ — exact labels make
+    /// cache reuse sound by construction.)
     pub fn build(plans: &[PivotedRule]) -> Self {
-        let mut class_and_map: Vec<Vec<(usize, Vec<VarId>)>> = Vec::with_capacity(plans.len());
+        let mut entries: Vec<Vec<MqiEntry>> = Vec::with_capacity(plans.len());
         let mut reps: Vec<(usize, usize)> = Vec::new();
-        let mut by_code: HashMap<Vec<u64>, usize> = HashMap::new();
+        let mut by_code: FxHashMap<Vec<u64>, usize> = FxHashMap::default();
         let mut rep_forms: Vec<gfd_pattern::CanonicalForm> = Vec::new();
         for (ri, rule) in plans.iter().enumerate() {
             let mut per_comp = Vec::with_capacity(rule.components.len());
             for (ci, comp) in rule.components.iter().enumerate() {
                 let form = canonical_form(&comp.pattern);
                 let entry = match by_code.get(form.code()) {
-                    Some(&class) => (class, form.witness_onto(&rep_forms[class]).into_map()),
+                    Some(&class) => {
+                        let map = form.witness_onto(&rep_forms[class]).into_map();
+                        let rep_pin = map[comp.local_pivot.index()];
+                        let identity = map.iter().enumerate().all(|(i, v)| v.index() == i);
+                        let perm = (!identity)
+                            .then(|| map.iter().map(|v| v.index() as u32).collect::<Arc<[u32]>>());
+                        MqiEntry {
+                            class,
+                            rep_pin,
+                            perm,
+                        }
+                    }
                     None => {
                         let class = reps.len();
                         reps.push((ri, ci));
                         by_code.insert(form.code().to_vec(), class);
                         rep_forms.push(form);
-                        // Identity mapping for the representative itself.
-                        (class, comp.pattern.vars().collect())
+                        // The representative views its own table
+                        // identically, pinned at its own pivot.
+                        MqiEntry {
+                            class,
+                            rep_pin: comp.local_pivot,
+                            perm: None,
+                        }
                     }
                 };
                 per_comp.push(entry);
             }
-            class_and_map.push(per_comp);
+            entries.push(per_comp);
         }
-        MultiQueryIndex {
-            class_and_map,
-            reps,
-        }
+        MultiQueryIndex { entries, reps }
     }
 
     /// Number of isomorphism classes (≤ total components).
@@ -82,29 +117,118 @@ impl MultiQueryIndex {
     }
 }
 
-/// A cached enumeration: matches in representative variable order.
-type CachedMatches = std::rc::Rc<Vec<Vec<NodeId>>>;
+/// Hit/miss/eviction counters of a [`MatchCache`], aggregated into
+/// [`crate::metrics::ParallelReport`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Enumerations served from the cache.
+    pub hits: u64,
+    /// Enumerations that had to run.
+    pub misses: u64,
+    /// Tables evicted by the byte cap.
+    pub evictions: u64,
+}
+
+impl std::ops::AddAssign for CacheStats {
+    fn add_assign(&mut self, o: CacheStats) {
+        self.hits += o.hits;
+        self.misses += o.misses;
+        self.evictions += o.evictions;
+    }
+}
+
+/// Default [`MatchCache`] capacity: enough for every workload in the
+/// experiment suite, small enough that a long-lived worker stays
+/// bounded (32 MiB of match rows per worker).
+pub const DEFAULT_MATCH_CACHE_BYTES: usize = 32 << 20;
 
 /// Per-worker cache of pinned component enumerations, keyed by
-/// `(class, rep pin var, pivot node)`.
-#[derive(Default)]
+/// `(class, rep pin var, pivot node)`. Values are shared flat tables:
+/// a hit is two `Arc` bumps, never a row copy.
+///
+/// The cache is **size-capped on table bytes** with FIFO eviction — a
+/// worker that streams millions of units over a skewed pivot
+/// distribution holds at most `max_bytes` of match rows, and
+/// [`CacheStats`] surfaces the hit/miss/eviction counts for the
+/// optimization-effect reports.
 pub struct MatchCache {
-    map: HashMap<(usize, VarId, NodeId), CachedMatches>,
+    map: FxHashMap<(usize, VarId, NodeId), Arc<MatchTable>>,
+    /// Insertion order, for eviction.
+    queue: VecDeque<(usize, VarId, NodeId)>,
+    /// Current total of `data_bytes` over cached tables.
+    bytes: usize,
+    max_bytes: usize,
     /// Cache hits, for optimization-effect reporting.
     pub hits: u64,
     /// Cache misses.
     pub misses: u64,
+    /// Evictions forced by the byte cap.
+    pub evictions: u64,
+}
+
+impl Default for MatchCache {
+    fn default() -> Self {
+        Self::with_capacity_bytes(DEFAULT_MATCH_CACHE_BYTES)
+    }
 }
 
 impl MatchCache {
-    /// An empty cache.
+    /// A cache with the default byte cap.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A cache holding at most `max_bytes` of match-table rows.
+    pub fn with_capacity_bytes(max_bytes: usize) -> Self {
+        MatchCache {
+            map: FxHashMap::default(),
+            queue: VecDeque::new(),
+            bytes: 0,
+            max_bytes,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The counters as one record.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
+    }
+
+    /// Bytes of match rows currently held.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Inserts a freshly enumerated table, evicting oldest entries
+    /// until the byte cap holds (the newest entry is always kept —
+    /// evicting what was just computed would thrash).
+    fn insert(&mut self, key: (usize, VarId, NodeId), table: Arc<MatchTable>) {
+        let b = table.data_bytes();
+        while self.bytes + b > self.max_bytes {
+            let Some(old) = self.queue.pop_front() else {
+                break;
+            };
+            if let Some(t) = self.map.remove(&old) {
+                self.bytes -= t.data_bytes();
+                self.evictions += 1;
+            }
+        }
+        self.bytes += b;
+        self.queue.push_back(key);
+        self.map.insert(key, table);
     }
 }
 
 /// Enumerates the matches of one component pinned at `pivot` inside
-/// `block`, via the cache when an index is supplied.
+/// `block`, via the cache when an index is supplied. The returned view
+/// shares the cached table (column-permuted for non-representative
+/// members) — no rows are copied on either hits or misses.
 #[allow(clippy::too_many_arguments)]
 fn component_matches(
     g: &Graph,
@@ -115,122 +239,219 @@ fn component_matches(
     block: &NodeSet,
     mqi: Option<&MultiQueryIndex>,
     cache: &mut MatchCache,
-) -> std::rc::Rc<Vec<Vec<NodeId>>> {
+) -> TableView {
     let plan = &plans[rule].components[comp];
     if let Some(mqi) = mqi {
-        let (class, map) = &mqi.class_and_map[rule][comp];
-        let rep_pin = map[plan.local_pivot.index()];
-        let key = (*class, rep_pin, pivot);
-        if let Some(hit) = cache.map.get(&key) {
-            cache.hits += 1;
-            let rep_matches = hit.clone();
-            return remap(rep_matches, map, plan.pattern.node_count());
-        }
-        cache.misses += 1;
-        let (rr, rc) = mqi.reps[*class];
-        let rep_plan = &plans[rr].components[rc];
-        let mut matches = Vec::new();
-        ComponentSearch::new(&rep_plan.pattern, g)
-            .pin(rep_pin, pivot)
-            .restrict(block)
-            .for_each(&mut |m| {
-                matches.push(m.to_vec());
-                Flow::Continue
-            });
-        let rc_matches = std::rc::Rc::new(matches);
-        cache.map.insert(key, rc_matches.clone());
-        return remap(rc_matches, map, plan.pattern.node_count());
+        let entry = &mqi.entries[rule][comp];
+        let key = (entry.class, entry.rep_pin, pivot);
+        let table = match cache.map.get(&key) {
+            Some(hit) => {
+                cache.hits += 1;
+                hit.clone()
+            }
+            None => {
+                cache.misses += 1;
+                let (rr, rc) = mqi.reps[entry.class];
+                let rep_plan = &plans[rr].components[rc];
+                let mut table = MatchTable::new(rep_plan.pattern.node_count());
+                ComponentSearch::new(&rep_plan.pattern, g)
+                    .pin(entry.rep_pin, pivot)
+                    .restrict(block)
+                    .collect_into(&mut table);
+                let table = Arc::new(table);
+                cache.insert(key, table.clone());
+                table
+            }
+        };
+        return match &entry.perm {
+            Some(p) => TableView::permuted(table, p.clone()),
+            None => TableView::identity(table),
+        };
     }
-    let mut matches = Vec::new();
+    let mut table = MatchTable::new(plan.pattern.node_count());
     ComponentSearch::new(&plan.pattern, g)
         .pin(plan.local_pivot, pivot)
         .restrict(block)
-        .for_each(&mut |m| {
-            matches.push(m.to_vec());
-            Flow::Continue
-        });
-    std::rc::Rc::new(matches)
+        .collect_into(&mut table);
+    TableView::identity(Arc::new(table))
 }
 
-/// Translates representative-indexed matches into component variable
-/// order (`comp_match[j] = rep_match[map[j]]`).
-fn remap(
-    rep_matches: std::rc::Rc<Vec<Vec<NodeId>>>,
-    map: &[VarId],
-    nvars: usize,
-) -> std::rc::Rc<Vec<Vec<NodeId>>> {
-    // Identity mapping: reuse the cached allocation as-is.
-    if map.iter().enumerate().all(|(i, v)| v.index() == i) {
-        return rep_matches;
+/// Per-worker reusable execution state: the per-component table views
+/// of the unit in flight, the join's backtracking scratch, and the
+/// orientation buffer. One instance per worker makes warm
+/// [`execute_unit`] calls allocation-free.
+#[derive(Default)]
+pub struct UnitScratch {
+    views: Vec<TableView>,
+    join: JoinScratch,
+    orient_buf: Vec<usize>,
+}
+
+impl UnitScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
     }
-    std::rc::Rc::new(
-        rep_matches
-            .iter()
-            .map(|rm| (0..nvars).map(|j| rm[map[j].index()]).collect())
-            .collect(),
-    )
 }
 
-/// Executes one work unit, appending violations to `out`.
+/// The join's zero-allocation adapter: component `i` contributes its
+/// original variables and the (possibly permuted) view of its cached
+/// table.
+struct UnitJoin<'a> {
+    comps: &'a [ComponentPlan],
+    views: &'a [TableView],
+}
+
+impl JoinInputs for UnitJoin<'_> {
+    fn count(&self) -> usize {
+        self.views.len()
+    }
+    fn vars(&self, i: usize) -> &[VarId] {
+        &self.comps[i].orig_vars
+    }
+    fn table(&self, i: usize) -> &MatchTable {
+        self.views[i].table()
+    }
+    fn perm(&self, i: usize) -> Option<&[u32]> {
+        self.views[i].perm()
+    }
+}
+
+/// Executes one work unit (whose slots live in `slots` — the owning
+/// workload's arena), appending violations to `out`.
+#[allow(clippy::too_many_arguments)]
 pub fn execute_unit(
     g: &Graph,
     sigma: &GfdSet,
     plans: &[PivotedRule],
+    slots: &[UnitSlot],
     unit: &WorkUnit,
     mqi: Option<&MultiQueryIndex>,
     cache: &mut MatchCache,
+    scratch: &mut UnitScratch,
     out: &mut Vec<Violation>,
 ) {
-    let rule = &plans[unit.rule];
-    let gfd = sigma.get(unit.rule);
+    let rule = &plans[unit.rule()];
+    let gfd = sigma.get(unit.rule());
     let k = rule.components.len();
     debug_assert_eq!(k, unit.k(), "one slot per component");
+    let unit_slots = unit.slots(slots);
     let nvars = gfd.pattern.node_count();
+    let UnitScratch {
+        views,
+        join,
+        orient_buf,
+    } = scratch;
 
-    // Pivot orientations to check within this unit.
-    let orientations: Vec<Vec<usize>> = if unit.check_both_orientations && k == 2 {
-        vec![vec![0, 1], vec![1, 0]]
-    } else {
-        vec![(0..k).collect()]
-    };
-
-    for orient in orientations {
-        // Component i is pinned at pivot orient[i] and searched in that
-        // pivot's block.
-        let mut comp_matches = Vec::with_capacity(k);
-        let mut dead = false;
-        for (i, &slot) in orient.iter().enumerate() {
-            let pivot = unit.slots[slot].pivot;
-            let block = &unit.slots[slot].block;
-            let matches = component_matches(g, plans, unit.rule, i, pivot, block, mqi, cache);
-            if matches.is_empty() {
-                dead = true;
-                break;
-            }
-            comp_matches.push(ComponentMatches {
-                vars: rule.components[i].orig_vars.clone(),
-                matches: matches.to_vec(),
-            });
-        }
-        if dead {
-            continue;
-        }
-        join_components(&comp_matches, nvars, &mut |assignment| {
+    let emit = |views: &[TableView], join: &mut JoinScratch, out: &mut Vec<Violation>| {
+        let inputs = UnitJoin {
+            comps: &rule.components,
+            views,
+        };
+        join_tables(&inputs, nvars, join, &mut |assignment| {
             if !match_satisfies(&gfd.dep, g, assignment) {
                 out.push(Violation {
-                    rule: unit.rule,
+                    rule: unit.rule(),
                     mapping: Match(assignment.to_vec()),
                 });
             }
             Flow::Continue
         });
+    };
+
+    // Symmetric-pair fast path: both components are in one isomorphism
+    // class with one rep pin, so orientation 2's cached tables are
+    // exactly orientation 1's *swapped* — swap the shared tables and
+    // re-wrap them in each component's own column permutation instead
+    // of paying two more cache probes and view builds.
+    if unit.check_both_orientations && k == 2 {
+        if let Some(mqi) = mqi {
+            let e0 = &mqi.entries[unit.rule()][0];
+            let e1 = &mqi.entries[unit.rule()][1];
+            if e0.class == e1.class && e0.rep_pin == e1.rep_pin {
+                let (s0, s1) = (&unit_slots[0], &unit_slots[1]);
+                let v0 = component_matches(
+                    g,
+                    plans,
+                    unit.rule(),
+                    0,
+                    s0.pivot,
+                    &s0.block,
+                    Some(mqi),
+                    cache,
+                );
+                let v1 = component_matches(
+                    g,
+                    plans,
+                    unit.rule(),
+                    1,
+                    s1.pivot,
+                    &s1.block,
+                    Some(mqi),
+                    cache,
+                );
+                let rewrap = |t: &Arc<MatchTable>, perm: &Option<Arc<[u32]>>| match perm {
+                    Some(p) => TableView::permuted(t.clone(), p.clone()),
+                    None => TableView::identity(t.clone()),
+                };
+                if !v0.is_empty() && !v1.is_empty() {
+                    views.clear();
+                    views.push(v0.clone());
+                    views.push(v1.clone());
+                    emit(views, join, out);
+                    // Orientation (1, 0): component 0 reads the table
+                    // cached at pivot 1 and vice versa.
+                    views.clear();
+                    views.push(rewrap(v1.table(), &e0.perm));
+                    views.push(rewrap(v0.table(), &e1.perm));
+                    emit(views, join, out);
+                }
+                // Don't let stale views pin evicted tables past this
+                // unit (the scratch outlives the cache's byte cap).
+                views.clear();
+                return;
+            }
+        }
     }
+
+    // Pivot orientations to check within this unit.
+    const BOTH: [&[usize]; 2] = [&[0, 1], &[1, 0]];
+    orient_buf.clear();
+    orient_buf.extend(0..k);
+    let identity = [orient_buf.as_slice()];
+    let orientations: &[&[usize]] = if unit.check_both_orientations && k == 2 {
+        &BOTH
+    } else {
+        &identity
+    };
+
+    for &orient in orientations {
+        // Component i is pinned at pivot orient[i] and searched in that
+        // pivot's block.
+        views.clear();
+        let mut dead = false;
+        for (i, &slot) in orient.iter().enumerate() {
+            let s = &unit_slots[slot];
+            let view = component_matches(g, plans, unit.rule(), i, s.pivot, &s.block, mqi, cache);
+            if view.is_empty() {
+                dead = true;
+                break;
+            }
+            views.push(view);
+        }
+        if dead {
+            continue;
+        }
+        emit(views, join, out);
+    }
+    views.clear();
 }
 
 /// Canonical ordering for violation sets, so different schedules can
-/// be compared for equality.
+/// be compared for equality. (Unstable sort: the `(rule, nodes)` key
+/// is total — equal keys mean equal violations.)
 pub fn sort_violations(v: &mut [Violation]) {
-    v.sort_by(|a, b| {
+    v.sort_unstable_by(|a, b| {
         a.rule
             .cmp(&b.rule)
             .then_with(|| a.mapping.nodes().cmp(b.mapping.nodes()))
@@ -291,16 +512,35 @@ mod tests {
         )
     }
 
-    fn run_all_units(g: &Graph, sigma: &GfdSet, mq: bool) -> (Vec<Violation>, MatchCache) {
+    fn run_all_units_with_cache(
+        g: &Graph,
+        sigma: &GfdSet,
+        mq: bool,
+        mut cache: MatchCache,
+    ) -> (Vec<Violation>, MatchCache) {
         let plans = plan_rules(sigma);
         let wl = estimate_workload(sigma, g, &WorkloadOptions::default());
         let mqi = mq.then(|| MultiQueryIndex::build(&plans));
-        let mut cache = MatchCache::new();
+        let mut scratch = UnitScratch::new();
         let mut out = Vec::new();
         for u in &wl.units {
-            execute_unit(g, sigma, &plans, u, mqi.as_ref(), &mut cache, &mut out);
+            execute_unit(
+                g,
+                sigma,
+                &plans,
+                &wl.slots,
+                u,
+                mqi.as_ref(),
+                &mut cache,
+                &mut scratch,
+                &mut out,
+            );
         }
         (out, cache)
+    }
+
+    fn run_all_units(g: &Graph, sigma: &GfdSet, mq: bool) -> (Vec<Violation>, MatchCache) {
+        run_all_units_with_cache(g, sigma, mq, MatchCache::new())
     }
 
     #[test]
@@ -351,5 +591,107 @@ mod tests {
         let sigma = GfdSet::new(vec![phi_same_id_same_dest(g.vocab().clone())]);
         let (got, _) = run_all_units(&g, &sigma, true);
         assert!(got.is_empty());
+    }
+
+    /// A byte-capped cache keeps answers identical and records
+    /// evictions; an uncapped run of the same workload evicts nothing.
+    #[test]
+    fn capped_cache_evicts_but_stays_correct() {
+        let g = flights(3);
+        let sigma = GfdSet::new(vec![phi_same_id_same_dest(g.vocab().clone())]);
+        let (mut plain, big) = run_all_units(&g, &sigma, true);
+        assert_eq!(big.evictions, 0, "default cap must hold this workload");
+        // Cap below a single table's bytes: every insert evicts.
+        let (mut tiny_out, tiny) =
+            run_all_units_with_cache(&g, &sigma, true, MatchCache::with_capacity_bytes(16));
+        sort_violations(&mut plain);
+        sort_violations(&mut tiny_out);
+        assert_eq!(plain, tiny_out);
+        assert!(tiny.evictions > 0, "tiny cap must evict");
+        assert!(tiny.bytes() <= 16 + tiny.map.values().map(|t| t.data_bytes()).max().unwrap_or(0));
+        assert!(
+            tiny.stats().misses > big.stats().misses,
+            "evicted entries must be re-enumerated"
+        );
+    }
+
+    /// The multi-query regression the flat tables exist for: a cache
+    /// hit whose member has a **non-identity** witness must reuse the
+    /// cached table by pointer (a permuted view), not re-materialize
+    /// the rows.
+    #[test]
+    fn non_identity_witness_hit_copies_no_table() {
+        // A path graph s → m → t: the path pattern's pivot is forced to
+        // the middle variable (radius 1 vs 2), so twin rules share the
+        // cache key whatever their declaration order.
+        let mut b = gfd_graph::GraphBuilder::with_fresh_vocab();
+        let s = b.add_node_labeled("src");
+        let m = b.add_node_labeled("mid");
+        let t = b.add_node_labeled("dst");
+        b.add_edge_labeled(s, m, "e1");
+        b.add_edge_labeled(m, t, "e2");
+        let g = b.freeze();
+        let vocab = g.vocab().clone();
+        // Twin single-component rules whose variables are declared in
+        // opposite orders, so the canonical witness between them is a
+        // non-identity permutation.
+        let path_fwd = {
+            let mut pb = PatternBuilder::new(vocab.clone());
+            let a = pb.node("a", "src");
+            let bb = pb.node("b", "mid");
+            let c = pb.node("c", "dst");
+            pb.edge(a, bb, "e1");
+            pb.edge(bb, c, "e2");
+            pb.build()
+        };
+        let path_rev = {
+            let mut pb = PatternBuilder::new(vocab.clone());
+            let c = pb.node("c", "dst");
+            let bb = pb.node("b", "mid");
+            let a = pb.node("a", "src");
+            pb.edge(a, bb, "e1");
+            pb.edge(bb, c, "e2");
+            pb.build()
+        };
+        let val = vocab.intern("val");
+        let mk = |name: &str, q: gfd_pattern::Pattern| {
+            let v = q.var_by_name("a").unwrap();
+            Gfd::new(
+                name,
+                q,
+                Dependency::always(vec![Literal::var_eq(v, val, v, val)]),
+            )
+        };
+        let sigma = GfdSet::new(vec![mk("fwd", path_fwd), mk("rev", path_rev)]);
+        let plans = plan_rules(&sigma);
+        let mqi = MultiQueryIndex::build(&plans);
+        assert_eq!(mqi.class_count(), 1, "twins must share a class");
+        assert!(
+            mqi.entries[1][0].perm.is_some(),
+            "reversed declaration ⇒ non-identity witness"
+        );
+
+        let mut cache = MatchCache::new();
+        let block = gfd_graph::NodeSet::from_vec(g.nodes().collect());
+        let v1 = component_matches(&g, &plans, 0, 0, m, &block, Some(&mqi), &mut cache);
+        let v2 = component_matches(&g, &plans, 1, 0, m, &block, Some(&mqi), &mut cache);
+        assert_eq!(cache.hits, 1, "second call must hit");
+        assert!(
+            Arc::ptr_eq(v1.table(), v2.table()),
+            "hit must share the cached table, not copy it"
+        );
+        assert!(v2.perm().is_some(), "twin reads through a permuted view");
+        assert_eq!(v1.len(), 1, "premise: the path matches once");
+        // And the permuted view really is the remapped enumeration:
+        // rule 0 reads (a=s, b=m, c=t); rule 1 declared (c, b, a), so
+        // its logical columns are (c=t, b=m, a=s).
+        let q0 = &plans[0].components[0].pattern;
+        let q1 = &plans[1].components[0].pattern;
+        assert_eq!(v1.get(0, q0.var_by_name("a").unwrap().index()), s);
+        assert_eq!(v1.get(0, q0.var_by_name("b").unwrap().index()), m);
+        assert_eq!(v1.get(0, q0.var_by_name("c").unwrap().index()), t);
+        assert_eq!(v2.get(0, q1.var_by_name("a").unwrap().index()), s);
+        assert_eq!(v2.get(0, q1.var_by_name("b").unwrap().index()), m);
+        assert_eq!(v2.get(0, q1.var_by_name("c").unwrap().index()), t);
     }
 }

@@ -12,7 +12,6 @@
 //! orientations internally), and units whose pivots cannot locally
 //! match their component are pruned during estimation.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use gfd_core::GfdSet;
@@ -20,6 +19,7 @@ use gfd_graph::{neighborhood, Graph, NodeId, NodeSet};
 use gfd_match::simulation::{dual_simulation, CandidateSpace};
 use gfd_match::SpaceRegistry;
 use gfd_pattern::{analysis::pivot_vector, isomorphic, PatLabel, Pattern, VarId};
+use gfd_util::FxHashMap;
 
 /// Per-rule pivot metadata, precomputed once from `Σ`.
 #[derive(Clone, Debug)]
@@ -55,35 +55,56 @@ pub struct UnitSlot {
     /// The pivot candidate `v_z` of this component.
     pub pivot: NodeId,
     /// Its `c^i_Q`-hop data block, shared with the [`BlockCache`] —
-    /// cloning a unit never deep-copies a block.
+    /// cloning a slot never deep-copies a block.
     pub block: Arc<NodeSet>,
 }
 
-/// A work unit `w = ⟨v̄_z, G_z̄⟩`.
-#[derive(Clone, Debug)]
+/// A work unit `w = ⟨v̄_z, G_z̄⟩`, as a `(rule, offset, len, flags)`
+/// descriptor over the [`Workload`]'s flat slot arena.
+///
+/// Units used to own a per-unit slot `Vec` — one heap allocation per
+/// unit, materialized by the thousand during estimation. Now all slots
+/// of a workload live in one arena (`Workload::slots`) and a unit is a
+/// 24-byte `Copy` record pointing into it: estimation appends to two
+/// flat vectors, splitting/cloning units is a register copy, and the
+/// whole workload is two contiguous buffers (mmap-able modulo the
+/// `Arc` blocks).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct WorkUnit {
     /// Index of the rule in `Σ`.
-    pub rule: usize,
-    /// One slot per component (pivot + block), in component order.
-    /// A single allocation per unit: workload estimation materializes
-    /// units by the thousand, so per-unit overhead is a hot path.
-    pub slots: Vec<UnitSlot>,
+    pub rule: u32,
+    /// First slot in the owning arena.
+    pub slot_offset: u32,
+    /// Number of slots (= components `k`), in component order.
+    pub slot_len: u32,
+    /// Check both pivot orientations (symmetric-pair dedup).
+    pub check_both_orientations: bool,
     /// `|G_z̄|` — the sum of block sizes (Example 11), used as the
     /// unit's load estimate.
     pub cost: u64,
-    /// Check both pivot orientations (symmetric-pair dedup).
-    pub check_both_orientations: bool,
 }
 
 impl WorkUnit {
     /// Number of components `k` of the unit's rule.
     pub fn k(&self) -> usize {
-        self.slots.len()
+        self.slot_len as usize
+    }
+
+    /// The rule index as a `usize` (for indexing `Σ` / plans).
+    #[inline]
+    pub fn rule(&self) -> usize {
+        self.rule as usize
+    }
+
+    /// The unit's slots, resolved against the owning arena.
+    #[inline]
+    pub fn slots<'a>(&self, arena: &'a [UnitSlot]) -> &'a [UnitSlot] {
+        &arena[self.slot_offset as usize..self.slot_offset as usize + self.slot_len as usize]
     }
 
     /// The pivot vector `v̄_z` in component order.
-    pub fn pivots(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.slots.iter().map(|s| s.pivot)
+    pub fn pivots<'a>(&self, arena: &'a [UnitSlot]) -> impl Iterator<Item = NodeId> + 'a {
+        self.slots(arena).iter().map(|s| s.pivot)
     }
 }
 
@@ -110,8 +131,12 @@ impl Default for WorkloadOptions {
 /// The estimated workload `W(Σ, G)` plus estimation bookkeeping.
 #[derive(Debug, Default)]
 pub struct Workload {
-    /// All work units.
+    /// All work units — descriptors into [`Workload::slots`].
     pub units: Vec<WorkUnit>,
+    /// The flat slot arena all units index into (the ROADMAP's
+    /// "unit-slot arena"): estimation is allocation-free per unit, and
+    /// every consumer resolves a unit via [`WorkUnit::slots`].
+    pub slots: Vec<UnitSlot>,
     /// Wall-clock seconds spent estimating (parallelizable; the
     /// simulator divides it by `n`).
     pub estimation_seconds: f64,
@@ -135,6 +160,12 @@ impl Workload {
     /// Total load `t(|Σ|, W)` — the sum of unit costs.
     pub fn total_cost(&self) -> u64 {
         self.units.iter().map(|u| u.cost).sum()
+    }
+
+    /// A unit's slots, resolved against this workload's arena.
+    #[inline]
+    pub fn slots_of(&self, unit: &WorkUnit) -> &[UnitSlot] {
+        unit.slots(&self.slots)
     }
 }
 
@@ -238,7 +269,7 @@ pub fn feasible_pivots(g: &Graph, plan: &ComponentPlan, prune: bool) -> (Vec<Nod
 /// share them instead of deep-cloning per candidate.
 #[derive(Default)]
 pub struct BlockCache {
-    cache: HashMap<(NodeId, usize), (Arc<NodeSet>, u64)>,
+    cache: FxHashMap<(NodeId, usize), (Arc<NodeSet>, u64)>,
     /// Reusable BFS visited bitmap (cleared after every block).
     scratch: Vec<bool>,
 }
@@ -345,7 +376,10 @@ pub fn estimate_workload_in(
         let cap_left = opts
             .max_units
             .map_or(upper, |c| c.saturating_sub(wl.units.len()));
-        wl.units.reserve(upper.min(cap_left).min(1 << 20));
+        let expected = upper.min(cap_left).min(1 << 20);
+        wl.units.reserve(expected);
+        wl.slots
+            .reserve(expected.saturating_mul(rule.components.len()));
         let mut tuple = Vec::new();
         if !assemble(rule, &per_component, 0, &mut tuple, &mut wl, opts.max_units) {
             wl.truncated = true;
@@ -380,23 +414,22 @@ pub(crate) fn assemble(
             }
         }
         let mut cost = 0u64;
-        let slots: Vec<UnitSlot> = tuple
-            .iter()
-            .enumerate()
-            .map(|(c, &i)| {
-                let (pivot, ref block, size) = per_component[c][i];
-                cost += size;
-                UnitSlot {
-                    pivot,
-                    block: block.clone(),
-                }
-            })
-            .collect();
+        let offset = wl.slots.len();
+        assert!(offset <= u32::MAX as usize, "slot arena exceeds u32 range");
+        for (c, &i) in tuple.iter().enumerate() {
+            let (pivot, ref block, size) = per_component[c][i];
+            cost += size;
+            wl.slots.push(UnitSlot {
+                pivot,
+                block: block.clone(),
+            });
+        }
         wl.units.push(WorkUnit {
-            rule: rule.rule,
-            slots,
-            cost,
+            rule: rule.rule as u32,
+            slot_offset: offset as u32,
+            slot_len: tuple.len() as u32,
             check_both_orientations: rule.symmetric_pair,
+            cost,
         });
         if let Some(cap) = cap {
             if wl.units.len() >= cap {

@@ -10,9 +10,18 @@
 //!   Bernoulli draws, slice choice);
 //! * [`prop`] — a tiny property-testing harness: run a property over a
 //!   seed range and report the first failing seed so a failure is
-//!   reproducible with a one-line test.
+//!   reproducible with a one-line test;
+//! * [`fxhash`] — a multiply-rotate hasher for hot maps keyed by small
+//!   internal tuples (`rustc-hash` stand-in);
+//! * [`alloc`] (feature `count-alloc`, test/bench only) — a counting
+//!   `#[global_allocator]` wrapper, so perf probes can assert
+//!   zero-allocation hot paths.
 
+#[cfg(feature = "count-alloc")]
+pub mod alloc;
+pub mod fxhash;
 pub mod prop;
 pub mod rng;
 
+pub use fxhash::{FxHashMap, FxHashSet};
 pub use rng::Rng;

@@ -58,7 +58,7 @@ fn all_engines_agree_on_reallife_graph() {
     // Real OS threads.
     let plans = plan_rules(&sigma);
     let wl = estimate_workload(&sigma, &g, &WorkloadOptions::default());
-    let thr = threaded::run_units_threaded(&g, &sigma, &plans, &wl.units, 4);
+    let thr = threaded::run_units_threaded(&g, &sigma, &plans, &wl.units, &wl.slots, 4);
     assert_eq!(thr, expected, "threaded execution");
 
     // BigDansing-style relational joins.
