@@ -14,14 +14,18 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use gfd_core::sat::check_satisfiability;
-use gfd_core::validate::detect_violations;
+use gfd_core::validate::{detect_violations, detect_violations_with, DetScratch};
 use gfd_core::{implies, Dependency, Gfd, GfdSet, Literal};
 use gfd_datagen::{
     isomorphic_twin, mine_gfds, reallife_graph, RealLifeConfig, RealLifeKind, RuleGenConfig,
 };
 use gfd_graph::intersect::intersect_in_place;
 use gfd_graph::{Graph, NodeId, Value, Vocab};
-use gfd_match::{count_matches, dual_simulation, IncrementalSpace, MatchOptions, SpaceRegistry};
+use gfd_match::types::Flow;
+use gfd_match::{
+    count_matches, count_matches_with, dual_simulation, for_each_match_planned, IncrementalSpace,
+    MatchOptions, MatchScratch, SimFilter, SpaceRegistry,
+};
 use gfd_parallel::unitexec::{execute_unit, MatchCache, MultiQueryIndex, UnitScratch};
 use gfd_parallel::workload::{estimate_workload, feasible_pivots, plan_rules, WorkloadOptions};
 use gfd_parallel::{rep_val, RepValConfig};
@@ -196,6 +200,17 @@ fn main() {
         bench("match/count_matches(mined rule 0)", &mut samples, || {
             count_matches(&gfd.pattern, &g, &MatchOptions::unrestricted())
         });
+        // The same count through caller-owned scratch: search pools,
+        // tables and join arenas persist across calls, so the
+        // `allocs_per_iter` column isolates what the per-call path
+        // still allocates (the simulation filter, when Auto turns on).
+        let count_opts = MatchOptions::unrestricted();
+        let mut count_scratch = MatchScratch::default();
+        bench(
+            "match/count_matches_with(warm scratch)",
+            &mut samples,
+            || count_matches_with(&gfd.pattern, &g, &count_opts, &mut count_scratch),
+        );
         bench("sim/dual_simulation(mined rule 0)", &mut samples, || {
             dual_simulation(&gfd.pattern, &g, None).total_size()
         });
@@ -338,6 +353,17 @@ fn main() {
     bench("detect/detVio", &mut samples, || {
         detect_violations(&sigma_det, &g2)
     });
+    // Warm detection: a registry (per-class spaces and plans, built
+    // once) plus caller-owned scratch. Per-iteration allocations drop
+    // to the violation records themselves.
+    {
+        let mut reg = SpaceRegistry::new();
+        let mut det_scratch = DetScratch::default();
+        detect_violations_with(&sigma_det, &g2, &mut reg, &mut det_scratch);
+        bench("detect/detVio_warm(registry+scratch)", &mut samples, || {
+            detect_violations_with(&sigma_det, &g2, &mut reg, &mut det_scratch).len()
+        });
+    }
     bench("detect/estimate_workload", &mut samples, || {
         estimate_workload(&sigma_det, &g2, &WorkloadOptions::default())
     });
@@ -370,6 +396,131 @@ fn main() {
     bench("detect/repVal_n4", &mut samples, || {
         rep_val(&sigma_det, &g2, &RepValConfig::val(4))
     });
+
+    // Worst-case-optimal multiway matching on a skewed cyclic
+    // workload (the shape of Example 2's dense layers): a complete
+    // bipartite a→b layer of 160×160 `e1` edges, per-index b→c / c→d
+    // chains, and only 8 cycle-closing edges back into the `a` layer.
+    // The unfiltered backtracker (SimFilter::Never) must enumerate all
+    // 25 600 (x, y) edge pairs per call before discovering that almost
+    // none close; the planned path draws its pools from the registry's
+    // warm candidate space — where simulation has already collapsed
+    // every layer to the 8 closure indices — and solves each bag by
+    // multiway intersection of the space's adjacency runs. The
+    // `sim percall` samples pay one dual-simulation fixpoint per call
+    // (SimFilter::Always, no registry) — the cost the class-keyed
+    // cache amortizes away. Spaces, plans and scratch are caller-owned
+    // and warm: the plan samples must report 0 allocs_per_iter (also
+    // asserted by tests/alloc_probe.rs).
+    {
+        let per_layer = 160usize;
+        let closures = 8usize;
+        let mut b = gfd_graph::GraphBuilder::with_fresh_vocab();
+        let al: Vec<NodeId> = (0..per_layer).map(|_| b.add_node_labeled("a")).collect();
+        let bl: Vec<NodeId> = (0..per_layer).map(|_| b.add_node_labeled("b")).collect();
+        let cl: Vec<NodeId> = (0..per_layer).map(|_| b.add_node_labeled("c")).collect();
+        let dl: Vec<NodeId> = (0..per_layer).map(|_| b.add_node_labeled("d")).collect();
+        for &a in &al {
+            for &x in &bl {
+                b.add_edge_labeled(a, x, "e1");
+            }
+        }
+        for i in 0..per_layer {
+            b.add_edge_labeled(bl[i], cl[i], "e2");
+            b.add_edge_labeled(cl[i], dl[i], "f3");
+        }
+        for i in 0..closures {
+            b.add_edge_labeled(cl[i], al[i], "e3");
+            b.add_edge_labeled(dl[i], al[i], "f4");
+        }
+        let gs = b.freeze();
+        let vocab = gs.vocab().clone();
+
+        let mut tb = PatternBuilder::new(vocab.clone());
+        let x = tb.node("x", "a");
+        let y = tb.node("y", "b");
+        let z = tb.node("z", "c");
+        tb.edge(x, y, "e1");
+        tb.edge(y, z, "e2");
+        tb.edge(z, x, "e3");
+        let tri = tb.build();
+        let mut qb = PatternBuilder::new(vocab.clone());
+        let x = qb.node("x", "a");
+        let y = qb.node("y", "b");
+        let z = qb.node("z", "c");
+        let w = qb.node("w", "d");
+        qb.edge(x, y, "e1");
+        qb.edge(y, z, "e2");
+        qb.edge(z, w, "f3");
+        qb.edge(w, x, "f4");
+        let cyc4 = qb.build();
+
+        let mut reg = SpaceRegistry::new();
+        let tri_h = reg.register(&tri);
+        let cyc4_h = reg.register(&cyc4);
+        let planned_opts = MatchOptions::unrestricted();
+        let mut planned_scratch = MatchScratch::default();
+        let mut count_planned = |h, q: &Pattern, reg: &mut SpaceRegistry| {
+            let (cs, plan) = reg.space_and_plan(h, &gs);
+            let mut n = 0usize;
+            for_each_match_planned(
+                q,
+                &gs,
+                &planned_opts,
+                cs,
+                plan,
+                &mut planned_scratch,
+                &mut |_| {
+                    n += 1;
+                    Flow::Continue
+                },
+            );
+            n
+        };
+        // Warm the registry caches and scratch high-water marks, and
+        // pin down the match counts both engines must agree on.
+        let tri_n = count_planned(tri_h, &tri, &mut reg);
+        let cyc4_n = count_planned(cyc4_h, &cyc4, &mut reg);
+        let back_opts = MatchOptions::unrestricted().with_sim_filter(SimFilter::Never);
+        let mut back_scratch = MatchScratch::default();
+        let sim_opts = MatchOptions::unrestricted().with_sim_filter(SimFilter::Always);
+        let mut sim_scratch = MatchScratch::default();
+        assert_eq!(
+            tri_n,
+            count_matches_with(&tri, &gs, &back_opts, &mut back_scratch)
+        );
+        assert_eq!(
+            cyc4_n,
+            count_matches_with(&cyc4, &gs, &back_opts, &mut back_scratch)
+        );
+        assert_eq!(
+            tri_n,
+            count_matches_with(&tri, &gs, &sim_opts, &mut sim_scratch)
+        );
+        assert_eq!(
+            cyc4_n,
+            count_matches_with(&cyc4, &gs, &sim_opts, &mut sim_scratch)
+        );
+
+        bench("match/wcoj_triangle(plan)", &mut samples, || {
+            count_planned(tri_h, &tri, &mut reg)
+        });
+        bench("match/wcoj_4cycle(plan)", &mut samples, || {
+            count_planned(cyc4_h, &cyc4, &mut reg)
+        });
+        bench("match/wcoj_triangle(backtrack)", &mut samples, || {
+            count_matches_with(&tri, &gs, &back_opts, &mut back_scratch)
+        });
+        bench("match/wcoj_4cycle(backtrack)", &mut samples, || {
+            count_matches_with(&cyc4, &gs, &back_opts, &mut back_scratch)
+        });
+        bench("match/wcoj_triangle(sim percall)", &mut samples, || {
+            count_matches_with(&tri, &gs, &sim_opts, &mut sim_scratch)
+        });
+        bench("match/wcoj_4cycle(sim percall)", &mut samples, || {
+            count_matches_with(&cyc4, &gs, &sim_opts, &mut sim_scratch)
+        });
+    }
 
     // The allocation-free hot-path probe: a clean symmetric-pair
     // workload (no violations to record), executed once to warm the

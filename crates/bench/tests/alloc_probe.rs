@@ -8,7 +8,9 @@
 use std::sync::Arc;
 
 use gfd_core::{Dependency, Gfd, GfdSet, Literal};
-use gfd_graph::{Graph, Value, Vocab};
+use gfd_graph::{Graph, NodeId, Value, Vocab};
+use gfd_match::types::Flow;
+use gfd_match::{for_each_match_planned, MatchOptions, MatchScratch, SpaceRegistry};
 use gfd_parallel::unitexec::{execute_unit, MatchCache, MultiQueryIndex, UnitScratch};
 use gfd_parallel::workload::{estimate_workload, plan_rules, WorkloadOptions};
 use gfd_pattern::PatternBuilder;
@@ -114,4 +116,75 @@ fn warm_execute_unit_allocates_nothing() {
          stopped covering the workload"
     );
     assert!(cache.hits > 0);
+}
+
+/// The worst-case-optimal plan executor's steady state: with the
+/// candidate space and decomposition plan warm in the registry and
+/// scratch at its high-water mark, a full cyclic-pattern enumeration
+/// — pools, intersections, bag recursion, match emission — must not
+/// touch the heap.
+#[test]
+fn warm_plan_execution_allocates_nothing() {
+    // A skewed cyclic workload: a dense a→b layer, per-index b→c
+    // edges, and a handful of c→a closures — triangles exist but are
+    // rare relative to the frontier.
+    let per_layer = 24usize;
+    let closures = 4usize;
+    let mut b = gfd_graph::GraphBuilder::with_fresh_vocab();
+    let al: Vec<NodeId> = (0..per_layer).map(|_| b.add_node_labeled("a")).collect();
+    let bl: Vec<NodeId> = (0..per_layer).map(|_| b.add_node_labeled("b")).collect();
+    let cl: Vec<NodeId> = (0..per_layer).map(|_| b.add_node_labeled("c")).collect();
+    for &a in &al {
+        for &x in &bl {
+            b.add_edge_labeled(a, x, "e1");
+        }
+    }
+    for i in 0..per_layer {
+        b.add_edge_labeled(bl[i], cl[i], "e2");
+    }
+    for i in 0..closures {
+        b.add_edge_labeled(cl[i], al[i], "e3");
+    }
+    let g = b.freeze();
+
+    let mut pb = PatternBuilder::new(g.vocab().clone());
+    let x = pb.node("x", "a");
+    let y = pb.node("y", "b");
+    let z = pb.node("z", "c");
+    pb.edge(x, y, "e1");
+    pb.edge(y, z, "e2");
+    pb.edge(z, x, "e3");
+    let tri = pb.build();
+
+    let mut reg = SpaceRegistry::new();
+    let h = reg.register(&tri);
+    let opts = MatchOptions::unrestricted();
+    let mut scratch = MatchScratch::default();
+    let count = |reg: &mut SpaceRegistry, scratch: &mut MatchScratch| {
+        let (cs, plan) = reg.space_and_plan(h, &g);
+        assert!(plan.is_cyclic(), "premise: the triangle routes to WCOJ");
+        let mut n = 0usize;
+        for_each_match_planned(&tri, &g, &opts, cs, plan, scratch, &mut |_| {
+            n += 1;
+            Flow::Continue
+        });
+        n
+    };
+
+    // Warm-up: builds the space and the decomposition plan (both
+    // allocate) and sizes the pool hierarchy in the scratch.
+    let expected = count(&mut reg, &mut scratch);
+    assert_eq!(expected, closures, "premise: one triangle per closure");
+    assert!(allocation_count() > 0);
+
+    // Steady state: warm space, cached plan, high-water scratch — the
+    // entire plan execution must be allocation-free.
+    let delta = min_allocation_delta(5, || {
+        assert_eq!(count(&mut reg, &mut scratch), expected);
+    });
+    assert_eq!(
+        delta, 0,
+        "warm plan execution must perform zero heap allocations \
+         ({delta} allocations per enumeration)"
+    );
 }

@@ -43,4 +43,7 @@ pub use implication::implies;
 pub use incremental::IncrementalDetector;
 pub use literal::{Dependency, Literal};
 pub use sat::{check_satisfiability, is_satisfiable, SatOutcome};
-pub use validate::{detect_violations, detect_violations_shared, graph_satisfies, Violation};
+pub use validate::{
+    detect_violations, detect_violations_shared, detect_violations_with, graph_satisfies,
+    DetScratch, Violation,
+};

@@ -21,8 +21,8 @@ use gfd_graph::{Graph, NodeId};
 use gfd_match::component::ComponentSearch;
 use gfd_match::table::MatchTable;
 use gfd_match::{
-    for_each_match, for_each_match_in_space, types::Flow, Match, MatchOptions, SearchBudget,
-    SpaceRegistry,
+    for_each_match, for_each_match_planned, for_each_match_with, types::Flow, Match, MatchOptions,
+    MatchScratch, SearchBudget, SpaceHandle, SpaceRegistry,
 };
 use gfd_pattern::analysis::connected_components;
 use gfd_pattern::signature::decompose;
@@ -111,16 +111,44 @@ pub fn detect_violations_shared(
     g: &Graph,
     registry: &mut SpaceRegistry,
 ) -> Vec<Violation> {
-    let handles: Vec<_> = sigma
-        .iter()
-        .map(|gfd| registry.register(&gfd.pattern))
-        .collect();
+    detect_violations_with(sigma, g, registry, &mut DetScratch::default())
+}
+
+/// Caller-owned reusable state for repeated `detVio` runs: the match
+/// engine's [`MatchScratch`] plus the per-call registration
+/// bookkeeping. Keep one alive — next to the shared [`SpaceRegistry`]
+/// — across detection iterations and the steady state is
+/// allocation-free up to the violations output itself.
+#[derive(Default)]
+pub struct DetScratch {
+    matching: MatchScratch,
+    handles: Vec<SpaceHandle>,
+    rules_in_class: FxHashMap<usize, usize>,
+}
+
+/// [`detect_violations_shared`] with caller-owned scratch. Shared
+/// connected rules additionally pull the class's cached
+/// decomposition plan from the registry
+/// ([`SpaceRegistry::space_and_plan`]), so cyclic patterns run the
+/// worst-case-optimal executor without rebuilding the plan per call.
+pub fn detect_violations_with(
+    sigma: &GfdSet,
+    g: &Graph,
+    registry: &mut SpaceRegistry,
+    scratch: &mut DetScratch,
+) -> Vec<Violation> {
+    scratch.handles.clear();
+    scratch
+        .handles
+        .extend(sigma.iter().map(|gfd| registry.register(&gfd.pattern)));
     // How many rules of THIS Σ land in each class (identical patterns
     // share a handle, so count rule registrations, not handles).
-    let mut rules_in_class: std::collections::HashMap<usize, usize> =
-        std::collections::HashMap::new();
-    for &h in &handles {
-        *rules_in_class.entry(registry.class_of(h)).or_insert(0) += 1;
+    scratch.rules_in_class.clear();
+    for &h in &scratch.handles {
+        *scratch
+            .rules_in_class
+            .entry(registry.class_of(h))
+            .or_insert(0) += 1;
     }
     let mut out = Vec::new();
     for (i, gfd) in sigma.iter().enumerate() {
@@ -129,7 +157,8 @@ pub fn detect_violations_shared(
         }
         let opts = MatchOptions::unrestricted();
         let ncomp = connected_components(&gfd.pattern).len();
-        let shared = ncomp == 1 && rules_in_class[&registry.class_of(handles[i])] >= 2;
+        let shared =
+            ncomp == 1 && scratch.rules_in_class[&registry.class_of(scratch.handles[i])] >= 2;
         // Disconnected rule with a cross-component X literal: joined on
         // the literal's attribute values instead of enumerating every
         // disjoint pair. (Gated on the component count computed above,
@@ -147,10 +176,18 @@ pub fn detect_violations_shared(
             Flow::Continue
         };
         if shared {
-            let cs = registry.space(handles[i], g);
-            for_each_match_in_space(&gfd.pattern, g, &opts, cs, &mut visit);
+            let (cs, plan) = registry.space_and_plan(scratch.handles[i], g);
+            for_each_match_planned(
+                &gfd.pattern,
+                g,
+                &opts,
+                cs,
+                plan,
+                &mut scratch.matching,
+                &mut visit,
+            );
         } else {
-            for_each_match(&gfd.pattern, g, &opts, &mut visit);
+            for_each_match_with(&gfd.pattern, g, &opts, &mut scratch.matching, &mut visit);
         }
     }
     out
@@ -576,6 +613,69 @@ mod tests {
             }
             Ok(())
         });
+    }
+
+    /// Two rules sharing a cyclic (triangle) pattern class must route
+    /// through the registry's cached plan (WCOJ executor) and agree
+    /// with the fresh per-rule path — and a warm registry + scratch
+    /// must keep agreeing across repeated runs.
+    #[test]
+    fn shared_cyclic_rules_use_cached_plan_and_agree() {
+        let vocab = Vocab::shared();
+        let mut gb = gfd_graph::GraphBuilder::new(vocab.clone());
+        // Two directed triangles over "person" plus a dangling edge.
+        let ps: Vec<_> = (0..7).map(|_| gb.add_node_labeled("person")).collect();
+        for tri in [[0, 1, 2], [3, 4, 5]] {
+            for k in 0..3 {
+                gb.add_edge_labeled(ps[tri[k]], ps[tri[(k + 1) % 3]], "knows");
+            }
+        }
+        gb.add_edge_labeled(ps[6], ps[0], "knows");
+        for (i, &p) in ps.iter().enumerate() {
+            gb.set_attr_named(p, "val", Value::Int(i as i64));
+        }
+        let g = gb.freeze();
+
+        let triangle = |names: [&str; 3]| {
+            let mut b = PatternBuilder::new(vocab.clone());
+            let x = b.node(names[0], "person");
+            let y = b.node(names[1], "person");
+            let z = b.node(names[2], "person");
+            b.edge(x, y, "knows");
+            b.edge(y, z, "knows");
+            b.edge(z, x, "knows");
+            b.build()
+        };
+        let val = vocab.intern("val");
+        let mk = |name: &str, q: gfd_pattern::Pattern| {
+            Gfd::new(
+                name,
+                q,
+                Dependency::always(vec![Literal::const_eq(VarId(0), val, "__never")]),
+            )
+        };
+        let sigma = GfdSet::new(vec![
+            mk("phi-a", triangle(["x", "y", "z"])),
+            mk("phi-b", triangle(["p", "q", "r"])),
+        ]);
+
+        // Baseline: fresh registries, per-rule generic path.
+        let mut want = detect_violations(&sigma, &g);
+        // Every triangle rotation violates, for both rules.
+        assert_eq!(want.len(), 12);
+
+        let mut reg = SpaceRegistry::new();
+        let mut scratch = DetScratch::default();
+        for _ in 0..3 {
+            let mut got = detect_violations_with(&sigma, &g, &mut reg, &mut scratch);
+            let key = |v: &Violation| (v.rule, v.mapping.nodes().to_vec());
+            got.sort_by_key(key);
+            want.sort_by_key(key);
+            assert_eq!(got, want);
+        }
+        assert_eq!(reg.class_count(), 1, "both rules share one class");
+        assert_eq!(reg.simulations(), 1);
+        assert_eq!(reg.plans_built(), 1);
     }
 
     #[test]

@@ -105,6 +105,35 @@ pub fn intersect_in_place<T>(acc: &mut Vec<NodeId>, other: &[T], key: impl Fn(&T
     acc.truncate(w);
 }
 
+/// K-way intersection of sorted, duplicate-free runs into a
+/// caller-owned accumulator (leapfrog-style smallest-first seeding).
+///
+/// `acc` is cleared and seeded from the *smallest* run, then the
+/// remaining runs are folded in smallest-first via
+/// [`intersect_in_place`] — each pairwise step picks merge vs gallop
+/// on its own, so a tiny seed gallops through every huge run and the
+/// intermediate result can only shrink. Reorders `runs` (ascending by
+/// length); an empty run (or an accumulator emptied mid-fold) exits
+/// early with `acc` empty. With zero runs `acc` stays cleared: the
+/// caller decides what an unconstrained variable means.
+pub fn intersect_k(acc: &mut Vec<NodeId>, runs: &mut [&[NodeId]]) {
+    acc.clear();
+    if runs.is_empty() {
+        return;
+    }
+    runs.sort_unstable_by_key(|r| r.len());
+    if runs[0].is_empty() {
+        return;
+    }
+    acc.extend_from_slice(runs[0]);
+    for run in &runs[1..] {
+        intersect_in_place(acc, run, |&x| x);
+        if acc.is_empty() {
+            return;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +220,120 @@ mod tests {
             .collect();
         let mut acc = ids(&[4, 5, 6]);
         intersect_in_place(&mut acc, &run, |a| a.node);
+    }
+
+    /// Adversarial skew at the merge/gallop crossover: sizes exactly
+    /// at, one below, and one above the `GALLOP_RATIO` boundary on
+    /// both sides must all agree with the set-semantics oracle.
+    #[test]
+    fn crossover_boundary_is_exact() {
+        for small in [1usize, 2, 3, 7] {
+            for big in [
+                small * GALLOP_RATIO - 1,
+                small * GALLOP_RATIO,
+                small * GALLOP_RATIO + 1,
+            ] {
+                let a: Vec<NodeId> = (0..small as u32).map(|i| NodeId(i * 5)).collect();
+                let b: Vec<NodeId> = (0..big as u32).map(|i| NodeId(i * 2)).collect();
+                let expect: Vec<NodeId> = a
+                    .iter()
+                    .copied()
+                    .filter(|x| b.binary_search(x).is_ok())
+                    .collect();
+                // Small accumulator vs big other…
+                let mut acc = a.clone();
+                intersect_in_place(&mut acc, &b, |&x| x);
+                assert_eq!(acc, expect, "acc {small} / other {big}");
+                // …and the mirrored orientation.
+                let mut acc = b.clone();
+                intersect_in_place(&mut acc, &a, |&x| x);
+                assert_eq!(acc, expect, "acc {big} / other {small}");
+            }
+        }
+    }
+
+    /// Tiny-vs-huge skew: a 1-element side against a run thousands of
+    /// times larger, hitting both hit and miss outcomes.
+    #[test]
+    fn tiny_vs_huge_runs() {
+        let huge: Vec<NodeId> = (0..100_000u32).map(|i| NodeId(3 * i)).collect();
+        for (probe, hit) in [(299_997u32, true), (299_998, false)] {
+            let mut acc = vec![NodeId(probe)];
+            intersect_in_place(&mut acc, &huge, |&x| x);
+            assert_eq!(!acc.is_empty(), hit, "probe {probe}");
+            let mut acc = huge.clone();
+            intersect_in_place(&mut acc, &[NodeId(probe)], |&x| x);
+            assert_eq!(!acc.is_empty(), hit, "mirrored probe {probe}");
+        }
+    }
+
+    /// Heavy-overlap skew: a small side fully contained in the huge
+    /// side survives intact in either orientation (every lookup hits —
+    /// the worst case for galloping's branch predictor).
+    #[test]
+    fn heavy_overlap_small_side_survives() {
+        let huge: Vec<NodeId> = (0..50_000u32).map(NodeId).collect();
+        let small: Vec<NodeId> = (0..100u32).map(|i| NodeId(i * 499)).collect();
+        let mut acc = small.clone();
+        intersect_in_place(&mut acc, &huge, |&x| x);
+        assert_eq!(acc, small);
+        let mut acc = huge.clone();
+        intersect_in_place(&mut acc, &small, |&x| x);
+        assert_eq!(acc, small);
+    }
+
+    #[test]
+    fn intersect_k_agrees_with_chained_pairwise() {
+        let a: Vec<NodeId> = (0..600u32).map(|i| NodeId(2 * i)).collect();
+        let b: Vec<NodeId> = (0..400u32).map(|i| NodeId(3 * i)).collect();
+        let c: Vec<NodeId> = (0..5000u32).map(NodeId).collect();
+        let d = ids(&[0, 6, 12, 600, 1198]);
+        let expect: Vec<NodeId> = d
+            .iter()
+            .copied()
+            .filter(|x| {
+                a.binary_search(x).is_ok()
+                    && b.binary_search(x).is_ok()
+                    && c.binary_search(x).is_ok()
+            })
+            .collect();
+        let mut acc = Vec::new();
+        let mut runs: [&[NodeId]; 4] = [&a, &b, &c, &d];
+        intersect_k(&mut acc, &mut runs);
+        assert_eq!(acc, expect);
+        // Smallest-first seeding: the slice is reordered ascending.
+        assert!(runs.windows(2).all(|w| w[0].len() <= w[1].len()));
+    }
+
+    #[test]
+    fn intersect_k_empty_run_exits_early() {
+        let a = ids(&[1, 2, 3]);
+        let empty: &[NodeId] = &[];
+        let mut acc = ids(&[9, 9, 9]);
+        intersect_k(&mut acc, &mut [&a, empty, &a]);
+        assert!(acc.is_empty());
+        // Zero runs also just clears.
+        let mut acc = ids(&[7]);
+        intersect_k(&mut acc, &mut []);
+        assert!(acc.is_empty());
+    }
+
+    #[test]
+    fn intersect_k_single_run_copies() {
+        let a = ids(&[2, 4, 8]);
+        let mut acc = ids(&[1]);
+        intersect_k(&mut acc, &mut [&a]);
+        assert_eq!(acc, a);
+    }
+
+    #[test]
+    fn intersect_k_disjoint_runs_empty() {
+        let a = ids(&[1, 3, 5]);
+        let b = ids(&[2, 4, 6]);
+        let c = ids(&[1, 2, 3, 4, 5, 6]);
+        let mut acc = Vec::new();
+        intersect_k(&mut acc, &mut [&c, &a, &b]);
+        assert!(acc.is_empty());
     }
 
     #[test]

@@ -3,19 +3,41 @@
 //! Enumeration is filter-and-refine: each connected component may
 //! first be *filtered* through [`dual_simulation`] (per the
 //! [`SimFilter`] policy), which either proves the component matchless
-//! or hands the backtracker a pruned [`CandidateSpace`] to *refine*.
+//! or hands the refiner a pruned [`CandidateSpace`] to *refine*.
 //! Connected patterns stream their matches straight to the callback;
 //! only genuinely disconnected patterns buffer per-component matches
 //! for the disjointness join.
+//!
+//! Refinement itself picks between two engines per component: cyclic
+//! filtered components run a decomposition-based [`QueryPlan`] whose
+//! bags are solved by worst-case-optimal multiway intersection
+//! ([`crate::plan::execute_plan`]); everything else backtracks
+//! ([`ComponentSearch`]). All entry points have `*_with` variants
+//! taking a caller-owned [`MatchScratch`] so repeated detection calls
+//! run allocation-free in steady state.
 
 use gfd_graph::{Graph, NodeId};
 use gfd_pattern::{signature::decompose, PatLabel, Pattern, VarId};
 
-use crate::component::{ComponentSearch, StopReason};
+use crate::component::{ComponentSearch, SearchScratch, StopReason};
 use crate::join::{join_tables, ComponentTable, JoinScratch};
+use crate::plan::{execute_plan, PlanScratch, QueryPlan};
 use crate::simulation::{dual_simulation, CandidateSpace};
 use crate::table::MatchTable;
 use crate::types::{Flow, Match, MatchOptions, SimFilter};
+
+/// Caller-owned reusable buffers for the matching API: the
+/// backtracker's [`SearchScratch`], the plan executor's
+/// [`PlanScratch`], and the disconnected-pattern join state. A fresh
+/// default is always valid; keeping one alive across calls removes
+/// the per-call heap traffic of `for_each_match`/`count_matches`.
+#[derive(Default)]
+pub struct MatchScratch {
+    search: SearchScratch,
+    plan: PlanScratch,
+    join: JoinScratch,
+    tables: Vec<MatchTable>,
+}
 
 /// Outcome of a streaming enumeration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -81,6 +103,19 @@ pub fn for_each_match(
     opts: &MatchOptions,
     f: &mut dyn FnMut(&[NodeId]) -> Flow,
 ) -> EnumOutcome {
+    for_each_match_with(q, g, opts, &mut MatchScratch::default(), f)
+}
+
+/// [`for_each_match`] with caller-owned scratch buffers — repeated
+/// calls (detection loops, benchmarks) reuse every pool, table and
+/// join arena instead of reallocating them per call.
+pub fn for_each_match_with(
+    q: &Pattern,
+    g: &Graph,
+    opts: &MatchOptions,
+    scratch: &mut MatchScratch,
+    f: &mut dyn FnMut(&[NodeId]) -> Flow,
+) -> EnumOutcome {
     debug_assert!(
         std::sync::Arc::ptr_eq(q.vocab(), g.vocab()),
         "pattern and graph must share a vocabulary"
@@ -88,33 +123,42 @@ pub fn for_each_match(
     if q.node_count() == 0 {
         return EnumOutcome::Complete; // the empty pattern has no matches
     }
+
+    // A connected pattern streams matches straight from the component
+    // search — no buffering, no join, and (unlike `decompose`) no
+    // pattern clone to check.
+    if q.is_connected() {
+        let cs = filter_component(q, g, opts);
+        return stream_single_component(q, g, opts, cs.as_ref(), scratch, f);
+    }
+
     let parts = decompose(q);
     let step_cap = opts.budget.max_steps.unwrap_or(u64::MAX);
     let mut steps_left = step_cap;
     let cap = opts.budget.max_matches.unwrap_or(usize::MAX);
 
-    // A connected pattern streams matches straight from the component
-    // search — no buffering, no join (detVio on connected patterns
-    // used to materialize the full match set for nothing).
-    if let [(cq, orig_vars)] = parts.as_slice() {
-        debug_assert!(
-            orig_vars.iter().enumerate().all(|(i, v)| v.index() == i),
-            "a single component keeps the original variable order"
-        );
-        let cs = filter_component(cq, g, opts);
-        return stream_single_component(cq, g, opts, cs.as_ref(), f);
-    }
-
     // Disconnected: enumerate matches per component (mapping pins into
     // local vars) into flat tables, then join under global injectivity
-    // — the buffer is one arena per component, not one `Vec` per match.
-    let mut components: Vec<(&[VarId], MatchTable)> = Vec::with_capacity(parts.len());
-    for (cq, orig_vars) in &parts {
+    // — the buffer is one scratch arena per component, not one `Vec`
+    // per match.
+    let MatchScratch {
+        search: search_scratch,
+        join,
+        tables,
+        ..
+    } = scratch;
+    if tables.len() < parts.len() {
+        tables.resize_with(parts.len(), MatchTable::default);
+    }
+    let mut vars_per_part: Vec<&[VarId]> = Vec::with_capacity(parts.len());
+    for ((cq, orig_vars), table) in parts.iter().zip(tables.iter_mut()) {
         let cs = filter_component(cq, g, opts);
         if cs.as_ref().is_some_and(CandidateSpace::is_empty_anywhere) {
             return EnumOutcome::Complete; // no match of this component → none of Q
         }
-        let mut search = ComponentSearch::new(cq, g).max_steps(steps_left);
+        let mut search = ComponentSearch::new(cq, g)
+            .with_scratch(std::mem::take(search_scratch))
+            .max_steps(steps_left);
         if let Some(r) = &opts.restriction {
             search = search.restrict(r);
         }
@@ -126,47 +170,43 @@ pub fn for_each_match(
                 search = search.pin(VarId(local as u32), node);
             }
         }
-        let mut matches = MatchTable::new(cq.node_count());
-        let reason = search.collect_into(&mut matches);
+        table.reset(cq.node_count());
+        let reason = search.collect_into(table);
         steps_left = steps_left.saturating_sub(search.steps());
+        *search_scratch = search.into_scratch();
         if reason == StopReason::BudgetExhausted {
             return EnumOutcome::Stopped(StopReason::BudgetExhausted);
         }
-        if matches.is_empty() {
+        if table.is_empty() {
             return EnumOutcome::Complete; // no match of this component → none of Q
         }
-        components.push((orig_vars.as_slice(), matches));
+        vars_per_part.push(orig_vars.as_slice());
     }
 
     // Join with global injectivity, honoring the match cap.
-    let inputs: Vec<ComponentTable> = components
+    let inputs: Vec<ComponentTable> = vars_per_part
         .iter()
+        .zip(tables.iter())
         .map(|(vars, table)| ComponentTable {
             vars,
             table,
             perm: None,
         })
         .collect();
-    let mut scratch = JoinScratch::new();
     let mut emitted = 0usize;
     let mut capped = false;
-    let complete = join_tables(
-        inputs.as_slice(),
-        q.node_count(),
-        &mut scratch,
-        &mut |assignment| {
-            let flow = f(assignment);
-            emitted += 1;
-            if flow == Flow::Break {
-                return Flow::Break;
-            }
-            if emitted >= cap {
-                capped = true;
-                return Flow::Break;
-            }
-            Flow::Continue
-        },
-    );
+    let complete = join_tables(inputs.as_slice(), q.node_count(), join, &mut |assignment| {
+        let flow = f(assignment);
+        emitted += 1;
+        if flow == Flow::Break {
+            return Flow::Break;
+        }
+        if emitted >= cap {
+            capped = true;
+            return Flow::Break;
+        }
+        Flow::Continue
+    });
     if complete {
         EnumOutcome::Complete
     } else if capped {
@@ -193,29 +233,149 @@ pub fn for_each_match_in_space(
     if q.node_count() == 0 {
         return EnumOutcome::Complete;
     }
-    if decompose(q).len() != 1 {
+    if !q.is_connected() {
         return for_each_match(q, g, opts, f);
     }
-    stream_single_component(q, g, opts, Some(cs), f)
+    stream_single_component(q, g, opts, Some(cs), &mut MatchScratch::default(), f)
+}
+
+/// [`for_each_match_in_space`] for callers that additionally hold a
+/// precomputed [`QueryPlan`] and reusable scratch — the entry point
+/// for [`crate::registry::SpaceRegistry`] consumers
+/// (`SpaceRegistry::space_and_plan` hands out both). Cyclic plans run
+/// the worst-case-optimal executor; acyclic ones fall back to the
+/// refined backtracker. Disconnected patterns fall back to
+/// [`for_each_match_with`] (spaces and plans index full-pattern
+/// variables, which per-component searches cannot consume).
+pub fn for_each_match_planned(
+    q: &Pattern,
+    g: &Graph,
+    opts: &MatchOptions,
+    cs: &CandidateSpace,
+    plan: &QueryPlan,
+    scratch: &mut MatchScratch,
+    f: &mut dyn FnMut(&[NodeId]) -> Flow,
+) -> EnumOutcome {
+    if q.node_count() == 0 {
+        return EnumOutcome::Complete;
+    }
+    if !q.is_connected() {
+        return for_each_match_with(q, g, opts, scratch, f);
+    }
+    if cs.is_empty_anywhere() {
+        return EnumOutcome::Complete;
+    }
+    if plan.is_cyclic() {
+        return stream_component_plan(q, g, opts, cs, plan, &mut scratch.plan, f);
+    }
+    stream_component_backtrack(q, g, opts, Some(cs), &mut scratch.search, f)
 }
 
 /// Streams the matches of one connected component straight to the
 /// callback, honoring restriction, pins and budget — the shared
 /// backend of [`for_each_match`]'s connected path (per-call filter)
 /// and [`for_each_match_in_space`] (caller-maintained filter).
+/// Filtered cyclic components route to the plan executor; everything
+/// else backtracks.
 fn stream_single_component(
     cq: &Pattern,
     g: &Graph,
     opts: &MatchOptions,
     cs: Option<&CandidateSpace>,
+    scratch: &mut MatchScratch,
     f: &mut dyn FnMut(&[NodeId]) -> Flow,
 ) -> EnumOutcome {
     if cs.is_some_and(CandidateSpace::is_empty_anywhere) {
         return EnumOutcome::Complete;
     }
+    if let Some(cs) = cs {
+        // The filter policies only attach a space to components worth
+        // filtering, so the plan build (pure pattern structure, tiny
+        // next to the enumeration) is not gated further. Registry
+        // callers avoid even this via `for_each_match_planned`.
+        let plan = QueryPlan::new(cq);
+        if plan.is_cyclic() {
+            return stream_component_plan(cq, g, opts, cs, &plan, &mut scratch.plan, f);
+        }
+    }
+    stream_component_backtrack(cq, g, opts, cs, &mut scratch.search, f)
+}
+
+/// The worst-case-optimal path: executes a decomposition plan inside
+/// the candidate space, wrapping the callback with the match cap.
+#[allow(clippy::too_many_arguments)]
+fn stream_component_plan(
+    cq: &Pattern,
+    g: &Graph,
+    opts: &MatchOptions,
+    cs: &CandidateSpace,
+    plan: &QueryPlan,
+    scratch: &mut PlanScratch,
+    f: &mut dyn FnMut(&[NodeId]) -> Flow,
+) -> EnumOutcome {
     let step_cap = opts.budget.max_steps.unwrap_or(u64::MAX);
     let cap = opts.budget.max_matches.unwrap_or(usize::MAX);
-    let mut search = ComponentSearch::new(cq, g).max_steps(step_cap);
+    // Out-of-range pins are ignored, matching the component mapping
+    // that drops them for disconnected patterns (the common case
+    // passes every pin through without buffering).
+    let pins_buf: Vec<(VarId, NodeId)>;
+    let pins: &[(VarId, NodeId)] = if opts.pins.iter().all(|&(v, _)| v.index() < cq.node_count()) {
+        &opts.pins
+    } else {
+        pins_buf = opts
+            .pins
+            .iter()
+            .copied()
+            .filter(|&(v, _)| v.index() < cq.node_count())
+            .collect();
+        &pins_buf
+    };
+    let mut emitted = 0usize;
+    let mut capped = false;
+    let reason = execute_plan(
+        cq,
+        g,
+        cs,
+        plan,
+        opts.restriction.as_ref(),
+        pins,
+        step_cap,
+        scratch,
+        &mut |m| {
+            let flow = f(m);
+            emitted += 1;
+            if flow == Flow::Break {
+                return Flow::Break;
+            }
+            if emitted >= cap {
+                capped = true;
+                return Flow::Break;
+            }
+            Flow::Continue
+        },
+    );
+    match reason {
+        StopReason::Exhausted => EnumOutcome::Complete,
+        StopReason::BudgetExhausted => EnumOutcome::Stopped(StopReason::BudgetExhausted),
+        StopReason::CallbackBreak if capped => EnumOutcome::Stopped(StopReason::BudgetExhausted),
+        StopReason::CallbackBreak => EnumOutcome::Stopped(StopReason::CallbackBreak),
+    }
+}
+
+/// The backtracking path, with the same cap semantics.
+fn stream_component_backtrack(
+    cq: &Pattern,
+    g: &Graph,
+    opts: &MatchOptions,
+    cs: Option<&CandidateSpace>,
+    scratch: &mut SearchScratch,
+    f: &mut dyn FnMut(&[NodeId]) -> Flow,
+) -> EnumOutcome {
+    let step_cap = opts.budget.max_steps.unwrap_or(u64::MAX);
+    let cap = opts.budget.max_matches.unwrap_or(usize::MAX);
+    let mut search = ComponentSearch::new(cq, g)
+        .with_scratch(std::mem::take(scratch))
+        .max_steps(step_cap);
     if let Some(r) = &opts.restriction {
         search = search.restrict(r);
     }
@@ -243,6 +403,7 @@ fn stream_single_component(
         }
         Flow::Continue
     });
+    *scratch = search.into_scratch();
     match reason {
         StopReason::Exhausted => EnumOutcome::Complete,
         StopReason::BudgetExhausted => EnumOutcome::Stopped(StopReason::BudgetExhausted),
@@ -263,8 +424,19 @@ pub fn find_matches(q: &Pattern, g: &Graph, opts: &MatchOptions) -> Vec<Match> {
 
 /// Counts matches (subject to `opts.budget`).
 pub fn count_matches(q: &Pattern, g: &Graph, opts: &MatchOptions) -> usize {
+    count_matches_with(q, g, opts, &mut MatchScratch::default())
+}
+
+/// [`count_matches`] with caller-owned scratch — the allocation-free
+/// form for counting loops.
+pub fn count_matches_with(
+    q: &Pattern,
+    g: &Graph,
+    opts: &MatchOptions,
+    scratch: &mut MatchScratch,
+) -> usize {
     let mut n = 0usize;
-    for_each_match(q, g, opts, &mut |_| {
+    for_each_match_with(q, g, opts, scratch, &mut |_| {
         n += 1;
         Flow::Continue
     });

@@ -44,10 +44,34 @@ pub(crate) fn edge_ok(g: &Graph, u: NodeId, v: NodeId, label: PatLabel) -> bool 
 /// (ties: smallest candidate count, then higher degree, then lower
 /// id). `cand_counts` comes from the simulation when available; pass
 /// `usize::MAX` entries to fall back to pure degree ordering.
+///
+/// The order is **fully deterministic**: every tie chain ends in the
+/// stable secondary key `Reverse(v.0)` (variable ids are unique), so
+/// two calls over the same inputs — across processes, thread
+/// schedules, or repeated detection passes — always produce the same
+/// order. Plan caches and regression baselines rely on this.
+#[cfg(test)]
 pub(crate) fn search_order(q: &Pattern, pinned: &[VarId], cand_counts: &[usize]) -> Vec<VarId> {
+    let mut visited = Vec::new();
+    let mut order = Vec::new();
+    search_order_into(q, pinned, cand_counts, &mut visited, &mut order);
+    order
+}
+
+/// [`search_order`] writing into caller-owned buffers (`visited` and
+/// `order` are cleared first) — the allocation-free form the search
+/// hot path uses via [`SearchScratch`].
+pub(crate) fn search_order_into(
+    q: &Pattern,
+    pinned: &[VarId],
+    cand_counts: &[usize],
+    visited: &mut Vec<bool>,
+    order: &mut Vec<VarId>,
+) {
     let n = q.node_count();
-    let mut visited = vec![false; n];
-    let mut order = Vec::with_capacity(n);
+    visited.clear();
+    visited.resize(n, false);
+    order.clear();
     for &p in pinned {
         if !visited[p.index()] {
             visited[p.index()] = true;
@@ -71,7 +95,6 @@ pub(crate) fn search_order(q: &Pattern, pinned: &[VarId], cand_counts: &[usize])
         visited[next.index()] = true;
         order.push(next);
     }
-    order
 }
 
 /// A sorted, duplicate-free candidate source to intersect.
@@ -93,6 +116,33 @@ impl Source<'_> {
     }
 }
 
+/// Caller-owned reusable buffers for [`ComponentSearch`]: per-depth
+/// candidate pools, the assignment array, and all ordering state.
+/// Detection loops run one search per rule per block; threading one
+/// `SearchScratch` through them (via
+/// [`ComponentSearch::with_scratch`], recovered by
+/// [`ComponentSearch::into_scratch`]) makes repeated searches
+/// allocation-free in steady state. A fresh default is always valid —
+/// buffers are cleared and resized per search.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    /// One pool buffer per search depth.
+    pools: Vec<Vec<NodeId>>,
+    assigned: Vec<NodeId>,
+    counts: Vec<usize>,
+    order: Vec<VarId>,
+    visited: Vec<bool>,
+    pinned: Vec<VarId>,
+    /// Per-variable lower bounds on a viable image's out-/in-degree:
+    /// the number of *distinct* out-/in-neighbor variables. Distinct
+    /// neighbor variables map to distinct nodes (injectivity), so each
+    /// needs its own graph edge — but several pattern edges to the
+    /// *same* neighbor (e.g. a labeled and a wildcard edge) can share
+    /// one graph edge, so counting edges would over-prune.
+    min_out: Vec<usize>,
+    min_in: Vec<usize>,
+}
+
 /// Single-component matcher.
 pub struct ComponentSearch<'a> {
     q: &'a Pattern,
@@ -102,19 +152,11 @@ pub struct ComponentSearch<'a> {
     pins: Vec<(VarId, NodeId)>,
     max_steps: u64,
     steps: u64,
-    /// One reusable pool buffer per search depth (zero steady-state
-    /// allocation across the enumeration).
-    scratch: Vec<Vec<NodeId>>,
-    /// Reusable source-descriptor buffer for pool assembly.
+    /// Reusable buffers, possibly adopted from a previous search.
+    scratch: SearchScratch,
+    /// Reusable source-descriptor buffer for pool assembly (borrows
+    /// from `'a`, so it cannot live in the lifetime-free scratch).
     sources: Vec<Source<'a>>,
-    /// Per-variable lower bounds on a viable image's out-/in-degree:
-    /// the number of *distinct* out-/in-neighbor variables. Distinct
-    /// neighbor variables map to distinct nodes (injectivity), so each
-    /// needs its own graph edge — but several pattern edges to the
-    /// *same* neighbor (e.g. a labeled and a wildcard edge) can share
-    /// one graph edge, so counting edges would over-prune.
-    min_out: Vec<usize>,
-    min_in: Vec<usize>,
 }
 
 /// Why an enumeration stopped.
@@ -139,11 +181,22 @@ impl<'a> ComponentSearch<'a> {
             pins: Vec::new(),
             max_steps: u64::MAX,
             steps: 0,
-            scratch: Vec::new(),
+            scratch: SearchScratch::default(),
             sources: Vec::new(),
-            min_out: q.vars().map(|v| distinct_neighbors(q.out(v))).collect(),
-            min_in: q.vars().map(|v| distinct_neighbors(q.inn(v))).collect(),
         }
+    }
+
+    /// Adopts reusable buffers from a previous search (of any pattern
+    /// — everything is cleared and resized per enumeration).
+    pub fn with_scratch(mut self, scratch: SearchScratch) -> Self {
+        self.scratch = scratch;
+        self
+    }
+
+    /// Recovers the scratch buffers (and their capacity) for the next
+    /// search.
+    pub fn into_scratch(self) -> SearchScratch {
+        self.scratch
     }
 
     /// Restricts images to a node set (a data block).
@@ -182,8 +235,8 @@ impl<'a> ComponentSearch<'a> {
         if !self.q.label(sv).admits(self.g.label(gv)) || !self.allowed(gv) {
             return false;
         }
-        if self.min_out[sv.index()] > self.g.out_degree(gv)
-            || self.min_in[sv.index()] > self.g.in_degree(gv)
+        if self.scratch.min_out[sv.index()] > self.g.out_degree(gv)
+            || self.scratch.min_in[sv.index()] > self.g.in_degree(gv)
         {
             return false;
         }
@@ -370,7 +423,7 @@ impl<'a> ComponentSearch<'a> {
             }
             return Ok(());
         }
-        let mut pool = std::mem::take(&mut self.scratch[depth]);
+        let mut pool = std::mem::take(&mut self.scratch.pools[depth]);
         self.fill_candidates(assigned, sv, &mut pool);
         let mut result = Ok(());
         for &gv in &pool {
@@ -392,7 +445,7 @@ impl<'a> ComponentSearch<'a> {
         }
         // Hand the buffer (and its capacity) back for the next visit
         // of this depth.
-        self.scratch[depth] = pool;
+        self.scratch.pools[depth] = pool;
         result
     }
 
@@ -400,11 +453,9 @@ impl<'a> ComponentSearch<'a> {
     /// this component's variable ids). Returns how the search ended.
     pub fn for_each(&mut self, f: &mut dyn FnMut(&[NodeId]) -> Flow) -> StopReason {
         let n = self.q.node_count();
-        let mut assigned = vec![NodeId(u32::MAX); n];
         // Reject pin pairs that collide (injectivity between pins).
-        let pins = self.pins.clone();
-        for (i, &(v1, n1)) in pins.iter().enumerate() {
-            for &(v2, n2) in &pins[i + 1..] {
+        for (i, &(v1, n1)) in self.pins.iter().enumerate() {
+            for &(v2, n2) in &self.pins[i + 1..] {
                 if v1 != v2 && n1 == n2 {
                     return StopReason::Exhausted;
                 }
@@ -413,25 +464,54 @@ impl<'a> ComponentSearch<'a> {
         if let Some(cs) = self.cand {
             // A pin outside the simulation relation cannot anchor any
             // match (sim contains every match).
-            for &(v, node) in &pins {
+            for &(v, node) in &self.pins {
                 if cs.sets[v.index()].binary_search(&node).is_err() {
                     return StopReason::Exhausted;
                 }
             }
         }
-        for &(v, node) in &pins {
+        // Refill the per-pattern caches inside the (possibly adopted)
+        // scratch: degree lower bounds, candidate counts, search order.
+        {
+            let q = self.q;
+            let s = &mut self.scratch;
+            s.min_out.clear();
+            s.min_out
+                .extend(q.vars().map(|v| distinct_neighbors(q.out(v))));
+            s.min_in.clear();
+            s.min_in
+                .extend(q.vars().map(|v| distinct_neighbors(q.inn(v))));
+            s.counts.clear();
+            match self.cand {
+                Some(cs) => s.counts.extend(cs.sets.iter().map(Vec::len)),
+                None => s.counts.resize(n, usize::MAX),
+            }
+            s.pinned.clear();
+            s.pinned.extend(self.pins.iter().map(|&(v, _)| v));
+        }
+        let mut order = std::mem::take(&mut self.scratch.order);
+        {
+            let SearchScratch {
+                counts,
+                visited,
+                pinned,
+                ..
+            } = &mut self.scratch;
+            search_order_into(self.q, pinned, counts, visited, &mut order);
+        }
+        let mut assigned = std::mem::take(&mut self.scratch.assigned);
+        assigned.clear();
+        assigned.resize(n, NodeId(u32::MAX));
+        for &(v, node) in &self.pins {
             assigned[v.index()] = node;
         }
-        let pinned: Vec<VarId> = pins.iter().map(|&(v, _)| v).collect();
-        let counts: Vec<usize> = match self.cand {
-            Some(cs) => cs.sets.iter().map(Vec::len).collect(),
-            None => vec![usize::MAX; n],
-        };
-        let order = search_order(self.q, &pinned, &counts);
-        if self.scratch.len() < n {
-            self.scratch.resize_with(n, Vec::new);
+        if self.scratch.pools.len() < n {
+            self.scratch.pools.resize_with(n, Vec::new);
         }
-        match self.run(&order, 0, &mut assigned, f) {
+        let result = self.run(&order, 0, &mut assigned, f);
+        self.scratch.order = order;
+        self.scratch.assigned = assigned;
+        match result {
             Ok(()) => StopReason::Exhausted,
             Err(reason) => reason,
         }
@@ -622,6 +702,73 @@ mod tests {
         filtered.sort();
         assert_eq!(plain, filtered);
         assert!(!plain.is_empty());
+    }
+
+    /// Satellite regression: `search_order` must be fully
+    /// deterministic under ties. A wildcard 4-cycle makes every
+    /// primary key (visited-neighbor count, candidate count, degree)
+    /// tie, so the order is decided purely by the stable secondary key
+    /// on the variable id.
+    #[test]
+    fn search_order_breaks_ties_deterministically() {
+        let (g, _) = social();
+        let mut b = PatternBuilder::new(g.vocab().clone());
+        let v0 = b.wildcard_node("v0");
+        let v1 = b.wildcard_node("v1");
+        let v2 = b.wildcard_node("v2");
+        let v3 = b.wildcard_node("v3");
+        b.wildcard_edge(v0, v1);
+        b.wildcard_edge(v1, v2);
+        b.wildcard_edge(v2, v3);
+        b.wildcard_edge(v3, v0);
+        let q = b.build();
+        let counts = vec![usize::MAX; 4];
+        let first = search_order(&q, &[], &counts);
+        // All primary keys tie at every step, so `Reverse(v.0)` must
+        // pick the smallest id among the most-connected candidates:
+        // v0, then its smaller neighbor v1, then v2 (now adjacent to
+        // a visited var), then v3.
+        assert_eq!(first, vec![v0, v1, v2, v3]);
+        for _ in 0..10 {
+            assert_eq!(search_order(&q, &[], &counts), first);
+        }
+        // Pinning reorders the prefix but stays deterministic.
+        let pinned = search_order(&q, &[v2], &counts);
+        assert_eq!(pinned[0], v2);
+        for _ in 0..10 {
+            assert_eq!(search_order(&q, &[v2], &counts), pinned);
+        }
+    }
+
+    /// Scratch buffers survive recycling across searches of different
+    /// patterns and keep results identical.
+    #[test]
+    fn scratch_reuse_across_searches() {
+        let (g, _) = social();
+        let mut b = PatternBuilder::new(g.vocab().clone());
+        let x = b.node("x", "account");
+        let y1 = b.node("y1", "blog");
+        let y2 = b.node("y2", "blog");
+        b.edge(x, y1, "like");
+        b.edge(x, y2, "like");
+        let two_likes = b.build();
+        let mut b = PatternBuilder::new(g.vocab().clone());
+        let x = b.node("x", "account");
+        let y = b.node("y", "blog");
+        b.edge(x, y, "post");
+        let post = b.build();
+
+        let baseline_a = ComponentSearch::new(&two_likes, &g).collect_all();
+        let baseline_b = ComponentSearch::new(&post, &g).collect_all();
+
+        let mut scratch = SearchScratch::default();
+        for _ in 0..3 {
+            let mut s = ComponentSearch::new(&two_likes, &g).with_scratch(scratch);
+            assert_eq!(s.collect_all(), baseline_a);
+            let mut t = ComponentSearch::new(&post, &g).with_scratch(s.into_scratch());
+            assert_eq!(t.collect_all(), baseline_b);
+            scratch = t.into_scratch();
+        }
     }
 
     #[test]

@@ -14,6 +14,19 @@
 //! components is joined in place through its permutation. All
 //! backtracking state lives in a caller-owned [`JoinScratch`], so a
 //! warm caller joins with zero heap allocation.
+//!
+//! Inputs may also *share* variables — the decomposition planner joins
+//! the bags of one component's tree decomposition through the same
+//! entry point. A column whose variable is already assigned must agree
+//! with the assignment (an equi-join on the bag overlap) instead of
+//! tripping the disjointness check; only newly placed variables
+//! consume fresh nodes. Shared-variable inputs are probed through a
+//! sorted row index over their key columns (built per join call,
+//! reused across calls through the scratch), so the equi-join runs in
+//! output-proportional time instead of scanning every row per outer
+//! match; inputs without shared variables keep the plain scan.
+
+use std::cmp::Ordering;
 
 use gfd_graph::NodeId;
 use gfd_pattern::VarId;
@@ -77,6 +90,50 @@ pub struct JoinScratch {
     order: Vec<usize>,
     assignment: Vec<NodeId>,
     used: Vec<NodeId>,
+    /// The variable placed at each `used` slot — lets the unwind reset
+    /// exactly the variables this depth placed, leaving shared
+    /// variables assigned by earlier inputs untouched.
+    used_vars: Vec<VarId>,
+    /// Per-depth equi-join index (empty key = plain scan).
+    keyed: Vec<KeyedIndex>,
+    /// Which variables some earlier-ordered input binds — the key
+    /// columns of each later input.
+    seen: Vec<bool>,
+}
+
+/// A sorted row index over one input's key columns (the logical
+/// columns whose variables an earlier-ordered input binds). Rows with
+/// equal keys are contiguous, so a probe is one binary search plus a
+/// scan of exactly the matching group.
+#[derive(Debug, Default)]
+struct KeyedIndex {
+    /// Logical key columns.
+    cols: Vec<u32>,
+    /// Row ids, sorted lexicographically by key-column values (ties by
+    /// row id, preserving insertion order within a group).
+    rows: Vec<u32>,
+}
+
+/// Lexicographic comparison of row `r`'s key-column values against the
+/// values `assignment` fixes for those columns' variables (all bound:
+/// key columns are shared with earlier inputs by construction).
+fn cmp_key_to_assignment(
+    table: &MatchTable,
+    perm: Option<&[u32]>,
+    vars: &[VarId],
+    cols: &[u32],
+    r: u32,
+    assignment: &[NodeId],
+) -> Ordering {
+    let row = table.row(r as usize);
+    for &j in cols {
+        let phys = perm.map_or(j as usize, |p| p[j as usize] as usize);
+        match row[phys].cmp(&assignment[vars[j as usize].index()]) {
+            Ordering::Equal => {}
+            o => return o,
+        }
+    }
+    Ordering::Equal
 }
 
 impl JoinScratch {
@@ -86,10 +143,13 @@ impl JoinScratch {
     }
 }
 
-/// Streams every disjoint combination of component matches as a full
+/// Streams every compatible combination of input matches as a full
 /// assignment (indexed by original variable id, length `total_vars`).
-/// Stops early if `f` returns [`Flow::Break`]; returns `true` if the
-/// enumeration ran to completion.
+/// Inputs with disjoint variable sets combine node-disjointly (the
+/// disconnected-pattern join); inputs sharing variables must agree on
+/// them (the decomposition planner's bag join). Stops early if `f`
+/// returns [`Flow::Break`]; returns `true` if the enumeration ran to
+/// completion.
 pub fn join_tables<I: JoinInputs + ?Sized>(
     inputs: &I,
     total_vars: usize,
@@ -106,24 +166,84 @@ pub fn join_tables<I: JoinInputs + ?Sized>(
         order,
         assignment,
         used,
+        used_vars,
+        keyed,
+        seen,
     } = scratch;
     // Order components by ascending match count for early pruning.
     order.clear();
     order.extend(0..k);
     order.sort_unstable_by_key(|&i| inputs.table(i).len());
 
+    // Index every input whose variables overlap an earlier one: probe
+    // by binary search instead of rescanning the table per outer row.
+    if keyed.len() < k {
+        keyed.resize_with(k, KeyedIndex::default);
+    }
+    seen.clear();
+    seen.resize(total_vars, false);
+    for (d, &ci) in order.iter().enumerate() {
+        let ki = &mut keyed[d];
+        ki.cols.clear();
+        ki.rows.clear();
+        let vars = inputs.vars(ci);
+        for (j, &v) in vars.iter().enumerate() {
+            if seen[v.index()] {
+                ki.cols.push(j as u32);
+            }
+        }
+        if !ki.cols.is_empty() {
+            let table = inputs.table(ci);
+            let perm = inputs.perm(ci);
+            ki.rows.extend(0..table.len() as u32);
+            ki.rows.sort_unstable_by(|&a, &b| {
+                let (ra, rb) = (table.row(a as usize), table.row(b as usize));
+                for &j in &ki.cols {
+                    let phys = perm.map_or(j as usize, |p| p[j as usize] as usize);
+                    match ra[phys].cmp(&rb[phys]) {
+                        Ordering::Equal => {}
+                        o => return o,
+                    }
+                }
+                a.cmp(&b)
+            });
+        }
+        for &v in vars {
+            seen[v.index()] = true;
+        }
+    }
+
     assignment.clear();
     assignment.resize(total_vars, NodeId(u32::MAX));
     used.clear();
-    rec(inputs, order, 0, assignment, used, f)
+    used_vars.clear();
+    rec(inputs, order, keyed, 0, assignment, used, used_vars, f)
 }
 
+/// Resets the variables placed since `from`, restoring the state this
+/// depth found on entry.
+fn unwind(
+    assignment: &mut [NodeId],
+    used: &mut Vec<NodeId>,
+    used_vars: &mut Vec<VarId>,
+    from: usize,
+) {
+    for &v in &used_vars[from..] {
+        assignment[v.index()] = NodeId(u32::MAX);
+    }
+    used.truncate(from);
+    used_vars.truncate(from);
+}
+
+#[allow(clippy::too_many_arguments)]
 fn rec<I: JoinInputs + ?Sized>(
     inputs: &I,
     order: &[usize],
+    keyed: &[KeyedIndex],
     depth: usize,
     assignment: &mut Vec<NodeId>,
     used: &mut Vec<NodeId>,
+    used_vars: &mut Vec<VarId>,
     f: &mut dyn FnMut(&[NodeId]) -> Flow,
 ) -> bool {
     if depth == order.len() {
@@ -133,34 +253,59 @@ fn rec<I: JoinInputs + ?Sized>(
     let table = inputs.table(ci);
     let vars = inputs.vars(ci);
     let perm = inputs.perm(ci);
-    'next_match: for r in 0..table.len() {
+    let ki = &keyed[depth];
+    // Equi-join probe: only the contiguous group of rows agreeing with
+    // the assignment on every key column; no key = the full table.
+    let (group, full) = if ki.cols.is_empty() {
+        (&[][..], table.len())
+    } else {
+        let lo = ki.rows.partition_point(|&r| {
+            cmp_key_to_assignment(table, perm, vars, &ki.cols, r, assignment) == Ordering::Less
+        });
+        let len = ki.rows[lo..].partition_point(|&r| {
+            cmp_key_to_assignment(table, perm, vars, &ki.cols, r, assignment) == Ordering::Equal
+        });
+        (&ki.rows[lo..lo + len], 0)
+    };
+    'next_match: for r in (0..full).chain(group.iter().map(|&r| r as usize)) {
         let row = table.row(r);
-        // Disjointness against all previously placed components. The
-        // permutation is a bijection, so the physical row holds the
-        // same node set as the logical one — scan it directly.
-        for &node in row {
-            if used.contains(&node) {
+        let placed0 = used.len();
+        for (j, &var) in vars.iter().enumerate() {
+            let phys = match perm {
+                None => j,
+                Some(p) => p[j] as usize,
+            };
+            let node = row[phys];
+            let slot = assignment[var.index()];
+            if slot != NodeId(u32::MAX) {
+                // Shared variable: the row must agree with the value an
+                // earlier input placed.
+                if slot != node {
+                    unwind(assignment, used, used_vars, placed0);
+                    continue 'next_match;
+                }
+            } else if used.contains(&node) {
+                // Fresh variable: matches are injective, so the node
+                // must not repeat.
+                unwind(assignment, used, used_vars, placed0);
                 continue 'next_match;
+            } else {
+                assignment[var.index()] = node;
+                used.push(node);
+                used_vars.push(var);
             }
         }
-        match perm {
-            None => {
-                for (j, &node) in row.iter().enumerate() {
-                    assignment[vars[j].index()] = node;
-                }
-            }
-            Some(p) => {
-                for (j, &phys) in p.iter().enumerate() {
-                    assignment[vars[j].index()] = row[phys as usize];
-                }
-            }
-        }
-        used.extend_from_slice(row);
-        let go_on = rec(inputs, order, depth + 1, assignment, used, f);
-        for &var in vars {
-            assignment[var.index()] = NodeId(u32::MAX);
-        }
-        used.truncate(used.len() - row.len());
+        let go_on = rec(
+            inputs,
+            order,
+            keyed,
+            depth + 1,
+            assignment,
+            used,
+            used_vars,
+            f,
+        );
+        unwind(assignment, used, used_vars, placed0);
         if !go_on {
             return false;
         }
@@ -289,6 +434,88 @@ mod tests {
             out,
             vec![vec![NodeId(2), NodeId(1)], vec![NodeId(4), NodeId(3)],]
         );
+    }
+
+    #[test]
+    fn shared_variables_equi_join() {
+        // Two "bags" of one decomposed component sharing var 1: rows
+        // combine only when they agree on the overlap.
+        let ta = table(
+            2,
+            &[
+                &[NodeId(0), NodeId(1)],
+                &[NodeId(0), NodeId(2)],
+                &[NodeId(3), NodeId(2)],
+            ],
+        );
+        let tb = table(2, &[&[NodeId(1), NodeId(9)], &[NodeId(2), NodeId(8)]]);
+        let comps = [
+            ComponentTable {
+                vars: &[VarId(0), VarId(1)],
+                table: &ta,
+                perm: None,
+            },
+            ComponentTable {
+                vars: &[VarId(1), VarId(2)],
+                table: &tb,
+                perm: None,
+            },
+        ];
+        let mut out = collect(&comps, 3);
+        out.sort();
+        assert_eq!(
+            out,
+            vec![
+                vec![NodeId(0), NodeId(1), NodeId(9)],
+                vec![NodeId(0), NodeId(2), NodeId(8)],
+                vec![NodeId(3), NodeId(2), NodeId(8)],
+            ]
+        );
+    }
+
+    #[test]
+    fn shared_join_still_enforces_injectivity_on_fresh_vars() {
+        // Bags agree on var 1 = n5, but bag B's fresh var 2 reuses bag
+        // A's node n0 — rejected (matches are injective).
+        let ta = table(2, &[&[NodeId(0), NodeId(5)]]);
+        let tb = table(2, &[&[NodeId(5), NodeId(0)], &[NodeId(5), NodeId(7)]]);
+        let comps = [
+            ComponentTable {
+                vars: &[VarId(0), VarId(1)],
+                table: &ta,
+                perm: None,
+            },
+            ComponentTable {
+                vars: &[VarId(1), VarId(2)],
+                table: &tb,
+                perm: None,
+            },
+        ];
+        let out = collect(&comps, 3);
+        assert_eq!(out, vec![vec![NodeId(0), NodeId(5), NodeId(7)]]);
+    }
+
+    #[test]
+    fn shared_join_through_permutation() {
+        // Bag B reads its logical columns (var1, var2) through the
+        // permutation [1, 0] of physical rows stored as (var2, var1).
+        let ta = table(2, &[&[NodeId(0), NodeId(5)]]);
+        let tb = table(2, &[&[NodeId(7), NodeId(5)], &[NodeId(7), NodeId(6)]]);
+        let perm = [1u32, 0];
+        let comps = [
+            ComponentTable {
+                vars: &[VarId(0), VarId(1)],
+                table: &ta,
+                perm: None,
+            },
+            ComponentTable {
+                vars: &[VarId(1), VarId(2)],
+                table: &tb,
+                perm: Some(&perm),
+            },
+        ];
+        let out = collect(&comps, 3);
+        assert_eq!(out, vec![vec![NodeId(0), NodeId(5), NodeId(7)]]);
     }
 
     #[test]

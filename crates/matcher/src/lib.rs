@@ -25,17 +25,30 @@
 //!   the resulting [`simulation::CandidateSpace`] prunes the exact
 //!   backtracker's candidate pools.
 
+//!
+//! On top of filter-and-refine sits a **planner layer** (module
+//! [`plan`]): cyclic components get a tree-decomposition-based
+//! [`plan::QueryPlan`] whose bags are solved by worst-case-optimal
+//! multiway intersection and joined along the tree, cached once per
+//! canonical class in the [`registry::SpaceRegistry`].
+
 pub mod api;
 pub mod component;
 pub mod incremental;
 pub mod join;
+pub mod plan;
 pub mod registry;
 pub mod simulation;
 pub mod table;
 pub mod types;
 
-pub use api::{count_matches, find_matches, for_each_match, for_each_match_in_space, has_match};
+pub use api::{
+    count_matches, count_matches_with, find_matches, for_each_match, for_each_match_in_space,
+    for_each_match_planned, for_each_match_with, has_match, MatchScratch,
+};
+pub use component::{ComponentSearch, SearchScratch, StopReason};
 pub use incremental::{IncrementalSpace, RepairReport};
+pub use plan::{execute_plan, PlanScratch, QueryPlan};
 pub use registry::{SpaceHandle, SpaceRegistry};
 pub use simulation::{dual_simulation, CandidateSpace};
 pub use table::{MatchTable, TableView};

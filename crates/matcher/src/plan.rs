@@ -1,0 +1,775 @@
+//! Decomposition-plan execution: worst-case-optimal multiway matching
+//! for cyclic pattern components.
+//!
+//! The edge-at-a-time backtracker ([`crate::component`]) can pay the
+//! worst intermediate-result blowup of a bad branch order on cyclic
+//! patterns — a skewed triangle enumerates every `(x, y)` edge pair
+//! before discovering that almost none close the cycle. A
+//! [`QueryPlan`] instead executes along a tree decomposition of the
+//! pattern ([`gfd_pattern::decomp`]):
+//!
+//! * each **bag** is solved by a *worst-case-optimal multiway step* —
+//!   at every variable, ALL pattern-edge-constrained sorted runs from
+//!   the [`CandidateSpace`] adjacency are intersected at once
+//!   ([`gfd_graph::intersect::intersect_k`], leapfrog-style
+//!   smallest-first seeding), so the work at each level is bounded by
+//!   the *smallest* constraining run rather than the enumeration
+//!   frontier of one edge;
+//! * bags are **fused** along the tree: one recursion solves them in
+//!   parent-before-child order, a variable bound by an earlier bag
+//!   stays fixed, and only each bag's fresh variables are placed —
+//!   every parent binding constrains the child's multiway steps
+//!   directly. (Materializing bag tables and equi-joining them was
+//!   measured strictly worse: a child bag enumerated *independently*
+//!   pays its full unconstrained frontier, which on cyclic benches
+//!   costs more than all per-binding residual solves combined.)
+//! * acyclic components never get here: plans of width ≤ 1 are routed
+//!   to the existing backtracker by the gate in [`crate::api`], which
+//!   is already worst-case optimal on forests.
+//!
+//! All state lives in a caller-owned [`PlanScratch`] (same discipline
+//! as [`crate::join::JoinScratch`]): a warm caller executes plans with
+//! zero steady-state heap allocation.
+//!
+//! Plans are a pure function of the pattern — no graph statistics —
+//! and therefore isomorphism-invariant: the registry computes one plan
+//! per canonical class and [`QueryPlan::transport`]s it to members
+//! along their witnesses, exactly like candidate spaces.
+
+use gfd_graph::intersect::{intersect_in_place, intersect_k};
+use gfd_graph::{Graph, NodeId, NodeSet};
+use gfd_pattern::{tree_decomposition, Pattern, TreeDecomposition, VarId};
+
+use crate::component::{edge_ok, StopReason};
+use crate::simulation::CandidateSpace;
+use crate::types::Flow;
+
+/// Constraining runs are intersected in stack batches of this size —
+/// no variable of a mined rule has anywhere near 16 constraining
+/// edges, but the fold below stays correct if one does.
+const MAX_RUNS: usize = 16;
+
+/// Execution info for one bag: the variable placement order and the
+/// pattern edges the bag enforces.
+#[derive(Clone, Debug)]
+struct BagPlan {
+    /// Bag variables in placement order: greedy most-constrained-first
+    /// (most already-placed bag neighbors, then highest bag-internal
+    /// degree, then smallest id — fully deterministic).
+    order: Vec<VarId>,
+    /// Indices into `Pattern::edges()` of every edge with both
+    /// endpoints in this bag. An edge shared by several bags is
+    /// enforced in each of them — redundant but sound, and it keeps
+    /// every bag's frontier as tight as the simulation allows.
+    edges: Vec<u32>,
+}
+
+/// A decomposition-based execution plan for one connected pattern.
+#[derive(Clone, Debug)]
+pub struct QueryPlan {
+    td: TreeDecomposition,
+    bags: Vec<BagPlan>,
+    /// Bag indices in parent-before-child (DFS) order — the fused
+    /// execution sequence. With the running-intersection property this
+    /// guarantees that at the first-processed bag containing both
+    /// endpoints of an edge, at least one endpoint is still fresh, so
+    /// every edge is enforced exactly where it first becomes local.
+    seq: Vec<u32>,
+    /// Per-`seq`-position offset into the shared pool array (bags use
+    /// disjoint pool slots so nested fills never collide).
+    pool_base: Vec<u32>,
+    n_vars: usize,
+}
+
+impl QueryPlan {
+    /// Plans `q` from scratch (tree decomposition + per-bag orders).
+    pub fn new(q: &Pattern) -> QueryPlan {
+        Self::from_decomposition(q, tree_decomposition(q))
+    }
+
+    /// Plans `q` along a precomputed decomposition.
+    pub fn from_decomposition(q: &Pattern, td: TreeDecomposition) -> QueryPlan {
+        let bags = td
+            .bags
+            .iter()
+            .map(|bag| {
+                let edges: Vec<u32> = q
+                    .edges()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| bag.vars.contains(&e.src) && bag.vars.contains(&e.dst))
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                BagPlan {
+                    order: bag_order(q, &bag.vars, &edges),
+                    edges,
+                }
+            })
+            .collect();
+        let seq = dfs_order(&td);
+        let mut pool_base = Vec::with_capacity(seq.len());
+        let mut base = 0u32;
+        for &bi in &seq {
+            pool_base.push(base);
+            base += td.bags[bi as usize].vars.len() as u32;
+        }
+        QueryPlan {
+            td,
+            bags,
+            seq,
+            pool_base,
+            n_vars: q.node_count(),
+        }
+    }
+
+    /// The decomposition's width — the planner's cost signal: width ≤ 1
+    /// means the component is a forest and the plain backtracker is
+    /// the right executor; width ≥ 2 marks a cyclic component whose
+    /// bags are worth the multiway step.
+    pub fn width(&self) -> usize {
+        self.td.width()
+    }
+
+    /// True if the plan has any cyclic bag (width ≥ 2).
+    pub fn is_cyclic(&self) -> bool {
+        self.width() >= 2
+    }
+
+    /// Number of bags.
+    pub fn bag_count(&self) -> usize {
+        self.bags.len()
+    }
+
+    /// The underlying tree decomposition.
+    pub fn decomposition(&self) -> &TreeDecomposition {
+        &self.td
+    }
+
+    /// Transports a plan computed for a class representative onto the
+    /// isomorphic pattern `member`; `map` sends representative
+    /// variables to member variables (an [`gfd_pattern::IsoWitness`]
+    /// `inverse`). The bag structure and width carry over unchanged;
+    /// placement orders and edge lists are rebuilt against the
+    /// member's own numbering.
+    pub fn transport(&self, member: &Pattern, map: impl Fn(VarId) -> VarId) -> QueryPlan {
+        Self::from_decomposition(member, self.td.relabel(map))
+    }
+}
+
+/// Bag indices in parent-before-child order: roots first, then each
+/// bag immediately after its parent's subtree is entered (iterative
+/// DFS; deterministic — children visit in ascending index order).
+fn dfs_order(td: &TreeDecomposition) -> Vec<u32> {
+    let n = td.bags.len();
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    let mut stack = Vec::new();
+    for root in 0..n {
+        if td.bags[root].parent.is_some() || visited[root] {
+            continue;
+        }
+        stack.push(root);
+        while let Some(b) = stack.pop() {
+            if std::mem::replace(&mut visited[b], true) {
+                continue;
+            }
+            order.push(b as u32);
+            // Push children in descending order so they pop ascending.
+            for c in (0..n).rev() {
+                if td.bags[c].parent == Some(b) && !visited[c] {
+                    stack.push(c);
+                }
+            }
+        }
+    }
+    // Defensive: a malformed parent cycle would strand bags; append
+    // them in index order rather than silently dropping coverage.
+    for (b, seen) in visited.iter().enumerate() {
+        if !seen {
+            order.push(b as u32);
+        }
+    }
+    order
+}
+
+/// Deterministic placement order for one bag's variables.
+fn bag_order(q: &Pattern, vars: &[VarId], edges: &[u32]) -> Vec<VarId> {
+    let mut order: Vec<VarId> = Vec::with_capacity(vars.len());
+    let internal_degree = |v: VarId| {
+        edges
+            .iter()
+            .filter(|&&ei| {
+                let e = &q.edges()[ei as usize];
+                (e.src == v || e.dst == v) && e.src != e.dst
+            })
+            .count()
+    };
+    while order.len() < vars.len() {
+        let next = vars
+            .iter()
+            .copied()
+            .filter(|v| !order.contains(v))
+            .max_by_key(|&v| {
+                let constrained = edges
+                    .iter()
+                    .filter(|&&ei| {
+                        let e = &q.edges()[ei as usize];
+                        (e.src == v && order.contains(&e.dst))
+                            || (e.dst == v && order.contains(&e.src))
+                    })
+                    .count();
+                (constrained, internal_degree(v), std::cmp::Reverse(v.0))
+            })
+            .expect("unplaced variable exists");
+        order.push(next);
+    }
+    order
+}
+
+/// Caller-owned scratch for [`execute_plan`]: per-bag-and-depth
+/// candidate pools and the assignment array. A warm caller re-executes
+/// plans with zero heap allocation.
+#[derive(Debug, Default)]
+pub struct PlanScratch {
+    pools: Vec<Vec<NodeId>>,
+    assigned: Vec<NodeId>,
+}
+
+impl PlanScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+struct Exec<'a> {
+    q: &'a Pattern,
+    g: &'a Graph,
+    cs: &'a CandidateSpace,
+    restriction: Option<&'a NodeSet>,
+    pins: &'a [(VarId, NodeId)],
+    max_steps: u64,
+    steps: u64,
+}
+
+impl Exec<'_> {
+    /// Folds a batch of constraining runs into the pool: the first
+    /// batch seeds via smallest-first k-way intersection, later
+    /// batches (only under pathological fan-in) refine pairwise.
+    fn fold_batch(pool: &mut Vec<NodeId>, runs: &mut [&[NodeId]], seeded: bool) {
+        if !seeded {
+            intersect_k(pool, runs);
+        } else {
+            for run in runs.iter() {
+                if pool.is_empty() {
+                    return;
+                }
+                intersect_in_place(pool, run, |&x| x);
+            }
+        }
+    }
+
+    /// Fills `pool` with the worst-case-optimal candidate pool for
+    /// `sv`: the k-way intersection of the candidate-adjacency runs of
+    /// every already-assigned bag neighbor (every constraining edge at
+    /// once). An unconstrained variable seeds from its simulation set,
+    /// narrowed by the restriction. A pinned variable's pool collapses
+    /// to the pin if it survives the intersection.
+    fn fill_pool(&self, bag: &BagPlan, sv: VarId, assigned: &[NodeId], pool: &mut Vec<NodeId>) {
+        pool.clear();
+        let mut runs: [&[NodeId]; MAX_RUNS] = [&[]; MAX_RUNS];
+        let mut nruns = 0usize;
+        let mut seeded = false;
+        for &ei in &bag.edges {
+            let e = &self.q.edges()[ei as usize];
+            if e.src == e.dst {
+                continue; // self-loops are checked per candidate
+            }
+            let run = if e.src == sv {
+                let ta = assigned[e.dst.index()];
+                if ta.0 == u32::MAX {
+                    continue;
+                }
+                match self.cs.sets[e.dst.index()].binary_search(&ta) {
+                    Ok(i) => self.cs.reverse[ei as usize].run(i),
+                    Err(_) => {
+                        // Assigned images always come from the space's
+                        // own sets, so this is unreachable — but an
+                        // empty pool is the sound answer.
+                        debug_assert!(false, "assigned image outside its simulation set");
+                        pool.clear();
+                        return;
+                    }
+                }
+            } else if e.dst == sv {
+                let sa = assigned[e.src.index()];
+                if sa.0 == u32::MAX {
+                    continue;
+                }
+                match self.cs.sets[e.src.index()].binary_search(&sa) {
+                    Ok(i) => self.cs.forward[ei as usize].run(i),
+                    Err(_) => {
+                        debug_assert!(false, "assigned image outside its simulation set");
+                        pool.clear();
+                        return;
+                    }
+                }
+            } else {
+                continue;
+            };
+            if nruns == MAX_RUNS {
+                Self::fold_batch(pool, &mut runs[..nruns], seeded);
+                seeded = true;
+                nruns = 0;
+                if pool.is_empty() {
+                    return;
+                }
+            }
+            runs[nruns] = run;
+            nruns += 1;
+        }
+        if nruns > 0 {
+            Self::fold_batch(pool, &mut runs[..nruns], seeded);
+            seeded = true;
+        }
+        if !seeded {
+            // No constraining edge yet (bag start, or a bag member tied
+            // to the rest only through fill edges): the simulation set,
+            // narrowed by the restriction when one is present.
+            pool.extend_from_slice(self.cs.of(sv));
+            if let Some(r) = self.restriction {
+                intersect_in_place(pool, r.as_slice(), |&x| x);
+            }
+        }
+        if let Some(&(_, pn)) = self.pins.iter().find(|&&(pv, _)| pv == sv) {
+            let keep = pool.binary_search(&pn).is_ok();
+            pool.clear();
+            if keep {
+                pool.push(pn);
+            }
+        }
+    }
+
+    /// Per-candidate checks the runs cannot express: restriction
+    /// membership, injectivity against the partial assignment, and
+    /// self-loop edges.
+    fn candidate_ok(&self, bag: &BagPlan, sv: VarId, gv: NodeId, assigned: &[NodeId]) -> bool {
+        if self.restriction.is_some_and(|r| !r.contains(gv)) {
+            return false;
+        }
+        if assigned.contains(&gv) {
+            return false;
+        }
+        for &ei in &bag.edges {
+            let e = &self.q.edges()[ei as usize];
+            if e.src == sv && e.dst == sv && !edge_ok(self.g, gv, gv, e.label) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The fused multiway recursion: bag `plan.seq[si]` at placement
+    /// `depth`. A variable an earlier bag bound is skipped — every
+    /// pattern edge between two bound variables was already enforced
+    /// at the first bag that contained both (see [`QueryPlan::seq`]) —
+    /// so each bag solves only its residual variables under the
+    /// parent's bindings. When the last bag completes, `assigned` is a
+    /// full match.
+    fn solve_bags(
+        &mut self,
+        plan: &QueryPlan,
+        si: usize,
+        depth: usize,
+        assigned: &mut Vec<NodeId>,
+        pools: &mut [Vec<NodeId>],
+        f: &mut dyn FnMut(&[NodeId]) -> Flow,
+    ) -> Result<(), StopReason> {
+        let Some(&bi) = plan.seq.get(si) else {
+            return match f(assigned) {
+                Flow::Continue => Ok(()),
+                Flow::Break => Err(StopReason::CallbackBreak),
+            };
+        };
+        let bag = &plan.bags[bi as usize];
+        if depth == bag.order.len() {
+            return self.solve_bags(plan, si + 1, 0, assigned, pools, f);
+        }
+        let sv = bag.order[depth];
+        if assigned[sv.index()].0 != u32::MAX {
+            return self.solve_bags(plan, si, depth + 1, assigned, pools, f);
+        }
+        let mut pool = std::mem::take(&mut pools[plan.pool_base[si] as usize + depth]);
+        self.fill_pool(bag, sv, assigned, &mut pool);
+        let mut result = Ok(());
+        for &gv in &pool {
+            self.steps += 1;
+            if self.steps > self.max_steps {
+                result = Err(StopReason::BudgetExhausted);
+                break;
+            }
+            if !self.candidate_ok(bag, sv, gv, assigned) {
+                continue;
+            }
+            assigned[sv.index()] = gv;
+            let r = self.solve_bags(plan, si, depth + 1, assigned, pools, f);
+            assigned[sv.index()] = NodeId(u32::MAX);
+            if r.is_err() {
+                result = r;
+                break;
+            }
+        }
+        pools[plan.pool_base[si] as usize + depth] = pool;
+        result
+    }
+}
+
+/// Executes a plan: enumerates every match of the (connected) pattern
+/// `q` in `g` within the candidate space `cs`, honoring the
+/// restriction, pins and step budget exactly like
+/// [`crate::component::ComponentSearch`]; `f` receives images indexed
+/// by variable id. Matches stream straight out of the fused multiway
+/// recursion — nothing is materialized, regardless of bag count.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_plan(
+    q: &Pattern,
+    g: &Graph,
+    cs: &CandidateSpace,
+    plan: &QueryPlan,
+    restriction: Option<&NodeSet>,
+    pins: &[(VarId, NodeId)],
+    max_steps: u64,
+    scratch: &mut PlanScratch,
+    f: &mut dyn FnMut(&[NodeId]) -> Flow,
+) -> StopReason {
+    debug_assert_eq!(
+        plan.n_vars,
+        q.node_count(),
+        "plan built for another pattern"
+    );
+    // Pin screening, mirroring `ComponentSearch::for_each`: colliding
+    // pins and pins outside the simulation relation anchor nothing.
+    for (i, &(v1, n1)) in pins.iter().enumerate() {
+        for &(v2, n2) in &pins[i + 1..] {
+            if v1 != v2 && n1 == n2 {
+                return StopReason::Exhausted;
+            }
+        }
+    }
+    for &(v, node) in pins {
+        if cs.sets[v.index()].binary_search(&node).is_err() {
+            return StopReason::Exhausted;
+        }
+    }
+    let n = q.node_count();
+    let pool_slots = plan.pool_base.last().map_or(0, |&b| b as usize)
+        + plan
+            .seq
+            .last()
+            .map_or(0, |&bi| plan.bags[bi as usize].order.len());
+    let PlanScratch { pools, assigned } = scratch;
+    if pools.len() < pool_slots {
+        pools.resize_with(pool_slots, Vec::new);
+    }
+    assigned.clear();
+    assigned.resize(n, NodeId(u32::MAX));
+    let mut ex = Exec {
+        q,
+        g,
+        cs,
+        restriction,
+        pins,
+        max_steps,
+        steps: 0,
+    };
+    match ex.solve_bags(plan, 0, 0, assigned, pools, f) {
+        Ok(()) => StopReason::Exhausted,
+        Err(reason) => reason,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::ComponentSearch;
+    use crate::simulation::dual_simulation;
+    use gfd_graph::GraphBuilder;
+    use gfd_pattern::PatternBuilder;
+
+    fn triangle_pattern(vocab: &std::sync::Arc<gfd_graph::Vocab>) -> Pattern {
+        let mut b = PatternBuilder::new(vocab.clone());
+        let x = b.node("x", "a");
+        let y = b.node("y", "b");
+        let z = b.node("z", "c");
+        b.edge(x, y, "e1");
+        b.edge(y, z, "e2");
+        b.edge(z, x, "e3");
+        b.build()
+    }
+
+    /// A skewed triangle workload: dense a→b layer, sparse cycle
+    /// closures — the shape where edge-at-a-time enumeration drowns.
+    fn skewed_graph(per_layer: usize, closures: usize) -> Graph {
+        let mut b = GraphBuilder::with_fresh_vocab();
+        let al: Vec<NodeId> = (0..per_layer).map(|_| b.add_node_labeled("a")).collect();
+        let bl: Vec<NodeId> = (0..per_layer).map(|_| b.add_node_labeled("b")).collect();
+        let cl: Vec<NodeId> = (0..per_layer).map(|_| b.add_node_labeled("c")).collect();
+        for &a in &al {
+            for &x in &bl {
+                b.add_edge_labeled(a, x, "e1");
+            }
+        }
+        for i in 0..per_layer {
+            b.add_edge_labeled(bl[i], cl[i], "e2");
+        }
+        for i in 0..closures.min(per_layer) {
+            b.add_edge_labeled(cl[i], al[i], "e3");
+        }
+        b.freeze()
+    }
+
+    fn run_plan(q: &Pattern, g: &Graph, pins: &[(VarId, NodeId)]) -> Vec<Vec<NodeId>> {
+        let cs = dual_simulation(q, g, None);
+        let plan = QueryPlan::new(q);
+        let mut scratch = PlanScratch::new();
+        let mut out = Vec::new();
+        let reason = execute_plan(
+            q,
+            g,
+            &cs,
+            &plan,
+            None,
+            pins,
+            u64::MAX,
+            &mut scratch,
+            &mut |m| {
+                out.push(m.to_vec());
+                Flow::Continue
+            },
+        );
+        assert_eq!(reason, StopReason::Exhausted);
+        out.sort();
+        out
+    }
+
+    fn run_oracle(q: &Pattern, g: &Graph, pins: &[(VarId, NodeId)]) -> Vec<Vec<NodeId>> {
+        let mut s = ComponentSearch::new(q, g);
+        for &(v, n) in pins {
+            s = s.pin(v, n);
+        }
+        let mut out = s.collect_all();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn triangle_plan_matches_oracle() {
+        let g = skewed_graph(12, 4);
+        let q = triangle_pattern(g.vocab());
+        assert_eq!(QueryPlan::new(&q).bag_count(), 1);
+        assert_eq!(run_plan(&q, &g, &[]), run_oracle(&q, &g, &[]));
+        assert_eq!(run_plan(&q, &g, &[]).len(), 4);
+    }
+
+    #[test]
+    fn four_cycle_plan_fuses_two_bags() {
+        let mut b = GraphBuilder::with_fresh_vocab();
+        let n: Vec<NodeId> = (0..8).map(|_| b.add_node_labeled("t")).collect();
+        // Two 4-cycles sharing structure plus noise edges.
+        for c in [[0usize, 1, 2, 3], [4, 5, 6, 7], [0, 5, 2, 7]] {
+            for i in 0..4 {
+                b.add_edge_labeled(n[c[i]], n[c[(i + 1) % 4]], "e");
+            }
+        }
+        let g = b.freeze();
+        let mut pb = PatternBuilder::new(g.vocab().clone());
+        let vs: Vec<VarId> = (0..4).map(|i| pb.node(&format!("v{i}"), "t")).collect();
+        for i in 0..4 {
+            pb.edge(vs[i], vs[(i + 1) % 4], "e");
+        }
+        let q = pb.build();
+        let plan = QueryPlan::new(&q);
+        assert_eq!(plan.bag_count(), 2);
+        assert_eq!(plan.width(), 2);
+        assert_eq!(run_plan(&q, &g, &[]), run_oracle(&q, &g, &[]));
+        assert!(!run_plan(&q, &g, &[]).is_empty());
+    }
+
+    #[test]
+    fn pins_restrict_plan_output() {
+        let g = skewed_graph(8, 3);
+        let q = triangle_pattern(g.vocab());
+        let x = q.var_by_name("x").unwrap();
+        // Pin x to each closure anchor and to a non-anchor.
+        let all = run_oracle(&q, &g, &[]);
+        for m in &all {
+            let pins = [(x, m[x.index()])];
+            assert_eq!(run_plan(&q, &g, &pins), run_oracle(&q, &g, &pins));
+        }
+        // A colliding pin pair yields nothing.
+        let y = q.var_by_name("y").unwrap();
+        let node = all[0][x.index()];
+        assert!(run_plan(&q, &g, &[(x, node), (y, node)]).is_empty());
+    }
+
+    #[test]
+    fn restriction_respected() {
+        let g = skewed_graph(6, 6);
+        let q = triangle_pattern(g.vocab());
+        let cs = dual_simulation(&q, &g, None);
+        let plan = QueryPlan::new(&q);
+        let full = run_plan(&q, &g, &[]);
+        // Restrict to the nodes of the first match only.
+        let block = NodeSet::from_vec(full[0].clone());
+        let mut scratch = PlanScratch::new();
+        let mut out = Vec::new();
+        execute_plan(
+            &q,
+            &g,
+            &cs,
+            &plan,
+            Some(&block),
+            &[],
+            u64::MAX,
+            &mut scratch,
+            &mut |m| {
+                out.push(m.to_vec());
+                Flow::Continue
+            },
+        );
+        assert_eq!(out, vec![full[0].clone()]);
+    }
+
+    #[test]
+    fn budget_and_break_stop_the_plan() {
+        let g = skewed_graph(8, 8);
+        let q = triangle_pattern(g.vocab());
+        let cs = dual_simulation(&q, &g, None);
+        let plan = QueryPlan::new(&q);
+        let mut scratch = PlanScratch::new();
+        let reason = execute_plan(&q, &g, &cs, &plan, None, &[], 2, &mut scratch, &mut |_| {
+            Flow::Continue
+        });
+        assert_eq!(reason, StopReason::BudgetExhausted);
+        let mut n = 0;
+        let reason = execute_plan(
+            &q,
+            &g,
+            &cs,
+            &plan,
+            None,
+            &[],
+            u64::MAX,
+            &mut scratch,
+            &mut |_| {
+                n += 1;
+                Flow::Break
+            },
+        );
+        assert_eq!(reason, StopReason::CallbackBreak);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn self_loop_enforced_by_plan() {
+        let mut b = GraphBuilder::with_fresh_vocab();
+        let n: Vec<NodeId> = (0..3).map(|_| b.add_node_labeled("t")).collect();
+        for i in 0..3 {
+            b.add_edge_labeled(n[i], n[(i + 1) % 3], "e");
+        }
+        b.add_edge_labeled(n[0], n[0], "s");
+        let g = b.freeze();
+        let mut pb = PatternBuilder::new(g.vocab().clone());
+        let vs: Vec<VarId> = (0..3).map(|i| pb.node(&format!("v{i}"), "t")).collect();
+        for i in 0..3 {
+            pb.edge(vs[i], vs[(i + 1) % 3], "e");
+        }
+        pb.edge(vs[0], vs[0], "s");
+        let q = pb.build();
+        assert_eq!(run_plan(&q, &g, &[]), run_oracle(&q, &g, &[]));
+        assert_eq!(run_plan(&q, &g, &[]).len(), 1);
+    }
+
+    #[test]
+    fn transported_plan_executes_on_member() {
+        use gfd_pattern::iso_witness;
+        let g = skewed_graph(6, 3);
+        // Member declares its variables in a different order.
+        let mut pb = PatternBuilder::new(g.vocab().clone());
+        let z = pb.node("z", "c");
+        let x = pb.node("x", "a");
+        let y = pb.node("y", "b");
+        pb.edge(x, y, "e1");
+        pb.edge(y, z, "e2");
+        pb.edge(z, x, "e3");
+        let member = pb.build();
+        let rep = triangle_pattern(g.vocab());
+        let w = iso_witness(&member, &rep).expect("isomorphic");
+        let rep_plan = QueryPlan::new(&rep);
+        let inv = w.inverse();
+        let plan = rep_plan.transport(&member, |v| inv.map(v));
+        let cs = dual_simulation(&member, &g, None);
+        let mut scratch = PlanScratch::new();
+        let mut out = Vec::new();
+        execute_plan(
+            &member,
+            &g,
+            &cs,
+            &plan,
+            None,
+            &[],
+            u64::MAX,
+            &mut scratch,
+            &mut |m| {
+                out.push(m.to_vec());
+                Flow::Continue
+            },
+        );
+        out.sort();
+        assert_eq!(out, run_oracle(&member, &g, &[]));
+        assert!(!out.is_empty());
+    }
+
+    /// The scratch is genuinely reusable: repeated executions agree
+    /// and reuse the same buffers (the zero-allocation claim itself is
+    /// asserted with the counting allocator in `gfd-bench`).
+    #[test]
+    fn scratch_reuse_across_patterns_of_different_arity() {
+        let g = skewed_graph(6, 2);
+        let tri = triangle_pattern(g.vocab());
+        // An undirected 4-cycle inside the dense bipartite a→b layer:
+        // two `a` variables each pointing at the same two `b`s.
+        let mut pb = PatternBuilder::new(g.vocab().clone());
+        let a0 = pb.node("a0", "a");
+        let b0 = pb.node("b0", "b");
+        let a1 = pb.node("a1", "a");
+        let b1 = pb.node("b1", "b");
+        pb.edge(a0, b0, "e1");
+        pb.edge(a1, b0, "e1");
+        pb.edge(a1, b1, "e1");
+        pb.edge(a0, b1, "e1");
+        let square = pb.build();
+        let mut scratch = PlanScratch::new();
+        for q in [&tri, &square, &tri] {
+            let cs = dual_simulation(q, &g, None);
+            let plan = QueryPlan::new(q);
+            let mut out = Vec::new();
+            execute_plan(
+                q,
+                &g,
+                &cs,
+                &plan,
+                None,
+                &[],
+                u64::MAX,
+                &mut scratch,
+                &mut |m| {
+                    out.push(m.to_vec());
+                    Flow::Continue
+                },
+            );
+            out.sort();
+            assert_eq!(out, run_oracle(q, &g, &[]));
+        }
+    }
+}

@@ -40,6 +40,7 @@ use gfd_graph::{Graph, GraphDelta, NodeId};
 use gfd_pattern::{canonical_form, CanonicalForm, IsoWitness, Pattern, VarId};
 
 use crate::incremental::IncrementalSpace;
+use crate::plan::QueryPlan;
 use crate::simulation::CandidateSpace;
 
 /// Handle to a pattern registered in a [`SpaceRegistry`].
@@ -54,6 +55,10 @@ struct ClassState {
     /// `None` until some member's space is first queried; repaired in
     /// place by [`SpaceRegistry::apply`] afterwards.
     inc: Option<IncrementalSpace>,
+    /// Decomposition-based query plan, built lazily on the
+    /// representative. Pure pattern structure: graph edits never
+    /// invalidate it.
+    plan: Option<QueryPlan>,
     members: usize,
 }
 
@@ -67,6 +72,9 @@ struct MemberState {
     identity: bool,
     /// Transported space, dropped whenever the representative changes.
     cached: Option<CandidateSpace>,
+    /// Plan transported from the representative's (never invalidated —
+    /// plans depend only on pattern structure).
+    plan: Option<QueryPlan>,
 }
 
 /// A cache of [`CandidateSpace`]s keyed by canonical isomorphism
@@ -85,6 +93,7 @@ pub struct SpaceRegistry {
     /// calls over one Σ.
     member_by_witness: HashMap<(usize, Vec<VarId>), usize>,
     simulations: usize,
+    plans_built: usize,
 }
 
 impl SpaceRegistry {
@@ -110,6 +119,7 @@ impl SpaceRegistry {
                     rep: q.clone(),
                     form,
                     inc: None,
+                    plan: None,
                     members: 0,
                 });
                 (c, witness)
@@ -131,6 +141,7 @@ impl SpaceRegistry {
             witness,
             identity,
             cached: None,
+            plan: None,
         });
         self.member_by_witness.insert(key, self.members.len() - 1);
         SpaceHandle(self.members.len() - 1)
@@ -163,6 +174,56 @@ impl SpaceRegistry {
             self.members[h.0].cached = Some(transported);
         }
         self.members[h.0].cached.as_ref().expect("filled above")
+    }
+
+    /// The member's decomposition-based query plan: tree-decomposed
+    /// once per class (on the representative, on first query) and
+    /// transported — via relabeling along the inverse witness — for
+    /// every further member. Plans are pure pattern structure, so
+    /// graph edits never invalidate them.
+    pub fn plan(&mut self, h: SpaceHandle) -> &QueryPlan {
+        let class = self.members[h.0].class;
+        if self.classes[class].plan.is_none() {
+            let p = QueryPlan::new(&self.classes[class].rep);
+            self.classes[class].plan = Some(p);
+            self.plans_built += 1;
+        }
+        if self.members[h.0].identity {
+            return self.classes[class].plan.as_ref().expect("built above");
+        }
+        if self.members[h.0].plan.is_none() {
+            let rep_plan = self.classes[class].plan.as_ref().expect("built above");
+            let m = &self.members[h.0];
+            // The witness maps member vars onto rep vars; transport
+            // relabels the rep's decomposition back through the
+            // inverse.
+            let inv = m.witness.inverse();
+            let transported = rep_plan.transport(&m.q, |v| inv.map(v));
+            self.members[h.0].plan = Some(transported);
+        }
+        self.members[h.0].plan.as_ref().expect("filled above")
+    }
+
+    /// Both the member's candidate space and its query plan, each
+    /// lazily built and cached as in [`space`](Self::space) /
+    /// [`plan`](Self::plan) — the single call detection hot paths use
+    /// to set up plan execution.
+    pub fn space_and_plan(&mut self, h: SpaceHandle, g: &Graph) -> (&CandidateSpace, &QueryPlan) {
+        self.space(h, g);
+        self.plan(h);
+        let m = &self.members[h.0];
+        let cls = &self.classes[m.class];
+        let space = if m.identity {
+            cls.inc.as_ref().expect("filled by space()").space()
+        } else {
+            m.cached.as_ref().expect("filled by space()")
+        };
+        let plan = if m.identity {
+            cls.plan.as_ref().expect("filled by plan()")
+        } else {
+            m.plan.as_ref().expect("filled by plan()")
+        };
+        (space, plan)
     }
 
     /// True if `u` currently simulates `v` in the member's space.
@@ -237,6 +298,12 @@ impl SpaceRegistry {
     /// benchmarks.
     pub fn simulations(&self) -> usize {
         self.simulations
+    }
+
+    /// From-scratch tree decompositions run so far — the "one plan per
+    /// isomorphism class" probe (transports are not counted).
+    pub fn plans_built(&self) -> usize {
+        self.plans_built
     }
 }
 
@@ -373,6 +440,101 @@ mod tests {
         }
         assert_eq!(reg.member_count(), 2);
         assert_eq!(reg.simulations(), 0);
+    }
+
+    /// The triangle pattern with its variables declared in `order`.
+    fn triangle_pattern(g: &Graph, order: [usize; 3]) -> Pattern {
+        let labels = ["a", "b", "c"];
+        let names = ["x", "y", "z"];
+        let mut b = PatternBuilder::new(g.vocab().clone());
+        let mut vars = [VarId(0); 3];
+        for &i in &order {
+            vars[i] = b.node(names[i], labels[i]);
+        }
+        b.edge(vars[0], vars[1], "e");
+        b.edge(vars[1], vars[2], "e");
+        b.edge(vars[2], vars[0], "e");
+        b.build()
+    }
+
+    fn triangle_graph() -> Graph {
+        let mut b = GraphBuilder::with_fresh_vocab();
+        let a1 = b.add_node_labeled("a");
+        let b1 = b.add_node_labeled("b");
+        let c1 = b.add_node_labeled("c");
+        let a2 = b.add_node_labeled("a");
+        let b2 = b.add_node_labeled("b");
+        let c2 = b.add_node_labeled("c");
+        for (x, y, z) in [(a1, b1, c1), (a2, b2, c2)] {
+            b.add_edge_labeled(x, y, "e");
+            b.add_edge_labeled(y, z, "e");
+            b.add_edge_labeled(z, x, "e");
+        }
+        // A dangling a→b edge that closes no triangle.
+        b.add_edge_labeled(a1, b2, "e");
+        b.freeze()
+    }
+
+    #[test]
+    fn one_plan_serves_the_whole_class() {
+        let g = triangle_graph();
+        let members = [
+            triangle_pattern(&g, [0, 1, 2]),
+            triangle_pattern(&g, [2, 0, 1]),
+            triangle_pattern(&g, [1, 2, 0]),
+        ];
+        let mut reg = SpaceRegistry::new();
+        let handles: Vec<SpaceHandle> = members.iter().map(|q| reg.register(q)).collect();
+        assert_eq!(reg.class_count(), 1);
+        assert_eq!(reg.plans_built(), 0, "registration alone never plans");
+        for (q, &h) in members.iter().zip(&handles) {
+            let w = reg.plan(h).width();
+            assert_eq!(w, 2, "a triangle decomposes into one 3-var bag");
+            assert_eq!(reg.plan(h).decomposition().bag_count(), 1);
+            assert_eq!(q.node_count(), 3);
+        }
+        assert_eq!(reg.plans_built(), 1, "one decomposition for three members");
+    }
+
+    #[test]
+    fn transported_plan_enumerates_the_member_exactly() {
+        use crate::component::ComponentSearch;
+        use crate::plan::{execute_plan, PlanScratch};
+        use crate::types::Flow;
+
+        let g = triangle_graph();
+        let members = [
+            triangle_pattern(&g, [0, 1, 2]),
+            triangle_pattern(&g, [2, 0, 1]),
+        ];
+        let mut reg = SpaceRegistry::new();
+        let handles: Vec<SpaceHandle> = members.iter().map(|q| reg.register(q)).collect();
+        let mut scratch = PlanScratch::default();
+        for (q, &h) in members.iter().zip(&handles) {
+            let (cs, plan) = reg.space_and_plan(h, &g);
+            let mut got = Vec::new();
+            execute_plan(
+                q,
+                &g,
+                cs,
+                plan,
+                None,
+                &[],
+                u64::MAX,
+                &mut scratch,
+                &mut |m| {
+                    got.push(m.to_vec());
+                    Flow::Continue
+                },
+            );
+            let mut want = ComponentSearch::new(q, &g).collect_all();
+            got.sort();
+            want.sort();
+            assert_eq!(got, want, "plan output must equal backtracking");
+            assert_eq!(got.len(), 2, "two triangles in the graph");
+        }
+        assert_eq!(reg.plans_built(), 1);
+        assert_eq!(reg.simulations(), 1);
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Property-based tests for the decomposition planner and the
+//! worst-case-optimal plan executor.
+//!
+//! The oracle is the same brute-force matcher that guards
+//! `prop_match.rs`: every injective assignment over a random graph,
+//! checked edge by edge. Against it we drive random **cyclic**
+//! patterns (a random spanning tree plus closing edges) through
+//! [`execute_plan`] — plain, pinned, transported onto
+//! permuted-declaration twins via the [`SpaceRegistry`], and across
+//! random edit scripts with incrementally repaired spaces.
+
+use gfd_graph::{Graph, GraphBuilder, NodeId};
+use gfd_match::types::Flow;
+use gfd_match::{dual_simulation, execute_plan, PlanScratch, QueryPlan, SpaceRegistry};
+use gfd_pattern::{PatLabel, Pattern, PatternBuilder, VarId};
+use gfd_util::{prop::check, prop_assert, Rng};
+
+const NODE_LABELS: usize = 3;
+const EDGE_LABELS: usize = 2;
+
+/// A random graph over the fixed small label vocabulary, dense enough
+/// for cycles to close.
+fn random_graph(rng: &mut Rng, max_nodes: usize) -> Graph {
+    let n = rng.gen_range(3..max_nodes + 1);
+    let mut b = GraphBuilder::with_fresh_vocab();
+    let ids: Vec<NodeId> = (0..n)
+        .map(|i| b.add_node_labeled(&format!("l{}", i % NODE_LABELS)))
+        .collect();
+    let m = rng.gen_range(n..4 * n + 1);
+    for _ in 0..m {
+        let s = rng.gen_range(0..n);
+        let d = rng.gen_range(0..n);
+        let e = format!("e{}", rng.gen_range(0..EDGE_LABELS));
+        b.add_edge_labeled(ids[s], ids[d], &e);
+    }
+    b.freeze()
+}
+
+/// A structural pattern description, buildable under any variable
+/// declaration order — the twin generator for witness transport.
+struct PatternSpec {
+    /// `None` = wildcard node, `Some(l)` = label `l{l}`.
+    labels: Vec<Option<usize>>,
+    edges: Vec<(usize, usize, usize)>,
+}
+
+/// A random connected pattern with at least one closing edge: a
+/// random spanning tree over `3..=6` variables plus `1..=2` extra
+/// edges between distinct variables.
+fn random_cyclic_spec(rng: &mut Rng) -> PatternSpec {
+    let k = rng.gen_range(3..7);
+    let labels = (0..k)
+        .map(|_| {
+            if rng.gen_bool(0.2) {
+                None
+            } else {
+                Some(rng.gen_range(0..NODE_LABELS))
+            }
+        })
+        .collect();
+    let mut edges = Vec::new();
+    for i in 1..k {
+        let p = rng.gen_range(0..i);
+        let l = rng.gen_range(0..EDGE_LABELS);
+        if rng.gen_bool(0.5) {
+            edges.push((p, i, l));
+        } else {
+            edges.push((i, p, l));
+        }
+    }
+    for _ in 0..rng.gen_range(1..3) {
+        let s = rng.gen_range(0..k);
+        let d = rng.gen_range(0..k);
+        if s != d {
+            edges.push((s, d, rng.gen_range(0..EDGE_LABELS)));
+        }
+    }
+    PatternSpec { labels, edges }
+}
+
+/// Builds the spec with its variables declared in `order` (a
+/// permutation of `0..k`); specs built under different orders are
+/// isomorphic twins.
+fn build_pattern(spec: &PatternSpec, order: &[usize], g: &Graph) -> Pattern {
+    let mut b = PatternBuilder::new(g.vocab().clone());
+    let mut vars = vec![VarId(0); spec.labels.len()];
+    for &i in order {
+        vars[i] = match spec.labels[i] {
+            Some(l) => b.node(&format!("v{i}"), &format!("l{l}")),
+            None => b.wildcard_node(&format!("v{i}")),
+        };
+    }
+    for &(s, d, l) in &spec.edges {
+        b.edge(vars[s], vars[d], &format!("e{l}"));
+    }
+    b.build()
+}
+
+/// A random permutation of `0..k`.
+fn random_order(rng: &mut Rng, k: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..k).collect();
+    for i in (1..k).rev() {
+        order.swap(i, rng.gen_range(0..i + 1));
+    }
+    order
+}
+
+fn oracle_edge_ok(g: &Graph, u: NodeId, v: NodeId, label: PatLabel) -> bool {
+    match label {
+        PatLabel::Sym(s) => g.has_edge(u, v, s),
+        PatLabel::Wildcard => g.has_edge_any(u, v),
+    }
+}
+
+/// Brute force: every injective assignment, filtered by labels and
+/// pattern edges. Returns sorted match vectors.
+fn oracle_matches(q: &Pattern, g: &Graph) -> Vec<Vec<NodeId>> {
+    let k = q.node_count();
+    let mut out = Vec::new();
+    let mut assign = vec![NodeId(u32::MAX); k];
+    fn rec(
+        q: &Pattern,
+        g: &Graph,
+        depth: usize,
+        assign: &mut Vec<NodeId>,
+        out: &mut Vec<Vec<NodeId>>,
+    ) {
+        if depth == q.node_count() {
+            for e in q.edges() {
+                if !oracle_edge_ok(g, assign[e.src.index()], assign[e.dst.index()], e.label) {
+                    return;
+                }
+            }
+            out.push(assign.clone());
+            return;
+        }
+        let v = VarId(depth as u32);
+        for u in g.nodes() {
+            if !q.label(v).admits(g.label(u)) || assign[..depth].contains(&u) {
+                continue;
+            }
+            assign[depth] = u;
+            rec(q, g, depth + 1, assign, out);
+            assign[depth] = NodeId(u32::MAX);
+        }
+    }
+    rec(q, g, 0, &mut assign, &mut out);
+    out.sort();
+    out
+}
+
+/// Runs the plan executor to completion and returns sorted matches.
+fn plan_matches(
+    q: &Pattern,
+    g: &Graph,
+    cs: &gfd_match::CandidateSpace,
+    plan: &QueryPlan,
+    pins: &[(VarId, NodeId)],
+    scratch: &mut PlanScratch,
+) -> Vec<Vec<NodeId>> {
+    let mut out = Vec::new();
+    execute_plan(q, g, cs, plan, None, pins, u64::MAX, scratch, &mut |m| {
+        out.push(m.to_vec());
+        Flow::Continue
+    });
+    out.sort();
+    out
+}
+
+#[test]
+fn plan_executor_equals_brute_force_on_cyclic_patterns() {
+    let mut scratch = PlanScratch::default();
+    check("plan ≡ brute force (cyclic)", 150, |rng| {
+        let g = random_graph(rng, 9);
+        let spec = random_cyclic_spec(rng);
+        let order: Vec<usize> = (0..spec.labels.len()).collect();
+        let q = build_pattern(&spec, &order, &g);
+        let expected = oracle_matches(&q, &g);
+        let cs = dual_simulation(&q, &g, None);
+        let plan = QueryPlan::new(&q);
+        let got = plan_matches(&q, &g, &cs, &plan, &[], &mut scratch);
+        prop_assert!(
+            got == expected,
+            "plan (width {}): {} matches vs oracle {} for {q:?}",
+            plan.width(),
+            got.len(),
+            expected.len()
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn pinned_plan_execution_equals_filtered_oracle() {
+    let mut scratch = PlanScratch::default();
+    check("pinned plan ≡ filtered oracle", 120, |rng| {
+        let g = random_graph(rng, 8);
+        let spec = random_cyclic_spec(rng);
+        let order: Vec<usize> = (0..spec.labels.len()).collect();
+        let q = build_pattern(&spec, &order, &g);
+        let pin_var = VarId(rng.gen_range(0..q.node_count()) as u32);
+        let pin_node = NodeId(rng.gen_range(0..g.node_count()) as u32);
+        let expected: Vec<Vec<NodeId>> = oracle_matches(&q, &g)
+            .into_iter()
+            .filter(|m| m[pin_var.index()] == pin_node)
+            .collect();
+        let cs = dual_simulation(&q, &g, None);
+        let plan = QueryPlan::new(&q);
+        let got = plan_matches(&q, &g, &cs, &plan, &[(pin_var, pin_node)], &mut scratch);
+        prop_assert!(
+            got == expected,
+            "pinned plan: {} vs oracle {} for {q:?}",
+            got.len(),
+            expected.len()
+        );
+        Ok(())
+    });
+}
+
+/// Transported plans on permuted-declaration twins, across a random
+/// edit script: the registry repairs the class's space incrementally
+/// and transports one cached plan per class; after every edit, each
+/// member's plan execution must still equal brute force on the
+/// *current* graph.
+#[test]
+fn transported_plans_survive_edit_scripts() {
+    let mut scratch = PlanScratch::default();
+    check("registry plans ≡ oracle under edits", 60, |rng| {
+        let mut g = random_graph(rng, 8);
+        let spec = random_cyclic_spec(rng);
+        let k = spec.labels.len();
+        let identity: Vec<usize> = (0..k).collect();
+        let members = [
+            build_pattern(&spec, &identity, &g),
+            build_pattern(&spec, &random_order(rng, k), &g),
+            build_pattern(&spec, &random_order(rng, k), &g),
+        ];
+        let mut reg = SpaceRegistry::new();
+        let handles: Vec<_> = members.iter().map(|q| reg.register(q)).collect();
+        prop_assert!(
+            reg.class_count() == 1,
+            "twins of one spec must share a class"
+        );
+        for step in 0..3 {
+            for (q, &h) in members.iter().zip(&handles) {
+                let expected = oracle_matches(q, &g);
+                let (cs, plan) = reg.space_and_plan(h, &g);
+                let got = plan_matches(q, &g, cs, plan, &[], &mut scratch);
+                prop_assert!(
+                    got == expected,
+                    "step {step}: {} vs oracle {} for {q:?}",
+                    got.len(),
+                    expected.len()
+                );
+            }
+            // One random edit: add or remove a labeled edge.
+            let n = g.node_count();
+            let s = NodeId(rng.gen_range(0..n) as u32);
+            let d = NodeId(rng.gen_range(0..n) as u32);
+            let lbl = format!("e{}", rng.gen_range(0..EDGE_LABELS));
+            let remove = rng.gen_bool(0.4);
+            let (g2, delta) = g.edit_with_delta(|b| {
+                if remove {
+                    b.remove_edge_labeled(s, d, &lbl);
+                } else {
+                    b.add_edge_labeled(s, d, &lbl);
+                }
+            });
+            reg.apply(&g2, &delta);
+            g = g2;
+        }
+        prop_assert!(reg.plans_built() == 1, "one decomposition per class");
+        Ok(())
+    });
+}

@@ -18,7 +18,9 @@ use gfd_core::GfdSet;
 use gfd_graph::{neighborhood, Graph, NodeId, NodeSet};
 use gfd_match::simulation::{dual_simulation, CandidateSpace};
 use gfd_match::SpaceRegistry;
-use gfd_pattern::{analysis::pivot_vector, isomorphic, PatLabel, Pattern, VarId};
+use gfd_pattern::{
+    analysis::pivot_vector, isomorphic, tree_decomposition, PatLabel, Pattern, VarId,
+};
 use gfd_util::FxHashMap;
 
 /// Per-rule pivot metadata, precomputed once from `Σ`.
@@ -46,6 +48,11 @@ pub struct ComponentPlan {
     pub pivot_label: PatLabel,
     /// The component radius `c^i_Q`.
     pub radius: usize,
+    /// Width of the component's tree decomposition (0 for a single
+    /// node, 1 for trees, ≥ 2 for cyclic components) — the planner's
+    /// difficulty signal, folded into unit costs: enumerating a block
+    /// gets more expensive per node as the component's width grows.
+    pub width: usize,
 }
 
 /// One component's share of a work unit: the pivot candidate and its
@@ -79,8 +86,11 @@ pub struct WorkUnit {
     pub slot_len: u32,
     /// Check both pivot orientations (symmetric-pair dedup).
     pub check_both_orientations: bool,
-    /// `|G_z̄|` — the sum of block sizes (Example 11), used as the
-    /// unit's load estimate.
+    /// The unit's load estimate: the sum of block sizes `|G_z̄|`
+    /// (Example 11), with each block weighted by its component's
+    /// decomposition width — a width-`w` component enumerates more
+    /// per block node than a tree, so its blocks count `max(w, 1)`
+    /// times.
     pub cost: u64,
 }
 
@@ -189,12 +199,14 @@ pub fn plan_rules(sigma: &GfdSet) -> Vec<PivotedRule> {
                             .expect("pivot is in its component") as u32,
                     );
                     let pivot_label = pattern.label(local_pivot);
+                    let width = tree_decomposition(&pattern).width();
                     ComponentPlan {
                         pattern,
                         orig_vars,
                         local_pivot,
                         pivot_label,
                         radius: c.radius,
+                        width,
                     }
                 })
                 .collect();
@@ -418,7 +430,7 @@ pub(crate) fn assemble(
         assert!(offset <= u32::MAX as usize, "slot arena exceeds u32 range");
         for (c, &i) in tuple.iter().enumerate() {
             let (pivot, ref block, size) = per_component[c][i];
-            cost += size;
+            cost += size * rule.components[c].width.max(1) as u64;
             wl.slots.push(UnitSlot {
                 pivot,
                 block: block.clone(),
@@ -628,6 +640,40 @@ mod tests {
             "one simulation per isomorphism class, not per component ({} components)",
             components.len()
         );
+    }
+
+    /// Unit costs weight each block by its component's decomposition
+    /// width: a triangle (width 2) counts its blocks twice, while the
+    /// star rules above (width 1) keep cost = |G_z̄| exactly.
+    #[test]
+    fn cyclic_components_weight_unit_costs_by_width() {
+        let mut b = gfd_graph::GraphBuilder::with_fresh_vocab();
+        let ns: Vec<_> = (0..3).map(|_| b.add_node_labeled("person")).collect();
+        for k in 0..3 {
+            b.add_edge_labeled(ns[k], ns[(k + 1) % 3], "knows");
+        }
+        let g = b.freeze();
+        let mut pb = PatternBuilder::new(g.vocab().clone());
+        let x = pb.node("x", "person");
+        let y = pb.node("y", "person");
+        let z = pb.node("z", "person");
+        pb.edge(x, y, "knows");
+        pb.edge(y, z, "knows");
+        pb.edge(z, x, "knows");
+        let val = g.vocab().intern("val");
+        let gfd = Gfd::new(
+            "tri",
+            pb.build(),
+            Dependency::always(vec![Literal::var_eq(x, val, y, val)]),
+        );
+        let sigma = GfdSet::new(vec![gfd]);
+        let rules = plan_rules(&sigma);
+        assert_eq!(rules[0].components[0].width, 2, "triangle has width 2");
+        let wl = estimate_workload(&sigma, &g, &WorkloadOptions::default());
+        // Radius-1 block around any pivot is the whole 3-node triangle
+        // plus its 3 edges → |G_z̄| = 6, weighted ×2 by the width.
+        assert_eq!(wl.units.len(), 3);
+        assert!(wl.units.iter().all(|u| u.cost == 12));
     }
 
     #[test]

@@ -22,16 +22,22 @@
 //!   — module [`signature`];
 //! * complete **canonical forms** with explicit [`IsoWitness`]
 //!   bijections — the exact-isomorphism layer the candidate-space
-//!   registry keys on and transports along — module [`canon`].
+//!   registry keys on and transports along — module [`canon`];
+//! * **tree decompositions** with exact width for the small components
+//!   mined rules produce — the planner layer's structure analysis for
+//!   worst-case-optimal multiway matching of cyclic patterns — module
+//!   [`decomp`].
 
 pub mod analysis;
 pub mod canon;
+pub mod decomp;
 pub mod embed;
 pub mod pattern;
 pub mod signature;
 
 pub use analysis::{ComponentInfo, PivotVector};
 pub use canon::{canonical_form, iso_witness, CanonicalForm, IsoWitness};
+pub use decomp::{tree_decomposition, Bag, TreeDecomposition};
 pub use embed::{embeddings, embeddings_with, is_embeddable, isomorphic};
 pub use pattern::{distinct_neighbors, PatLabel, Pattern, PatternBuilder, PatternEdge, VarId};
 pub use signature::component_signature;

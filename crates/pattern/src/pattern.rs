@@ -169,6 +169,57 @@ impl Pattern {
         self.out_adj[v.index()].len() + self.in_adj[v.index()].len()
     }
 
+    /// True if the pattern's undirected skeleton is connected (the
+    /// empty pattern counts as connected). Allocation-free for
+    /// patterns of up to 128 variables — a `u128` visited bitmask and
+    /// fixed-point sweeps instead of the component decomposition's
+    /// queue — so hot match paths can take the single-component fast
+    /// path without cloning anything.
+    pub fn is_connected(&self) -> bool {
+        let n = self.node_count();
+        if n <= 1 {
+            return true;
+        }
+        if n > 128 {
+            // Cold fallback: patterns this large never occur in mined
+            // rule sets; an allocating BFS is fine.
+            let mut seen = vec![false; n];
+            let mut stack = vec![VarId(0)];
+            seen[0] = true;
+            let mut reached = 1;
+            while let Some(u) = stack.pop() {
+                for v in self.neighbors(u) {
+                    if !seen[v.index()] {
+                        seen[v.index()] = true;
+                        reached += 1;
+                        stack.push(v);
+                    }
+                }
+            }
+            return reached == n;
+        }
+        let full: u128 = if n == 128 {
+            u128::MAX
+        } else {
+            (1u128 << n) - 1
+        };
+        let mut seen: u128 = 1;
+        loop {
+            let mut next = seen;
+            for i in 0..n {
+                if seen >> i & 1 == 1 {
+                    for v in self.neighbors(VarId(i as u32)) {
+                        next |= 1u128 << v.index();
+                    }
+                }
+            }
+            if next == seen {
+                return seen == full;
+            }
+            seen = next;
+        }
+    }
+
     /// True if the pattern has an edge `src → dst` that `label` refines
     /// (i.e. an edge every match of which also satisfies `label`); used
     /// by pattern-to-pattern embeddings.
@@ -394,6 +445,37 @@ mod tests {
         let mut b = PatternBuilder::new(Vocab::shared());
         b.node("x", "a");
         b.node("x", "b");
+    }
+
+    #[test]
+    fn is_connected_matches_component_count() {
+        let mut b = PatternBuilder::new(Vocab::shared());
+        let x = b.node("x", "a");
+        let y = b.node("y", "a");
+        let z = b.node("z", "a");
+        b.edge(x, y, "e");
+        b.edge(y, z, "e");
+        assert!(b.build().is_connected());
+
+        let mut b = PatternBuilder::new(Vocab::shared());
+        let x = b.node("x", "a");
+        let y = b.node("y", "a");
+        b.node("lone", "a");
+        b.edge(x, y, "e");
+        assert!(!b.build().is_connected());
+
+        // Degenerate cases count as connected.
+        assert!(PatternBuilder::new(Vocab::shared()).build().is_connected());
+        let mut b = PatternBuilder::new(Vocab::shared());
+        b.node("solo", "a");
+        assert!(b.build().is_connected());
+
+        // Direction is irrelevant: edges only into the start node.
+        let mut b = PatternBuilder::new(Vocab::shared());
+        let x = b.node("x", "a");
+        let y = b.node("y", "a");
+        b.edge(y, x, "e");
+        assert!(b.build().is_connected());
     }
 
     #[test]
