@@ -28,7 +28,7 @@ use gfd_match::{
 };
 use gfd_parallel::unitexec::{execute_unit, MatchCache, MultiQueryIndex, UnitScratch};
 use gfd_parallel::workload::{estimate_workload, feasible_pivots, plan_rules, WorkloadOptions};
-use gfd_parallel::{rep_val, RepValConfig};
+use gfd_parallel::{rep_val, RepValConfig, ServiceConfig, ViolationService};
 use gfd_pattern::{Pattern, PatternBuilder, VarId};
 use gfd_util::alloc::{allocation_count, CountingAlloc};
 use gfd_util::Rng;
@@ -597,6 +597,144 @@ fn main() {
             );
             out.len()
         });
+    }
+
+    // The standing-violation service: steady-state ingest throughput
+    // and violation-propagation latency. A spam-rule social graph and
+    // pre-recorded flip/flop attr batches (flip marks blogs "spam" →
+    // violations appear; flop restores "ok" → they retract), so the
+    // service returns to its base state every two epochs and the loop
+    // can run indefinitely. Latency is ingest-to-subscriber-delivery —
+    // the update is drained from the channel inside the timed window.
+    {
+        let nb = 64usize;
+        let mut b = gfd_graph::GraphBuilder::with_fresh_vocab();
+        let blogs: Vec<NodeId> = (0..nb)
+            .map(|_| {
+                let blog = b.add_node_labeled("blog");
+                b.set_attr_named(blog, "keyword", Value::str("ok"));
+                blog
+            })
+            .collect();
+        for (i, &blog) in blogs.iter().enumerate() {
+            let acct = b.add_node_labeled("account");
+            b.set_attr_named(acct, "is_fake", Value::Bool(i % 4 == 0));
+            b.add_edge_labeled(acct, blog, "post");
+        }
+        let gs = Arc::new(b.freeze());
+        let vocab = gs.vocab().clone();
+        let mut pb = PatternBuilder::new(vocab.clone());
+        let x = pb.node("x", "account");
+        let y = pb.node("y", "blog");
+        pb.edge(x, y, "post");
+        let keyword = vocab.intern("keyword");
+        let is_fake = vocab.intern("is_fake");
+        let sigma = GfdSet::new(vec![Gfd::new(
+            "spam-poster-is-fake",
+            pb.build(),
+            Dependency::new(
+                vec![Literal::const_eq(y, keyword, "spam")],
+                vec![Literal::const_eq(x, is_fake, true)],
+            ),
+        )]);
+        // Chained single-edit deltas writing `keyword` over the blog
+        // pool — always valid against any epoch of this node set.
+        let record = |base: &Graph, k: usize, spam: bool| {
+            let mut cur = base.edit(|_| {});
+            let mut batch = Vec::with_capacity(k);
+            for j in 0..k {
+                let node = blogs[j % nb];
+                let (next, d) = cur.edit_with_delta(|eb| {
+                    let a = eb.vocab().intern("keyword");
+                    eb.set_attr(node, a, Value::str(if spam { "spam" } else { "ok" }));
+                });
+                cur = next;
+                batch.push(d);
+            }
+            (cur, batch)
+        };
+        let svc_cfg = || ServiceConfig {
+            threads: 2,
+            oracle_sample_p: 0.0,
+            seed: 1,
+            faults: None,
+        };
+
+        // Steady-state ingest: one flip + one flop batch of 16 edits
+        // per iteration (2 epochs, 32 edits); allocs_per_iter is the
+        // whole compaction + patch + repair + diff pipeline's budget.
+        let (flip_g, flip16) = record(&gs, 16, true);
+        let (_, flop16) = record(&flip_g, 16, false);
+        let mut svc = ViolationService::new(sigma.clone(), Arc::clone(&gs), svc_cfg());
+        bench("stream/ingest_steady_state(batch16)", &mut samples, || {
+            let a = svc.ingest(&flip16).expect("attr flips are always valid");
+            let b = svc.ingest(&flop16).expect("attr flips are always valid");
+            a + b
+        });
+        let batch16_ns = samples.last().expect("just pushed").ns_per_iter;
+        let batch16_allocs = samples.last().expect("just pushed").allocs_per_iter;
+        println!(
+            "# stream throughput: {:.0} edits/sec steady-state",
+            32.0 * 1e9 / batch16_ns
+        );
+        samples.push(Sample {
+            name: "stream/edits_per_sec(ns_per_edit)",
+            ns_per_iter: batch16_ns / 32.0,
+            iters: 32,
+            allocs_per_iter: batch16_allocs / 32.0,
+        });
+
+        // Violation-propagation latency percentiles per batch size:
+        // ingest → subscriber holds the epoch's VioUpdate.
+        let mut measure = |k: usize, n50: &'static str, n99: &'static str| {
+            let (flip_g, flip) = record(&gs, k, true);
+            let (_, flop) = record(&flip_g, k, false);
+            let mut svc = ViolationService::new(sigma.clone(), Arc::clone(&gs), svc_cfg());
+            let rx = svc.subscribe();
+            let rounds = if smoke() { 10 } else { 200 };
+            let mut lat = Vec::with_capacity(rounds * 2);
+            let a0 = allocation_count();
+            for _ in 0..rounds {
+                for batch in [&flip, &flop] {
+                    let t = Instant::now();
+                    svc.ingest(batch).expect("attr flips are always valid");
+                    let upd = rx.try_recv().expect("update is delivered at commit");
+                    black_box(upd);
+                    lat.push(t.elapsed().as_secs_f64() * 1e9);
+                }
+            }
+            let allocs = (allocation_count() - a0) as f64 / lat.len() as f64;
+            lat.sort_by(f64::total_cmp);
+            let pct = |p: f64| lat[((lat.len() - 1) as f64 * p).round() as usize];
+            for (name, p) in [(n50, 0.50), (n99, 0.99)] {
+                let ns = pct(p);
+                println!(
+                    "{name:<44} {ns:>14.1} ns/iter  {allocs:>10.1} allocs  (x{})",
+                    lat.len()
+                );
+                samples.push(Sample {
+                    name,
+                    ns_per_iter: ns,
+                    iters: lat.len() as u64,
+                    allocs_per_iter: allocs,
+                });
+            }
+        };
+        measure(
+            1,
+            "stream/latency_p50(batch1)",
+            "stream/latency_p99(batch1)",
+        );
+        measure(
+            16,
+            "stream/latency_p50(batch16)",
+            "stream/latency_p99(batch16)",
+        );
+        measure(
+            256,
+            "stream/latency_p50(batch256)",
+            "stream/latency_p99(batch256)",
+        );
     }
 
     // Emit the perf-trajectory artifact (hand-rolled JSON: the

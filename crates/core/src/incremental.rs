@@ -40,7 +40,27 @@ use gfd_match::{
 use gfd_pattern::signature::decompose;
 
 use crate::gfd::GfdSet;
-use crate::validate::{detect_violations, match_satisfies, Violation};
+use crate::validate::{detect_violations, for_each_violation, match_satisfies, Violation};
+
+/// The change `apply_diff` made to `Vio(Σ, G)` in one edit step: what
+/// a standing-violation service pushes to subscribers instead of the
+/// absolute set. Added and retracted are disjoint (a match that stops
+/// violating cannot be re-found by the same step's pinned
+/// enumeration, which only yields currently-violating matches).
+#[derive(Clone, Debug, Default)]
+pub struct VioDiff {
+    /// Violations that appeared in this step.
+    pub added: Vec<Violation>,
+    /// Violations that disappeared in this step.
+    pub retracted: Vec<Violation>,
+}
+
+impl VioDiff {
+    /// True if the step changed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.retracted.is_empty()
+    }
+}
 
 /// Per-rule incremental state.
 struct RuleState {
@@ -131,13 +151,96 @@ impl IncrementalDetector {
         self.rules.iter().map(|s| s.violations.len()).sum()
     }
 
+    /// Seeds a detector from an externally computed violation set
+    /// (e.g. a parallel from-scratch recompute) instead of running the
+    /// sequential full pass [`new`](IncrementalDetector::new) does.
+    /// The caller asserts `violations` *is* `Vio(Σ, g)`; candidate
+    /// spaces register lazily and simulate against the then-current
+    /// snapshot on first use, so the handoff carries no stale state.
+    ///
+    /// This is the graceful-degradation re-entry point: after a
+    /// divergence or a repair-path panic, a service recomputes from
+    /// scratch (on panic-isolated workers) and resumes incremental
+    /// maintenance from the recomputed truth.
+    pub fn from_violations(sigma: &GfdSet, violations: &[Violation]) -> Self {
+        let mut registry = SpaceRegistry::new();
+        let mut rules: Vec<RuleState> = sigma
+            .iter()
+            .map(|gfd| RuleState {
+                handle: registry.register(&gfd.pattern),
+                connected: decompose(&gfd.pattern).len() == 1,
+                violations: HashSet::new(),
+            })
+            .collect();
+        for v in violations {
+            rules[v.rule].violations.insert(v.mapping.clone());
+        }
+        IncrementalDetector {
+            sigma: sigma.clone(),
+            registry,
+            rules,
+        }
+    }
+
+    /// The stored violating matches of one rule (unordered).
+    pub fn rule_violations(&self, rule: usize) -> impl Iterator<Item = &Match> + '_ {
+        self.rules[rule].violations.iter()
+    }
+
+    /// Sampled repair-invariant check for one rule: re-derives the
+    /// rule's violation set from scratch — a fresh enumeration that
+    /// shares none of the detector's incremental state — and compares
+    /// it with the maintained set. `true` means the maintained state
+    /// is still exact for this rule.
+    ///
+    /// One rule's worth of work, so a long-running service can afford
+    /// it at a sampling cadence per epoch; a `false` is the signal to
+    /// degrade to a full recompute instead of serving drifted answers.
+    pub fn verify_rule(&self, rule: usize, g: &Graph) -> bool {
+        let gfd = self.sigma.get(rule);
+        let mut scratch: HashSet<Match> = HashSet::new();
+        for_each_violation(gfd, g, &MatchOptions::unrestricted(), &mut |m| {
+            scratch.insert(Match(m.to_vec()));
+            Flow::Continue
+        });
+        scratch == self.rules[rule].violations
+    }
+
+    /// Fault-injection hook: perturbs the stored state of one rule
+    /// (drops a stored violation, or plants an impossible one if the
+    /// rule has none) to model repair-invariant drift. Only the
+    /// robustness harness calls this — it exists so the
+    /// sampled-oracle → degradation path can be exercised
+    /// deterministically in soak tests.
+    #[doc(hidden)]
+    pub fn inject_drift(&mut self, rule: usize) {
+        let state = &mut self.rules[rule];
+        if let Some(m) = state.violations.iter().next().cloned() {
+            state.violations.remove(&m);
+        } else {
+            let arity = self.sigma.get(rule).pattern.node_count();
+            state
+                .violations
+                .insert(Match(vec![NodeId(u32::MAX); arity.max(1)]));
+        }
+    }
+
     /// Repairs the detector against one edit step: `g` is the edited
     /// snapshot, `delta` the recorded difference from the snapshot the
     /// detector was last synchronized with.
     pub fn apply(&mut self, g: &Graph, delta: &GraphDelta) {
+        self.apply_diff(g, delta);
+    }
+
+    /// [`apply`](IncrementalDetector::apply), additionally reporting
+    /// exactly which violations appeared and disappeared — the
+    /// subscriber-facing change stream of a standing-violation
+    /// service (`Vio(Σ, G)` *changes*, not absolute sets).
+    pub fn apply_diff(&mut self, g: &Graph, delta: &GraphDelta) -> VioDiff {
+        let mut diff = VioDiff::default();
         let d = delta.clone().normalize();
         if d.is_empty() {
-            return;
+            return diff;
         }
         let affected = d.touched_nodes();
         let is_affected = |u: NodeId| affected.binary_search(&u).is_ok();
@@ -160,12 +263,19 @@ impl IncrementalDetector {
 
             // 1. Re-check stored violations that touch the delta; the
             //    rest are untouched matches with untouched attribute
-            //    values and survive as-is.
+            //    values and survive as-is. Failures are retractions.
             state.violations.retain(|m| {
                 if !m.nodes().iter().copied().any(is_affected) {
                     return true;
                 }
-                still_violates(gfd, g, m)
+                if still_violates(gfd, g, m) {
+                    return true;
+                }
+                diff.retracted.push(Violation {
+                    rule,
+                    mapping: m.clone(),
+                });
+                false
             });
 
             // 2. New violations contain an affected node: enumerate
@@ -183,8 +293,15 @@ impl IncrementalDetector {
                     }
                     let opts = MatchOptions::unrestricted().pin(v, u);
                     let enumerate = &mut |m: &[NodeId]| {
-                        if !match_satisfies(&gfd.dep, g, m) {
-                            state.violations.insert(Match(m.to_vec()));
+                        if !match_satisfies(&gfd.dep, g, m)
+                            && state.violations.insert(Match(m.to_vec()))
+                        {
+                            // First sighting only: the same match can
+                            // be re-found via several pins.
+                            diff.added.push(Violation {
+                                rule,
+                                mapping: Match(m.to_vec()),
+                            });
                         }
                         Flow::Continue
                     };
@@ -196,6 +313,7 @@ impl IncrementalDetector {
                 }
             }
         }
+        diff
     }
 }
 
@@ -313,6 +431,88 @@ mod tests {
             }
             if det.satisfied() != scratch.is_empty() {
                 return Err("satisfied() disagrees".into());
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn diff_stream_folds_to_maintained_set() {
+        // A subscriber that only ever sees VioDiffs must be able to
+        // reconstruct the absolute set: baseline + Σ diffs ≡ scratch.
+        // Added/retracted must also be disjoint and non-redundant.
+        check("Σ VioDiff ≡ detVio over edit scripts", 25, |rng| {
+            let (mut g, sigma) = random_world(rng);
+            let mut det = IncrementalDetector::new(&sigma, &g);
+            let mut folded = detector_set(&det);
+            for step in 0..12 {
+                let r1 = rng.gen_range(0..g.node_count());
+                let r2 = rng.gen_range(0..g.node_count());
+                let (g2, delta) = g.edit_with_delta(|b| {
+                    if rng.gen_bool(0.5) {
+                        b.add_edge_labeled(NodeId(r1 as u32), NodeId(r2 as u32), "owns");
+                    } else {
+                        let a = b.vocab().intern("val");
+                        b.set_attr(NodeId(r1 as u32), a, Value::Int(rng.gen_range(0..3) as i64));
+                    }
+                });
+                let diff = det.apply_diff(&g2, &delta);
+                for v in &diff.retracted {
+                    if !folded.remove(&(v.rule, v.mapping.clone())) {
+                        return Err(format!("step {step}: retraction of absent violation"));
+                    }
+                }
+                for v in &diff.added {
+                    if !folded.insert((v.rule, v.mapping.clone())) {
+                        return Err(format!("step {step}: re-added live violation"));
+                    }
+                }
+                if folded != violation_set(&sigma, &g2) {
+                    return Err(format!("step {step}: folded diff diverges from scratch"));
+                }
+                g = g2;
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn verify_rule_accepts_sound_state_and_catches_drift() {
+        check("verify_rule soundness + drift detection", 20, |rng| {
+            let (g, sigma) = random_world(rng);
+            let mut det = IncrementalDetector::new(&sigma, &g);
+            for rule in 0..sigma.len() {
+                if !det.verify_rule(rule, &g) {
+                    return Err(format!("sound rule {rule} flagged as drifted"));
+                }
+            }
+            let rule = rng.gen_range(0..sigma.len());
+            det.inject_drift(rule);
+            if det.verify_rule(rule, &g) {
+                return Err(format!("injected drift on rule {rule} not detected"));
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn from_violations_resumes_incremental_maintenance() {
+        check("from_violations ≡ new, then keeps repairing", 20, |rng| {
+            let (g, sigma) = random_world(rng);
+            let scratch = detect_violations(&sigma, &g);
+            let mut det = IncrementalDetector::from_violations(&sigma, &scratch);
+            if detector_set(&det) != violation_set(&sigma, &g) {
+                return Err("seeded state diverges from scratch".into());
+            }
+            // And it must keep maintaining correctly from there.
+            let r1 = rng.gen_range(0..g.node_count());
+            let (g2, delta) = g.edit_with_delta(|b| {
+                let a = b.vocab().intern("val");
+                b.set_attr(NodeId(r1 as u32), a, Value::Int(1));
+            });
+            det.apply(&g2, &delta);
+            if detector_set(&det) != violation_set(&sigma, &g2) {
+                return Err("post-handoff repair diverges".into());
             }
             Ok(())
         });

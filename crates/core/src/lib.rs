@@ -40,7 +40,7 @@ pub mod validate;
 
 pub use gfd::{Gfd, GfdSet};
 pub use implication::implies;
-pub use incremental::IncrementalDetector;
+pub use incremental::{IncrementalDetector, VioDiff};
 pub use literal::{Dependency, Literal};
 pub use sat::{check_satisfiability, is_satisfiable, SatOutcome};
 pub use validate::{

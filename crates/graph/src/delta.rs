@@ -25,9 +25,98 @@
 //!   `added_nodes` instead;
 //! * attribute ops keep only the last write per `(node, attribute)`.
 
-use crate::graph::{Edge, NodeId};
+use std::fmt;
+
+use crate::graph::{Edge, Graph, NodeId};
 use crate::value::Value;
 use crate::vocab::Sym;
+
+/// Why a delta was rejected by [`GraphDelta::check_against`].
+///
+/// A delta that arrives over a wire (the standing-violation service's
+/// edit stream) is hostile input: it may reference node ids past the
+/// snapshot, claim to add edges that already exist, or remove edges
+/// that do not. Applying such a delta would corrupt the CSR patch, so
+/// ingest validates first and leaves the epoch untouched on rejection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaError {
+    /// `delta.base_nodes` disagrees with the snapshot's node count.
+    BaseMismatch {
+        /// The delta's claimed base node count.
+        delta_base: usize,
+        /// The snapshot's actual node count.
+        graph_nodes: usize,
+    },
+    /// An edge endpoint or attribute/label target past the node range.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// Exclusive id limit (base + added nodes).
+        limit: usize,
+    },
+    /// Added node ids must be dense: `base_nodes..base_nodes + k`.
+    NonDenseAddedNode {
+        /// The id the delta carries.
+        node: NodeId,
+        /// The id it should carry at its position.
+        expected: NodeId,
+    },
+    /// An `added_edges` entry already present in the base snapshot.
+    EdgeAlreadyPresent {
+        /// The duplicate edge.
+        edge: Edge,
+    },
+    /// A `removed_edges` entry absent from the base snapshot.
+    EdgeAbsent {
+        /// The missing edge.
+        edge: Edge,
+    },
+    /// A label change whose `old` label disagrees with the snapshot.
+    StaleLabel {
+        /// The relabeled node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::BaseMismatch {
+                delta_base,
+                graph_nodes,
+            } => write!(
+                f,
+                "delta based on {delta_base} nodes, snapshot has {graph_nodes}"
+            ),
+            DeltaError::NodeOutOfRange { node, limit } => {
+                write!(f, "node id {} out of range (limit {limit})", node.index())
+            }
+            DeltaError::NonDenseAddedNode { node, expected } => write!(
+                f,
+                "added node id {} not dense (expected {})",
+                node.index(),
+                expected.index()
+            ),
+            DeltaError::EdgeAlreadyPresent { edge } => write!(
+                f,
+                "added edge {}→{} already present",
+                edge.src.index(),
+                edge.dst.index()
+            ),
+            DeltaError::EdgeAbsent { edge } => write!(
+                f,
+                "removed edge {}→{} absent from snapshot",
+                edge.src.index(),
+                edge.dst.index()
+            ),
+            DeltaError::StaleLabel { node } => {
+                write!(f, "stale label change on node {}", node.index())
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
 
 /// One node relabeling `old → new` (type noise, repair).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -194,6 +283,143 @@ impl GraphDelta {
             self.attr_ops = kept;
         }
         self
+    }
+
+    /// Sequential composition: `self` takes a base snapshot `B₀` to
+    /// `B₁`, `later` takes `B₁` to `B₂`; the merged delta takes `B₀`
+    /// directly to `B₂`. Opposing operations across the two deltas
+    /// cancel (an edge added by `self` and removed by `later` leaves
+    /// no trace; an attribute written twice keeps the last value) —
+    /// this is the batch-compaction primitive of the edit-stream
+    /// engine: a batch of per-edit deltas folds into one normalized
+    /// delta, so one CSR patch and one state repair serve the whole
+    /// batch, and re-enumerations pinned at nodes touched by several
+    /// edits run once.
+    ///
+    /// `later` must be based on `self`'s result (its `base_nodes`
+    /// equals `self.base_nodes + self.added_nodes.len()`) — deltas
+    /// recorded by consecutive [`Graph::edit_with_delta`] sessions
+    /// satisfy this by construction.
+    pub fn merge(mut self, later: GraphDelta) -> GraphDelta {
+        assert_eq!(
+            later.base_nodes,
+            self.base_nodes + self.added_nodes.len(),
+            "merge: later delta is not based on this delta's result snapshot"
+        );
+        self.added_nodes.extend(later.added_nodes);
+        self.added_edges.extend(later.added_edges);
+        self.removed_edges.extend(later.removed_edges);
+        self.label_changes.extend(later.label_changes);
+        self.attr_ops.extend(later.attr_ops);
+        // Concatenation preserves application order, so `normalize`'s
+        // cancellation/coalescing rules compute exactly the net effect
+        // of running both sessions.
+        self.normalize()
+    }
+
+    /// Structural validation of a (possibly hostile) **raw** delta:
+    /// the claimed base matches `base_nodes`, added-node ids are
+    /// dense, and every mentioned node id is within
+    /// `base_nodes + added` range. This is everything [`normalize`] /
+    /// [`merge`] assume (their added-node folding indexes by id), so
+    /// an ingest path that `check_ids`-validates each delta of a
+    /// batch before compacting can never panic on hostile input —
+    /// raw deltas may still contain add/remove pairs that cancel,
+    /// which is fine here and rejected nowhere.
+    ///
+    /// [`normalize`]: GraphDelta::normalize
+    /// [`merge`]: GraphDelta::merge
+    pub fn check_ids(&self, base_nodes: usize) -> Result<(), DeltaError> {
+        if self.base_nodes != base_nodes {
+            return Err(DeltaError::BaseMismatch {
+                delta_base: self.base_nodes,
+                graph_nodes: base_nodes,
+            });
+        }
+        for (i, &(node, _)) in self.added_nodes.iter().enumerate() {
+            let expected = NodeId((self.base_nodes + i) as u32);
+            if node != expected {
+                return Err(DeltaError::NonDenseAddedNode { node, expected });
+            }
+        }
+        let limit = self.base_nodes + self.added_nodes.len();
+        let in_range = |n: NodeId| n.index() < limit;
+        for e in self.added_edges.iter().chain(&self.removed_edges) {
+            if !in_range(e.src) || !in_range(e.dst) {
+                let node = if in_range(e.src) { e.dst } else { e.src };
+                return Err(DeltaError::NodeOutOfRange { node, limit });
+            }
+        }
+        for c in &self.label_changes {
+            if !in_range(c.node) {
+                return Err(DeltaError::NodeOutOfRange {
+                    node: c.node,
+                    limit,
+                });
+            }
+        }
+        for op in &self.attr_ops {
+            if !in_range(op.node) {
+                return Err(DeltaError::NodeOutOfRange {
+                    node: op.node,
+                    limit,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates a (possibly hostile) delta against the snapshot it
+    /// claims to be based on, without applying anything. `Ok(())`
+    /// guarantees [`Graph::apply_delta`] will produce the correct
+    /// successor; any violation of the [`normalize`] invariants —
+    /// wrong base, out-of-range or non-dense node ids, adding a
+    /// present edge, removing an absent one, a stale label change —
+    /// is reported as the first [`DeltaError`] found.
+    ///
+    /// Call on a normalized delta (ingest normalizes first); raw
+    /// recorded deltas may legitimately contain add/remove pairs that
+    /// cancel — use [`check_ids`](GraphDelta::check_ids) for those.
+    ///
+    /// [`normalize`]: GraphDelta::normalize
+    pub fn check_against(&self, g: &Graph) -> Result<(), DeltaError> {
+        self.check_ids(g.node_count())?;
+        for e in &self.added_edges {
+            let base_endpoints = e.src.index() < self.base_nodes && e.dst.index() < self.base_nodes;
+            if base_endpoints && g.has_edge(e.src, e.dst, e.label) {
+                return Err(DeltaError::EdgeAlreadyPresent { edge: *e });
+            }
+        }
+        for e in &self.removed_edges {
+            // A removed edge existed in the base snapshot, so both
+            // endpoints must be base nodes and the edge present.
+            if e.src.index() >= self.base_nodes || e.dst.index() >= self.base_nodes {
+                let node = if e.src.index() >= self.base_nodes {
+                    e.src
+                } else {
+                    e.dst
+                };
+                return Err(DeltaError::NodeOutOfRange {
+                    node,
+                    limit: self.base_nodes,
+                });
+            }
+            if !g.has_edge(e.src, e.dst, e.label) {
+                return Err(DeltaError::EdgeAbsent { edge: *e });
+            }
+        }
+        for c in &self.label_changes {
+            if c.node.index() >= self.base_nodes {
+                return Err(DeltaError::NodeOutOfRange {
+                    node: c.node,
+                    limit: self.base_nodes,
+                });
+            }
+            if g.label(c.node) != c.old {
+                return Err(DeltaError::StaleLabel { node: c.node });
+            }
+        }
+        Ok(())
     }
 }
 

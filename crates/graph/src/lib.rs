@@ -45,7 +45,7 @@ pub mod value;
 pub mod vocab;
 
 pub use attrs::AttrMap;
-pub use delta::{AttrOp, GraphDelta, LabelChange};
+pub use delta::{AttrOp, DeltaError, GraphDelta, LabelChange};
 pub use fragment::{FragmentId, Fragmentation, PartitionStrategy};
 pub use graph::{Adj, Edge, Graph, GraphBuilder, NodeId};
 pub use neighborhood::NodeSet;

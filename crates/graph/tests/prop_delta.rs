@@ -1,0 +1,261 @@
+//! Property tests for delta batch compaction and ingest validation —
+//! the [`GraphDelta::merge`] / [`GraphDelta::check_against`] layer the
+//! standing-violation service's `EditLog` is built on.
+//!
+//! The central oracle: a random 50-step edit script, recorded as one
+//! delta per step, applied two ways — step by step (the raw sequence)
+//! versus folded into a single compacted delta with `merge` and
+//! applied once. Both must produce identical snapshots, even when the
+//! script is deliberately biased toward opposing operations (add then
+//! remove the same edge, set then unset the same attribute) so the
+//! cancellation rules are exercised, not just the happy path.
+
+use gfd_graph::{DeltaError, Edge, Graph, GraphBuilder, GraphDelta, NodeId, Value};
+use gfd_util::{prop::check, prop_assert, Rng};
+
+/// A small random base graph over a fixed label/attr vocabulary.
+fn base_graph(rng: &mut Rng) -> Graph {
+    let n = rng.gen_range(3..10);
+    let mut b = GraphBuilder::with_fresh_vocab();
+    let ids: Vec<NodeId> = (0..n)
+        .map(|i| b.add_node_labeled(&format!("l{}", i % 3)))
+        .collect();
+    for _ in 0..rng.gen_range(0..2 * n) {
+        let s = ids[rng.gen_range(0..n)];
+        let d = ids[rng.gen_range(0..n)];
+        b.add_edge_labeled(s, d, &format!("e{}", rng.gen_range(0..2)));
+    }
+    b.freeze()
+}
+
+/// One random edit step on the current snapshot, biased toward
+/// *toggling* a small pool of edge/attr slots so consecutive steps
+/// frequently oppose each other (the compaction-relevant shape).
+fn random_step(rng: &mut Rng, g: &Graph) -> (Graph, GraphDelta) {
+    let n = g.node_count();
+    // A deliberately tiny coordinate pool: repeated steps hit the same
+    // (src, dst, label) and (node, attr) slots, producing add/remove
+    // and set/unset chains for merge to cancel.
+    let s = NodeId(rng.gen_range(0..n.min(4)) as u32);
+    let d = NodeId(rng.gen_range(0..n.min(4)) as u32);
+    let kind = rng.gen_range(0..7);
+    g.edit_with_delta(|b| match kind {
+        0 => {
+            b.add_edge_labeled(s, d, "e0");
+        }
+        1 => {
+            b.remove_edge_labeled(s, d, "e0");
+        }
+        2 => {
+            let a = b.vocab().intern("val");
+            b.set_attr(s, a, Value::Int(rng.gen_range(0..3) as i64));
+        }
+        3 => {
+            let a = b.vocab().intern("val");
+            b.remove_attr(s, a);
+        }
+        4 => {
+            let l = b.vocab().intern(&format!("l{}", rng.gen_range(0..3)));
+            b.set_label(s, l);
+        }
+        5 => {
+            let v = b.add_node_labeled("l1");
+            b.add_edge_labeled(v, d, "e1");
+        }
+        _ => {
+            // Toggle within one session: add + remove (or the reverse)
+            // of the same edge, so even *single* deltas carry opposing
+            // pairs for normalize to cancel before merge sees them.
+            if b.add_edge_labeled(s, d, "e1") {
+                b.remove_edge_labeled(s, d, "e1");
+            } else {
+                b.remove_edge_labeled(s, d, "e1");
+                b.add_edge_labeled(s, d, "e1");
+            }
+        }
+    })
+}
+
+/// Structural equality over every observable (labels, attrs, CSR runs).
+fn graphs_equal(a: &Graph, b: &Graph) -> Result<(), String> {
+    if a.node_count() != b.node_count() {
+        return Err(format!(
+            "node counts {} vs {}",
+            a.node_count(),
+            b.node_count()
+        ));
+    }
+    if a.edge_count() != b.edge_count() {
+        return Err(format!(
+            "edge counts {} vs {}",
+            a.edge_count(),
+            b.edge_count()
+        ));
+    }
+    for u in a.nodes() {
+        if a.label(u) != b.label(u) {
+            return Err(format!("label of {u:?}"));
+        }
+        if a.attrs(u) != b.attrs(u) {
+            return Err(format!("attrs of {u:?}"));
+        }
+        if a.out_slice(u) != b.out_slice(u) {
+            return Err(format!("out run of {u:?}"));
+        }
+        if a.in_slice(u) != b.in_slice(u) {
+            return Err(format!("in run of {u:?}"));
+        }
+    }
+    Ok(())
+}
+
+fn cases(full: u64) -> u64 {
+    if std::env::var_os("BENCH_SMOKE").is_some() {
+        (full / 5).max(2)
+    } else {
+        full
+    }
+}
+
+#[test]
+fn compacted_batch_equals_raw_sequence() {
+    check(
+        "merge-compacted batch ≡ raw step sequence",
+        cases(60),
+        |rng| {
+            let base = base_graph(rng);
+            // Snapshots are Arc-shared, not Clone; a no-op edit forks
+            // an identical successor to walk the raw sequence on.
+            let mut raw = base.edit(|_| {});
+            let mut compacted: Option<GraphDelta> = None;
+            for _ in 0..50 {
+                let (next, delta) = random_step(rng, &raw);
+                raw = next;
+                compacted = Some(match compacted.take() {
+                    None => delta,
+                    Some(prev) => prev.merge(delta),
+                });
+            }
+            let compacted = compacted.expect("50 steps recorded");
+            // The compacted delta must validate against the base and
+            // reproduce the raw sequence's final snapshot in ONE patch.
+            if let Err(e) = compacted.check_against(&base) {
+                return Err(format!("compacted delta rejected: {e}"));
+            }
+            let folded = base.apply_delta(&compacted);
+            graphs_equal(&folded, &raw)
+        },
+    );
+}
+
+#[test]
+fn merge_is_associative_over_splits() {
+    // Folding a batch left-to-right must not depend on where the batch
+    // is split: merge(merge(a, b), c) ≡ merge(a, merge(b, c)).
+    check("merge associativity", cases(40), |rng| {
+        let base = base_graph(rng);
+        let mut g = base.edit(|_| {});
+        let mut deltas = Vec::new();
+        for _ in 0..12 {
+            let (next, d) = random_step(rng, &g);
+            g = next;
+            deltas.push(d);
+        }
+        let split = rng.gen_range(1..deltas.len());
+        let fold = |ds: &[GraphDelta]| {
+            ds.iter()
+                .cloned()
+                .reduce(|a, b| a.merge(b))
+                .expect("non-empty")
+        };
+        let left = fold(&deltas[..split]).merge(fold(&deltas[split..]));
+        let all = fold(&deltas);
+        if left != all {
+            return Err(format!("split at {split} diverges: {left:?} vs {all:?}"));
+        }
+        graphs_equal(&base.apply_delta(&all), &g)
+    });
+}
+
+#[test]
+fn check_against_rejects_malformed_deltas() {
+    check("check_against catches corruption", cases(60), |rng| {
+        let base = base_graph(rng);
+        let limit = base.node_count() as u32;
+        let sym_e0 = base.vocab().lookup("e0");
+
+        // A recorded (well-formed) delta always passes.
+        let (_, good) = random_step(rng, &base);
+        if let Err(e) = good.check_against(&base) {
+            return Err(format!("recorded delta rejected: {e}"));
+        }
+
+        // Out-of-range edge endpoint (the malformed-batch injection
+        // shape): must be rejected, never applied.
+        let mut bad = GraphDelta::new(base.node_count());
+        bad.added_edges.push(Edge {
+            src: NodeId(limit + rng.gen_range(1..1000) as u32),
+            dst: NodeId(0),
+            label: sym_e0.unwrap_or(gfd_graph::Sym(0)),
+        });
+        prop_assert!(
+            matches!(
+                bad.check_against(&base),
+                Err(DeltaError::NodeOutOfRange { .. })
+            ),
+            "out-of-range add accepted"
+        );
+
+        // Wrong base snapshot.
+        let stale = GraphDelta::new(base.node_count() + 1);
+        prop_assert!(
+            matches!(
+                stale.check_against(&base),
+                Err(DeltaError::BaseMismatch { .. })
+            ),
+            "base mismatch accepted"
+        );
+
+        // Removing an absent edge: pick a (src, dst, label) triple not
+        // in the snapshot.
+        if let Some(l) = sym_e0 {
+            let mut rem = GraphDelta::new(base.node_count());
+            let mut found = None;
+            'outer: for s in 0..limit {
+                for d in 0..limit {
+                    if !base.has_edge(NodeId(s), NodeId(d), l) {
+                        found = Some(Edge {
+                            src: NodeId(s),
+                            dst: NodeId(d),
+                            label: l,
+                        });
+                        break 'outer;
+                    }
+                }
+            }
+            if let Some(e) = found {
+                rem.removed_edges.push(e);
+                prop_assert!(
+                    matches!(rem.check_against(&base), Err(DeltaError::EdgeAbsent { .. })),
+                    "absent-edge removal accepted"
+                );
+            }
+        }
+
+        // Out-of-range attribute write.
+        let mut attr = GraphDelta::new(base.node_count());
+        attr.attr_ops.push(gfd_graph::AttrOp {
+            node: NodeId(limit + 7),
+            attr: gfd_graph::Sym(0),
+            value: Some(Value::Int(1)),
+        });
+        prop_assert!(
+            matches!(
+                attr.check_against(&base),
+                Err(DeltaError::NodeOutOfRange { .. })
+            ),
+            "out-of-range attr accepted"
+        );
+        Ok(())
+    });
+}

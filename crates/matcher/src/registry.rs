@@ -41,7 +41,7 @@ use gfd_pattern::{canonical_form, CanonicalForm, IsoWitness, Pattern, VarId};
 
 use crate::incremental::IncrementalSpace;
 use crate::plan::QueryPlan;
-use crate::simulation::CandidateSpace;
+use crate::simulation::{dual_simulation, CandidateSpace};
 
 /// Handle to a pattern registered in a [`SpaceRegistry`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -229,6 +229,25 @@ impl SpaceRegistry {
     /// True if `u` currently simulates `v` in the member's space.
     pub fn contains(&mut self, h: SpaceHandle, g: &Graph, v: VarId, u: NodeId) -> bool {
         self.space(h, g).sets[v.index()].binary_search(&u).is_ok()
+    }
+
+    /// Sampled repair-invariant check: recomputes the member's
+    /// candidate space from scratch (a fresh [`dual_simulation`] of
+    /// the member pattern over `g`, no incremental state, no
+    /// transport) and compares it with what the registry serves —
+    /// the repaired representative read through the member's witness.
+    /// `true` means the incremental repair chain is still exact for
+    /// this member.
+    ///
+    /// This is the self-check a long-running service runs on a random
+    /// member per epoch: one simulation's worth of work, so it is
+    /// affordable at a sampling cadence, and any divergence (a repair
+    /// bug, memory corruption, a consumer mutating shared state)
+    /// surfaces as `false` instead of silently wrong match results.
+    pub fn verify_member(&mut self, h: SpaceHandle, g: &Graph) -> bool {
+        let served = self.space(h, g).clone();
+        let scratch = dual_simulation(&self.members[h.0].q, g, None);
+        served == scratch
     }
 
     /// Repairs the registry against one edit step: **one**

@@ -32,7 +32,7 @@ use gfd_pattern::{IsoWitness, PatLabel, Pattern, VarId};
 /// Per-pattern-edge candidate adjacency: for every candidate of the
 /// edge's source variable (by its index in the source candidate set),
 /// the admitted neighbors that survive in the target candidate set.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EdgeCandidates {
     /// `targets[offsets[i]..offsets[i+1]]` is the run of candidate
     /// `i` of the source variable; runs are ascending by node id.
@@ -56,7 +56,7 @@ impl EdgeCandidates {
 /// This is the pruned search space the exact matcher refines: root
 /// pools come from [`CandidateSpace::of`], expansion pools from
 /// intersecting [`EdgeCandidates`] runs.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CandidateSpace {
     /// `sets[v] = sim(v)`, sorted ascending, indexed by variable id.
     pub sets: Vec<Vec<NodeId>>,

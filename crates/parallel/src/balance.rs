@@ -12,12 +12,13 @@ use crate::Assignment;
 /// Assigns each unit (given by its cost) to a worker in `0..n` with
 /// greedy LPT. Returns `assignment[unit] = worker`.
 pub fn lpt_assign(costs: &[u64], n: usize) -> Vec<usize> {
-    assert!(n > 0);
+    assert!(n > 0, "lpt_assign: cannot partition over zero workers");
     let mut order: Vec<usize> = (0..costs.len()).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(costs[i]));
     let mut load = vec![0u64; n];
     let mut assignment = vec![0usize; costs.len()];
     for i in order {
+        // Invariant: the entry assert guarantees `0..n` is non-empty.
         let worker = (0..n).min_by_key(|&w| (load[w], w)).expect("n > 0");
         assignment[i] = worker;
         load[worker] += costs[i];
@@ -28,7 +29,7 @@ pub fn lpt_assign(costs: &[u64], n: usize) -> Vec<usize> {
 /// Uniform random assignment (the `repran`/`disran` baseline). A tiny
 /// splitmix64 keeps this crate free of an RNG dependency.
 pub fn random_assign(count: usize, n: usize, seed: u64) -> Vec<usize> {
-    assert!(n > 0);
+    assert!(n > 0, "random_assign: cannot assign over zero workers");
     let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
     let mut next = move || {
         state = state.wrapping_add(0x9E3779B97F4A7C15);
@@ -56,8 +57,15 @@ pub fn assign(strategy: Assignment, costs: &[u64], n: usize) -> Vec<usize> {
 /// locality while keeping the makespan 2-approximate at group
 /// granularity.
 pub fn lpt_assign_grouped(costs: &[u64], group_keys: &[u64], n: usize) -> Vec<usize> {
-    assert_eq!(costs.len(), group_keys.len());
-    assert!(n > 0);
+    assert_eq!(
+        costs.len(),
+        group_keys.len(),
+        "lpt_assign_grouped: every unit cost needs a group key"
+    );
+    assert!(
+        n > 0,
+        "lpt_assign_grouped: cannot partition over zero workers"
+    );
     let mut groups: gfd_util::FxHashMap<u64, (u64, Vec<usize>)> = gfd_util::FxHashMap::default();
     for (i, (&c, &k)) in costs.iter().zip(group_keys).enumerate() {
         let entry = groups.entry(k).or_default();
@@ -69,6 +77,7 @@ pub fn lpt_assign_grouped(costs: &[u64], group_keys: &[u64], n: usize) -> Vec<us
     let mut load = vec![0u64; n];
     let mut assignment = vec![0usize; costs.len()];
     for (cost, members) in group_list {
+        // Invariant: the entry assert guarantees `0..n` is non-empty.
         let worker = (0..n).min_by_key(|&w| (load[w], w)).expect("n > 0");
         load[worker] += cost;
         for m in members {
@@ -80,6 +89,11 @@ pub fn lpt_assign_grouped(costs: &[u64], group_keys: &[u64], n: usize) -> Vec<us
 
 /// The makespan (largest per-worker cost sum) of an assignment.
 pub fn makespan(costs: &[u64], assignment: &[usize], n: usize) -> u64 {
+    assert_eq!(
+        costs.len(),
+        assignment.len(),
+        "makespan: every unit cost needs an assigned worker"
+    );
     let mut load = vec![0u64; n];
     for (i, &w) in assignment.iter().enumerate() {
         load[w] += costs[i];
@@ -90,6 +104,7 @@ pub fn makespan(costs: &[u64], assignment: &[usize], n: usize) -> u64 {
 /// A lower bound on the optimal makespan:
 /// `max(total/n rounded up, max single cost)`.
 pub fn makespan_lower_bound(costs: &[u64], n: usize) -> u64 {
+    assert!(n > 0, "makespan_lower_bound: zero workers have no makespan");
     let total: u64 = costs.iter().sum();
     let avg = total.div_ceil(n as u64);
     avg.max(costs.iter().copied().max().unwrap_or(0))

@@ -196,6 +196,7 @@ pub fn dis_val(
     cfg: &DisValConfig,
 ) -> ParallelReport {
     let g: &Graph = g;
+    assert!(cfg.n > 0, "dis_val: need at least one processor");
     assert_eq!(cfg.n, frag.n(), "one fragment per processor");
     let algo = match (cfg.assignment, cfg.multi_query || cfg.scheme_choice) {
         (Assignment::Balanced, true) => "disVal",
@@ -282,7 +283,7 @@ pub fn dis_val(
         .map(|su| {
             per_unit_breakdown[su.unit_index]
                 .as_ref()
-                .expect("filled above")
+                .expect("the loop above fills a breakdown for every split share's unit_index")
         })
         .collect();
     let estimation_seconds = estimation_seconds + t_sizes.elapsed().as_secs_f64() / cfg.n as f64;
@@ -328,6 +329,8 @@ pub fn dis_val(
                         *acc += b;
                     }
                 }
+                // Invariant: the entry assert guarantees `load` has
+                // `cfg.n > 0` slots.
                 let min_load = *load.iter().min().expect("n > 0");
                 let slack = ((min_load as f64 * cfg.balance_slack) as u64).max(cost);
                 let mut best: Option<(u64, usize)> = None;
@@ -340,6 +343,8 @@ pub fn dis_val(
                         best = Some((ship, w));
                     }
                 }
+                // Invariant: `slack >= 0`, so the min-load worker always
+                // passes the feasibility filter and `best` is `Some`.
                 let (_, w) = best.expect("at least the min-load worker is feasible");
                 load[w] += cost;
                 for i in members {

@@ -33,24 +33,49 @@
 //! executor (module [`threaded`], std scoped threads over an atomic
 //! work queue) exists to verify that the work units compute identical
 //! violations when actually run concurrently; all workers share one
-//! `Arc<Graph>` CSR snapshot — never per-worker copies.
+//! `Arc<Graph>` CSR snapshot — never per-worker copies. Workers are
+//! **panic-isolated**: a unit that panics is caught, retried on a
+//! healthy worker with bounded backoff, and quarantined-and-reported
+//! if the fault is sticky — never silently dropped.
+//!
+//! ## The standing-violation service
+//!
+//! Module [`service`] lifts the one-shot detectors into a long-lived
+//! engine over an **edit stream**: batches of [`gfd_graph::GraphDelta`]s
+//! compact (opposing ops cancel), commit as epoch-pinned snapshots
+//! readers can hold across later commits, replay from any pinned epoch
+//! via the [`service::EditLog`], and push violation *changes* to
+//! subscribers. Its robustness story — malformed-batch rejection,
+//! `catch_unwind` repair with graceful degradation to a panic-isolated
+//! full recompute, and a sampled per-epoch repair-invariant oracle —
+//! is exercised by the deterministic fault-injection harness (module
+//! [`fault`]) and the 10k-edit soak test.
 
 pub mod balance;
 pub mod cluster;
 pub mod disval;
+pub mod fault;
 pub mod incremental;
 pub mod metrics;
 pub mod opt;
 pub mod repval;
+pub mod service;
 pub mod threaded;
 pub mod unitexec;
 pub mod workload;
 
 pub use cluster::CostModel;
 pub use disval::{dis_val, DisValConfig};
+pub use fault::FaultPlan;
 pub use incremental::IncrementalWorkload;
 pub use metrics::ParallelReport;
 pub use repval::{rep_val, RepValConfig};
+pub use service::{
+    EditLog, IngestError, PinnedEpoch, ServiceConfig, ServiceStats, VioUpdate, ViolationService,
+};
+pub use threaded::{
+    run_units_threaded, run_units_threaded_report, ThreadedReport, MAX_UNIT_ATTEMPTS,
+};
 pub use unitexec::{CacheStats, MatchCache, UnitScratch};
 pub use workload::{
     estimate_workload, estimate_workload_in, UnitSlot, WorkUnit, Workload, WorkloadOptions,

@@ -41,6 +41,15 @@ pub struct ParallelReport {
     pub cache_misses: u64,
     /// Match tables evicted by the per-worker cache byte cap.
     pub cache_evictions: u64,
+    /// Worker panics caught by the panic-isolated executor (0 for the
+    /// simulated-cluster algorithms and clean threaded runs).
+    pub unit_panics: u64,
+    /// Units that completed only after at least one panicked attempt.
+    pub units_retried: u64,
+    /// Units abandoned after exhausting retries. Always *reported*,
+    /// never silently dropped: callers recover them sequentially (the
+    /// standing-violation service) or treat the run as failed.
+    pub quarantined_units: u64,
 }
 
 impl ParallelReport {
@@ -73,6 +82,9 @@ impl ParallelReport {
             cache_hits: cache.hits,
             cache_misses: cache.misses,
             cache_evictions: cache.evictions,
+            unit_panics: 0,
+            units_retried: 0,
+            quarantined_units: 0,
         }
     }
 

@@ -1,0 +1,889 @@
+//! The standing-violation service: a long-lived, epoch-pinned
+//! edit-stream engine over the incremental detection stack.
+//!
+//! The one-shot stack (delta → space repair → detector → workload)
+//! answers "what does this edit change?" per call. A deployment where
+//! every user action is an edit needs the *standing* shape of
+//! Berkholz/Keppeler/Schweikardt's FO+MOD maintenance under updates:
+//! ingest a stream of edit batches, keep `Vio(Σ, G)` current with
+//! bounded per-update work, and push *changes* (added / retracted
+//! violations) to subscribers. [`ViolationService`] is that engine,
+//! built robust by construction:
+//!
+//! * **Batch compaction** — a batch of per-edit [`GraphDelta`]s folds
+//!   into one normalized delta ([`GraphDelta::merge`]): opposing ops
+//!   cancel before any repair work happens, and re-enumerations
+//!   pinned at nodes touched by several edits of the batch run once
+//!   (the detector sees each affected node once per epoch).
+//! * **Epoch/snapshot pinning** — each committed batch is an epoch.
+//!   Readers pin the current [`Arc<Graph>`] ([`ViolationService::
+//!   snapshot`]) and keep serving it while the next batch applies;
+//!   commits swap the Arc, never mutate. The [`EditLog`] records each
+//!   epoch's compacted delta, so after a crash the current snapshot
+//!   rebuilds from **any** pinned epoch by replaying the suffix
+//!   ([`EditLog::replay_onto`]).
+//! * **Ingest validation** — a malformed batch (out-of-range node
+//!   ids, phantom edge removals, stale labels …) is rejected with an
+//!   [`IngestError`] *before* anything is touched: no epoch, no log
+//!   entry, no detector work.
+//! * **Self-healing repair** — the incremental repair runs under
+//!   `catch_unwind`; a panic (or a divergence caught by the sampled
+//!   per-epoch invariant check, [`IncrementalDetector::verify_rule`]
+//!   on a seed-chosen rule) triggers graceful degradation: a full
+//!   recompute on panic-isolated workers
+//!   ([`run_units_threaded_report`]), quarantined units recovered by
+//!   sequential re-derivation of their rules, and incremental
+//!   maintenance resumed from the recomputed truth
+//!   ([`IncrementalDetector::from_violations`]). The service logs the
+//!   event ([`ServiceStats`]) and keeps serving — it degrades, it
+//!   does not die.
+//! * **No torn epochs** — subscribers receive one [`VioUpdate`] per
+//!   committed epoch, after commit, with strictly consecutive epoch
+//!   numbers; folding the updates over the epoch-0 baseline always
+//!   reproduces the service's absolute violation set.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{mpsc, Arc};
+
+use gfd_core::validate::for_each_violation;
+use gfd_core::{GfdSet, IncrementalDetector, Violation};
+use gfd_graph::{DeltaError, Graph, GraphDelta};
+use gfd_match::types::Flow;
+use gfd_match::{Match, MatchOptions};
+use gfd_util::Rng;
+
+use crate::fault::FaultPlan;
+use crate::threaded::run_units_threaded_report;
+use crate::unitexec::sort_violations;
+use crate::workload::{estimate_workload, plan_rules, WorkloadOptions};
+
+/// A reader's pinned epoch: the epoch number and the frozen snapshot
+/// it refers to. Holding one keeps the snapshot alive (it is an
+/// `Arc`); the service never mutates committed snapshots, so a pin
+/// stays valid and consistent forever — and doubles as a replay base
+/// for [`EditLog::replay_onto`].
+#[derive(Clone, Debug)]
+pub struct PinnedEpoch {
+    /// The pinned epoch number (0 = the service's initial snapshot).
+    pub epoch: u64,
+    /// The snapshot as of that epoch.
+    pub graph: Arc<Graph>,
+}
+
+/// One committed epoch's record in the [`EditLog`].
+#[derive(Clone, Debug)]
+pub struct LogEntry {
+    /// The epoch this entry produced (entry takes epoch-1 → epoch).
+    pub epoch: u64,
+    /// The batch's compacted, normalized delta.
+    pub delta: GraphDelta,
+}
+
+/// The per-epoch delta log: entry `e` records the compacted delta
+/// that took snapshot `e-1` to snapshot `e`. Together with any
+/// [`PinnedEpoch`] it reconstructs any later snapshot — the crash-
+/// recovery story (a persistent on-disk log is the seeded follow-up).
+#[derive(Debug, Default)]
+pub struct EditLog {
+    entries: Vec<LogEntry>,
+}
+
+impl EditLog {
+    /// All committed entries, in epoch order.
+    pub fn entries(&self) -> &[LogEntry] {
+        &self.entries
+    }
+
+    /// The net delta from `epoch` to the log head, folded into one
+    /// normalized delta ([`GraphDelta::merge`]); `None` if the log
+    /// has no entries past `epoch`.
+    pub fn delta_since(&self, epoch: u64) -> Option<GraphDelta> {
+        self.entries
+            .iter()
+            .filter(|e| e.epoch > epoch)
+            .map(|e| e.delta.clone())
+            .reduce(|a, b| a.merge(b))
+    }
+
+    /// Replays the log suffix onto a pinned epoch, reconstructing the
+    /// snapshot at the log head — one compacted [`Graph::apply_delta`]
+    /// patch, however many epochs the pin is behind.
+    pub fn replay_onto(&self, pin: &PinnedEpoch) -> Arc<Graph> {
+        match self.delta_since(pin.epoch) {
+            Some(net) => Arc::new(pin.graph.apply_delta(&net)),
+            None => Arc::clone(&pin.graph),
+        }
+    }
+}
+
+/// Why a batch was rejected. Rejection is total: the epoch, the log,
+/// the detector and every subscriber are untouched.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IngestError {
+    /// A delta inside the batch failed structural validation (id
+    /// ranges, density, chaining onto its predecessor).
+    MalformedDelta {
+        /// Index of the offending delta within the batch.
+        index: usize,
+        /// What was wrong with it.
+        error: DeltaError,
+    },
+    /// The compacted batch contradicts the current snapshot (adding a
+    /// present edge, removing an absent one, a stale label change).
+    MalformedBatch {
+        /// What was wrong with it.
+        error: DeltaError,
+    },
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::MalformedDelta { index, error } => {
+                write!(f, "batch delta #{index} malformed: {error}")
+            }
+            IngestError::MalformedBatch { error } => {
+                write!(f, "compacted batch contradicts snapshot: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// The per-epoch change pushed to subscribers: added and retracted
+/// violations, both canonically sorted. Epoch numbers on one
+/// subscription are strictly consecutive — a gap or repeat would mean
+/// a torn epoch, and the soak test asserts neither ever happens.
+#[derive(Clone, Debug)]
+pub struct VioUpdate {
+    /// The epoch this update commits.
+    pub epoch: u64,
+    /// Violations that appeared at this epoch.
+    pub added: Vec<Violation>,
+    /// Violations that disappeared at this epoch.
+    pub retracted: Vec<Violation>,
+    /// True if the epoch was served by the degradation path (full
+    /// recompute) instead of incremental repair.
+    pub degraded: bool,
+}
+
+/// Service tuning; [`Default`] is production-shaped (no fault
+/// injection, light oracle sampling).
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// OS threads for degraded-path recomputes.
+    pub threads: usize,
+    /// Per-epoch probability of running the sampled repair-invariant
+    /// oracle (one random rule re-derived from scratch and compared).
+    pub oracle_sample_p: f64,
+    /// Seed for the service's deterministic sampling stream.
+    pub seed: u64,
+    /// Fault injection plan (soak harness only; `None` in production).
+    pub faults: Option<FaultPlan>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            threads: 4,
+            oracle_sample_p: 0.02,
+            seed: 0x5EED_5EED,
+            faults: None,
+        }
+    }
+}
+
+/// Operational counters: every failure the service absorbed is
+/// visible here — nothing is swallowed silently.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Epochs committed (current epoch number).
+    pub epochs: u64,
+    /// Individual edit deltas accepted (before compaction).
+    pub edits_ingested: u64,
+    /// Batches rejected at ingest validation.
+    pub batches_rejected: u64,
+    /// Incremental-repair panics caught.
+    pub repair_panics: u64,
+    /// Sampled invariant checks run.
+    pub oracle_checks: u64,
+    /// Divergences the sampled oracle caught.
+    pub divergences_detected: u64,
+    /// Epochs served via the full-recompute degradation path.
+    pub degraded_epochs: u64,
+    /// Worker panics caught during degraded recomputes.
+    pub unit_panics: u64,
+    /// Units that succeeded after panicked attempts.
+    pub units_retried: u64,
+    /// Units quarantined (and then recovered sequentially).
+    pub units_quarantined: u64,
+}
+
+/// The long-lived standing-violation engine; see the module docs.
+pub struct ViolationService {
+    sigma: GfdSet,
+    current: Arc<Graph>,
+    epoch: u64,
+    detector: IncrementalDetector,
+    /// Mirror of the set subscribers hold (the fold of all updates
+    /// sent so far over the baseline). Kept service-side so the
+    /// degradation path can emit an exact diff even when the
+    /// detector's state was lost to a panic.
+    served: HashSet<(usize, Match)>,
+    log: EditLog,
+    subscribers: Vec<mpsc::Sender<VioUpdate>>,
+    rng: Rng,
+    cfg: ServiceConfig,
+    stats: ServiceStats,
+}
+
+impl ViolationService {
+    /// Starts the service on a snapshot: one full detection pass
+    /// establishes the epoch-0 baseline.
+    pub fn new(sigma: GfdSet, g: Arc<Graph>, cfg: ServiceConfig) -> Self {
+        let detector = IncrementalDetector::new(&sigma, &g);
+        let served = detector
+            .violations()
+            .into_iter()
+            .map(|v| (v.rule, v.mapping))
+            .collect();
+        let rng = Rng::seed_from_u64(cfg.seed);
+        ViolationService {
+            sigma,
+            current: g,
+            epoch: 0,
+            detector,
+            served,
+            log: EditLog::default(),
+            subscribers: Vec::new(),
+            rng,
+            cfg,
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// Pins the current epoch: the returned snapshot stays valid and
+    /// immutable while later batches commit.
+    pub fn snapshot(&self) -> PinnedEpoch {
+        PinnedEpoch {
+            epoch: self.epoch,
+            graph: Arc::clone(&self.current),
+        }
+    }
+
+    /// The current absolute violation set, canonically sorted (the
+    /// fold of every update over the baseline).
+    pub fn violations(&self) -> Vec<Violation> {
+        let mut out: Vec<Violation> = self
+            .served
+            .iter()
+            .map(|(rule, m)| Violation {
+                rule: *rule,
+                mapping: m.clone(),
+            })
+            .collect();
+        sort_violations(&mut out);
+        out
+    }
+
+    /// Registers a subscriber. The receiver sees one [`VioUpdate`]
+    /// per epoch committed *after* this call, in epoch order with no
+    /// gaps; its baseline is [`violations`](Self::violations) /
+    /// [`snapshot`](Self::snapshot) as of now. Dropped receivers are
+    /// pruned on the next commit.
+    pub fn subscribe(&mut self) -> mpsc::Receiver<VioUpdate> {
+        let (tx, rx) = mpsc::channel();
+        self.subscribers.push(tx);
+        rx
+    }
+
+    /// Operational counters.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// The per-epoch delta log.
+    pub fn log(&self) -> &EditLog {
+        &self.log
+    }
+
+    /// The rule set the service maintains.
+    pub fn sigma(&self) -> &GfdSet {
+        &self.sigma
+    }
+
+    /// Ingests one batch of edit deltas (delta `i+1` based on the
+    /// result of delta `i`, the chain [`Graph::edit_with_delta`]
+    /// sessions produce). On success the batch commits as one epoch:
+    /// compaction → CSR patch → repair (or degradation) → log append
+    /// → subscriber updates; returns the committed epoch. On
+    /// rejection **nothing** changed.
+    pub fn ingest(&mut self, batch: &[GraphDelta]) -> Result<u64, IngestError> {
+        // 1. Validate structurally + fold the batch into one delta.
+        //    Hostile ids must be caught BEFORE normalize/merge (their
+        //    added-node folding indexes by id), so each delta's id
+        //    ranges are checked against the running node count first.
+        let mut expected_base = self.current.node_count();
+        let mut compacted: Option<GraphDelta> = None;
+        for (index, delta) in batch.iter().enumerate() {
+            if let Err(error) = delta.check_ids(expected_base) {
+                self.stats.batches_rejected += 1;
+                return Err(IngestError::MalformedDelta { index, error });
+            }
+            expected_base += delta.added_nodes.len();
+            compacted = Some(match compacted.take() {
+                None => delta.clone().normalize(),
+                Some(prev) => prev.merge(delta.clone()),
+            });
+        }
+        let compacted = compacted.unwrap_or_else(|| GraphDelta::new(self.current.node_count()));
+
+        // 2. Semantic validation of the net delta against the pinned
+        //    current snapshot; rejection leaves the epoch untouched.
+        if let Err(error) = compacted.check_against(&self.current) {
+            self.stats.batches_rejected += 1;
+            return Err(IngestError::MalformedBatch { error });
+        }
+
+        // 3. Build the successor snapshot. Readers holding the old
+        //    Arc keep serving it — commit is a pointer swap at the
+        //    end, never an in-place mutation.
+        let next_epoch = self.epoch + 1;
+        let next = if compacted.is_empty() {
+            Arc::clone(&self.current)
+        } else {
+            Arc::new(self.current.apply_delta(&compacted))
+        };
+
+        // 4. Repair under catch_unwind. A panic here (injected or
+        //    real) must not take the service down: the detector state
+        //    is considered lost and the epoch degrades.
+        let faults = self.cfg.faults.clone();
+        let injected_repair_panic = faults.as_ref().is_some_and(|f| f.repair_panics(next_epoch));
+        let repair = {
+            let detector = &mut self.detector;
+            let (g, d) = (&next, &compacted);
+            panic::catch_unwind(AssertUnwindSafe(move || {
+                if injected_repair_panic {
+                    panic!("injected repair fault (epoch {next_epoch})");
+                }
+                detector.apply_diff(g, d)
+            }))
+        };
+
+        let (added, retracted, degraded) = match repair {
+            Ok(diff) => {
+                // Fault injection: model repair-invariant drift, then
+                // point the sampled oracle at the drifted rule — the
+                // harness pairs them so every injected drift is
+                // caught, degraded around, and healed (an UNdetected
+                // drift would simply be wrong, which is exactly what
+                // the sampling trade-off accepts at its cadence).
+                let drifted = match &faults {
+                    Some(f) if !self.sigma.is_empty() && f.drifts(next_epoch) => {
+                        let rule = self.rng.gen_range(0..self.sigma.len());
+                        self.detector.inject_drift(rule);
+                        Some(rule)
+                    }
+                    _ => None,
+                };
+                let check_rule = drifted.or_else(|| {
+                    (!self.sigma.is_empty() && self.rng.next_f64() < self.cfg.oracle_sample_p)
+                        .then(|| self.rng.gen_range(0..self.sigma.len()))
+                });
+                let diverged = match check_rule {
+                    Some(rule) => {
+                        self.stats.oracle_checks += 1;
+                        let ok = self.detector.verify_rule(rule, &next);
+                        if !ok {
+                            self.stats.divergences_detected += 1;
+                        }
+                        !ok
+                    }
+                    None => false,
+                };
+                if diverged {
+                    let (a, r) = self.degraded_refresh(&next, next_epoch);
+                    (a, r, true)
+                } else {
+                    let mut added = diff.added;
+                    let mut retracted = diff.retracted;
+                    sort_violations(&mut added);
+                    sort_violations(&mut retracted);
+                    for v in &retracted {
+                        self.served.remove(&(v.rule, v.mapping.clone()));
+                    }
+                    for v in &added {
+                        self.served.insert((v.rule, v.mapping.clone()));
+                    }
+                    (added, retracted, false)
+                }
+            }
+            Err(_) => {
+                self.stats.repair_panics += 1;
+                let (a, r) = self.degraded_refresh(&next, next_epoch);
+                (a, r, true)
+            }
+        };
+
+        // 5. Commit: swap the snapshot, append the log entry, then —
+        //    and only then — publish. Subscribers can never observe a
+        //    half-applied epoch because nothing is published until
+        //    every service structure agrees on `next_epoch`.
+        self.epoch = next_epoch;
+        self.current = next;
+        self.stats.epochs = next_epoch;
+        self.stats.edits_ingested += batch.len() as u64;
+        self.log.entries.push(LogEntry {
+            epoch: next_epoch,
+            delta: compacted,
+        });
+        let update = VioUpdate {
+            epoch: next_epoch,
+            added,
+            retracted,
+            degraded,
+        };
+        self.subscribers
+            .retain(|tx| tx.send(update.clone()).is_ok());
+        Ok(next_epoch)
+    }
+
+    /// Graceful degradation: recompute `Vio(Σ, G)` from scratch on
+    /// panic-isolated workers, recover quarantined units by
+    /// re-deriving their rules sequentially (quarantine is *reported
+    /// work*, never lost work), diff against the served set, and
+    /// re-seed the incremental detector from the recomputed truth.
+    fn degraded_refresh(
+        &mut self,
+        next: &Arc<Graph>,
+        next_epoch: u64,
+    ) -> (Vec<Violation>, Vec<Violation>) {
+        self.stats.degraded_epochs += 1;
+        let plans = plan_rules(&self.sigma);
+        let wl = estimate_workload(&self.sigma, next, &WorkloadOptions::default());
+        let report = run_units_threaded_report(
+            next,
+            &self.sigma,
+            &plans,
+            &wl.units,
+            &wl.slots,
+            self.cfg.threads,
+            self.cfg.faults.as_ref(),
+            next_epoch,
+        );
+        self.stats.unit_panics += report.unit_panics;
+        self.stats.units_retried += report.units_retried;
+        self.stats.units_quarantined += report.quarantined.len() as u64;
+
+        let mut violations = report.violations;
+        if !report.quarantined.is_empty() {
+            // Every quarantined unit's rule is re-derived from scratch
+            // on the coordinator — outside the unit machinery, so an
+            // injected per-unit fault cannot recur here. Drop the
+            // affected rules' partial results first: other units of
+            // the same rule completed fine, but re-derivation covers
+            // the whole rule, so keeping them would duplicate rows.
+            let mut rules: Vec<usize> = report
+                .quarantined
+                .iter()
+                .map(|&i| wl.units[i].rule())
+                .collect();
+            rules.sort_unstable();
+            rules.dedup();
+            violations.retain(|v| rules.binary_search(&v.rule).is_err());
+            for &rule in &rules {
+                let gfd = self.sigma.get(rule);
+                for_each_violation(gfd, next, &MatchOptions::unrestricted(), &mut |m| {
+                    violations.push(Violation {
+                        rule,
+                        mapping: Match(m.to_vec()),
+                    });
+                    Flow::Continue
+                });
+            }
+            sort_violations(&mut violations);
+        }
+
+        let new_set: HashSet<(usize, Match)> = violations
+            .iter()
+            .map(|v| (v.rule, v.mapping.clone()))
+            .collect();
+        let mut added: Vec<Violation> = new_set
+            .difference(&self.served)
+            .map(|(rule, m)| Violation {
+                rule: *rule,
+                mapping: m.clone(),
+            })
+            .collect();
+        let mut retracted: Vec<Violation> = self
+            .served
+            .difference(&new_set)
+            .map(|(rule, m)| Violation {
+                rule: *rule,
+                mapping: m.clone(),
+            })
+            .collect();
+        sort_violations(&mut added);
+        sort_violations(&mut retracted);
+        self.served = new_set;
+        self.detector = IncrementalDetector::from_violations(&self.sigma, &violations);
+        (added, retracted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::silence_injected_panics;
+    use gfd_core::validate::detect_violations;
+    use gfd_core::{Dependency, Gfd, Literal};
+    use gfd_graph::{GraphBuilder, NodeId, Value, Vocab};
+    use gfd_pattern::PatternBuilder;
+
+    fn social(n: usize) -> Graph {
+        let mut g = GraphBuilder::with_fresh_vocab();
+        let blogs: Vec<_> = (0..n)
+            .map(|i| {
+                let b = g.add_node_labeled("blog");
+                g.set_attr_named(
+                    b,
+                    "keyword",
+                    Value::str(if i % 3 == 0 { "spam" } else { "ok" }),
+                );
+                b
+            })
+            .collect();
+        for i in 0..n {
+            let a = g.add_node_labeled("account");
+            g.set_attr_named(a, "is_fake", Value::Bool(i % 4 == 0));
+            g.add_edge_labeled(a, blogs[i], "post");
+            g.add_edge_labeled(a, blogs[(i + 1) % n], "like");
+        }
+        g.freeze()
+    }
+
+    fn spam_rule(vocab: Arc<Vocab>) -> Gfd {
+        let mut b = PatternBuilder::new(vocab.clone());
+        let x = b.node("x", "account");
+        let y = b.node("y", "blog");
+        b.edge(x, y, "post");
+        let q = b.build();
+        let keyword = vocab.intern("keyword");
+        let is_fake = vocab.intern("is_fake");
+        Gfd::new(
+            "spam-poster-is-fake",
+            q,
+            Dependency::new(
+                vec![Literal::const_eq(y, keyword, "spam")],
+                vec![Literal::const_eq(x, is_fake, true)],
+            ),
+        )
+    }
+
+    fn scratch(sigma: &GfdSet, g: &Graph) -> Vec<Violation> {
+        let mut v = detect_violations(sigma, g);
+        sort_violations(&mut v);
+        v
+    }
+
+    fn graphs_equal(a: &Graph, b: &Graph) -> bool {
+        a.node_count() == b.node_count()
+            && a.edge_count() == b.edge_count()
+            && a.nodes().all(|u| {
+                a.label(u) == b.label(u)
+                    && a.attrs(u) == b.attrs(u)
+                    && a.out_slice(u) == b.out_slice(u)
+                    && a.in_slice(u) == b.in_slice(u)
+            })
+    }
+
+    /// One batch of chained edit deltas on the shadow snapshot, biased
+    /// toward toggling a small slot pool so batches carry opposing ops
+    /// for compaction to cancel.
+    fn random_batch(rng: &mut Rng, g: &Graph, len: usize) -> (Graph, Vec<GraphDelta>) {
+        let mut cur = g.edit(|_| {});
+        let mut deltas = Vec::with_capacity(len);
+        for _ in 0..len {
+            let n = cur.node_count();
+            let s = NodeId(rng.gen_range(0..n) as u32);
+            let d = NodeId(rng.gen_range(0..n) as u32);
+            let kind = rng.gen_range(0..4);
+            let spam = rng.gen_bool(0.5);
+            let fake = rng.gen_bool(0.5);
+            let (next, delta) = cur.edit_with_delta(|b| match kind {
+                0 => {
+                    b.add_edge_labeled(s, d, "post");
+                }
+                1 => {
+                    b.remove_edge_labeled(s, d, "post");
+                }
+                2 => {
+                    let a = b.vocab().intern("keyword");
+                    b.set_attr(s, a, Value::str(if spam { "spam" } else { "ok" }));
+                }
+                _ => {
+                    let a = b.vocab().intern("is_fake");
+                    b.set_attr(s, a, Value::Bool(fake));
+                }
+            });
+            cur = next;
+            deltas.push(delta);
+        }
+        (cur, deltas)
+    }
+
+    fn service(n: usize, cfg: ServiceConfig) -> (Arc<Graph>, ViolationService) {
+        let g = Arc::new(social(n));
+        let sigma = GfdSet::new(vec![spam_rule(g.vocab().clone())]);
+        let svc = ViolationService::new(sigma, Arc::clone(&g), cfg);
+        (g, svc)
+    }
+
+    #[test]
+    fn epoch_pins_survive_commits_and_the_log_replays_them_forward() {
+        let (g0, mut svc) = service(12, ServiceConfig::default());
+        let pin0 = svc.snapshot();
+        assert_eq!(pin0.epoch, 0);
+        assert_eq!(svc.violations(), scratch(svc.sigma(), &g0));
+
+        let mut rng = Rng::seed_from_u64(11);
+        let mut shadow = g0.edit(|_| {});
+        let mut mid_pin = None;
+        for round in 0..6u64 {
+            let (next, batch) = random_batch(&mut rng, &shadow, 1 + (round as usize % 3));
+            shadow = next;
+            let epoch = svc
+                .ingest(&batch)
+                .expect("recorded batches are well-formed");
+            assert_eq!(epoch, round + 1, "epochs must be consecutive");
+            assert_eq!(
+                svc.violations(),
+                scratch(svc.sigma(), &shadow),
+                "epoch {epoch} diverges from scratch detection"
+            );
+            if round == 2 {
+                mid_pin = Some(svc.snapshot());
+            }
+        }
+
+        // An empty batch still commits a (trivial) epoch.
+        assert_eq!(svc.ingest(&[]).unwrap(), 7);
+
+        // The epoch-0 pin still addresses the original snapshot, and
+        // replay from either pin reconstructs the head exactly.
+        assert!(Arc::ptr_eq(&pin0.graph, &g0), "pinned snapshot was swapped");
+        for pin in [&pin0, mid_pin.as_ref().unwrap()] {
+            let replayed = svc.log().replay_onto(pin);
+            assert!(
+                graphs_equal(&replayed, &shadow),
+                "replay from epoch {} diverges from the head snapshot",
+                pin.epoch
+            );
+        }
+        assert_eq!(svc.stats().epochs, 7);
+        assert_eq!(svc.log().entries().len(), 7);
+    }
+
+    #[test]
+    fn malformed_batches_are_rejected_with_the_epoch_untouched() {
+        let (g0, mut svc) = service(9, ServiceConfig::default());
+        let before = svc.violations();
+
+        // Structurally hostile: an attr write on a node id far out of
+        // range (would panic normalize/merge if it got that far).
+        let mut bad = GraphDelta::new(g0.node_count());
+        bad.attr_ops.push(gfd_graph::AttrOp {
+            node: NodeId(g0.node_count() as u32 + 40),
+            attr: gfd_graph::Sym(0),
+            value: None,
+        });
+        assert!(matches!(
+            svc.ingest(&[bad]).unwrap_err(),
+            IngestError::MalformedDelta { index: 0, .. }
+        ));
+
+        // Chaining violation mid-batch: the second delta claims a base
+        // the first delta's result does not have.
+        let ok = GraphDelta::new(g0.node_count());
+        let wrong_base = GraphDelta::new(g0.node_count() + 5);
+        assert!(matches!(
+            svc.ingest(&[ok, wrong_base]).unwrap_err(),
+            IngestError::MalformedDelta { index: 1, .. }
+        ));
+
+        // Semantically hostile: removing an edge the snapshot does not
+        // have (blogs have no "post" out-edges).
+        let post = g0.vocab().lookup("post").expect("post is interned");
+        let mut rem = GraphDelta::new(g0.node_count());
+        rem.removed_edges.push(gfd_graph::Edge {
+            src: NodeId(0),
+            dst: NodeId(0),
+            label: post,
+        });
+        assert!(matches!(
+            svc.ingest(&[rem]).unwrap_err(),
+            IngestError::MalformedBatch { .. }
+        ));
+
+        // Rejection is total: no epoch, no log entry, no diff.
+        assert_eq!(svc.snapshot().epoch, 0);
+        assert!(svc.log().entries().is_empty());
+        assert_eq!(svc.violations(), before);
+        assert_eq!(svc.stats().batches_rejected, 3);
+
+        // And the service is not wedged: a good batch still commits.
+        let (_, batch) = random_batch(&mut Rng::seed_from_u64(4), &g0, 3);
+        assert_eq!(svc.ingest(&batch).unwrap(), 1);
+    }
+
+    #[test]
+    fn subscribers_see_every_epoch_exactly_once_and_fold_to_the_absolute_set() {
+        let (g0, mut svc) = service(10, ServiceConfig::default());
+        let rx = svc.subscribe();
+        let mut folded: HashSet<(usize, Match)> = svc
+            .violations()
+            .into_iter()
+            .map(|v| (v.rule, v.mapping))
+            .collect();
+
+        let mut rng = Rng::seed_from_u64(23);
+        let mut shadow = g0.edit(|_| {});
+        for round in 0..8 {
+            if round == 4 {
+                // A rejected batch must not leak an update.
+                let stale = GraphDelta::new(shadow.node_count() + 1);
+                assert!(svc.ingest(&[stale]).is_err());
+            }
+            let (next, batch) = random_batch(&mut rng, &shadow, 2);
+            shadow = next;
+            svc.ingest(&batch).unwrap();
+        }
+        drop(svc);
+
+        let mut expected_epoch = 1;
+        for update in rx.iter() {
+            assert_eq!(update.epoch, expected_epoch, "torn or skipped epoch");
+            expected_epoch += 1;
+            for v in &update.retracted {
+                assert!(
+                    folded.remove(&(v.rule, v.mapping.clone())),
+                    "retraction of a violation the subscriber does not hold"
+                );
+            }
+            for v in &update.added {
+                assert!(
+                    folded.insert((v.rule, v.mapping.clone())),
+                    "re-add of a violation the subscriber already holds"
+                );
+            }
+        }
+        assert_eq!(expected_epoch, 9, "one update per committed epoch");
+        let scratch_set: HashSet<(usize, Match)> = scratch(
+            &GfdSet::new(vec![spam_rule(shadow.vocab().clone())]),
+            &shadow,
+        )
+        .into_iter()
+        .map(|v| (v.rule, v.mapping))
+        .collect();
+        assert_eq!(folded, scratch_set, "folded stream diverges from scratch");
+    }
+
+    #[test]
+    fn repair_panics_degrade_gracefully_and_heal() {
+        silence_injected_panics();
+        let cfg = ServiceConfig {
+            threads: 2,
+            faults: Some(FaultPlan {
+                seed: 3,
+                repair_panic_p: 1.0,
+                ..FaultPlan::default()
+            }),
+            ..ServiceConfig::default()
+        };
+        let (g0, mut svc) = service(12, cfg);
+        let rx = svc.subscribe();
+        let mut rng = Rng::seed_from_u64(31);
+        let mut shadow = g0.edit(|_| {});
+        for _ in 0..4 {
+            let (next, batch) = random_batch(&mut rng, &shadow, 2);
+            shadow = next;
+            svc.ingest(&batch).unwrap();
+        }
+        assert_eq!(svc.violations(), scratch(svc.sigma(), &shadow));
+        assert_eq!(svc.stats().repair_panics, 4);
+        assert_eq!(svc.stats().degraded_epochs, 4);
+        drop(svc);
+        for update in rx.iter() {
+            assert!(
+                update.degraded,
+                "epoch {} hid its degradation",
+                update.epoch
+            );
+        }
+    }
+
+    #[test]
+    fn injected_drift_is_caught_by_the_sampled_oracle() {
+        let cfg = ServiceConfig {
+            threads: 2,
+            faults: Some(FaultPlan {
+                seed: 5,
+                drift_p: 1.0,
+                ..FaultPlan::default()
+            }),
+            ..ServiceConfig::default()
+        };
+        let (g0, mut svc) = service(12, cfg);
+        let mut rng = Rng::seed_from_u64(41);
+        let mut shadow = g0.edit(|_| {});
+        for _ in 0..4 {
+            let (next, batch) = random_batch(&mut rng, &shadow, 2);
+            shadow = next;
+            svc.ingest(&batch).unwrap();
+        }
+        // Drift perturbs detector state every epoch; the paired oracle
+        // must catch it every time, and the degraded recompute must
+        // heal the service back to the scratch truth.
+        assert_eq!(svc.violations(), scratch(svc.sigma(), &shadow));
+        assert_eq!(svc.stats().oracle_checks, 4);
+        assert_eq!(svc.stats().divergences_detected, 4);
+        assert_eq!(svc.stats().degraded_epochs, 4);
+    }
+
+    #[test]
+    fn degraded_recompute_recovers_quarantined_units_sequentially() {
+        silence_injected_panics();
+        let cfg = ServiceConfig {
+            threads: 3,
+            faults: Some(FaultPlan {
+                seed: 9,
+                repair_panic_p: 1.0, // force the degradation path...
+                unit_panic_p: 0.6,   // ...then fault its workers too
+                sticky_p: 0.5,
+                ..FaultPlan::default()
+            }),
+            ..ServiceConfig::default()
+        };
+        let (g0, mut svc) = service(15, cfg);
+        let mut rng = Rng::seed_from_u64(51);
+        let mut shadow = g0.edit(|_| {});
+        for _ in 0..4 {
+            let (next, batch) = random_batch(&mut rng, &shadow, 2);
+            shadow = next;
+            svc.ingest(&batch).unwrap();
+        }
+        // Quarantined units were recovered sequentially, so the final
+        // set is still oracle-identical despite sticky worker faults.
+        assert_eq!(svc.violations(), scratch(svc.sigma(), &shadow));
+        let stats = svc.stats();
+        assert!(stats.unit_panics > 0, "plan injected no worker faults");
+        assert!(
+            stats.units_quarantined > 0,
+            "plan produced no sticky faults; pick a different seed"
+        );
+    }
+}

@@ -1,28 +1,98 @@
-//! Real-thread execution of work units.
+//! Real-thread execution of work units, isolated against panics.
 //!
 //! The simulated cluster (crate docs) is what the benchmarks report,
 //! but the work-unit machinery is genuinely parallel-safe: this module
-//! runs units across OS threads (std scoped threads over an atomic
-//! work queue — no external thread-pool dependency), with a per-thread
-//! multi-query cache, and is used by the test suite to verify that
-//! concurrent execution produces exactly the sequential violations.
+//! runs units across OS threads (std scoped threads over a shared
+//! retry-aware work queue — no external thread-pool dependency), with
+//! a per-thread multi-query cache, and is used by the test suite to
+//! verify that concurrent execution produces exactly the sequential
+//! violations.
 //!
 //! Every worker shares the *same* frozen CSR snapshot through one
 //! `Arc<Graph>` — the whole point of the builder/snapshot split: no
 //! per-worker graph clone, no synchronization on the read path.
+//!
+//! ## Panic isolation
+//!
+//! Each unit executes under [`std::panic::catch_unwind`]. A panic
+//! poisons nothing shared: the panicked unit's partial output is
+//! truncated, the worker's cache and scratch (whose invariants the
+//! unwind may have torn mid-update) are rebuilt, and the unit is
+//! **requeued** — any healthy worker picks it up after a bounded
+//! backoff. After [`MAX_UNIT_ATTEMPTS`] failed attempts the unit is
+//! **quarantined and reported** in the [`ThreadedReport`]; it is never
+//! silently dropped, and sibling workers' results always survive. The
+//! previous executor joined with a bare `expect`, so one panicking
+//! unit aborted the entire run and discarded every other worker's
+//! completed work.
+//!
+//! The optional [`FaultPlan`] injects deterministic panics and
+//! stragglers at chosen `(epoch, unit)` coordinates — the soak
+//! harness drives this path; production callers pass `None` and pay
+//! only the `catch_unwind` frame.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use gfd_core::{GfdSet, Violation};
 use gfd_graph::Graph;
 
+use crate::fault::FaultPlan;
 use crate::unitexec::{execute_unit, sort_violations, MatchCache, MultiQueryIndex, UnitScratch};
 use crate::workload::{PivotedRule, UnitSlot, WorkUnit};
+
+/// Total attempts a unit gets (1 initial + 2 retries) before it is
+/// quarantined.
+pub const MAX_UNIT_ATTEMPTS: u32 = 3;
+
+/// Base backoff before re-running a previously panicked unit; attempt
+/// `k` waits `k × RETRY_BACKOFF`, so repeated failures of one unit
+/// yield the queue to healthy work instead of hot-looping.
+const RETRY_BACKOFF: Duration = Duration::from_micros(200);
+
+/// Everything a fault-isolated threaded run reports: the violations
+/// of every unit that completed, plus the failure ledger.
+#[derive(Debug, Default)]
+pub struct ThreadedReport {
+    /// Canonically sorted violations from all completed units.
+    pub violations: Vec<Violation>,
+    /// Worker panics caught (every attempt counts, retries included).
+    pub unit_panics: u64,
+    /// Units that completed only after ≥ 1 panicked attempt.
+    pub units_retried: u64,
+    /// Unit indices abandoned after [`MAX_UNIT_ATTEMPTS`] panics,
+    /// sorted ascending. Their violations are missing from
+    /// [`violations`](ThreadedReport::violations) — the caller must
+    /// recover them (re-derive the affected rules) or surface the
+    /// gap; the standing-violation service does the former.
+    pub quarantined: Vec<usize>,
+}
+
+impl ThreadedReport {
+    /// Folds the failure counters into a [`ParallelReport`]
+    /// (`crate::ParallelReport`), which carries them to the figures
+    /// and service dashboards.
+    pub fn fold_into(&self, report: &mut crate::ParallelReport) {
+        report.unit_panics += self.unit_panics;
+        report.units_retried += self.units_retried;
+        report.quarantined_units += self.quarantined.len() as u64;
+    }
+}
 
 /// Executes all units (descriptors over the `slots` arena) across
 /// `threads` OS threads sharing one `Arc<Graph>`, returning the
 /// canonical (sorted) violation list.
+///
+/// Worker panics no longer abort the run: units execute under
+/// `catch_unwind` with requeue-and-retry (see the module docs).
+/// This convenience wrapper still treats an *exhausted* unit — one
+/// that panicked [`MAX_UNIT_ATTEMPTS`] times with no fault plan, i.e.
+/// a genuine bug — as fatal, because returning a silently incomplete
+/// violation set would be unsound. Callers that want the failure
+/// ledger instead use [`run_units_threaded_report`].
 pub fn run_units_threaded(
     g: &Arc<Graph>,
     sigma: &GfdSet,
@@ -31,32 +101,132 @@ pub fn run_units_threaded(
     slots: &[UnitSlot],
     threads: usize,
 ) -> Vec<Violation> {
+    let report = run_units_threaded_report(g, sigma, plans, units, slots, threads, None, 0);
+    assert!(
+        report.quarantined.is_empty(),
+        "units {:?} panicked {MAX_UNIT_ATTEMPTS} times each — result would be incomplete; \
+         use run_units_threaded_report to recover instead of aborting",
+        report.quarantined
+    );
+    report.violations
+}
+
+/// The fault-isolated executor behind [`run_units_threaded`]: every
+/// unit runs under `catch_unwind`, panicked units are requeued to
+/// healthy workers with bounded retries and backoff, exhausted units
+/// are quarantined and reported. `faults` (with its `epoch`
+/// coordinate) injects deterministic panics/stragglers for the soak
+/// harness; pass `None` in production.
+#[allow(clippy::too_many_arguments)]
+pub fn run_units_threaded_report(
+    g: &Arc<Graph>,
+    sigma: &GfdSet,
+    plans: &[PivotedRule],
+    units: &[WorkUnit],
+    slots: &[UnitSlot],
+    threads: usize,
+    faults: Option<&FaultPlan>,
+    epoch: u64,
+) -> ThreadedReport {
     let mqi = MultiQueryIndex::build(plans);
-    let next = AtomicUsize::new(0);
+    // (unit index, attempt) queue; requeued entries go to the back so
+    // healthy units drain first. Lock holders never panic (pop/push
+    // only), so the mutex cannot poison.
+    let queue: Mutex<VecDeque<(usize, u32)>> =
+        Mutex::new((0..units.len()).map(|i| (i, 0)).collect());
+    let outstanding = AtomicUsize::new(units.len());
+    let unit_panics = AtomicU64::new(0);
+    let units_retried = AtomicU64::new(0);
+    let quarantined: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+
     let per_worker: Vec<Vec<Violation>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads.max(1))
             .map(|_| {
                 let g = Arc::clone(g);
-                let next = &next;
+                let (queue, outstanding) = (&queue, &outstanding);
+                let (unit_panics, units_retried, quarantined) =
+                    (&unit_panics, &units_retried, &quarantined);
                 let mqi = &mqi;
                 scope.spawn(move || {
                     let mut cache = MatchCache::new();
                     let mut scratch = UnitScratch::new();
-                    let mut out = Vec::new();
+                    let mut out: Vec<Violation> = Vec::new();
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(unit) = units.get(i) else { break };
-                        execute_unit(
-                            &g,
-                            sigma,
-                            plans,
-                            slots,
-                            unit,
-                            Some(mqi),
-                            &mut cache,
-                            &mut scratch,
-                            &mut out,
-                        );
+                        // Invariant behind every "never poisoned" here:
+                        // the locks are held only across pop/push (which
+                        // do not panic) and unit execution runs under
+                        // catch_unwind with no lock held, so no worker
+                        // can die while holding a guard.
+                        let item = queue.lock().expect("never poisoned").pop_front();
+                        let Some((i, attempt)) = item else {
+                            // Empty queue but units still in flight on
+                            // other workers: one of them may requeue a
+                            // panicked unit, so spin-yield until the
+                            // outstanding count hits zero.
+                            if outstanding.load(Ordering::Acquire) == 0 {
+                                break;
+                            }
+                            std::thread::yield_now();
+                            continue;
+                        };
+                        if attempt > 0 {
+                            // Bounded backoff: a retried unit waits
+                            // before re-running, so repeated failures
+                            // don't starve healthy units of workers.
+                            std::thread::sleep(RETRY_BACKOFF * attempt);
+                        }
+                        if let Some(f) = faults {
+                            if let Some(d) = f.straggle_for(epoch, i) {
+                                std::thread::sleep(d);
+                            }
+                        }
+                        let unit = &units[i];
+                        let checkpoint = out.len();
+                        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                            if let Some(f) = faults {
+                                if attempt < f.panic_attempts(epoch, i) {
+                                    panic!("injected worker fault (unit {i}, attempt {attempt})");
+                                }
+                            }
+                            execute_unit(
+                                &g,
+                                sigma,
+                                plans,
+                                slots,
+                                unit,
+                                Some(mqi),
+                                &mut cache,
+                                &mut scratch,
+                                &mut out,
+                            );
+                        }));
+                        match result {
+                            Ok(()) => {
+                                if attempt > 0 {
+                                    units_retried.fetch_add(1, Ordering::Relaxed);
+                                }
+                                outstanding.fetch_sub(1, Ordering::Release);
+                            }
+                            Err(_) => {
+                                unit_panics.fetch_add(1, Ordering::Relaxed);
+                                // The unwind may have left the unit's
+                                // partial output and the worker-local
+                                // structures mid-update: drop the
+                                // partial rows, rebuild cache+scratch.
+                                out.truncate(checkpoint);
+                                cache = MatchCache::new();
+                                scratch = UnitScratch::new();
+                                if attempt + 1 < MAX_UNIT_ATTEMPTS {
+                                    queue
+                                        .lock()
+                                        .expect("never poisoned")
+                                        .push_back((i, attempt + 1));
+                                } else {
+                                    quarantined.lock().expect("never poisoned").push(i);
+                                    outstanding.fetch_sub(1, Ordering::Release);
+                                }
+                            }
+                        }
                     }
                     out
                 })
@@ -64,11 +234,17 @@ pub fn run_units_threaded(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
+            .map(|h| {
+                // Invariant: worker bodies catch every unit panic, so
+                // a join failure means the executor itself is broken —
+                // that is a bug worth aborting on, not a data fault.
+                h.join()
+                    .expect("worker bodies are panic-isolated; join can only fail on executor bugs")
+            })
             .collect()
     });
-    // Merge with an exact capacity reservation (the flat_map-collect it
-    // replaces re-grew the vector share by share), then establish the
+
+    // Merge with an exact capacity reservation, then establish the
     // canonical order in one unstable sort over the concatenation.
     let total = per_worker.iter().map(Vec::len).sum();
     let mut violations = Vec::with_capacity(total);
@@ -76,7 +252,14 @@ pub fn run_units_threaded(
         violations.append(&mut part);
     }
     sort_violations(&mut violations);
-    violations
+    let mut quarantined = quarantined.into_inner().expect("never poisoned");
+    quarantined.sort_unstable();
+    ThreadedReport {
+        violations,
+        unit_panics: unit_panics.into_inner(),
+        units_retried: units_retried.into_inner(),
+        quarantined,
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +312,8 @@ mod tests {
         )
     }
 
+    use crate::fault::silence_injected_panics;
+
     #[test]
     fn threaded_equals_sequential() {
         let g = Arc::new(social(18));
@@ -151,5 +336,107 @@ mod tests {
         let plans = plan_rules(&sigma);
         let got = run_units_threaded(&g, &sigma, &plans, &[], &[], 2);
         assert!(got.is_empty());
+    }
+
+    #[test]
+    fn transient_panics_retry_to_the_sequential_result() {
+        silence_injected_panics();
+        let g = Arc::new(social(18));
+        let sigma = GfdSet::new(vec![spam_rule(g.vocab().clone())]);
+        let mut expected = detect_violations(&sigma, &g);
+        sort_violations(&mut expected);
+
+        let plans = plan_rules(&sigma);
+        let wl = estimate_workload(&sigma, &g, &WorkloadOptions::default());
+        // Transient-only faults: every panicked unit must succeed on
+        // retry, so the result is complete and nothing is quarantined.
+        let faults = FaultPlan {
+            seed: 42,
+            unit_panic_p: 0.5,
+            sticky_p: 0.0,
+            ..Default::default()
+        };
+        for threads in [1usize, 4] {
+            let report = run_units_threaded_report(
+                &g,
+                &sigma,
+                &plans,
+                &wl.units,
+                &wl.slots,
+                threads,
+                Some(&faults),
+                3,
+            );
+            assert_eq!(report.violations, expected, "threads={threads}");
+            assert!(report.quarantined.is_empty());
+            assert!(report.unit_panics > 0, "plan injected nothing");
+            assert_eq!(report.units_retried as usize, {
+                (0..wl.units.len())
+                    .filter(|&i| faults.panic_attempts(3, i) > 0)
+                    .count()
+            });
+        }
+    }
+
+    #[test]
+    fn sticky_panics_quarantine_and_spare_siblings() {
+        silence_injected_panics();
+        let g = Arc::new(social(18));
+        let sigma = GfdSet::new(vec![spam_rule(g.vocab().clone())]);
+        let plans = plan_rules(&sigma);
+        let wl = estimate_workload(&sigma, &g, &WorkloadOptions::default());
+        let faults = FaultPlan {
+            seed: 7,
+            unit_panic_p: 0.4,
+            sticky_p: 1.0, // every injected fault recurs on retry
+            ..Default::default()
+        };
+        let expected_quarantine: Vec<usize> = (0..wl.units.len())
+            .filter(|&i| faults.panic_attempts(9, i) == u32::MAX)
+            .collect();
+        assert!(
+            !expected_quarantine.is_empty() && expected_quarantine.len() < wl.units.len(),
+            "seed must fault some but not all of the {} units",
+            wl.units.len()
+        );
+        let report = run_units_threaded_report(
+            &g,
+            &sigma,
+            &plans,
+            &wl.units,
+            &wl.slots,
+            4,
+            Some(&faults),
+            9,
+        );
+        // Every sticky unit is reported — never silently dropped —
+        // after exactly MAX_UNIT_ATTEMPTS panics; sibling units all
+        // completed (their violations are exactly the sequential
+        // result minus the quarantined units' shares).
+        assert_eq!(report.quarantined, expected_quarantine);
+        assert_eq!(
+            report.unit_panics,
+            expected_quarantine.len() as u64 * MAX_UNIT_ATTEMPTS as u64
+        );
+        let mut surviving = Vec::new();
+        let mut scratch = UnitScratch::new();
+        let mut cache = MatchCache::new();
+        for (i, unit) in wl.units.iter().enumerate() {
+            if !expected_quarantine.contains(&i) {
+                execute_unit(
+                    &g,
+                    &sigma,
+                    &plans,
+                    &wl.slots,
+                    unit,
+                    None,
+                    &mut cache,
+                    &mut scratch,
+                    &mut surviving,
+                );
+            }
+        }
+        sort_violations(&mut surviving);
+        assert_eq!(report.violations, surviving);
     }
 }

@@ -192,6 +192,9 @@ pub fn plan_rules(sigma: &GfdSet) -> Vec<PivotedRule> {
                 .iter()
                 .map(|c| {
                     let (pattern, orig_vars) = gfd.pattern.restrict(&c.vars);
+                    // Invariant: component decomposition picks each
+                    // pivot from the component's own variable set, so
+                    // the restriction must contain it.
                     let local_pivot = VarId(
                         orig_vars
                             .iter()

@@ -1,0 +1,280 @@
+//! Fault-injection soak: a 10k-edit stream through the standing-
+//! violation service with every failure family firing — transient and
+//! sticky worker panics, stragglers, repair panics, silent detector
+//! drift, and malformed batches — driven by one deterministic
+//! [`FaultPlan`] seed, so a failure here replays exactly.
+//!
+//! The oracle is total: after the stream drains, the service's
+//! violation set must be identical to a from-scratch
+//! `detect_violations` over the independently maintained shadow graph,
+//! the subscriber's folded diff stream must reproduce that same set
+//! with strictly consecutive epochs (no torn epoch, ever), pinned
+//! epochs must replay forward to the exact head snapshot, and every
+//! injected fault family must be visible in the service stats —
+//! absorbed and counted, never silently dropped.
+//!
+//! Under `BENCH_SMOKE` the stream shrinks to ~1.5k edits for CI.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+use gfd_core::validate::detect_violations;
+use gfd_core::{Dependency, Gfd, GfdSet, Literal, Violation};
+use gfd_graph::{AttrOp, Graph, GraphBuilder, GraphDelta, NodeId, Value, Vocab};
+use gfd_match::Match;
+use gfd_parallel::fault::silence_injected_panics;
+use gfd_parallel::{FaultPlan, ServiceConfig, ViolationService};
+use gfd_pattern::PatternBuilder;
+use gfd_util::Rng;
+
+fn social(n: usize) -> Graph {
+    let mut g = GraphBuilder::with_fresh_vocab();
+    let blogs: Vec<_> = (0..n)
+        .map(|i| {
+            let b = g.add_node_labeled("blog");
+            g.set_attr_named(
+                b,
+                "keyword",
+                Value::str(if i % 3 == 0 { "spam" } else { "ok" }),
+            );
+            b
+        })
+        .collect();
+    for i in 0..n {
+        let a = g.add_node_labeled("account");
+        g.set_attr_named(a, "is_fake", Value::Bool(i % 4 == 0));
+        g.add_edge_labeled(a, blogs[i], "post");
+        g.add_edge_labeled(a, blogs[(i + 1) % n], "like");
+    }
+    g.freeze()
+}
+
+fn rules(vocab: Arc<Vocab>) -> GfdSet {
+    let keyword = vocab.intern("keyword");
+    let is_fake = vocab.intern("is_fake");
+
+    let mut b = PatternBuilder::new(vocab.clone());
+    let x = b.node("x", "account");
+    let y = b.node("y", "blog");
+    b.edge(x, y, "post");
+    let spam = Gfd::new(
+        "spam-poster-is-fake",
+        b.build(),
+        Dependency::new(
+            vec![Literal::const_eq(y, keyword, "spam")],
+            vec![Literal::const_eq(x, is_fake, true)],
+        ),
+    );
+
+    let mut b = PatternBuilder::new(vocab);
+    let x = b.node("x", "account");
+    let y = b.node("y", "blog");
+    b.edge(x, y, "like");
+    let liker = Gfd::new(
+        "spam-liker-is-real",
+        b.build(),
+        Dependency::new(
+            vec![Literal::const_eq(y, keyword, "spam")],
+            vec![Literal::const_eq(x, is_fake, false)],
+        ),
+    );
+    GfdSet::new(vec![spam, liker])
+}
+
+/// One batch of chained edit deltas on the shadow, over a small slot
+/// pool so batches carry opposing ops for compaction to cancel.
+fn random_batch(rng: &mut Rng, g: &Graph, len: usize) -> (Graph, Vec<GraphDelta>) {
+    let mut cur = g.edit(|_| {});
+    let mut deltas = Vec::with_capacity(len);
+    for _ in 0..len {
+        let n = cur.node_count();
+        let s = NodeId(rng.gen_range(0..n) as u32);
+        let d = NodeId(rng.gen_range(0..n) as u32);
+        let kind = rng.gen_range(0..6);
+        let spam = rng.gen_bool(0.5);
+        let fake = rng.gen_bool(0.5);
+        let (next, delta) = cur.edit_with_delta(|b| match kind {
+            0 => {
+                b.add_edge_labeled(s, d, "post");
+            }
+            1 => {
+                b.remove_edge_labeled(s, d, "post");
+            }
+            2 => {
+                b.add_edge_labeled(s, d, "like");
+            }
+            3 => {
+                b.remove_edge_labeled(s, d, "like");
+            }
+            4 => {
+                let a = b.vocab().intern("keyword");
+                b.set_attr(s, a, Value::str(if spam { "spam" } else { "ok" }));
+            }
+            _ => {
+                let a = b.vocab().intern("is_fake");
+                b.set_attr(s, a, Value::Bool(fake));
+            }
+        });
+        cur = next;
+        deltas.push(delta);
+    }
+    (cur, deltas)
+}
+
+fn graphs_equal(a: &Graph, b: &Graph) -> bool {
+    a.node_count() == b.node_count()
+        && a.edge_count() == b.edge_count()
+        && a.nodes().all(|u| {
+            a.label(u) == b.label(u)
+                && a.attrs(u) == b.attrs(u)
+                && a.out_slice(u) == b.out_slice(u)
+                && a.in_slice(u) == b.in_slice(u)
+        })
+}
+
+fn vio_set(vs: Vec<Violation>) -> HashSet<(usize, Match)> {
+    vs.into_iter().map(|v| (v.rule, v.mapping)).collect()
+}
+
+#[test]
+fn soak_10k_edit_stream_survives_every_fault_family() {
+    silence_injected_panics();
+    let edit_budget: usize = if std::env::var_os("BENCH_SMOKE").is_some() {
+        1_500
+    } else {
+        10_000
+    };
+
+    let plan = FaultPlan {
+        seed: 0xF00D,
+        unit_panic_p: 0.30,
+        sticky_p: 0.30,
+        straggle_p: 0.05,
+        straggle: Duration::from_micros(200),
+        repair_panic_p: 0.02,
+        drift_p: 0.01,
+        malformed_batch_p: 0.01,
+    };
+    let cfg = ServiceConfig {
+        threads: 3,
+        oracle_sample_p: 0.02,
+        seed: 7,
+        faults: Some(plan.clone()),
+    };
+
+    let g0 = Arc::new(social(16));
+    let sigma = rules(g0.vocab().clone());
+    let mut svc = ViolationService::new(sigma.clone(), Arc::clone(&g0), cfg);
+    let rx = svc.subscribe();
+    let pin0 = svc.snapshot();
+    let baseline = vio_set(svc.violations());
+
+    let mut rng = Rng::seed_from_u64(99);
+    let mut shadow = g0.edit(|_| {});
+    let mut edits = 0usize;
+    let mut rejected = 0u64;
+    let mut mid_pin = None;
+    while edits < edit_budget {
+        let len = 1 + rng.gen_range(0..8);
+        let (next, batch) = random_batch(&mut rng, &shadow, len);
+        let next_epoch = svc.snapshot().epoch + 1;
+        if plan.corrupts_batch(next_epoch) {
+            // The driver-side malformed-batch injection: a copy of the
+            // batch with a far out-of-range node id spliced into a
+            // random delta. The service must reject it wholesale and
+            // then accept the genuine batch at the same epoch.
+            let mut bad = batch.clone();
+            let idx = rng.gen_range(0..bad.len());
+            bad[idx].attr_ops.push(AttrOp {
+                node: NodeId(shadow.node_count() as u32 + 10_000),
+                attr: gfd_graph::Sym(0),
+                value: Some(Value::Int(1)),
+            });
+            assert!(
+                svc.ingest(&bad).is_err(),
+                "service accepted a corrupted batch at epoch {next_epoch}"
+            );
+            rejected += 1;
+        }
+        let epoch = svc
+            .ingest(&batch)
+            .expect("recorded batches are well-formed");
+        assert_eq!(epoch, next_epoch, "rejection must not consume an epoch");
+        shadow = next;
+        edits += len;
+        if mid_pin.is_none() && epoch >= 10 {
+            mid_pin = Some(svc.snapshot());
+        }
+    }
+
+    // Oracle 1: the maintained set is identical to from-scratch
+    // detection over the independently evolved shadow graph.
+    let scratch = vio_set(detect_violations(&sigma, &shadow));
+    assert_eq!(
+        vio_set(svc.violations()),
+        scratch,
+        "service diverged from scratch detection after {edits} edits"
+    );
+
+    // Oracle 2: pinned epochs replay forward to the exact head.
+    for pin in [&pin0, mid_pin.as_ref().expect("stream ran past epoch 10")] {
+        let replayed = svc.log().replay_onto(pin);
+        assert!(
+            graphs_equal(&replayed, &shadow),
+            "replay from pinned epoch {} diverges from the head",
+            pin.epoch
+        );
+    }
+
+    // Every fault family fired and was absorbed — visible in stats,
+    // with quarantined work recovered (oracle 1 already proves no
+    // quarantined unit's violations were lost).
+    let stats = svc.stats().clone();
+    assert_eq!(stats.edits_ingested as usize, edits);
+    assert_eq!(stats.batches_rejected, rejected);
+    assert!(
+        rejected > 0,
+        "seed never corrupted a batch; retune the plan"
+    );
+    assert!(stats.repair_panics > 0, "seed never panicked a repair");
+    assert!(
+        stats.divergences_detected > 0,
+        "seed never drifted the detector"
+    );
+    assert!(
+        stats.degraded_epochs >= stats.repair_panics + stats.divergences_detected,
+        "every caught fault must degrade its epoch"
+    );
+    assert!(stats.unit_panics > 0, "seed never panicked a worker");
+    assert!(
+        stats.units_quarantined > 0,
+        "seed never produced a sticky worker fault"
+    );
+
+    // Oracle 3: the subscriber stream has no torn epochs and folds to
+    // the same absolute set.
+    drop(svc);
+    let mut folded = baseline;
+    let mut expected_epoch = 1;
+    for update in rx.iter() {
+        assert_eq!(update.epoch, expected_epoch, "torn or skipped epoch");
+        expected_epoch += 1;
+        for v in &update.retracted {
+            assert!(
+                folded.remove(&(v.rule, v.mapping.clone())),
+                "epoch {}: retraction of an unheld violation",
+                update.epoch
+            );
+        }
+        for v in &update.added {
+            assert!(
+                folded.insert((v.rule, v.mapping.clone())),
+                "epoch {}: re-add of a held violation",
+                update.epoch
+            );
+        }
+    }
+    assert_eq!(expected_epoch - 1, stats.epochs, "missing updates");
+    assert_eq!(folded, scratch, "folded stream diverges from scratch");
+}
