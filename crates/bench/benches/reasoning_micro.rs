@@ -23,10 +23,10 @@ use gfd_graph::intersect::intersect_in_place;
 use gfd_graph::{Graph, NodeId, Value, Vocab};
 use gfd_match::types::Flow;
 use gfd_match::{
-    count_matches, count_matches_with, dual_simulation, for_each_match_planned, IncrementalSpace,
-    MatchOptions, MatchScratch, SimFilter, SpaceRegistry,
+    count_matches, count_matches_with, dual_simulation, for_each_match_planned, CacheStats,
+    ClassRegistry, IncrementalSpace, MatchOptions, MatchScratch, SimFilter,
 };
-use gfd_parallel::unitexec::{execute_unit, MatchCache, MultiQueryIndex, UnitScratch};
+use gfd_parallel::unitexec::{execute_unit, MultiQueryIndex, UnitScratch};
 use gfd_parallel::workload::{estimate_workload, feasible_pivots, plan_rules, WorkloadOptions};
 use gfd_parallel::{rep_val, RepValConfig, ServiceConfig, ViolationService};
 use gfd_pattern::{Pattern, PatternBuilder, VarId};
@@ -252,7 +252,7 @@ fn main() {
             .chain((0..7).map(|t| isomorphic_twin(q, t)))
             .collect();
         bench("sim/shared_space_reuse(registry k8)", &mut samples, || {
-            let mut reg = SpaceRegistry::new();
+            let reg = ClassRegistry::new();
             let handles: Vec<_> = members.iter().map(|m| reg.register(m)).collect();
             let total: usize = handles.iter().map(|&h| reg.space(h, &g).total_size()).sum();
             assert_eq!(reg.simulations(), 1);
@@ -357,11 +357,11 @@ fn main() {
     // once) plus caller-owned scratch. Per-iteration allocations drop
     // to the violation records themselves.
     {
-        let mut reg = SpaceRegistry::new();
+        let reg = ClassRegistry::new();
         let mut det_scratch = DetScratch::default();
-        detect_violations_with(&sigma_det, &g2, &mut reg, &mut det_scratch);
+        detect_violations_with(&sigma_det, &g2, &reg, &mut det_scratch);
         bench("detect/detVio_warm(registry+scratch)", &mut samples, || {
-            detect_violations_with(&sigma_det, &g2, &mut reg, &mut det_scratch).len()
+            detect_violations_with(&sigma_det, &g2, &reg, &mut det_scratch).len()
         });
     }
     bench("detect/estimate_workload", &mut samples, || {
@@ -455,20 +455,20 @@ fn main() {
         qb.edge(w, x, "f4");
         let cyc4 = qb.build();
 
-        let mut reg = SpaceRegistry::new();
+        let reg = ClassRegistry::new();
         let tri_h = reg.register(&tri);
         let cyc4_h = reg.register(&cyc4);
         let planned_opts = MatchOptions::unrestricted();
         let mut planned_scratch = MatchScratch::default();
-        let mut count_planned = |h, q: &Pattern, reg: &mut SpaceRegistry| {
+        let mut count_planned = |h, q: &Pattern, reg: &ClassRegistry| {
             let (cs, plan) = reg.space_and_plan(h, &gs);
             let mut n = 0usize;
             for_each_match_planned(
                 q,
                 &gs,
                 &planned_opts,
-                cs,
-                plan,
+                &cs,
+                &plan,
                 &mut planned_scratch,
                 &mut |_| {
                     n += 1;
@@ -479,8 +479,8 @@ fn main() {
         };
         // Warm the registry caches and scratch high-water marks, and
         // pin down the match counts both engines must agree on.
-        let tri_n = count_planned(tri_h, &tri, &mut reg);
-        let cyc4_n = count_planned(cyc4_h, &cyc4, &mut reg);
+        let tri_n = count_planned(tri_h, &tri, &reg);
+        let cyc4_n = count_planned(cyc4_h, &cyc4, &reg);
         let back_opts = MatchOptions::unrestricted().with_sim_filter(SimFilter::Never);
         let mut back_scratch = MatchScratch::default();
         let sim_opts = MatchOptions::unrestricted().with_sim_filter(SimFilter::Always);
@@ -503,10 +503,10 @@ fn main() {
         );
 
         bench("match/wcoj_triangle(plan)", &mut samples, || {
-            count_planned(tri_h, &tri, &mut reg)
+            count_planned(tri_h, &tri, &reg)
         });
         bench("match/wcoj_4cycle(plan)", &mut samples, || {
-            count_planned(cyc4_h, &cyc4, &mut reg)
+            count_planned(cyc4_h, &cyc4, &reg)
         });
         bench("match/wcoj_triangle(backtrack)", &mut samples, || {
             count_matches_with(&tri, &gs, &back_opts, &mut back_scratch)
@@ -562,8 +562,9 @@ fn main() {
         )]);
         let plans = plan_rules(&sigma);
         let wl = estimate_workload(&sigma, &g, &WorkloadOptions::default());
-        let mqi = MultiQueryIndex::build(&plans);
-        let mut cache = MatchCache::new();
+        let registry = ClassRegistry::new();
+        let mqi = MultiQueryIndex::build(&plans, &registry);
+        let mut stats = CacheStats::default();
         let mut scratch = UnitScratch::new();
         let mut out = Vec::new();
         for u in &wl.units {
@@ -574,7 +575,8 @@ fn main() {
                 &wl.slots,
                 u,
                 Some(&mqi),
-                &mut cache,
+                &registry,
+                &mut stats,
                 &mut scratch,
                 &mut out,
             );
@@ -591,12 +593,98 @@ fn main() {
                 &wl.slots,
                 u,
                 Some(&mqi),
-                &mut cache,
+                &registry,
+                &mut stats,
                 &mut scratch,
                 &mut out,
             );
             out.len()
         });
+
+        // Cross-worker registry hit rate: a second worker (fresh
+        // scratch and counters) replays the whole workload against the
+        // registry worker 1 warmed above. Every probe must come back a
+        // hit — the sample times the serving-tier lookup itself, and
+        // its allocs_per_iter column doubles as the zero-allocation
+        // assertion for the warm cross-worker path.
+        let mut w2_stats = CacheStats::default();
+        let mut w2_scratch = UnitScratch::new();
+        let run_w2 = |stats: &mut CacheStats, scratch: &mut UnitScratch, out: &mut Vec<_>| {
+            for u in &wl.units {
+                execute_unit(
+                    &g,
+                    &sigma,
+                    &plans,
+                    &wl.slots,
+                    u,
+                    Some(&mqi),
+                    &registry,
+                    stats,
+                    scratch,
+                    out,
+                );
+            }
+        };
+        run_w2(&mut w2_stats, &mut w2_scratch, &mut out); // size worker 2's scratch
+        assert_eq!(w2_stats.misses, 0, "worker 1 already paid every table");
+        assert!(w2_stats.hits > 0, "cross-worker hits must be observable");
+        bench("cache/registry_hit_rate", &mut samples, || {
+            run_w2(&mut w2_stats, &mut w2_scratch, &mut out);
+            w2_stats.hits
+        });
+        println!(
+            "# cache: {} cross-worker hits, {} misses ({:.1}% hit rate)",
+            w2_stats.hits,
+            w2_stats.misses,
+            100.0 * w2_stats.hits as f64 / (w2_stats.hits + w2_stats.misses).max(1) as f64
+        );
+
+        // Eviction churn: the same workload through a registry whose
+        // byte budget holds only a couple of the 12-byte star tables,
+        // so nearly every probe misses, enumerates, and evicts a cold
+        // neighbor. Times the worst-case serving-tier path (miss +
+        // insert + LRU sweep) that a budget-starved deployment pays.
+        let tiny = ClassRegistry::with_budget_bytes(32);
+        let tiny_mqi = MultiQueryIndex::build(&plans, &tiny);
+        let mut tiny_stats = CacheStats::default();
+        let mut tiny_scratch = UnitScratch::new();
+        let run_tiny = |stats: &mut CacheStats, scratch: &mut UnitScratch, out: &mut Vec<_>| {
+            for u in &wl.units {
+                execute_unit(
+                    &g,
+                    &sigma,
+                    &plans,
+                    &wl.slots,
+                    u,
+                    Some(&tiny_mqi),
+                    &tiny,
+                    stats,
+                    scratch,
+                    out,
+                );
+            }
+        };
+        run_tiny(&mut tiny_stats, &mut tiny_scratch, &mut out);
+        bench("cache/evict_churn", &mut samples, || {
+            run_tiny(&mut tiny_stats, &mut tiny_scratch, &mut out);
+            out.len()
+        });
+        // Eviction counters live in the registry's global stats (they
+        // are not attributable to any one probing worker).
+        assert!(
+            tiny.stats().evicted_cold > 0,
+            "the starved budget must force cold evictions"
+        );
+        assert!(
+            tiny.bytes() <= tiny.budget_bytes() + 12,
+            "churn must stay within budget (plus one in-flight table)"
+        );
+        println!(
+            "# cache: {} cold evictions under a {}-byte budget ({} deferred)",
+            tiny.stats().evicted_cold,
+            tiny.budget_bytes(),
+            tiny.stats().eviction_deferred_pinned
+        );
     }
 
     // The standing-violation service: steady-state ingest throughput

@@ -1,17 +1,18 @@
 //! The allocation-free hot-path guarantee, asserted: after warm-up,
 //! [`execute_unit`] performs **zero heap allocations** per call — the
-//! cached flat match tables are reused through `Arc` views, the join
-//! backtracks inside [`UnitScratch`], and nothing in the per-unit loop
-//! grows a buffer. Runs in CI under `BENCH_SMOKE` so a regression that
-//! re-introduces per-unit allocation fails the build.
+//! cached flat match tables are reused through `Arc` views served by
+//! the shared [`ClassRegistry`], the join backtracks inside
+//! [`UnitScratch`], and nothing in the per-unit loop grows a buffer.
+//! Runs in CI under `BENCH_SMOKE` so a regression that re-introduces
+//! per-unit allocation fails the build.
 
 use std::sync::Arc;
 
 use gfd_core::{Dependency, Gfd, GfdSet, Literal};
 use gfd_graph::{Graph, NodeId, Value, Vocab};
 use gfd_match::types::Flow;
-use gfd_match::{for_each_match_planned, MatchOptions, MatchScratch, SpaceRegistry};
-use gfd_parallel::unitexec::{execute_unit, MatchCache, MultiQueryIndex, UnitScratch};
+use gfd_match::{for_each_match_planned, CacheStats, ClassRegistry, MatchOptions, MatchScratch};
+use gfd_parallel::unitexec::{execute_unit, MultiQueryIndex, UnitScratch};
 use gfd_parallel::workload::{estimate_workload, plan_rules, WorkloadOptions};
 use gfd_pattern::PatternBuilder;
 use gfd_util::alloc::{allocation_count, min_allocation_delta, CountingAlloc};
@@ -70,12 +71,13 @@ fn warm_execute_unit_allocates_nothing() {
     let plans = plan_rules(&sigma);
     let wl = estimate_workload(&sigma, &g, &WorkloadOptions::default());
     assert!(wl.units.len() >= 20, "premise: a non-trivial workload");
-    let mqi = MultiQueryIndex::build(&plans);
-    let mut cache = MatchCache::new();
+    let registry = ClassRegistry::new();
+    let mqi = MultiQueryIndex::build(&plans, &registry);
+    let mut stats = CacheStats::default();
     let mut scratch = UnitScratch::new();
     let mut out = Vec::new();
 
-    let run_all = |cache: &mut MatchCache, scratch: &mut UnitScratch, out: &mut Vec<_>| {
+    let run_all = |stats: &mut CacheStats, scratch: &mut UnitScratch, out: &mut Vec<_>| {
         for u in &wl.units {
             execute_unit(
                 &g,
@@ -84,24 +86,25 @@ fn warm_execute_unit_allocates_nothing() {
                 &wl.slots,
                 u,
                 Some(&mqi),
-                cache,
+                &registry,
+                stats,
                 scratch,
                 out,
             );
         }
     };
 
-    // Warm-up: fills the match cache (misses allocate) and sizes every
-    // scratch buffer.
-    run_all(&mut cache, &mut scratch, &mut out);
+    // Warm-up: fills the registry's table cache (misses allocate) and
+    // sizes every scratch buffer.
+    run_all(&mut stats, &mut scratch, &mut out);
     assert!(out.is_empty(), "premise: the clean fleet has no violations");
-    assert!(cache.misses > 0 && allocation_count() > 0);
+    assert!(stats.misses > 0 && allocation_count() > 0);
 
-    // Steady state: every enumeration is a cache hit served as a
+    // Steady state: every enumeration is a registry hit served as a
     // shared table view; the loop over ALL units must not allocate.
     // Minimum over rounds guards against unrelated harness threads.
-    let misses_before = cache.misses;
-    let delta = min_allocation_delta(5, || run_all(&mut cache, &mut scratch, &mut out));
+    let misses_before = stats.misses;
+    let delta = min_allocation_delta(5, || run_all(&mut stats, &mut scratch, &mut out));
     assert_eq!(
         delta,
         0,
@@ -111,11 +114,78 @@ fn warm_execute_unit_allocates_nothing() {
     );
     assert!(out.is_empty());
     assert_eq!(
-        cache.misses, misses_before,
-        "steady state must be all hits — a miss means the warm cache \
+        stats.misses, misses_before,
+        "steady state must be all hits — a miss means the warm registry \
          stopped covering the workload"
     );
-    assert!(cache.hits > 0);
+    assert!(stats.hits > 0);
+}
+
+/// The tentpole's cross-worker guarantee: a registry warmed by one
+/// worker serves another worker's probes as hits — and those hits are
+/// as allocation-free as same-worker ones. Worker B never pays a miss:
+/// every table it reads was enumerated (and paid for) by worker A.
+#[test]
+fn warm_cross_worker_registry_hit_allocates_nothing() {
+    let g = clean_flights(8);
+    let sigma = GfdSet::new(vec![same_id_same_dest(g.vocab().clone())]);
+    let plans = plan_rules(&sigma);
+    let wl = estimate_workload(&sigma, &g, &WorkloadOptions::default());
+    let registry = ClassRegistry::new();
+    let mqi = MultiQueryIndex::build(&plans, &registry);
+    let mut out = Vec::new();
+
+    // Worker A: pays every enumeration.
+    let mut stats_a = CacheStats::default();
+    let mut scratch_a = UnitScratch::new();
+    for u in &wl.units {
+        execute_unit(
+            &g,
+            &sigma,
+            &plans,
+            &wl.slots,
+            u,
+            Some(&mqi),
+            &registry,
+            &mut stats_a,
+            &mut scratch_a,
+            &mut out,
+        );
+    }
+    assert!(stats_a.misses > 0);
+
+    // Worker B: fresh scratch and counters, shared registry. One
+    // sizing round for B's own scratch buffers, then the probe.
+    let mut stats_b = CacheStats::default();
+    let mut scratch_b = UnitScratch::new();
+    let run_b = |stats_b: &mut CacheStats, scratch_b: &mut UnitScratch, out: &mut Vec<_>| {
+        for u in &wl.units {
+            execute_unit(
+                &g,
+                &sigma,
+                &plans,
+                &wl.slots,
+                u,
+                Some(&mqi),
+                &registry,
+                stats_b,
+                scratch_b,
+                out,
+            );
+        }
+    };
+    run_b(&mut stats_b, &mut scratch_b, &mut out);
+    let delta = min_allocation_delta(5, || run_b(&mut stats_b, &mut scratch_b, &mut out));
+    assert_eq!(
+        delta, 0,
+        "a cross-worker registry hit must be allocation-free"
+    );
+    assert_eq!(
+        stats_b.misses, 0,
+        "worker B must never enumerate — worker A already paid every table"
+    );
+    assert!(stats_b.hits > 0);
+    assert!(out.is_empty());
 }
 
 /// The worst-case-optimal plan executor's steady state: with the
@@ -156,15 +226,15 @@ fn warm_plan_execution_allocates_nothing() {
     pb.edge(z, x, "e3");
     let tri = pb.build();
 
-    let mut reg = SpaceRegistry::new();
+    let reg = ClassRegistry::new();
     let h = reg.register(&tri);
     let opts = MatchOptions::unrestricted();
     let mut scratch = MatchScratch::default();
-    let count = |reg: &mut SpaceRegistry, scratch: &mut MatchScratch| {
+    let count = |scratch: &mut MatchScratch| {
         let (cs, plan) = reg.space_and_plan(h, &g);
         assert!(plan.is_cyclic(), "premise: the triangle routes to WCOJ");
         let mut n = 0usize;
-        for_each_match_planned(&tri, &g, &opts, cs, plan, scratch, &mut |_| {
+        for_each_match_planned(&tri, &g, &opts, &cs, &plan, scratch, &mut |_| {
             n += 1;
             Flow::Continue
         });
@@ -173,14 +243,14 @@ fn warm_plan_execution_allocates_nothing() {
 
     // Warm-up: builds the space and the decomposition plan (both
     // allocate) and sizes the pool hierarchy in the scratch.
-    let expected = count(&mut reg, &mut scratch);
+    let expected = count(&mut scratch);
     assert_eq!(expected, closures, "premise: one triangle per closure");
     assert!(allocation_count() > 0);
 
     // Steady state: warm space, cached plan, high-water scratch — the
     // entire plan execution must be allocation-free.
     let delta = min_allocation_delta(5, || {
-        assert_eq!(count(&mut reg, &mut scratch), expected);
+        assert_eq!(count(&mut scratch), expected);
     });
     assert_eq!(
         delta, 0,

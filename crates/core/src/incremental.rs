@@ -7,11 +7,15 @@
 //! that work re-derives unchanged facts. [`IncrementalDetector`] keeps
 //! per-rule state across edits:
 //!
-//! * one shared [`SpaceRegistry`] across the whole Σ — rule patterns
-//!   register by isomorphism class, each class's dual-simulation
-//!   candidate space is computed once and *repaired* (not recomputed)
-//!   against each [`GraphDelta`] at its representative, and the twin
-//!   rules read transported copies;
+//! * one shared [`ClassRegistry`] handle — rule patterns register by
+//!   isomorphism class, each class's dual-simulation candidate space
+//!   is computed once and *repaired* (not recomputed) against each
+//!   [`GraphDelta`] at its representative, and the twin rules read
+//!   transported copies. The registry is `Arc`-shared and versioned:
+//!   several detectors (and the threaded executor) can serve off one
+//!   registry, and a detector lagging behind the registry's repair
+//!   epoch replays the recorded per-class change flags instead of
+//!   repairing twice;
 //! * the current violating matches of each rule.
 //!
 //! On a delta, a rule is re-examined only around the *affected nodes*
@@ -31,11 +35,12 @@
 //!   re-checks those.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use gfd_graph::{Graph, GraphDelta, NodeId};
 use gfd_match::types::Flow;
 use gfd_match::{
-    for_each_match, for_each_match_in_space, Match, MatchOptions, SpaceHandle, SpaceRegistry,
+    for_each_match, for_each_match_in_space, ClassRegistry, Match, MatchOptions, SpaceHandle,
 };
 use gfd_pattern::signature::decompose;
 
@@ -83,16 +88,26 @@ pub struct IncrementalDetector {
     sigma: GfdSet,
     /// Candidate spaces for all rules, keyed by isomorphism class —
     /// one simulation and one per-delta repair per class, however many
-    /// isomorphic rules Σ holds.
-    registry: SpaceRegistry,
+    /// isomorphic rules Σ holds. The registry may be shared with other
+    /// detectors, services and the threaded executor.
+    registry: Arc<ClassRegistry>,
+    /// The registry repair epoch this detector is synchronized with.
+    version: u64,
     rules: Vec<RuleState>,
 }
 
 impl IncrementalDetector {
     /// Full detection pass over `g`, retaining all per-rule state for
-    /// later [`apply`](IncrementalDetector::apply) calls.
+    /// later [`apply`](IncrementalDetector::apply) calls, over a
+    /// private registry.
     pub fn new(sigma: &GfdSet, g: &Graph) -> Self {
-        let mut registry = SpaceRegistry::new();
+        Self::with_registry(sigma, g, Arc::new(ClassRegistry::new()))
+    }
+
+    /// [`new`](IncrementalDetector::new) over a shared registry:
+    /// several detectors over one `ClassRegistry` share simulations,
+    /// plans and repairs across tenants.
+    pub fn with_registry(sigma: &GfdSet, g: &Graph, registry: Arc<ClassRegistry>) -> Self {
         let rules = sigma
             .iter()
             .map(|gfd| {
@@ -103,7 +118,7 @@ impl IncrementalDetector {
                     let cs = registry.space(handle, g);
                     if !cs.is_empty_anywhere() {
                         let opts = MatchOptions::unrestricted();
-                        for_each_match_in_space(&gfd.pattern, g, &opts, cs, &mut |m| {
+                        for_each_match_in_space(&gfd.pattern, g, &opts, &cs, &mut |m| {
                             if !match_satisfies(&gfd.dep, g, m) {
                                 violations.insert(Match(m.to_vec()));
                             }
@@ -118,11 +133,18 @@ impl IncrementalDetector {
                 }
             })
             .collect();
+        let version = registry.version();
         IncrementalDetector {
             sigma: sigma.clone(),
             registry,
+            version,
             rules,
         }
+    }
+
+    /// The shared registry this detector repairs through.
+    pub fn registry(&self) -> &Arc<ClassRegistry> {
+        &self.registry
     }
 
     /// The current violation set, in rule order (match order within a
@@ -163,7 +185,20 @@ impl IncrementalDetector {
     /// scratch (on panic-isolated workers) and resumes incremental
     /// maintenance from the recomputed truth.
     pub fn from_violations(sigma: &GfdSet, violations: &[Violation]) -> Self {
-        let mut registry = SpaceRegistry::new();
+        Self::from_violations_in(sigma, violations, Arc::new(ClassRegistry::new()))
+    }
+
+    /// [`from_violations`](IncrementalDetector::from_violations) over
+    /// a shared registry. The caller is responsible for the registry's
+    /// cached state being valid for the snapshot `violations` was
+    /// computed on — a degraded service calls
+    /// [`ClassRegistry::invalidate_all`] first, so every space
+    /// re-simulates lazily against the recovered snapshot.
+    pub fn from_violations_in(
+        sigma: &GfdSet,
+        violations: &[Violation],
+        registry: Arc<ClassRegistry>,
+    ) -> Self {
         let mut rules: Vec<RuleState> = sigma
             .iter()
             .map(|gfd| RuleState {
@@ -175,9 +210,11 @@ impl IncrementalDetector {
         for v in violations {
             rules[v.rule].violations.insert(v.mapping.clone());
         }
+        let version = registry.version();
         IncrementalDetector {
             sigma: sigma.clone(),
             registry,
+            version,
             rules,
         }
     }
@@ -248,12 +285,17 @@ impl IncrementalDetector {
         // Repair the candidate spaces first — one repair per
         // isomorphism class, shared by every rule of the class; pinned
         // re-enumeration below draws pools from the repaired spaces.
+        // `advance` is epoch-aware: if another tenant of the shared
+        // registry already repaired this step, the flags replay from
+        // history instead of repairing twice.
+        self.version += 1;
         let Self {
             ref sigma,
-            ref mut registry,
+            ref registry,
             ref mut rules,
+            version,
         } = *self;
-        registry.apply_normalized(g, &d);
+        registry.advance(g, &d, version);
 
         for (rule, state) in rules.iter_mut().enumerate() {
             let gfd = sigma.get(rule);
@@ -306,7 +348,7 @@ impl IncrementalDetector {
                         Flow::Continue
                     };
                     if state.connected {
-                        for_each_match_in_space(&gfd.pattern, g, &opts, cs, enumerate);
+                        for_each_match_in_space(&gfd.pattern, g, &opts, &cs, enumerate);
                     } else {
                         for_each_match(&gfd.pattern, g, &opts, enumerate);
                     }

@@ -21,8 +21,8 @@ use gfd_graph::{Graph, NodeId};
 use gfd_match::component::ComponentSearch;
 use gfd_match::table::MatchTable;
 use gfd_match::{
-    for_each_match, for_each_match_planned, for_each_match_with, types::Flow, Match, MatchOptions,
-    MatchScratch, SearchBudget, SpaceHandle, SpaceRegistry,
+    for_each_match, for_each_match_planned, for_each_match_with, types::Flow, ClassRegistry, Match,
+    MatchOptions, MatchScratch, SearchBudget, SpaceHandle,
 };
 use gfd_pattern::analysis::connected_components;
 use gfd_pattern::signature::decompose;
@@ -88,12 +88,12 @@ pub fn for_each_violation(
 /// The sequential algorithm `detVio` (§5.1): computes `Vio(Σ, G)` with
 /// a single processor by full match enumeration per rule, sharing
 /// simulation work across isomorphic rule patterns through a
-/// call-local [`SpaceRegistry`].
+/// call-local [`ClassRegistry`].
 pub fn detect_violations(sigma: &GfdSet, g: &Graph) -> Vec<Violation> {
-    detect_violations_shared(sigma, g, &mut SpaceRegistry::new())
+    detect_violations_shared(sigma, g, &ClassRegistry::new())
 }
 
-/// `detVio` borrowing a caller-owned [`SpaceRegistry`] shared across
+/// `detVio` borrowing a caller-owned [`ClassRegistry`] shared across
 /// the whole Σ (and, if the caller wishes, with workload estimation):
 /// every rule pattern registers into it, and a **connected** rule
 /// whose isomorphism class is shared by ≥ 2 rules *of this Σ* (class
@@ -109,14 +109,14 @@ pub fn detect_violations(sigma: &GfdSet, g: &Graph) -> Vec<Violation> {
 pub fn detect_violations_shared(
     sigma: &GfdSet,
     g: &Graph,
-    registry: &mut SpaceRegistry,
+    registry: &ClassRegistry,
 ) -> Vec<Violation> {
     detect_violations_with(sigma, g, registry, &mut DetScratch::default())
 }
 
 /// Caller-owned reusable state for repeated `detVio` runs: the match
 /// engine's [`MatchScratch`] plus the per-call registration
-/// bookkeeping. Keep one alive — next to the shared [`SpaceRegistry`]
+/// bookkeeping. Keep one alive — next to the shared [`ClassRegistry`]
 /// — across detection iterations and the steady state is
 /// allocation-free up to the violations output itself.
 #[derive(Default)]
@@ -129,12 +129,12 @@ pub struct DetScratch {
 /// [`detect_violations_shared`] with caller-owned scratch. Shared
 /// connected rules additionally pull the class's cached
 /// decomposition plan from the registry
-/// ([`SpaceRegistry::space_and_plan`]), so cyclic patterns run the
+/// ([`ClassRegistry::space_and_plan`]), so cyclic patterns run the
 /// worst-case-optimal executor without rebuilding the plan per call.
 pub fn detect_violations_with(
     sigma: &GfdSet,
     g: &Graph,
-    registry: &mut SpaceRegistry,
+    registry: &ClassRegistry,
     scratch: &mut DetScratch,
 ) -> Vec<Violation> {
     scratch.handles.clear();
@@ -181,8 +181,8 @@ pub fn detect_violations_with(
                 &gfd.pattern,
                 g,
                 &opts,
-                cs,
-                plan,
+                &cs,
+                &plan,
                 &mut scratch.matching,
                 &mut visit,
             );
@@ -664,10 +664,10 @@ mod tests {
         // Every triangle rotation violates, for both rules.
         assert_eq!(want.len(), 12);
 
-        let mut reg = SpaceRegistry::new();
+        let reg = ClassRegistry::new();
         let mut scratch = DetScratch::default();
         for _ in 0..3 {
-            let mut got = detect_violations_with(&sigma, &g, &mut reg, &mut scratch);
+            let mut got = detect_violations_with(&sigma, &g, &reg, &mut scratch);
             let key = |v: &Violation| (v.rule, v.mapping.nodes().to_vec());
             got.sort_by_key(key);
             want.sort_by_key(key);

@@ -241,8 +241,8 @@ pub fn for_each_match_in_space(
 
 /// [`for_each_match_in_space`] for callers that additionally hold a
 /// precomputed [`QueryPlan`] and reusable scratch — the entry point
-/// for [`crate::registry::SpaceRegistry`] consumers
-/// (`SpaceRegistry::space_and_plan` hands out both). Cyclic plans run
+/// for [`crate::registry::ClassRegistry`] consumers
+/// (`ClassRegistry::space_and_plan` hands out both). Cyclic plans run
 /// the worst-case-optimal executor; acyclic ones fall back to the
 /// refined backtracker. Disconnected patterns fall back to
 /// [`for_each_match_with`] (spaces and plans index full-pattern

@@ -31,6 +31,7 @@
 //! made addressable here by CSR label extents and the counters.
 
 use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
 
 use gfd_graph::{Graph, GraphDelta, NodeId, NodeSet};
 use gfd_pattern::{Pattern, VarId};
@@ -51,7 +52,7 @@ pub struct RepairReport {
     /// — its runs may differ even when no pair entered or left the
     /// relation (e.g. a new graph edge between two surviving
     /// candidates). Consumers that mirror the *full* space (the
-    /// transported caches of `gfd_match::SpaceRegistry`) must refresh
+    /// transported caches of `gfd_match::ClassRegistry`) must refresh
     /// on this; consumers that only read candidate sets (pivot
     /// feasibility) can key off [`is_unchanged`](Self::is_unchanged).
     pub adjacency_changed: bool,
@@ -98,7 +99,12 @@ pub struct IncrementalSpace {
     q: Pattern,
     scope: Option<NodeSet>,
     core: SimCore,
-    space: CandidateSpace,
+    /// The space behind an `Arc`, so registry consumers can hold the
+    /// current snapshot across later repairs: a repair goes through
+    /// [`Arc::make_mut`], which repairs in place when nobody else
+    /// holds the `Arc` and copies-on-write when someone does — a held
+    /// snapshot never mutates under its reader.
+    space: Arc<CandidateSpace>,
 }
 
 /// Admits `(v, u)` into the tentative frontier if it is a
@@ -136,7 +142,7 @@ impl IncrementalSpace {
             q: q.clone(),
             scope: scope.cloned(),
             core,
-            space,
+            space: Arc::new(space),
         }
     }
 
@@ -147,6 +153,20 @@ impl IncrementalSpace {
 
     /// The current (repaired) candidate space.
     pub fn space(&self) -> &CandidateSpace {
+        &self.space
+    }
+
+    /// The current space as a shared handle: the returned `Arc` stays
+    /// valid (and immutable) across later repairs — a repair that
+    /// finds the `Arc` shared copies-on-write instead of mutating the
+    /// held snapshot.
+    pub fn space_arc(&self) -> Arc<CandidateSpace> {
+        Arc::clone(&self.space)
+    }
+
+    /// The shared space handle by reference, for refcount probes (the
+    /// registry's pin-aware eviction).
+    pub(crate) fn space_arc_ref(&self) -> &Arc<CandidateSpace> {
         &self.space
     }
 
@@ -179,8 +199,11 @@ impl IncrementalSpace {
             ref q,
             ref scope,
             ref mut core,
-            ref mut space,
+            space: ref mut space_arc,
         } = *self;
+        // In-place repair when nobody shares the space; copy-on-write
+        // when a consumer still holds the pre-repair snapshot.
+        let space = Arc::make_mut(space_arc);
         let scope = scope.as_ref();
         let nnodes = g.node_count();
         let nvars = q.node_count();

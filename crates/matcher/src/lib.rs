@@ -30,7 +30,9 @@
 //! [`plan`]): cyclic components get a tree-decomposition-based
 //! [`plan::QueryPlan`] whose bags are solved by worst-case-optimal
 //! multiway intersection and joined along the tree, cached once per
-//! canonical class in the [`registry::SpaceRegistry`].
+//! canonical class in the [`registry::ClassRegistry`] — the bounded,
+//! internally synchronized serving tier that also holds candidate
+//! spaces and pinned match tables for every consumer of one Σ.
 
 pub mod api;
 pub mod component;
@@ -49,7 +51,7 @@ pub use api::{
 pub use component::{ComponentSearch, SearchScratch, StopReason};
 pub use incremental::{IncrementalSpace, RepairReport};
 pub use plan::{execute_plan, PlanScratch, QueryPlan};
-pub use registry::{SpaceHandle, SpaceRegistry};
+pub use registry::{CacheStats, ClassRegistry, SpaceHandle, DEFAULT_REGISTRY_BUDGET_BYTES};
 pub use simulation::{dual_simulation, CandidateSpace};
 pub use table::{MatchTable, TableView};
 pub use types::{Match, MatchOptions, SearchBudget, SimFilter};

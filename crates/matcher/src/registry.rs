@@ -1,65 +1,174 @@
-//! The isomorphism-class-keyed candidate-space registry: simulate
-//! once per class, transport everywhere.
+//! The unified serving-tier class registry: one bounded, concurrently
+//! shared cache for candidate spaces, query plans, and match tables.
 //!
 //! Rule sets mined from real graphs are full of isomorphic pattern
 //! components (the paper's Example 10), yet every consumer of
 //! [`dual_simulation`](crate::simulation::dual_simulation) used to run
 //! one worklist fixpoint *per component per rule* — `k` identical
-//! simulations for a class with `k` members. [`SpaceRegistry`] keys
-//! [`CandidateSpace`]s by **canonical isomorphism class**
+//! simulations for a class with `k` members. [`ClassRegistry`] keys
+//! every per-class artifact by **canonical isomorphism class**
 //! ([`gfd_pattern::canonical_form`], complete — no hash-collision
 //! exposure) and computes each class once:
 //!
 //! * the first registered member of a class becomes the
 //!   *representative*; its space is computed by the worklist fixpoint
 //!   (lazily — classes that are never queried cost nothing beyond the
-//!   canonical form);
+//!   canonical form) and kept repairable as an [`IncrementalSpace`];
 //! * every further member stores only the [`IsoWitness`] onto the
 //!   representative, and its space is
 //!   [`CandidateSpace::transport`]ed — a permutation of the computed
 //!   relation, no graph access;
-//! * under graph edits, [`SpaceRegistry::apply`] repairs **one
-//!   representative per class** through
-//!   [`IncrementalSpace::apply_normalized`] and invalidates the
-//!   members' transported caches, so the per-edit cost is also paid
-//!   once per class.
+//! * decomposition-based [`QueryPlan`]s are built once per class and
+//!   transported per member (pure pattern structure — graph edits
+//!   never invalidate them, and they are exempt from eviction);
+//! * pinned component enumerations are cached as flat [`MatchTable`]s
+//!   keyed by `(class, representative pin variable, pivot node)` — an
+//!   isomorphic twin reads a hit through a column-permutation
+//!   [`TableView`], never a row copy;
+//! * under graph edits, [`ClassRegistry::apply_normalized`] repairs
+//!   **one** representative per class, keeps the plans, and drops
+//!   exactly the transported spaces and match tables of classes whose
+//!   relation (or per-edge adjacency) changed.
 //!
 //! One registry is shared across a whole rule set Σ — workload
-//! estimation (`gfd-parallel`), violation detection (`gfd-core`) and
-//! their incremental maintainers all borrow the same instance, in the
-//! spirit of factorised / shared evaluation engines (FDB, FAQ): compute
-//! a shared representation once, reuse it across structurally
-//! identical subqueries.
+//! estimation (`gfd-parallel`), violation detection (`gfd-core`),
+//! their incremental maintainers, the threaded unit executor's
+//! workers, and any number of standing-violation-service tenants all
+//! share one `Arc<ClassRegistry>`. The registry is internally
+//! synchronized (every method takes `&self`), in the spirit of
+//! factorised / shared evaluation engines (FDB, FAQ) and of standing
+//! indexes maintained under updates (Berkholz et al.): compute a
+//! shared representation once, serve it to many readers.
 //!
-//! Registry spaces are whole-graph (unscoped); block- and
-//! fragment-local simulations stay per-call.
+//! # The eviction / pinning contract
+//!
+//! The registry is **byte-budgeted**
+//! ([`ClassRegistry::with_budget_bytes`]; default
+//! [`DEFAULT_REGISTRY_BUDGET_BYTES`]). Accounted artifacts are match
+//! tables ([`MatchTable::data_bytes`]), transported member spaces, and
+//! per-class incremental spaces (both via
+//! [`CandidateSpace::approx_bytes`] — the simulation core's worklist
+//! state rides along uncounted, a documented estimate). Plans and
+//! canonical forms are tiny and exempt.
+//!
+//! When the budget is exceeded, entries are evicted **least recently
+//! used first** (every hit touches its entry), with one hard rule: *an
+//! artifact whose `Arc` is still held outside the registry is never
+//! dropped* — eviction is refcount-aware, so a [`TableView`] held
+//! across an eviction storm keeps reading correct rows, and a space
+//! handle held across a repair keeps its snapshot (repairs
+//! copy-on-write when shared). Pinned entries the evictor had to skip
+//! while over budget are counted in
+//! [`CacheStats::eviction_deferred_pinned`] and surface as the
+//! [`ClassRegistry::deferred_pending`] gauge; once the pins drop, the
+//! next insertion — or an explicit [`ClassRegistry::sweep`] — drains
+//! them and the gauge returns to zero. A whole class (its incremental
+//! space plus member transports) is reclaimable once unpinned; a later
+//! query re-simulates against the then-current snapshot, and
+//! intervening [`ClassRegistry::apply_normalized`] calls report the
+//! class as conservatively changed so no consumer trusts stale pivot
+//! feasibility.
+//!
+//! Lock discipline: simulation, transport, and plan construction run
+//! under the registry lock (that is what guarantees "one simulation
+//! per class" even under concurrent first queries); match-table
+//! enumeration — the expensive, per-pivot work — runs *outside* the
+//! lock, with racing duplicate builds tolerated (first insert wins).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex, MutexGuard};
 
-use gfd_graph::{Graph, GraphDelta, NodeId};
+use gfd_graph::{Graph, GraphDelta, NodeId, NodeSet};
 use gfd_pattern::{canonical_form, CanonicalForm, IsoWitness, Pattern, VarId};
+use gfd_util::FxHashMap;
 
+use crate::component::ComponentSearch;
 use crate::incremental::IncrementalSpace;
 use crate::plan::QueryPlan;
 use crate::simulation::{dual_simulation, CandidateSpace};
+use crate::table::{MatchTable, TableView};
 
-/// Handle to a pattern registered in a [`SpaceRegistry`].
+/// Handle to a pattern registered in a [`ClassRegistry`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct SpaceHandle(usize);
 
-/// One isomorphism class: the representative pattern and its (lazily
-/// computed, incrementally repaired) simulation state.
+/// Default [`ClassRegistry`] byte budget: generous enough that no test
+/// or benchmark workload in the suite evicts, small enough that a
+/// long-lived multi-tenant service stays bounded (64 MiB of spaces and
+/// match rows for the whole Σ, shared — not per worker).
+pub const DEFAULT_REGISTRY_BUDGET_BYTES: usize = 64 << 20;
+
+/// How many epochs of per-class change flags [`ClassRegistry::advance`]
+/// keeps for replay to lagging tenants; beyond the window the replay
+/// is conservatively all-changed.
+const FLAG_HISTORY: usize = 64;
+
+/// Hit/miss/eviction counters of the registry's match-table cache.
+///
+/// Probes record into the registry's global counters *and* into a
+/// caller-supplied local `CacheStats`, so per-worker and per-tenant
+/// shares of one shared registry stay attributable.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Enumerations served from the cache.
+    pub hits: u64,
+    /// Enumerations that had to run.
+    pub misses: u64,
+    /// Unpinned entries dropped by the byte budget (LRU order).
+    pub evicted_cold: u64,
+    /// Eviction attempts skipped because the entry's `Arc` was still
+    /// held outside the registry (one count per pinned entry per
+    /// enforcement pass that ended over budget).
+    pub eviction_deferred_pinned: u64,
+}
+
+impl std::ops::AddAssign for CacheStats {
+    fn add_assign(&mut self, o: CacheStats) {
+        self.hits += o.hits;
+        self.misses += o.misses;
+        self.evicted_cold += o.evicted_cold;
+        self.eviction_deferred_pinned += o.eviction_deferred_pinned;
+    }
+}
+
+/// One cached pinned enumeration: rows stored in *representative*
+/// variable order, valid for the block it was enumerated under.
+struct TableEntry {
+    table: Arc<MatchTable>,
+    /// The data block the enumeration was restricted to. Hits require
+    /// pointer equality — blocks are shared `Arc`s from the workload's
+    /// block cache, so an edited (rebuilt) block never serves a stale
+    /// table.
+    block: Arc<NodeSet>,
+    last_used: u64,
+    bytes: usize,
+}
+
+/// One isomorphism class: the representative pattern and every cached
+/// artifact that hangs off it.
 struct ClassState {
     rep: Pattern,
     form: CanonicalForm,
-    /// `None` until some member's space is first queried; repaired in
-    /// place by [`SpaceRegistry::apply`] afterwards.
+    /// `None` until some member's space is first queried, and again
+    /// after the class is evicted; repaired in place by
+    /// [`ClassRegistry::apply_normalized`] while present.
     inc: Option<IncrementalSpace>,
+    /// Accounted bytes of `inc` (the space estimate).
+    inc_bytes: usize,
     /// Decomposition-based query plan, built lazily on the
-    /// representative. Pure pattern structure: graph edits never
-    /// invalidate it.
-    plan: Option<QueryPlan>,
-    members: usize,
+    /// representative. Pure pattern structure: never invalidated,
+    /// never evicted.
+    plan: Option<Arc<QueryPlan>>,
+    /// Member indices of this class, for invalidation and eviction.
+    member_ids: Vec<usize>,
+    /// True once the class has ever been simulated. An evicted class
+    /// (`ever_simulated && inc.is_none()`) reports conservative
+    /// all-changed flags from `apply`, because without the incremental
+    /// state nobody can certify "unchanged".
+    ever_simulated: bool,
+    last_used: u64,
+    /// Cached pinned enumerations, keyed by `(rep pin var, pivot)`.
+    tables: FxHashMap<(VarId, NodeId), TableEntry>,
 }
 
 /// One registered pattern: its class and the witness onto the class
@@ -70,17 +179,29 @@ struct MemberState {
     witness: IsoWitness,
     /// Identity witnesses alias the representative's space directly.
     identity: bool,
-    /// Transported space, dropped whenever the representative changes.
-    cached: Option<CandidateSpace>,
+    /// The witness as a table-column permutation (member var `j` ↦ rep
+    /// var `perm[j]`), shared with every [`TableView`] handed out for
+    /// this member. `None` for identity members.
+    perm: Option<Arc<[u32]>>,
+    /// Transported space, dropped whenever the representative changes
+    /// (or evicted when cold).
+    cached: Option<Arc<CandidateSpace>>,
+    cached_bytes: usize,
+    last_used: u64,
     /// Plan transported from the representative's (never invalidated —
     /// plans depend only on pattern structure).
-    plan: Option<QueryPlan>,
+    plan: Option<Arc<QueryPlan>>,
 }
 
-/// A cache of [`CandidateSpace`]s keyed by canonical isomorphism
-/// class; see the module docs.
+/// What the budget enforcer picked to drop.
+enum Victim {
+    Table(usize, (VarId, NodeId)),
+    Transport(usize),
+    Class(usize),
+}
+
 #[derive(Default)]
-pub struct SpaceRegistry {
+struct RegistryInner {
     classes: Vec<ClassState>,
     members: Vec<MemberState>,
     by_code: HashMap<Vec<u64>, usize>,
@@ -94,12 +215,57 @@ pub struct SpaceRegistry {
     member_by_witness: HashMap<(usize, Vec<VarId>), usize>,
     simulations: usize,
     plans_built: usize,
+    stats: CacheStats,
+    /// Accounted bytes over tables, transports, and class spaces.
+    bytes: usize,
+    budget: usize,
+    /// Pinned entries the latest enforcement pass had to skip while
+    /// still over budget (zero whenever the budget holds).
+    deferred_pending: u64,
+    /// Global LRU clock; bumped on every touch.
+    tick: u64,
+    /// Repair epoch — bumped once per non-empty applied delta.
+    version: u64,
+    /// Per-class change flags of versions `base_version+1..=version`,
+    /// for replay to lagging tenants.
+    history: VecDeque<Vec<bool>>,
+    base_version: u64,
 }
 
-impl SpaceRegistry {
-    /// An empty registry.
+/// The shared, bounded, per-Σ cache of candidate spaces, query plans,
+/// and pinned match tables, keyed by canonical isomorphism class. See
+/// the module docs for the sharing model and the eviction / pinning
+/// contract.
+#[derive(Default)]
+pub struct ClassRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl ClassRegistry {
+    /// An empty registry with the default byte budget.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_budget_bytes(DEFAULT_REGISTRY_BUDGET_BYTES)
+    }
+
+    /// An empty registry holding at most `budget` accounted bytes (the
+    /// most recently touched entry is always kept, so a single
+    /// artifact larger than the budget still serves).
+    pub fn with_budget_bytes(budget: usize) -> Self {
+        ClassRegistry {
+            inner: Mutex::new(RegistryInner {
+                budget,
+                ..RegistryInner::default()
+            }),
+        }
+    }
+
+    /// Survives lock poisoning: the lock is held only across in-memory
+    /// cache maintenance, and every invariant the cache relies on for
+    /// *correctness* (as opposed to byte accounting) is re-established
+    /// by the next repair or re-enumeration, so a worker that panicked
+    /// mid-update must not wedge every other tenant of the registry.
+    fn lock(&self) -> MutexGuard<'_, RegistryInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Registers a pattern, resolving its isomorphism class (new
@@ -107,89 +273,429 @@ impl SpaceRegistry {
     /// identical re-registrations return the existing handle). Cheap —
     /// the simulation itself is deferred until [`space`](Self::space)
     /// is first called for the class.
-    pub fn register(&mut self, q: &Pattern) -> SpaceHandle {
+    pub fn register(&self, q: &Pattern) -> SpaceHandle {
         let form = canonical_form(q);
-        let (class, witness) = match self.by_code.get(form.code()) {
-            Some(&c) => (c, form.witness_onto(&self.classes[c].form)),
+        let mut inner = self.lock();
+        let inner = &mut *inner;
+        let (class, witness) = match inner.by_code.get(form.code()) {
+            Some(&c) => (c, form.witness_onto(&inner.classes[c].form)),
             None => {
-                let c = self.classes.len();
-                self.by_code.insert(form.code().to_vec(), c);
+                let c = inner.classes.len();
+                inner.by_code.insert(form.code().to_vec(), c);
                 let witness = IsoWitness::identity(q.node_count());
-                self.classes.push(ClassState {
+                inner.classes.push(ClassState {
                     rep: q.clone(),
                     form,
                     inc: None,
+                    inc_bytes: 0,
                     plan: None,
-                    members: 0,
+                    member_ids: Vec::new(),
+                    ever_simulated: false,
+                    last_used: 0,
+                    tables: FxHashMap::default(),
                 });
                 (c, witness)
             }
         };
         debug_assert!(
-            std::sync::Arc::ptr_eq(q.vocab(), self.classes[class].rep.vocab()),
+            Arc::ptr_eq(q.vocab(), inner.classes[class].rep.vocab()),
             "patterns in one registry must share a vocabulary"
         );
         let key = (class, witness.as_slice().to_vec());
-        if let Some(&existing) = self.member_by_witness.get(&key) {
+        if let Some(&existing) = inner.member_by_witness.get(&key) {
             return SpaceHandle(existing);
         }
-        self.classes[class].members += 1;
         let identity = witness.is_identity();
-        self.members.push(MemberState {
+        let perm: Option<Arc<[u32]>> =
+            (!identity).then(|| witness.as_slice().iter().map(|v| v.0).collect());
+        let id = inner.members.len();
+        inner.classes[class].member_ids.push(id);
+        inner.members.push(MemberState {
             q: q.clone(),
             class,
             witness,
             identity,
+            perm,
             cached: None,
+            cached_bytes: 0,
+            last_used: 0,
             plan: None,
         });
-        self.member_by_witness.insert(key, self.members.len() - 1);
-        SpaceHandle(self.members.len() - 1)
+        inner.member_by_witness.insert(key, id);
+        SpaceHandle(id)
     }
 
     /// The member's candidate space over `g`: simulated once per class
     /// (on first query), transported — and cached — for every further
     /// member. `g` must be the snapshot the registry is synchronized
     /// with (the one passed to the last [`apply`](Self::apply), or the
-    /// initial graph).
-    pub fn space(&mut self, h: SpaceHandle, g: &Graph) -> &CandidateSpace {
-        let class = self.members[h.0].class;
-        if self.classes[class].inc.is_none() {
-            let inc = IncrementalSpace::new(&self.classes[class].rep, g, None);
-            self.classes[class].inc = Some(inc);
-            self.simulations += 1;
-        }
-        if self.members[h.0].identity {
-            return self.classes[class]
-                .inc
-                .as_ref()
-                .expect("simulated above")
-                .space();
-        }
-        if self.members[h.0].cached.is_none() {
-            let cls = &self.classes[class];
-            let rep_space = cls.inc.as_ref().expect("simulated above").space();
-            let m = &self.members[h.0];
-            let transported = rep_space.transport(&cls.rep, &m.q, &m.witness);
-            self.members[h.0].cached = Some(transported);
-        }
-        self.members[h.0].cached.as_ref().expect("filled above")
+    /// initial graph). The returned `Arc` stays valid across repairs
+    /// and evictions (see the pinning contract in the module docs).
+    pub fn space(&self, h: SpaceHandle, g: &Graph) -> Arc<CandidateSpace> {
+        let mut inner = self.lock();
+        let out = inner.space(h, g);
+        inner.enforce_budget();
+        out
     }
 
     /// The member's decomposition-based query plan: tree-decomposed
     /// once per class (on the representative, on first query) and
     /// transported — via relabeling along the inverse witness — for
     /// every further member. Plans are pure pattern structure, so
-    /// graph edits never invalidate them.
-    pub fn plan(&mut self, h: SpaceHandle) -> &QueryPlan {
+    /// graph edits never invalidate them and eviction never drops
+    /// them.
+    pub fn plan(&self, h: SpaceHandle) -> Arc<QueryPlan> {
+        self.lock().plan(h)
+    }
+
+    /// Both the member's candidate space and its query plan under one
+    /// lock acquisition — the call detection hot paths use to set up
+    /// plan execution.
+    pub fn space_and_plan(
+        &self,
+        h: SpaceHandle,
+        g: &Graph,
+    ) -> (Arc<CandidateSpace>, Arc<QueryPlan>) {
+        let mut inner = self.lock();
+        let space = inner.space(h, g);
+        let plan = inner.plan(h);
+        inner.enforce_budget();
+        (space, plan)
+    }
+
+    /// True if `u` currently simulates `v` in the member's space.
+    pub fn contains(&self, h: SpaceHandle, g: &Graph, v: VarId, u: NodeId) -> bool {
+        self.space(h, g).sets[v.index()].binary_search(&u).is_ok()
+    }
+
+    /// The enumeration of the member's pattern pinned at `pin = pivot`
+    /// and restricted to `block`, served from the per-class table
+    /// cache: isomorphic members pinned at corresponding variables and
+    /// the same pivot share one flat table (stored in representative
+    /// variable order; non-identity members read it through their
+    /// witness permutation — an `O(arity)` view header, never a row
+    /// copy). Hits require the *same* shared block `Arc` — a rebuilt
+    /// block is a miss, and the stale entry is replaced.
+    ///
+    /// Probes and misses are recorded both in the registry-global
+    /// [`stats`](Self::stats) and in the caller's `stats` (the
+    /// per-worker / per-tenant share). The enumeration itself runs
+    /// outside the registry lock; racing duplicate builds are
+    /// tolerated (the first inserted table wins and is shared).
+    pub fn pinned_table(
+        &self,
+        h: SpaceHandle,
+        g: &Graph,
+        pin: VarId,
+        pivot: NodeId,
+        block: &Arc<NodeSet>,
+        stats: &mut CacheStats,
+    ) -> TableView {
+        let (class, rep_pin, perm, q) = {
+            let mut inner = self.lock();
+            let inner = &mut *inner;
+            let m = &inner.members[h.0];
+            let class = m.class;
+            let rep_pin = match &m.perm {
+                Some(p) => VarId(p[pin.index()]),
+                None => pin,
+            };
+            let perm = m.perm.clone();
+            inner.tick += 1;
+            let tick = inner.tick;
+            inner.classes[class].last_used = tick;
+            if let Some(e) = inner.classes[class].tables.get_mut(&(rep_pin, pivot)) {
+                if Arc::ptr_eq(&e.block, block) {
+                    e.last_used = tick;
+                    inner.stats.hits += 1;
+                    stats.hits += 1;
+                    let table = Arc::clone(&e.table);
+                    return Self::view(table, perm);
+                }
+            }
+            inner.stats.misses += 1;
+            stats.misses += 1;
+            (class, rep_pin, perm, m.q.clone())
+        };
+
+        // Miss: enumerate the member's own pattern (outside the lock),
+        // then permute rows into representative order at store time so
+        // every class member can read the table through its own view.
+        let arity = q.node_count();
+        let mut table = MatchTable::new(arity);
+        ComponentSearch::new(&q, g)
+            .pin(pin, pivot)
+            .restrict(block)
+            .collect_into(&mut table);
+        let stored = match &perm {
+            None => table,
+            Some(p) => {
+                let mut t = MatchTable::with_capacity(arity, table.len());
+                let mut buf = vec![NodeId(0); arity];
+                for row in table.iter() {
+                    for (j, &x) in row.iter().enumerate() {
+                        buf[p[j] as usize] = x;
+                    }
+                    t.push_row(&buf);
+                }
+                t
+            }
+        };
+
+        let mut inner = self.lock();
+        let table = inner.insert_table(class, (rep_pin, pivot), block, Arc::new(stored));
+        inner.enforce_budget();
+        Self::view(table, perm)
+    }
+
+    fn view(table: Arc<MatchTable>, perm: Option<Arc<[u32]>>) -> TableView {
+        match perm {
+            Some(p) => TableView::permuted(table, p),
+            None => TableView::identity(table),
+        }
+    }
+
+    /// Sampled repair-invariant check: recomputes the member's
+    /// candidate space from scratch (a fresh [`dual_simulation`] of
+    /// the member pattern over `g`, no incremental state, no
+    /// transport) and compares it with what the registry serves.
+    /// `true` means the incremental repair chain is still exact for
+    /// this member. This is the self-check a long-running service runs
+    /// on a random member per epoch.
+    pub fn verify_member(&self, h: SpaceHandle, g: &Graph) -> bool {
+        let served = self.space(h, g);
+        let q = self.lock().members[h.0].q.clone();
+        let scratch = dual_simulation(&q, g, None);
+        *served == scratch
+    }
+
+    /// Repairs the registry against one edit step: **one**
+    /// [`IncrementalSpace`] repair per simulated class (classes never
+    /// queried are skipped — a later first query simulates against the
+    /// then-current snapshot), then drops the transported caches and
+    /// match tables of every class whose relation or per-edge
+    /// adjacency changed. Returns per-class flags that are true when
+    /// the class's *candidate sets* (may have) changed — the signal
+    /// workload maintenance keys on. An evicted class reports `true`
+    /// conservatively; a never-simulated one reports `false`.
+    pub fn apply(&self, g: &Graph, delta: &GraphDelta) -> Vec<bool> {
+        self.apply_normalized(g, &delta.clone().normalize())
+    }
+
+    /// [`apply`](Self::apply) for an already-normalized delta. Empty
+    /// deltas are no-ops and do **not** advance the repair epoch.
+    pub fn apply_normalized(&self, g: &Graph, d: &GraphDelta) -> Vec<bool> {
+        let mut inner = self.lock();
+        if d.is_empty() {
+            return vec![false; inner.classes.len()];
+        }
+        let flags = inner.apply_impl(g, d);
+        inner.version += 1;
+        inner.push_history(flags.clone());
+        inner.enforce_budget();
+        flags
+    }
+
+    /// Multi-tenant repair: applies the delta only if this tenant is
+    /// the *first* to reach epoch `target` (`target == version() + 1`);
+    /// tenants arriving later at an epoch the registry already passed
+    /// get the recorded per-class change flags replayed instead (or
+    /// conservative all-changed flags once the epoch has left the
+    /// bounded history window). Tenants must ingest the same delta
+    /// stream and bump their cursor once per *non-empty* normalized
+    /// delta — normalization is deterministic, so every tenant skips
+    /// exactly the same empties.
+    pub fn advance(&self, g: &Graph, d: &GraphDelta, target: u64) -> Vec<bool> {
+        let mut inner = self.lock();
+        let n = inner.classes.len();
+        if d.is_empty() {
+            return vec![false; n];
+        }
+        if target <= inner.version {
+            return inner.history_flags(target, n);
+        }
+        debug_assert_eq!(
+            target,
+            inner.version + 1,
+            "tenant cursors must advance the shared registry in lockstep"
+        );
+        let flags = inner.apply_impl(g, d);
+        inner.version = target;
+        inner.push_history(flags.clone());
+        inner.enforce_budget();
+        flags
+    }
+
+    /// The repair epoch: how many non-empty deltas have been applied.
+    /// A new tenant initializes its cursor from this.
+    pub fn version(&self) -> u64 {
+        self.lock().version
+    }
+
+    /// Drops every cached artifact — incremental spaces, transported
+    /// member spaces, match tables — and clears the replay history, so
+    /// every later query rebuilds against the then-current snapshot
+    /// and every lagging tenant replays conservative flags. Sound at
+    /// any point (the caches are pure derivations); used by detectors
+    /// re-seeding after a degraded epoch, where a mid-repair panic may
+    /// have torn the incremental state.
+    pub fn invalidate_all(&self) {
+        let mut inner = self.lock();
+        let inner = &mut *inner;
+        for cls in &mut inner.classes {
+            if cls.inc.take().is_some() {
+                inner.bytes -= cls.inc_bytes;
+                cls.inc_bytes = 0;
+            }
+            for (_, e) in cls.tables.drain() {
+                inner.bytes -= e.bytes;
+            }
+        }
+        for m in &mut inner.members {
+            if m.cached.take().is_some() {
+                inner.bytes -= m.cached_bytes;
+                m.cached_bytes = 0;
+            }
+        }
+        inner.history.clear();
+        inner.base_version = inner.version;
+        inner.deferred_pending = 0;
+    }
+
+    /// Runs one budget-enforcement pass without inserting anything —
+    /// the hook for draining evictions that were deferred while their
+    /// entries were pinned.
+    pub fn sweep(&self) {
+        let mut inner = self.lock();
+        // Advance the clock so nothing counts as "just inserted" — a
+        // sweep has no in-flight caller to protect.
+        inner.tick += 1;
+        inner.enforce_budget();
+    }
+
+    /// The class a registered pattern belongs to.
+    pub fn class_of(&self, h: SpaceHandle) -> usize {
+        self.lock().members[h.0].class
+    }
+
+    /// The member's class and its witness onto the representative as a
+    /// column permutation (`None` = the member *is* in representative
+    /// order) — what the multi-query index stores per component.
+    pub fn class_and_perm(&self, h: SpaceHandle) -> (usize, Option<Arc<[u32]>>) {
+        let inner = self.lock();
+        let m = &inner.members[h.0];
+        (m.class, m.perm.clone())
+    }
+
+    /// Number of structurally distinct members registered into a class
+    /// (identical re-registrations collapse onto one handle, so this
+    /// is *not* a per-rule count — callers gating on "how many rules
+    /// of my Σ share this class" should count class occurrences over
+    /// the handles of their own registration pass instead).
+    pub fn class_members(&self, class: usize) -> usize {
+        self.lock().classes[class].member_ids.len()
+    }
+
+    /// Number of distinct isomorphism classes registered.
+    pub fn class_count(&self) -> usize {
+        self.lock().classes.len()
+    }
+
+    /// Structurally distinct registered patterns.
+    pub fn member_count(&self) -> usize {
+        self.lock().members.len()
+    }
+
+    /// From-scratch worklist simulations run so far — the probe that
+    /// asserts "one simulation per isomorphism class" in tests and
+    /// benchmarks (a class evicted and re-queried simulates again).
+    pub fn simulations(&self) -> usize {
+        self.lock().simulations
+    }
+
+    /// From-scratch tree decompositions run so far — the "one plan per
+    /// isomorphism class" probe (transports are not counted).
+    pub fn plans_built(&self) -> usize {
+        self.lock().plans_built
+    }
+
+    /// The registry-global cache counters (every tenant's probes
+    /// combined).
+    pub fn stats(&self) -> CacheStats {
+        self.lock().stats
+    }
+
+    /// Accounted bytes currently held (tables + transported spaces +
+    /// class spaces).
+    pub fn bytes(&self) -> usize {
+        self.lock().bytes
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.lock().budget
+    }
+
+    /// Pinned entries the latest enforcement pass skipped while still
+    /// over budget; zero whenever the budget holds. Drains via
+    /// [`sweep`](Self::sweep) (or any insertion) after pins drop.
+    pub fn deferred_pending(&self) -> u64 {
+        self.lock().deferred_pending
+    }
+}
+
+impl RegistryInner {
+    fn ensure_space(&mut self, class: usize, g: &Graph) {
+        if self.classes[class].inc.is_none() {
+            let inc = IncrementalSpace::new(&self.classes[class].rep, g, None);
+            let b = inc.space().approx_bytes();
+            let cls = &mut self.classes[class];
+            cls.inc = Some(inc);
+            cls.inc_bytes = b;
+            cls.ever_simulated = true;
+            self.bytes += b;
+            self.simulations += 1;
+        }
+    }
+
+    fn space(&mut self, h: SpaceHandle, g: &Graph) -> Arc<CandidateSpace> {
+        let class = self.members[h.0].class;
+        self.tick += 1;
+        let tick = self.tick;
+        self.classes[class].last_used = tick;
+        self.ensure_space(class, g);
+        if self.members[h.0].identity {
+            return self.classes[class]
+                .inc
+                .as_ref()
+                .expect("simulated above")
+                .space_arc();
+        }
+        if self.members[h.0].cached.is_none() {
+            let cls = &self.classes[class];
+            let rep_space = cls.inc.as_ref().expect("simulated above").space();
+            let m = &self.members[h.0];
+            let transported = rep_space.transport(&cls.rep, &m.q, &m.witness);
+            let b = transported.approx_bytes();
+            let m = &mut self.members[h.0];
+            m.cached = Some(Arc::new(transported));
+            m.cached_bytes = b;
+            self.bytes += b;
+        }
+        let m = &mut self.members[h.0];
+        m.last_used = tick;
+        Arc::clone(m.cached.as_ref().expect("filled above"))
+    }
+
+    fn plan(&mut self, h: SpaceHandle) -> Arc<QueryPlan> {
         let class = self.members[h.0].class;
         if self.classes[class].plan.is_none() {
             let p = QueryPlan::new(&self.classes[class].rep);
-            self.classes[class].plan = Some(p);
+            self.classes[class].plan = Some(Arc::new(p));
             self.plans_built += 1;
         }
         if self.members[h.0].identity {
-            return self.classes[class].plan.as_ref().expect("built above");
+            return Arc::clone(self.classes[class].plan.as_ref().expect("built above"));
         }
         if self.members[h.0].plan.is_none() {
             let rep_plan = self.classes[class].plan.as_ref().expect("built above");
@@ -199,130 +705,209 @@ impl SpaceRegistry {
             // inverse.
             let inv = m.witness.inverse();
             let transported = rep_plan.transport(&m.q, |v| inv.map(v));
-            self.members[h.0].plan = Some(transported);
+            self.members[h.0].plan = Some(Arc::new(transported));
         }
-        self.members[h.0].plan.as_ref().expect("filled above")
+        Arc::clone(self.members[h.0].plan.as_ref().expect("filled above"))
     }
 
-    /// Both the member's candidate space and its query plan, each
-    /// lazily built and cached as in [`space`](Self::space) /
-    /// [`plan`](Self::plan) — the single call detection hot paths use
-    /// to set up plan execution.
-    pub fn space_and_plan(&mut self, h: SpaceHandle, g: &Graph) -> (&CandidateSpace, &QueryPlan) {
-        self.space(h, g);
-        self.plan(h);
-        let m = &self.members[h.0];
-        let cls = &self.classes[m.class];
-        let space = if m.identity {
-            cls.inc.as_ref().expect("filled by space()").space()
-        } else {
-            m.cached.as_ref().expect("filled by space()")
-        };
-        let plan = if m.identity {
-            cls.plan.as_ref().expect("filled by plan()")
-        } else {
-            m.plan.as_ref().expect("filled by plan()")
-        };
-        (space, plan)
-    }
-
-    /// True if `u` currently simulates `v` in the member's space.
-    pub fn contains(&mut self, h: SpaceHandle, g: &Graph, v: VarId, u: NodeId) -> bool {
-        self.space(h, g).sets[v.index()].binary_search(&u).is_ok()
-    }
-
-    /// Sampled repair-invariant check: recomputes the member's
-    /// candidate space from scratch (a fresh [`dual_simulation`] of
-    /// the member pattern over `g`, no incremental state, no
-    /// transport) and compares it with what the registry serves —
-    /// the repaired representative read through the member's witness.
-    /// `true` means the incremental repair chain is still exact for
-    /// this member.
-    ///
-    /// This is the self-check a long-running service runs on a random
-    /// member per epoch: one simulation's worth of work, so it is
-    /// affordable at a sampling cadence, and any divergence (a repair
-    /// bug, memory corruption, a consumer mutating shared state)
-    /// surfaces as `false` instead of silently wrong match results.
-    pub fn verify_member(&mut self, h: SpaceHandle, g: &Graph) -> bool {
-        let served = self.space(h, g).clone();
-        let scratch = dual_simulation(&self.members[h.0].q, g, None);
-        served == scratch
-    }
-
-    /// Repairs the registry against one edit step: **one**
-    /// [`IncrementalSpace`] repair per simulated class (classes never
-    /// queried are skipped — a later first query simulates against the
-    /// then-current snapshot), then invalidates the transported caches
-    /// of every class whose space contents changed. Returns per-class
-    /// flags that are true when the class's *candidate sets* changed —
-    /// the signal workload maintenance keys on (members inherit their
-    /// representative's flag exactly: transport is a bijection of
-    /// contents).
-    pub fn apply(&mut self, g: &Graph, delta: &GraphDelta) -> Vec<bool> {
-        self.apply_normalized(g, &delta.clone().normalize())
-    }
-
-    /// [`apply`](Self::apply) for an already-normalized delta.
-    pub fn apply_normalized(&mut self, g: &Graph, d: &GraphDelta) -> Vec<bool> {
-        let mut sets_changed = vec![false; self.classes.len()];
-        if d.is_empty() {
-            return sets_changed;
+    /// Inserts a freshly built table; a racing build that lost keeps
+    /// the existing entry (so `Arc::ptr_eq` sharing holds), and a
+    /// stale-block entry under the same key is replaced.
+    fn insert_table(
+        &mut self,
+        class: usize,
+        key: (VarId, NodeId),
+        block: &Arc<NodeSet>,
+        table: Arc<MatchTable>,
+    ) -> Arc<MatchTable> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(e) = self.classes[class].tables.get_mut(&key) {
+            if Arc::ptr_eq(&e.block, block) {
+                e.last_used = tick;
+                return Arc::clone(&e.table);
+            }
+            self.bytes -= e.bytes;
         }
+        let bytes = table.data_bytes();
+        self.bytes += bytes;
+        self.classes[class].tables.insert(
+            key,
+            TableEntry {
+                table: Arc::clone(&table),
+                block: Arc::clone(block),
+                last_used: tick,
+                bytes,
+            },
+        );
+        table
+    }
+
+    /// One repair pass over every class (no version bookkeeping).
+    fn apply_impl(&mut self, g: &Graph, d: &GraphDelta) -> Vec<bool> {
+        let n = self.classes.len();
+        let mut sets_changed = vec![false; n];
         // Caches must also refresh on adjacency-only changes (a new
         // graph edge between surviving candidates moves the per-edge
         // runs without moving any set).
-        let mut refresh = vec![false; self.classes.len()];
+        let mut refresh = vec![false; n];
+        let mut freed = 0usize;
+        let mut grown = 0usize;
         for (c, cls) in self.classes.iter_mut().enumerate() {
-            if let Some(inc) = cls.inc.as_mut() {
-                let report = inc.apply_normalized(g, d);
-                sets_changed[c] = !report.is_unchanged();
-                refresh[c] = sets_changed[c] || report.adjacency_changed;
+            match cls.inc.as_mut() {
+                Some(inc) => {
+                    let report = inc.apply_normalized(g, d);
+                    sets_changed[c] = !report.is_unchanged();
+                    refresh[c] = sets_changed[c] || report.adjacency_changed;
+                    let nb = inc.space().approx_bytes();
+                    freed += cls.inc_bytes;
+                    grown += nb;
+                    cls.inc_bytes = nb;
+                }
+                None => {
+                    // Without the incremental state nobody can certify
+                    // "unchanged": an evicted class is conservatively
+                    // changed, and any tables it still holds (tables
+                    // don't require a simulated class) must go.
+                    sets_changed[c] = cls.ever_simulated;
+                    refresh[c] = true;
+                }
+            }
+            if refresh[c] {
+                for (_, e) in cls.tables.drain() {
+                    freed += e.bytes;
+                }
             }
         }
+        self.bytes = self.bytes + grown - freed;
         for m in &mut self.members {
-            if refresh[m.class] {
-                m.cached = None;
+            if refresh[m.class] && m.cached.take().is_some() {
+                self.bytes -= m.cached_bytes;
+                m.cached_bytes = 0;
             }
         }
         sets_changed
     }
 
-    /// The class a registered pattern belongs to.
-    pub fn class_of(&self, h: SpaceHandle) -> usize {
-        self.members[h.0].class
+    fn push_history(&mut self, flags: Vec<bool>) {
+        self.history.push_back(flags);
+        if self.history.len() > FLAG_HISTORY {
+            self.history.pop_front();
+            self.base_version += 1;
+        }
     }
 
-    /// Number of structurally distinct members registered into a class
-    /// (identical re-registrations collapse onto one handle, so this
-    /// is *not* a per-rule count — callers gating on "how many rules
-    /// of my Σ share this class" should count class occurrences over
-    /// the handles of their own registration pass instead).
-    pub fn class_members(&self, class: usize) -> usize {
-        self.classes[class].members
+    /// Recorded flags of epoch `v`, padded with `true` for classes
+    /// registered after that epoch; conservative all-changed once the
+    /// epoch left the history window.
+    fn history_flags(&self, v: u64, n: usize) -> Vec<bool> {
+        if v > self.base_version && v <= self.version {
+            let mut flags = self.history[(v - self.base_version - 1) as usize].clone();
+            flags.resize(n, true);
+            flags
+        } else {
+            vec![true; n]
+        }
     }
 
-    /// Number of distinct isomorphism classes registered.
-    pub fn class_count(&self) -> usize {
-        self.classes.len()
-    }
-
-    /// Structurally distinct registered patterns.
-    pub fn member_count(&self) -> usize {
-        self.members.len()
-    }
-
-    /// From-scratch worklist simulations run so far — the probe that
-    /// asserts "one simulation per isomorphism class" in tests and
-    /// benchmarks.
-    pub fn simulations(&self) -> usize {
-        self.simulations
-    }
-
-    /// From-scratch tree decompositions run so far — the "one plan per
-    /// isomorphism class" probe (transports are not counted).
-    pub fn plans_built(&self) -> usize {
-        self.plans_built
+    /// Evicts least-recently-used unpinned entries until the budget
+    /// holds; pinned entries are skipped (and counted) — see the
+    /// module-level contract.
+    fn enforce_budget(&mut self) {
+        loop {
+            if self.bytes <= self.budget {
+                self.deferred_pending = 0;
+                return;
+            }
+            let mut victim: Option<(u64, Victim)> = None;
+            let mut pinned = 0u64;
+            fn consider(last: u64, v: Victim, best: &mut Option<(u64, Victim)>) {
+                if best.as_ref().is_none_or(|(t, _)| last < *t) {
+                    *best = Some((last, v));
+                }
+            }
+            for (c, cls) in self.classes.iter().enumerate() {
+                for (&key, e) in &cls.tables {
+                    // Never evict the entry touched at the current
+                    // tick — that is what the caller just asked for.
+                    if e.last_used == self.tick {
+                        continue;
+                    }
+                    if Arc::strong_count(&e.table) == 1 {
+                        consider(e.last_used, Victim::Table(c, key), &mut victim);
+                    } else {
+                        pinned += 1;
+                    }
+                }
+                if let Some(inc) = &cls.inc {
+                    if cls.last_used == self.tick {
+                        continue;
+                    }
+                    let space_free = Arc::strong_count(inc.space_arc_ref()) == 1;
+                    let transports_free = cls.member_ids.iter().all(|&mi| {
+                        self.members[mi]
+                            .cached
+                            .as_ref()
+                            .is_none_or(|cs| Arc::strong_count(cs) == 1)
+                    });
+                    if space_free && transports_free {
+                        consider(cls.last_used, Victim::Class(c), &mut victim);
+                    } else {
+                        pinned += 1;
+                    }
+                }
+            }
+            for (mi, m) in self.members.iter().enumerate() {
+                if let Some(cs) = &m.cached {
+                    if m.last_used == self.tick {
+                        continue;
+                    }
+                    if Arc::strong_count(cs) == 1 {
+                        consider(m.last_used, Victim::Transport(mi), &mut victim);
+                    } else {
+                        pinned += 1;
+                    }
+                }
+            }
+            match victim {
+                Some((_, Victim::Table(c, key))) => {
+                    let e = self.classes[c].tables.remove(&key).expect("chosen above");
+                    self.bytes -= e.bytes;
+                    self.stats.evicted_cold += 1;
+                }
+                Some((_, Victim::Transport(mi))) => {
+                    let m = &mut self.members[mi];
+                    m.cached = None;
+                    self.bytes -= m.cached_bytes;
+                    m.cached_bytes = 0;
+                    self.stats.evicted_cold += 1;
+                }
+                Some((_, Victim::Class(c))) => {
+                    let member_ids = std::mem::take(&mut self.classes[c].member_ids);
+                    for &mi in &member_ids {
+                        let m = &mut self.members[mi];
+                        if m.cached.take().is_some() {
+                            self.bytes -= m.cached_bytes;
+                            m.cached_bytes = 0;
+                            self.stats.evicted_cold += 1;
+                        }
+                    }
+                    self.classes[c].member_ids = member_ids;
+                    self.classes[c].inc = None;
+                    self.bytes -= self.classes[c].inc_bytes;
+                    self.classes[c].inc_bytes = 0;
+                    self.stats.evicted_cold += 1;
+                }
+                None => {
+                    // Everything left is pinned (or just inserted):
+                    // record the deferral and let a later sweep or
+                    // insertion drain it once the pins drop.
+                    self.stats.eviction_deferred_pinned += pinned;
+                    self.deferred_pending = pinned;
+                    return;
+                }
+            }
+        }
     }
 }
 
@@ -361,6 +946,10 @@ mod tests {
         b.build()
     }
 
+    fn full_block(g: &Graph) -> Arc<NodeSet> {
+        Arc::new(NodeSet::from_vec(g.nodes().collect()))
+    }
+
     #[test]
     fn one_simulation_serves_the_whole_class() {
         let g = chain_graph();
@@ -369,13 +958,13 @@ mod tests {
             chain_pattern(&g, [2, 0, 1]),
             chain_pattern(&g, [1, 2, 0]),
         ];
-        let mut reg = SpaceRegistry::new();
+        let reg = ClassRegistry::new();
         let handles: Vec<SpaceHandle> = members.iter().map(|q| reg.register(q)).collect();
         assert_eq!(reg.class_count(), 1);
         assert_eq!(reg.member_count(), 3);
         assert_eq!(reg.simulations(), 0, "registration alone never simulates");
         for (q, &h) in members.iter().zip(&handles) {
-            let got = reg.space(h, &g).clone();
+            let got = reg.space(h, &g);
             let want = dual_simulation(q, &g, None);
             assert_eq!(got.sets, want.sets);
             for ei in 0..q.edge_count() {
@@ -391,7 +980,7 @@ mod tests {
     #[test]
     fn distinct_shapes_get_distinct_classes() {
         let g = chain_graph();
-        let mut reg = SpaceRegistry::new();
+        let reg = ClassRegistry::new();
         let h1 = reg.register(&chain_pattern(&g, [0, 1, 2]));
         let mut b = PatternBuilder::new(g.vocab().clone());
         b.node("solo", "a");
@@ -405,7 +994,7 @@ mod tests {
     fn repair_is_per_class_and_members_follow() {
         let g = chain_graph();
         let members = [chain_pattern(&g, [0, 1, 2]), chain_pattern(&g, [2, 1, 0])];
-        let mut reg = SpaceRegistry::new();
+        let reg = ClassRegistry::new();
         let handles: Vec<SpaceHandle> = members.iter().map(|q| reg.register(q)).collect();
         for &h in &handles {
             reg.space(h, &g);
@@ -432,7 +1021,7 @@ mod tests {
     fn reregistration_is_deduplicated() {
         let g = chain_graph();
         let q = chain_pattern(&g, [0, 1, 2]);
-        let mut reg = SpaceRegistry::new();
+        let reg = ClassRegistry::new();
         let h1 = reg.register(&q);
         let h2 = reg.register(&q);
         assert_eq!(h1, h2);
@@ -502,14 +1091,14 @@ mod tests {
             triangle_pattern(&g, [2, 0, 1]),
             triangle_pattern(&g, [1, 2, 0]),
         ];
-        let mut reg = SpaceRegistry::new();
+        let reg = ClassRegistry::new();
         let handles: Vec<SpaceHandle> = members.iter().map(|q| reg.register(q)).collect();
         assert_eq!(reg.class_count(), 1);
         assert_eq!(reg.plans_built(), 0, "registration alone never plans");
         for (q, &h) in members.iter().zip(&handles) {
-            let w = reg.plan(h).width();
-            assert_eq!(w, 2, "a triangle decomposes into one 3-var bag");
-            assert_eq!(reg.plan(h).decomposition().bag_count(), 1);
+            let plan = reg.plan(h);
+            assert_eq!(plan.width(), 2, "a triangle decomposes into one 3-var bag");
+            assert_eq!(plan.decomposition().bag_count(), 1);
             assert_eq!(q.node_count(), 3);
         }
         assert_eq!(reg.plans_built(), 1, "one decomposition for three members");
@@ -526,7 +1115,7 @@ mod tests {
             triangle_pattern(&g, [0, 1, 2]),
             triangle_pattern(&g, [2, 0, 1]),
         ];
-        let mut reg = SpaceRegistry::new();
+        let reg = ClassRegistry::new();
         let handles: Vec<SpaceHandle> = members.iter().map(|q| reg.register(q)).collect();
         let mut scratch = PlanScratch::default();
         for (q, &h) in members.iter().zip(&handles) {
@@ -535,8 +1124,8 @@ mod tests {
             execute_plan(
                 q,
                 &g,
-                cs,
-                plan,
+                &cs,
+                &plan,
                 None,
                 &[],
                 u64::MAX,
@@ -560,7 +1149,7 @@ mod tests {
     fn lazy_class_simulates_against_current_snapshot() {
         let g = chain_graph();
         let q = chain_pattern(&g, [0, 1, 2]);
-        let mut reg = SpaceRegistry::new();
+        let reg = ClassRegistry::new();
         let h = reg.register(&q);
         // Edit before ever querying: apply skips the unsimulated class…
         let (g2, delta) = g.edit_with_delta(|b| {
@@ -572,5 +1161,270 @@ mod tests {
         // …and the first query simulates against the edited snapshot.
         assert_eq!(reg.space(h, &g2).sets, dual_simulation(&q, &g2, None).sets);
         assert_eq!(reg.simulations(), 1);
+    }
+
+    /// Isomorphic members share one pinned enumeration by pointer: the
+    /// second member's probe is a hit on the table the first stored,
+    /// read through the witness permutation.
+    #[test]
+    fn isomorphic_members_share_pinned_tables() {
+        let g = chain_graph();
+        let fwd = chain_pattern(&g, [0, 1, 2]);
+        let rev = chain_pattern(&g, [2, 1, 0]);
+        let reg = ClassRegistry::new();
+        let h_fwd = reg.register(&fwd);
+        let h_rev = reg.register(&rev);
+        let block = full_block(&g);
+        let mut s1 = CacheStats::default();
+        let mut s2 = CacheStats::default();
+        // Pin both members at their own "y" variable and the same
+        // pivot: corresponding pins map to one rep pin.
+        let v1 = reg.pinned_table(
+            h_fwd,
+            &g,
+            fwd.var_by_name("y").unwrap(),
+            NodeId(1),
+            &block,
+            &mut s1,
+        );
+        let v2 = reg.pinned_table(
+            h_rev,
+            &g,
+            rev.var_by_name("y").unwrap(),
+            NodeId(1),
+            &block,
+            &mut s2,
+        );
+        assert_eq!((s1.hits, s1.misses), (0, 1));
+        assert_eq!((s2.hits, s2.misses), (1, 0));
+        assert!(
+            Arc::ptr_eq(v1.table(), v2.table()),
+            "hit must share the cached table, not copy it"
+        );
+        assert_eq!(v1.len(), 1, "premise: one chain match through b1");
+        // Both views read the same logical row in their own order.
+        for (q, v) in [(&fwd, &v1), (&rev, &v2)] {
+            assert_eq!(v.get(0, q.var_by_name("x").unwrap().index()), NodeId(0));
+            assert_eq!(v.get(0, q.var_by_name("y").unwrap().index()), NodeId(1));
+            assert_eq!(v.get(0, q.var_by_name("z").unwrap().index()), NodeId(2));
+        }
+        let global = reg.stats();
+        assert_eq!((global.hits, global.misses), (1, 1));
+    }
+
+    /// A rebuilt block (new `Arc`, same pivot) must not serve the old
+    /// enumeration: the probe misses and the entry is replaced.
+    #[test]
+    fn rebuilt_block_invalidates_the_table() {
+        let g = chain_graph();
+        let q = chain_pattern(&g, [0, 1, 2]);
+        let reg = ClassRegistry::new();
+        let h = reg.register(&q);
+        let pin = q.var_by_name("y").unwrap();
+        let mut stats = CacheStats::default();
+        let b1 = full_block(&g);
+        reg.pinned_table(h, &g, pin, NodeId(1), &b1, &mut stats);
+        reg.pinned_table(h, &g, pin, NodeId(1), &b1, &mut stats);
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        let b2 = full_block(&g); // same contents, different Arc
+        let v = reg.pinned_table(h, &g, pin, NodeId(1), &b2, &mut stats);
+        assert_eq!((stats.hits, stats.misses), (1, 2), "new block ⇒ miss");
+        assert_eq!(v.len(), 1);
+        reg.pinned_table(h, &g, pin, NodeId(1), &b2, &mut stats);
+        assert_eq!((stats.hits, stats.misses), (2, 2), "replacement serves");
+    }
+
+    /// LRU eviction: over budget, the *least recently touched*
+    /// unpinned table goes first — a touch-on-hit keeps hot entries.
+    #[test]
+    fn eviction_is_lru_with_touch_on_hit() {
+        let g = chain_graph();
+        let q = chain_pattern(&g, [0, 1, 2]);
+        // Each pinned chain table holds 1 row × 3 cols × 4 bytes = 12
+        // bytes; a 24-byte budget holds two.
+        let reg = ClassRegistry::with_budget_bytes(24);
+        let h = reg.register(&q);
+        let block = full_block(&g);
+        let mut stats = CacheStats::default();
+        let x = q.var_by_name("x").unwrap();
+        let y = q.var_by_name("y").unwrap();
+        let z = q.var_by_name("z").unwrap();
+        reg.pinned_table(h, &g, x, NodeId(0), &block, &mut stats);
+        reg.pinned_table(h, &g, y, NodeId(1), &block, &mut stats);
+        // Touch the x-table so the y-table becomes the LRU victim.
+        reg.pinned_table(h, &g, x, NodeId(0), &block, &mut stats);
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+        reg.pinned_table(h, &g, z, NodeId(2), &block, &mut stats);
+        assert!(reg.bytes() <= 24, "budget must hold after insertion");
+        assert_eq!(reg.stats().evicted_cold, 1);
+        reg.pinned_table(h, &g, x, NodeId(0), &block, &mut stats);
+        assert_eq!(stats.hits, 2, "the touched table survived");
+        reg.pinned_table(h, &g, y, NodeId(1), &block, &mut stats);
+        assert_eq!(stats.misses, 4, "the cold table was evicted");
+    }
+
+    /// The pinning contract: a view held across an eviction storm is
+    /// never dropped (deferred instead) and keeps reading correct
+    /// rows; once the pin drops, a sweep drains the deferral.
+    #[test]
+    fn pinned_tables_defer_eviction_and_drain_after_release() {
+        let g = chain_graph();
+        let q = chain_pattern(&g, [0, 1, 2]);
+        let reg = ClassRegistry::with_budget_bytes(12);
+        let h = reg.register(&q);
+        let block = full_block(&g);
+        let mut stats = CacheStats::default();
+        let x = q.var_by_name("x").unwrap();
+        let y = q.var_by_name("y").unwrap();
+        let z = q.var_by_name("z").unwrap();
+        let held = reg.pinned_table(h, &g, x, NodeId(0), &block, &mut stats);
+        // Storm: new tables keep arriving while `held` pins the first;
+        // each insertion evicts its cold predecessor but can never
+        // reach the budget because of the pin.
+        for _ in 0..3 {
+            for (var, node) in [(y, NodeId(1)), (z, NodeId(2))] {
+                reg.pinned_table(h, &g, var, node, &block, &mut stats);
+            }
+        }
+        assert!(reg.stats().evicted_cold > 0, "the storm did evict");
+        assert!(reg.deferred_pending() > 0, "the held pin must defer");
+        assert!(reg.stats().eviction_deferred_pinned > 0);
+        // The held view still reads the correct enumeration.
+        assert_eq!(held.len(), 1);
+        assert_eq!(held.get(0, x.index()), NodeId(0));
+        assert_eq!(held.get(0, y.index()), NodeId(1));
+        drop(held);
+        reg.sweep();
+        assert_eq!(reg.deferred_pending(), 0, "pins dropped ⇒ drained");
+        assert!(reg.bytes() <= 12);
+    }
+
+    /// A whole evicted class reports conservative change flags from
+    /// `apply` and re-simulates against the current snapshot on the
+    /// next query.
+    #[test]
+    fn evicted_class_is_conservative_and_resimulates() {
+        let g = chain_graph();
+        let q = chain_pattern(&g, [0, 1, 2]);
+        let reg = ClassRegistry::with_budget_bytes(0);
+        let h = reg.register(&q);
+        drop(reg.space(h, &g));
+        assert_eq!(reg.simulations(), 1);
+        reg.sweep();
+        assert!(reg.stats().evicted_cold >= 1, "zero budget must evict");
+        assert_eq!(reg.bytes(), 0);
+        let (g2, delta) = g.edit_with_delta(|b| {
+            b.remove_edge_labeled(NodeId(1), NodeId(2), "e");
+        });
+        let changed = reg.apply(&g2, &delta);
+        assert_eq!(
+            changed,
+            vec![true],
+            "an evicted, previously-simulated class must report changed"
+        );
+        assert_eq!(reg.space(h, &g2).sets, dual_simulation(&q, &g2, None).sets);
+        assert_eq!(reg.simulations(), 2, "re-query re-simulates");
+    }
+
+    /// Multi-tenant `advance`: the first tenant at an epoch repairs,
+    /// laggards replay the recorded flags; epochs beyond the bounded
+    /// history replay conservatively.
+    #[test]
+    fn advance_replays_flags_to_lagging_tenants() {
+        let g = chain_graph();
+        let q = chain_pattern(&g, [0, 1, 2]);
+        let reg = ClassRegistry::new();
+        let h = reg.register(&q);
+        reg.space(h, &g);
+        assert_eq!(reg.version(), 0);
+
+        let (g2, d1) = g.edit_with_delta(|b| {
+            b.remove_edge_labeled(NodeId(1), NodeId(2), "e");
+        });
+        let d1 = d1.normalize();
+        let first = reg.advance(&g2, &d1, 1);
+        assert_eq!(first, vec![true]);
+        assert_eq!(reg.version(), 1);
+        assert_eq!(reg.simulations(), 1);
+
+        // A second tenant reaches epoch 1 later: same flags, no second
+        // repair (the space is already at epoch 1).
+        let replay = reg.advance(&g2, &d1, 1);
+        assert_eq!(replay, first);
+        assert_eq!(reg.version(), 1);
+        assert_eq!(reg.space(h, &g2).sets, dual_simulation(&q, &g2, None).sets);
+
+        // An empty delta advances nobody.
+        let (g3, d_empty) = g2.edit_with_delta(|_| {});
+        assert_eq!(reg.advance(&g3, &d_empty.normalize(), 2), vec![false]);
+        assert_eq!(reg.version(), 1);
+
+        // Age epoch 1 out of the bounded history window: flip the
+        // a1→b1 edge back and forth, one non-empty delta per epoch.
+        let mut cur = g2;
+        let mut present = true; // a1→b1 survived epoch 1; toggle it
+        for v in 2..(2 + FLAG_HISTORY as u64 + 4) {
+            let (next, d) = cur.edit_with_delta(|b| {
+                if present {
+                    b.remove_edge_labeled(NodeId(0), NodeId(1), "e");
+                } else {
+                    b.add_edge_labeled(NodeId(0), NodeId(1), "e");
+                }
+            });
+            present = !present;
+            reg.advance(&next, &d.normalize(), v);
+            cur = next;
+        }
+        assert!(reg.version() > FLAG_HISTORY as u64);
+        assert_eq!(
+            reg.advance(&cur, &d1, 1),
+            vec![true],
+            "evicted history replays conservatively"
+        );
+    }
+
+    /// `invalidate_all` drops every derived artifact; later queries
+    /// rebuild against the current snapshot and later applies are
+    /// conservative.
+    #[test]
+    fn invalidate_all_rebuilds_from_current_snapshot() {
+        let g = chain_graph();
+        let q = chain_pattern(&g, [0, 1, 2]);
+        let reg = ClassRegistry::new();
+        let h = reg.register(&q);
+        reg.space(h, &g);
+        let mut stats = CacheStats::default();
+        let block = full_block(&g);
+        reg.pinned_table(h, &g, VarId(0), NodeId(0), &block, &mut stats);
+        assert!(reg.bytes() > 0);
+        reg.invalidate_all();
+        assert_eq!(reg.bytes(), 0);
+        let (g2, delta) = g.edit_with_delta(|b| {
+            b.remove_edge_labeled(NodeId(1), NodeId(2), "e");
+        });
+        assert_eq!(reg.apply(&g2, &delta), vec![true], "conservative");
+        assert_eq!(reg.space(h, &g2).sets, dual_simulation(&q, &g2, None).sets);
+        assert_eq!(reg.simulations(), 2);
+    }
+
+    /// A space handle held across a repair keeps its pre-repair
+    /// snapshot (copy-on-write), while fresh queries see the repair.
+    #[test]
+    fn held_space_snapshot_survives_repair() {
+        let g = chain_graph();
+        let q = chain_pattern(&g, [0, 1, 2]);
+        let reg = ClassRegistry::new();
+        let h = reg.register(&q);
+        let before = reg.space(h, &g);
+        let sets_before = before.sets.clone();
+        let (g2, delta) = g.edit_with_delta(|b| {
+            b.remove_edge_labeled(NodeId(1), NodeId(2), "e");
+        });
+        reg.apply(&g2, &delta);
+        assert_eq!(before.sets, sets_before, "held snapshot is immutable");
+        assert!(
+            reg.space(h, &g2).is_empty_anywhere(),
+            "fresh queries see the repair"
+        );
     }
 }

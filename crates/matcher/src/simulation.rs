@@ -85,6 +85,22 @@ impl CandidateSpace {
         self.sets.iter().map(Vec::len).sum()
     }
 
+    /// Approximate heap bytes held by the relation — candidate sets
+    /// plus both per-edge adjacency CSRs. The byte-budget size key of
+    /// [`crate::registry::ClassRegistry`]; an estimate (`Vec` headers
+    /// and spare capacity are ignored), which is all eviction needs.
+    pub fn approx_bytes(&self) -> usize {
+        let node = std::mem::size_of::<NodeId>();
+        let sets: usize = self.sets.iter().map(|s| s.len() * node).sum();
+        let adj: usize = self
+            .forward
+            .iter()
+            .chain(&self.reverse)
+            .map(|e| e.offsets.len() * std::mem::size_of::<u32>() + e.targets.len() * node)
+            .sum();
+        sets + adj
+    }
+
     /// Transports a space computed for `rep` onto the exact-label
     /// isomorphic pattern `member` along `w` (mapping member variables
     /// onto rep variables): candidate sets are permuted and the

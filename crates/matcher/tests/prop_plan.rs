@@ -6,12 +6,12 @@
 //! checked edge by edge. Against it we drive random **cyclic**
 //! patterns (a random spanning tree plus closing edges) through
 //! [`execute_plan`] — plain, pinned, transported onto
-//! permuted-declaration twins via the [`SpaceRegistry`], and across
+//! permuted-declaration twins via the [`ClassRegistry`], and across
 //! random edit scripts with incrementally repaired spaces.
 
 use gfd_graph::{Graph, GraphBuilder, NodeId};
 use gfd_match::types::Flow;
-use gfd_match::{dual_simulation, execute_plan, PlanScratch, QueryPlan, SpaceRegistry};
+use gfd_match::{dual_simulation, execute_plan, ClassRegistry, PlanScratch, QueryPlan};
 use gfd_pattern::{PatLabel, Pattern, PatternBuilder, VarId};
 use gfd_util::{prop::check, prop_assert, Rng};
 
@@ -235,7 +235,7 @@ fn transported_plans_survive_edit_scripts() {
             build_pattern(&spec, &random_order(rng, k), &g),
             build_pattern(&spec, &random_order(rng, k), &g),
         ];
-        let mut reg = SpaceRegistry::new();
+        let reg = ClassRegistry::new();
         let handles: Vec<_> = members.iter().map(|q| reg.register(q)).collect();
         prop_assert!(
             reg.class_count() == 1,
@@ -245,7 +245,7 @@ fn transported_plans_survive_edit_scripts() {
             for (q, &h) in members.iter().zip(&handles) {
                 let expected = oracle_matches(q, &g);
                 let (cs, plan) = reg.space_and_plan(h, &g);
-                let got = plan_matches(q, &g, cs, plan, &[], &mut scratch);
+                let got = plan_matches(q, &g, &cs, &plan, &[], &mut scratch);
                 prop_assert!(
                     got == expected,
                     "step {step}: {} vs oracle {} for {q:?}",

@@ -1,5 +1,5 @@
 //! The transport oracle: for random patterns and random variable
-//! relabelings, a [`SpaceRegistry`]-transported space must be
+//! relabelings, a [`ClassRegistry`]-transported space must be
 //! *identical* — candidate sets and per-edge candidate adjacency — to
 //! a from-scratch `dual_simulation` of the member pattern, including
 //! after random 50-step edit scripts repaired through the class
@@ -7,7 +7,7 @@
 
 use gfd_graph::{Graph, GraphBuilder, NodeId};
 use gfd_match::simulation::dual_simulation;
-use gfd_match::{CandidateSpace, SpaceHandle, SpaceRegistry};
+use gfd_match::{CandidateSpace, ClassRegistry, SpaceHandle};
 use gfd_pattern::{PatLabel, Pattern, PatternBuilder, VarId};
 use gfd_util::{prop::check, Rng};
 
@@ -177,7 +177,7 @@ fn random_edit(rng: &mut Rng, g: &Graph) -> (Graph, gfd_graph::GraphDelta) {
 #[test]
 fn transported_spaces_equal_scratch_simulation() {
     check(
-        "SpaceRegistry transport ≡ dual_simulation",
+        "ClassRegistry transport ≡ dual_simulation",
         case_budget(40),
         |rng| {
             let g = random_graph(rng, 12);
@@ -185,11 +185,11 @@ fn transported_spaces_equal_scratch_simulation() {
             let members: Vec<Pattern> = std::iter::once(base.clone())
                 .chain((0..rng.gen_range(1..4)).map(|t| relabel(rng, &base, t)))
                 .collect();
-            let mut reg = SpaceRegistry::new();
+            let reg = ClassRegistry::new();
             let handles: Vec<SpaceHandle> = members.iter().map(|q| reg.register(q)).collect();
             for (m, (q, &h)) in members.iter().zip(&handles).enumerate() {
                 let want = dual_simulation(q, &g, None);
-                let got = reg.space(h, &g).clone();
+                let got = reg.space(h, &g);
                 spaces_equal(&got, &want, &format!("member {m}"))
                     .map_err(|e| format!("{e}; base {base:?}; member {q:?}"))?;
             }
@@ -208,7 +208,7 @@ fn transported_spaces_equal_scratch_simulation() {
 #[test]
 fn repaired_representative_retransports_over_edit_scripts() {
     check(
-        "SpaceRegistry repair+transport ≡ dual_simulation over 50-step scripts",
+        "ClassRegistry repair+transport ≡ dual_simulation over 50-step scripts",
         case_budget(16),
         |rng| {
             let mut g = random_graph(rng, 10);
@@ -216,7 +216,7 @@ fn repaired_representative_retransports_over_edit_scripts() {
             let members: Vec<Pattern> = std::iter::once(base.clone())
                 .chain((0..2).map(|t| relabel(rng, &base, t)))
                 .collect();
-            let mut reg = SpaceRegistry::new();
+            let reg = ClassRegistry::new();
             let handles: Vec<SpaceHandle> = members.iter().map(|q| reg.register(q)).collect();
             for &h in &handles {
                 reg.space(h, &g);
@@ -226,7 +226,7 @@ fn repaired_representative_retransports_over_edit_scripts() {
                 reg.apply(&g2, &delta);
                 for (m, (q, &h)) in members.iter().zip(&handles).enumerate() {
                     let want = dual_simulation(q, &g2, None);
-                    let got = reg.space(h, &g2).clone();
+                    let got = reg.space(h, &g2);
                     spaces_equal(&got, &want, &format!("step {step}, member {m}"))
                         .map_err(|e| format!("{e}; delta {delta:?}; member {q:?}"))?;
                 }

@@ -38,11 +38,10 @@ use crate::balance::random_assign;
 use crate::cluster::{CostModel, SimClocks};
 use crate::metrics::ParallelReport;
 use crate::opt::{reduce_workload, split_large_units, SplitUnit};
-use crate::unitexec::{
-    execute_unit, sort_violations, CacheStats, MatchCache, MultiQueryIndex, UnitScratch,
-};
+use crate::unitexec::{execute_unit, sort_violations, CacheStats, MultiQueryIndex, UnitScratch};
 use crate::workload::{estimate_workload, plan_rules, PivotedRule, UnitSlot, WorkloadOptions};
 use crate::Assignment;
+use gfd_match::ClassRegistry;
 
 /// Configuration of a `disVal` run.
 #[derive(Clone, Debug)]
@@ -356,8 +355,12 @@ pub fn dis_val(
     };
     let partition_seconds = t0.elapsed().as_secs_f64();
 
-    // (3) dlocalVio at each worker, with per-worker node caches.
-    let mqi = cfg.multi_query.then(|| MultiQueryIndex::build(&plans));
+    // (3) dlocalVio at each worker, with per-worker node caches and
+    // one shared match-table registry for the whole run.
+    let registry = ClassRegistry::new();
+    let mqi = cfg
+        .multi_query
+        .then(|| MultiQueryIndex::build(&plans, &registry));
     let mut violations = Vec::new();
     let mut cache_stats = CacheStats::default();
     let mut scratch = UnitScratch::new();
@@ -368,7 +371,7 @@ pub fn dis_val(
         vec![0.0; split.iter().map(|s| s.unit_index + 1).max().unwrap_or(0)];
     for worker in 0..cfg.n {
         let mut node_cache: FxHashSet<NodeId> = FxHashSet::default();
-        let mut match_cache = MatchCache::new();
+        let mut worker_stats = CacheStats::default();
         // Shipment is batched per worker: prefetches stream from peer
         // fragments (bulk, nodes deduplicated by the cache), partial
         // matches are pipelined, violations return to the coordinator
@@ -421,7 +424,8 @@ pub fn dis_val(
                     slots,
                     &su.unit,
                     mqi.as_ref(),
-                    &mut match_cache,
+                    &registry,
+                    &mut worker_stats,
                     &mut scratch,
                     &mut violations,
                 );
@@ -435,7 +439,7 @@ pub fn dis_val(
                 clocks.charge_message(worker, bytes, &cfg.cost_model);
             }
         }
-        cache_stats += match_cache.stats();
+        cache_stats += worker_stats;
     }
     // Pass 2 — every share carries 1/of of its unit's measured time.
     for (i, su) in split.iter().enumerate() {

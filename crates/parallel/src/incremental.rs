@@ -3,14 +3,17 @@
 //!
 //! Workload estimation is dominated by two products of the graph:
 //! the per-component *feasible pivot* sets (one dual simulation per
-//! component isomorphism class, via the shared [`SpaceRegistry`]) and
+//! component isomorphism class, via the shared [`ClassRegistry`]) and
 //! the `c`-hop *data blocks* of the [`BlockCache`]. Both are
 //! repairable from a [`GraphDelta`]:
 //!
-//! * pivot sets are read from one [`SpaceRegistry`] shared across the
-//!   whole Σ — [`SpaceRegistry::apply`] repairs **one class
-//!   representative** per delta in `O(affected)` and re-transports the
-//!   members, so `k` isomorphic components pay one repair together;
+//! * pivot sets are read from one [`ClassRegistry`] — possibly shared
+//!   with detectors and executors of other tenants — where
+//!   [`ClassRegistry::advance`] repairs **one class representative**
+//!   per delta epoch in `O(affected)` and re-transports the members,
+//!   so `k` isomorphic components pay one repair together (and an
+//!   epoch another tenant already repaired replays recorded flags
+//!   instead of repairing twice);
 //! * a cached block is stale only when a delta edge has an endpoint
 //!   inside it ([`BlockCache::invalidate_touching`]) — all other
 //!   blocks survive as shared `Arc`s;
@@ -29,7 +32,7 @@ use std::sync::Arc;
 
 use gfd_core::GfdSet;
 use gfd_graph::{Graph, GraphDelta, NodeId, NodeSet};
-use gfd_match::{SpaceHandle, SpaceRegistry};
+use gfd_match::{ClassRegistry, SpaceHandle};
 
 use crate::workload::{
     assemble, feasible_pivots, pivots_from_space, plan_rules, BlockCache, PivotedRule, UnitSlot,
@@ -40,10 +43,12 @@ use crate::workload::{
 /// module docs.
 pub struct IncrementalWorkload {
     plans: Vec<PivotedRule>,
-    /// The candidate-space registry shared across all rules of Σ: one
-    /// simulation (and one per-edit repair) per component isomorphism
-    /// class.
-    registry: SpaceRegistry,
+    /// The serving-tier registry shared across all rules of Σ (and any
+    /// co-tenant detectors/executors): one simulation (and one
+    /// per-edit repair) per component isomorphism class.
+    registry: Arc<ClassRegistry>,
+    /// The registry repair epoch this workload is synchronized with.
+    version: u64,
     /// Per rule, per component: the registry handle of the component's
     /// pattern (empty when pruning is disabled — pivots then come from
     /// label extents).
@@ -65,9 +70,20 @@ impl IncrementalWorkload {
     /// Estimates the initial workload, retaining every repairable
     /// intermediate (`opts.max_units` is ignored; see module docs).
     pub fn new(sigma: &GfdSet, g: &Graph, opts: &WorkloadOptions) -> Self {
+        Self::with_registry(sigma, g, opts, Arc::new(ClassRegistry::new()))
+    }
+
+    /// [`new`](IncrementalWorkload::new) over a shared registry, so
+    /// the maintainer's simulations and repairs are reused by every
+    /// other tenant of the same registry.
+    pub fn with_registry(
+        sigma: &GfdSet,
+        g: &Graph,
+        opts: &WorkloadOptions,
+        registry: Arc<ClassRegistry>,
+    ) -> Self {
         let plans = plan_rules(sigma);
         let prune = opts.prune_empty_pivots;
-        let mut registry = SpaceRegistry::new();
         let handles: Vec<Vec<SpaceHandle>> = plans
             .iter()
             .map(|rule| {
@@ -80,12 +96,14 @@ impl IncrementalWorkload {
                     .collect()
             })
             .collect();
+        let version = registry.version();
         let mut this = IncrementalWorkload {
             units_by_rule: vec![Vec::new(); plans.len()],
             slots_by_rule: vec![Vec::new(); plans.len()],
             pruned_by_rule: vec![0; plans.len()],
             plans,
             registry,
+            version,
             handles,
             cache: BlockCache::new(),
             prune,
@@ -104,18 +122,13 @@ impl IncrementalWorkload {
 
     /// The pivot candidate list of one component (ascending), plus how
     /// many raw candidates the filter pruned.
-    fn pivots_of(&mut self, rule: usize, comp: usize, g: &Graph) -> (Vec<NodeId>, usize) {
-        let Self {
-            ref plans,
-            ref mut registry,
-            ref handles,
-            ..
-        } = *self;
-        let plan = &plans[rule].components[comp];
+    fn pivots_of(&self, rule: usize, comp: usize, g: &Graph) -> (Vec<NodeId>, usize) {
+        let plan = &self.plans[rule].components[comp];
         if !self.prune {
             return feasible_pivots(g, plan, false);
         }
-        pivots_from_space(g, plan, registry.space(handles[rule][comp], g))
+        let cs = self.registry.space(self.handles[rule][comp], g);
+        pivots_from_space(g, plan, &cs)
     }
 
     /// Re-derives one rule's units from its (current) pivot sets and
@@ -175,9 +188,14 @@ impl IncrementalWorkload {
         // fixes each class representative and re-transports members
         // lazily; `changed[class]` says whether the class's candidate
         // sets moved.
+        self.version += 1;
         let changed = if self.prune {
-            self.registry.apply_normalized(g, &d)
+            self.registry.advance(g, &d, self.version)
         } else {
+            // Keep the shared registry in lockstep even when this
+            // tenant reads no spaces from it: co-tenants rely on every
+            // epoch being applied exactly once.
+            self.registry.advance(g, &d, self.version);
             Vec::new()
         };
 

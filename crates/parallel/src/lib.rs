@@ -33,7 +33,11 @@
 //! executor (module [`threaded`], std scoped threads over an atomic
 //! work queue) exists to verify that the work units compute identical
 //! violations when actually run concurrently; all workers share one
-//! `Arc<Graph>` CSR snapshot — never per-worker copies. Workers are
+//! `Arc<Graph>` CSR snapshot — never per-worker copies — and probe
+//! one [`gfd_match::ClassRegistry`] serving tier for candidate
+//! spaces, query plans and pinned match tables, so an enumeration
+//! paid by any worker (or co-tenant service) is a hit for every
+//! other. Workers are
 //! **panic-isolated**: a unit that panics is caught, retried on a
 //! healthy worker with bounded backoff, and quarantined-and-reported
 //! if the fault is sticky — never silently dropped.
@@ -67,6 +71,7 @@ pub mod workload;
 pub use cluster::CostModel;
 pub use disval::{dis_val, DisValConfig};
 pub use fault::FaultPlan;
+pub use gfd_match::ClassRegistry;
 pub use incremental::IncrementalWorkload;
 pub use metrics::ParallelReport;
 pub use repval::{rep_val, RepValConfig};
@@ -76,7 +81,7 @@ pub use service::{
 pub use threaded::{
     run_units_threaded, run_units_threaded_report, ThreadedReport, MAX_UNIT_ATTEMPTS,
 };
-pub use unitexec::{CacheStats, MatchCache, UnitScratch};
+pub use unitexec::{CacheStats, MultiQueryIndex, UnitScratch};
 pub use workload::{
     estimate_workload, estimate_workload_in, UnitSlot, WorkUnit, Workload, WorkloadOptions,
 };

@@ -39,8 +39,12 @@ pub struct ParallelReport {
     pub cache_hits: u64,
     /// Multi-query cache misses (enumerations actually run).
     pub cache_misses: u64,
-    /// Match tables evicted by the per-worker cache byte cap.
-    pub cache_evictions: u64,
+    /// Cold artifacts reclaimed by the shared registry's LRU pass for
+    /// this run's probes.
+    pub cache_evicted_cold: u64,
+    /// Eviction candidates skipped because a worker still held their
+    /// table (refcount-aware deferral); they drain once pins drop.
+    pub cache_evictions_deferred: u64,
     /// Worker panics caught by the panic-isolated executor (0 for the
     /// simulated-cluster algorithms and clean threaded runs).
     pub unit_panics: u64,
@@ -81,7 +85,8 @@ impl ParallelReport {
             per_worker_busy: clocks.busy.clone(),
             cache_hits: cache.hits,
             cache_misses: cache.misses,
-            cache_evictions: cache.evictions,
+            cache_evicted_cold: cache.evicted_cold,
+            cache_evictions_deferred: cache.eviction_deferred_pinned,
             unit_panics: 0,
             units_retried: 0,
             quarantined_units: 0,

@@ -19,11 +19,10 @@ use crate::balance::assign;
 use crate::cluster::{CostModel, SimClocks};
 use crate::metrics::ParallelReport;
 use crate::opt::{reduce_workload, split_large_units};
-use crate::unitexec::{
-    execute_unit, sort_violations, CacheStats, MatchCache, MultiQueryIndex, UnitScratch,
-};
+use crate::unitexec::{execute_unit, sort_violations, CacheStats, MultiQueryIndex, UnitScratch};
 use crate::workload::{estimate_workload, plan_rules, WorkloadOptions};
 use crate::Assignment;
+use gfd_match::ClassRegistry;
 
 /// Configuration of a `repVal` run.
 #[derive(Clone, Debug)]
@@ -142,10 +141,15 @@ pub fn rep_val(sigma: &GfdSet, g: &Arc<Graph>, cfg: &RepValConfig) -> ParallelRe
     };
     let partition_seconds = t0.elapsed().as_secs_f64();
 
-    // (3) localVio at each worker. Execution order is per worker so the
-    // per-worker multi-query cache behaves like a real local cache.
+    // (3) localVio at each worker. One shared registry serves every
+    // worker of the run — the paper's multi-query caching, promoted
+    // from per-worker private caches to the serving tier, so an
+    // enumeration paid by any worker is a hit for all of them.
     let mut clocks = SimClocks::new(cfg.n);
-    let mqi = cfg.multi_query.then(|| MultiQueryIndex::build(&plans));
+    let registry = ClassRegistry::new();
+    let mqi = cfg
+        .multi_query
+        .then(|| MultiQueryIndex::build(&plans, &registry));
     let mut violations = Vec::new();
     let mut cache_stats = CacheStats::default();
     // Reused across workers: per-unit execution scratch (each worker
@@ -157,7 +161,8 @@ pub fn rep_val(sigma: &GfdSet, g: &Arc<Graph>, cfg: &RepValConfig) -> ParallelRe
     let mut unit_elapsed: Vec<f64> =
         vec![0.0; split.iter().map(|s| s.unit_index + 1).max().unwrap_or(0)];
     for worker in 0..cfg.n {
-        let mut cache = MatchCache::new();
+        // Per-worker probe counters, summed into the report below.
+        let mut worker_stats = CacheStats::default();
         // Messages are batched per worker: one shipment of unit
         // descriptors in (W_i(Σ, G), Fig. 4 line 2), one of violations
         // out (line 4), one of partial matches for split shares.
@@ -183,7 +188,8 @@ pub fn rep_val(sigma: &GfdSet, g: &Arc<Graph>, cfg: &RepValConfig) -> ParallelRe
                     slots,
                     &su.unit,
                     mqi.as_ref(),
-                    &mut cache,
+                    &registry,
+                    &mut worker_stats,
                     &mut scratch,
                     &mut violations,
                 );
@@ -210,7 +216,7 @@ pub fn rep_val(sigma: &GfdSet, g: &Arc<Graph>, cfg: &RepValConfig) -> ParallelRe
         if partial_bytes > 0 {
             clocks.charge_message(worker, partial_bytes, &cfg.cost_model);
         }
-        cache_stats += cache.stats();
+        cache_stats += worker_stats;
     }
     // Pass 2 — every share (primary included) carries 1/of of the
     // unit's measured enumeration time: splitting spreads a skewed

@@ -54,10 +54,12 @@ use gfd_match::types::Flow;
 use gfd_match::{Match, MatchOptions};
 use gfd_util::Rng;
 
+use gfd_match::{CacheStats, ClassRegistry};
+
 use crate::fault::FaultPlan;
 use crate::threaded::run_units_threaded_report;
 use crate::unitexec::sort_violations;
-use crate::workload::{estimate_workload, plan_rules, WorkloadOptions};
+use crate::workload::{estimate_workload_in, plan_rules, WorkloadOptions};
 
 /// A reader's pinned epoch: the epoch number and the frozen snapshot
 /// it refers to. Holding one keeps the snapshot alive (it is an
@@ -220,6 +222,11 @@ pub struct ServiceStats {
     pub units_retried: u64,
     /// Units quarantined (and then recovered sequentially).
     pub units_quarantined: u64,
+    /// This tenant's registry probe counters (degraded recomputes run
+    /// through the shared [`ClassRegistry`]; several services over one
+    /// registry each see only their own share here, while
+    /// [`ClassRegistry::stats`] totals all tenants).
+    pub cache: CacheStats,
 }
 
 /// The long-lived standing-violation engine; see the module docs.
@@ -227,6 +234,9 @@ pub struct ViolationService {
     sigma: GfdSet,
     current: Arc<Graph>,
     epoch: u64,
+    /// The serving-tier cache this service's detector and degraded
+    /// recomputes read through — possibly shared with other tenants.
+    registry: Arc<ClassRegistry>,
     detector: IncrementalDetector,
     /// Mirror of the set subscribers hold (the fold of all updates
     /// sent so far over the baseline). Kept service-side so the
@@ -242,9 +252,25 @@ pub struct ViolationService {
 
 impl ViolationService {
     /// Starts the service on a snapshot: one full detection pass
-    /// establishes the epoch-0 baseline.
+    /// establishes the epoch-0 baseline, over a private registry.
     pub fn new(sigma: GfdSet, g: Arc<Graph>, cfg: ServiceConfig) -> Self {
-        let detector = IncrementalDetector::new(&sigma, &g);
+        Self::with_registry(sigma, g, cfg, Arc::new(ClassRegistry::new()))
+    }
+
+    /// Multi-tenant construction: starts the service over a **shared**
+    /// [`ClassRegistry`]. N services (plus threaded executors and
+    /// workload maintainers) can serve off one registry — simulations,
+    /// plans and pinned match tables are paid once across all of them,
+    /// under the registry's single byte budget. Tenants sharing a
+    /// registry must ingest the same edit stream (the registry repairs
+    /// once per epoch and replays recorded change flags to laggards).
+    pub fn with_registry(
+        sigma: GfdSet,
+        g: Arc<Graph>,
+        cfg: ServiceConfig,
+        registry: Arc<ClassRegistry>,
+    ) -> Self {
+        let detector = IncrementalDetector::with_registry(&sigma, &g, Arc::clone(&registry));
         let served = detector
             .violations()
             .into_iter()
@@ -255,6 +281,7 @@ impl ViolationService {
             sigma,
             current: g,
             epoch: 0,
+            registry,
             detector,
             served,
             log: EditLog::default(),
@@ -463,14 +490,26 @@ impl ViolationService {
         next_epoch: u64,
     ) -> (Vec<Violation>, Vec<Violation>) {
         self.stats.degraded_epochs += 1;
+        // The repair that just failed (or drifted) may have torn the
+        // registry's incremental state mid-update: drop every cached
+        // artifact so the recompute — and every later query — derives
+        // from the recovered snapshot. Sound for co-tenants too (the
+        // caches are pure derivations; they re-simulate lazily).
+        self.registry.invalidate_all();
         let plans = plan_rules(&self.sigma);
-        let wl = estimate_workload(&self.sigma, next, &WorkloadOptions::default());
+        let wl = estimate_workload_in(
+            &self.sigma,
+            next,
+            &WorkloadOptions::default(),
+            &self.registry,
+        );
         let report = run_units_threaded_report(
             next,
             &self.sigma,
             &plans,
             &wl.units,
             &wl.slots,
+            &self.registry,
             self.cfg.threads,
             self.cfg.faults.as_ref(),
             next_epoch,
@@ -478,6 +517,7 @@ impl ViolationService {
         self.stats.unit_panics += report.unit_panics;
         self.stats.units_retried += report.units_retried;
         self.stats.units_quarantined += report.quarantined.len() as u64;
+        self.stats.cache += report.cache;
 
         let mut violations = report.violations;
         if !report.quarantined.is_empty() {
@@ -530,7 +570,11 @@ impl ViolationService {
         sort_violations(&mut added);
         sort_violations(&mut retracted);
         self.served = new_set;
-        self.detector = IncrementalDetector::from_violations(&self.sigma, &violations);
+        self.detector = IncrementalDetector::from_violations_in(
+            &self.sigma,
+            &violations,
+            Arc::clone(&self.registry),
+        );
         (added, retracted)
     }
 }

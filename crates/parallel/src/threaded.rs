@@ -3,10 +3,11 @@
 //! The simulated cluster (crate docs) is what the benchmarks report,
 //! but the work-unit machinery is genuinely parallel-safe: this module
 //! runs units across OS threads (std scoped threads over a shared
-//! retry-aware work queue — no external thread-pool dependency), with
-//! a per-thread multi-query cache, and is used by the test suite to
-//! verify that concurrent execution produces exactly the sequential
-//! violations.
+//! retry-aware work queue — no external thread-pool dependency),
+//! sharing one [`ClassRegistry`] serving tier across all workers (and
+//! any other tenants of the same registry), and is used by the test
+//! suite to verify that concurrent execution produces exactly the
+//! sequential violations.
 //!
 //! Every worker shares the *same* frozen CSR snapshot through one
 //! `Arc<Graph>` — the whole point of the builder/snapshot split: no
@@ -16,8 +17,12 @@
 //!
 //! Each unit executes under [`std::panic::catch_unwind`]. A panic
 //! poisons nothing shared: the panicked unit's partial output is
-//! truncated, the worker's cache and scratch (whose invariants the
-//! unwind may have torn mid-update) are rebuilt, and the unit is
+//! truncated, the worker's scratch (whose invariants the unwind may
+//! have torn mid-update) is rebuilt — the shared registry needs no
+//! rebuild (its lock is never held across enumeration, and a poisoned
+//! lock is absorbed) and the worker's cache-stat counters are *kept*,
+//! so the merged report never loses probes a later-quarantined worker
+//! already paid for — and the unit is
 //! **requeued** — any healthy worker picks it up after a bounded
 //! backoff. After [`MAX_UNIT_ATTEMPTS`] failed attempts the unit is
 //! **quarantined and reported** in the [`ThreadedReport`]; it is never
@@ -41,8 +46,9 @@ use gfd_core::{GfdSet, Violation};
 use gfd_graph::Graph;
 
 use crate::fault::FaultPlan;
-use crate::unitexec::{execute_unit, sort_violations, MatchCache, MultiQueryIndex, UnitScratch};
+use crate::unitexec::{execute_unit, sort_violations, CacheStats, MultiQueryIndex, UnitScratch};
 use crate::workload::{PivotedRule, UnitSlot, WorkUnit};
+use gfd_match::ClassRegistry;
 
 /// Total attempts a unit gets (1 initial + 2 retries) before it is
 /// quarantined.
@@ -69,6 +75,11 @@ pub struct ThreadedReport {
     /// recover them (re-derive the affected rules) or surface the
     /// gap; the standing-violation service does the former.
     pub quarantined: Vec<usize>,
+    /// This run's registry probe counters, summed over every worker —
+    /// including workers whose units later panicked or were
+    /// quarantined (counters are captured per probe, not per unit, so
+    /// fault handling never loses them).
+    pub cache: CacheStats,
 }
 
 impl ThreadedReport {
@@ -79,6 +90,10 @@ impl ThreadedReport {
         report.unit_panics += self.unit_panics;
         report.units_retried += self.units_retried;
         report.quarantined_units += self.quarantined.len() as u64;
+        report.cache_hits += self.cache.hits;
+        report.cache_misses += self.cache.misses;
+        report.cache_evicted_cold += self.cache.evicted_cold;
+        report.cache_evictions_deferred += self.cache.eviction_deferred_pinned;
     }
 }
 
@@ -101,7 +116,9 @@ pub fn run_units_threaded(
     slots: &[UnitSlot],
     threads: usize,
 ) -> Vec<Violation> {
-    let report = run_units_threaded_report(g, sigma, plans, units, slots, threads, None, 0);
+    let registry = ClassRegistry::new();
+    let report =
+        run_units_threaded_report(g, sigma, plans, units, slots, &registry, threads, None, 0);
     assert!(
         report.quarantined.is_empty(),
         "units {:?} panicked {MAX_UNIT_ATTEMPTS} times each — result would be incomplete; \
@@ -124,11 +141,12 @@ pub fn run_units_threaded_report(
     plans: &[PivotedRule],
     units: &[WorkUnit],
     slots: &[UnitSlot],
+    registry: &ClassRegistry,
     threads: usize,
     faults: Option<&FaultPlan>,
     epoch: u64,
 ) -> ThreadedReport {
-    let mqi = MultiQueryIndex::build(plans);
+    let mqi = MultiQueryIndex::build(plans, registry);
     // (unit index, attempt) queue; requeued entries go to the back so
     // healthy units drain first. Lock holders never panic (pop/push
     // only), so the mutex cannot poison.
@@ -139,7 +157,7 @@ pub fn run_units_threaded_report(
     let units_retried = AtomicU64::new(0);
     let quarantined: Mutex<Vec<usize>> = Mutex::new(Vec::new());
 
-    let per_worker: Vec<Vec<Violation>> = std::thread::scope(|scope| {
+    let per_worker: Vec<(Vec<Violation>, CacheStats)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads.max(1))
             .map(|_| {
                 let g = Arc::clone(g);
@@ -148,7 +166,7 @@ pub fn run_units_threaded_report(
                     (&unit_panics, &units_retried, &quarantined);
                 let mqi = &mqi;
                 scope.spawn(move || {
-                    let mut cache = MatchCache::new();
+                    let mut stats = CacheStats::default();
                     let mut scratch = UnitScratch::new();
                     let mut out: Vec<Violation> = Vec::new();
                     loop {
@@ -195,7 +213,8 @@ pub fn run_units_threaded_report(
                                 slots,
                                 unit,
                                 Some(mqi),
-                                &mut cache,
+                                registry,
+                                &mut stats,
                                 &mut scratch,
                                 &mut out,
                             );
@@ -210,11 +229,15 @@ pub fn run_units_threaded_report(
                             Err(_) => {
                                 unit_panics.fetch_add(1, Ordering::Relaxed);
                                 // The unwind may have left the unit's
-                                // partial output and the worker-local
-                                // structures mid-update: drop the
-                                // partial rows, rebuild cache+scratch.
+                                // partial output and the scratch
+                                // mid-update: drop the partial rows and
+                                // rebuild the scratch. `stats` is NOT
+                                // reset — each counter was complete the
+                                // moment it was bumped, and wiping it
+                                // here silently dropped quarantined
+                                // workers' probes from the merged
+                                // report.
                                 out.truncate(checkpoint);
-                                cache = MatchCache::new();
                                 scratch = UnitScratch::new();
                                 if attempt + 1 < MAX_UNIT_ATTEMPTS {
                                     queue
@@ -228,7 +251,7 @@ pub fn run_units_threaded_report(
                             }
                         }
                     }
-                    out
+                    (out, stats)
                 })
             })
             .collect();
@@ -246,10 +269,12 @@ pub fn run_units_threaded_report(
 
     // Merge with an exact capacity reservation, then establish the
     // canonical order in one unstable sort over the concatenation.
-    let total = per_worker.iter().map(Vec::len).sum();
+    let total = per_worker.iter().map(|(v, _)| v.len()).sum();
     let mut violations = Vec::with_capacity(total);
-    for mut part in per_worker {
+    let mut cache = CacheStats::default();
+    for (mut part, stats) in per_worker {
         violations.append(&mut part);
+        cache += stats;
     }
     sort_violations(&mut violations);
     let mut quarantined = quarantined.into_inner().expect("never poisoned");
@@ -259,6 +284,7 @@ pub fn run_units_threaded_report(
         unit_panics: unit_panics.into_inner(),
         units_retried: units_retried.into_inner(),
         quarantined,
+        cache,
     }
 }
 
@@ -363,6 +389,7 @@ mod tests {
                 &plans,
                 &wl.units,
                 &wl.slots,
+                &ClassRegistry::new(),
                 threads,
                 Some(&faults),
                 3,
@@ -405,6 +432,7 @@ mod tests {
             &plans,
             &wl.units,
             &wl.slots,
+            &ClassRegistry::new(),
             4,
             Some(&faults),
             9,
@@ -420,7 +448,8 @@ mod tests {
         );
         let mut surviving = Vec::new();
         let mut scratch = UnitScratch::new();
-        let mut cache = MatchCache::new();
+        let registry = ClassRegistry::new();
+        let mut stats = CacheStats::default();
         for (i, unit) in wl.units.iter().enumerate() {
             if !expected_quarantine.contains(&i) {
                 execute_unit(
@@ -430,7 +459,8 @@ mod tests {
                     &wl.slots,
                     unit,
                     None,
-                    &mut cache,
+                    &registry,
+                    &mut stats,
                     &mut scratch,
                     &mut surviving,
                 );
@@ -438,5 +468,67 @@ mod tests {
         }
         sort_violations(&mut surviving);
         assert_eq!(report.violations, surviving);
+    }
+
+    /// Satellite regression: the merged cache counters must include
+    /// probes made by workers whose later units panicked or were
+    /// quarantined. Injected faults fire *before* the unit's registry
+    /// probes, so every non-quarantined unit probes exactly as often
+    /// as in a fault-free sequential replay — if a panic handler wiped
+    /// worker-local stats, the faulty run would come up short.
+    #[test]
+    fn cache_stats_survive_quarantined_workers() {
+        silence_injected_panics();
+        let g = Arc::new(social(18));
+        let sigma = GfdSet::new(vec![spam_rule(g.vocab().clone())]);
+        let plans = plan_rules(&sigma);
+        let wl = estimate_workload(&sigma, &g, &WorkloadOptions::default());
+        let faults = FaultPlan {
+            seed: 7,
+            unit_panic_p: 0.4,
+            sticky_p: 1.0, // injected faults stick: panics + quarantine
+            ..Default::default()
+        };
+        let report = run_units_threaded_report(
+            &g,
+            &sigma,
+            &plans,
+            &wl.units,
+            &wl.slots,
+            &ClassRegistry::new(),
+            3,
+            Some(&faults),
+            9,
+        );
+        assert!(report.unit_panics > 0 && !report.quarantined.is_empty());
+
+        // Sequential replay of exactly the units that completed, on a
+        // fresh registry: the probe volume must match the faulty run.
+        let registry = ClassRegistry::new();
+        let mqi = MultiQueryIndex::build(&plans, &registry);
+        let mut stats = CacheStats::default();
+        let mut scratch = UnitScratch::new();
+        let mut sink = Vec::new();
+        for (i, unit) in wl.units.iter().enumerate() {
+            if !report.quarantined.contains(&i) {
+                execute_unit(
+                    &g,
+                    &sigma,
+                    &plans,
+                    &wl.slots,
+                    unit,
+                    Some(&mqi),
+                    &registry,
+                    &mut stats,
+                    &mut scratch,
+                    &mut sink,
+                );
+            }
+        }
+        assert_eq!(
+            report.cache.hits + report.cache.misses,
+            stats.hits + stats.misses,
+            "panic handling must not lose cache counters"
+        );
     }
 }

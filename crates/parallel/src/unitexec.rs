@@ -9,226 +9,113 @@
 //! pivot orientations are checked here, so the deduplication never
 //! loses violations.
 //!
-//! The *multi-query* optimization (appendix, following [31]) caches
-//! per-(component-isomorphism-class, pivot) match **tables**: rules
-//! mined from shared frequent features share components, and the cache
-//! lets all of them reuse one enumeration. Cached enumerations are
-//! flat [`MatchTable`]s shared behind `Arc`; an isomorphic twin reads
-//! a hit through a precomputed column-permutation [`TableView`] — an
-//! `O(arity)` header rewrite, never a row copy — and the disjointness
-//! join streams straight over the shared rows. Together with the
-//! per-worker [`UnitScratch`], a warm [`execute_unit`] call performs
-//! **zero heap allocations** (asserted by the `alloc_probe` test and
-//! the `alloc/unit_exec_steady_state` bench sample).
+//! The *multi-query* optimization (appendix, following [31]) reads
+//! per-(component-isomorphism-class, pivot) match **tables** from the
+//! shared [`ClassRegistry`] serving tier: rules mined from shared
+//! frequent features share components, and the registry lets all of
+//! them — across *all workers and tenants*, not per worker — reuse one
+//! enumeration. Cached enumerations are flat [`MatchTable`]s shared
+//! behind `Arc`; an isomorphic twin reads a hit through a precomputed
+//! column-permutation [`TableView`] — an `O(arity)` header rewrite,
+//! never a row copy — and the disjointness join streams straight over
+//! the shared rows. Eviction is the registry's LRU + refcount-aware
+//! pass: a view held by an in-flight unit is never invalidated under
+//! it. Together with the per-worker [`UnitScratch`], a warm
+//! [`execute_unit`] call performs **zero heap allocations** (asserted
+//! by the `alloc_probe` test and the `alloc/unit_exec_steady_state`
+//! bench sample).
 
-use std::collections::VecDeque;
 use std::sync::Arc;
 
 use gfd_core::validate::match_satisfies;
 use gfd_core::{GfdSet, Violation};
-use gfd_graph::{Graph, NodeId, NodeSet};
+use gfd_graph::{Graph, NodeId};
 use gfd_match::component::ComponentSearch;
 use gfd_match::join::{join_tables, JoinInputs, JoinScratch};
 use gfd_match::table::{MatchTable, TableView};
 use gfd_match::types::Flow;
-use gfd_match::Match;
-use gfd_pattern::{canonical_form, VarId};
-use gfd_util::FxHashMap;
+use gfd_match::{ClassRegistry, Match, SpaceHandle};
+use gfd_pattern::VarId;
+
+pub use gfd_match::CacheStats;
 
 use crate::workload::{ComponentPlan, PivotedRule, UnitSlot, WorkUnit};
 
 /// Cross-rule index of isomorphic components for the multi-query
-/// optimization.
+/// optimization: per `(rule, component)`, the component's
+/// [`ClassRegistry`] handle plus the precomputed symmetric-pair
+/// metadata (class id, representative pin, column permutation).
 #[derive(Debug)]
 pub struct MultiQueryIndex {
     /// One entry per `(rule, component)`.
     entries: Vec<Vec<MqiEntry>>,
-    /// Representative `(rule, comp)` per class id.
-    reps: Vec<(usize, usize)>,
+    /// Distinct isomorphism classes among this Σ's components (the
+    /// shared registry may hold more, from other tenants).
+    classes: usize,
 }
 
-/// One component's multi-query metadata: its isomorphism class, the
-/// pivot translated into representative order (the cache-key
-/// variable), and the column permutation onto the representative
-/// (`None` = identity).
+/// One component's multi-query metadata. The registry owns the cache
+/// keys and permutations; this caches the lookups that the symmetric
+/// fast path needs without taking the registry lock.
 #[derive(Debug)]
 struct MqiEntry {
+    handle: SpaceHandle,
     class: usize,
     rep_pin: VarId,
     perm: Option<Arc<[u32]>>,
 }
 
 impl MultiQueryIndex {
-    /// Groups all components of all rules into exact-label isomorphism
-    /// classes, keyed by complete canonical codes — no 64-bit
-    /// signature-collision exposure, and the canonical orders compose
-    /// into the comp-var → rep-var witness that becomes each member's
-    /// cached **column permutation**: built once here, a cache hit
-    /// reuses it as a shared view header with no per-hit work. (The
-    /// earlier embedding-based check could pair a wildcard variable
-    /// with a labeled one, whose match sets differ — exact labels make
-    /// cache reuse sound by construction.)
-    pub fn build(plans: &[PivotedRule]) -> Self {
+    /// Registers all components of all rules into the shared registry,
+    /// which groups them into exact-label isomorphism classes keyed by
+    /// complete canonical codes — no 64-bit signature-collision
+    /// exposure, and the canonical orders compose into the comp-var →
+    /// rep-var witness that becomes each member's cached **column
+    /// permutation**: built once here, a cache hit reuses it as a
+    /// shared view header with no per-hit work.
+    pub fn build(plans: &[PivotedRule], registry: &ClassRegistry) -> Self {
         let mut entries: Vec<Vec<MqiEntry>> = Vec::with_capacity(plans.len());
-        let mut reps: Vec<(usize, usize)> = Vec::new();
-        let mut by_code: FxHashMap<Vec<u64>, usize> = FxHashMap::default();
-        let mut rep_forms: Vec<gfd_pattern::CanonicalForm> = Vec::new();
-        for (ri, rule) in plans.iter().enumerate() {
+        let mut classes: Vec<usize> = Vec::new();
+        for rule in plans {
             let mut per_comp = Vec::with_capacity(rule.components.len());
-            for (ci, comp) in rule.components.iter().enumerate() {
-                let form = canonical_form(&comp.pattern);
-                let entry = match by_code.get(form.code()) {
-                    Some(&class) => {
-                        let map = form.witness_onto(&rep_forms[class]).into_map();
-                        let rep_pin = map[comp.local_pivot.index()];
-                        let identity = map.iter().enumerate().all(|(i, v)| v.index() == i);
-                        let perm = (!identity)
-                            .then(|| map.iter().map(|v| v.index() as u32).collect::<Arc<[u32]>>());
-                        MqiEntry {
-                            class,
-                            rep_pin,
-                            perm,
-                        }
-                    }
-                    None => {
-                        let class = reps.len();
-                        reps.push((ri, ci));
-                        by_code.insert(form.code().to_vec(), class);
-                        rep_forms.push(form);
-                        // The representative views its own table
-                        // identically, pinned at its own pivot.
-                        MqiEntry {
-                            class,
-                            rep_pin: comp.local_pivot,
-                            perm: None,
-                        }
-                    }
+            for comp in &rule.components {
+                let handle = registry.register(&comp.pattern);
+                let (class, perm) = registry.class_and_perm(handle);
+                let rep_pin = match &perm {
+                    Some(p) => VarId(p[comp.local_pivot.index()]),
+                    None => comp.local_pivot,
                 };
-                per_comp.push(entry);
+                if !classes.contains(&class) {
+                    classes.push(class);
+                }
+                per_comp.push(MqiEntry {
+                    handle,
+                    class,
+                    rep_pin,
+                    perm,
+                });
             }
             entries.push(per_comp);
         }
-        MultiQueryIndex { entries, reps }
+        MultiQueryIndex {
+            entries,
+            classes: classes.len(),
+        }
     }
 
-    /// Number of isomorphism classes (≤ total components).
+    /// Number of isomorphism classes among this Σ's components
+    /// (≤ total components).
     pub fn class_count(&self) -> usize {
-        self.reps.len()
-    }
-}
-
-/// Hit/miss/eviction counters of a [`MatchCache`], aggregated into
-/// [`crate::metrics::ParallelReport`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct CacheStats {
-    /// Enumerations served from the cache.
-    pub hits: u64,
-    /// Enumerations that had to run.
-    pub misses: u64,
-    /// Tables evicted by the byte cap.
-    pub evictions: u64,
-}
-
-impl std::ops::AddAssign for CacheStats {
-    fn add_assign(&mut self, o: CacheStats) {
-        self.hits += o.hits;
-        self.misses += o.misses;
-        self.evictions += o.evictions;
-    }
-}
-
-/// Default [`MatchCache`] capacity: enough for every workload in the
-/// experiment suite, small enough that a long-lived worker stays
-/// bounded (32 MiB of match rows per worker).
-pub const DEFAULT_MATCH_CACHE_BYTES: usize = 32 << 20;
-
-/// Per-worker cache of pinned component enumerations, keyed by
-/// `(class, rep pin var, pivot node)`. Values are shared flat tables:
-/// a hit is two `Arc` bumps, never a row copy.
-///
-/// The cache is **size-capped on table bytes** with FIFO eviction — a
-/// worker that streams millions of units over a skewed pivot
-/// distribution holds at most `max_bytes` of match rows, and
-/// [`CacheStats`] surfaces the hit/miss/eviction counts for the
-/// optimization-effect reports.
-pub struct MatchCache {
-    map: FxHashMap<(usize, VarId, NodeId), Arc<MatchTable>>,
-    /// Insertion order, for eviction.
-    queue: VecDeque<(usize, VarId, NodeId)>,
-    /// Current total of `data_bytes` over cached tables.
-    bytes: usize,
-    max_bytes: usize,
-    /// Cache hits, for optimization-effect reporting.
-    pub hits: u64,
-    /// Cache misses.
-    pub misses: u64,
-    /// Evictions forced by the byte cap.
-    pub evictions: u64,
-}
-
-impl Default for MatchCache {
-    fn default() -> Self {
-        Self::with_capacity_bytes(DEFAULT_MATCH_CACHE_BYTES)
-    }
-}
-
-impl MatchCache {
-    /// A cache with the default byte cap.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// A cache holding at most `max_bytes` of match-table rows.
-    pub fn with_capacity_bytes(max_bytes: usize) -> Self {
-        MatchCache {
-            map: FxHashMap::default(),
-            queue: VecDeque::new(),
-            bytes: 0,
-            max_bytes,
-            hits: 0,
-            misses: 0,
-            evictions: 0,
-        }
-    }
-
-    /// The counters as one record.
-    pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits,
-            misses: self.misses,
-            evictions: self.evictions,
-        }
-    }
-
-    /// Bytes of match rows currently held.
-    pub fn bytes(&self) -> usize {
-        self.bytes
-    }
-
-    /// Inserts a freshly enumerated table, evicting oldest entries
-    /// until the byte cap holds (the newest entry is always kept —
-    /// evicting what was just computed would thrash).
-    fn insert(&mut self, key: (usize, VarId, NodeId), table: Arc<MatchTable>) {
-        let b = table.data_bytes();
-        while self.bytes + b > self.max_bytes {
-            let Some(old) = self.queue.pop_front() else {
-                break;
-            };
-            if let Some(t) = self.map.remove(&old) {
-                self.bytes -= t.data_bytes();
-                self.evictions += 1;
-            }
-        }
-        self.bytes += b;
-        self.queue.push_back(key);
-        self.map.insert(key, table);
+        self.classes
     }
 }
 
 /// Enumerates the matches of one component pinned at `pivot` inside
-/// `block`, via the cache when an index is supplied. The returned view
-/// shares the cached table (column-permuted for non-representative
-/// members) — no rows are copied on either hits or misses.
+/// `block`, via the shared registry when an index is supplied. The
+/// returned view shares the cached table (column-permuted for
+/// non-representative members) — no rows are copied on either hits or
+/// misses, and the registry's refcount-aware eviction keeps the view
+/// valid for as long as it is held.
 #[allow(clippy::too_many_arguments)]
 fn component_matches(
     g: &Graph,
@@ -236,37 +123,15 @@ fn component_matches(
     rule: usize,
     comp: usize,
     pivot: NodeId,
-    block: &NodeSet,
+    block: &Arc<gfd_graph::NodeSet>,
     mqi: Option<&MultiQueryIndex>,
-    cache: &mut MatchCache,
+    registry: &ClassRegistry,
+    stats: &mut CacheStats,
 ) -> TableView {
     let plan = &plans[rule].components[comp];
     if let Some(mqi) = mqi {
         let entry = &mqi.entries[rule][comp];
-        let key = (entry.class, entry.rep_pin, pivot);
-        let table = match cache.map.get(&key) {
-            Some(hit) => {
-                cache.hits += 1;
-                hit.clone()
-            }
-            None => {
-                cache.misses += 1;
-                let (rr, rc) = mqi.reps[entry.class];
-                let rep_plan = &plans[rr].components[rc];
-                let mut table = MatchTable::new(rep_plan.pattern.node_count());
-                ComponentSearch::new(&rep_plan.pattern, g)
-                    .pin(entry.rep_pin, pivot)
-                    .restrict(block)
-                    .collect_into(&mut table);
-                let table = Arc::new(table);
-                cache.insert(key, table.clone());
-                table
-            }
-        };
-        return match &entry.perm {
-            Some(p) => TableView::permuted(table, p.clone()),
-            None => TableView::identity(table),
-        };
+        return registry.pinned_table(entry.handle, g, plan.local_pivot, pivot, block, stats);
     }
     let mut table = MatchTable::new(plan.pattern.node_count());
     ComponentSearch::new(&plan.pattern, g)
@@ -318,7 +183,9 @@ impl JoinInputs for UnitJoin<'_> {
 }
 
 /// Executes one work unit (whose slots live in `slots` — the owning
-/// workload's arena), appending violations to `out`.
+/// workload's arena), appending violations to `out`. Table probes go
+/// through the shared `registry`; `stats` receives this caller's share
+/// of the hit/miss counters.
 #[allow(clippy::too_many_arguments)]
 pub fn execute_unit(
     g: &Graph,
@@ -327,7 +194,8 @@ pub fn execute_unit(
     slots: &[UnitSlot],
     unit: &WorkUnit,
     mqi: Option<&MultiQueryIndex>,
-    cache: &mut MatchCache,
+    registry: &ClassRegistry,
+    stats: &mut CacheStats,
     scratch: &mut UnitScratch,
     out: &mut Vec<Violation>,
 ) {
@@ -378,7 +246,8 @@ pub fn execute_unit(
                     s0.pivot,
                     &s0.block,
                     Some(mqi),
-                    cache,
+                    registry,
+                    stats,
                 );
                 let v1 = component_matches(
                     g,
@@ -388,7 +257,8 @@ pub fn execute_unit(
                     s1.pivot,
                     &s1.block,
                     Some(mqi),
-                    cache,
+                    registry,
+                    stats,
                 );
                 let rewrap = |t: &Arc<MatchTable>, perm: &Option<Arc<[u32]>>| match perm {
                     Some(p) => TableView::permuted(t.clone(), p.clone()),
@@ -406,8 +276,6 @@ pub fn execute_unit(
                     views.push(rewrap(v0.table(), &e1.perm));
                     emit(views, join, out);
                 }
-                // Don't let stale views pin evicted tables past this
-                // unit (the scratch outlives the cache's byte cap).
                 views.clear();
                 return;
             }
@@ -432,7 +300,17 @@ pub fn execute_unit(
         let mut dead = false;
         for (i, &slot) in orient.iter().enumerate() {
             let s = &unit_slots[slot];
-            let view = component_matches(g, plans, unit.rule(), i, s.pivot, &s.block, mqi, cache);
+            let view = component_matches(
+                g,
+                plans,
+                unit.rule(),
+                i,
+                s.pivot,
+                &s.block,
+                mqi,
+                registry,
+                stats,
+            );
             if view.is_empty() {
                 dead = true;
                 break;
@@ -464,7 +342,7 @@ mod tests {
     use crate::workload::{estimate_workload, plan_rules, WorkloadOptions};
     use gfd_core::validate::detect_violations;
     use gfd_core::{Dependency, Gfd, Literal};
-    use gfd_graph::{Value, Vocab};
+    use gfd_graph::{NodeSet, Value, Vocab};
     use gfd_pattern::PatternBuilder;
     use std::sync::Arc;
 
@@ -512,16 +390,17 @@ mod tests {
         )
     }
 
-    fn run_all_units_with_cache(
+    fn run_all_units_in(
         g: &Graph,
         sigma: &GfdSet,
         mq: bool,
-        mut cache: MatchCache,
-    ) -> (Vec<Violation>, MatchCache) {
+        registry: &ClassRegistry,
+    ) -> (Vec<Violation>, CacheStats) {
         let plans = plan_rules(sigma);
         let wl = estimate_workload(sigma, g, &WorkloadOptions::default());
-        let mqi = mq.then(|| MultiQueryIndex::build(&plans));
+        let mqi = mq.then(|| MultiQueryIndex::build(&plans, registry));
         let mut scratch = UnitScratch::new();
+        let mut stats = CacheStats::default();
         let mut out = Vec::new();
         for u in &wl.units {
             execute_unit(
@@ -531,16 +410,17 @@ mod tests {
                 &wl.slots,
                 u,
                 mqi.as_ref(),
-                &mut cache,
+                registry,
+                &mut stats,
                 &mut scratch,
                 &mut out,
             );
         }
-        (out, cache)
+        (out, stats)
     }
 
-    fn run_all_units(g: &Graph, sigma: &GfdSet, mq: bool) -> (Vec<Violation>, MatchCache) {
-        run_all_units_with_cache(g, sigma, mq, MatchCache::new())
+    fn run_all_units(g: &Graph, sigma: &GfdSet, mq: bool) -> (Vec<Violation>, CacheStats) {
+        run_all_units_in(g, sigma, mq, &ClassRegistry::new())
     }
 
     #[test]
@@ -560,12 +440,12 @@ mod tests {
         let g = flights(3);
         let sigma = GfdSet::new(vec![phi_same_id_same_dest(g.vocab().clone())]);
         let (mut plain, _) = run_all_units(&g, &sigma, false);
-        let (mut cached, cache) = run_all_units(&g, &sigma, true);
+        let (mut cached, stats) = run_all_units(&g, &sigma, true);
         sort_violations(&mut plain);
         sort_violations(&mut cached);
         assert_eq!(plain, cached);
         assert!(
-            cache.hits > 0,
+            stats.hits > 0,
             "isomorphic components must share enumerations"
         );
     }
@@ -580,9 +460,26 @@ mod tests {
             phi_same_id_same_dest(vocab),
         ]);
         let plans = plan_rules(&sigma);
-        let mqi = MultiQueryIndex::build(&plans);
+        let mqi = MultiQueryIndex::build(&plans, &ClassRegistry::new());
         // 4 components total, all isomorphic → 1 class.
         assert_eq!(mqi.class_count(), 1);
+    }
+
+    /// `class_count` counts *this Σ's* classes even when the shared
+    /// registry already holds classes from other tenants.
+    #[test]
+    fn class_count_ignores_foreign_tenants() {
+        let g = flights(0);
+        let registry = ClassRegistry::new();
+        // A foreign tenant registers an unrelated pattern first.
+        let mut b = PatternBuilder::new(g.vocab().clone());
+        b.node("solo", "city");
+        registry.register(&b.build());
+        let sigma = GfdSet::new(vec![phi_same_id_same_dest(g.vocab().clone())]);
+        let plans = plan_rules(&sigma);
+        let mqi = MultiQueryIndex::build(&plans, &registry);
+        assert_eq!(mqi.class_count(), 1);
+        assert_eq!(registry.class_count(), 2);
     }
 
     #[test]
@@ -593,26 +490,84 @@ mod tests {
         assert!(got.is_empty());
     }
 
-    /// A byte-capped cache keeps answers identical and records
+    /// A byte-capped registry keeps answers identical and records
     /// evictions; an uncapped run of the same workload evicts nothing.
     #[test]
-    fn capped_cache_evicts_but_stays_correct() {
+    fn capped_registry_evicts_but_stays_correct() {
         let g = flights(3);
         let sigma = GfdSet::new(vec![phi_same_id_same_dest(g.vocab().clone())]);
-        let (mut plain, big) = run_all_units(&g, &sigma, true);
-        assert_eq!(big.evictions, 0, "default cap must hold this workload");
-        // Cap below a single table's bytes: every insert evicts.
-        let (mut tiny_out, tiny) =
-            run_all_units_with_cache(&g, &sigma, true, MatchCache::with_capacity_bytes(16));
+        let big_reg = ClassRegistry::new();
+        let (mut plain, big) = run_all_units_in(&g, &sigma, true, &big_reg);
+        assert_eq!(
+            big_reg.stats().evicted_cold,
+            0,
+            "default budget must hold this workload"
+        );
+        // Budget below a single table's bytes: every insert evicts.
+        let tiny_reg = ClassRegistry::with_budget_bytes(16);
+        let (mut tiny_out, tiny) = run_all_units_in(&g, &sigma, true, &tiny_reg);
         sort_violations(&mut plain);
         sort_violations(&mut tiny_out);
         assert_eq!(plain, tiny_out);
-        assert!(tiny.evictions > 0, "tiny cap must evict");
-        assert!(tiny.bytes() <= 16 + tiny.map.values().map(|t| t.data_bytes()).max().unwrap_or(0));
+        assert!(tiny_reg.stats().evicted_cold > 0, "tiny budget must evict");
+        // At most the budget plus the always-kept newest table.
+        assert!(tiny_reg.bytes() <= 16 + 12);
         assert!(
-            tiny.stats().misses > big.stats().misses,
+            tiny.misses > big.misses,
             "evicted entries must be re-enumerated"
         );
+    }
+
+    /// The satellite regression for refcount-aware eviction: a view
+    /// held across an eviction storm must keep reading correct rows —
+    /// the registry defers the pinned table instead of dropping it —
+    /// and the deferral drains once the view goes away.
+    #[test]
+    fn view_held_across_eviction_storm_reads_correct_rows() {
+        let g = flights(0);
+        let sigma = GfdSet::new(vec![phi_same_id_same_dest(g.vocab().clone())]);
+        let plans = plan_rules(&sigma);
+        // Every star table is 1 row × 3 cols × 4 bytes = 12 bytes; a
+        // 12-byte budget forces an eviction on every further pivot.
+        let registry = ClassRegistry::with_budget_bytes(12);
+        let mqi = MultiQueryIndex::build(&plans, &registry);
+        let block = Arc::new(NodeSet::from_vec(g.nodes().collect()));
+        let mut stats = CacheStats::default();
+        // Flights are nodes 0, 3, 6, …: each adds (flight, id, city).
+        let held = component_matches(
+            &g,
+            &plans,
+            0,
+            0,
+            NodeId(0),
+            &block,
+            Some(&mqi),
+            &registry,
+            &mut stats,
+        );
+        for f in [1u32, 2, 3, 4, 5] {
+            component_matches(
+                &g,
+                &plans,
+                0,
+                0,
+                NodeId(3 * f),
+                &block,
+                Some(&mqi),
+                &registry,
+                &mut stats,
+            );
+        }
+        assert!(registry.stats().evicted_cold > 0, "the storm did evict");
+        assert!(registry.deferred_pending() > 0, "the held view defers");
+        assert_eq!(held.len(), 1);
+        assert_eq!(held.get(0, 0), NodeId(0), "x = flight 0");
+        assert_eq!(held.get(0, 1), NodeId(1), "x1 = its id node");
+        assert_eq!(held.get(0, 2), NodeId(2), "x2 = its city node");
+        drop(held);
+        registry.sweep();
+        assert_eq!(registry.deferred_pending(), 0, "pin dropped ⇒ drained");
+        assert!(registry.bytes() <= 12);
     }
 
     /// The multi-query regression the flat tables exist for: a cache
@@ -664,18 +619,39 @@ mod tests {
         };
         let sigma = GfdSet::new(vec![mk("fwd", path_fwd), mk("rev", path_rev)]);
         let plans = plan_rules(&sigma);
-        let mqi = MultiQueryIndex::build(&plans);
+        let registry = ClassRegistry::new();
+        let mqi = MultiQueryIndex::build(&plans, &registry);
         assert_eq!(mqi.class_count(), 1, "twins must share a class");
         assert!(
             mqi.entries[1][0].perm.is_some(),
             "reversed declaration ⇒ non-identity witness"
         );
 
-        let mut cache = MatchCache::new();
-        let block = gfd_graph::NodeSet::from_vec(g.nodes().collect());
-        let v1 = component_matches(&g, &plans, 0, 0, m, &block, Some(&mqi), &mut cache);
-        let v2 = component_matches(&g, &plans, 1, 0, m, &block, Some(&mqi), &mut cache);
-        assert_eq!(cache.hits, 1, "second call must hit");
+        let mut stats = CacheStats::default();
+        let block = Arc::new(NodeSet::from_vec(g.nodes().collect()));
+        let v1 = component_matches(
+            &g,
+            &plans,
+            0,
+            0,
+            m,
+            &block,
+            Some(&mqi),
+            &registry,
+            &mut stats,
+        );
+        let v2 = component_matches(
+            &g,
+            &plans,
+            1,
+            0,
+            m,
+            &block,
+            Some(&mqi),
+            &registry,
+            &mut stats,
+        );
+        assert_eq!(stats.hits, 1, "second call must hit");
         assert!(
             Arc::ptr_eq(v1.table(), v2.table()),
             "hit must share the cached table, not copy it"

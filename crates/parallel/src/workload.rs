@@ -17,7 +17,7 @@ use std::sync::Arc;
 use gfd_core::GfdSet;
 use gfd_graph::{neighborhood, Graph, NodeId, NodeSet};
 use gfd_match::simulation::{dual_simulation, CandidateSpace};
-use gfd_match::SpaceRegistry;
+use gfd_match::ClassRegistry;
 use gfd_pattern::{
     analysis::pivot_vector, isomorphic, tree_decomposition, PatLabel, Pattern, VarId,
 };
@@ -156,7 +156,7 @@ pub struct Workload {
     pub truncated: bool,
     /// Worklist simulations attributable to this workload — for
     /// [`estimate_workload`] the count run *during the call* (with the
-    /// shared [`SpaceRegistry`], at most one per component isomorphism
+    /// shared [`ClassRegistry`], at most one per component isomorphism
     /// class of Σ; 0 when pruning is off or the borrowed registry
     /// already held the classes warm), and for
     /// [`IncrementalWorkload::workload`](crate::IncrementalWorkload::workload)
@@ -265,7 +265,7 @@ pub fn pivots_from_space(
 ///
 /// This is the standalone (one component, own simulation) entry point;
 /// [`estimate_workload`] draws the same information from a
-/// [`SpaceRegistry`] shared across the whole Σ instead, so isomorphic
+/// [`ClassRegistry`] shared across the whole Σ instead, so isomorphic
 /// components pay for one simulation together.
 pub fn feasible_pivots(g: &Graph, plan: &ComponentPlan, prune: bool) -> (Vec<NodeId>, usize) {
     if !prune {
@@ -337,10 +337,10 @@ impl BlockCache {
 /// Estimates `W(Σ, G)` (procedure `bPar`'s estimation phase / the
 /// workload part of `disPar`) with a registry local to the call.
 pub fn estimate_workload(sigma: &GfdSet, g: &Graph, opts: &WorkloadOptions) -> Workload {
-    estimate_workload_in(sigma, g, opts, &mut SpaceRegistry::new())
+    estimate_workload_in(sigma, g, opts, &ClassRegistry::new())
 }
 
-/// [`estimate_workload`] borrowing a caller-owned [`SpaceRegistry`]:
+/// [`estimate_workload`] borrowing a caller-owned [`ClassRegistry`]:
 /// every component of every rule registers into it and pivot
 /// feasibility reads the **per-isomorphism-class** candidate spaces —
 /// one simulation per class instead of one per component (Example 10's
@@ -351,7 +351,7 @@ pub fn estimate_workload_in(
     sigma: &GfdSet,
     g: &Graph,
     opts: &WorkloadOptions,
-    registry: &mut SpaceRegistry,
+    registry: &ClassRegistry,
 ) -> Workload {
     let start = std::time::Instant::now();
     let sims_before = registry.simulations();
@@ -367,7 +367,7 @@ pub fn estimate_workload_in(
         for plan in &rule.components {
             let (cands, pruned) = if opts.prune_empty_pivots {
                 let h = registry.register(&plan.pattern);
-                pivots_from_space(g, plan, registry.space(h, g))
+                pivots_from_space(g, plan, &registry.space(h, g))
             } else {
                 feasible_pivots(g, plan, false)
             };

@@ -24,7 +24,7 @@ use gfd_core::{Dependency, Gfd, GfdSet, Literal, Violation};
 use gfd_graph::{AttrOp, Graph, GraphBuilder, GraphDelta, NodeId, Value, Vocab};
 use gfd_match::Match;
 use gfd_parallel::fault::silence_injected_panics;
-use gfd_parallel::{FaultPlan, ServiceConfig, ViolationService};
+use gfd_parallel::{ClassRegistry, FaultPlan, ServiceConfig, ViolationService};
 use gfd_pattern::PatternBuilder;
 use gfd_util::Rng;
 
@@ -165,7 +165,14 @@ fn soak_10k_edit_stream_survives_every_fault_family() {
 
     let g0 = Arc::new(social(16));
     let sigma = rules(g0.vocab().clone());
-    let mut svc = ViolationService::new(sigma.clone(), Arc::clone(&g0), cfg);
+    // The service runs over an explicitly budgeted serving tier so the
+    // soak also exercises the registry's memory contract: bounded
+    // bytes at every epoch, and deferred (pin-protected) evictions
+    // that fully drain once no worker holds a table.
+    let budget: usize = 256 << 10;
+    let registry = Arc::new(ClassRegistry::with_budget_bytes(budget));
+    let mut svc =
+        ViolationService::with_registry(sigma.clone(), Arc::clone(&g0), cfg, Arc::clone(&registry));
     let rx = svc.subscribe();
     let pin0 = svc.snapshot();
     let baseline = vio_set(svc.violations());
@@ -206,7 +213,25 @@ fn soak_10k_edit_stream_survives_every_fault_family() {
         if mid_pin.is_none() && epoch >= 10 {
             mid_pin = Some(svc.snapshot());
         }
+        // The memory contract holds at every epoch boundary: no worker
+        // is mid-unit here, so nothing is pinned and the byte budget is
+        // strict.
+        assert!(
+            registry.bytes() <= budget,
+            "epoch {epoch}: registry at {} bytes exceeds its {budget}-byte budget",
+            registry.bytes()
+        );
     }
+
+    // Satellite invariant: with every pin dropped, a sweep drains all
+    // deferred evictions — nothing stays resident on a stale refcount.
+    registry.sweep();
+    assert_eq!(
+        registry.deferred_pending(),
+        0,
+        "deferred evictions must drain to zero once pins drop"
+    );
+    assert!(registry.bytes() <= budget);
 
     // Oracle 1: the maintained set is identical to from-scratch
     // detection over the independently evolved shadow graph.
