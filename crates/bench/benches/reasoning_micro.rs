@@ -23,8 +23,9 @@ use gfd_graph::intersect::intersect_in_place;
 use gfd_graph::{Graph, NodeId, Value, Vocab};
 use gfd_match::types::Flow;
 use gfd_match::{
-    count_matches, count_matches_with, dual_simulation, for_each_match_planned, CacheStats,
-    ClassRegistry, IncrementalSpace, MatchOptions, MatchScratch, SimFilter,
+    count_matches, count_matches_planned, count_matches_with, dual_simulation,
+    for_each_match_planned, CacheStats, ClassRegistry, IncrementalSpace, MatchOptions,
+    MatchScratch, SimFilter,
 };
 use gfd_parallel::unitexec::{execute_unit, MultiQueryIndex, UnitScratch};
 use gfd_parallel::workload::{estimate_workload, feasible_pivots, plan_rules, WorkloadOptions};
@@ -520,6 +521,70 @@ fn main() {
         bench("match/wcoj_4cycle(sim percall)", &mut samples, || {
             count_matches_with(&cyc4, &gs, &sim_opts, &mut sim_scratch)
         });
+    }
+
+    // Factorized counting vs materialized enumeration on a skewed
+    // multiplicative workload: two dense bipartite layers (a→b and
+    // b→c, 48×48 each) multiply into 48³ ≈ 110k path matches while
+    // the d-representation stays at ~2·48² union edges. The
+    // factorized count folds that representation bottom-up —
+    // width-polynomial — where the materialized count walks every
+    // match. Both run from the registry's warm space and plan with
+    // caller-owned scratch; the factorized sample's allocs_per_iter
+    // must be 0 (also asserted by tests/alloc_probe.rs).
+    {
+        let n = 48usize;
+        let mut b = gfd_graph::GraphBuilder::with_fresh_vocab();
+        let al: Vec<NodeId> = (0..n).map(|_| b.add_node_labeled("a")).collect();
+        let bl: Vec<NodeId> = (0..n).map(|_| b.add_node_labeled("b")).collect();
+        let cl: Vec<NodeId> = (0..n).map(|_| b.add_node_labeled("c")).collect();
+        for &x in &al {
+            for &y in &bl {
+                b.add_edge_labeled(x, y, "e1");
+            }
+        }
+        for &y in &bl {
+            for &z in &cl {
+                b.add_edge_labeled(y, z, "e2");
+            }
+        }
+        let gs = b.freeze();
+        let mut pb = PatternBuilder::new(gs.vocab().clone());
+        let x = pb.node("x", "a");
+        let y = pb.node("y", "b");
+        let z = pb.node("z", "c");
+        pb.edge(x, y, "e1");
+        pb.edge(y, z, "e2");
+        let path = pb.build();
+        let reg = ClassRegistry::new();
+        let h = reg.register(&path);
+        let opts = MatchOptions::unrestricted();
+        let mut fact_scratch = MatchScratch::default();
+        let mut mat_scratch = MatchScratch::default();
+        let (cs, plan) = reg.space_and_plan(h, &gs);
+        let expected = n * n * n;
+        assert_eq!(
+            count_matches_planned(&path, &gs, &opts, &cs, &plan, &mut fact_scratch),
+            expected,
+            "the factorized count must be exact here"
+        );
+        bench("factor/count_skewed(factorized)", &mut samples, || {
+            count_matches_planned(&path, &gs, &opts, &cs, &plan, &mut fact_scratch)
+        });
+        let mut count_materialized = || {
+            let mut c = 0usize;
+            for_each_match_planned(&path, &gs, &opts, &cs, &plan, &mut mat_scratch, &mut |_| {
+                c += 1;
+                Flow::Continue
+            });
+            c
+        };
+        assert_eq!(count_materialized(), expected);
+        bench(
+            "factor/count_skewed(materialized)",
+            &mut samples,
+            &mut count_materialized,
+        );
     }
 
     // The allocation-free hot-path probe: a clean symmetric-pair

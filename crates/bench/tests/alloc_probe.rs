@@ -11,7 +11,10 @@ use std::sync::Arc;
 use gfd_core::{Dependency, Gfd, GfdSet, Literal};
 use gfd_graph::{Graph, NodeId, Value, Vocab};
 use gfd_match::types::Flow;
-use gfd_match::{for_each_match_planned, CacheStats, ClassRegistry, MatchOptions, MatchScratch};
+use gfd_match::{
+    count_matches_planned, count_matches_with, for_each_match_planned, CacheStats, ClassRegistry,
+    MatchOptions, MatchScratch,
+};
 use gfd_parallel::unitexec::{execute_unit, MultiQueryIndex, UnitScratch};
 use gfd_parallel::workload::{estimate_workload, plan_rules, WorkloadOptions};
 use gfd_pattern::PatternBuilder;
@@ -186,6 +189,81 @@ fn warm_cross_worker_registry_hit_allocates_nothing() {
     );
     assert!(stats_b.hits > 0);
     assert!(out.is_empty());
+}
+
+/// Warm counting — both forms — must be allocation-free: the
+/// materialized count backtracks entirely inside `MatchScratch`
+/// (candidate sources live in a stack batch, not a heap buffer), and
+/// the factorized count rebuilds its d-representation into warm
+/// scratch arenas without enumerating a single match.
+#[test]
+fn warm_counting_allocates_nothing() {
+    // Materialized: a star pattern (fewer edges than nodes) keeps the
+    // Auto filter off, so this is the pure backtracking count.
+    let g = clean_flights(8);
+    let mut pb = PatternBuilder::new(g.vocab().clone());
+    let f = pb.node("f", "flight");
+    let i = pb.node("i", "id");
+    let c = pb.node("c", "city");
+    pb.edge(f, i, "number");
+    pb.edge(f, c, "to");
+    let star = pb.build();
+    let opts = MatchOptions::unrestricted();
+    let mut scratch = MatchScratch::default();
+    let expected = count_matches_with(&star, &g, &opts, &mut scratch);
+    assert_eq!(expected, 8, "premise: one star per flight");
+    let delta = min_allocation_delta(5, || {
+        assert_eq!(count_matches_with(&star, &g, &opts, &mut scratch), expected);
+    });
+    assert_eq!(
+        delta, 0,
+        "warm materialized counting must perform zero heap allocations"
+    );
+
+    // Factorized: a two-bag path counted FAQ-style from the cached
+    // space and plan — the 576 matches are never enumerated.
+    let per_layer = 24usize;
+    let mut b = gfd_graph::GraphBuilder::with_fresh_vocab();
+    let al: Vec<NodeId> = (0..per_layer).map(|_| b.add_node_labeled("a")).collect();
+    let bl: Vec<NodeId> = (0..per_layer).map(|_| b.add_node_labeled("b")).collect();
+    let cl: Vec<NodeId> = (0..per_layer).map(|_| b.add_node_labeled("c")).collect();
+    for &a in &al {
+        for &x in &bl {
+            b.add_edge_labeled(a, x, "e1");
+        }
+    }
+    for j in 0..per_layer {
+        b.add_edge_labeled(bl[j], cl[j], "e2");
+    }
+    let g2 = b.freeze();
+    let mut pb = PatternBuilder::new(g2.vocab().clone());
+    let x = pb.node("x", "a");
+    let y = pb.node("y", "b");
+    let z = pb.node("z", "c");
+    pb.edge(x, y, "e1");
+    pb.edge(y, z, "e2");
+    let path = pb.build();
+
+    let reg = ClassRegistry::new();
+    let h = reg.register(&path);
+    let (cs, plan) = reg.space_and_plan(h, &g2);
+    let warm = count_matches_planned(&path, &g2, &opts, &cs, &plan, &mut scratch);
+    assert_eq!(warm, per_layer * per_layer);
+    assert_eq!(
+        scratch.last_factorization().count(),
+        Some((per_layer * per_layer) as u64),
+        "premise: the count came from an exact factorization"
+    );
+    let delta = min_allocation_delta(5, || {
+        assert_eq!(
+            count_matches_planned(&path, &g2, &opts, &cs, &plan, &mut scratch),
+            warm
+        );
+    });
+    assert_eq!(
+        delta, 0,
+        "warm factorized counting must perform zero heap allocations"
+    );
 }
 
 /// The worst-case-optimal plan executor's steady state: with the

@@ -45,7 +45,9 @@ use gfd_match::{
 use gfd_pattern::signature::decompose;
 
 use crate::gfd::GfdSet;
-use crate::validate::{detect_violations, for_each_violation, match_satisfies, Violation};
+use crate::validate::{
+    const_y_satisfied_everywhere, detect_violations, for_each_violation, match_satisfies, Violation,
+};
 
 /// The change `apply_diff` made to `Vio(Σ, G)` in one edit step: what
 /// a standing-violation service pushes to subscribers instead of the
@@ -117,13 +119,25 @@ impl IncrementalDetector {
                 if !gfd.dep.y.is_empty() {
                     let cs = registry.space(handle, g);
                     if !cs.is_empty_anywhere() {
-                        let opts = MatchOptions::unrestricted();
-                        for_each_match_in_space(&gfd.pattern, g, &opts, &cs, &mut |m| {
-                            if !match_satisfies(&gfd.dep, g, m) {
-                                violations.insert(Match(m.to_vec()));
-                            }
-                            Flow::Continue
-                        });
+                        // Factorized fast path for the initial full
+                        // pass: an all-constant-`Y` rule whose
+                        // per-variable marginal aggregates show every
+                        // represented binding satisfying `Y` seeds an
+                        // empty violation set without enumerating —
+                        // the same superset argument as `detVio`'s
+                        // shared route. Later deltas re-examine only
+                        // affected pins either way.
+                        let skip = connected
+                            && const_y_satisfied_everywhere(&gfd.dep, g, &cs, &registry, handle);
+                        if !skip {
+                            let opts = MatchOptions::unrestricted();
+                            for_each_match_in_space(&gfd.pattern, g, &opts, &cs, &mut |m| {
+                                if !match_satisfies(&gfd.dep, g, m) {
+                                    violations.insert(Match(m.to_vec()));
+                                }
+                                Flow::Continue
+                            });
+                        }
                     }
                 }
                 RuleState {

@@ -21,8 +21,8 @@ use gfd_graph::{Graph, NodeId};
 use gfd_match::component::ComponentSearch;
 use gfd_match::table::MatchTable;
 use gfd_match::{
-    for_each_match, for_each_match_planned, for_each_match_with, types::Flow, ClassRegistry, Match,
-    MatchOptions, MatchScratch, SearchBudget, SpaceHandle,
+    for_each_match, for_each_match_planned, for_each_match_with, types::Flow, CandidateSpace,
+    ClassRegistry, Match, MatchOptions, MatchScratch, SearchBudget, SpaceHandle,
 };
 use gfd_pattern::analysis::connected_components;
 use gfd_pattern::signature::decompose;
@@ -177,6 +177,14 @@ pub fn detect_violations_with(
         };
         if shared {
             let (cs, plan) = registry.space_and_plan(scratch.handles[i], g);
+            // FAQ-style skip for all-constant-`Y` rules: if, per the
+            // class's factorized marginals, every *represented*
+            // binding already satisfies `Y`, no match violates `ϕ` —
+            // the represented set is a superset of the match set.
+            // Variable elimination in place of enumeration.
+            if const_y_satisfied_everywhere(&gfd.dep, g, &cs, registry, scratch.handles[i]) {
+                continue;
+            }
             for_each_match_planned(
                 &gfd.pattern,
                 g,
@@ -191,6 +199,50 @@ pub fn detect_violations_with(
         }
     }
     out
+}
+
+/// The factorized aggregate fast path for `detVio`: when every `Y`
+/// literal is a constant `v.A = c`, "no violation" is a per-variable
+/// aggregate question, answered from the class's cached factorization
+/// without enumerating a single match. For each literal, the marginal
+/// mass of candidates of `v` that carry the constant is summed; if it
+/// equals the represented total for *every* literal, every represented
+/// binding satisfies `Y` — and since the represented set is a superset
+/// of the match set (bag-local injectivity only relaxes it), no match
+/// can violate `ϕ`, whatever `X` says. Sound even when the counts are
+/// inexact: over-counting preserves `Σ_n marginal(v, n) = raw_count`,
+/// which is all the comparison uses. Declines (returns `false`) when
+/// the factorizer declined the pattern, marginals are absent, or
+/// counting saturated — saturation breaks the sum identity.
+pub(crate) fn const_y_satisfied_everywhere(
+    dep: &Dependency,
+    g: &Graph,
+    cs: &CandidateSpace,
+    registry: &ClassRegistry,
+    h: SpaceHandle,
+) -> bool {
+    if dep.y.is_empty() || !dep.y.iter().all(|l| matches!(l, Literal::Const { .. })) {
+        return false;
+    }
+    let Some(fact) = registry.factorization(h, g) else {
+        return false;
+    };
+    if fact.overflowed() || !fact.has_marginals() {
+        return false;
+    }
+    let total = fact.raw_count();
+    dep.y.iter().all(|l| {
+        let Literal::Const { var, attr, value } = l else {
+            return false;
+        };
+        let mut sat = 0u64;
+        for &node in cs.of(*var) {
+            if g.attr(node, *attr) == Some(value) {
+                sat += fact.marginal(*var, node).unwrap_or(0);
+            }
+        }
+        sat == total
+    })
 }
 
 /// Value-indexed join fast path for `detVio` on **disconnected**
@@ -676,6 +728,66 @@ mod tests {
         assert_eq!(reg.class_count(), 1, "both rules share one class");
         assert_eq!(reg.simulations(), 1);
         assert_eq!(reg.plans_built(), 1);
+    }
+
+    /// The factorized aggregate fast path: two shared triangle rules
+    /// whose constant `Y` holds for every node — detection must
+    /// conclude "no violations" from the class's marginals alone,
+    /// building one factorization and never enumerating. The sibling
+    /// rule with an unsatisfiable constant (see
+    /// `shared_cyclic_rules_use_cached_plan_and_agree`) pins the other
+    /// direction: a failing aggregate must fall through to
+    /// enumeration.
+    #[test]
+    fn shared_const_y_rules_skip_enumeration_via_marginals() {
+        let vocab = Vocab::shared();
+        let mut gb = gfd_graph::GraphBuilder::new(vocab.clone());
+        let ps: Vec<_> = (0..6).map(|_| gb.add_node_labeled("person")).collect();
+        for tri in [[0, 1, 2], [3, 4, 5]] {
+            for k in 0..3 {
+                gb.add_edge_labeled(ps[tri[k]], ps[tri[(k + 1) % 3]], "knows");
+            }
+        }
+        for &p in &ps {
+            gb.set_attr_named(p, "kind", Value::str("human"));
+        }
+        let g = gb.freeze();
+
+        let triangle = |names: [&str; 3]| {
+            let mut b = PatternBuilder::new(vocab.clone());
+            let x = b.node(names[0], "person");
+            let y = b.node(names[1], "person");
+            let z = b.node(names[2], "person");
+            b.edge(x, y, "knows");
+            b.edge(y, z, "knows");
+            b.edge(z, x, "knows");
+            b.build()
+        };
+        let kind = vocab.intern("kind");
+        let mk = |name: &str, q: gfd_pattern::Pattern, v: VarId| {
+            Gfd::new(
+                name,
+                q,
+                Dependency::always(vec![Literal::const_eq(v, kind, "human")]),
+            )
+        };
+        let sigma = GfdSet::new(vec![
+            mk("phi-a", triangle(["x", "y", "z"]), VarId(0)),
+            mk("phi-b", triangle(["p", "q", "r"]), VarId(2)),
+        ]);
+
+        let reg = ClassRegistry::new();
+        let mut scratch = DetScratch::default();
+        for _ in 0..3 {
+            let got = detect_violations_with(&sigma, &g, &reg, &mut scratch);
+            assert!(got.is_empty(), "every node satisfies kind = human");
+        }
+        assert_eq!(reg.class_count(), 1, "both rules share one class");
+        assert_eq!(
+            reg.factorizations_built(),
+            1,
+            "one d-representation answers both rules across all runs"
+        );
     }
 
     #[test]

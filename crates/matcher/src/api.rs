@@ -20,6 +20,7 @@ use gfd_graph::{Graph, NodeId};
 use gfd_pattern::{signature::decompose, PatLabel, Pattern, VarId};
 
 use crate::component::{ComponentSearch, SearchScratch, StopReason};
+use crate::factorize::{FactorScratch, Factorization};
 use crate::join::{join_tables, ComponentTable, JoinScratch};
 use crate::plan::{execute_plan, PlanScratch, QueryPlan};
 use crate::simulation::{dual_simulation, CandidateSpace};
@@ -37,6 +38,16 @@ pub struct MatchScratch {
     plan: PlanScratch,
     join: JoinScratch,
     tables: Vec<MatchTable>,
+    factor: FactorScratch,
+}
+
+impl MatchScratch {
+    /// The factorization left behind by the most recent factorized
+    /// count — for introspecting exactness, node counts and byte size
+    /// without re-deriving them.
+    pub fn last_factorization(&self) -> &Factorization {
+        self.factor.fact()
+    }
 }
 
 /// Outcome of a streaming enumeration.
@@ -427,16 +438,91 @@ pub fn count_matches(q: &Pattern, g: &Graph, opts: &MatchOptions) -> usize {
     count_matches_with(q, g, opts, &mut MatchScratch::default())
 }
 
+/// True when a count request is eligible for factorized (FAQ-style)
+/// evaluation: uncapped (a budget changes the *observable* count, so
+/// capped counts must enumerate) and with every pin addressable.
+fn countable_without_enumeration(q: &Pattern, opts: &MatchOptions) -> bool {
+    q.node_count() > 0
+        && opts.budget.max_matches.is_none()
+        && opts.budget.max_steps.is_none()
+        && opts.pins.iter().all(|&(v, _)| v.index() < q.node_count())
+}
+
 /// [`count_matches`] with caller-owned scratch — the allocation-free
 /// form for counting loops.
+///
+/// Connected patterns whose filter policy attaches a candidate space
+/// are counted **without enumeration** when possible: the component's
+/// match set is factorized over the plan's bag tree
+/// ([`crate::factorize`]) and the count read off the root fold —
+/// width-polynomial time even when the flat match set explodes. The
+/// factorizer declines (and this falls back to streaming) when
+/// cross-bag injectivity could make the folded count inexact.
 pub fn count_matches_with(
     q: &Pattern,
     g: &Graph,
     opts: &MatchOptions,
     scratch: &mut MatchScratch,
 ) -> usize {
+    if q.is_connected() && countable_without_enumeration(q, opts) {
+        if let Some(cs) = filter_component(q, g, opts) {
+            if cs.is_empty_anywhere() {
+                return 0;
+            }
+            let plan = QueryPlan::new(q);
+            if let Some(n) =
+                scratch
+                    .factor
+                    .count(q, g, &cs, &plan, opts.restriction.as_ref(), &opts.pins)
+            {
+                return n.min(usize::MAX as u64) as usize;
+            }
+            // Inexact or unfactorizable: enumerate inside the space
+            // already computed.
+            let mut n = 0usize;
+            stream_single_component(q, g, opts, Some(&cs), scratch, &mut |_| {
+                n += 1;
+                Flow::Continue
+            });
+            return n;
+        }
+    }
     let mut n = 0usize;
     for_each_match_with(q, g, opts, scratch, &mut |_| {
+        n += 1;
+        Flow::Continue
+    });
+    n
+}
+
+/// [`count_matches_with`] for registry consumers holding a cached
+/// space and plan (`ClassRegistry::space_and_plan`): the factorization
+/// is rebuilt into the caller's scratch arenas, so a warm counting
+/// loop runs with **zero** steady-state heap allocation — no
+/// simulation, no plan build, no enumeration. Falls back to
+/// [`for_each_match_planned`] streaming when the factorizer declines
+/// or the folded count would be inexact.
+pub fn count_matches_planned(
+    q: &Pattern,
+    g: &Graph,
+    opts: &MatchOptions,
+    cs: &CandidateSpace,
+    plan: &QueryPlan,
+    scratch: &mut MatchScratch,
+) -> usize {
+    if q.is_connected() && countable_without_enumeration(q, opts) {
+        if cs.is_empty_anywhere() {
+            return 0;
+        }
+        if let Some(n) = scratch
+            .factor
+            .count(q, g, cs, plan, opts.restriction.as_ref(), &opts.pins)
+        {
+            return n.min(usize::MAX as u64) as usize;
+        }
+    }
+    let mut n = 0usize;
+    for_each_match_planned(q, g, opts, cs, plan, scratch, &mut |_| {
         n += 1;
         Flow::Continue
     });

@@ -98,6 +98,7 @@ pub(crate) fn search_order_into(
 }
 
 /// A sorted, duplicate-free candidate source to intersect.
+#[derive(Clone, Copy)]
 enum Source<'a> {
     /// A plain id list (simulation set, candidate-adjacency run,
     /// restriction slice).
@@ -113,6 +114,67 @@ impl Source<'_> {
             Source::Ids(s) => s.len(),
             Source::Run(r) => r.len(),
         }
+    }
+}
+
+/// Sources are gathered into a stack batch of this size before
+/// intersecting — no variable of a mined rule has anywhere near 16
+/// constraining edges, and the fold below flushes correctly if one
+/// does. Keeping the batch on the stack (instead of a heap `Vec`)
+/// is what makes a warm counting loop genuinely allocation-free.
+const MAX_SOURCES: usize = 16;
+
+#[inline]
+fn seed_pool(pool: &mut Vec<NodeId>, s: Source) {
+    match s {
+        Source::Ids(ids) => pool.extend_from_slice(ids),
+        Source::Run(run) => pool.extend(run.iter().map(|a| a.node)),
+    }
+}
+
+#[inline]
+fn refine_pool(pool: &mut Vec<NodeId>, s: Source) {
+    match s {
+        Source::Ids(ids) => intersect_in_place(pool, ids, |&x| x),
+        Source::Run(run) => intersect_in_place(pool, run, |a| a.node),
+    }
+}
+
+/// Appends a source to the stack batch, flushing (intersecting into
+/// the pool) when the batch is full.
+#[inline]
+fn push_source<'a>(
+    pool: &mut Vec<NodeId>,
+    srcs: &mut [Source<'a>; MAX_SOURCES],
+    n: &mut usize,
+    seeded: &mut bool,
+    s: Source<'a>,
+) {
+    if *n == MAX_SOURCES {
+        fold_sources(pool, &mut srcs[..], *seeded);
+        *seeded = true;
+        *n = 0;
+    }
+    srcs[*n] = s;
+    *n += 1;
+}
+
+/// Intersects one batch of sources into the pool, ascending by size:
+/// the first batch seeds from its smallest source, later batches (only
+/// under pathological fan-in) refine pairwise.
+fn fold_sources(pool: &mut Vec<NodeId>, srcs: &mut [Source], seeded: bool) {
+    srcs.sort_unstable_by_key(Source::len);
+    let rest = if seeded {
+        &srcs[..]
+    } else {
+        seed_pool(pool, srcs[0]);
+        &srcs[1..]
+    };
+    for &s in rest {
+        if pool.is_empty() {
+            return;
+        }
+        refine_pool(pool, s);
     }
 }
 
@@ -154,9 +216,6 @@ pub struct ComponentSearch<'a> {
     steps: u64,
     /// Reusable buffers, possibly adopted from a previous search.
     scratch: SearchScratch,
-    /// Reusable source-descriptor buffer for pool assembly (borrows
-    /// from `'a`, so it cannot live in the lifetime-free scratch).
-    sources: Vec<Source<'a>>,
 }
 
 /// Why an enumeration stopped.
@@ -182,7 +241,6 @@ impl<'a> ComponentSearch<'a> {
             max_steps: u64::MAX,
             steps: 0,
             scratch: SearchScratch::default(),
-            sources: Vec::new(),
         }
     }
 
@@ -273,11 +331,14 @@ impl<'a> ComponentSearch<'a> {
     /// simulation set when attached), falling back to label extent /
     /// restriction / all nodes at a component start. `pool` comes out
     /// sorted and duplicate-free.
-    fn fill_candidates(&mut self, assigned: &[NodeId], sv: VarId, pool: &mut Vec<NodeId>) {
+    fn fill_candidates(&self, assigned: &[NodeId], sv: VarId, pool: &mut Vec<NodeId>) {
         pool.clear();
         let g = self.g;
-        let mut sources = std::mem::take(&mut self.sources);
-        sources.clear();
+        // Source descriptors live in a stack batch: a warm enumeration
+        // loop must not allocate.
+        let mut srcs: [Source<'a>; MAX_SOURCES] = [Source::Ids(&[]); MAX_SOURCES];
+        let mut n = 0usize;
+        let mut seeded = false;
 
         if let Some(cs) = self.cand {
             // Pools come from the simulation's per-edge candidate
@@ -287,11 +348,17 @@ impl<'a> ComponentSearch<'a> {
                     let ta = assigned[e.dst.index()];
                     if ta.0 != u32::MAX {
                         match cs.sets[e.dst.index()].binary_search(&ta) {
-                            Ok(i) => sources.push(Source::Ids(cs.reverse[ei].run(i))),
+                            Ok(i) => push_source(
+                                pool,
+                                &mut srcs,
+                                &mut n,
+                                &mut seeded,
+                                Source::Ids(cs.reverse[ei].run(i)),
+                            ),
                             Err(_) => {
                                 // Assigned image outside the simulation
                                 // set: nothing can extend it.
-                                self.sources = sources;
+                                pool.clear();
                                 return;
                             }
                         }
@@ -301,21 +368,33 @@ impl<'a> ComponentSearch<'a> {
                     let sa = assigned[e.src.index()];
                     if sa.0 != u32::MAX {
                         match cs.sets[e.src.index()].binary_search(&sa) {
-                            Ok(i) => sources.push(Source::Ids(cs.forward[ei].run(i))),
+                            Ok(i) => push_source(
+                                pool,
+                                &mut srcs,
+                                &mut n,
+                                &mut seeded,
+                                Source::Ids(cs.forward[ei].run(i)),
+                            ),
                             Err(_) => {
-                                self.sources = sources;
+                                pool.clear();
                                 return;
                             }
                         }
                     }
                 }
             }
-            if sources.is_empty() {
+            if n == 0 && !seeded {
                 // Component start: the simulation set, narrowed by the
                 // restriction when one is present.
-                sources.push(Source::Ids(cs.of(sv)));
+                push_source(pool, &mut srcs, &mut n, &mut seeded, Source::Ids(cs.of(sv)));
                 if let Some(r) = self.restriction {
-                    sources.push(Source::Ids(r.as_slice()));
+                    push_source(
+                        pool,
+                        &mut srcs,
+                        &mut n,
+                        &mut seeded,
+                        Source::Ids(r.as_slice()),
+                    );
                 }
             }
         } else {
@@ -333,9 +412,13 @@ impl<'a> ComponentSearch<'a> {
                 let ta = assigned[t.index()];
                 if t != sv && ta.0 != u32::MAX {
                     match l {
-                        PatLabel::Sym(el) => {
-                            sources.push(Source::Run(g.in_neighbors_labeled(ta, el)))
-                        }
+                        PatLabel::Sym(el) => push_source(
+                            pool,
+                            &mut srcs,
+                            &mut n,
+                            &mut seeded,
+                            Source::Run(g.in_neighbors_labeled(ta, el)),
+                        ),
                         PatLabel::Wildcard => consider_wildcard(g.in_slice(ta), &mut wildcard),
                     }
                 }
@@ -344,17 +427,22 @@ impl<'a> ComponentSearch<'a> {
                 let sa = assigned[s.index()];
                 if s != sv && sa.0 != u32::MAX {
                     match l {
-                        PatLabel::Sym(el) => sources.push(Source::Run(g.neighbors_labeled(sa, el))),
+                        PatLabel::Sym(el) => push_source(
+                            pool,
+                            &mut srcs,
+                            &mut n,
+                            &mut seeded,
+                            Source::Run(g.neighbors_labeled(sa, el)),
+                        ),
                         PatLabel::Wildcard => consider_wildcard(g.out_slice(sa), &mut wildcard),
                     }
                 }
             }
-            if sources.is_empty() {
+            if n == 0 && !seeded {
                 if let Some(run) = wildcard {
                     pool.extend(run.iter().map(|a| a.node));
                     pool.sort_unstable();
                     pool.dedup();
-                    self.sources = sources;
                     return;
                 }
                 // Component start: label extent / restriction / all.
@@ -373,28 +461,15 @@ impl<'a> ComponentSearch<'a> {
                         None => pool.extend(g.nodes()),
                     },
                 }
-                self.sources = sources;
                 return;
             }
         }
 
         // Intersect ascending by size: seed from the smallest source,
         // then refine in place (merge or gallop per size ratio).
-        sources.sort_by_key(Source::len);
-        match sources[0] {
-            Source::Ids(s) => pool.extend_from_slice(s),
-            Source::Run(r) => pool.extend(r.iter().map(|a| a.node)),
+        if n > 0 {
+            fold_sources(pool, &mut srcs[..n], seeded);
         }
-        for s in &sources[1..] {
-            if pool.is_empty() {
-                break;
-            }
-            match *s {
-                Source::Ids(ids) => intersect_in_place(pool, ids, |&x| x),
-                Source::Run(run) => intersect_in_place(pool, run, |a| a.node),
-            }
-        }
-        self.sources = sources;
     }
 
     fn run(

@@ -32,10 +32,21 @@
 //! multiway intersection and joined along the tree, cached once per
 //! canonical class in the [`registry::ClassRegistry`] — the bounded,
 //! internally synchronized serving tier that also holds candidate
-//! spaces and pinned match tables for every consumer of one Σ.
+//! spaces, pinned match tables, and factorizations for every consumer
+//! of one Σ.
+//!
+//! Over the same bag tree sits the **factorized layer** (module
+//! [`factorize`]): a [`factorize::Factorization`] is a d-representation
+//! of a component's match set whose size tracks per-bag work while the
+//! represented set multiplies across bags, so counting is a bottom-up
+//! fold, per-binding marginals are one root-to-node pass, and tuple
+//! consumers expand lazily — aggregate consumers (`count_matches_*`,
+//! the validators' constant-consequent fast path, workload costing)
+//! never materialize the match set.
 
 pub mod api;
 pub mod component;
+pub mod factorize;
 pub mod incremental;
 pub mod join;
 pub mod plan;
@@ -45,10 +56,11 @@ pub mod table;
 pub mod types;
 
 pub use api::{
-    count_matches, count_matches_with, find_matches, for_each_match, for_each_match_in_space,
-    for_each_match_planned, for_each_match_with, has_match, MatchScratch,
+    count_matches, count_matches_planned, count_matches_with, find_matches, for_each_match,
+    for_each_match_in_space, for_each_match_planned, for_each_match_with, has_match, MatchScratch,
 };
 pub use component::{ComponentSearch, SearchScratch, StopReason};
+pub use factorize::{factorize, FactorScratch, Factorization};
 pub use incremental::{IncrementalSpace, RepairReport};
 pub use plan::{execute_plan, PlanScratch, QueryPlan};
 pub use registry::{CacheStats, ClassRegistry, SpaceHandle, DEFAULT_REGISTRY_BUDGET_BYTES};

@@ -52,33 +52,33 @@ const MAX_RUNS: usize = 16;
 /// Execution info for one bag: the variable placement order and the
 /// pattern edges the bag enforces.
 #[derive(Clone, Debug)]
-struct BagPlan {
+pub(crate) struct BagPlan {
     /// Bag variables in placement order: greedy most-constrained-first
     /// (most already-placed bag neighbors, then highest bag-internal
     /// degree, then smallest id — fully deterministic).
-    order: Vec<VarId>,
+    pub(crate) order: Vec<VarId>,
     /// Indices into `Pattern::edges()` of every edge with both
     /// endpoints in this bag. An edge shared by several bags is
     /// enforced in each of them — redundant but sound, and it keeps
     /// every bag's frontier as tight as the simulation allows.
-    edges: Vec<u32>,
+    pub(crate) edges: Vec<u32>,
 }
 
 /// A decomposition-based execution plan for one connected pattern.
 #[derive(Clone, Debug)]
 pub struct QueryPlan {
-    td: TreeDecomposition,
-    bags: Vec<BagPlan>,
+    pub(crate) td: TreeDecomposition,
+    pub(crate) bags: Vec<BagPlan>,
     /// Bag indices in parent-before-child (DFS) order — the fused
     /// execution sequence. With the running-intersection property this
     /// guarantees that at the first-processed bag containing both
     /// endpoints of an edge, at least one endpoint is still fresh, so
     /// every edge is enforced exactly where it first becomes local.
-    seq: Vec<u32>,
+    pub(crate) seq: Vec<u32>,
     /// Per-`seq`-position offset into the shared pool array (bags use
     /// disjoint pool slots so nested fills never collide).
-    pool_base: Vec<u32>,
-    n_vars: usize,
+    pub(crate) pool_base: Vec<u32>,
+    pub(crate) n_vars: usize,
 }
 
 impl QueryPlan {
@@ -242,6 +242,145 @@ impl PlanScratch {
     }
 }
 
+/// Folds a batch of constraining runs into the pool: the first
+/// batch seeds via smallest-first k-way intersection, later
+/// batches (only under pathological fan-in) refine pairwise.
+fn fold_batch(pool: &mut Vec<NodeId>, runs: &mut [&[NodeId]], seeded: bool) {
+    if !seeded {
+        intersect_k(pool, runs);
+    } else {
+        for run in runs.iter() {
+            if pool.is_empty() {
+                return;
+            }
+            intersect_in_place(pool, run, |&x| x);
+        }
+    }
+}
+
+/// Fills `pool` with the worst-case-optimal candidate pool for `sv`:
+/// the k-way intersection of the candidate-adjacency runs of every
+/// already-assigned bag neighbor (every constraining edge at once). An
+/// unconstrained variable seeds from its simulation set, narrowed by
+/// the restriction. A pinned variable's pool collapses to the pin if
+/// it survives the intersection.
+///
+/// Shared between the fused executor below and the factorization
+/// builder ([`crate::factorize`]) — both must draw bag pools from the
+/// exact same candidate adjacency for the oracle equivalences to hold.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fill_bag_pool(
+    q: &Pattern,
+    cs: &CandidateSpace,
+    restriction: Option<&NodeSet>,
+    pins: &[(VarId, NodeId)],
+    bag: &BagPlan,
+    sv: VarId,
+    assigned: &[NodeId],
+    pool: &mut Vec<NodeId>,
+) {
+    pool.clear();
+    let mut runs: [&[NodeId]; MAX_RUNS] = [&[]; MAX_RUNS];
+    let mut nruns = 0usize;
+    let mut seeded = false;
+    for &ei in &bag.edges {
+        let e = &q.edges()[ei as usize];
+        if e.src == e.dst {
+            continue; // self-loops are checked per candidate
+        }
+        let run = if e.src == sv {
+            let ta = assigned[e.dst.index()];
+            if ta.0 == u32::MAX {
+                continue;
+            }
+            match cs.sets[e.dst.index()].binary_search(&ta) {
+                Ok(i) => cs.reverse[ei as usize].run(i),
+                Err(_) => {
+                    // Assigned images always come from the space's
+                    // own sets, so this is unreachable — but an
+                    // empty pool is the sound answer.
+                    debug_assert!(false, "assigned image outside its simulation set");
+                    pool.clear();
+                    return;
+                }
+            }
+        } else if e.dst == sv {
+            let sa = assigned[e.src.index()];
+            if sa.0 == u32::MAX {
+                continue;
+            }
+            match cs.sets[e.src.index()].binary_search(&sa) {
+                Ok(i) => cs.forward[ei as usize].run(i),
+                Err(_) => {
+                    debug_assert!(false, "assigned image outside its simulation set");
+                    pool.clear();
+                    return;
+                }
+            }
+        } else {
+            continue;
+        };
+        if nruns == MAX_RUNS {
+            fold_batch(pool, &mut runs[..nruns], seeded);
+            seeded = true;
+            nruns = 0;
+            if pool.is_empty() {
+                return;
+            }
+        }
+        runs[nruns] = run;
+        nruns += 1;
+    }
+    if nruns > 0 {
+        fold_batch(pool, &mut runs[..nruns], seeded);
+        seeded = true;
+    }
+    if !seeded {
+        // No constraining edge yet (bag start, or a bag member tied
+        // to the rest only through fill edges): the simulation set,
+        // narrowed by the restriction when one is present.
+        pool.extend_from_slice(cs.of(sv));
+        if let Some(r) = restriction {
+            intersect_in_place(pool, r.as_slice(), |&x| x);
+        }
+    }
+    if let Some(&(_, pn)) = pins.iter().find(|&&(pv, _)| pv == sv) {
+        let keep = pool.binary_search(&pn).is_ok();
+        pool.clear();
+        if keep {
+            pool.push(pn);
+        }
+    }
+}
+
+/// Per-candidate checks the runs cannot express: restriction
+/// membership, injectivity against the partial assignment, and
+/// self-loop edges. Shared with [`crate::factorize`], where `assigned`
+/// holds only the bag-visible bindings.
+pub(crate) fn bag_candidate_ok(
+    q: &Pattern,
+    g: &Graph,
+    restriction: Option<&NodeSet>,
+    bag: &BagPlan,
+    sv: VarId,
+    gv: NodeId,
+    assigned: &[NodeId],
+) -> bool {
+    if restriction.is_some_and(|r| !r.contains(gv)) {
+        return false;
+    }
+    if assigned.contains(&gv) {
+        return false;
+    }
+    for &ei in &bag.edges {
+        let e = &q.edges()[ei as usize];
+        if e.src == sv && e.dst == sv && !edge_ok(g, gv, gv, e.label) {
+            return false;
+        }
+    }
+    true
+}
+
 struct Exec<'a> {
     q: &'a Pattern,
     g: &'a Graph,
@@ -253,120 +392,23 @@ struct Exec<'a> {
 }
 
 impl Exec<'_> {
-    /// Folds a batch of constraining runs into the pool: the first
-    /// batch seeds via smallest-first k-way intersection, later
-    /// batches (only under pathological fan-in) refine pairwise.
-    fn fold_batch(pool: &mut Vec<NodeId>, runs: &mut [&[NodeId]], seeded: bool) {
-        if !seeded {
-            intersect_k(pool, runs);
-        } else {
-            for run in runs.iter() {
-                if pool.is_empty() {
-                    return;
-                }
-                intersect_in_place(pool, run, |&x| x);
-            }
-        }
-    }
-
-    /// Fills `pool` with the worst-case-optimal candidate pool for
-    /// `sv`: the k-way intersection of the candidate-adjacency runs of
-    /// every already-assigned bag neighbor (every constraining edge at
-    /// once). An unconstrained variable seeds from its simulation set,
-    /// narrowed by the restriction. A pinned variable's pool collapses
-    /// to the pin if it survives the intersection.
+    #[inline]
     fn fill_pool(&self, bag: &BagPlan, sv: VarId, assigned: &[NodeId], pool: &mut Vec<NodeId>) {
-        pool.clear();
-        let mut runs: [&[NodeId]; MAX_RUNS] = [&[]; MAX_RUNS];
-        let mut nruns = 0usize;
-        let mut seeded = false;
-        for &ei in &bag.edges {
-            let e = &self.q.edges()[ei as usize];
-            if e.src == e.dst {
-                continue; // self-loops are checked per candidate
-            }
-            let run = if e.src == sv {
-                let ta = assigned[e.dst.index()];
-                if ta.0 == u32::MAX {
-                    continue;
-                }
-                match self.cs.sets[e.dst.index()].binary_search(&ta) {
-                    Ok(i) => self.cs.reverse[ei as usize].run(i),
-                    Err(_) => {
-                        // Assigned images always come from the space's
-                        // own sets, so this is unreachable — but an
-                        // empty pool is the sound answer.
-                        debug_assert!(false, "assigned image outside its simulation set");
-                        pool.clear();
-                        return;
-                    }
-                }
-            } else if e.dst == sv {
-                let sa = assigned[e.src.index()];
-                if sa.0 == u32::MAX {
-                    continue;
-                }
-                match self.cs.sets[e.src.index()].binary_search(&sa) {
-                    Ok(i) => self.cs.forward[ei as usize].run(i),
-                    Err(_) => {
-                        debug_assert!(false, "assigned image outside its simulation set");
-                        pool.clear();
-                        return;
-                    }
-                }
-            } else {
-                continue;
-            };
-            if nruns == MAX_RUNS {
-                Self::fold_batch(pool, &mut runs[..nruns], seeded);
-                seeded = true;
-                nruns = 0;
-                if pool.is_empty() {
-                    return;
-                }
-            }
-            runs[nruns] = run;
-            nruns += 1;
-        }
-        if nruns > 0 {
-            Self::fold_batch(pool, &mut runs[..nruns], seeded);
-            seeded = true;
-        }
-        if !seeded {
-            // No constraining edge yet (bag start, or a bag member tied
-            // to the rest only through fill edges): the simulation set,
-            // narrowed by the restriction when one is present.
-            pool.extend_from_slice(self.cs.of(sv));
-            if let Some(r) = self.restriction {
-                intersect_in_place(pool, r.as_slice(), |&x| x);
-            }
-        }
-        if let Some(&(_, pn)) = self.pins.iter().find(|&&(pv, _)| pv == sv) {
-            let keep = pool.binary_search(&pn).is_ok();
-            pool.clear();
-            if keep {
-                pool.push(pn);
-            }
-        }
+        fill_bag_pool(
+            self.q,
+            self.cs,
+            self.restriction,
+            self.pins,
+            bag,
+            sv,
+            assigned,
+            pool,
+        );
     }
 
-    /// Per-candidate checks the runs cannot express: restriction
-    /// membership, injectivity against the partial assignment, and
-    /// self-loop edges.
+    #[inline]
     fn candidate_ok(&self, bag: &BagPlan, sv: VarId, gv: NodeId, assigned: &[NodeId]) -> bool {
-        if self.restriction.is_some_and(|r| !r.contains(gv)) {
-            return false;
-        }
-        if assigned.contains(&gv) {
-            return false;
-        }
-        for &ei in &bag.edges {
-            let e = &self.q.edges()[ei as usize];
-            if e.src == sv && e.dst == sv && !edge_ok(self.g, gv, gv, e.label) {
-                return false;
-            }
-        }
-        true
+        bag_candidate_ok(self.q, self.g, self.restriction, bag, sv, gv, assigned)
     }
 
     /// The fused multiway recursion: bag `plan.seq[si]` at placement

@@ -45,11 +45,13 @@
 //! The registry is **byte-budgeted**
 //! ([`ClassRegistry::with_budget_bytes`]; default
 //! [`DEFAULT_REGISTRY_BUDGET_BYTES`]). Accounted artifacts are match
-//! tables ([`MatchTable::data_bytes`]), transported member spaces, and
+//! tables ([`MatchTable::data_bytes`]), transported member spaces,
 //! per-class incremental spaces (both via
 //! [`CandidateSpace::approx_bytes`] — the simulation core's worklist
-//! state rides along uncounted, a documented estimate). Plans and
-//! canonical forms are tiny and exempt.
+//! state rides along uncounted, a documented estimate), and per-class
+//! factorized match representations with their member relabelings
+//! ([`Factorization::approx_bytes`]). Plans and canonical forms are
+//! tiny and exempt.
 //!
 //! When the budget is exceeded, entries are evicted **least recently
 //! used first** (every hit touches its entry), with one hard rule: *an
@@ -83,6 +85,7 @@ use gfd_pattern::{canonical_form, CanonicalForm, IsoWitness, Pattern, VarId};
 use gfd_util::FxHashMap;
 
 use crate::component::ComponentSearch;
+use crate::factorize::{factorize, Factorization};
 use crate::incremental::IncrementalSpace;
 use crate::plan::QueryPlan;
 use crate::simulation::{dual_simulation, CandidateSpace};
@@ -169,6 +172,13 @@ struct ClassState {
     last_used: u64,
     /// Cached pinned enumerations, keyed by `(rep pin var, pivot)`.
     tables: FxHashMap<(VarId, NodeId), TableEntry>,
+    /// Factorized match-set representation of the representative over
+    /// the current snapshot, marginals included
+    /// ([`crate::factorize`]). A derivation of the space: a graph
+    /// delta that refreshes the class drops it (plans survive, facts
+    /// do not), and eviction reclaims it like any other artifact.
+    fact: Option<Arc<Factorization>>,
+    fact_bytes: usize,
 }
 
 /// One registered pattern: its class and the witness onto the class
@@ -191,6 +201,10 @@ struct MemberState {
     /// Plan transported from the representative's (never invalidated —
     /// plans depend only on pattern structure).
     plan: Option<Arc<QueryPlan>>,
+    /// Factorization transported (relabeled) from the class's, dropped
+    /// with it on refresh or eviction.
+    fact: Option<Arc<Factorization>>,
+    fact_bytes: usize,
 }
 
 /// What the budget enforcer picked to drop.
@@ -198,6 +212,8 @@ enum Victim {
     Table(usize, (VarId, NodeId)),
     Transport(usize),
     Class(usize),
+    ClassFact(usize),
+    MemberFact(usize),
 }
 
 #[derive(Default)]
@@ -215,6 +231,7 @@ struct RegistryInner {
     member_by_witness: HashMap<(usize, Vec<VarId>), usize>,
     simulations: usize,
     plans_built: usize,
+    factorizations_built: usize,
     stats: CacheStats,
     /// Accounted bytes over tables, transports, and class spaces.
     bytes: usize,
@@ -293,6 +310,8 @@ impl ClassRegistry {
                     ever_simulated: false,
                     last_used: 0,
                     tables: FxHashMap::default(),
+                    fact: None,
+                    fact_bytes: 0,
                 });
                 (c, witness)
             }
@@ -320,6 +339,8 @@ impl ClassRegistry {
             cached_bytes: 0,
             last_used: 0,
             plan: None,
+            fact: None,
+            fact_bytes: 0,
         });
         inner.member_by_witness.insert(key, id);
         SpaceHandle(id)
@@ -366,6 +387,45 @@ impl ClassRegistry {
     /// True if `u` currently simulates `v` in the member's space.
     pub fn contains(&self, h: SpaceHandle, g: &Graph, v: VarId, u: NodeId) -> bool {
         self.space(h, g).sets[v.index()].binary_search(&u).is_ok()
+    }
+
+    /// The member's factorized match-set representation over `g`
+    /// ([`crate::factorize`]), with marginals computed: factorized
+    /// once per class and relabeled — the structure is
+    /// permutation-invariant — for every further member. `None` when
+    /// the class's plan shape is unfactorizable. Like spaces, a graph
+    /// delta that touches the class invalidates the factorization;
+    /// like tables, a held `Arc` defers its eviction.
+    pub fn factorization(&self, h: SpaceHandle, g: &Graph) -> Option<Arc<Factorization>> {
+        let mut inner = self.lock();
+        let out = inner.factorization(h, g);
+        inner.enforce_budget();
+        out
+    }
+
+    /// Probe-only variant of [`factorization`](Self::factorization):
+    /// serves the member's cached factorization if (and only if) it is
+    /// already resident — never simulates, factorizes, or transports.
+    /// The entry point for hot paths (the unit executor's dead-pivot
+    /// screen) that want marginals when they are free but must not pay
+    /// a build.
+    pub fn cached_factorization(&self, h: SpaceHandle) -> Option<Arc<Factorization>> {
+        let mut inner = self.lock();
+        let inner = &mut *inner;
+        let m = &inner.members[h.0];
+        let class = m.class;
+        let identity = m.identity;
+        let f = if identity {
+            inner.classes[class].fact.as_ref()
+        } else {
+            m.fact.as_ref()
+        };
+        let f = Arc::clone(f?);
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.classes[class].last_used = tick;
+        inner.members[h.0].last_used = tick;
+        Some(f)
     }
 
     /// The enumeration of the member's pattern pinned at `pin = pivot`
@@ -550,11 +610,19 @@ impl ClassRegistry {
             for (_, e) in cls.tables.drain() {
                 inner.bytes -= e.bytes;
             }
+            if cls.fact.take().is_some() {
+                inner.bytes -= cls.fact_bytes;
+                cls.fact_bytes = 0;
+            }
         }
         for m in &mut inner.members {
             if m.cached.take().is_some() {
                 inner.bytes -= m.cached_bytes;
                 m.cached_bytes = 0;
+            }
+            if m.fact.take().is_some() {
+                inner.bytes -= m.fact_bytes;
+                m.fact_bytes = 0;
             }
         }
         inner.history.clear();
@@ -617,6 +685,13 @@ impl ClassRegistry {
     /// isomorphism class" probe (transports are not counted).
     pub fn plans_built(&self) -> usize {
         self.lock().plans_built
+    }
+
+    /// From-scratch factorizations built so far — the "one
+    /// d-representation per isomorphism class per epoch" probe
+    /// (relabeled member transports are not counted).
+    pub fn factorizations_built(&self) -> usize {
+        self.lock().factorizations_built
     }
 
     /// The registry-global cache counters (every tenant's probes
@@ -687,13 +762,17 @@ impl RegistryInner {
         Arc::clone(m.cached.as_ref().expect("filled above"))
     }
 
-    fn plan(&mut self, h: SpaceHandle) -> Arc<QueryPlan> {
-        let class = self.members[h.0].class;
+    fn ensure_class_plan(&mut self, class: usize) {
         if self.classes[class].plan.is_none() {
             let p = QueryPlan::new(&self.classes[class].rep);
             self.classes[class].plan = Some(Arc::new(p));
             self.plans_built += 1;
         }
+    }
+
+    fn plan(&mut self, h: SpaceHandle) -> Arc<QueryPlan> {
+        let class = self.members[h.0].class;
+        self.ensure_class_plan(class);
         if self.members[h.0].identity {
             return Arc::clone(self.classes[class].plan.as_ref().expect("built above"));
         }
@@ -708,6 +787,55 @@ impl RegistryInner {
             self.members[h.0].plan = Some(Arc::new(transported));
         }
         Arc::clone(self.members[h.0].plan.as_ref().expect("filled above"))
+    }
+
+    /// Builds (or serves) the member's factorization: factorized once
+    /// per class on the representative's space and plan, relabeled
+    /// along the inverse witness for every further member. `None` when
+    /// the class's plan shape is unfactorizable (disconnected pattern
+    /// or an oversized separator) — cheap to re-answer, so declines
+    /// are not cached.
+    fn factorization(&mut self, h: SpaceHandle, g: &Graph) -> Option<Arc<Factorization>> {
+        let class = self.members[h.0].class;
+        self.tick += 1;
+        let tick = self.tick;
+        self.classes[class].last_used = tick;
+        self.ensure_space(class, g);
+        self.ensure_class_plan(class);
+        if self.classes[class].fact.is_none() {
+            let cls = &self.classes[class];
+            let space = cls.inc.as_ref().expect("simulated above").space();
+            let plan = cls.plan.as_ref().expect("built above");
+            let fact = factorize(&cls.rep, g, space, plan)?;
+            let b = fact.approx_bytes();
+            let cls = &mut self.classes[class];
+            cls.fact = Some(Arc::new(fact));
+            cls.fact_bytes = b;
+            self.bytes += b;
+            self.factorizations_built += 1;
+        }
+        if self.members[h.0].identity {
+            return Some(Arc::clone(
+                self.classes[class].fact.as_ref().expect("filled above"),
+            ));
+        }
+        if self.members[h.0].fact.is_none() {
+            let m = &self.members[h.0];
+            let inv = m.witness.inverse();
+            let transported = self.classes[class]
+                .fact
+                .as_ref()
+                .expect("filled above")
+                .relabel(|v| inv.map(v));
+            let b = transported.approx_bytes();
+            let m = &mut self.members[h.0];
+            m.fact = Some(Arc::new(transported));
+            m.fact_bytes = b;
+            self.bytes += b;
+        }
+        let m = &mut self.members[h.0];
+        m.last_used = tick;
+        Some(Arc::clone(m.fact.as_ref().expect("filled above")))
     }
 
     /// Inserts a freshly built table; a racing build that lost keeps
@@ -777,13 +905,23 @@ impl RegistryInner {
                 for (_, e) in cls.tables.drain() {
                     freed += e.bytes;
                 }
+                if cls.fact.take().is_some() {
+                    freed += cls.fact_bytes;
+                    cls.fact_bytes = 0;
+                }
             }
         }
         self.bytes = self.bytes + grown - freed;
         for m in &mut self.members {
-            if refresh[m.class] && m.cached.take().is_some() {
-                self.bytes -= m.cached_bytes;
-                m.cached_bytes = 0;
+            if refresh[m.class] {
+                if m.cached.take().is_some() {
+                    self.bytes -= m.cached_bytes;
+                    m.cached_bytes = 0;
+                }
+                if m.fact.take().is_some() {
+                    self.bytes -= m.fact_bytes;
+                    m.fact_bytes = 0;
+                }
             }
         }
         sets_changed
@@ -839,6 +977,15 @@ impl RegistryInner {
                         pinned += 1;
                     }
                 }
+                if let Some(f) = &cls.fact {
+                    if cls.last_used != self.tick {
+                        if Arc::strong_count(f) == 1 {
+                            consider(cls.last_used, Victim::ClassFact(c), &mut victim);
+                        } else {
+                            pinned += 1;
+                        }
+                    }
+                }
                 if let Some(inc) = &cls.inc {
                     if cls.last_used == self.tick {
                         continue;
@@ -858,12 +1005,19 @@ impl RegistryInner {
                 }
             }
             for (mi, m) in self.members.iter().enumerate() {
+                if m.last_used == self.tick {
+                    continue;
+                }
                 if let Some(cs) = &m.cached {
-                    if m.last_used == self.tick {
-                        continue;
-                    }
                     if Arc::strong_count(cs) == 1 {
                         consider(m.last_used, Victim::Transport(mi), &mut victim);
+                    } else {
+                        pinned += 1;
+                    }
+                }
+                if let Some(f) = &m.fact {
+                    if Arc::strong_count(f) == 1 {
+                        consider(m.last_used, Victim::MemberFact(mi), &mut victim);
                     } else {
                         pinned += 1;
                     }
@@ -880,6 +1034,19 @@ impl RegistryInner {
                     m.cached = None;
                     self.bytes -= m.cached_bytes;
                     m.cached_bytes = 0;
+                    self.stats.evicted_cold += 1;
+                }
+                Some((_, Victim::ClassFact(c))) => {
+                    self.classes[c].fact = None;
+                    self.bytes -= self.classes[c].fact_bytes;
+                    self.classes[c].fact_bytes = 0;
+                    self.stats.evicted_cold += 1;
+                }
+                Some((_, Victim::MemberFact(mi))) => {
+                    let m = &mut self.members[mi];
+                    m.fact = None;
+                    self.bytes -= m.fact_bytes;
+                    m.fact_bytes = 0;
                     self.stats.evicted_cold += 1;
                 }
                 Some((_, Victim::Class(c))) => {
@@ -1297,6 +1464,91 @@ mod tests {
         reg.sweep();
         assert_eq!(reg.deferred_pending(), 0, "pins dropped ⇒ drained");
         assert!(reg.bytes() <= 12);
+    }
+
+    /// One factorization serves the whole class: isomorphic members
+    /// get relabeled copies of one build, counts agree with
+    /// enumeration, and a graph delta that touches the class drops the
+    /// cached factorization (epoch invalidation — like spaces, never
+    /// plans).
+    #[test]
+    fn factorizations_are_shared_and_invalidated_per_epoch() {
+        let g = triangle_graph();
+        let members = [
+            triangle_pattern(&g, [0, 1, 2]),
+            triangle_pattern(&g, [2, 0, 1]),
+        ];
+        let reg = ClassRegistry::new();
+        let handles: Vec<SpaceHandle> = members.iter().map(|q| reg.register(q)).collect();
+        assert!(
+            reg.cached_factorization(handles[0]).is_none(),
+            "probe never builds"
+        );
+        for (q, &h) in members.iter().zip(&handles) {
+            let f = reg.factorization(h, &g).expect("triangles factorize");
+            assert_eq!(f.count(), Some(2), "two triangles in the graph");
+            assert!(f.has_marginals());
+            // Marginals agree with per-pivot enumeration on the
+            // member's own variable numbering.
+            let x = q.var_by_name("x").unwrap();
+            for n in g.nodes() {
+                let pinned = ComponentSearch::new(q, &g).pin(x, n).collect_all().len();
+                assert_eq!(f.marginal(x, n), Some(pinned as u64));
+            }
+        }
+        assert_eq!(reg.simulations(), 1);
+        assert_eq!(reg.plans_built(), 1);
+        assert!(
+            reg.cached_factorization(handles[1]).is_some(),
+            "resident after build"
+        );
+        // An edit that touches the class invalidates the factorization…
+        let (g2, delta) = g.edit_with_delta(|b| {
+            b.remove_edge_labeled(NodeId(0), NodeId(1), "e");
+        });
+        reg.apply(&g2, &delta);
+        assert!(
+            reg.cached_factorization(handles[0]).is_none(),
+            "delta drops facts"
+        );
+        // …and the rebuild counts against the new snapshot.
+        let f = reg.factorization(handles[0], &g2).unwrap();
+        assert_eq!(f.count(), Some(1), "one triangle left");
+    }
+
+    /// The satellite-2 contract: factorization bytes count against the
+    /// global budget, a held factorization handle defers its eviction
+    /// through a storm, and the deferral drains only after release.
+    #[test]
+    fn pinned_factorizations_defer_eviction_and_drain_after_release() {
+        let g = triangle_graph();
+        let q = triangle_pattern(&g, [0, 1, 2]);
+        let reg = ClassRegistry::new();
+        let h = reg.register(&q);
+        let held = reg.factorization(h, &g).expect("triangles factorize");
+        let fact_bytes = held.approx_bytes();
+        assert!(reg.bytes() >= fact_bytes, "facts are accounted");
+        // Shrink the budget below the factorization alone, then storm
+        // the registry with tables: every pass stays over budget, the
+        // held factorization is skipped (deferred), everything else
+        // drains.
+        let reg = ClassRegistry::with_budget_bytes(fact_bytes / 2);
+        let h = reg.register(&q);
+        let held = reg.factorization(h, &g).expect("factorizes");
+        let block = full_block(&g);
+        let mut stats = CacheStats::default();
+        for var in [VarId(0), VarId(1), VarId(2)] {
+            for n in g.nodes() {
+                reg.pinned_table(h, &g, var, n, &block, &mut stats);
+            }
+        }
+        reg.sweep();
+        assert!(reg.deferred_pending() > 0, "the held fact must defer");
+        assert_eq!(held.count(), Some(2), "held handle still reads correctly");
+        drop(held);
+        reg.sweep();
+        assert_eq!(reg.deferred_pending(), 0, "pin dropped ⇒ drained");
+        assert!(reg.bytes() <= reg.budget_bytes());
     }
 
     /// A whole evicted class reports conservative change flags from

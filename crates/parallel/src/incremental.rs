@@ -141,10 +141,12 @@ impl IncrementalWorkload {
             let (cands, p) = self.pivots_of(r, c, g);
             pruned += p;
             let radius = self.plans[r].components[c].radius;
+            let width = self.plans[r].components[c].width.max(1) as u64;
             let mut feasible = Vec::with_capacity(cands.len());
             for cand in cands {
                 let (block, size) = self.cache.block_and_size(g, cand, radius);
-                feasible.push((cand, block, size));
+                // `assemble` sums precomputed cost contributions.
+                feasible.push((cand, block, size * width));
             }
             per_component.push(feasible);
         }

@@ -141,6 +141,24 @@ fn component_matches(
     TableView::identity(Arc::new(table))
 }
 
+/// Probe-only dead-pivot screen: a *resident* factorization whose
+/// pivot marginal is zero proves the component has no match pinned
+/// there anywhere in the graph — the represented set is a superset of
+/// the match set, and the unit's block restriction only shrinks it
+/// further — so the orientation can be dropped before any table work.
+/// Overflowed counts prove nothing and are ignored. Never builds:
+/// warm [`execute_unit`] stays allocation-free.
+fn pivot_provably_dead(
+    registry: &ClassRegistry,
+    entry: &MqiEntry,
+    pivot_var: VarId,
+    pivot: NodeId,
+) -> bool {
+    registry
+        .cached_factorization(entry.handle)
+        .is_some_and(|f| !f.overflowed() && f.marginal(pivot_var, pivot) == Some(0))
+}
+
 /// Per-worker reusable execution state: the per-component table views
 /// of the unit in flight, the join's backtracking scratch, and the
 /// orientation buffer. One instance per worker makes warm
@@ -238,6 +256,13 @@ pub fn execute_unit(
             let e1 = &mqi.entries[unit.rule()][1];
             if e0.class == e1.class && e0.rep_pin == e1.rep_pin {
                 let (s0, s1) = (&unit_slots[0], &unit_slots[1]);
+                // Both orientations pin both pivots, so either pivot
+                // being provably dead kills the whole unit.
+                if pivot_provably_dead(registry, e0, rule.components[0].local_pivot, s0.pivot)
+                    || pivot_provably_dead(registry, e1, rule.components[1].local_pivot, s1.pivot)
+                {
+                    return;
+                }
                 let v0 = component_matches(
                     g,
                     plans,
@@ -300,6 +325,13 @@ pub fn execute_unit(
         let mut dead = false;
         for (i, &slot) in orient.iter().enumerate() {
             let s = &unit_slots[slot];
+            if let Some(mqi) = mqi {
+                let entry = &mqi.entries[unit.rule()][i];
+                if pivot_provably_dead(registry, entry, rule.components[i].local_pivot, s.pivot) {
+                    dead = true;
+                    break;
+                }
+            }
             let view = component_matches(
                 g,
                 plans,
@@ -568,6 +600,77 @@ mod tests {
         registry.sweep();
         assert_eq!(registry.deferred_pending(), 0, "pin dropped ⇒ drained");
         assert!(registry.bytes() <= 12);
+    }
+
+    /// The dead-pivot screen: with a resident factorization, units
+    /// whose pivot carries zero marginal mass skip table work
+    /// entirely. The 4-cycle survives dual simulation — its checks are
+    /// degree-local, blind to cycle length — so the workload still
+    /// schedules its pivots; the probe-only screen is what kills them.
+    #[test]
+    fn resident_factorization_screens_dead_pivots() {
+        let mut b = gfd_graph::GraphBuilder::with_fresh_vocab();
+        let tri: Vec<_> = (0..3).map(|_| b.add_node_labeled("person")).collect();
+        for k in 0..3 {
+            b.add_edge_labeled(tri[k], tri[(k + 1) % 3], "knows");
+        }
+        let cyc: Vec<_> = (0..4).map(|_| b.add_node_labeled("person")).collect();
+        for k in 0..4 {
+            b.add_edge_labeled(cyc[k], cyc[(k + 1) % 4], "knows");
+        }
+        let g = b.freeze();
+        let mut pb = PatternBuilder::new(g.vocab().clone());
+        let x = pb.node("x", "person");
+        let y = pb.node("y", "person");
+        let z = pb.node("z", "person");
+        pb.edge(x, y, "knows");
+        pb.edge(y, z, "knows");
+        pb.edge(z, x, "knows");
+        let val = g.vocab().intern("val");
+        let gfd = Gfd::new(
+            "tri",
+            pb.build(),
+            Dependency::always(vec![Literal::const_eq(x, val, "__never")]),
+        );
+        let sigma = GfdSet::new(vec![gfd]);
+        let plans = plan_rules(&sigma);
+        let wl = estimate_workload(&sigma, &g, &WorkloadOptions::default());
+        assert_eq!(wl.units.len(), 7, "dual simulation admits the 4-cycle");
+
+        let registry = ClassRegistry::new();
+        let mqi = MultiQueryIndex::build(&plans, &registry);
+        // Warm the class factorization, as a planner or validator
+        // sharing the registry would have.
+        let h = registry.register(&plans[0].components[0].pattern);
+        assert!(registry.factorization(h, &g).is_some());
+
+        let mut scratch = UnitScratch::new();
+        let mut stats = CacheStats::default();
+        let mut out = Vec::new();
+        for u in &wl.units {
+            execute_unit(
+                &g,
+                &sigma,
+                &plans,
+                &wl.slots,
+                u,
+                Some(&mqi),
+                &registry,
+                &mut stats,
+                &mut scratch,
+                &mut out,
+            );
+        }
+        let mut expected = detect_violations(&sigma, &g);
+        sort_violations(&mut expected);
+        sort_violations(&mut out);
+        assert_eq!(out, expected);
+        assert_eq!(expected.len(), 3, "one rotation per triangle pivot");
+        assert_eq!(
+            stats.hits + stats.misses,
+            3,
+            "dead 4-cycle pivots must never touch the table cache"
+        );
     }
 
     /// The multi-query regression the flat tables exist for: a cache

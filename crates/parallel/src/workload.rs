@@ -127,6 +127,16 @@ pub struct WorkloadOptions {
     /// relation (one worklist simulation per component instead of a
     /// backtracking probe per candidate).
     pub prune_empty_pivots: bool,
+    /// Estimate unit costs from the class's cached factorization
+    /// instead of the `|block| × width` proxy: a pivot's cost becomes
+    /// its **marginal** — the number of represented assignments
+    /// anchored at it — and zero-marginal pivots (provably matchless,
+    /// by the superset argument) are pruned outright. Requires
+    /// `prune_empty_pivots` (the factorization lives on the class's
+    /// candidate space); components the factorizer declines keep the
+    /// proxy. Off by default: the proxy is the paper's `t(·)` estimate
+    /// and the baseline the partitioning tests pin.
+    pub factorized_costs: bool,
 }
 
 impl Default for WorkloadOptions {
@@ -134,6 +144,7 @@ impl Default for WorkloadOptions {
         WorkloadOptions {
             max_units: None,
             prune_empty_pivots: true,
+            factorized_costs: false,
         }
     }
 }
@@ -365,17 +376,37 @@ pub fn estimate_workload_in(
         // front; blocks are shared `Arc`s sized once in the cache.
         let mut per_component: Vec<Vec<(NodeId, Arc<NodeSet>, u64)>> = Vec::new();
         for plan in &rule.components {
-            let (cands, pruned) = if opts.prune_empty_pivots {
+            let (cands, pruned, fact) = if opts.prune_empty_pivots {
                 let h = registry.register(&plan.pattern);
-                pivots_from_space(g, plan, &registry.space(h, g))
+                let (cands, pruned) = pivots_from_space(g, plan, &registry.space(h, g));
+                // The FAQ-grade cost source: per-pivot marginals of
+                // the class's factorization. Saturated counts are
+                // useless even as estimates; declines keep the proxy.
+                let fact = (opts.factorized_costs && !cands.is_empty())
+                    .then(|| registry.factorization(h, g))
+                    .flatten()
+                    .filter(|f| !f.overflowed() && f.has_marginals());
+                (cands, pruned, fact)
             } else {
-                feasible_pivots(g, plan, false)
+                let (cands, pruned) = feasible_pivots(g, plan, false);
+                (cands, pruned, None)
             };
             wl.pruned += pruned;
+            let width = plan.width.max(1) as u64;
             let mut feasible = Vec::with_capacity(cands.len());
             for cand in cands {
+                let marginal = fact
+                    .as_ref()
+                    .and_then(|f| f.marginal(plan.local_pivot, cand));
+                if marginal == Some(0) {
+                    // Conclusive (the represented set contains every
+                    // match): nothing anchors at this pivot, so no
+                    // unit — or block — needs to exist for it.
+                    wl.pruned += 1;
+                    continue;
+                }
                 let (block, size) = cache.block_and_size(g, cand, plan.radius);
-                feasible.push((cand, block, size));
+                feasible.push((cand, block, marginal.unwrap_or(size * width)));
             }
             per_component.push(feasible);
         }
@@ -432,8 +463,11 @@ pub(crate) fn assemble(
         let offset = wl.slots.len();
         assert!(offset <= u32::MAX as usize, "slot arena exceeds u32 range");
         for (c, &i) in tuple.iter().enumerate() {
-            let (pivot, ref block, size) = per_component[c][i];
-            cost += size * rule.components[c].width.max(1) as u64;
+            // The tuple's third element is the candidate's unit-cost
+            // contribution, precomputed by the producer (`|block| ×
+            // width` proxy, or a factorized marginal).
+            let (pivot, ref block, cost_c) = per_component[c][i];
+            cost += cost_c;
             wl.slots.push(UnitSlot {
                 pivot,
                 block: block.clone(),
@@ -677,6 +711,58 @@ mod tests {
         // plus its 3 edges → |G_z̄| = 6, weighted ×2 by the width.
         assert_eq!(wl.units.len(), 3);
         assert!(wl.units.iter().all(|u| u.cost == 12));
+    }
+
+    /// Factorized unit costs: per-pivot marginals replace the
+    /// `|block| × width` proxy, and provably matchless pivots vanish.
+    /// A 4-cycle fools dual simulation (its checks are degree-local,
+    /// blind to cycle length) but not the factorization's bag-level
+    /// edge checks, so its pivots carry zero marginal mass.
+    #[test]
+    fn factorized_costs_weight_by_marginal_and_prune_dead_pivots() {
+        let mut b = gfd_graph::GraphBuilder::with_fresh_vocab();
+        let tri: Vec<_> = (0..3).map(|_| b.add_node_labeled("person")).collect();
+        for k in 0..3 {
+            b.add_edge_labeled(tri[k], tri[(k + 1) % 3], "knows");
+        }
+        let cyc: Vec<_> = (0..4).map(|_| b.add_node_labeled("person")).collect();
+        for k in 0..4 {
+            b.add_edge_labeled(cyc[k], cyc[(k + 1) % 4], "knows");
+        }
+        let g = b.freeze();
+        let mut pb = PatternBuilder::new(g.vocab().clone());
+        let x = pb.node("x", "person");
+        let y = pb.node("y", "person");
+        let z = pb.node("z", "person");
+        pb.edge(x, y, "knows");
+        pb.edge(y, z, "knows");
+        pb.edge(z, x, "knows");
+        let val = g.vocab().intern("val");
+        let gfd = Gfd::new(
+            "tri",
+            pb.build(),
+            Dependency::always(vec![Literal::var_eq(x, val, y, val)]),
+        );
+        let sigma = GfdSet::new(vec![gfd]);
+
+        // The proxy path keeps every simulation-admitted pivot.
+        let proxy = estimate_workload(&sigma, &g, &WorkloadOptions::default());
+        assert_eq!(proxy.units.len(), 7, "dual simulation admits the 4-cycle");
+
+        let wl = estimate_workload(
+            &sigma,
+            &g,
+            &WorkloadOptions {
+                factorized_costs: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(wl.units.len(), 3, "zero-marginal 4-cycle pivots pruned");
+        assert!(
+            wl.units.iter().all(|u| u.cost == 1),
+            "cost = marginal = one anchored rotation per triangle node"
+        );
+        assert!(wl.pruned >= 4, "each dead pivot counted as pruned");
     }
 
     #[test]

@@ -214,7 +214,8 @@ fn soak_10k_edit_stream_survives_every_fault_family() {
             mid_pin = Some(svc.snapshot());
         }
         // The memory contract holds at every epoch boundary: no worker
-        // is mid-unit here, so nothing is pinned and the byte budget is
+        // is mid-unit here, so nothing is pinned and the byte budget —
+        // which accounts spaces, tables, *and* factorizations — is
         // strict.
         assert!(
             registry.bytes() <= budget,
@@ -222,6 +223,15 @@ fn soak_10k_edit_stream_survives_every_fault_family() {
             registry.bytes()
         );
     }
+
+    // Both rules carry constant-only consequents, so the service's
+    // initial pass must have gone through the factorized marginal
+    // screen — the budget assertions above covered factorization bytes,
+    // not just spaces and tables.
+    assert!(
+        registry.factorizations_built() > 0,
+        "const-Y rules must exercise the factorized fast path"
+    );
 
     // Satellite invariant: with every pin dropped, a sweep drains all
     // deferred evictions — nothing stays resident on a stale refcount.

@@ -77,13 +77,14 @@ pub struct PatternEdge {
 /// (e.g. a labeled and a wildcard edge) can share a single image edge,
 /// so counting edges would over-prune.
 pub fn distinct_neighbors(adj: &[(VarId, PatLabel)]) -> usize {
-    let mut seen: Vec<VarId> = Vec::with_capacity(adj.len());
-    for &(v, _) in adj {
-        if !seen.contains(&v) {
-            seen.push(v);
-        }
-    }
-    seen.len()
+    // Counts first occurrences by scanning the prefix — quadratic in
+    // the adjacency length, but mined-rule lists hold a handful of
+    // entries and this sits on warm matcher paths that must not
+    // allocate.
+    adj.iter()
+        .enumerate()
+        .filter(|&(i, &(v, _))| adj[..i].iter().all(|&(u, _)| u != v))
+        .count()
 }
 
 /// A graph pattern `Q[x̄]`.
