@@ -29,10 +29,10 @@ use gfd_match::{
 };
 use gfd_parallel::unitexec::{execute_unit, MultiQueryIndex, UnitScratch};
 use gfd_parallel::workload::{estimate_workload, feasible_pivots, plan_rules, WorkloadOptions};
-use gfd_parallel::{rep_val, RepValConfig, ServiceConfig, ViolationService};
+use gfd_parallel::{rep_val, wal, RepValConfig, ServiceConfig, SyncPolicy, ViolationService};
 use gfd_pattern::{Pattern, PatternBuilder, VarId};
 use gfd_util::alloc::{allocation_count, CountingAlloc};
-use gfd_util::Rng;
+use gfd_util::{Rng, TempDir};
 
 /// Count every allocation the measured closures make: each sample also
 /// reports `allocs_per_iter`, so BENCH_graph.json carries an
@@ -888,6 +888,70 @@ fn main() {
             "stream/latency_p50(batch256)",
             "stream/latency_p99(batch256)",
         );
+
+        // Durable-ingest overhead: the same flip/flop pipeline with a
+        // write-ahead log behind it. The fsync-per-commit policy pays
+        // stable storage on every epoch; the 16-epoch group commit
+        // amortizes the fsync so its per-iter cost is mostly the frame
+        // encode + buffered write — the gap between the two samples is
+        // the price of the strictest durability contract.
+        let wal_dir = TempDir::new("gfd-bench-wal").unwrap();
+        for (name, file, policy) in [
+            (
+                "stream/durable_ingest(fsync)",
+                "fsync.wal",
+                SyncPolicy::EveryEpoch,
+            ),
+            (
+                "stream/durable_ingest(group16)",
+                "group16.wal",
+                SyncPolicy::EveryN(16),
+            ),
+        ] {
+            let path = wal_dir.file(file);
+            let mut svc = ViolationService::with_durable_log(
+                sigma.clone(),
+                Arc::clone(&gs),
+                svc_cfg(),
+                &path,
+                policy,
+            )
+            .unwrap();
+            bench(name, &mut samples, || {
+                let a = svc.ingest(&flip16).expect("attr flips are always valid");
+                let b = svc.ingest(&flop16).expect("attr flips are always valid");
+                a + b
+            });
+        }
+
+        // Recovery replay: reopen a 256-epoch log — snapshot decoded,
+        // every delta frame reparsed, checksummed, validated and
+        // applied. This times the wal layer itself (the detector
+        // rebuild on top is plain `detect_violations`, measured by the
+        // detect/* samples).
+        {
+            let path = wal_dir.file("replay.wal");
+            let epochs = 256u64;
+            let mut w = wal::WalWriter::create(&path, 0, &gs, SyncPolicy::OnDemand).unwrap();
+            let mut cur = gs.edit(|_| {});
+            for e in 1..=epochs {
+                let (next, batch) = record(&cur, 4, e % 2 == 1);
+                let delta = batch
+                    .into_iter()
+                    .reduce(|a, b| a.merge(b))
+                    .expect("batches are non-empty");
+                w.append(e, &delta, next.vocab()).unwrap();
+                cur = next;
+            }
+            w.sync().unwrap();
+            drop(w);
+            let (_, _, report) = wal::recover(&path, SyncPolicy::OnDemand).unwrap();
+            assert_eq!(report.recovered_epoch, epochs, "the prebuilt log is clean");
+            bench("stream/recovery_replay(256 epochs)", &mut samples, || {
+                let (_, _, r) = wal::recover(&path, SyncPolicy::OnDemand).unwrap();
+                r.recovered_epoch
+            });
+        }
     }
 
     // Emit the perf-trajectory artifact (hand-rolled JSON: the

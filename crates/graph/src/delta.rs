@@ -76,6 +76,28 @@ pub enum DeltaError {
         /// The relabeled node.
         node: NodeId,
     },
+    /// Binary decoding ran past the end of the input (a short read or
+    /// a torn tail).
+    Truncated {
+        /// Byte offset where more input was needed.
+        offset: usize,
+    },
+    /// Binary input that cannot be a valid encoding (bad tag byte,
+    /// overlong varint, non-UTF-8 string, implausible length).
+    Corrupt {
+        /// Byte offset of the offending field.
+        offset: usize,
+        /// What was wrong with it.
+        what: &'static str,
+    },
+    /// A decoded symbol past the vocabulary the record claims to be
+    /// encoded against.
+    SymOutOfRange {
+        /// The offending symbol.
+        sym: Sym,
+        /// Exclusive symbol limit.
+        limit: u32,
+    },
 }
 
 impl fmt::Display for DeltaError {
@@ -111,6 +133,15 @@ impl fmt::Display for DeltaError {
             ),
             DeltaError::StaleLabel { node } => {
                 write!(f, "stale label change on node {}", node.index())
+            }
+            DeltaError::Truncated { offset } => {
+                write!(f, "encoding truncated at byte {offset}")
+            }
+            DeltaError::Corrupt { offset, what } => {
+                write!(f, "corrupt encoding at byte {offset}: {what}")
+            }
+            DeltaError::SymOutOfRange { sym, limit } => {
+                write!(f, "symbol {} out of range (limit {limit})", sym.0)
             }
         }
     }
@@ -421,6 +452,394 @@ impl GraphDelta {
         }
         Ok(())
     }
+
+    /// Appends the plain-bytes encoding of this delta to `out` (no
+    /// serde: varint-framed fields, values tagged by kind — see the
+    /// [`wire`] module). The encoding is self-delimiting; a write-ahead
+    /// log frames it with an epoch header and a trailing checksum.
+    ///
+    /// Added-node ids are **not** written: [`check_ids`] guarantees
+    /// they are dense from `base_nodes`, so [`decode`] reconstructs
+    /// them — a hostile stream cannot even express a non-dense id.
+    ///
+    /// [`check_ids`]: GraphDelta::check_ids
+    /// [`decode`]: GraphDelta::decode
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        wire::put_varint(out, self.base_nodes as u64);
+        wire::put_varint(out, self.added_nodes.len() as u64);
+        for &(_, label) in &self.added_nodes {
+            wire::put_varint(out, label.0 as u64);
+        }
+        for edges in [&self.added_edges, &self.removed_edges] {
+            wire::put_varint(out, edges.len() as u64);
+            for e in edges.iter() {
+                wire::put_varint(out, e.src.0 as u64);
+                wire::put_varint(out, e.dst.0 as u64);
+                wire::put_varint(out, e.label.0 as u64);
+            }
+        }
+        wire::put_varint(out, self.label_changes.len() as u64);
+        for c in &self.label_changes {
+            wire::put_varint(out, c.node.0 as u64);
+            wire::put_varint(out, c.old.0 as u64);
+            wire::put_varint(out, c.new.0 as u64);
+        }
+        wire::put_varint(out, self.attr_ops.len() as u64);
+        for op in &self.attr_ops {
+            wire::put_varint(out, op.node.0 as u64);
+            wire::put_varint(out, op.attr.0 as u64);
+            wire::put_value(out, op.value.as_ref());
+        }
+    }
+
+    /// Decodes a delta from (possibly hostile) bytes. Never panics:
+    /// every length is bounds-checked against the remaining input,
+    /// every symbol is checked against `sym_limit` (the vocabulary
+    /// size the record claims to be encoded against), and the decoded
+    /// delta is passed through the [`check_ids`] machinery before it
+    /// is returned — so a successfully decoded delta upholds every
+    /// structural invariant [`normalize`]/[`merge`] assume. Trailing
+    /// bytes after the encoding are rejected.
+    ///
+    /// [`check_ids`]: GraphDelta::check_ids
+    /// [`normalize`]: GraphDelta::normalize
+    pub fn decode(bytes: &[u8], sym_limit: u32) -> Result<GraphDelta, DeltaError> {
+        let mut r = wire::Reader::new(bytes);
+        let delta = GraphDelta::decode_body(&mut r, sym_limit)?;
+        r.finish()?;
+        Ok(delta)
+    }
+
+    /// Encodes the write-ahead log's per-epoch record payload: the
+    /// names interned since the previous frame (so replay can rebuild
+    /// the vocabulary incrementally) followed by [`encode_into`].
+    ///
+    /// [`encode_into`]: GraphDelta::encode_into
+    pub fn encode_with_symbols(&self, new_symbols: &[std::sync::Arc<str>], out: &mut Vec<u8>) {
+        wire::put_varint(out, new_symbols.len() as u64);
+        for s in new_symbols {
+            wire::put_str(out, s);
+        }
+        self.encode_into(out);
+    }
+
+    /// Decodes a record payload written by [`encode_with_symbols`]:
+    /// returns the newly interned names and the delta, whose symbols
+    /// were validated against `base_syms + new names`. Same hostility
+    /// contract as [`decode`] — errors, never panics.
+    ///
+    /// [`encode_with_symbols`]: GraphDelta::encode_with_symbols
+    /// [`decode`]: GraphDelta::decode
+    pub fn decode_with_symbols(
+        bytes: &[u8],
+        base_syms: u32,
+    ) -> Result<(Vec<String>, GraphDelta), DeltaError> {
+        let mut r = wire::Reader::new(bytes);
+        let n = r.element_count("new symbols")?;
+        let mut names = Vec::with_capacity(n);
+        for _ in 0..n {
+            names.push(r.str()?.to_string());
+        }
+        let sym_limit = u32::try_from(n)
+            .ok()
+            .and_then(|n| base_syms.checked_add(n))
+            .ok_or(DeltaError::Corrupt {
+                offset: r.offset(),
+                what: "symbol count overflows u32",
+            })?;
+        let delta = GraphDelta::decode_body(&mut r, sym_limit)?;
+        r.finish()?;
+        Ok((names, delta))
+    }
+
+    /// The shared decoder body behind [`decode`] and
+    /// [`decode_with_symbols`]; the caller owns end-of-input handling.
+    ///
+    /// [`decode`]: GraphDelta::decode
+    /// [`decode_with_symbols`]: GraphDelta::decode_with_symbols
+    fn decode_body(r: &mut wire::Reader, sym_limit: u32) -> Result<GraphDelta, DeltaError> {
+        let base_nodes = r.varint_usize("base_nodes")?;
+        let mut delta = GraphDelta::new(base_nodes);
+
+        let sym = |r: &mut wire::Reader| -> Result<Sym, DeltaError> {
+            let s = r.varint_u32("symbol")?;
+            if s >= sym_limit {
+                return Err(DeltaError::SymOutOfRange {
+                    sym: Sym(s),
+                    limit: sym_limit,
+                });
+            }
+            Ok(Sym(s))
+        };
+        let node = |r: &mut wire::Reader| -> Result<NodeId, DeltaError> {
+            Ok(NodeId(r.varint_u32("node id")?))
+        };
+
+        let added = r.element_count("added_nodes")?;
+        for i in 0..added {
+            let id = base_nodes
+                .checked_add(i)
+                .filter(|&v| v <= u32::MAX as usize)
+                .ok_or(DeltaError::Corrupt {
+                    offset: r.offset(),
+                    what: "added-node id overflows u32",
+                })?;
+            let label = sym(&mut *r)?;
+            delta.added_nodes.push((NodeId(id as u32), label));
+        }
+        for list in [&mut delta.added_edges, &mut delta.removed_edges] {
+            let count = r.element_count("edges")?;
+            for _ in 0..count {
+                let (src, dst) = (node(&mut *r)?, node(&mut *r)?);
+                let label = sym(&mut *r)?;
+                list.push(Edge { src, dst, label });
+            }
+        }
+        let labels = r.element_count("label_changes")?;
+        for _ in 0..labels {
+            let n = node(&mut *r)?;
+            let (old, new) = (sym(&mut *r)?, sym(&mut *r)?);
+            delta.label_changes.push(LabelChange { node: n, old, new });
+        }
+        let attrs = r.element_count("attr_ops")?;
+        for _ in 0..attrs {
+            let n = node(&mut *r)?;
+            let attr = sym(&mut *r)?;
+            let value = r.value()?;
+            delta.attr_ops.push(AttrOp {
+                node: n,
+                attr,
+                value,
+            });
+        }
+        // The id machinery the in-memory ingest path runs on wire
+        // deltas: dense added-node ids (true by construction here) and
+        // every mentioned id inside `base + added`.
+        delta.check_ids(base_nodes)?;
+        Ok(delta)
+    }
+}
+
+/// Byte-level primitives shared by the [`GraphDelta`] and
+/// [`crate::io::GraphData`] binary codecs: LEB128 varints, tagged
+/// [`Value`]s, length-prefixed UTF-8 strings, and a bounds-checked
+/// [`Reader`](wire::Reader) whose every error is a [`DeltaError`] —
+/// hostile input surfaces as `Err`, never as a panic.
+pub(crate) mod wire {
+    use super::DeltaError;
+    use crate::value::Value;
+    use std::sync::Arc;
+
+    /// Value kind tags; `TAG_NONE` encodes an attribute removal.
+    const TAG_NONE: u8 = 0;
+    const TAG_STR: u8 = 1;
+    const TAG_INT: u8 = 2;
+    const TAG_BOOL: u8 = 3;
+
+    /// LEB128: 7 value bits per byte, high bit = continuation.
+    pub(crate) fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                out.push(byte);
+                return;
+            }
+            out.push(byte | 0x80);
+        }
+    }
+
+    /// Length-prefixed UTF-8 bytes.
+    pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+        put_varint(out, s.len() as u64);
+        out.extend_from_slice(s.as_bytes());
+    }
+
+    /// Tagged value; `None` is an attribute removal.
+    pub(crate) fn put_value(out: &mut Vec<u8>, v: Option<&Value>) {
+        match v {
+            None => out.push(TAG_NONE),
+            Some(Value::Str(s)) => {
+                out.push(TAG_STR);
+                put_str(out, s);
+            }
+            Some(Value::Int(i)) => {
+                out.push(TAG_INT);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Some(Value::Bool(b)) => {
+                out.push(TAG_BOOL);
+                out.push(*b as u8);
+            }
+        }
+    }
+
+    /// A bounds-checked cursor over untrusted bytes.
+    pub(crate) struct Reader<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Reader<'a> {
+        pub(crate) fn new(bytes: &'a [u8]) -> Self {
+            Reader { bytes, pos: 0 }
+        }
+
+        /// Current byte offset (for error reporting).
+        pub(crate) fn offset(&self) -> usize {
+            self.pos
+        }
+
+        fn remaining(&self) -> usize {
+            self.bytes.len() - self.pos
+        }
+
+        pub(crate) fn byte(&mut self) -> Result<u8, DeltaError> {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or(DeltaError::Truncated { offset: self.pos })?;
+            self.pos += 1;
+            Ok(b)
+        }
+
+        pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], DeltaError> {
+            if self.remaining() < n {
+                return Err(DeltaError::Truncated {
+                    offset: self.bytes.len(),
+                });
+            }
+            let s = &self.bytes[self.pos..self.pos + n];
+            self.pos += n;
+            Ok(s)
+        }
+
+        /// LEB128 u64; overlong encodings (more than 10 bytes, or a
+        /// final byte overflowing 64 bits) are corrupt, so every value
+        /// has exactly one encoding.
+        pub(crate) fn varint(&mut self) -> Result<u64, DeltaError> {
+            let start = self.pos;
+            let mut v: u64 = 0;
+            for shift in (0..64).step_by(7) {
+                let byte = self.byte()?;
+                let low = (byte & 0x7F) as u64;
+                if shift == 63 && low > 1 {
+                    return Err(DeltaError::Corrupt {
+                        offset: start,
+                        what: "varint overflows u64",
+                    });
+                }
+                v |= low << shift;
+                if byte & 0x80 == 0 {
+                    if byte == 0 && shift > 0 {
+                        return Err(DeltaError::Corrupt {
+                            offset: start,
+                            what: "overlong varint",
+                        });
+                    }
+                    return Ok(v);
+                }
+            }
+            Err(DeltaError::Corrupt {
+                offset: start,
+                what: "varint longer than 10 bytes",
+            })
+        }
+
+        /// A varint that must fit `u32` (node ids, symbols).
+        pub(crate) fn varint_u32(&mut self, what: &'static str) -> Result<u32, DeltaError> {
+            let offset = self.pos;
+            u32::try_from(self.varint()?).map_err(|_| DeltaError::Corrupt {
+                offset,
+                what: wide32(what),
+            })
+        }
+
+        /// A varint that must fit `usize`.
+        pub(crate) fn varint_usize(&mut self, what: &'static str) -> Result<usize, DeltaError> {
+            let offset = self.pos;
+            usize::try_from(self.varint()?).map_err(|_| DeltaError::Corrupt {
+                offset,
+                what: wide32(what),
+            })
+        }
+
+        /// An element count. Every encoded element occupies at least
+        /// one byte, so a count beyond the remaining input is corrupt
+        /// — this caps attacker-controlled pre-allocation at the size
+        /// of the input itself.
+        pub(crate) fn element_count(&mut self, what: &'static str) -> Result<usize, DeltaError> {
+            let offset = self.pos;
+            let n = self.varint_usize(what)?;
+            if n > self.remaining() {
+                return Err(DeltaError::Corrupt {
+                    offset,
+                    what: "element count exceeds input size",
+                });
+            }
+            Ok(n)
+        }
+
+        /// Length-prefixed UTF-8.
+        pub(crate) fn str(&mut self) -> Result<&'a str, DeltaError> {
+            let len = self.varint_usize("string length")?;
+            if len > self.remaining() {
+                return Err(DeltaError::Truncated {
+                    offset: self.bytes.len(),
+                });
+            }
+            let offset = self.pos;
+            std::str::from_utf8(self.take(len)?).map_err(|_| DeltaError::Corrupt {
+                offset,
+                what: "string is not UTF-8",
+            })
+        }
+
+        /// Tagged value; unknown tags and non-0/1 booleans are corrupt.
+        pub(crate) fn value(&mut self) -> Result<Option<Value>, DeltaError> {
+            let offset = self.pos;
+            match self.byte()? {
+                TAG_NONE => Ok(None),
+                TAG_STR => Ok(Some(Value::Str(Arc::from(self.str()?)))),
+                TAG_INT => {
+                    let raw = self.take(8)?;
+                    Ok(Some(Value::Int(i64::from_le_bytes(
+                        raw.try_into().expect("take(8) yields 8 bytes"),
+                    ))))
+                }
+                TAG_BOOL => match self.byte()? {
+                    0 => Ok(Some(Value::Bool(false))),
+                    1 => Ok(Some(Value::Bool(true))),
+                    _ => Err(DeltaError::Corrupt {
+                        offset,
+                        what: "boolean byte is neither 0 nor 1",
+                    }),
+                },
+                _ => Err(DeltaError::Corrupt {
+                    offset,
+                    what: "unknown value tag",
+                }),
+            }
+        }
+
+        /// Asserts the input was consumed exactly.
+        pub(crate) fn finish(self) -> Result<(), DeltaError> {
+            if self.pos != self.bytes.len() {
+                return Err(DeltaError::Corrupt {
+                    offset: self.pos,
+                    what: "trailing bytes after encoding",
+                });
+            }
+            Ok(())
+        }
+    }
+
+    /// Shared "doesn't fit 32 bits" message (the field name is carried
+    /// by the caller's error site; keeping one static string per field
+    /// would bloat the reader's signatures for no diagnostic gain).
+    fn wide32(_what: &'static str) -> &'static str {
+        "value too wide for its field"
+    }
 }
 
 #[cfg(test)]
@@ -433,6 +852,95 @@ mod tests {
             dst: NodeId(d),
             label: Sym(l),
         }
+    }
+
+    fn rich_delta() -> GraphDelta {
+        let mut d = GraphDelta::new(3);
+        d.added_nodes.push((NodeId(3), Sym(2)));
+        d.added_nodes.push((NodeId(4), Sym(0)));
+        d.added_edges.push(e(0, 3, 5));
+        d.added_edges.push(e(4, 1, 5));
+        d.removed_edges.push(e(1, 2, 6));
+        d.label_changes.push(LabelChange {
+            node: NodeId(2),
+            old: Sym(1),
+            new: Sym(3),
+        });
+        d.attr_ops.push(AttrOp {
+            node: NodeId(0),
+            attr: Sym(7),
+            value: Some(Value::str("spam")),
+        });
+        d.attr_ops.push(AttrOp {
+            node: NodeId(3),
+            attr: Sym(8),
+            value: Some(Value::Int(-42)),
+        });
+        d.attr_ops.push(AttrOp {
+            node: NodeId(4),
+            attr: Sym(8),
+            value: Some(Value::Bool(true)),
+        });
+        d.attr_ops.push(AttrOp {
+            node: NodeId(1),
+            attr: Sym(7),
+            value: None,
+        });
+        d
+    }
+
+    #[test]
+    fn codec_round_trip_is_identity() {
+        let d = rich_delta();
+        let mut bytes = Vec::new();
+        d.encode_into(&mut bytes);
+        let back = GraphDelta::decode(&bytes, 9).unwrap();
+        assert_eq!(back, d);
+
+        let empty = GraphDelta::new(17);
+        bytes.clear();
+        empty.encode_into(&mut bytes);
+        let back = GraphDelta::decode(&bytes, 0).unwrap();
+        assert_eq!(back, empty);
+    }
+
+    #[test]
+    fn codec_rejects_truncation_trailing_bytes_and_small_vocab() {
+        let d = rich_delta();
+        let mut bytes = Vec::new();
+        d.encode_into(&mut bytes);
+        // Every strict prefix must fail cleanly (torn-tail shape).
+        for cut in 0..bytes.len() {
+            assert!(GraphDelta::decode(&bytes[..cut], 9).is_err());
+        }
+        // Trailing garbage is corrupt, not silently ignored.
+        bytes.push(0);
+        assert!(matches!(
+            GraphDelta::decode(&bytes, 9),
+            Err(DeltaError::Corrupt { .. })
+        ));
+        bytes.pop();
+        // A symbol past the claimed vocabulary is rejected even though
+        // the bytes are otherwise perfectly formed.
+        assert!(matches!(
+            GraphDelta::decode(&bytes, 8),
+            Err(DeltaError::SymOutOfRange { limit: 8, .. })
+        ));
+    }
+
+    #[test]
+    fn codec_rejects_overlong_varints_and_absurd_counts() {
+        // 0x80 0x00 is an overlong encoding of zero.
+        assert!(matches!(
+            GraphDelta::decode(&[0x80, 0x00], 1),
+            Err(DeltaError::Corrupt { .. })
+        ));
+        // base_nodes = 0, then an added-node count far beyond the
+        // remaining bytes: must be rejected before any allocation.
+        assert!(matches!(
+            GraphDelta::decode(&[0x00, 0xFF, 0xFF, 0xFF, 0x7F], 1),
+            Err(DeltaError::Corrupt { .. })
+        ));
     }
 
     #[test]

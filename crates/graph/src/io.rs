@@ -15,6 +15,7 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
+use crate::delta::{wire, DeltaError};
 use crate::graph::{Graph, GraphBuilder, NodeId};
 use crate::value::Value;
 use crate::vocab::Vocab;
@@ -22,7 +23,7 @@ use crate::vocab::Vocab;
 /// A self-contained, owner-free snapshot of a graph (no interned
 /// symbols — everything is resolved), suitable for shipping between
 /// vocabularies or hand-rolled (de)serializers.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GraphData {
     /// All interned names, in symbol order.
     pub symbols: Vec<String>,
@@ -53,9 +54,30 @@ impl GraphData {
 
     /// Reconstructs a frozen graph (with a fresh vocabulary).
     pub fn into_graph(self) -> Graph {
-        let vocab = Vocab::shared();
-        let syms: Vec<_> = self.symbols.iter().map(|s| vocab.intern(s)).collect();
-        let mut b = GraphBuilder::new(vocab);
+        self.into_graph_in(&Vocab::shared())
+            .expect("a fresh vocabulary always reproduces the snapshot's numbering")
+    }
+
+    /// Reconstructs a frozen graph sharing an **existing** vocabulary
+    /// — so patterns and rules built against that vocabulary match the
+    /// rebuilt graph by `Arc` identity, not just by name. Fails if
+    /// interning this snapshot's symbols into `vocab` does not
+    /// reproduce the snapshot's own numbering (the vocabulary's
+    /// history diverged from the snapshot's): symbols in the rebuilt
+    /// graph would silently mean different names.
+    pub fn into_graph_in(self, vocab: &Arc<Vocab>) -> Result<Graph, DeltaError> {
+        let mut syms = Vec::with_capacity(self.symbols.len());
+        for (i, s) in self.symbols.iter().enumerate() {
+            let sym = vocab.intern(s);
+            if sym.0 as usize != i {
+                return Err(DeltaError::Corrupt {
+                    offset: 0,
+                    what: "snapshot symbol numbering disagrees with the supplied vocabulary",
+                });
+            }
+            syms.push(sym);
+        }
+        let mut b = GraphBuilder::new(Arc::clone(vocab));
         for (label, attrs) in &self.nodes {
             let u = b.add_node(syms[*label as usize]);
             for (a, v) in attrs {
@@ -65,7 +87,109 @@ impl GraphData {
         for (s, d, l) in &self.edges {
             b.add_edge(NodeId(*s), NodeId(*d), syms[*l as usize]);
         }
-        b.freeze()
+        Ok(b.freeze())
+    }
+
+    /// Appends the plain-bytes encoding of this snapshot to `out`,
+    /// using the same wire primitives as [`GraphDelta::encode_into`] —
+    /// this is the base-snapshot record the durable write-ahead log
+    /// replays from.
+    ///
+    /// [`GraphDelta::encode_into`]: crate::delta::GraphDelta::encode_into
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        wire::put_varint(out, self.symbols.len() as u64);
+        for s in &self.symbols {
+            wire::put_str(out, s);
+        }
+        wire::put_varint(out, self.nodes.len() as u64);
+        for (label, attrs) in &self.nodes {
+            wire::put_varint(out, *label as u64);
+            wire::put_varint(out, attrs.len() as u64);
+            for (a, v) in attrs {
+                wire::put_varint(out, *a as u64);
+                wire::put_value(out, Some(v));
+            }
+        }
+        wire::put_varint(out, self.edges.len() as u64);
+        for (s, d, l) in &self.edges {
+            wire::put_varint(out, *s as u64);
+            wire::put_varint(out, *d as u64);
+            wire::put_varint(out, *l as u64);
+        }
+    }
+
+    /// Decodes a snapshot from (possibly hostile) bytes. Like
+    /// [`GraphDelta::decode`], this never panics: lengths are bounded
+    /// by the remaining input, every symbol index must fall inside the
+    /// record's own symbol table, and every edge endpoint inside its
+    /// node table.
+    ///
+    /// [`GraphDelta::decode`]: crate::delta::GraphDelta::decode
+    pub fn decode(bytes: &[u8]) -> Result<GraphData, DeltaError> {
+        let mut r = wire::Reader::new(bytes);
+        let n_syms = r.element_count("symbols")?;
+        let mut symbols = Vec::with_capacity(n_syms);
+        for _ in 0..n_syms {
+            symbols.push(r.str()?.to_string());
+        }
+        let sym_limit = symbols.len() as u32;
+        let sym = |r: &mut wire::Reader| -> Result<u32, DeltaError> {
+            let s = r.varint_u32("symbol")?;
+            if s >= sym_limit {
+                return Err(DeltaError::SymOutOfRange {
+                    sym: crate::vocab::Sym(s),
+                    limit: sym_limit,
+                });
+            }
+            Ok(s)
+        };
+
+        let n_nodes = r.element_count("nodes")?;
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let label = sym(&mut r)?;
+            let n_attrs = r.element_count("attrs")?;
+            let mut attrs = Vec::with_capacity(n_attrs);
+            for _ in 0..n_attrs {
+                let a = sym(&mut r)?;
+                let offset = r.offset();
+                let v = r.value()?.ok_or(DeltaError::Corrupt {
+                    offset,
+                    what: "snapshot attribute has no value",
+                })?;
+                attrs.push((a, v));
+            }
+            nodes.push((label, attrs));
+        }
+        let node_limit = nodes.len() as u32;
+        if node_limit as usize != nodes.len() {
+            return Err(DeltaError::Corrupt {
+                offset: r.offset(),
+                what: "node count overflows u32",
+            });
+        }
+
+        let n_edges = r.element_count("edges")?;
+        let mut edges = Vec::with_capacity(n_edges);
+        for _ in 0..n_edges {
+            let offset = r.offset();
+            let s = r.varint_u32("edge source")?;
+            let d = r.varint_u32("edge destination")?;
+            let l = sym(&mut r)?;
+            if s >= node_limit || d >= node_limit {
+                return Err(DeltaError::Corrupt {
+                    offset,
+                    what: "edge endpoint out of range",
+                });
+            }
+            edges.push((s, d, l));
+        }
+        r.finish()?;
+        Ok(GraphData {
+            symbols,
+            nodes,
+            edges,
+        })
     }
 }
 
@@ -221,6 +345,42 @@ mod tests {
         assert_eq!(g2.edge_count(), g.edge_count());
         let val = g2.vocab().lookup("val").unwrap();
         assert_eq!(g2.attr(NodeId(1), val), Some(&Value::str("DL1")));
+    }
+
+    #[test]
+    fn graphdata_binary_round_trip() {
+        let g = sample();
+        let data = GraphData::from_graph(&g);
+        let mut bytes = Vec::new();
+        data.encode_into(&mut bytes);
+        let back = GraphData::decode(&bytes).unwrap();
+        assert_eq!(back, data);
+        // Hostile inputs: every strict prefix is an error, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(GraphData::decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn graphdata_decode_rejects_out_of_range_references() {
+        let base = GraphData::from_graph(&sample());
+        let mut bad_sym = base.clone();
+        bad_sym.nodes[0].0 = base.symbols.len() as u32; // label past the table
+        let mut bytes = Vec::new();
+        bad_sym.encode_into(&mut bytes);
+        assert!(matches!(
+            GraphData::decode(&bytes),
+            Err(DeltaError::SymOutOfRange { .. })
+        ));
+
+        let mut bad_edge = base.clone();
+        bad_edge.edges[0].1 = base.nodes.len() as u32; // endpoint past nodes
+        bytes.clear();
+        bad_edge.encode_into(&mut bytes);
+        assert!(matches!(
+            GraphData::decode(&bytes),
+            Err(DeltaError::Corrupt { .. })
+        ));
     }
 
     #[test]

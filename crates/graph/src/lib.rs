@@ -27,7 +27,12 @@
 //!   distributed setting of §6.2 (module [`fragment`]);
 //! * statistics used by workload estimation: label frequencies and
 //!   equi-depth histograms (module [`stats`]);
-//! * a plain-text interchange format (module [`io`]).
+//! * a plain-text interchange format and a self-contained snapshot
+//!   form ([`GraphData`], module [`io`]); both [`GraphDelta`] and
+//!   [`GraphData`] also carry a plain-bytes binary codec
+//!   (`encode_into`/`decode`) whose decoder is hardened against
+//!   hostile input — it is the record payload of the durable
+//!   write-ahead log in `gfd-parallel`.
 //!
 //! The crate is fully self-contained (no external dependencies);
 //! everything the paper's algorithms touch is implemented here from
@@ -48,6 +53,7 @@ pub use attrs::AttrMap;
 pub use delta::{AttrOp, DeltaError, GraphDelta, LabelChange};
 pub use fragment::{FragmentId, Fragmentation, PartitionStrategy};
 pub use graph::{Adj, Edge, Graph, GraphBuilder, NodeId};
+pub use io::GraphData;
 pub use neighborhood::NodeSet;
 pub use stats::{EquiDepthHistogram, GraphStats};
 pub use value::Value;

@@ -26,6 +26,17 @@
 //! decided here but *performed by the test driver* (it corrupts a
 //! copy of the batch before `ingest`); the service's only involvement
 //! is rejecting what arrives.
+//!
+//! A fourth family targets the durable write-ahead log
+//! (`gfd_parallel::wal`): **crash faults** ([`FaultPlan::crashes`])
+//! kill the service at seed-chosen epochs and damage its on-disk log
+//! the way real crashes do — an un-fsynced tail lost wholesale
+//! ([`CrashKind::KillBeforeFsync`]), a frame cut mid-payload
+//! ([`CrashKind::TornTail`]) or mid-header ([`CrashKind::ShortRead`]),
+//! a flipped bit from media rot ([`CrashKind::BitFlip`]). Like the
+//! malformed-batch family, the *decision* is pure seed arithmetic here
+//! and the *damage* is performed by the kill-and-recover soak driver
+//! on a copy of the log file; `wal::recover` must absorb all of it.
 
 use std::time::Duration;
 
@@ -55,6 +66,29 @@ pub struct FaultPlan {
     pub drift_p: f64,
     /// Probability the driver corrupts a batch before ingest.
     pub malformed_batch_p: f64,
+    /// Probability the service "crashes" right after committing an
+    /// epoch (the soak driver kills it and damages the on-disk log per
+    /// [`FaultPlan::crashes`]).
+    pub crash_p: f64,
+}
+
+/// How a simulated crash damages the on-disk write-ahead log. The
+/// soak driver performs the damage on a copy of the log file; the
+/// recovery path must truncate and replay around all of it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CrashKind {
+    /// The process dies with appended-but-unsynced frames still in the
+    /// page cache: the file survives only up to the last fsync.
+    KillBeforeFsync,
+    /// The final frame is cut mid-payload (a partial write made it to
+    /// disk before power loss).
+    TornTail,
+    /// One bit somewhere past the base snapshot flips (media rot /
+    /// partial sector damage).
+    BitFlip,
+    /// The final frame is cut inside its *header* — shorter than any
+    /// parseable record.
+    ShortRead,
 }
 
 /// Domain-separation tags so the per-family decision streams are
@@ -65,6 +99,10 @@ const DOM_STRAGGLE: u64 = 0x7003;
 const DOM_REPAIR: u64 = 0x7004;
 const DOM_DRIFT: u64 = 0x7005;
 const DOM_MALFORMED: u64 = 0x7006;
+const DOM_CRASH: u64 = 0x7007;
+const DOM_CRASH_KIND: u64 = 0x7008;
+const DOM_CRASH_CUT: u64 = 0x7009;
+const DOM_CRASH_FLIP: u64 = 0x700A;
 
 impl FaultPlan {
     /// One uniform draw for `(domain, a, b)` — stateless and
@@ -119,6 +157,36 @@ impl FaultPlan {
     pub fn corrupts_batch(&self, epoch: u64) -> bool {
         self.malformed_batch_p > 0.0 && self.roll(DOM_MALFORMED, epoch, 0) < self.malformed_batch_p
     }
+
+    /// Whether the service crashes right after committing `epoch`, and
+    /// if so how the crash damages the log file. Pure seed arithmetic:
+    /// the same plan crashes at the same epochs in the same ways.
+    pub fn crashes(&self, epoch: u64) -> Option<CrashKind> {
+        if self.crash_p <= 0.0 || self.roll(DOM_CRASH, epoch, 0) >= self.crash_p {
+            return None;
+        }
+        let kind = match (self.roll(DOM_CRASH_KIND, epoch, 0) * 4.0) as u32 {
+            0 => CrashKind::KillBeforeFsync,
+            1 => CrashKind::TornTail,
+            2 => CrashKind::BitFlip,
+            _ => CrashKind::ShortRead,
+        };
+        Some(kind)
+    }
+
+    /// A uniform draw in `[0, 1)` for where a crash at `epoch` cuts or
+    /// flips — the soak driver scales it onto the file region the
+    /// [`CrashKind`] targets. Separate domains keep cut points and
+    /// flip positions independent of the crash decision itself.
+    pub fn crash_cut_point(&self, epoch: u64) -> f64 {
+        self.roll(DOM_CRASH_CUT, epoch, 0)
+    }
+
+    /// Which bit (0–7) a [`CrashKind::BitFlip`] crash at `epoch`
+    /// flips at its chosen byte.
+    pub fn crash_flip_bit(&self, epoch: u64) -> u32 {
+        (self.roll(DOM_CRASH_FLIP, epoch, 0) * 8.0) as u32 & 7
+    }
 }
 
 /// Silences the default panic-hook output for the many *injected*
@@ -153,6 +221,7 @@ mod tests {
             assert!(!p.repair_panics(epoch));
             assert!(!p.drifts(epoch));
             assert!(!p.corrupts_batch(epoch));
+            assert_eq!(p.crashes(epoch), None);
             for unit in 0..50 {
                 assert_eq!(p.panic_attempts(epoch, unit), 0);
                 assert!(p.straggle_for(epoch, unit).is_none());
@@ -171,6 +240,7 @@ mod tests {
             repair_panic_p: 0.5,
             drift_p: 0.5,
             malformed_batch_p: 0.5,
+            crash_p: 0.5,
         };
         let (a, b, c) = (mk(1), mk(1), mk(2));
         let fingerprint = |p: &FaultPlan| {
@@ -180,6 +250,10 @@ mod tests {
                         .map(|u| p.panic_attempts(e, u).min(2) as u64)
                         .sum::<u64>()
                         + p.repair_panics(e) as u64
+                        + match p.crashes(e) {
+                            None => 0,
+                            Some(k) => 16 + k as u64,
+                        }
                 })
                 .collect::<Vec<_>>()
         };
@@ -197,5 +271,23 @@ mod tests {
         for unit in 0..20 {
             assert_eq!(p.panic_attempts(7, unit), u32::MAX);
         }
+    }
+
+    #[test]
+    fn crash_family_covers_all_kinds_and_bounds_its_draws() {
+        let p = FaultPlan {
+            seed: 0xC0FFEE,
+            crash_p: 1.0,
+            ..Default::default()
+        };
+        let mut seen = std::collections::HashSet::new();
+        for epoch in 0..200 {
+            let kind = p.crashes(epoch).expect("crash_p = 1.0 always crashes");
+            seen.insert(std::mem::discriminant(&kind));
+            let cut = p.crash_cut_point(epoch);
+            assert!((0.0..1.0).contains(&cut), "cut point out of range: {cut}");
+            assert!(p.crash_flip_bit(epoch) < 8);
+        }
+        assert_eq!(seen.len(), 4, "200 epochs must hit every crash kind");
     }
 }

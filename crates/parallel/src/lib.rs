@@ -66,11 +66,12 @@ pub mod repval;
 pub mod service;
 pub mod threaded;
 pub mod unitexec;
+pub mod wal;
 pub mod workload;
 
 pub use cluster::CostModel;
 pub use disval::{dis_val, DisValConfig};
-pub use fault::FaultPlan;
+pub use fault::{CrashKind, FaultPlan};
 pub use gfd_match::ClassRegistry;
 pub use incremental::IncrementalWorkload;
 pub use metrics::ParallelReport;
@@ -82,6 +83,7 @@ pub use threaded::{
     run_units_threaded, run_units_threaded_report, ThreadedReport, MAX_UNIT_ATTEMPTS,
 };
 pub use unitexec::{CacheStats, MultiQueryIndex, UnitScratch};
+pub use wal::{FrameFault, RecoveryReport, SyncPolicy, WalError, WalWriter};
 pub use workload::{
     estimate_workload, estimate_workload_in, UnitSlot, WorkUnit, Workload, WorkloadOptions,
 };

@@ -19,9 +19,16 @@
 //!   Readers pin the current [`Arc<Graph>`] ([`ViolationService::
 //!   snapshot`]) and keep serving it while the next batch applies;
 //!   commits swap the Arc, never mutate. The [`EditLog`] records each
-//!   epoch's compacted delta, so after a crash the current snapshot
-//!   rebuilds from **any** pinned epoch by replaying the suffix
-//!   ([`EditLog::replay_onto`]).
+//!   epoch's compacted delta, so the current snapshot rebuilds from
+//!   **any** live pinned epoch by replaying the suffix
+//!   ([`EditLog::replay_onto`]); the log is bounded by pin-gated
+//!   compaction (epochs no live pin can replay from are dropped).
+//! * **Durability** — with [`ViolationService::with_durable_log`] every
+//!   committed epoch is also appended to an on-disk write-ahead log
+//!   ([`crate::wal`]) as a checksummed frame, fsynced per
+//!   [`crate::wal::SyncPolicy`]; [`ViolationService::recover`]
+//!   restarts a crashed service from that file, truncating torn or
+//!   corrupt tails and replaying every surviving epoch.
 //! * **Ingest validation** — a malformed batch (out-of-range node
 //!   ids, phantom edge removals, stale labels …) is rejected with an
 //!   [`IngestError`] *before* anything is touched: no epoch, no log
@@ -42,12 +49,14 @@
 //!   numbers; folding the updates over the epoch-0 baseline always
 //!   reproduces the service's absolute violation set.
 
+use std::cell::RefCell;
 use std::collections::HashSet;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::{mpsc, Arc};
+use std::path::Path;
+use std::sync::{mpsc, Arc, Weak};
 
-use gfd_core::validate::for_each_violation;
+use gfd_core::validate::{detect_violations, for_each_violation};
 use gfd_core::{GfdSet, IncrementalDetector, Violation};
 use gfd_graph::{DeltaError, Graph, GraphDelta};
 use gfd_match::types::Flow;
@@ -59,6 +68,7 @@ use gfd_match::{CacheStats, ClassRegistry};
 use crate::fault::FaultPlan;
 use crate::threaded::run_units_threaded_report;
 use crate::unitexec::sort_violations;
+use crate::wal::{self, RecoveryReport, SyncPolicy, WalError, WalWriter};
 use crate::workload::{estimate_workload_in, plan_rules, WorkloadOptions};
 
 /// A reader's pinned epoch: the epoch number and the frozen snapshot
@@ -85,23 +95,61 @@ pub struct LogEntry {
 
 /// The per-epoch delta log: entry `e` records the compacted delta
 /// that took snapshot `e-1` to snapshot `e`. Together with any
-/// [`PinnedEpoch`] it reconstructs any later snapshot — the crash-
-/// recovery story (a persistent on-disk log is the seeded follow-up).
+/// [`PinnedEpoch`] it reconstructs any later snapshot.
+///
+/// The log is **bounded**: after each commit the service drops every
+/// entry at or below the oldest *live* pin (entries only a dropped pin
+/// could replay from serve nobody). [`compacted_to`](EditLog::compacted_to)
+/// is the resulting replay floor; durability past that floor is the
+/// on-disk write-ahead log's job ([`crate::wal`]).
 #[derive(Debug, Default)]
 pub struct EditLog {
     entries: Vec<LogEntry>,
+    /// Epochs `<= compacted_to` have been dropped from memory.
+    compacted_to: u64,
 }
 
 impl EditLog {
-    /// All committed entries, in epoch order.
+    /// All retained entries, in epoch order.
     pub fn entries(&self) -> &[LogEntry] {
         &self.entries
+    }
+
+    /// The replay floor: entries at or below this epoch were compacted
+    /// away. Replay is only possible from pins at or past the floor.
+    pub fn compacted_to(&self) -> u64 {
+        self.compacted_to
+    }
+
+    /// Entries currently held in memory.
+    pub fn retained(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Drops every entry at or below `epoch`, returning how many were
+    /// dropped. Called by the service with the oldest live pin's epoch.
+    fn compact_to(&mut self, epoch: u64) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.epoch > epoch);
+        self.compacted_to = self.compacted_to.max(epoch);
+        before - self.entries.len()
     }
 
     /// The net delta from `epoch` to the log head, folded into one
     /// normalized delta ([`GraphDelta::merge`]); `None` if the log
     /// has no entries past `epoch`.
+    ///
+    /// # Panics
+    ///
+    /// If `epoch` predates the compaction floor — the entries needed
+    /// to replay from there no longer exist, so any answer would be
+    /// silently wrong.
     pub fn delta_since(&self, epoch: u64) -> Option<GraphDelta> {
+        assert!(
+            epoch >= self.compacted_to,
+            "replay from epoch {epoch} impossible: the log is compacted to {}",
+            self.compacted_to
+        );
         self.entries
             .iter()
             .filter(|e| e.epoch > epoch)
@@ -222,6 +270,21 @@ pub struct ServiceStats {
     pub units_retried: u64,
     /// Units quarantined (and then recovered sequentially).
     pub units_quarantined: u64,
+    /// Entries currently retained by the in-memory [`EditLog`] (the
+    /// epochs newer than the oldest live pin).
+    pub retained_epochs: u64,
+    /// Entries dropped from the in-memory log by pin-gated compaction.
+    pub log_compacted_epochs: u64,
+    /// Frames written to the durable log (snapshot frame included);
+    /// zero for an in-memory-only service.
+    pub log_frames: u64,
+    /// fsyncs issued by the durable log.
+    pub log_fsyncs: u64,
+    /// Durable-log append/sync failures absorbed. A failed append
+    /// drops the service to in-memory-only operation (it keeps
+    /// serving; durability is gone until re-created) — this counter
+    /// is how that degradation stays visible.
+    pub log_write_errors: u64,
     /// This tenant's registry probe counters (degraded recomputes run
     /// through the shared [`ClassRegistry`]; several services over one
     /// registry each see only their own share here, while
@@ -244,6 +307,15 @@ pub struct ViolationService {
     /// detector's state was lost to a panic.
     served: HashSet<(usize, Match)>,
     log: EditLog,
+    /// The durable write-ahead log, if the service was constructed
+    /// with one ([`with_durable_log`](Self::with_durable_log) /
+    /// [`recover`](Self::recover)).
+    wal: Option<WalWriter>,
+    /// Epochs handed out by [`snapshot`](Self::snapshot), held weakly:
+    /// a pin's epoch gates log compaction only while the caller still
+    /// holds the `Arc`. `RefCell` because pinning is a `&self`
+    /// operation (readers pin concurrently with serving).
+    pins: RefCell<Vec<(u64, Weak<Graph>)>>,
     subscribers: Vec<mpsc::Sender<VioUpdate>>,
     rng: Rng,
     cfg: ServiceConfig,
@@ -285,6 +357,8 @@ impl ViolationService {
             detector,
             served,
             log: EditLog::default(),
+            wal: None,
+            pins: RefCell::new(Vec::new()),
             subscribers: Vec::new(),
             rng,
             cfg,
@@ -292,9 +366,115 @@ impl ViolationService {
         }
     }
 
+    /// Starts the service with a **durable** write-ahead log at
+    /// `path` (truncating any previous file there): the epoch-0
+    /// snapshot is written and fsynced immediately, and every
+    /// committed epoch is appended as a checksummed frame, forced to
+    /// stable storage per `policy`. After a crash,
+    /// [`recover`](Self::recover) rebuilds the service from this file.
+    pub fn with_durable_log(
+        sigma: GfdSet,
+        g: Arc<Graph>,
+        cfg: ServiceConfig,
+        path: &Path,
+        policy: SyncPolicy,
+    ) -> Result<Self, WalError> {
+        let mut svc = Self::new(sigma, g, cfg);
+        let writer = WalWriter::create(path, 0, &svc.current, policy)?;
+        svc.stats.log_frames = writer.frames();
+        svc.stats.log_fsyncs = writer.fsyncs();
+        svc.wal = Some(writer);
+        Ok(svc)
+    }
+
+    /// Restarts a crashed service from its durable log: replays every
+    /// intact epoch onto the base snapshot (truncating the file at the
+    /// first torn or corrupt frame — hostile bytes degrade recovery,
+    /// they never panic it), re-derives `Vio(Σ, G)` on the recovered
+    /// snapshot, re-seeds the incremental detector from that truth
+    /// ([`IncrementalDetector::from_violations`]' registry-shared
+    /// variant), and resumes ingest at the recovered epoch. The
+    /// [`RecoveryReport`] accounts for every replayed epoch and every
+    /// truncated frame.
+    pub fn recover(
+        sigma: GfdSet,
+        path: &Path,
+        cfg: ServiceConfig,
+        policy: SyncPolicy,
+    ) -> Result<(Self, RecoveryReport), WalError> {
+        Self::recover_in(sigma, path, cfg, policy, Arc::new(ClassRegistry::new()))
+    }
+
+    /// [`recover`](Self::recover) onto a shared [`ClassRegistry`]
+    /// (the multi-tenant counterpart of
+    /// [`with_registry`](Self::with_registry)).
+    pub fn recover_in(
+        sigma: GfdSet,
+        path: &Path,
+        cfg: ServiceConfig,
+        policy: SyncPolicy,
+        registry: Arc<ClassRegistry>,
+    ) -> Result<(Self, RecoveryReport), WalError> {
+        // Replay into the rule set's own vocabulary so the recovered
+        // graph and Σ's patterns share one `Vocab` by `Arc` identity
+        // (the matcher insists on it). An empty Σ constrains nothing —
+        // any fresh vocabulary serves.
+        let (g, writer, report) = match sigma.iter().next().map(|gfd| gfd.pattern.vocab()) {
+            Some(v) => wal::recover_in(path, policy, v)?,
+            None => wal::recover(path, policy)?,
+        };
+        let g = Arc::new(g);
+        let mut violations = detect_violations(&sigma, &g);
+        sort_violations(&mut violations);
+        let detector =
+            IncrementalDetector::from_violations_in(&sigma, &violations, Arc::clone(&registry));
+        let served = violations
+            .into_iter()
+            .map(|v| (v.rule, v.mapping))
+            .collect();
+        let rng = Rng::seed_from_u64(cfg.seed);
+        let epoch = report.recovered_epoch;
+        let svc = ViolationService {
+            sigma,
+            current: g,
+            epoch,
+            registry,
+            detector,
+            served,
+            // The in-memory log restarts empty with its floor at the
+            // recovered epoch: pre-crash epochs are replayable from
+            // disk, not from memory.
+            log: EditLog {
+                entries: Vec::new(),
+                compacted_to: epoch,
+            },
+            stats: ServiceStats {
+                epochs: epoch,
+                log_frames: writer.frames(),
+                log_fsyncs: writer.fsyncs(),
+                ..ServiceStats::default()
+            },
+            wal: Some(writer),
+            pins: RefCell::new(Vec::new()),
+            subscribers: Vec::new(),
+            rng,
+            cfg,
+        };
+        Ok((svc, report))
+    }
+
     /// Pins the current epoch: the returned snapshot stays valid and
-    /// immutable while later batches commit.
+    /// immutable while later batches commit. While the pin is held (its
+    /// `Arc` alive), the in-memory [`EditLog`] retains every epoch the
+    /// pin might replay through; dropping the pin releases them for
+    /// compaction at the next commit.
     pub fn snapshot(&self) -> PinnedEpoch {
+        let mut pins = self.pins.borrow_mut();
+        // Keep the registry bounded even on read-heavy, commit-light
+        // workloads: dead pins are also pruned here, not just at commit.
+        pins.retain(|(_, w)| w.strong_count() > 0);
+        pins.push((self.epoch, Arc::downgrade(&self.current)));
+        drop(pins);
         PinnedEpoch {
             epoch: self.epoch,
             graph: Arc::clone(&self.current),
@@ -335,6 +515,31 @@ impl ViolationService {
     /// The per-epoch delta log.
     pub fn log(&self) -> &EditLog {
         &self.log
+    }
+
+    /// The durable write-ahead log, if this service has one.
+    pub fn durable_log(&self) -> Option<&WalWriter> {
+        self.wal.as_ref()
+    }
+
+    /// Forces every committed epoch onto stable storage now —
+    /// subscriber-demand durability for [`SyncPolicy::EveryN`] /
+    /// [`SyncPolicy::OnDemand`] services. A no-op without a durable
+    /// log; an fsync failure drops the service to in-memory operation
+    /// (counted in [`ServiceStats::log_write_errors`]) and is
+    /// returned.
+    pub fn flush_log(&mut self) -> Result<(), WalError> {
+        if let Some(w) = self.wal.as_mut() {
+            match w.sync() {
+                Ok(()) => self.stats.log_fsyncs = w.fsyncs(),
+                Err(e) => {
+                    self.stats.log_write_errors += 1;
+                    self.wal = None;
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The rule set the service maintains.
@@ -456,18 +661,50 @@ impl ViolationService {
             }
         };
 
-        // 5. Commit: swap the snapshot, append the log entry, then —
-        //    and only then — publish. Subscribers can never observe a
-        //    half-applied epoch because nothing is published until
-        //    every service structure agrees on `next_epoch`.
+        // 5. Commit: swap the snapshot, append the log entry (durable
+        //    first, then in-memory), then — and only then — publish.
+        //    Subscribers can never observe a half-applied epoch
+        //    because nothing is published until every service
+        //    structure agrees on `next_epoch`.
         self.epoch = next_epoch;
         self.current = next;
         self.stats.epochs = next_epoch;
         self.stats.edits_ingested += batch.len() as u64;
+        if let Some(w) = self.wal.as_mut() {
+            match w.append(next_epoch, &compacted, self.current.vocab()) {
+                Ok(()) => {
+                    self.stats.log_frames = w.frames();
+                    self.stats.log_fsyncs = w.fsyncs();
+                }
+                Err(_) => {
+                    // Serving beats durability: a failed append (disk
+                    // full, I/O error) drops the service to in-memory
+                    // operation — visibly, via the stats counter — and
+                    // the epoch still commits.
+                    self.stats.log_write_errors += 1;
+                    self.wal = None;
+                }
+            }
+        }
         self.log.entries.push(LogEntry {
             epoch: next_epoch,
             delta: compacted,
         });
+        // Pin-gated compaction: entries only dropped pins could replay
+        // from serve nobody; release them. Live pins (weak upgradable)
+        // hold their suffix in place.
+        {
+            let mut pins = self.pins.borrow_mut();
+            pins.retain(|(_, w)| w.strong_count() > 0);
+            let floor = pins
+                .iter()
+                .map(|&(epoch, _)| epoch)
+                .min()
+                .unwrap_or(next_epoch);
+            drop(pins);
+            self.stats.log_compacted_epochs += self.log.compact_to(floor) as u64;
+            self.stats.retained_epochs = self.log.retained() as u64;
+        }
         let update = VioUpdate {
             epoch: next_epoch,
             added,
@@ -929,5 +1166,158 @@ mod tests {
             stats.units_quarantined > 0,
             "plan produced no sticky faults; pick a different seed"
         );
+    }
+
+    #[test]
+    fn pin_gated_compaction_bounds_the_log_and_releases_on_drop() {
+        let (g0, mut svc) = service(10, ServiceConfig::default());
+        let mut rng = Rng::seed_from_u64(61);
+        let mut shadow = g0.edit(|_| {});
+
+        // No pins held: every committed entry is compacted away at the
+        // commit that created it.
+        for _ in 0..3 {
+            let (next, batch) = random_batch(&mut rng, &shadow, 2);
+            shadow = next;
+            svc.ingest(&batch).unwrap();
+        }
+        assert_eq!(svc.stats().retained_epochs, 0);
+        assert_eq!(svc.stats().log_compacted_epochs, 3);
+        assert_eq!(svc.log().compacted_to(), 3);
+
+        // A held pin freezes its suffix in place...
+        let pin = svc.snapshot();
+        for _ in 0..4 {
+            let (next, batch) = random_batch(&mut rng, &shadow, 2);
+            shadow = next;
+            svc.ingest(&batch).unwrap();
+        }
+        assert_eq!(svc.stats().retained_epochs, 4);
+        let replayed = svc.log().replay_onto(&pin);
+        assert!(graphs_equal(&replayed, &shadow), "pinned replay diverged");
+
+        // ...and dropping it releases the suffix at the next commit.
+        drop(replayed);
+        drop(pin);
+        let (next, batch) = random_batch(&mut rng, &shadow, 1);
+        shadow = next;
+        svc.ingest(&batch).unwrap();
+        assert_eq!(svc.stats().retained_epochs, 0);
+        assert_eq!(svc.log().compacted_to(), 8);
+        assert_eq!(svc.violations(), scratch(svc.sigma(), &shadow));
+    }
+
+    #[test]
+    #[should_panic(expected = "log is compacted")]
+    fn replay_below_the_compaction_floor_panics_loudly() {
+        let (g0, mut svc) = service(8, ServiceConfig::default());
+        let mut shadow = g0.edit(|_| {});
+        // Epoch 1: a real edit, so `current` moves to a fresh Arc the
+        // test does not hold.
+        let (next, d1) = shadow.edit_with_delta(|b| {
+            b.add_edge_labeled(NodeId(0), NodeId(1), "post");
+        });
+        shadow = next;
+        svc.ingest(&[d1]).unwrap();
+        let pin = svc.snapshot();
+        assert_eq!(pin.epoch, 1);
+        // A caller that remembers the epoch but drops the Arc no
+        // longer gates compaction — replaying later must fail loudly,
+        // not silently skip the compacted entries.
+        let remembered_epoch = pin.epoch;
+        drop(pin);
+        let (_, d2) = shadow.edit_with_delta(|b| {
+            b.add_edge_labeled(NodeId(0), NodeId(2), "post");
+        });
+        svc.ingest(&[d2]).unwrap();
+        let stale = PinnedEpoch {
+            epoch: remembered_epoch,
+            graph: Arc::new(social(2)),
+        };
+        svc.log().replay_onto(&stale);
+    }
+
+    #[test]
+    fn durable_service_survives_restart_with_identical_violations() {
+        let dir = gfd_util::TempDir::new("gfd-svc-durable").unwrap();
+        let path = dir.file("svc.wal");
+        let (g0, sigma) = {
+            let g = Arc::new(social(12));
+            let sigma = GfdSet::new(vec![spam_rule(g.vocab().clone())]);
+            (g, sigma)
+        };
+        let mut svc = ViolationService::with_durable_log(
+            sigma.clone(),
+            Arc::clone(&g0),
+            ServiceConfig::default(),
+            &path,
+            SyncPolicy::EveryEpoch,
+        )
+        .unwrap();
+
+        let mut rng = Rng::seed_from_u64(81);
+        let mut shadow = g0.edit(|_| {});
+        for _ in 0..5 {
+            let (next, batch) = random_batch(&mut rng, &shadow, 3);
+            shadow = next;
+            svc.ingest(&batch).unwrap();
+        }
+        let live_violations = svc.violations();
+        assert_eq!(svc.stats().log_frames, 6, "snapshot + 5 delta frames");
+        assert!(svc.durable_log().is_some());
+        // "Crash": drop without any shutdown courtesy.
+        drop(svc);
+
+        let (mut svc2, report) = ViolationService::recover(
+            sigma,
+            &path,
+            ServiceConfig::default(),
+            SyncPolicy::EveryEpoch,
+        )
+        .unwrap();
+        assert_eq!(report.recovered_epoch, 5);
+        assert_eq!(report.replayed_epochs, 5);
+        assert!(report.corruption.is_none());
+        assert_eq!(svc2.snapshot().epoch, 5);
+        assert_eq!(svc2.violations(), live_violations);
+        assert_eq!(svc2.violations(), scratch(svc2.sigma(), &shadow));
+
+        // The recovered service resumes ingest where the old one died.
+        let (next, batch) = random_batch(&mut rng, &shadow, 2);
+        shadow = next;
+        assert_eq!(svc2.ingest(&batch).unwrap(), 6);
+        assert_eq!(svc2.violations(), scratch(svc2.sigma(), &shadow));
+    }
+
+    #[test]
+    fn on_demand_policy_flushes_on_subscriber_demand() {
+        let dir = gfd_util::TempDir::new("gfd-svc-ondemand").unwrap();
+        let path = dir.file("svc.wal");
+        let g = Arc::new(social(8));
+        let sigma = GfdSet::new(vec![spam_rule(g.vocab().clone())]);
+        let mut svc = ViolationService::with_durable_log(
+            sigma,
+            Arc::clone(&g),
+            ServiceConfig::default(),
+            &path,
+            SyncPolicy::OnDemand,
+        )
+        .unwrap();
+        let mut rng = Rng::seed_from_u64(91);
+        let mut shadow = g.edit(|_| {});
+        for _ in 0..3 {
+            let (next, batch) = random_batch(&mut rng, &shadow, 2);
+            shadow = next;
+            svc.ingest(&batch).unwrap();
+        }
+        {
+            let w = svc.durable_log().unwrap();
+            assert_eq!(w.synced_epoch(), 0, "OnDemand must not fsync on its own");
+            assert!(w.synced_bytes() < w.bytes());
+        }
+        svc.flush_log().unwrap();
+        let w = svc.durable_log().unwrap();
+        assert_eq!(w.synced_epoch(), 3);
+        assert_eq!(w.synced_bytes(), w.bytes());
     }
 }

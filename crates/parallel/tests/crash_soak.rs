@@ -1,0 +1,335 @@
+//! Kill-and-recover soak: the standing-violation service runs over a
+//! durable write-ahead log while a deterministic [`FaultPlan`] crashes
+//! it at seed-chosen commits and damages the log file the way real
+//! crashes do — un-fsynced tail lost wholesale, a frame torn
+//! mid-payload or mid-header, a bit flipped by media rot. After every
+//! crash the service recovers from the damaged file and must land on
+//! an epoch whose graph **and violation set** are identical to an
+//! independently maintained shadow — and then keep ingesting.
+//!
+//! The crash *decisions* are pure seed arithmetic
+//! ([`FaultPlan::crashes`] keyed by a monotone commit tick, so
+//! re-reaching an epoch after rollback cannot re-crash forever); the
+//! *damage* is performed here, on the file, byte by byte. Recovery must
+//! absorb all of it: zero panics on hostile bytes, every truncated
+//! frame and replayed epoch visible in the [`RecoveryReport`].
+//!
+//! Under `BENCH_SMOKE` the run shrinks to ~20 target epochs for CI.
+
+use std::collections::HashSet;
+use std::path::Path;
+use std::sync::Arc;
+
+use gfd_core::validate::detect_violations;
+use gfd_core::{Dependency, Gfd, GfdSet, Literal, Violation};
+use gfd_graph::{Graph, GraphBuilder, GraphDelta, NodeId, Value, Vocab};
+use gfd_match::Match;
+use gfd_parallel::wal::{frame_bounds, HEADER_LEN};
+use gfd_parallel::{CrashKind, FaultPlan, ServiceConfig, SyncPolicy, ViolationService};
+use gfd_pattern::PatternBuilder;
+use gfd_util::{Rng, TempDir};
+
+fn social(n: usize) -> Graph {
+    let mut g = GraphBuilder::with_fresh_vocab();
+    let blogs: Vec<_> = (0..n)
+        .map(|i| {
+            let b = g.add_node_labeled("blog");
+            g.set_attr_named(
+                b,
+                "keyword",
+                Value::str(if i % 3 == 0 { "spam" } else { "ok" }),
+            );
+            b
+        })
+        .collect();
+    for i in 0..n {
+        let a = g.add_node_labeled("account");
+        g.set_attr_named(a, "is_fake", Value::Bool(i % 4 == 0));
+        g.add_edge_labeled(a, blogs[i], "post");
+        g.add_edge_labeled(a, blogs[(i + 1) % n], "like");
+    }
+    g.freeze()
+}
+
+fn rules(vocab: Arc<Vocab>) -> GfdSet {
+    let keyword = vocab.intern("keyword");
+    let is_fake = vocab.intern("is_fake");
+
+    let mut b = PatternBuilder::new(vocab.clone());
+    let x = b.node("x", "account");
+    let y = b.node("y", "blog");
+    b.edge(x, y, "post");
+    let spam = Gfd::new(
+        "spam-poster-is-fake",
+        b.build(),
+        Dependency::new(
+            vec![Literal::const_eq(y, keyword, "spam")],
+            vec![Literal::const_eq(x, is_fake, true)],
+        ),
+    );
+
+    let mut b = PatternBuilder::new(vocab);
+    let x = b.node("x", "account");
+    let y = b.node("y", "blog");
+    b.edge(x, y, "like");
+    let liker = Gfd::new(
+        "spam-liker-is-real",
+        b.build(),
+        Dependency::new(
+            vec![Literal::const_eq(y, keyword, "spam")],
+            vec![Literal::const_eq(x, is_fake, false)],
+        ),
+    );
+    GfdSet::new(vec![spam, liker])
+}
+
+/// One batch of chained edit deltas over a small slot pool, evolving
+/// the shadow alongside the service (same shape as the main soak).
+fn random_batch(rng: &mut Rng, g: &Graph, len: usize) -> (Graph, Vec<GraphDelta>) {
+    let mut cur = g.edit(|_| {});
+    let mut deltas = Vec::with_capacity(len);
+    for _ in 0..len {
+        let n = cur.node_count();
+        let s = NodeId(rng.gen_range(0..n) as u32);
+        let d = NodeId(rng.gen_range(0..n) as u32);
+        let kind = rng.gen_range(0..6);
+        let spam = rng.gen_bool(0.5);
+        let fake = rng.gen_bool(0.5);
+        let (next, delta) = cur.edit_with_delta(|b| match kind {
+            0 => {
+                b.add_edge_labeled(s, d, "post");
+            }
+            1 => {
+                b.remove_edge_labeled(s, d, "post");
+            }
+            2 => {
+                b.add_edge_labeled(s, d, "like");
+            }
+            3 => {
+                b.remove_edge_labeled(s, d, "like");
+            }
+            4 => {
+                let a = b.vocab().intern("keyword");
+                b.set_attr(s, a, Value::str(if spam { "spam" } else { "ok" }));
+            }
+            _ => {
+                let a = b.vocab().intern("is_fake");
+                b.set_attr(s, a, Value::Bool(fake));
+            }
+        });
+        cur = next;
+        deltas.push(delta);
+    }
+    (cur, deltas)
+}
+
+fn graphs_equal(a: &Graph, b: &Graph) -> bool {
+    a.node_count() == b.node_count()
+        && a.edge_count() == b.edge_count()
+        && a.nodes().all(|u| {
+            a.label(u) == b.label(u)
+                && a.attrs(u) == b.attrs(u)
+                && a.out_slice(u) == b.out_slice(u)
+                && a.in_slice(u) == b.in_slice(u)
+        })
+}
+
+fn vio_set(vs: Vec<Violation>) -> HashSet<(usize, Match)> {
+    vs.into_iter().map(|v| (v.rule, v.mapping)).collect()
+}
+
+/// Damages the log at `path` the way `kind` says a crash would, with
+/// positions drawn from the plan at `tick`. `synced_len` is the prefix
+/// the last fsync made durable; `base_len` the end of the snapshot
+/// frame (damage is aimed past the recovery floor — a destroyed floor
+/// is the hard-error case, tested separately in the wal unit tests).
+fn mangle(
+    path: &Path,
+    kind: CrashKind,
+    plan: &FaultPlan,
+    tick: u64,
+    synced_len: u64,
+    base_len: u64,
+) {
+    let bytes = std::fs::read(path).unwrap();
+    let cut = plan.crash_cut_point(tick);
+    match kind {
+        CrashKind::KillBeforeFsync => {
+            // The page cache dies with the process: only the fsynced
+            // prefix survives.
+            std::fs::write(path, &bytes[..synced_len as usize]).unwrap();
+        }
+        CrashKind::TornTail => {
+            // The final frame made it partially to disk: header
+            // readable, payload/checksum cut short.
+            let last = *frame_bounds(path).unwrap().last().unwrap();
+            let body = last.len - HEADER_LEN as u64 - 1;
+            let at = last.offset + HEADER_LEN as u64 + (cut * body as f64) as u64;
+            std::fs::write(path, &bytes[..at as usize]).unwrap();
+        }
+        CrashKind::ShortRead => {
+            // Cut inside the final frame's header — shorter than any
+            // parseable record.
+            let last = *frame_bounds(path).unwrap().last().unwrap();
+            let at = last.offset + 1 + (cut * (HEADER_LEN as f64 - 2.0)) as u64;
+            std::fs::write(path, &bytes[..at as usize]).unwrap();
+        }
+        CrashKind::BitFlip => {
+            // Media rot: one bit somewhere past the snapshot frame.
+            let mut bytes = bytes;
+            let span = bytes.len() as u64 - base_len;
+            let at = (base_len + (cut * span as f64) as u64) as usize;
+            bytes[at] ^= 1u8 << plan.crash_flip_bit(tick);
+            std::fs::write(path, &bytes).unwrap();
+        }
+    }
+}
+
+#[test]
+fn kill_and_recover_soak_lands_on_oracle_identical_epochs() {
+    let target_epochs: u64 = if std::env::var_os("BENCH_SMOKE").is_some() {
+        20
+    } else {
+        60
+    };
+
+    // The plan only decides *crashes* here; the service itself runs
+    // fault-free so every divergence the oracle catches is recovery's.
+    let plan = FaultPlan {
+        seed: 0xDEAD_BEEF,
+        crash_p: 0.25,
+        ..FaultPlan::default()
+    };
+    let cfg = ServiceConfig {
+        threads: 2,
+        oracle_sample_p: 0.0,
+        seed: 11,
+        faults: None,
+    };
+
+    let dir = TempDir::new("gfd-crash-soak").unwrap();
+    let path = dir.file("edits.wal");
+
+    let g0 = Arc::new(social(12));
+    let sigma = rules(g0.vocab().clone());
+    let mut svc = ViolationService::with_durable_log(
+        sigma.clone(),
+        Arc::clone(&g0),
+        cfg.clone(),
+        &path,
+        SyncPolicy::EveryN(4),
+    )
+    .unwrap();
+
+    // shadows[e] = the oracle's graph after epoch e; rolled back in
+    // lockstep with every recovery.
+    let mut shadows: Vec<Graph> = vec![g0.edit(|_| {})];
+    let mut rng = Rng::seed_from_u64(2024);
+    let mut tick = 0u64; // monotone across crashes — epochs are not
+    let mut crashes = 0u64;
+    let mut kinds_seen = HashSet::new();
+    let mut total_replayed = 0u64;
+    let mut total_truncated_frames = 0u64;
+
+    while svc.stats().epochs < target_epochs {
+        let len = 1 + rng.gen_range(0..5);
+        let shadow = shadows.last().unwrap();
+        let (next, batch) = random_batch(&mut rng, shadow, len);
+        let epoch = svc.ingest(&batch).expect("batches are well-formed");
+        shadows.push(next);
+        assert_eq!(epoch + 1, shadows.len() as u64, "shadow/service desync");
+        tick += 1;
+
+        let Some(kind) = plan.crashes(tick) else {
+            continue;
+        };
+        crashes += 1;
+        kinds_seen.insert(kind);
+
+        // Kill: remember what was durable, drop the service (the
+        // writer deliberately does not fsync on drop), damage the file.
+        let w = svc.durable_log().expect("service is durable");
+        let (synced_len, synced_epoch, base_len) =
+            (w.synced_bytes(), w.synced_epoch(), w.base_bytes());
+        drop(svc);
+        mangle(&path, kind, &plan, tick, synced_len, base_len);
+
+        // Predict where recovery must land: the intact frames of the
+        // damaged file, independently of the recovery code under test.
+        let intact = frame_bounds(&path).unwrap();
+        let expect_epoch = (intact.len() - 1) as u64;
+        let intact_end = intact.last().map(|f| f.offset + f.len).unwrap();
+        let damaged_len = std::fs::metadata(&path).unwrap().len();
+
+        let (recovered, report) =
+            ViolationService::recover(sigma.clone(), &path, cfg.clone(), SyncPolicy::EveryN(4))
+                .unwrap();
+        svc = recovered;
+
+        assert_eq!(
+            report.recovered_epoch, expect_epoch,
+            "tick {tick} ({kind:?}): recovery landed on the wrong epoch"
+        );
+        assert_eq!(report.replayed_epochs, expect_epoch);
+        if kind == CrashKind::KillBeforeFsync {
+            // Losing the un-fsynced tail is clean truncation at a frame
+            // boundary: nothing to report as corruption, and the floor
+            // is exactly the last fsync.
+            assert_eq!(report.recovered_epoch, synced_epoch);
+            assert!(report.corruption.is_none(), "tick {tick}: phantom fault");
+            assert_eq!(report.truncated_bytes, 0);
+        } else {
+            // Torn or flipped bytes: the fault and the cut are visible.
+            assert!(
+                report.corruption.is_some(),
+                "tick {tick} ({kind:?}): absorbed fault not reported"
+            );
+            assert!(report.truncated_frames >= 1);
+            assert_eq!(report.truncated_bytes, damaged_len - intact_end);
+        }
+        total_replayed += report.replayed_epochs;
+        total_truncated_frames += report.truncated_frames;
+
+        // The oracle: recovered graph and violation set must equal the
+        // shadow at the recovered epoch — then the timeline rewinds.
+        shadows.truncate(expect_epoch as usize + 1);
+        let shadow = shadows.last().unwrap();
+        assert!(
+            graphs_equal(svc.snapshot().graph.as_ref(), shadow),
+            "tick {tick} ({kind:?}): recovered graph diverges from the shadow"
+        );
+        assert_eq!(
+            vio_set(svc.violations()),
+            vio_set(detect_violations(&sigma, shadow)),
+            "tick {tick} ({kind:?}): recovered violations diverge from scratch"
+        );
+        assert_eq!(svc.stats().epochs, expect_epoch);
+    }
+
+    assert!(crashes > 0, "seed never crashed the service; retune");
+    assert!(
+        kinds_seen.len() >= 3,
+        "only {kinds_seen:?} crash kinds fired; retune the seed"
+    );
+    assert!(total_replayed > 0, "no crash ever had epochs to replay");
+    assert!(
+        total_truncated_frames > 0,
+        "no crash ever cost a frame; the damage model is too gentle"
+    );
+
+    // Clean shutdown: force the tail down, recover once more, and the
+    // whole run must come back byte-for-byte.
+    svc.flush_log().unwrap();
+    let head = svc.stats().epochs;
+    drop(svc);
+    let (svc, report) =
+        ViolationService::recover(sigma.clone(), &path, cfg, SyncPolicy::EveryEpoch).unwrap();
+    assert_eq!(report.recovered_epoch, head);
+    assert!(report.corruption.is_none());
+    let shadow = shadows.last().unwrap();
+    assert!(graphs_equal(svc.snapshot().graph.as_ref(), shadow));
+    assert_eq!(
+        vio_set(svc.violations()),
+        vio_set(detect_violations(&sigma, shadow))
+    );
+}

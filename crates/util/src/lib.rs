@@ -13,15 +13,24 @@
 //!   reproducible with a one-line test;
 //! * [`fxhash`] — a multiply-rotate hasher for hot maps keyed by small
 //!   internal tuples (`rustc-hash` stand-in);
+//! * [`checksum`] — a one-shot 64-bit frame checksum (xxhash-style,
+//!   full avalanche) for the durable write-ahead log's on-disk
+//!   records;
+//! * [`tempdir`] — unique self-cleaning temp directories, so
+//!   durable-log tests and benches never accumulate state across runs;
 //! * [`alloc`] (feature `count-alloc`, test/bench only) — a counting
 //!   `#[global_allocator]` wrapper, so perf probes can assert
 //!   zero-allocation hot paths.
 
 #[cfg(feature = "count-alloc")]
 pub mod alloc;
+pub mod checksum;
 pub mod fxhash;
 pub mod prop;
 pub mod rng;
+pub mod tempdir;
 
+pub use checksum::checksum64;
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use rng::Rng;
+pub use tempdir::TempDir;

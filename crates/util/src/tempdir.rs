@@ -1,0 +1,81 @@
+//! Unique, self-cleaning temp directories for tests and benches.
+//!
+//! The durable-log tests and the `stream/durable_*` bench samples
+//! create real files; without discipline, repeated local runs and CI
+//! accumulate stale logs in the system temp dir. [`TempDir`] gives
+//! every caller a unique directory (process id + monotonic counter +
+//! wall-clock nanos) and removes it on drop — **except** when the
+//! thread is panicking, in which case the directory is kept and its
+//! path printed so a failing test's on-disk state can be inspected.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::{env, fs, io, thread, time};
+
+/// Per-process counter so two `TempDir`s created in the same
+/// nanosecond (parallel test threads) still get distinct paths.
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named directory under the system temp dir, removed on
+/// drop unless the thread is panicking (failure artifacts are kept).
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates `<system-temp>/<prefix>-<pid>-<nanos>-<n>`, failing if
+    /// the directory cannot be created.
+    pub fn new(prefix: &str) -> io::Result<TempDir> {
+        let nanos = time::SystemTime::now()
+            .duration_since(time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = env::temp_dir().join(format!("{prefix}-{}-{nanos}-{n}", std::process::id()));
+        fs::create_dir_all(&path)?;
+        Ok(TempDir { path })
+    }
+
+    /// The directory itself.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A path for `name` inside the directory (not created).
+    pub fn file(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        if thread::panicking() {
+            // Keep the evidence: a failing durable-log test's on-disk
+            // frames are exactly what the investigation needs.
+            eprintln!("TempDir kept for inspection: {}", self.path.display());
+            return;
+        }
+        // Best-effort: a failed removal must not turn a passing test
+        // into a failing one.
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_paths_and_cleanup_on_drop() {
+        let a = TempDir::new("gfd-tempdir-test").unwrap();
+        let b = TempDir::new("gfd-tempdir-test").unwrap();
+        assert_ne!(a.path(), b.path());
+        fs::write(a.file("x.log"), b"payload").unwrap();
+        assert!(a.file("x.log").exists());
+        let kept = a.path().to_path_buf();
+        drop(a);
+        assert!(!kept.exists(), "drop must remove the directory");
+        drop(b);
+    }
+}
